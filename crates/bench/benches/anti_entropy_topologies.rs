@@ -1,0 +1,36 @@
+//! Topology independence in numbers (paper §I/§III): every connected sync
+//! topology converges; knowledge makes anti-entropy zero-redundancy (the
+//! transmission count equals the exact number of receipts needed,
+//! regardless of shape); only the number of rounds differs.
+
+use emu::report::Table;
+use emu::topology::{rounds_to_convergence, Topology};
+
+fn main() {
+    let topologies = [
+        Topology::FullMesh,
+        Topology::Star,
+        Topology::Tree { fanout: 2 },
+        Topology::RandomGossip { seed: 7 },
+        Topology::Ring,
+        Topology::Chain,
+    ];
+    for n in [8usize, 16, 32, 64] {
+        let mut table = Table::new(
+            format!("Anti-entropy convergence, {n} full replicas, {n} items"),
+            vec!["topology", "rounds", "transmissions", "needed (n*(n-1))"],
+        );
+        for topology in &topologies {
+            let result = rounds_to_convergence(n, topology, 10_000)
+                .expect("connected topologies converge");
+            table.row(vec![
+                topology.label(),
+                result.rounds.to_string(),
+                result.transmissions.to_string(),
+                (n * (n - 1)).to_string(),
+            ]);
+        }
+        println!("{table}");
+    }
+    println!("transmissions == needed everywhere: knowledge-driven sync never re-sends.");
+}

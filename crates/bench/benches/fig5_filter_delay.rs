@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: average message delay in the simple DTN
+//! application as hosts add extra addresses (random vs selected) to their
+//! filters (paper §VI-B).
+
+fn main() {
+    let scenario = benchkit::scenario();
+    benchkit::print_fig5(&scenario);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 6: percentage of messages delivered within 12 hours
+//! as hosts add extra addresses (random vs selected) to their filters
+//! (paper §VI-B).
+
+fn main() {
+    let scenario = benchkit::scenario();
+    benchkit::print_fig6(&scenario);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7b: the cumulative distribution of message delays
+//! beyond 12 hours (days 1-10) for the DTN routing policies, including the
+//! worst-case delays the paper highlights (§VI-C).
+
+fn main() {
+    let scenario = benchkit::scenario();
+    let runs = benchkit::unconstrained_runs(&scenario);
+    benchkit::print_fig7b(&runs);
+}

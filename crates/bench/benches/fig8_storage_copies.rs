@@ -1,0 +1,8 @@
+//! Regenerates Figure 8: message copies stored in the network at delivery
+//! time and at the end of the experiment, per policy (§VI-C).
+
+fn main() {
+    let scenario = benchkit::scenario();
+    let runs = benchkit::unconstrained_runs(&scenario);
+    benchkit::print_fig8(&runs);
+}

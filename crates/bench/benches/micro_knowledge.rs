@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the knowledge (version vector +
+//! exceptions) structure: insert, merge, and membership — the hot path of
+//! every synchronization.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfr::{Knowledge, ReplicaId, Version};
+
+fn build_knowledge(replicas: u64, versions_each: u64) -> Knowledge {
+    let mut k = Knowledge::new();
+    for r in 1..=replicas {
+        k.insert_prefix(ReplicaId::new(r), versions_each);
+    }
+    k
+}
+
+fn bench_insert_in_order(c: &mut Criterion) {
+    c.bench_function("knowledge/insert_in_order_1k", |b| {
+        b.iter(|| {
+            let mut k = Knowledge::new();
+            for counter in 1..=1000u64 {
+                k.insert(Version::new(ReplicaId::new(1), counter));
+            }
+            black_box(k)
+        })
+    });
+}
+
+fn bench_insert_out_of_order(c: &mut Criterion) {
+    c.bench_function("knowledge/insert_reverse_1k", |b| {
+        b.iter(|| {
+            let mut k = Knowledge::new();
+            for counter in (1..=1000u64).rev() {
+                k.insert(Version::new(ReplicaId::new(1), counter));
+            }
+            black_box(k)
+        })
+    });
+}
+
+fn bench_contains(c: &mut Criterion) {
+    let k = build_knowledge(50, 1000);
+    c.bench_function("knowledge/contains_hit", |b| {
+        b.iter(|| black_box(k.contains(Version::new(ReplicaId::new(25), 500))))
+    });
+    c.bench_function("knowledge/contains_miss", |b| {
+        b.iter(|| black_box(k.contains(Version::new(ReplicaId::new(25), 5000))))
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge/merge");
+    for replicas in [10u64, 50, 200] {
+        let a = build_knowledge(replicas, 100);
+        let b_k = build_knowledge(replicas, 200);
+        group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, _| {
+            b.iter(|| {
+                let mut merged = a.clone();
+                merged.merge(&b_k);
+                black_box(merged)
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Short sampling profile: micro-benchmarks here are stable enough that
+/// 2-second measurement windows give tight intervals.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .nresamples(10_000)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_insert_in_order,
+    bench_insert_out_of_order,
+    bench_contains,
+    bench_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the DTN policy hooks: per-item `toSend`
+//! decision cost for each protocol, including MaxProp's modified-Dijkstra
+//! path scoring.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtn::{DtnNode, EncounterBudget, PolicyKind};
+use pfr::{ReplicaId, SimTime};
+
+fn bench_encounter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy/encounter_100_messages");
+    for kind in PolicyKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || {
+                    let mut a = DtnNode::new(ReplicaId::new(1), "a", kind);
+                    let b_node = DtnNode::new(ReplicaId::new(2), "b", kind);
+                    for i in 0..100u32 {
+                        a.send(&format!("dest-{}", i % 10), vec![0u8; 32], SimTime::ZERO)
+                            .expect("send");
+                    }
+                    (a, b_node)
+                },
+                |(mut a, mut b)| {
+                    black_box(a.encounter(
+                        &mut b,
+                        SimTime::from_secs(60),
+                        EncounterBudget::unlimited(),
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+
+/// Short sampling profile: micro-benchmarks here are stable enough that
+/// 2-second measurement windows give tight intervals.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .nresamples(10_000)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_encounter
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for pairwise synchronization: cost of a sync
+//! as a function of backlog size, and of an already-converged (no-op) sync
+//! — the case that dominates real deployments, which the compact knowledge
+//! exchange makes cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfr::{sync, AttributeMap, Filter, Replica, ReplicaId, SimTime};
+
+fn loaded_replica(items: usize) -> Replica {
+    let mut r = Replica::new(ReplicaId::new(1), Filter::address("dest", "a"));
+    for i in 0..items {
+        let mut attrs = AttributeMap::new();
+        attrs.set("dest", if i % 2 == 0 { "b" } else { "c" });
+        r.insert(attrs, vec![0u8; 64]).expect("insert");
+    }
+    r
+}
+
+fn bench_first_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync/first_sync");
+    for items in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(items), &items, |b, &n| {
+            let source = loaded_replica(n);
+            b.iter(|| {
+                let mut src = source.clone();
+                let mut tgt = Replica::new(ReplicaId::new(2), Filter::address("dest", "b"));
+                black_box(sync::sync_once(&mut src, &mut tgt, SimTime::ZERO))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_converged_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync/converged_noop");
+    for items in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(items), &items, |b, &n| {
+            let mut src = loaded_replica(n);
+            let mut tgt = Replica::new(ReplicaId::new(2), Filter::address("dest", "b"));
+            sync::sync_once(&mut src, &mut tgt, SimTime::ZERO);
+            b.iter(|| black_box(sync::sync_once(&mut src, &mut tgt, SimTime::ZERO)))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short sampling profile: micro-benchmarks here are stable enough that
+/// 2-second measurement windows give tight intervals.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .nresamples(10_000)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_first_sync, bench_converged_sync
+}
+criterion_main!(benches);

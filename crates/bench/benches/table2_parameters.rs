@@ -1,0 +1,19 @@
+//! Regenerates Table II: the DTN protocol parameters used in the
+//! experiments (paper §VI-C).
+
+use dtn::PolicyKind;
+use emu::report::Table;
+
+fn main() {
+    let mut table = Table::new(
+        "Table II: DTN protocol parameters",
+        vec!["Protocol", "Parameter", "Value"],
+    );
+    for kind in PolicyKind::ALL {
+        let summary = kind.build().summary();
+        for (name, value) in summary.parameters {
+            table.row(vec![summary.protocol.to_string(), name, value]);
+        }
+    }
+    println!("{table}");
+}

@@ -1,0 +1,31 @@
+//! Quick smoke probe: runs the unconstrained policy comparison on the
+//! paper-scale scenario and prints one summary line per policy. Handy for
+//! eyeballing result shapes after a change without running the full bench
+//! suite (`cargo run --release -p replidtn-bench --bin probe`).
+
+use dtn::{EncounterBudget, PolicyKind};
+use emu::experiments::{policy_comparison, Scenario};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let scenario = Scenario::paper();
+    println!("scenario: {} encounters, {} messages, {} days, {:.1} buses/day",
+        scenario.trace.len(), scenario.workload.len(), scenario.trace.days(),
+        scenario.trace.mean_nodes_per_day());
+    let runs = policy_comparison(&scenario, EncounterBudget::unlimited(), None);
+    for run in &runs {
+        println!(
+            "{:>10}: mean {:.1}h  12h {:>5.1}%  delivered {:>5.1}%  max {:.1}d  copies(del/end) {:.1}/{:.1}  tx {}",
+            run.policy.label(),
+            run.result.mean_delay_hours,
+            run.result.delivered_within_12h_pct,
+            run.result.delivery_rate_pct,
+            run.max_delay_days.unwrap_or(0.0),
+            run.copies_at_delivery.unwrap_or(0.0),
+            run.copies_at_end.unwrap_or(0.0),
+            run.result.metrics.transmissions,
+        );
+    }
+    let _ = PolicyKind::ALL;
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,168 @@
+//! # benchkit — shared plumbing for the experiment benches
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper. The heavy lifting lives in [`emu::experiments`]; this crate
+//! provides the shared scenario construction and printing helpers so each
+//! bench is a thin `main`.
+//!
+//! Set `REPLIDTN_SMALL=1` to run the benches on the scaled-down scenario
+//! (useful for smoke-testing the harness; the printed numbers then do not
+//! correspond to the paper's figures).
+
+use dtn::EncounterBudget;
+use emu::experiments::{self, PolicyRun, Scenario};
+use emu::report::{fmt_opt, render_cdf, Table};
+
+/// The figure-5/6 sweep of extra filter addresses.
+pub const FILTER_KS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Builds the experiment scenario (paper scale unless `REPLIDTN_SMALL` is
+/// set).
+pub fn scenario() -> Scenario {
+    if std::env::var_os("REPLIDTN_SMALL").is_some() {
+        Scenario::small()
+    } else {
+        Scenario::paper()
+    }
+}
+
+/// Prints the figure-5 table: average message delay per filter strategy.
+pub fn print_fig5(scenario: &Scenario) {
+    let series = experiments::filter_sweep(scenario, &FILTER_KS);
+    let mut table = Table::new(
+        "Figure 5: average message delay (hours) vs addresses in filter",
+        vec!["addresses", "random", "selected"],
+    );
+    let labels: Vec<String> = series[0].1.iter().map(|r| r.label.clone()).collect();
+    for (i, label) in labels.iter().enumerate() {
+        table.row(vec![
+            label.clone(),
+            format!("{:.1}", series[0].1[i].mean_delay_hours),
+            format!("{:.1}", series[1].1[i].mean_delay_hours),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// Prints the figure-6 table: % delivered within 12 hours per strategy.
+pub fn print_fig6(scenario: &Scenario) {
+    let series = experiments::filter_sweep(scenario, &FILTER_KS);
+    let mut table = Table::new(
+        "Figure 6: % messages delivered within 12 hours vs addresses in filter",
+        vec!["addresses", "random", "selected"],
+    );
+    let labels: Vec<String> = series[0].1.iter().map(|r| r.label.clone()).collect();
+    for (i, label) in labels.iter().enumerate() {
+        table.row(vec![
+            label.clone(),
+            format!("{:.1}", series[0].1[i].delivered_within_12h_pct),
+            format!("{:.1}", series[1].1[i].delivered_within_12h_pct),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// Runs the unconstrained policy comparison shared by figures 7a/7b/8.
+pub fn unconstrained_runs(scenario: &Scenario) -> Vec<PolicyRun> {
+    experiments::policy_comparison(scenario, EncounterBudget::unlimited(), None)
+}
+
+/// Prints an hourly CDF (figures 7a, 9, 10) for a set of runs.
+pub fn print_hourly_cdfs(title: &str, runs: &[PolicyRun]) {
+    println!("== {title} ==");
+    let mut table = Table::new(
+        "% messages delivered within N hours",
+        std::iter::once("policy".to_string())
+            .chain((1..=12).map(|h| format!("{h}h")))
+            .collect::<Vec<String>>(),
+    );
+    for run in runs {
+        let mut cells = vec![run.policy.label().to_string()];
+        cells.extend(run.cdf_hours.iter().map(|p| format!("{:.1}", p.delivered_pct)));
+        table.row(cells);
+    }
+    println!("{table}");
+    for run in runs {
+        println!("{}", render_cdf(run.policy.label(), &run.cdf_hours));
+    }
+}
+
+/// Prints the daily CDF of figure 7b plus worst-case delays.
+pub fn print_fig7b(runs: &[PolicyRun]) {
+    let mut table = Table::new(
+        "Figure 7b: % messages delivered within N days",
+        std::iter::once("policy".to_string())
+            .chain((1..=10).map(|d| format!("{d}d")))
+            .chain(std::iter::once("worst".to_string()))
+            .collect::<Vec<String>>(),
+    );
+    for run in runs {
+        let mut cells = vec![run.policy.label().to_string()];
+        cells.extend(run.cdf_days.iter().map(|p| format!("{:.1}", p.delivered_pct)));
+        cells.push(
+            run.max_delay_days
+                .map(|d| format!("{d:.1}d"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+        table.row(cells);
+    }
+    println!("{table}");
+}
+
+/// Prints the figure-8 table: average stored copies per message.
+pub fn print_fig8(runs: &[PolicyRun]) {
+    let mut table = Table::new(
+        "Figure 8: avg copies of messages stored in the network",
+        vec!["policy", "at delivery", "at end of experiment"],
+    );
+    for run in runs {
+        table.row(vec![
+            run.policy.label().to_string(),
+            fmt_opt(run.copies_at_delivery),
+            fmt_opt(run.copies_at_end),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// Prints a traffic/delivery summary used alongside several figures.
+pub fn print_summary(runs: &[PolicyRun]) {
+    let mut table = Table::new(
+        "Run summary",
+        vec![
+            "policy",
+            "mean delay (h)",
+            "within 12h (%)",
+            "delivered (%)",
+            "transmissions",
+            "duplicates",
+        ],
+    );
+    for run in runs {
+        table.row(vec![
+            run.policy.label().to_string(),
+            format!("{:.1}", run.result.mean_delay_hours),
+            format!("{:.1}", run.result.delivered_within_12h_pct),
+            format!("{:.1}", run.result.delivery_rate_pct),
+            run.result.metrics.transmissions.to_string(),
+            run.result.metrics.duplicates.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_pipeline_smoke() {
+        let scenario = Scenario::small();
+        let runs = unconstrained_runs(&scenario);
+        assert_eq!(runs.len(), 5);
+        print_hourly_cdfs("smoke", &runs);
+        print_fig7b(&runs);
+        print_fig8(&runs);
+        print_summary(&runs);
+    }
+}

@@ -1,0 +1,152 @@
+//! Encodings for policy routing state carried in sync requests.
+//!
+//! Each policy defines its own routing payload (paper §V-A, requirement 2);
+//! these helpers encode the common shapes — probability vectors keyed by
+//! address or replica, address sets, and acknowledgement lists — with the
+//! same compact wire primitives as the substrate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pfr::wire::{Decode, Encode, Reader, WireError, Writer};
+use pfr::{ItemId, ReplicaId, RoutingState};
+
+/// A probability vector keyed by destination address.
+pub(crate) fn put_addr_probs(w: &mut Writer, probs: &BTreeMap<String, f64>) {
+    w.put_varint(probs.len() as u64);
+    for (addr, p) in probs {
+        w.put_str(addr);
+        w.put_f64(*p);
+    }
+}
+
+pub(crate) fn get_addr_probs(r: &mut Reader<'_>) -> Result<BTreeMap<String, f64>, WireError> {
+    let len = r.get_len(2)?;
+    let mut out = BTreeMap::new();
+    for _ in 0..len {
+        let addr = r.get_str()?;
+        let p = r.get_f64()?;
+        out.insert(addr, p);
+    }
+    Ok(out)
+}
+
+/// A probability vector keyed by replica (node) id.
+pub(crate) fn put_node_probs(w: &mut Writer, probs: &BTreeMap<ReplicaId, f64>) {
+    w.put_varint(probs.len() as u64);
+    for (node, p) in probs {
+        node.encode(w);
+        w.put_f64(*p);
+    }
+}
+
+pub(crate) fn get_node_probs(
+    r: &mut Reader<'_>,
+) -> Result<BTreeMap<ReplicaId, f64>, WireError> {
+    let len = r.get_len(2)?;
+    let mut out = BTreeMap::new();
+    for _ in 0..len {
+        let node = ReplicaId::decode(r)?;
+        let p = r.get_f64()?;
+        out.insert(node, p);
+    }
+    Ok(out)
+}
+
+/// A set of addresses (the sender's current local addresses).
+pub(crate) fn put_addrs(w: &mut Writer, addrs: &BTreeSet<String>) {
+    w.put_varint(addrs.len() as u64);
+    for a in addrs {
+        w.put_str(a);
+    }
+}
+
+pub(crate) fn get_addrs(r: &mut Reader<'_>) -> Result<BTreeSet<String>, WireError> {
+    let len = r.get_len(1)?;
+    let mut out = BTreeSet::new();
+    for _ in 0..len {
+        out.insert(r.get_str()?);
+    }
+    Ok(out)
+}
+
+/// A set of item ids (MaxProp delivery acknowledgements).
+pub(crate) fn put_item_ids(w: &mut Writer, ids: &BTreeSet<ItemId>) {
+    w.put_varint(ids.len() as u64);
+    for id in ids {
+        id.encode(w);
+    }
+}
+
+pub(crate) fn get_item_ids(r: &mut Reader<'_>) -> Result<BTreeSet<ItemId>, WireError> {
+    let len = r.get_len(2)?;
+    let mut out = BTreeSet::new();
+    for _ in 0..len {
+        out.insert(ItemId::decode(r)?);
+    }
+    Ok(out)
+}
+
+/// Finishes a writer into a [`RoutingState`].
+pub(crate) fn finish(w: Writer) -> RoutingState {
+    RoutingState::from_bytes(w.into_bytes())
+}
+
+/// Opens a routing state for reading; a decode failure means the peer runs
+/// a different (or corrupt) policy — callers treat it as "no routing data".
+pub(crate) fn open(state: &RoutingState) -> Reader<'_> {
+    Reader::new(state.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_probs_roundtrip() {
+        let mut probs = BTreeMap::new();
+        probs.insert("a".to_string(), 0.5);
+        probs.insert("b".to_string(), 0.125);
+        let mut w = Writer::new();
+        put_addr_probs(&mut w, &probs);
+        let state = finish(w);
+        let mut r = open(&state);
+        assert_eq!(get_addr_probs(&mut r).unwrap(), probs);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn node_probs_roundtrip() {
+        let mut probs = BTreeMap::new();
+        probs.insert(ReplicaId::new(1), 0.25);
+        probs.insert(ReplicaId::new(9), 0.75);
+        let mut w = Writer::new();
+        put_node_probs(&mut w, &probs);
+        let bytes = w.into_bytes();
+        assert_eq!(get_node_probs(&mut Reader::new(&bytes)).unwrap(), probs);
+    }
+
+    #[test]
+    fn addrs_and_ids_roundtrip() {
+        let addrs: BTreeSet<String> = ["u1", "u2"].iter().map(|s| s.to_string()).collect();
+        let ids: BTreeSet<ItemId> = [
+            ItemId::new(ReplicaId::new(1), 1),
+            ItemId::new(ReplicaId::new(2), 7),
+        ]
+        .into_iter()
+        .collect();
+        let mut w = Writer::new();
+        put_addrs(&mut w, &addrs);
+        put_item_ids(&mut w, &ids);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_addrs(&mut r).unwrap(), addrs);
+        assert_eq!(get_item_ids(&mut r).unwrap(), ids);
+    }
+
+    #[test]
+    fn corrupt_state_fails_cleanly() {
+        let state = RoutingState::from_bytes(vec![0xff, 0xff, 0xff]);
+        let mut r = open(&state);
+        assert!(get_addr_probs(&mut r).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Epidemic routing: TTL-limited flooding (Vahdat & Becker, 2000).
+
+use pfr::sync::{HostContext, SendDecision, SyncRequest};
+use pfr::{Item, ItemId, Priority, ReplicaId, SyncExtension};
+
+use crate::policy::{DtnPolicy, PolicySummary};
+
+/// Transient attribute holding the remaining hop budget of a copy.
+pub const ATTR_TTL: &str = "dtn.ttl";
+
+/// Epidemic routing as a replication policy (paper §V-C1).
+///
+/// Every item with remaining TTL is forwarded at every encounter; the TTL
+/// is a *transient* per-copy attribute, initialized lazily on first
+/// forwarding and decremented on the in-flight copy only, so the stored
+/// copy's budget is unaffected — exactly the paper's description.
+///
+/// The original protocol's summary vectors are unnecessary: the
+/// substrate's knowledge already guarantees at-most-once delivery.
+///
+/// # Examples
+///
+/// ```
+/// use dtn::{DtnPolicy, EpidemicPolicy};
+///
+/// let policy = EpidemicPolicy::new(10); // Table II: TTL = 10
+/// assert_eq!(policy.initial_ttl(), 10);
+/// assert_eq!(policy.name(), "epidemic");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EpidemicPolicy {
+    initial_ttl: i64,
+}
+
+impl EpidemicPolicy {
+    /// Creates the policy with an initial per-message hop budget.
+    pub fn new(initial_ttl: u32) -> Self {
+        EpidemicPolicy {
+            initial_ttl: i64::from(initial_ttl),
+        }
+    }
+
+    /// The hop budget new messages start with.
+    pub fn initial_ttl(&self) -> u32 {
+        self.initial_ttl as u32
+    }
+
+    /// Reads a copy's remaining TTL, treating a missing field as "fresh".
+    fn ttl_of(&self, item: &Item) -> i64 {
+        item.transient().get_i64(ATTR_TTL).unwrap_or(self.initial_ttl)
+    }
+}
+
+impl Default for EpidemicPolicy {
+    /// The paper's Table II parameter: TTL = 10.
+    fn default() -> Self {
+        EpidemicPolicy::new(10)
+    }
+}
+
+impl SyncExtension for EpidemicPolicy {
+    fn to_send(
+        &mut self,
+        cx: &mut HostContext<'_>,
+        item_id: ItemId,
+        _request: &SyncRequest,
+    ) -> SendDecision {
+        let Some(item) = cx.replica().item(item_id) else {
+            return SendDecision::Skip;
+        };
+        if item.is_deleted() {
+            // Tombstones flood freely: they only shrink state downstream.
+            return SendDecision::Send(Priority::normal());
+        }
+        let ttl = self.ttl_of(item);
+        let had_field = item.transient().contains(ATTR_TTL);
+        if !had_field {
+            // Lazily stamp fresh messages with the initial budget (the
+            // paper's "updates the stored message to add a TTL field").
+            let _ = cx.set_transient(item_id, ATTR_TTL, self.initial_ttl);
+        }
+        if ttl > 0 {
+            SendDecision::Send(Priority::normal())
+        } else {
+            SendDecision::Skip
+        }
+    }
+
+    fn prepare_outgoing(
+        &mut self,
+        _cx: &mut HostContext<'_>,
+        item: &mut Item,
+        _target: ReplicaId,
+        matched_filter: bool,
+    ) {
+        if matched_filter || item.is_deleted() {
+            return;
+        }
+        let ttl = self.ttl_of(item);
+        // Decrement affects the in-flight copy only (paper: "does not
+        // affect the TTL values for messages stored in the source").
+        item.transient_mut().set(ATTR_TTL, (ttl - 1).max(0));
+    }
+}
+
+impl DtnPolicy for EpidemicPolicy {
+    fn name(&self) -> &'static str {
+        "epidemic"
+    }
+
+    fn summary(&self) -> PolicySummary {
+        PolicySummary {
+            protocol: "Epidemic",
+            routing_state: "TTL per message",
+            added_to_sync_request: "nothing",
+            source_forwarding_policy: "when TTL > 0",
+            parameters: vec![("TTL".to_string(), self.initial_ttl.to_string())],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfr::{sync, AttributeMap, Filter, Replica, SimTime, SyncLimits};
+
+    fn host(n: u64, addr: &str) -> Replica {
+        Replica::new(ReplicaId::new(n), Filter::address("dest", addr))
+    }
+
+    fn send_msg(r: &mut Replica, dest: &str) -> ItemId {
+        let mut attrs = AttributeMap::new();
+        attrs.set("dest", dest);
+        r.insert(attrs, b"m".to_vec()).unwrap()
+    }
+
+    fn relay_sync(src: &mut Replica, sp: &mut EpidemicPolicy, tgt: &mut Replica, tp: &mut EpidemicPolicy, t: u64) {
+        sync::sync_with(src, sp, tgt, tp, SyncLimits::unlimited(), SimTime::from_secs(t));
+    }
+
+    #[test]
+    fn floods_with_decrementing_ttl() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        let mut c = host(3, "c");
+        let id = send_msg(&mut a, "z");
+        let mut pa = EpidemicPolicy::new(2);
+        let mut pb = EpidemicPolicy::new(2);
+        let mut pc = EpidemicPolicy::new(2);
+
+        relay_sync(&mut a, &mut pa, &mut b, &mut pb, 0);
+        assert_eq!(b.item(id).unwrap().transient().get_i64(ATTR_TTL), Some(1));
+        // The source's stored copy keeps the full budget.
+        assert_eq!(a.item(id).unwrap().transient().get_i64(ATTR_TTL), Some(2));
+
+        relay_sync(&mut b, &mut pb, &mut c, &mut pc, 1);
+        assert_eq!(c.item(id).unwrap().transient().get_i64(ATTR_TTL), Some(0));
+
+        // c's copy is exhausted: it won't be forwarded further.
+        let mut d = host(4, "d");
+        let mut pd = EpidemicPolicy::new(2);
+        relay_sync(&mut c, &mut pc, &mut d, &mut pd, 2);
+        assert!(!d.contains_item(id), "TTL-0 copies stop flooding");
+    }
+
+    #[test]
+    fn delivery_ignores_ttl() {
+        // Even a TTL-0 copy is delivered to a host whose filter matches it:
+        // filter matches bypass the policy entirely.
+        let mut c = host(3, "c");
+        let mut z = host(9, "z");
+        let mut a = host(1, "a");
+        let id = send_msg(&mut a, "z");
+        let mut pa = EpidemicPolicy::new(1);
+        let mut pc = EpidemicPolicy::new(1);
+        let mut pz = EpidemicPolicy::new(1);
+        relay_sync(&mut a, &mut pa, &mut c, &mut pc, 0);
+        assert_eq!(c.item(id).unwrap().transient().get_i64(ATTR_TTL), Some(0));
+        relay_sync(&mut c, &mut pc, &mut z, &mut pz, 1);
+        assert!(z.contains_item(id), "delivery is not an expansion hop");
+    }
+
+    #[test]
+    fn stamps_stored_items_lazily() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        let id = send_msg(&mut a, "z");
+        assert!(a.item(id).unwrap().transient().get_i64(ATTR_TTL).is_none());
+        let mut pa = EpidemicPolicy::default();
+        let mut pb = EpidemicPolicy::default();
+        relay_sync(&mut a, &mut pa, &mut b, &mut pb, 0);
+        assert_eq!(
+            a.item(id).unwrap().transient().get_i64(ATTR_TTL),
+            Some(10),
+            "stored copy stamped with Table II default"
+        );
+    }
+
+    #[test]
+    fn summary_matches_table_one() {
+        let p = EpidemicPolicy::default();
+        let s = p.summary();
+        assert_eq!(s.routing_state, "TTL per message");
+        assert_eq!(s.source_forwarding_policy, "when TTL > 0");
+        assert_eq!(s.parameters, vec![("TTL".to_string(), "10".to_string())]);
+    }
+}

@@ -1,0 +1,753 @@
+//! A DTN host: one replica bundled with its routing policy and addresses.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pfr::sync::{self, SyncReport};
+use pfr::{Filter, ItemId, PfrError, Replica, ReplicaId, SimTime, SyncLimits};
+
+use crate::messaging::{self, Message};
+use crate::policy::{DtnPolicy, PolicyKind};
+
+/// Resource limits applied to one encounter (paper §VI-D).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncounterBudget {
+    /// Maximum messages exchanged across both syncs of the encounter
+    /// (`None` = unlimited). The paper's bandwidth-constrained experiment
+    /// uses `Some(1)`.
+    pub max_messages: Option<usize>,
+}
+
+impl EncounterBudget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        EncounterBudget::default()
+    }
+
+    /// At most `n` messages across the whole encounter.
+    pub fn max_messages(n: usize) -> Self {
+        EncounterBudget {
+            max_messages: Some(n),
+        }
+    }
+}
+
+/// The result of one encounter (two syncs with roles alternating).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EncounterReport {
+    /// Items transmitted in both directions.
+    pub transmitted: usize,
+    /// Deliveries into each side's filtered store.
+    pub delivered: usize,
+    /// Ids delivered to the first host of the pair.
+    pub delivered_to_a: Vec<ItemId>,
+    /// Ids delivered to the second host of the pair.
+    pub delivered_to_b: Vec<ItemId>,
+    /// Duplicate receipts (must stay zero).
+    pub duplicates: usize,
+}
+
+impl EncounterReport {
+    fn absorb(&mut self, report: SyncReport, to_a: bool) {
+        self.transmitted += report.transmitted;
+        self.delivered += report.delivered;
+        self.duplicates += report.duplicates;
+        if to_a {
+            self.delivered_to_a.extend(report.delivered_ids);
+        } else {
+            self.delivered_to_b.extend(report.delivered_ids);
+        }
+    }
+}
+
+/// One device in the DTN: a replica, a routing policy, and the set of
+/// addresses it answers for.
+///
+/// # Examples
+///
+/// ```
+/// use dtn::{DtnNode, EncounterBudget, PolicyKind};
+/// use pfr::{ReplicaId, SimTime};
+///
+/// let mut a = DtnNode::new(ReplicaId::new(1), "a", PolicyKind::Epidemic);
+/// let mut b = DtnNode::new(ReplicaId::new(2), "b", PolicyKind::Epidemic);
+/// a.send("b", b"hello".to_vec(), SimTime::ZERO)?;
+/// a.encounter(&mut b, SimTime::from_secs(60), EncounterBudget::unlimited());
+/// assert_eq!(b.inbox().len(), 1);
+/// # Ok::<(), pfr::PfrError>(())
+/// ```
+pub struct DtnNode {
+    replica: Replica,
+    policy: Box<dyn DtnPolicy>,
+    addresses: BTreeSet<String>,
+    extra_filter_addrs: BTreeSet<String>,
+}
+
+impl DtnNode {
+    /// Creates a node with one address and a bundled policy.
+    pub fn new(id: ReplicaId, address: &str, policy: PolicyKind) -> Self {
+        DtnNode::with_policy(id, address, policy.build())
+    }
+
+    /// Creates a node with a custom policy instance.
+    pub fn with_policy(id: ReplicaId, address: &str, policy: Box<dyn DtnPolicy>) -> Self {
+        let addresses: BTreeSet<String> = [address.to_string()].into_iter().collect();
+        let mut node = DtnNode {
+            replica: Replica::new(id, Filter::None),
+            policy,
+            addresses,
+            extra_filter_addrs: BTreeSet::new(),
+        };
+        node.refresh_filter();
+        node
+    }
+
+    /// The node's replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.replica.id()
+    }
+
+    /// The addresses this node is final destination for.
+    pub fn addresses(&self) -> impl Iterator<Item = &str> {
+        self.addresses.iter().map(String::as_str)
+    }
+
+    /// Read access to the underlying replica.
+    pub fn replica(&self) -> &Replica {
+        &self.replica
+    }
+
+    /// Mutable access to the underlying replica (for storage limits etc.).
+    pub fn replica_mut(&mut self) -> &mut Replica {
+        &mut self.replica
+    }
+
+    /// Read access to the routing policy.
+    pub fn policy(&self) -> &dyn DtnPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Swaps in a new policy instance, discarding the old one's in-memory
+    /// state (models a reboot on a device that never called
+    /// [`DtnPolicy::save_state`]). The replica is untouched.
+    pub fn replace_policy(&mut self, mut policy: Box<dyn DtnPolicy>) {
+        policy.set_local_addresses(self.addresses.clone());
+        self.policy = policy;
+    }
+
+    /// Replaces the set of addresses this node answers for (the vehicular
+    /// experiments re-assign users to buses every day).
+    pub fn set_addresses<I, S>(&mut self, addrs: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.addresses = addrs.into_iter().map(Into::into).collect();
+        self.refresh_filter();
+    }
+
+    /// Sets the extra forwarding addresses in this node's filter — the
+    /// multi-address strategies of §IV-B. These addresses receive and
+    /// store messages but do not count as deliveries.
+    pub fn set_extra_filter_addresses<I, S>(&mut self, addrs: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.extra_filter_addrs = addrs.into_iter().map(Into::into).collect();
+        self.refresh_filter();
+    }
+
+    fn refresh_filter(&mut self) {
+        let filter = messaging::host_filter(
+            self.addresses.iter().map(String::as_str),
+            self.extra_filter_addrs.iter().map(String::as_str),
+        );
+        self.replica.set_filter(filter);
+        self.policy.set_local_addresses(self.addresses.clone());
+    }
+
+    /// Sends a unicast message from this node's first address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the replica.
+    pub fn send(&mut self, dest: &str, payload: Vec<u8>, now: SimTime) -> Result<ItemId, PfrError> {
+        let src = self
+            .addresses
+            .iter()
+            .next()
+            .cloned()
+            .unwrap_or_else(|| self.replica.id().to_string());
+        messaging::send_message(&mut self.replica, &src, dest, payload, now)
+    }
+
+    /// Sends a unicast message from an explicit source address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the replica.
+    pub fn send_from(
+        &mut self,
+        src: &str,
+        dest: &str,
+        payload: Vec<u8>,
+        now: SimTime,
+    ) -> Result<ItemId, PfrError> {
+        messaging::send_message(&mut self.replica, src, dest, payload, now)
+    }
+
+    /// Sends a multicast message from this node's first address to every
+    /// listed recipient; each recipient's filter selects the single shared
+    /// item and at-most-once delivery applies per recipient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the replica.
+    pub fn send_multicast(
+        &mut self,
+        dests: &[&str],
+        payload: Vec<u8>,
+        now: SimTime,
+    ) -> Result<ItemId, PfrError> {
+        let src = self
+            .addresses
+            .iter()
+            .next()
+            .cloned()
+            .unwrap_or_else(|| self.replica.id().to_string());
+        messaging::send_multicast(&mut self.replica, &src, dests, payload, now)
+    }
+
+    /// Sends a unicast message with a bounded lifetime (see
+    /// [`messaging::send_message_with_lifetime`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the replica.
+    pub fn send_with_lifetime(
+        &mut self,
+        dest: &str,
+        payload: Vec<u8>,
+        now: SimTime,
+        lifetime: pfr::SimDuration,
+    ) -> Result<ItemId, PfrError> {
+        let src = self
+            .addresses
+            .iter()
+            .next()
+            .cloned()
+            .unwrap_or_else(|| self.replica.id().to_string());
+        messaging::send_message_with_lifetime(&mut self.replica, &src, dest, payload, now, lifetime)
+    }
+
+    /// Live messages addressed to any of this node's addresses.
+    pub fn inbox(&self) -> Vec<Message> {
+        self.addresses
+            .iter()
+            .flat_map(|addr| messaging::inbox(&self.replica, addr))
+            .collect()
+    }
+
+    /// Drops expired messages (those past their
+    /// [`ATTR_EXPIRES_AT`](messaging::ATTR_EXPIRES_AT) time): relayed
+    /// copies are purged outright; messages this node originated are
+    /// deleted, so their tombstones chase down the remaining copies.
+    /// Returns how many messages were expired locally.
+    ///
+    /// [`DtnNode::encounter`] calls this on both parties before syncing, so
+    /// applications using bounded lifetimes need no extra bookkeeping.
+    pub fn expire_messages(&mut self, now: SimTime) -> usize {
+        let expired: Vec<(ItemId, bool)> = self
+            .replica
+            .iter_items()
+            .filter(|item| !item.is_deleted() && messaging::is_expired(item, now))
+            .map(|item| (item.id(), item.id().origin() == self.replica.id()))
+            .collect();
+        let mut count = 0;
+        for (id, is_origin) in expired {
+            if is_origin {
+                if self.replica.delete(id).is_ok() {
+                    count += 1;
+                }
+            } else if self.replica.purge_relay(id) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Runs one encounter with `other`: two pairwise syncs, alternating the
+    /// source/target roles (as the paper's experiments do), under a shared
+    /// message budget.
+    ///
+    /// When the budget is limited, destination-addressed (filter-matched)
+    /// messages claim the channel first in both directions — the priority
+    /// every studied DTN protocol gives deliveries over relay handoffs —
+    /// and relay traffic chosen by the routing policy fills whatever
+    /// capacity remains.
+    pub fn encounter(
+        &mut self,
+        other: &mut DtnNode,
+        now: SimTime,
+        budget: EncounterBudget,
+    ) -> EncounterReport {
+        let mut report = EncounterReport::default();
+
+        // Bounded-lifetime housekeeping before anything moves.
+        self.expire_messages(now);
+        other.expire_messages(now);
+
+        let mut remaining = budget.max_messages;
+        if remaining.is_some() {
+            // Phase 1 (budgeted encounters only): deliveries first. Plain
+            // filtered replication in both directions, so routing-policy
+            // hooks fire exactly once per encounter (in phase 2).
+            let mut none_a = sync::NoExtension;
+            let mut none_b = sync::NoExtension;
+            let r = sync::sync_with(
+                &mut self.replica,
+                &mut none_a,
+                &mut other.replica,
+                &mut none_b,
+                limits_for(remaining),
+                now,
+            );
+            spend(&mut remaining, r.transmitted);
+            // Phase-1 deliveries bypass the policy's on_delivered hook via
+            // NoExtension; replay them so acknowledgement schemes see them.
+            other.notify_delivered(now, &r.delivered_ids, self.replica.id());
+            report.absorb(r, false);
+
+            let r = sync::sync_with(
+                &mut other.replica,
+                &mut none_b,
+                &mut self.replica,
+                &mut none_a,
+                limits_for(remaining),
+                now,
+            );
+            spend(&mut remaining, r.transmitted);
+            self.notify_delivered(now, &r.delivered_ids, other.replica.id());
+            report.absorb(r, true);
+        }
+
+        // Policy phase: self is source, other is target, then roles swap.
+        let r1 = sync::sync_with(
+            &mut self.replica,
+            self.policy.as_mut(),
+            &mut other.replica,
+            other.policy.as_mut(),
+            limits_for(remaining),
+            now,
+        );
+        spend(&mut remaining, r1.transmitted);
+        report.absorb(r1, false);
+
+        let r2 = sync::sync_with(
+            &mut other.replica,
+            other.policy.as_mut(),
+            &mut self.replica,
+            self.policy.as_mut(),
+            limits_for(remaining),
+            now,
+        );
+        report.absorb(r2, true);
+        report
+    }
+
+    /// Begins a sync session in which this node is the *target* (the side
+    /// that receives items): produces the request to send to the source.
+    /// Used by network transports; local encounters use
+    /// [`DtnNode::encounter`].
+    pub fn begin_sync_session(
+        &mut self,
+        source: ReplicaId,
+        now: SimTime,
+    ) -> pfr::sync::SyncRequest {
+        sync::begin_sync(&mut self.replica, self.policy.as_mut(), now, Some(source))
+    }
+
+    /// Answers a sync request as the *source*: selects, orders, and limits
+    /// the batch of items for the requesting target.
+    pub fn respond_sync(
+        &mut self,
+        request: &pfr::sync::SyncRequest,
+        limits: SyncLimits,
+        now: SimTime,
+    ) -> pfr::sync::SyncBatch {
+        sync::prepare_batch(&mut self.replica, self.policy.as_mut(), request, limits, now)
+    }
+
+    /// Applies a received batch as the *target*, completing the session.
+    pub fn apply_sync(&mut self, batch: pfr::sync::SyncBatch, now: SimTime) -> SyncReport {
+        sync::apply_batch(&mut self.replica, self.policy.as_mut(), batch, now)
+    }
+
+    /// Serializes the node's full durable state: replica snapshot, address
+    /// sets, policy name, and the policy's persistent routing state.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = pfr::wire::Writer::new();
+        w.put_bytes(&self.replica.snapshot());
+        w.put_varint(self.addresses.len() as u64);
+        for addr in &self.addresses {
+            w.put_str(addr);
+        }
+        w.put_varint(self.extra_filter_addrs.len() as u64);
+        for addr in &self.extra_filter_addrs {
+            w.put_str(addr);
+        }
+        w.put_str(self.policy.name());
+        w.put_bytes(&self.policy.save_state());
+        w.into_bytes()
+    }
+
+    /// Restores a node from a snapshot, rebuilding the named bundled
+    /// policy and its routing state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfrError::SnapshotDecode`] for corrupt bytes or an
+    /// unknown policy name (restore custom policies with
+    /// [`DtnNode::restore_with_policy`]).
+    pub fn restore(bytes: &[u8]) -> Result<DtnNode, PfrError> {
+        let (replica, addresses, extra, policy_name, policy_state) = Self::parse_snapshot(bytes)?;
+        let kind: PolicyKind = policy_name
+            .parse()
+            .map_err(|e: String| PfrError::SnapshotDecode { message: e })?;
+        let mut policy = kind.build();
+        policy.restore_state(&policy_state);
+        Ok(Self::assemble(replica, addresses, extra, policy))
+    }
+
+    /// Restores a node from a snapshot using a caller-provided policy
+    /// instance (for policies outside the bundled registry). The policy's
+    /// saved state is still applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfrError::SnapshotDecode`] for corrupt bytes.
+    pub fn restore_with_policy(
+        bytes: &[u8],
+        mut policy: Box<dyn DtnPolicy>,
+    ) -> Result<DtnNode, PfrError> {
+        let (replica, addresses, extra, _name, policy_state) = Self::parse_snapshot(bytes)?;
+        policy.restore_state(&policy_state);
+        Ok(Self::assemble(replica, addresses, extra, policy))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn parse_snapshot(
+        bytes: &[u8],
+    ) -> Result<(Replica, BTreeSet<String>, BTreeSet<String>, String, Vec<u8>), PfrError> {
+        let mut r = pfr::wire::Reader::new(bytes);
+        let read = |r: &mut pfr::wire::Reader<'_>| -> Result<_, pfr::wire::WireError> {
+            let replica_bytes = r.get_bytes()?.to_vec();
+            let mut addresses = BTreeSet::new();
+            for _ in 0..r.get_len(1)? {
+                addresses.insert(r.get_str()?);
+            }
+            let mut extra = BTreeSet::new();
+            for _ in 0..r.get_len(1)? {
+                extra.insert(r.get_str()?);
+            }
+            let name = r.get_str()?;
+            let state = r.get_bytes()?.to_vec();
+            Ok((replica_bytes, addresses, extra, name, state))
+        };
+        let (replica_bytes, addresses, extra, name, state) =
+            read(&mut r).map_err(|e| PfrError::SnapshotDecode {
+                message: e.to_string(),
+            })?;
+        let replica = Replica::restore(&replica_bytes)?;
+        Ok((replica, addresses, extra, name, state))
+    }
+
+    fn assemble(
+        replica: Replica,
+        addresses: BTreeSet<String>,
+        extra_filter_addrs: BTreeSet<String>,
+        mut policy: Box<dyn DtnPolicy>,
+    ) -> DtnNode {
+        policy.set_local_addresses(addresses.clone());
+        DtnNode {
+            replica,
+            policy,
+            addresses,
+            extra_filter_addrs,
+        }
+    }
+
+    fn notify_delivered(&mut self, now: SimTime, delivered: &[ItemId], peer: ReplicaId) {
+        if delivered.is_empty() {
+            return;
+        }
+        let mut cx = sync::HostContext::new(&mut self.replica, now, Some(peer));
+        self.policy.on_delivered(&mut cx, delivered);
+    }
+}
+
+fn limits_for(remaining: Option<usize>) -> SyncLimits {
+    match remaining {
+        Some(n) => SyncLimits::max_items(n),
+        None => SyncLimits::unlimited(),
+    }
+}
+
+fn spend(remaining: &mut Option<usize>, transmitted: usize) {
+    if let Some(n) = remaining {
+        *n = n.saturating_sub(transmitted);
+    }
+}
+
+impl fmt::Debug for DtnNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DtnNode")
+            .field("id", &self.replica.id())
+            .field("policy", &self.policy.name())
+            .field("addresses", &self.addresses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(n: u64, addr: &str, kind: PolicyKind) -> DtnNode {
+        DtnNode::new(ReplicaId::new(n), addr, kind)
+    }
+
+    #[test]
+    fn direct_delivery_on_encounter() {
+        let mut a = node(1, "a", PolicyKind::Direct);
+        let mut b = node(2, "b", PolicyKind::Direct);
+        a.send("b", b"hi".to_vec(), SimTime::ZERO).unwrap();
+        b.send("a", b"yo".to_vec(), SimTime::ZERO).unwrap();
+        let report = a.encounter(&mut b, SimTime::from_secs(1), EncounterBudget::unlimited());
+        assert_eq!(report.delivered, 2, "both directions deliver");
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(a.inbox().len(), 1);
+        assert_eq!(b.inbox().len(), 1);
+        assert_eq!(report.delivered_to_a.len(), 1);
+        assert_eq!(report.delivered_to_b.len(), 1);
+    }
+
+    #[test]
+    fn encounter_budget_is_shared_across_directions() {
+        let mut a = node(1, "a", PolicyKind::Epidemic);
+        let mut b = node(2, "b", PolicyKind::Epidemic);
+        for i in 0..3 {
+            a.send("b", vec![i], SimTime::ZERO).unwrap();
+            b.send("a", vec![i], SimTime::ZERO).unwrap();
+        }
+        let report = a.encounter(&mut b, SimTime::from_secs(1), EncounterBudget::max_messages(1));
+        assert_eq!(report.transmitted, 1, "one message per encounter total");
+        // Repeated encounters eventually drain the backlog.
+        let mut total = report.delivered;
+        for t in 2..20 {
+            let r = a.encounter(&mut b, SimTime::from_secs(t), EncounterBudget::max_messages(1));
+            total += r.delivered;
+        }
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn extra_filter_addresses_relay_without_delivering() {
+        let mut a = node(1, "a", PolicyKind::Direct);
+        let mut c = node(3, "c", PolicyKind::Direct);
+        c.set_extra_filter_addresses(["b"]);
+        a.send("b", b"m".to_vec(), SimTime::ZERO).unwrap();
+        let report = a.encounter(&mut c, SimTime::from_secs(1), EncounterBudget::unlimited());
+        assert_eq!(report.transmitted, 1, "c's widened filter pulls the message");
+        assert!(c.inbox().is_empty(), "not addressed to c itself");
+
+        // c later meets b and delivers.
+        let mut b = node(2, "b", PolicyKind::Direct);
+        let report = c.encounter(&mut b, SimTime::from_secs(2), EncounterBudget::unlimited());
+        assert_eq!(report.delivered, 1);
+        assert_eq!(b.inbox().len(), 1);
+    }
+
+    #[test]
+    fn daily_address_reassignment() {
+        let mut bus = node(1, "bus-1", PolicyKind::Direct);
+        bus.set_addresses(["bus-1", "alice"]);
+        let mut other = node(2, "bus-2", PolicyKind::Direct);
+        other.send("alice", b"mail".to_vec(), SimTime::ZERO).unwrap();
+        other.encounter(&mut bus, SimTime::from_secs(5), EncounterBudget::unlimited());
+        assert_eq!(bus.inbox().len(), 1, "bus hosting alice receives her mail");
+
+        // Next day alice moves away; bus-1 no longer receives for her.
+        bus.set_addresses(["bus-1"]);
+        assert!(bus.inbox().is_empty());
+    }
+
+    #[test]
+    fn policies_usable_as_trait_objects() {
+        for kind in PolicyKind::ALL {
+            let mut a = node(1, "a", kind);
+            let mut b = node(2, "b", kind);
+            a.send("b", b"x".to_vec(), SimTime::ZERO).unwrap();
+            let report =
+                a.encounter(&mut b, SimTime::from_secs(1), EncounterBudget::unlimited());
+            assert_eq!(report.delivered, 1, "policy {kind} delivers directly");
+            assert_eq!(report.duplicates, 0);
+        }
+    }
+
+    #[test]
+    fn expired_messages_stop_moving() {
+        use pfr::SimDuration;
+        let mut a = node(1, "a", PolicyKind::Epidemic);
+        let mut b = node(2, "b", PolicyKind::Epidemic);
+        let mut z = node(9, "z", PolicyKind::Epidemic);
+        let id = a
+            .send_with_lifetime("z", b"short-lived".to_vec(), SimTime::ZERO, SimDuration::from_hours(1))
+            .unwrap();
+
+        // Within the lifetime, the message relays normally.
+        a.encounter(&mut b, SimTime::from_hms(0, 0, 30, 0), EncounterBudget::unlimited());
+        assert!(b.replica().contains_item(id));
+
+        // Past the lifetime, b's relay copy is purged and a tombstones its
+        // original, so z never sees the message.
+        let late = SimTime::from_hms(0, 2, 0, 0);
+        b.encounter(&mut z, late, EncounterBudget::unlimited());
+        assert!(!b.replica().contains_item(id), "relay copy purged");
+        assert!(z.inbox().is_empty());
+        a.encounter(&mut z, SimTime::from_hms(0, 3, 0, 0), EncounterBudget::unlimited());
+        assert!(z.inbox().is_empty(), "origin tombstoned its own message");
+        assert!(a.replica().item(id).unwrap().is_deleted());
+    }
+
+    #[test]
+    fn unexpired_lifetime_messages_deliver_normally() {
+        use pfr::SimDuration;
+        let mut a = node(1, "a", PolicyKind::Direct);
+        let mut b = node(2, "b", PolicyKind::Direct);
+        a.send_with_lifetime("b", b"in time".to_vec(), SimTime::ZERO, SimDuration::from_days(1))
+            .unwrap();
+        let report = a.encounter(&mut b, SimTime::from_hms(0, 5, 0, 0), EncounterBudget::unlimited());
+        assert_eq!(report.delivered, 1);
+        assert_eq!(b.inbox().len(), 1);
+    }
+
+    #[test]
+    fn multicast_delivers_to_each_recipient_once() {
+        for kind in PolicyKind::ALL {
+            let mut a = node(1, "a", kind);
+            let mut b = node(2, "b", kind);
+            let mut c = node(3, "c", kind);
+            let id = a
+                .send_multicast(&["b", "c"], b"to both".to_vec(), SimTime::ZERO)
+                .unwrap();
+            let r1 = a.encounter(&mut b, SimTime::from_secs(60), EncounterBudget::unlimited());
+            let r2 = a.encounter(&mut c, SimTime::from_secs(120), EncounterBudget::unlimited());
+            assert_eq!(r1.delivered + r2.delivered, 2, "policy {kind}");
+            assert_eq!(b.inbox().len(), 1, "policy {kind}");
+            assert_eq!(c.inbox().len(), 1, "policy {kind}");
+            assert_eq!(b.inbox()[0].id, id);
+            assert_eq!(b.inbox()[0].dest, vec!["b".to_string(), "c".to_string()]);
+            // Re-encounters move nothing.
+            let r3 = a.encounter(&mut b, SimTime::from_secs(180), EncounterBudget::unlimited());
+            assert_eq!(r3.transmitted, 0, "policy {kind}");
+        }
+    }
+
+    #[test]
+    fn multicast_relays_through_predictive_policies() {
+        // PROPHET forwards a multicast message when the peer is a better
+        // custodian for either recipient.
+        let mut a = node(1, "a", PolicyKind::Prophet);
+        let mut relay = node(2, "r", PolicyKind::Prophet);
+        let mut b = node(3, "b", PolicyKind::Prophet);
+        // relay repeatedly meets b, becoming a good custodian for it.
+        for t in 1..4 {
+            relay.encounter(&mut b, SimTime::from_secs(t * 60), EncounterBudget::unlimited());
+        }
+        let id = a
+            .send_multicast(&["b", "z"], b"m".to_vec(), SimTime::ZERO)
+            .unwrap();
+        a.encounter(&mut relay, SimTime::from_secs(600), EncounterBudget::unlimited());
+        assert!(relay.replica().contains_item(id), "custody accepted for dest b");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_per_policy() {
+        for kind in PolicyKind::ALL {
+            let mut a = node(1, "a", kind);
+            let mut b = node(2, "b", kind);
+            a.set_extra_filter_addresses(["friend"]);
+            a.send("b", b"m1".to_vec(), SimTime::ZERO).unwrap();
+            b.send("a", b"m2".to_vec(), SimTime::ZERO).unwrap();
+            a.encounter(&mut b, SimTime::from_secs(60), EncounterBudget::unlimited());
+
+            let restored = DtnNode::restore(&a.snapshot())
+                .unwrap_or_else(|e| panic!("{kind}: restore failed: {e}"));
+            assert_eq!(restored.id(), a.id());
+            assert_eq!(restored.policy().name(), kind.label());
+            assert_eq!(restored.inbox(), a.inbox());
+            assert_eq!(
+                restored.addresses().collect::<Vec<_>>(),
+                a.addresses().collect::<Vec<_>>()
+            );
+            assert_eq!(restored.replica().item_ids(), a.replica().item_ids());
+        }
+    }
+
+    #[test]
+    fn restored_node_keeps_routing_state() {
+        // PROPHET: predictability toward a partner survives the restart.
+        let mut a = node(1, "a", PolicyKind::Prophet);
+        let mut b = node(2, "b", PolicyKind::Prophet);
+        for t in 1..4 {
+            a.encounter(&mut b, SimTime::from_secs(t * 60), EncounterBudget::unlimited());
+        }
+        let mut restored = DtnNode::restore(&a.snapshot()).unwrap();
+
+        // A message for b should flow from a third node to the restored a?
+        // Simpler observable: the restored node still *forwards* toward b
+        // better than a cold node would. Check via another encounter: a
+        // cold node would not forward c's message for b; warm a does.
+        let mut c = node(3, "c", PolicyKind::Prophet);
+        let id = c.send("b", b"for b".to_vec(), SimTime::ZERO).unwrap();
+        c.encounter(&mut restored, SimTime::from_secs(300), EncounterBudget::unlimited());
+        assert!(
+            restored.replica().contains_item(id),
+            "restored predictability made the node a custodian"
+        );
+
+        let mut cold = node(4, "d", PolicyKind::Prophet);
+        let mut c2 = node(5, "e", PolicyKind::Prophet);
+        let id2 = c2.send("b", b"for b".to_vec(), SimTime::ZERO).unwrap();
+        c2.encounter(&mut cold, SimTime::from_secs(300), EncounterBudget::unlimited());
+        assert!(!cold.replica().contains_item(id2), "cold node declines custody");
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(DtnNode::restore(&[]).is_err());
+        assert!(DtnNode::restore(&[1, 2, 3]).is_err());
+        let a = node(1, "a", PolicyKind::Direct);
+        let mut snapshot = a.snapshot();
+        snapshot.truncate(snapshot.len() / 2);
+        assert!(DtnNode::restore(&snapshot).is_err());
+    }
+
+    #[test]
+    fn restore_with_custom_policy() {
+        let a = node(1, "a", PolicyKind::MaxProp);
+        let restored =
+            DtnNode::restore_with_policy(&a.snapshot(), PolicyKind::Epidemic.build()).unwrap();
+        assert_eq!(restored.policy().name(), "epidemic");
+        assert_eq!(restored.id(), a.id());
+    }
+
+    #[test]
+    fn debug_shows_policy() {
+        let a = node(1, "a", PolicyKind::MaxProp);
+        assert!(format!("{a:?}").contains("maxprop"));
+    }
+}

@@ -1,0 +1,549 @@
+//! MaxProp: prioritized routing over estimated meeting likelihoods
+//! (Burgess et al., 2006).
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+use pfr::sync::{HostContext, SendDecision, SyncRequest};
+use pfr::wire::Writer;
+use pfr::{
+    Item, ItemId, Priority, PriorityClass, ReplicaId, RoutingState, SyncExtension, Value,
+};
+
+use crate::codec;
+use crate::policy::{DtnPolicy, PolicySummary};
+
+/// Transient attribute holding the list of node ids a copy has traversed.
+pub const ATTR_HOPLIST: &str = "dtn.hops";
+
+/// MaxProp as a replication policy (paper §V-C4).
+///
+/// Every host maintains a normalized probability distribution over which
+/// node it will meet next, incrementally averaged at each encounter, and
+/// exchanges it (together with delivery acknowledgements) in sync
+/// requests. All messages are offered at every encounter; *ordering* is
+/// where the protocol lives:
+///
+/// 1. messages addressed to the neighbour (the substrate sends
+///    filter-matched items first automatically),
+/// 2. "new" messages whose hop count is below a threshold, sorted by hop
+///    count,
+/// 3. everything else, sorted by the lowest-cost path to the destination,
+///    where a path's cost is the sum over its links of the probability
+///    that the link does *not* occur (a modified Dijkstra search).
+///
+/// Delivery acknowledgements flood through the network and clear relay
+/// buffers. MaxProp's hop lists are retained as copy metadata, but its
+/// duplicate-suppression role is subsumed by the substrate's knowledge.
+///
+/// # Examples
+///
+/// ```
+/// use dtn::{DtnPolicy, MaxPropPolicy};
+///
+/// let policy = MaxPropPolicy::default();
+/// assert_eq!(policy.name(), "maxprop");
+/// assert_eq!(policy.hop_threshold(), 3); // Table II
+/// ```
+#[derive(Clone, Debug)]
+pub struct MaxPropPolicy {
+    hop_threshold: usize,
+    /// Whether delivery acknowledgements are originated, gossiped, and
+    /// acted upon (protocol default: yes; disable for ablations).
+    use_acks: bool,
+    /// Own next-encounter probability distribution (normalized).
+    meeting: BTreeMap<ReplicaId, f64>,
+    /// Distributions learned from peers, keyed by peer.
+    peer_meeting: BTreeMap<ReplicaId, BTreeMap<ReplicaId, f64>>,
+    /// Which node currently owns each destination address.
+    addr_owner: BTreeMap<String, ReplicaId>,
+    /// Messages known to have reached their destinations.
+    acks: BTreeSet<ItemId>,
+    /// Addresses this host is final destination for.
+    local_addrs: BTreeSet<String>,
+    /// Per-sync cache of Dijkstra results, invalidated on each request.
+    cost_cache: HashMap<ReplicaId, f64>,
+}
+
+impl MaxPropPolicy {
+    /// Creates the policy with the given "new message" hop-count threshold.
+    pub fn new(hop_threshold: usize) -> Self {
+        MaxPropPolicy {
+            hop_threshold,
+            use_acks: true,
+            meeting: BTreeMap::new(),
+            peer_meeting: BTreeMap::new(),
+            addr_owner: BTreeMap::new(),
+            acks: BTreeSet::new(),
+            local_addrs: BTreeSet::new(),
+            cost_cache: HashMap::new(),
+        }
+    }
+
+    /// The hop-count threshold below which messages ride the fast lane.
+    pub fn hop_threshold(&self) -> usize {
+        self.hop_threshold
+    }
+
+    /// Enables or disables the delivery-acknowledgement mechanism (for
+    /// ablation studies; the protocol specifies acknowledgements).
+    pub fn with_acks(mut self, enabled: bool) -> Self {
+        self.use_acks = enabled;
+        if !enabled {
+            self.acks.clear();
+        }
+        self
+    }
+
+    /// Whether acknowledgements are in use.
+    pub fn acks_enabled(&self) -> bool {
+        self.use_acks
+    }
+
+    /// The current estimated probability of meeting `node` next.
+    pub fn meeting_probability(&self, node: ReplicaId) -> f64 {
+        self.meeting.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// Number of delivery acknowledgements currently held.
+    pub fn ack_count(&self) -> usize {
+        self.acks.len()
+    }
+
+    /// Incremental averaging: bump the met node and renormalize so the
+    /// distribution sums to 1.
+    fn record_meeting(&mut self, peer: ReplicaId) {
+        *self.meeting.entry(peer).or_insert(0.0) += 1.0;
+        let total: f64 = self.meeting.values().sum();
+        if total > 0.0 {
+            for p in self.meeting.values_mut() {
+                *p /= total;
+            }
+        }
+    }
+
+    /// Lowest-cost path from `self` to `dest` over the learned meeting
+    /// graph; cost of a link with probability `p` is `1 - p`.
+    fn path_cost(&self, me: ReplicaId, dest: ReplicaId) -> f64 {
+        if me == dest {
+            return 0.0;
+        }
+        // Dijkstra over a graph of at most (1 + |peer_meeting|) sources.
+        let mut dist: BTreeMap<ReplicaId, f64> = BTreeMap::new();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(OrdF64, ReplicaId)>> = BinaryHeap::new();
+        dist.insert(me, 0.0);
+        heap.push(std::cmp::Reverse((OrdF64(0.0), me)));
+        while let Some(std::cmp::Reverse((OrdF64(d), node))) = heap.pop() {
+            if node == dest {
+                return d;
+            }
+            if dist.get(&node).copied().unwrap_or(f64::INFINITY) < d {
+                continue;
+            }
+            let edges: Option<&BTreeMap<ReplicaId, f64>> = if node == me {
+                Some(&self.meeting)
+            } else {
+                self.peer_meeting.get(&node)
+            };
+            let Some(edges) = edges else { continue };
+            for (&next, &p) in edges {
+                let nd = d + (1.0 - p.clamp(0.0, 1.0));
+                if nd < dist.get(&next).copied().unwrap_or(f64::INFINITY) {
+                    dist.insert(next, nd);
+                    heap.push(std::cmp::Reverse((OrdF64(nd), next)));
+                }
+            }
+        }
+        f64::INFINITY
+    }
+
+    fn dest_cost(&mut self, me: ReplicaId, item: &Item) -> f64 {
+        // Multicast: a message is as urgent as its cheapest destination.
+        let dest_nodes: Vec<ReplicaId> = crate::messaging::dest_addresses(item)
+            .iter()
+            .filter_map(|addr| self.addr_owner.get(*addr).copied())
+            .collect();
+        let mut best = f64::INFINITY;
+        for dest_node in dest_nodes {
+            let cost = if let Some(&cached) = self.cost_cache.get(&dest_node) {
+                cached
+            } else {
+                let cost = self.path_cost(me, dest_node);
+                self.cost_cache.insert(dest_node, cost);
+                cost
+            };
+            best = best.min(cost);
+        }
+        best
+    }
+
+    fn hop_count(item: &Item) -> usize {
+        item.transient()
+            .get(ATTR_HOPLIST)
+            .and_then(Value::as_list)
+            .map(<[Value]>::len)
+            .unwrap_or(0)
+    }
+
+    /// Drops relay copies of acknowledged messages.
+    fn purge_acked(&mut self, cx: &mut HostContext<'_>) {
+        let acked: Vec<ItemId> = cx
+            .replica()
+            .iter_items()
+            .filter(|i| self.acks.contains(&i.id()))
+            .map(Item::id)
+            .collect();
+        for id in acked {
+            cx.purge_relay(id);
+        }
+    }
+}
+
+impl Default for MaxPropPolicy {
+    /// The paper's Table II parameter: hop-count priority threshold = 3.
+    fn default() -> Self {
+        MaxPropPolicy::new(3)
+    }
+}
+
+/// Total-ordered f64 for the Dijkstra heap (costs are never NaN).
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl SyncExtension for MaxPropPolicy {
+    fn generate_request(&mut self, _cx: &mut HostContext<'_>) -> RoutingState {
+        let mut w = Writer::new();
+        codec::put_addrs(&mut w, &self.local_addrs);
+        codec::put_node_probs(&mut w, &self.meeting);
+        codec::put_item_ids(&mut w, &self.acks);
+        codec::finish(w)
+    }
+
+    fn process_request(&mut self, cx: &mut HostContext<'_>, request: &SyncRequest) {
+        let peer = request.target;
+        self.record_meeting(peer);
+        self.cost_cache.clear();
+
+        let mut r = codec::open(&request.routing);
+        let decoded = (
+            codec::get_addrs(&mut r),
+            codec::get_node_probs(&mut r),
+            codec::get_item_ids(&mut r),
+        );
+        if let (Ok(addrs), Ok(probs), Ok(acks)) = decoded {
+            for addr in addrs {
+                self.addr_owner.insert(addr, peer);
+            }
+            self.peer_meeting.insert(peer, probs);
+            if self.use_acks {
+                self.acks.extend(acks);
+            }
+        }
+        if self.use_acks {
+            self.purge_acked(cx);
+        }
+    }
+
+    fn to_send(
+        &mut self,
+        cx: &mut HostContext<'_>,
+        item_id: ItemId,
+        _request: &SyncRequest,
+    ) -> SendDecision {
+        let me = cx.id();
+        let Some(item) = cx.replica().item(item_id) else {
+            return SendDecision::Skip;
+        };
+        if item.is_deleted() {
+            return SendDecision::Send(Priority::normal());
+        }
+        if self.acks.contains(&item_id) {
+            // Already delivered somewhere: don't spend bandwidth on it.
+            return SendDecision::Skip;
+        }
+        let hops = Self::hop_count(item);
+        if hops < self.hop_threshold {
+            // Fast lane for young messages, ordered by hop count.
+            SendDecision::Send(Priority::new(PriorityClass::High, hops as f64))
+        } else {
+            let item = item.clone();
+            let cost = self.dest_cost(me, &item);
+            SendDecision::Send(Priority::new(PriorityClass::Normal, cost))
+        }
+    }
+
+    fn prepare_outgoing(
+        &mut self,
+        cx: &mut HostContext<'_>,
+        item: &mut Item,
+        target: ReplicaId,
+        matched_filter: bool,
+    ) {
+        if matched_filter || item.is_deleted() {
+            return;
+        }
+        // Append ourselves and the receiving node to the copy's hop list.
+        let mut hops: Vec<Value> = item
+            .transient()
+            .get(ATTR_HOPLIST)
+            .and_then(Value::as_list)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default();
+        let me = cx.id().as_u64() as i64;
+        if hops.last().and_then(Value::as_i64) != Some(me) {
+            hops.push(Value::Int(me));
+        }
+        hops.push(Value::Int(target.as_u64() as i64));
+        item.transient_mut().set(ATTR_HOPLIST, Value::List(hops));
+    }
+
+    fn on_delivered(&mut self, cx: &mut HostContext<'_>, delivered: &[ItemId]) {
+        // Originate an acknowledgement for every message that reached us;
+        // acks flood through subsequent encounters and clear buffers.
+        if self.use_acks {
+            self.acks.extend(delivered.iter().copied());
+        }
+        let _ = cx;
+    }
+}
+
+impl DtnPolicy for MaxPropPolicy {
+    fn name(&self) -> &'static str {
+        "maxprop"
+    }
+
+    fn summary(&self) -> PolicySummary {
+        PolicySummary {
+            protocol: "MaxProp",
+            routing_state: "estimated meeting probabilities for all pairs",
+            added_to_sync_request: "target's meeting probabilities",
+            source_forwarding_policy:
+                "all messages, ordered by priority (modified Dijkstra calculation)",
+            parameters: vec![(
+                "hopcount priority threshold".to_string(),
+                self.hop_threshold.to_string(),
+            )],
+        }
+    }
+
+    fn set_local_addresses(&mut self, addrs: BTreeSet<String>) {
+        self.local_addrs = addrs;
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        codec::put_node_probs(&mut w, &self.meeting);
+        w.put_varint(self.peer_meeting.len() as u64);
+        for (peer, probs) in &self.peer_meeting {
+            use pfr::wire::Encode as _;
+            peer.encode(&mut w);
+            codec::put_node_probs(&mut w, probs);
+        }
+        w.put_varint(self.addr_owner.len() as u64);
+        for (addr, node) in &self.addr_owner {
+            use pfr::wire::Encode as _;
+            w.put_str(addr);
+            node.encode(&mut w);
+        }
+        codec::put_item_ids(&mut w, &self.acks);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        use pfr::wire::Decode as _;
+        let mut r = pfr::wire::Reader::new(bytes);
+        let restored = (|| -> Result<(), pfr::wire::WireError> {
+            let meeting = codec::get_node_probs(&mut r)?;
+            let n = r.get_len(2)?;
+            let mut peer_meeting = BTreeMap::new();
+            for _ in 0..n {
+                let peer = ReplicaId::decode(&mut r)?;
+                let probs = codec::get_node_probs(&mut r)?;
+                peer_meeting.insert(peer, probs);
+            }
+            let n = r.get_len(2)?;
+            let mut addr_owner = BTreeMap::new();
+            for _ in 0..n {
+                let addr = r.get_str()?;
+                let node = ReplicaId::decode(&mut r)?;
+                addr_owner.insert(addr, node);
+            }
+            let acks = codec::get_item_ids(&mut r)?;
+            self.meeting = meeting;
+            self.peer_meeting = peer_meeting;
+            self.addr_owner = addr_owner;
+            self.acks = acks;
+            Ok(())
+        })();
+        let _ = restored; // corrupt state: start cold
+        self.cost_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messaging::ATTR_DEST;
+    use pfr::{sync, AttributeMap, Filter, Replica, SimTime, SyncLimits};
+
+    fn host(n: u64, addr: &str) -> (Replica, MaxPropPolicy) {
+        let replica = Replica::new(ReplicaId::new(n), Filter::address(ATTR_DEST, addr));
+        let mut policy = MaxPropPolicy::default();
+        policy.set_local_addresses([addr.to_string()].into_iter().collect());
+        (replica, policy)
+    }
+
+    fn encounter(a: &mut (Replica, MaxPropPolicy), b: &mut (Replica, MaxPropPolicy), t: u64) {
+        let now = SimTime::from_secs(t);
+        sync::sync_with(&mut a.0, &mut a.1, &mut b.0, &mut b.1, SyncLimits::unlimited(), now);
+        sync::sync_with(&mut b.0, &mut b.1, &mut a.0, &mut a.1, SyncLimits::unlimited(), now);
+    }
+
+    fn send_msg(r: &mut Replica, dest: &str) -> ItemId {
+        let mut attrs = AttributeMap::new();
+        attrs.set(ATTR_DEST, dest);
+        r.insert(attrs, b"m".to_vec()).unwrap()
+    }
+
+    #[test]
+    fn meeting_distribution_normalizes() {
+        let mut p = MaxPropPolicy::default();
+        p.record_meeting(ReplicaId::new(2));
+        assert!((p.meeting_probability(ReplicaId::new(2)) - 1.0).abs() < 1e-12);
+        p.record_meeting(ReplicaId::new(3));
+        let total = p.meeting_probability(ReplicaId::new(2))
+            + p.meeting_probability(ReplicaId::new(3));
+        assert!((total - 1.0).abs() < 1e-12);
+        // 2 was met once of... weights 1 and 1 -> after normalize both 0.5?
+        // record_meeting(2): {2:1} -> {2:1.0}
+        // record_meeting(3): {2:1.0, 3:1.0} -> both 0.5
+        assert!((p.meeting_probability(ReplicaId::new(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floods_everything_unconstrained() {
+        let mut a = host(1, "a");
+        let mut c = host(3, "c");
+        let id = send_msg(&mut a.0, "z");
+        encounter(&mut a, &mut c, 0);
+        assert!(c.0.contains_item(id), "maxprop offers all messages");
+    }
+
+    #[test]
+    fn hoplist_grows_along_path() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        let mut c = host(3, "c");
+        let id = send_msg(&mut a.0, "z");
+        encounter(&mut a, &mut b, 0);
+        encounter(&mut b, &mut c, 60);
+        let hops = c.0.item(id).unwrap().transient().get(ATTR_HOPLIST).unwrap();
+        let hops = hops.as_list().unwrap();
+        assert!(hops.len() >= 3, "path a->b->c recorded: {hops:?}");
+        assert_eq!(hops[0].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn acks_clear_relay_buffers_and_stop_resends() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        let mut z = host(9, "z");
+        let id = send_msg(&mut a.0, "z");
+
+        // Relay to b, deliver to z directly from a.
+        encounter(&mut a, &mut b, 0);
+        assert!(b.0.contains_item(id));
+        encounter(&mut a, &mut z, 60);
+        assert!(z.0.contains_item(id));
+        assert_eq!(z.1.ack_count(), 1, "destination originates an ack");
+
+        // z tells b (via an encounter) that the message was delivered.
+        encounter(&mut z, &mut b, 120);
+        assert!(b.1.acks.contains(&id));
+        assert!(!b.0.contains_item(id), "relay copy purged by ack");
+
+        // b no longer forwards it.
+        let mut c = host(4, "c");
+        encounter(&mut b, &mut c, 180);
+        assert!(!c.0.contains_item(id));
+    }
+
+    #[test]
+    fn ordering_prefers_destination_then_young_then_cheap_paths() {
+        let mut me = host(1, "a");
+        // Make the policy aware of a destination node for path costs.
+        me.1.addr_owner.insert("far".to_string(), ReplicaId::new(7));
+        me.1.meeting.insert(ReplicaId::new(7), 0.2);
+
+        // One message addressed to the sync target, one young relay
+        // message, one old relay message.
+        let to_target = send_msg(&mut me.0, "tgt");
+        let young = send_msg(&mut me.0, "far");
+        let old = send_msg(&mut me.0, "far");
+        me.0.set_transient(
+            old,
+            ATTR_HOPLIST,
+            Value::List(vec![Value::Int(5), Value::Int(6), Value::Int(7), Value::Int(8)]),
+        )
+        .unwrap();
+
+        let mut tgt = host(2, "tgt");
+        let request = sync::begin_sync(&mut tgt.0, &mut tgt.1, SimTime::ZERO, Some(me.0.id()));
+        let batch = sync::prepare_batch(
+            &mut me.0,
+            &mut me.1,
+            &request,
+            SyncLimits::unlimited(),
+            SimTime::ZERO,
+        );
+        let order: Vec<ItemId> = batch.entries.iter().map(|e| e.item.id()).collect();
+        assert_eq!(order, vec![to_target, young, old]);
+        assert!(batch.entries[0].matched_filter);
+        assert_eq!(batch.entries[1].priority.class(), PriorityClass::High);
+        assert_eq!(batch.entries[2].priority.class(), PriorityClass::Normal);
+        assert!(batch.entries[2].priority.cost().is_finite(), "Dijkstra found a path");
+    }
+
+    #[test]
+    fn path_cost_uses_two_hop_routes() {
+        let mut p = MaxPropPolicy::default();
+        let me = ReplicaId::new(1);
+        let mid = ReplicaId::new(2);
+        let dest = ReplicaId::new(3);
+        // Direct link is terrible (p=0.1 -> cost .9); via mid is cheap
+        // (0.5 + 0.1 -> 0.6... link costs: me->mid 1-0.5=0.5, mid->dest 1-0.9=0.1).
+        p.meeting.insert(dest, 0.1);
+        p.meeting.insert(mid, 0.5);
+        p.peer_meeting
+            .insert(mid, [(dest, 0.9)].into_iter().collect());
+        let cost = p.path_cost(me, dest);
+        assert!((cost - 0.6).abs() < 1e-12, "expected 0.6, got {cost}");
+        // Unknown destination: infinite cost.
+        assert!(p.path_cost(me, ReplicaId::new(99)).is_infinite());
+        assert_eq!(p.path_cost(me, me), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_tables() {
+        let s = MaxPropPolicy::default().summary();
+        assert!(s.routing_state.contains("meeting probabilities"));
+        assert!(s.source_forwarding_policy.contains("Dijkstra"));
+        assert_eq!(
+            s.parameters,
+            vec![("hopcount priority threshold".to_string(), "3".to_string())]
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! PROPHET: probabilistic routing using delivery predictabilities
+//! (Lindgren et al., 2004).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pfr::sync::{HostContext, SendDecision, SyncRequest};
+use pfr::wire::Writer;
+use pfr::{
+    ItemId, Priority, PriorityClass, RoutingState, SimDuration, SimTime, SyncExtension,
+};
+
+use crate::codec;
+use crate::policy::{DtnPolicy, PolicySummary};
+
+/// Tunable parameters for [`ProphetPolicy`].
+///
+/// Defaults are the paper's Table II values: `P_init = 0.75`, `β = 0.25`,
+/// `γ = 0.98` (aged once per hour).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProphetParams {
+    /// Additive predictability boost on a direct encounter (`P_init`).
+    pub p_init: f64,
+    /// Transitivity scaling factor (`β`).
+    pub beta: f64,
+    /// Aging factor applied per aging interval (`γ`).
+    pub gamma: f64,
+    /// How much elapsed time counts as one aging unit.
+    pub aging_interval: SimDuration,
+    /// Predictabilities that age below this floor are dropped (treated as
+    /// zero). Pruning keeps the vector — which travels in every sync
+    /// request — compact, and stops vanishingly small transitive values
+    /// from triggering forwarding: without a floor the `P_target >
+    /// P_source` rule degenerates into flooding along noise gradients.
+    pub floor: f64,
+}
+
+impl Default for ProphetParams {
+    fn default() -> Self {
+        ProphetParams {
+            p_init: 0.75,
+            beta: 0.25,
+            gamma: 0.98,
+            aging_interval: SimDuration::from_mins(10),
+            floor: 0.3,
+        }
+    }
+}
+
+/// PROPHET as a replication policy (paper §V-C3).
+///
+/// Each host maintains a *delivery predictability* `P[d] ∈ [0, 1]` per
+/// destination address. When hosts meet, predictabilities for the peer's
+/// addresses are boosted; all predictabilities age down over time; and the
+/// peer's vector (carried in the sync request) is folded in transitively.
+/// A message is forwarded only to peers with strictly greater
+/// predictability for its destination.
+///
+/// Each encounter runs two syncs with the roles swapped; a host updates
+/// its vector when acting as *source* (in `process_request`), so each
+/// host's vector is updated exactly once per encounter — matching §V-C3.
+///
+/// # Examples
+///
+/// ```
+/// use dtn::{DtnPolicy, ProphetPolicy};
+///
+/// let policy = ProphetPolicy::default();
+/// assert_eq!(policy.name(), "prophet");
+/// assert_eq!(policy.params().p_init, 0.75);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProphetPolicy {
+    params: ProphetParams,
+    /// Own delivery predictabilities, keyed by destination address.
+    predictability: BTreeMap<String, f64>,
+    /// The peer's vector from the most recent request (used by `to_send`).
+    peer_predictability: BTreeMap<String, f64>,
+    /// Addresses this host is final destination for.
+    local_addrs: BTreeSet<String>,
+    /// Last time the vector was aged.
+    last_aged: SimTime,
+}
+
+impl ProphetPolicy {
+    /// Creates the policy with explicit parameters.
+    pub fn new(params: ProphetParams) -> Self {
+        ProphetPolicy {
+            params,
+            ..ProphetPolicy::default()
+        }
+    }
+
+    /// The policy's parameters.
+    pub fn params(&self) -> ProphetParams {
+        self.params
+    }
+
+    /// The current delivery predictability for an address (0 if never
+    /// encountered).
+    pub fn predictability(&self, addr: &str) -> f64 {
+        self.predictability.get(addr).copied().unwrap_or(0.0)
+    }
+
+    /// Ages all predictabilities: `P *= γ^k` where `k` is the number of
+    /// whole aging intervals elapsed (paper: "aged down while disconnected").
+    fn age(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.last_aged);
+        let units = elapsed.as_secs() / self.params.aging_interval.as_secs().max(1);
+        if units == 0 {
+            return;
+        }
+        let factor = self.params.gamma.powi(units.min(10_000) as i32);
+        for p in self.predictability.values_mut() {
+            *p *= factor;
+        }
+        let floor = self.params.floor;
+        self.predictability.retain(|_, p| *p >= floor);
+        self.last_aged = now;
+    }
+
+    /// Direct-encounter update for one peer address:
+    /// `P = P + (1 - P) * P_init`.
+    fn boost_direct(&mut self, addr: &str) {
+        let p = self.predictability.entry(addr.to_string()).or_insert(0.0);
+        *p += (1.0 - *p) * self.params.p_init;
+    }
+
+    /// Transitive update through the peer: for each destination `c` the
+    /// peer predicts with `p_bc`, `P[c] += (1 - P[c]) * P[peer] * p_bc * β`.
+    fn fold_transitive(&mut self, p_peer_link: f64, peer_vector: &BTreeMap<String, f64>) {
+        for (addr, &p_bc) in peer_vector {
+            if self.local_addrs.contains(addr) {
+                continue;
+            }
+            let p = self.predictability.entry(addr.clone()).or_insert(0.0);
+            *p += (1.0 - *p) * p_peer_link * p_bc * self.params.beta;
+        }
+    }
+}
+
+impl SyncExtension for ProphetPolicy {
+    fn generate_request(&mut self, cx: &mut HostContext<'_>) -> RoutingState {
+        self.age(cx.now());
+        let mut w = Writer::new();
+        codec::put_addrs(&mut w, &self.local_addrs);
+        codec::put_addr_probs(&mut w, &self.predictability);
+        codec::finish(w)
+    }
+
+    fn process_request(&mut self, cx: &mut HostContext<'_>, request: &SyncRequest) {
+        self.age(cx.now());
+        let mut r = codec::open(&request.routing);
+        let (peer_addrs, peer_vector) =
+            match (codec::get_addrs(&mut r), codec::get_addr_probs(&mut r)) {
+                (Ok(a), Ok(v)) => (a, v),
+                _ => return, // peer runs a different policy; no routing data
+            };
+
+        // Direct component: meeting the peer boosts its addresses.
+        for addr in &peer_addrs {
+            self.boost_direct(addr);
+        }
+        // Link strength to the peer = best predictability over its
+        // addresses (after the boost).
+        let p_peer_link = peer_addrs
+            .iter()
+            .map(|a| self.predictability(a))
+            .fold(0.0f64, f64::max);
+        // Transitive component through the peer's own vector.
+        self.fold_transitive(p_peer_link, &peer_vector);
+        // Prune sub-floor values immediately: weak transitive traces must
+        // not open forwarding gradients (see [`ProphetParams::floor`]).
+        let floor = self.params.floor;
+        self.predictability.retain(|_, p| *p >= floor);
+        // Cache the peer's vector for the forwarding decisions that follow
+        // in this same sync.
+        self.peer_predictability = peer_vector;
+        for addr in peer_addrs {
+            // The peer trivially delivers to itself.
+            self.peer_predictability.insert(addr, 1.0);
+        }
+    }
+
+    fn to_send(
+        &mut self,
+        cx: &mut HostContext<'_>,
+        item_id: ItemId,
+        _request: &SyncRequest,
+    ) -> SendDecision {
+        let Some(item) = cx.replica().item(item_id) else {
+            return SendDecision::Skip;
+        };
+        if item.is_deleted() {
+            return SendDecision::Send(Priority::normal());
+        }
+        let dests = crate::messaging::dest_addresses(item);
+        if dests.is_empty() {
+            return SendDecision::Skip;
+        }
+        // Multicast: forward if the peer is a better custodian for *any*
+        // remaining destination; urgency follows the best such gain.
+        let mut best_gain: Option<f64> = None;
+        for dest in dests {
+            let mine = self.predictability(dest);
+            let theirs = self.peer_predictability.get(dest).copied().unwrap_or(0.0);
+            if theirs > mine {
+                best_gain = Some(best_gain.map_or(theirs, |g: f64| g.max(theirs)));
+            }
+        }
+        match best_gain {
+            // Higher peer confidence transmits earlier.
+            Some(theirs) => SendDecision::Send(Priority::new(PriorityClass::Normal, 1.0 - theirs)),
+            None => SendDecision::Skip,
+        }
+    }
+}
+
+impl DtnPolicy for ProphetPolicy {
+    fn name(&self) -> &'static str {
+        "prophet"
+    }
+
+    fn summary(&self) -> PolicySummary {
+        PolicySummary {
+            protocol: "PROPHET",
+            routing_state: "vector of delivery predictabilities: P[d] for each dest d",
+            added_to_sync_request: "target's P vector",
+            source_forwarding_policy:
+                "messages addressed to dest when target's P[dest] > source's",
+            parameters: vec![
+                ("Pinit".to_string(), format!("{}", self.params.p_init)),
+                ("beta".to_string(), format!("{}", self.params.beta)),
+                ("gamma".to_string(), format!("{}", self.params.gamma)),
+            ],
+        }
+    }
+
+    fn set_local_addresses(&mut self, addrs: BTreeSet<String>) {
+        self.local_addrs = addrs;
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        codec::put_addr_probs(&mut w, &self.predictability);
+        w.put_varint(self.last_aged.as_secs());
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let mut r = pfr::wire::Reader::new(bytes);
+        if let (Ok(probs), Ok(secs)) = (codec::get_addr_probs(&mut r), r.get_varint()) {
+            self.predictability = probs;
+            self.last_aged = SimTime::from_secs(secs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messaging::ATTR_DEST;
+    use pfr::{sync, AttributeMap, Filter, Replica, ReplicaId, SyncLimits};
+
+    fn host(n: u64, addr: &str) -> (Replica, ProphetPolicy) {
+        let replica = Replica::new(ReplicaId::new(n), Filter::address(ATTR_DEST, addr));
+        let mut policy = ProphetPolicy::default();
+        policy.set_local_addresses([addr.to_string()].into_iter().collect());
+        (replica, policy)
+    }
+
+    fn encounter(
+        a: &mut (Replica, ProphetPolicy),
+        b: &mut (Replica, ProphetPolicy),
+        t: u64,
+    ) {
+        let now = SimTime::from_secs(t);
+        sync::sync_with(&mut a.0, &mut a.1, &mut b.0, &mut b.1, SyncLimits::unlimited(), now);
+        sync::sync_with(&mut b.0, &mut b.1, &mut a.0, &mut a.1, SyncLimits::unlimited(), now);
+    }
+
+    #[test]
+    fn direct_encounters_boost_predictability() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        assert_eq!(a.1.predictability("b"), 0.0);
+        encounter(&mut a, &mut b, 0);
+        let p1 = a.1.predictability("b");
+        assert!((p1 - 0.75).abs() < 1e-9, "first meeting gives P_init, got {p1}");
+        encounter(&mut a, &mut b, 10);
+        let p2 = a.1.predictability("b");
+        assert!(p2 > p1 && p2 < 1.0, "repeat meetings increase P: {p2}");
+        // Symmetric on b's side.
+        assert!(b.1.predictability("a") >= 0.75 - 1e-9);
+    }
+
+    #[test]
+    fn predictability_ages_down() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        encounter(&mut a, &mut b, 0);
+        let before = a.1.predictability("b");
+        // Two hours later (12 ten-minute aging units), an encounter with an
+        // unrelated host triggers aging.
+        let mut c = host(3, "c");
+        encounter(&mut a, &mut c, 2 * 3600);
+        let after = a.1.predictability("b");
+        let expected = before * 0.98f64.powi(12);
+        assert!(
+            (after - expected).abs() < 1e-9,
+            "expected {expected}, got {after}"
+        );
+    }
+
+    #[test]
+    fn predictability_prunes_below_floor() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        encounter(&mut a, &mut b, 0);
+        assert!(a.1.predictability("b") > 0.0);
+        // Long enough for 0.75 to age under the 0.3 floor (gamma^k < 0.4).
+        let mut c = host(3, "c");
+        encounter(&mut a, &mut c, 10 * 3600);
+        assert_eq!(
+            a.1.predictability("b"),
+            0.0,
+            "sub-floor predictabilities must be dropped"
+        );
+    }
+
+    #[test]
+    fn transitivity_builds_indirect_predictability() {
+        // Use a zero floor so weak transitive values are observable.
+        let params = ProphetParams {
+            floor: 0.0,
+            ..ProphetParams::default()
+        };
+        let mk = |n: u64, addr: &str| {
+            let replica = Replica::new(ReplicaId::new(n), Filter::address(ATTR_DEST, addr));
+            let mut policy = ProphetPolicy::new(params);
+            policy.set_local_addresses([addr.to_string()].into_iter().collect());
+            (replica, policy)
+        };
+        let mut a = mk(1, "a");
+        let mut b = mk(2, "b");
+        let mut c = mk(3, "c");
+        // b meets c, then a meets b: a should learn about c through b.
+        encounter(&mut b, &mut c, 0);
+        encounter(&mut a, &mut b, 60);
+        let p_ac = a.1.predictability("c");
+        assert!(p_ac > 0.0, "transitive predictability must appear");
+        assert!(
+            p_ac < a.1.predictability("b"),
+            "indirect < direct: {p_ac} vs {}",
+            a.1.predictability("b")
+        );
+    }
+
+    #[test]
+    fn forwards_only_to_better_custodians() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        let mut c = host(3, "c");
+        let mut d = host(4, "d");
+
+        // b frequently meets d; c never does.
+        for i in 0..3 {
+            encounter(&mut b, &mut d, i * 60);
+        }
+        // a holds a message for d.
+        let mut attrs = AttributeMap::new();
+        attrs.set(ATTR_DEST, "d");
+        let id = a.0.insert(attrs, vec![]).unwrap();
+
+        // a meets c (P_c[d] = 0 = P_a[d]): no forwarding.
+        encounter(&mut a, &mut c, 1000);
+        assert!(!c.0.contains_item(id), "equal predictability must not forward");
+
+        // a meets b (P_b[d] > 0 = P_a[d]): forward.
+        encounter(&mut a, &mut b, 2000);
+        assert!(b.0.contains_item(id), "better custodian receives the message");
+    }
+
+    #[test]
+    fn peer_self_addresses_count_as_certain_delivery() {
+        // A host's predictability for its own address is treated as 1.0,
+        // so messages addressed to the peer itself always flow (they also
+        // match the peer's filter, but relayed copies of multi-address
+        // items rely on this).
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        encounter(&mut a, &mut b, 0);
+        assert_eq!(a.1.peer_predictability.get("b"), Some(&1.0));
+    }
+
+    #[test]
+    fn summary_matches_tables() {
+        let s = ProphetPolicy::default().summary();
+        assert!(s.added_to_sync_request.contains("P vector"));
+        assert_eq!(
+            s.parameters,
+            vec![
+                ("Pinit".to_string(), "0.75".to_string()),
+                ("beta".to_string(), "0.25".to_string()),
+                ("gamma".to_string(), "0.98".to_string()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,619 @@
+//! The trace-driven emulation engine.
+//!
+//! Mirrors the paper's experimental setup (§VI-A): every bus in the
+//! mobility trace runs one DTN application instance backed by one replica;
+//! e-mail users are distributed uniformly over the buses scheduled each
+//! day; a message from user *u* to user *v* injected on day *d* is
+//! addressed from *u*'s bus to *v*'s bus for that day; and every encounter
+//! in the trace triggers two syncs with the source/target roles alternated.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dtn::{DtnNode, DtnPolicy, EncounterBudget, FilterStrategy, PolicyKind};
+use pfr::{ItemId, ReplicaId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traces::{bus_address, EmailWorkload, EncounterTrace, UserAssignment};
+
+use crate::metrics::ExperimentMetrics;
+
+/// Which routing policy the emulated nodes run: one of the bundled kinds
+/// with paper parameters, or a custom factory (used by the ablation
+/// benches to sweep protocol parameters).
+#[derive(Clone)]
+pub enum PolicySpec {
+    /// A bundled policy with its Table II defaults.
+    Kind(PolicyKind),
+    /// A caller-supplied factory producing one policy instance per node.
+    Custom {
+        /// Label shown in reports.
+        label: String,
+        /// Per-node policy factory.
+        build: Arc<dyn Fn() -> Box<dyn DtnPolicy> + Send + Sync>,
+    },
+}
+
+impl PolicySpec {
+    /// A custom policy spec from a label and factory closure.
+    pub fn custom(
+        label: impl Into<String>,
+        build: impl Fn() -> Box<dyn DtnPolicy> + Send + Sync + 'static,
+    ) -> Self {
+        PolicySpec::Custom {
+            label: label.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// The spec's display label.
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Kind(kind) => kind.label().to_string(),
+            PolicySpec::Custom { label, .. } => label.clone(),
+        }
+    }
+
+    fn build(&self) -> Box<dyn DtnPolicy> {
+        match self {
+            PolicySpec::Kind(kind) => kind.build(),
+            PolicySpec::Custom { build, .. } => build(),
+        }
+    }
+}
+
+impl From<PolicyKind> for PolicySpec {
+    fn from(kind: PolicyKind) -> Self {
+        PolicySpec::Kind(kind)
+    }
+}
+
+impl std::fmt::Debug for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PolicySpec({})", self.label())
+    }
+}
+
+/// Configuration of one emulation run.
+#[derive(Clone, Debug)]
+pub struct EmulationConfig {
+    /// The routing policy every node runs.
+    pub policy: PolicySpec,
+    /// Per-encounter bandwidth budget (paper §VI-D uses 1 message).
+    pub budget: EncounterBudget,
+    /// Per-node relay storage cap (paper §VI-D uses 2 messages).
+    pub relay_limit: Option<usize>,
+    /// Multi-address filter strategy (paper §VI-B); meaningful mainly with
+    /// [`PolicyKind::Direct`].
+    pub filter_strategy: FilterStrategy,
+    /// Seed for the random filter strategy.
+    pub strategy_seed: u64,
+    /// Seed for the daily user-to-bus assignment.
+    pub assignment_seed: u64,
+    /// Probability that a scheduled encounter silently fails (both parties
+    /// out of range before syncing) — failure injection for robustness
+    /// tests; the paper's experiments use 0.
+    pub encounter_drop_rate: f64,
+    /// Probability, per encounter, that one participant has just rebooted:
+    /// its replica state survives (durable snapshot) but its in-memory
+    /// routing state is lost and rebuilt cold. Exercises the substrate's
+    /// crash resilience; the paper's experiments use 0.
+    pub crash_rate: f64,
+    /// Seed for failure injection.
+    pub fault_seed: u64,
+    /// When set, every injected message carries this bounded lifetime:
+    /// expired messages are purged by their holders and tombstoned by
+    /// their senders, and late arrivals do not count as deliveries — the
+    /// "messages with limited lifetimes" regime the paper's Figure 6
+    /// approximates from CDFs.
+    pub message_lifetime: Option<pfr::SimDuration>,
+    /// Duration-aware bandwidth: when set, each encounter's message budget
+    /// is `ceil(contact_minutes × rate)` (at least 1), derived from the
+    /// trace's recorded contact durations. Overrides `budget` for
+    /// encounters with a known duration; zero-duration encounters fall
+    /// back to `budget`.
+    pub messages_per_contact_minute: Option<f64>,
+}
+
+impl Default for EmulationConfig {
+    fn default() -> Self {
+        EmulationConfig {
+            policy: PolicySpec::Kind(PolicyKind::Direct),
+            budget: EncounterBudget::unlimited(),
+            relay_limit: None,
+            filter_strategy: FilterStrategy::SelfOnly,
+            strategy_seed: 0x5eed,
+            assignment_seed: 0xa551,
+            encounter_drop_rate: 0.0,
+            crash_rate: 0.0,
+            fault_seed: 0xfa17,
+            message_lifetime: None,
+            messages_per_contact_minute: None,
+        }
+    }
+}
+
+impl EmulationConfig {
+    /// A run of `policy` with everything else at paper defaults.
+    pub fn for_policy(policy: impl Into<PolicySpec>) -> Self {
+        EmulationConfig {
+            policy: policy.into(),
+            ..EmulationConfig::default()
+        }
+    }
+}
+
+/// A full emulation: nodes, traces, assignment, and collected metrics.
+pub struct Emulation<'a> {
+    trace: &'a EncounterTrace,
+    workload: &'a EmailWorkload,
+    config: EmulationConfig,
+    nodes: BTreeMap<ReplicaId, DtnNode>,
+    assignment: UserAssignment,
+    metrics: ExperimentMetrics,
+}
+
+impl<'a> Emulation<'a> {
+    /// Prepares an emulation over the given trace and workload.
+    pub fn new(
+        trace: &'a EncounterTrace,
+        workload: &'a EmailWorkload,
+        config: EmulationConfig,
+    ) -> Self {
+        let mut nodes = BTreeMap::new();
+        let all_nodes: Vec<ReplicaId> = trace.nodes().into_iter().collect();
+        for &id in &all_nodes {
+            let mut node = DtnNode::with_policy(id, &bus_address(id), config.policy.build());
+            node.replica_mut().set_relay_limit(config.relay_limit);
+            nodes.insert(id, node);
+        }
+
+        // Multi-address filters (§IV-B): widen each node's filter with the
+        // addresses of k other hosts.
+        match config.filter_strategy {
+            FilterStrategy::SelfOnly => {}
+            FilterStrategy::Random(k) => {
+                for &id in &all_nodes {
+                    let mut rng =
+                        StdRng::seed_from_u64(config.strategy_seed ^ id.as_u64().wrapping_mul(0x9e37));
+                    let mut others: Vec<ReplicaId> =
+                        all_nodes.iter().copied().filter(|&o| o != id).collect();
+                    for i in 0..k.min(others.len()) {
+                        let j = rng.gen_range(i..others.len());
+                        others.swap(i, j);
+                    }
+                    others.truncate(k.min(others.len()));
+                    let addrs: Vec<String> = others.into_iter().map(bus_address).collect();
+                    nodes
+                        .get_mut(&id)
+                        .expect("node exists")
+                        .set_extra_filter_addresses(addrs);
+                }
+            }
+            FilterStrategy::Selected(k) => {
+                for &id in &all_nodes {
+                    let addrs: Vec<String> = trace
+                        .top_partners(id, k)
+                        .into_iter()
+                        .map(bus_address)
+                        .collect();
+                    nodes
+                        .get_mut(&id)
+                        .expect("node exists")
+                        .set_extra_filter_addresses(addrs);
+                }
+            }
+        }
+
+        let assignment =
+            UserAssignment::uniform(trace, workload.users(), config.assignment_seed);
+        Emulation {
+            trace,
+            workload,
+            config,
+            nodes,
+            assignment,
+            metrics: ExperimentMetrics::new(),
+        }
+    }
+
+    /// The per-day user assignment in use.
+    pub fn assignment(&self) -> &UserAssignment {
+        &self.assignment
+    }
+
+    /// Read access to a node.
+    pub fn node(&self, id: ReplicaId) -> Option<&DtnNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Runs the whole schedule and returns the collected metrics.
+    pub fn run(self) -> ExperimentMetrics {
+        self.run_into_parts().0
+    }
+
+    /// Runs the whole schedule, returning the metrics *and* the final
+    /// nodes for post-run inspection (stored items, policy state sizes,
+    /// replica statistics).
+    pub fn run_into_parts(mut self) -> (ExperimentMetrics, BTreeMap<ReplicaId, DtnNode>) {
+        let mut injections = self.workload.events().iter().peekable();
+        let mut encounters = self.trace.iter().peekable();
+        let mut fault_rng = StdRng::seed_from_u64(self.config.fault_seed);
+
+        loop {
+            let next_injection = injections.peek().map(|e| e.time);
+            let next_encounter = encounters.peek().map(|e| e.time);
+            match (next_injection, next_encounter) {
+                (None, None) => break,
+                (Some(ti), Some(te)) if ti <= te => {
+                    let event = injections.next().expect("peeked");
+                    self.inject(&event.src, &event.dst, event.time);
+                }
+                (Some(_), None) => {
+                    let event = injections.next().expect("peeked");
+                    self.inject(&event.src, &event.dst, event.time);
+                }
+                (_, Some(_)) => {
+                    let enc = *encounters.next().expect("peeked");
+                    if self.config.encounter_drop_rate > 0.0
+                        && fault_rng.gen::<f64>() < self.config.encounter_drop_rate
+                    {
+                        continue;
+                    }
+                    if self.config.crash_rate > 0.0
+                        && fault_rng.gen::<f64>() < self.config.crash_rate
+                    {
+                        let victim = if fault_rng.gen::<bool>() { enc.a } else { enc.b };
+                        self.reboot(victim);
+                    }
+                    self.meet(&enc);
+                }
+            }
+        }
+
+        // Final storage accounting.
+        let ids: Vec<ItemId> = self.metrics.records().map(|r| r.id).collect();
+        for id in ids {
+            let copies = self.count_copies(id);
+            self.metrics.record_final_copies(id, copies);
+        }
+        self.metrics.evictions = self
+            .nodes
+            .values()
+            .map(|n| n.replica().stats().evictions)
+            .sum();
+        (self.metrics, self.nodes)
+    }
+
+    fn inject(&mut self, src_user: &str, dst_user: &str, now: SimTime) {
+        let day = now.day();
+        let (Some(src_bus), Some(dst_bus)) = (
+            self.assignment.bus_of(day, src_user),
+            self.assignment.bus_of(day, dst_user),
+        ) else {
+            return; // no buses scheduled that day: the mail is lost upstream
+        };
+        let src_addr = bus_address(src_bus);
+        let dst_addr = bus_address(dst_bus);
+        let payload = format!("{src_user}->{dst_user}").into_bytes();
+        let Some(node) = self.nodes.get_mut(&src_bus) else {
+            return;
+        };
+        let sent = match self.config.message_lifetime {
+            Some(lifetime) => dtn::messaging::send_message_with_lifetime(
+                node.replica_mut(),
+                &src_addr,
+                &dst_addr,
+                payload,
+                now,
+                lifetime,
+            ),
+            None => node.send_from(&src_addr, &dst_addr, payload, now),
+        };
+        let Ok(id) = sent else {
+            return;
+        };
+        self.metrics.record_injection(id, &src_addr, &dst_addr, now);
+        if src_bus == dst_bus {
+            // Sender and destination ride the same bus today: delivered on
+            // the spot with a single stored copy.
+            self.metrics.record_delivery(id, now, 1);
+        }
+    }
+
+    fn meet(&mut self, encounter: &traces::Encounter) {
+        let (a, b, now) = (encounter.a, encounter.b, encounter.time);
+        // Take both nodes out of the map to borrow them mutably together.
+        let (Some(mut node_a), Some(mut node_b)) = (self.nodes.remove(&a), self.nodes.remove(&b))
+        else {
+            return;
+        };
+        let budget = match self.config.messages_per_contact_minute {
+            Some(rate) if encounter.duration.as_secs() > 0 => {
+                let allowance = (encounter.duration.as_secs() as f64 / 60.0 * rate).ceil();
+                EncounterBudget::max_messages((allowance as usize).max(1))
+            }
+            _ => self.config.budget,
+        };
+        let report = node_a.encounter(&mut node_b, now, budget);
+        self.nodes.insert(a, node_a);
+        self.nodes.insert(b, node_b);
+
+        self.metrics.encounters += 1;
+        self.metrics.transmissions += report.transmitted as u64;
+        self.metrics.duplicates += report.duplicates as u64;
+        self.metrics.record_encounter_activity(now, report.transmitted);
+
+        for (receiver, ids) in [(a, &report.delivered_to_a), (b, &report.delivered_to_b)] {
+            let addr = bus_address(receiver);
+            for &id in ids {
+                let is_final_destination = self
+                    .metrics
+                    .record(id)
+                    .is_some_and(|rec| rec.dst == addr);
+                if is_final_destination && self.metrics.is_pending(id) {
+                    // Bounded lifetimes: a copy that slips through after
+                    // expiry is not a delivery.
+                    let in_time = match self.config.message_lifetime {
+                        None => true,
+                        Some(lifetime) => self
+                            .metrics
+                            .record(id)
+                            .is_some_and(|r| now.saturating_since(r.injected_at) < lifetime),
+                    };
+                    if in_time {
+                        let copies = self.count_copies(id);
+                        self.metrics.record_delivery(id, now, copies);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Simulates a reboot: the replica's durable state round-trips through
+    /// a snapshot (exercising snapshot/restore), then the routing policy
+    /// restarts *cold* — its in-memory tables are gone, as on a device
+    /// that never called `save_state`. (Nodes that do persist routing
+    /// state reboot losslessly; that path is covered by
+    /// `DtnNode::restore`'s tests.)
+    fn reboot(&mut self, id: ReplicaId) {
+        let Some(node) = self.nodes.remove(&id) else {
+            return;
+        };
+        let snapshot = node.snapshot();
+        match DtnNode::restore(&snapshot) {
+            Ok(mut restored) => {
+                restored.replace_policy(self.config.policy.build());
+                self.metrics.reboots += 1;
+                self.nodes.insert(id, restored);
+            }
+            Err(_) => {
+                // Snapshots we just produced always decode; keep the node
+                // rather than losing it if that ever regresses. (Custom
+                // policies outside the registry also land here.)
+                self.nodes.insert(id, node);
+            }
+        }
+    }
+
+    fn count_copies(&self, id: ItemId) -> usize {
+        self.nodes
+            .values()
+            .filter(|n| {
+                n.replica()
+                    .item(id)
+                    .is_some_and(|item| !item.is_deleted())
+            })
+            .count()
+    }
+}
+
+impl std::fmt::Debug for Emulation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Emulation")
+            .field("policy", &self.config.policy.label())
+            .field("nodes", &self.nodes.len())
+            .field("encounters", &self.trace.len())
+            .field("messages", &self.workload.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::{DieselNetConfig, EmailConfig};
+
+    fn small_setup() -> (EncounterTrace, EmailWorkload) {
+        (
+            DieselNetConfig::small().generate(),
+            EmailConfig::small().generate(),
+        )
+    }
+
+    #[test]
+    fn baseline_run_completes_and_counts() {
+        let (trace, workload) = small_setup();
+        let metrics =
+            Emulation::new(&trace, &workload, EmulationConfig::default()).run();
+        assert_eq!(metrics.injected(), workload.len());
+        assert_eq!(metrics.encounters, trace.len() as u64);
+        assert_eq!(metrics.duplicates, 0, "at-most-once must hold");
+        assert!(metrics.delivered() > 0, "some direct encounters deliver");
+    }
+
+    #[test]
+    fn epidemic_beats_baseline_delivery() {
+        let (trace, workload) = small_setup();
+        let base = Emulation::new(&trace, &workload, EmulationConfig::default()).run();
+        let epi = Emulation::new(
+            &trace,
+            &workload,
+            EmulationConfig::for_policy(PolicyKind::Epidemic),
+        )
+        .run();
+        assert!(
+            epi.delivered() >= base.delivered(),
+            "flooding can't deliver less: {} vs {}",
+            epi.delivered(),
+            base.delivered()
+        );
+        assert!(
+            epi.transmissions > base.transmissions,
+            "flooding costs traffic"
+        );
+    }
+
+    #[test]
+    fn deliveries_only_count_true_destinations() {
+        let (trace, workload) = small_setup();
+        let config = EmulationConfig {
+            filter_strategy: FilterStrategy::Selected(4),
+            ..EmulationConfig::default()
+        };
+        let metrics = Emulation::new(&trace, &workload, config).run();
+        for rec in metrics.records() {
+            if let Some(at) = rec.delivered_at {
+                assert!(at >= rec.injected_at);
+            }
+        }
+        assert_eq!(metrics.duplicates, 0);
+    }
+
+    #[test]
+    fn relay_limit_produces_evictions_under_flooding() {
+        let (trace, workload) = small_setup();
+        let config = EmulationConfig {
+            policy: PolicyKind::Epidemic.into(),
+            relay_limit: Some(2),
+            ..EmulationConfig::default()
+        };
+        let metrics = Emulation::new(&trace, &workload, config).run();
+        assert!(metrics.evictions > 0, "tight storage must evict");
+        assert_eq!(metrics.duplicates, 0);
+    }
+
+    #[test]
+    fn bandwidth_budget_caps_transmissions() {
+        let (trace, workload) = small_setup();
+        let config = EmulationConfig {
+            policy: PolicyKind::Epidemic.into(),
+            budget: EncounterBudget::max_messages(1),
+            ..EmulationConfig::default()
+        };
+        let metrics = Emulation::new(&trace, &workload, config).run();
+        assert!(
+            metrics.transmissions <= metrics.encounters,
+            "at most one message per encounter"
+        );
+    }
+
+    #[test]
+    fn dropped_encounters_reduce_traffic() {
+        let (trace, workload) = small_setup();
+        let full = Emulation::new(
+            &trace,
+            &workload,
+            EmulationConfig::for_policy(PolicyKind::Epidemic),
+        )
+        .run();
+        let lossy = Emulation::new(
+            &trace,
+            &workload,
+            EmulationConfig {
+                policy: PolicyKind::Epidemic.into(),
+                encounter_drop_rate: 0.5,
+                ..EmulationConfig::default()
+            },
+        )
+        .run();
+        assert!(lossy.encounters < full.encounters);
+        // Flooding is loss-resilient, so traffic need not shrink, but
+        // delivery cannot improve with fewer contact opportunities.
+        assert!(lossy.delivered() <= full.delivered());
+        // Replication guarantees still hold under loss.
+        assert_eq!(lossy.duplicates, 0);
+    }
+
+    #[test]
+    fn duration_bandwidth_derives_budget_from_contacts() {
+        let (trace, workload) = small_setup();
+        // A very stingy rate: ~1 message per 10 contact-minutes. Short
+        // drive-bys carry almost nothing.
+        let stingy = Emulation::new(
+            &trace,
+            &workload,
+            EmulationConfig {
+                policy: PolicyKind::Epidemic.into(),
+                messages_per_contact_minute: Some(0.1),
+                ..EmulationConfig::default()
+            },
+        )
+        .run();
+        let free = Emulation::new(
+            &trace,
+            &workload,
+            EmulationConfig::for_policy(PolicyKind::Epidemic),
+        )
+        .run();
+        assert!(
+            stingy.transmissions < free.transmissions,
+            "duration budgets must bite: {} vs {}",
+            stingy.transmissions,
+            free.transmissions
+        );
+        assert_eq!(stingy.duplicates, 0);
+        // Budget is at least 1 per encounter, so delivery still works.
+        assert!(stingy.delivered() > 0);
+    }
+
+    #[test]
+    fn crash_injection_preserves_replication_guarantees() {
+        let (trace, workload) = small_setup();
+        let baseline = Emulation::new(
+            &trace,
+            &workload,
+            EmulationConfig::for_policy(PolicyKind::MaxProp),
+        )
+        .run();
+        let crashy = Emulation::new(
+            &trace,
+            &workload,
+            EmulationConfig {
+                policy: PolicyKind::MaxProp.into(),
+                crash_rate: 0.2,
+                ..EmulationConfig::default()
+            },
+        )
+        .run();
+        assert!(crashy.reboots > 0, "crashes must actually happen");
+        assert_eq!(crashy.duplicates, 0, "at-most-once survives reboots");
+        assert_eq!(crashy.injected(), baseline.injected());
+        // Durable replica state means reboots cost routing efficiency, not
+        // correctness: delivery can dip but not collapse.
+        assert!(
+            crashy.delivery_rate() >= baseline.delivery_rate() * 0.5,
+            "crashes devastated delivery: {} vs {}",
+            crashy.delivery_rate(),
+            baseline.delivery_rate()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (trace, workload) = small_setup();
+        let run = || {
+            Emulation::new(
+                &trace,
+                &workload,
+                EmulationConfig::for_policy(PolicyKind::MaxProp),
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.delivered(), b.delivered());
+        assert_eq!(a.transmissions, b.transmissions);
+        assert_eq!(a.mean_delay(), b.mean_delay());
+    }
+}

@@ -1,0 +1,152 @@
+//! Plain-text rendering of experiment results as paper-style tables and
+//! series, used by the benchmark harness and the examples.
+
+use std::fmt;
+
+use crate::metrics::CdfPoint;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use emu::report::Table;
+///
+/// let mut t = Table::new("Demo", vec!["name", "value"]);
+/// t.row(vec!["x".to_string(), "1".to_string()]);
+/// let text = t.to_string();
+/// assert!(text.contains("Demo"));
+/// assert!(text.contains("x"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<impl Into<String>>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Rows shorter than the header are padded.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in widths.iter().enumerate().take(cols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with one decimal place, or `-` for `None`.
+pub fn fmt_opt(value: Option<f64>) -> String {
+    value.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".to_string())
+}
+
+/// Renders a CDF series as `delay: pct%` lines with a crude bar chart, for
+/// eyeballing figure shapes in terminal output.
+pub fn render_cdf(label: &str, points: &[CdfPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("-- {label} --\n"));
+    for p in points {
+        let bars = (p.delivered_pct / 2.5).round() as usize;
+        out.push_str(&format!(
+            "{:>8}  {:5.1}% |{}\n",
+            p.delay.to_string(),
+            p.delivered_pct,
+            "#".repeat(bars.min(40))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfr::SimDuration;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new("T", vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".to_string(), "1".to_string()]);
+        t.row(vec!["y".to_string()]);
+        let text = t.to_string();
+        assert!(text.contains("== T =="));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "title, header, rule, two rows");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_opt_handles_none() {
+        assert_eq!(fmt_opt(None), "-");
+        assert_eq!(fmt_opt(Some(2.25)), "2.2");
+    }
+
+    #[test]
+    fn cdf_rendering_contains_percentages() {
+        let points = vec![
+            CdfPoint {
+                delay: SimDuration::from_hours(1),
+                delivered_pct: 10.0,
+            },
+            CdfPoint {
+                delay: SimDuration::from_hours(2),
+                delivered_pct: 100.0,
+            },
+        ];
+        let text = render_cdf("demo", &points);
+        assert!(text.contains("demo"));
+        assert!(text.contains("10.0%"));
+        assert!(text.contains("100.0%"));
+        // Bar length is capped.
+        assert!(!text.contains(&"#".repeat(41)));
+    }
+}

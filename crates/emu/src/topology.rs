@@ -1,0 +1,234 @@
+//! Synchronization topologies and anti-entropy convergence.
+//!
+//! "PPR systems are designed to be topology-independent" (paper §I): any
+//! connected pattern of pairwise synchronizations eventually reaches
+//! consistency — the *shape* of the pattern only changes how fast. This
+//! module provides canonical sync topologies and a convergence harness
+//! measuring how many all-pairs rounds each needs, which the
+//! `anti_entropy_topologies` bench turns into a table.
+
+use pfr::{sync, AttributeMap, Filter, Replica, ReplicaId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A static pattern of pairwise synchronizations, executed in rounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Every node syncs with its successor in a cycle.
+    Ring,
+    /// Every node syncs with node 0 (a hub-and-spoke tree of depth 1).
+    Star,
+    /// Node i syncs with node i+1 (a path; the worst connected diameter).
+    Chain,
+    /// Every ordered pair syncs every round.
+    FullMesh,
+    /// Each round, every node syncs with one uniformly random partner
+    /// (classic randomized gossip).
+    RandomGossip {
+        /// RNG seed for partner selection.
+        seed: u64,
+    },
+    /// A k-ary tree: each node syncs with its parent.
+    Tree {
+        /// Children per node (>= 1).
+        fanout: usize,
+    },
+}
+
+impl Topology {
+    /// The unordered sync pairs of one round over `n` nodes. Each pair is
+    /// synchronized in both directions by the harness.
+    pub fn round_pairs(&self, n: usize, round: u64) -> Vec<(usize, usize)> {
+        if n < 2 {
+            return Vec::new();
+        }
+        match self {
+            Topology::Ring => (0..n).map(|i| (i, (i + 1) % n)).collect(),
+            Topology::Star => (1..n).map(|i| (0, i)).collect(),
+            Topology::Chain => (0..n - 1).map(|i| (i, i + 1)).collect(),
+            Topology::FullMesh => {
+                let mut pairs = Vec::new();
+                for i in 0..n {
+                    for j in i + 1..n {
+                        pairs.push((i, j));
+                    }
+                }
+                pairs
+            }
+            Topology::RandomGossip { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(round));
+                (0..n)
+                    .map(|i| {
+                        let mut j = rng.gen_range(0..n - 1);
+                        if j >= i {
+                            j += 1;
+                        }
+                        (i.min(j), i.max(j))
+                    })
+                    .collect()
+            }
+            Topology::Tree { fanout } => {
+                let fanout = (*fanout).max(1);
+                (1..n).map(|i| ((i - 1) / fanout, i)).collect()
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::Ring => "ring".to_string(),
+            Topology::Star => "star".to_string(),
+            Topology::Chain => "chain".to_string(),
+            Topology::FullMesh => "full-mesh".to_string(),
+            Topology::RandomGossip { .. } => "random-gossip".to_string(),
+            Topology::Tree { fanout } => format!("tree(k={fanout})"),
+        }
+    }
+}
+
+/// The result of one convergence run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Convergence {
+    /// Rounds executed until every replica held every item.
+    pub rounds: u64,
+    /// Total items transmitted across all syncs.
+    pub transmissions: u64,
+}
+
+/// Runs anti-entropy over `n` full replicas (filter `All`), each seeded
+/// with one unique item, until convergence or `max_rounds`.
+///
+/// Returns `None` if the topology failed to converge in time (it never
+/// does for connected topologies; the bound guards degenerate inputs).
+pub fn rounds_to_convergence(
+    n: usize,
+    topology: &Topology,
+    max_rounds: u64,
+) -> Option<Convergence> {
+    let mut replicas: Vec<Replica> = (0..n)
+        .map(|i| Replica::new(ReplicaId::new(i as u64 + 1), Filter::All))
+        .collect();
+    for (i, replica) in replicas.iter_mut().enumerate() {
+        let mut attrs = AttributeMap::new();
+        attrs.set("origin", i as i64);
+        replica.insert(attrs, vec![i as u8]).expect("seed item");
+    }
+
+    let converged = |replicas: &[Replica]| replicas.iter().all(|r| r.item_count() == n);
+    let mut transmissions = 0u64;
+    for round in 0..max_rounds {
+        if converged(&replicas) {
+            return Some(Convergence {
+                rounds: round,
+                transmissions,
+            });
+        }
+        for (a, b) in topology.round_pairs(n, round) {
+            if a == b {
+                continue;
+            }
+            // Both directions run regardless of order.
+            let (a, b) = (a.min(b), a.max(b));
+            let (left, right) = replicas.split_at_mut(b);
+            let (ra, rb) = (&mut left[a], &mut right[0]);
+            let now = SimTime::from_secs(round * 100_000 + (a * n + b) as u64);
+            transmissions += sync::sync_once(ra, rb, now).transmitted as u64;
+            transmissions += sync::sync_once(rb, ra, now).transmitted as u64;
+        }
+    }
+    converged(&replicas).then_some(Convergence {
+        rounds: max_rounds,
+        transmissions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 16;
+
+    #[test]
+    fn every_connected_topology_converges() {
+        for topology in [
+            Topology::Ring,
+            Topology::Star,
+            Topology::Chain,
+            Topology::FullMesh,
+            Topology::RandomGossip { seed: 7 },
+            Topology::Tree { fanout: 2 },
+        ] {
+            let result = rounds_to_convergence(N, &topology, 64)
+                .unwrap_or_else(|| panic!("{} did not converge", topology.label()));
+            assert!(result.rounds <= 64);
+            // Convergence floor: n*(n-1) item receipts are necessary.
+            assert!(result.transmissions >= (N * (N - 1)) as u64);
+        }
+    }
+
+    #[test]
+    fn star_converges_in_two_rounds() {
+        let result = rounds_to_convergence(N, &Topology::Star, 16).unwrap();
+        assert_eq!(result.rounds, 2, "spokes->hub then hub->spokes");
+    }
+
+    #[test]
+    fn full_mesh_converges_fastest() {
+        let mesh = rounds_to_convergence(N, &Topology::FullMesh, 16).unwrap();
+        let chain = rounds_to_convergence(N, &Topology::Chain, 64).unwrap();
+        assert!(mesh.rounds <= 2);
+        assert!(chain.rounds > mesh.rounds, "a path needs more rounds");
+    }
+
+    #[test]
+    fn chain_needs_diameter_rounds_but_not_more() {
+        // One forward+backward sweep per round: information travels the
+        // full path quickly but not instantly.
+        let result = rounds_to_convergence(8, &Topology::Chain, 64).unwrap();
+        assert!((2..=8).contains(&result.rounds), "got {}", result.rounds);
+    }
+
+    #[test]
+    fn gossip_is_logarithmic_ish() {
+        let result = rounds_to_convergence(64, &Topology::RandomGossip { seed: 3 }, 64).unwrap();
+        assert!(
+            result.rounds <= 16,
+            "random gossip over 64 nodes took {} rounds",
+            result.rounds
+        );
+    }
+
+    #[test]
+    fn transmissions_equal_exact_need_without_redundancy() {
+        // At-most-once delivery means anti-entropy never re-sends: total
+        // transmissions equal exactly the receipts needed, n*(n-1),
+        // regardless of topology.
+        for topology in [Topology::Star, Topology::Ring, Topology::FullMesh] {
+            let result = rounds_to_convergence(N, &topology, 64).unwrap();
+            assert_eq!(
+                result.transmissions,
+                (N * (N - 1)) as u64,
+                "{}: knowledge should make gossip zero-redundancy",
+                topology.label()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Topology::Ring.round_pairs(1, 0).is_empty());
+        let one = rounds_to_convergence(1, &Topology::Ring, 4).unwrap();
+        assert_eq!(one.rounds, 0);
+    }
+
+    #[test]
+    fn tree_pairs_form_a_tree() {
+        let pairs = Topology::Tree { fanout: 3 }.round_pairs(10, 0);
+        assert_eq!(pairs.len(), 9, "n-1 edges");
+        for (parent, child) in pairs {
+            assert!(parent < child);
+            assert_eq!(parent, (child - 1) / 3);
+        }
+    }
+}

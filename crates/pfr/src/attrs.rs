@@ -1,0 +1,236 @@
+//! Attribute maps: the queryable metadata attached to every item.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PfrError;
+use crate::value::Value;
+
+/// An ordered map of attribute names to [`Value`]s.
+///
+/// Every replicated item carries two attribute maps: the *versioned*
+/// attributes written by the application (changing them creates a new item
+/// version that replicates everywhere), and the *transient* attributes used
+/// by DTN routing policies (TTL, copy counts, hop lists), which travel with
+/// each transmitted copy but may be mutated locally without creating a new
+/// version — the "host-specific metadata" of the paper's §V-A.
+///
+/// # Examples
+///
+/// ```
+/// use pfr::{AttributeMap, Value};
+///
+/// let mut attrs = AttributeMap::new();
+/// attrs.set("dest", "bus-7");
+/// attrs.set("size", 140i64);
+/// assert_eq!(attrs.get("dest"), Some(&Value::from("bus-7")));
+/// assert_eq!(attrs.len(), 2);
+/// ```
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AttributeMap {
+    entries: BTreeMap<String, Value>,
+}
+
+impl AttributeMap {
+    /// Creates an empty attribute map.
+    pub fn new() -> Self {
+        AttributeMap::default()
+    }
+
+    /// Sets an attribute, replacing any previous value.
+    ///
+    /// `NaN` floats are silently normalized away by [`AttributeMap::try_set`];
+    /// this convenience method panics on them instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is a `NaN` float (directly or inside a list), since
+    /// `NaN` would make filter evaluation non-deterministic.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.try_set(name, value)
+            .expect("attribute value must not contain NaN");
+        self
+    }
+
+    /// Sets an attribute, rejecting values that would break filter
+    /// determinism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfrError::InvalidAttribute`] if the value is or contains a
+    /// `NaN` float.
+    pub fn try_set(
+        &mut self,
+        name: impl Into<String>,
+        value: impl Into<Value>,
+    ) -> Result<&mut Self, PfrError> {
+        let name = name.into();
+        let value = value.into();
+        if contains_nan(&value) {
+            return Err(PfrError::InvalidAttribute {
+                name,
+                reason: "NaN floats are not allowed in attributes".into(),
+            });
+        }
+        self.entries.insert(name, value);
+        Ok(self)
+    }
+
+    /// Looks up an attribute by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries.get(name)
+    }
+
+    /// Removes an attribute, returning its previous value.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.entries.remove(name)
+    }
+
+    /// Returns `true` if the attribute is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if there are no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Convenience: the attribute as a string, if present and a string.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// Convenience: the attribute as an integer, if present and an integer.
+    pub fn get_i64(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_i64)
+    }
+
+    /// Convenience: the attribute as a float, accepting integer values too.
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+}
+
+fn contains_nan(value: &Value) -> bool {
+    match value {
+        Value::Float(f) => f.is_nan(),
+        Value::List(l) => l.iter().any(contains_nan),
+        _ => false,
+    }
+}
+
+impl fmt::Debug for AttributeMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (k, v) in &self.entries {
+            m.entry(&k, &format_args!("{v}"));
+        }
+        m.finish()
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> FromIterator<(K, V)> for AttributeMap {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut attrs = AttributeMap::new();
+        for (k, v) in iter {
+            attrs.set(k, v);
+        }
+        attrs
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> Extend<(K, V)> for AttributeMap {
+    fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.set(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut a = AttributeMap::new();
+        assert!(a.is_empty());
+        a.set("k", 1i64);
+        assert!(a.contains("k"));
+        assert_eq!(a.get_i64("k"), Some(1));
+        assert_eq!(a.remove("k"), Some(Value::Int(1)));
+        assert!(!a.contains("k"));
+    }
+
+    #[test]
+    fn set_replaces_previous_value() {
+        let mut a = AttributeMap::new();
+        a.set("k", 1i64);
+        a.set("k", "two");
+        assert_eq!(a.get_str("k"), Some("two"));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut a = AttributeMap::new();
+        let err = a.try_set("x", f64::NAN).unwrap_err();
+        assert!(matches!(err, PfrError::InvalidAttribute { .. }));
+        let err = a
+            .try_set("x", Value::List(vec![Value::Float(f64::NAN)]))
+            .unwrap_err();
+        assert!(err.to_string().contains("NaN"));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn set_panics_on_nan() {
+        AttributeMap::new().set("x", f64::NAN);
+    }
+
+    #[test]
+    fn typed_getters() {
+        let mut a = AttributeMap::new();
+        a.set("s", "hello").set("i", 3i64).set("f", 2.5);
+        assert_eq!(a.get_str("s"), Some("hello"));
+        assert_eq!(a.get_str("i"), None);
+        assert_eq!(a.get_i64("i"), Some(3));
+        assert_eq!(a.get_f64("f"), Some(2.5));
+        // get_f64 widens integers.
+        assert_eq!(a.get_f64("i"), Some(3.0));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut a: AttributeMap = [("a", 1i64), ("b", 2i64)].into_iter().collect();
+        a.extend([("c", 3i64)]);
+        assert_eq!(a.len(), 3);
+        let names: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "b", "c"], "iteration is name-ordered");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let a: AttributeMap = [("a", 1i64)].into_iter().collect();
+        assert!(format!("{a:?}").contains('a'));
+        assert!(!format!("{:?}", AttributeMap::new()).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the PFR substrate.
+
+use std::fmt;
+
+use crate::id::{ItemId, ReplicaId};
+
+/// Errors produced by the replication substrate.
+///
+/// Every variant carries enough context to identify the offending entity
+/// (C-GOOD-ERR); all variants implement [`std::error::Error`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum PfrError {
+    /// An attribute value was rejected (e.g. contained `NaN`).
+    InvalidAttribute {
+        /// Attribute name.
+        name: String,
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// The referenced item does not exist in the replica's store.
+    UnknownItem(ItemId),
+    /// An operation that must be performed by the item's origin (or any
+    /// writer) was attempted on a replica that cannot see the item.
+    NotStored(ItemId),
+    /// A filter expression failed to parse.
+    FilterParse {
+        /// Byte offset into the source text where parsing failed.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A sync message referenced a replica inconsistently (e.g. a batch
+    /// claiming to come from a different source than the session's).
+    ProtocolViolation {
+        /// The replica that produced the bad message.
+        from: ReplicaId,
+        /// What was violated.
+        message: String,
+    },
+    /// A replica snapshot could not be decoded (corrupt bytes or an
+    /// unsupported snapshot version).
+    SnapshotDecode {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for PfrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfrError::InvalidAttribute { name, reason } => {
+                write!(f, "invalid attribute {name:?}: {reason}")
+            }
+            PfrError::UnknownItem(id) => write!(f, "unknown item {id}"),
+            PfrError::NotStored(id) => write!(f, "item {id} is not stored on this replica"),
+            PfrError::FilterParse { offset, message } => {
+                write!(f, "filter parse error at byte {offset}: {message}")
+            }
+            PfrError::ProtocolViolation { from, message } => {
+                write!(f, "protocol violation from {from}: {message}")
+            }
+            PfrError::SnapshotDecode { message } => {
+                write!(f, "snapshot decode failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = PfrError::UnknownItem(ItemId::new(ReplicaId::new(1), 2));
+        assert!(e.to_string().contains("R1#2"));
+        let e = PfrError::FilterParse {
+            offset: 7,
+            message: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+        let e = PfrError::ProtocolViolation {
+            from: ReplicaId::new(3),
+            message: "bad batch".into(),
+        };
+        assert!(e.to_string().contains("R3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<PfrError>();
+    }
+}

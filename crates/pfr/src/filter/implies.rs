@@ -1,0 +1,233 @@
+//! Conservative filter implication (subsumption) analysis.
+//!
+//! `f.implies(g)` returns `true` only when every item matching `f` is
+//! guaranteed to match `g` — i.e. `f`'s item set is a subset of `g`'s.
+//! Cimbiosys organizes replicas into hierarchies where a parent's filter
+//! subsumes its children's; this check is the decision procedure such
+//! topologies need. The analysis is *sound but incomplete*: a `false`
+//! answer means "could not prove it", never "disproved" (full subsumption
+//! for this predicate language is NP-hard via SAT).
+
+use std::cmp::Ordering;
+
+use crate::value::Value;
+
+use super::{CmpOp, Filter};
+
+impl Filter {
+    /// Returns `true` if every item matching `self` provably matches
+    /// `other` (see module docs; sound, incomplete).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pfr::Filter;
+    ///
+    /// let narrow = Filter::parse(r#"topic = "sports" and priority >= 5"#)?;
+    /// let wide = Filter::parse(r#"topic in ["sports", "news"]"#)?;
+    /// assert!(narrow.implies(&wide));
+    /// assert!(!wide.implies(&narrow));
+    /// # Ok::<(), pfr::PfrError>(())
+    /// ```
+    pub fn implies(&self, other: &Filter) -> bool {
+        use Filter::*;
+
+        // Universal rules first.
+        if matches!(other, All) || matches!(self, None) {
+            return true;
+        }
+        if self == other {
+            return true;
+        }
+        match (self, other) {
+            // Conjunction on the left: any conjunct proving `other`
+            // suffices (the conjunction only narrows further).
+            (And(arms), _) if arms.iter().any(|arm| arm.implies(other)) => return true,
+            _ => {}
+        }
+        match other {
+            // Conjunction on the right: must prove every conjunct.
+            And(arms) => return arms.iter().all(|arm| self.implies(arm)),
+            // Disjunction on the right: proving any disjunct suffices —
+            // but a left disjunction must distribute first.
+            Or(arms) => {
+                if let Or(left_arms) = self {
+                    return left_arms
+                        .iter()
+                        .all(|left| arms.iter().any(|right| left.implies(right)));
+                }
+                return arms.iter().any(|arm| self.implies(arm));
+            }
+            _ => {}
+        }
+        match (self, other) {
+            // Disjunction on the left: every disjunct must prove `other`.
+            (Or(arms), _) => arms.iter().all(|arm| arm.implies(other)),
+            // Contrapositive for negations.
+            (Not(a), Not(b)) => b.implies(a),
+
+            // Any positive predicate on an attribute implies its existence
+            // (all evaluate to false when the attribute is missing).
+            (Cmp { attr, .. }, Exists(e))
+            | (In { attr, .. }, Exists(e))
+            | (Contains { attr, .. }, Exists(e)) => attr == e,
+
+            // Equality vs. membership.
+            (
+                Cmp { attr: a, op: CmpOp::Eq, value: v },
+                In { attr: b, values },
+            ) => a == b && values.iter().any(|w| v.semantic_eq(w)),
+            (
+                In { attr: a, values },
+                In { attr: b, values: supers },
+            ) => {
+                a == b
+                    && !values.is_empty()
+                    && values
+                        .iter()
+                        .all(|v| supers.iter().any(|w| v.semantic_eq(w)))
+            }
+            (
+                In { attr: a, values },
+                Cmp { attr: b, op: CmpOp::Eq, value: w },
+            ) => a == b && !values.is_empty() && values.iter().all(|v| v.semantic_eq(w)),
+            // A scalar equality satisfies a Contains probe for that value.
+            (
+                Cmp { attr: a, op: CmpOp::Eq, value: v },
+                Contains { attr: b, value: w },
+            ) => a == b && !matches!(v, Value::List(_)) && v.semantic_eq(w),
+
+            // Ordered comparisons over the same attribute.
+            (
+                Cmp { attr: a, op: op1, value: v1 },
+                Cmp { attr: b, op: op2, value: v2 },
+            ) => a == b && cmp_implies(*op1, v1, *op2, v2),
+
+            _ => false,
+        }
+    }
+}
+
+/// Does `attr op1 v1` imply `attr op2 v2`?
+fn cmp_implies(op1: CmpOp, v1: &Value, op2: CmpOp, v2: &Value) -> bool {
+    use CmpOp::*;
+    let Some(ord) = v1.partial_cmp_same_type(v2) else {
+        return false;
+    };
+    match (op1, op2) {
+        (Eq, Eq) => ord == Ordering::Equal,
+        (Eq, Ne) => ord != Ordering::Equal,
+        (Eq, Lt) => ord == Ordering::Less,
+        (Eq, Le) => ord != Ordering::Greater,
+        (Eq, Gt) => ord == Ordering::Greater,
+        (Eq, Ge) => ord != Ordering::Less,
+        // attr < v1 implies attr < v2 when v1 <= v2, etc.
+        (Lt, Lt) | (Lt, Le) | (Le, Le) => ord != Ordering::Greater,
+        (Le, Lt) => ord == Ordering::Less,
+        (Gt, Gt) | (Gt, Ge) | (Ge, Ge) => ord != Ordering::Less,
+        (Ge, Gt) => ord == Ordering::Greater,
+        // attr < v1 implies attr != v2 when v2 >= v1.
+        (Lt, Ne) => ord != Ordering::Greater,
+        (Gt, Ne) => ord != Ordering::Less,
+        (Le, Ne) => ord == Ordering::Less,
+        (Ge, Ne) => ord == Ordering::Greater,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(text: &str) -> Filter {
+        Filter::parse(text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"))
+    }
+
+    #[test]
+    fn universal_rules() {
+        assert!(f(r#"x = 1"#).implies(&Filter::All));
+        assert!(Filter::None.implies(&f(r#"x = 1"#)));
+        assert!(f(r#"x = 1"#).implies(&f(r#"x = 1"#)));
+        assert!(!Filter::All.implies(&f(r#"x = 1"#)));
+    }
+
+    #[test]
+    fn equality_and_membership() {
+        assert!(f(r#"t = "a""#).implies(&f(r#"t in ["a", "b"]"#)));
+        assert!(!f(r#"t = "c""#).implies(&f(r#"t in ["a", "b"]"#)));
+        assert!(f(r#"t in ["a"]"#).implies(&f(r#"t = "a""#)));
+        assert!(f(r#"t in ["a", "b"]"#).implies(&f(r#"t in ["b", "a", "c"]"#)));
+        assert!(!f(r#"t in ["a", "z"]"#).implies(&f(r#"t in ["a", "b"]"#)));
+        assert!(f(r#"t = "a""#).implies(&f(r#"t contains "a""#)));
+        // Different attributes never imply each other.
+        assert!(!f(r#"t = "a""#).implies(&f(r#"u = "a""#)));
+    }
+
+    #[test]
+    fn empty_in_is_treated_conservatively() {
+        // `t in []` matches nothing, so it *does* imply everything — but
+        // the checker is allowed to say "unproven". It must never claim
+        // the reverse direction.
+        assert!(!f(r#"t = "a""#).implies(&f(r#"t in []"#)));
+    }
+
+    #[test]
+    fn ordered_ranges() {
+        assert!(f("n < 5").implies(&f("n < 9")));
+        assert!(f("n < 5").implies(&f("n <= 5")));
+        assert!(!f("n < 9").implies(&f("n < 5")));
+        assert!(f("n >= 7").implies(&f("n > 2")));
+        assert!(f("n = 3").implies(&f("n <= 3")));
+        assert!(f("n = 3").implies(&f("n != 4")));
+        assert!(f("n < 3").implies(&f("n != 3")));
+        assert!(!f("n <= 3").implies(&f("n != 3")));
+        // Cross-type: unprovable.
+        assert!(!f("n < 5").implies(&f(r#"n < "x""#)));
+    }
+
+    #[test]
+    fn existence() {
+        assert!(f(r#"t = "a""#).implies(&f("exists t")));
+        assert!(f(r#"t in ["a"]"#).implies(&f("exists t")));
+        assert!(f(r#"t contains "a""#).implies(&f("exists t")));
+        assert!(f("t != 3").implies(&f("exists t")), "Ne is false on missing attrs");
+        assert!(!f(r#"t = "a""#).implies(&f("exists u")));
+    }
+
+    #[test]
+    fn connectives() {
+        // Narrow conjunction implies its parts and wider forms.
+        let narrow = f(r#"topic = "sports" and priority >= 5"#);
+        assert!(narrow.implies(&f(r#"topic = "sports""#)));
+        assert!(narrow.implies(&f("priority > 1")));
+        assert!(narrow.implies(&f(r#"topic in ["sports", "news"]"#)));
+        assert!(!f(r#"topic = "sports""#).implies(&narrow));
+
+        // Disjunction on the left needs all arms.
+        let either = f(r#"t = "a" or t = "b""#);
+        assert!(either.implies(&f(r#"t in ["a", "b", "c"]"#)));
+        assert!(!either.implies(&f(r#"t = "a""#)));
+
+        // Disjunction on the right needs one arm per left arm.
+        assert!(f(r#"t = "a""#).implies(&either));
+        let wider = f(r#"t = "b" or t = "a" or t = "z""#);
+        assert!(either.implies(&wider));
+
+        // Right-side conjunction needs every conjunct.
+        assert!(f(r#"t = "a" and n = 1"#).implies(&f(r#"(exists t) and (exists n)"#)));
+
+        // Contrapositive.
+        assert!(f(r#"not (t in ["a", "b"])"#).implies(&f(r#"not (t = "a")"#)));
+        assert!(!f(r#"not (t = "a")"#).implies(&f(r#"not (t in ["a", "b"])"#)));
+    }
+
+    #[test]
+    fn address_filters_form_a_hierarchy() {
+        // The DTN use case: a hub filter covering several hosts subsumes
+        // each host's own filter.
+        let host = Filter::address("dest", "bus-3");
+        let hub = Filter::any_address("dest", ["bus-1", "bus-2", "bus-3"]);
+        assert!(host.implies(&hub));
+        assert!(!hub.implies(&host));
+    }
+}

@@ -1,0 +1,444 @@
+//! Recursive-descent parser for the filter query language.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr       := or
+//! or         := and ("or" and)*
+//! and        := unary ("and" unary)*
+//! unary      := "not" unary | primary
+//! primary    := "(" expr ")" | "all" | "none" | "exists" ident | predicate
+//! predicate  := ident cmp value
+//!             | ident "in" "[" (value ("," value)*)? "]"
+//!             | ident "contains" value
+//! cmp        := "=" | "!=" | "<" | "<=" | ">" | ">="
+//! value      := string | number | "true" | "false" | "[" ... "]"
+//! ```
+
+use crate::error::PfrError;
+use crate::value::Value;
+
+use super::{CmpOp, Filter};
+
+pub(super) fn parse(text: &str) -> Result<Filter, PfrError> {
+    let mut p = Parser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let filter = p.parse_or()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing input after filter expression"));
+    }
+    Ok(filter)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> PfrError {
+        PfrError::FilterParse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `word` if it appears as a whole keyword at the cursor.
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        let end = self.pos + word.len();
+        if end <= self.bytes.len()
+            && self.text[self.pos..end].eq_ignore_ascii_case(word)
+            && !matches!(self.bytes.get(end), Some(b) if is_ident_byte(*b))
+        {
+            self.pos = end;
+            self.skip_ws();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Filter, PfrError> {
+        let mut arms = vec![self.parse_and()?];
+        while self.eat_keyword("or") {
+            arms.push(self.parse_and()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().expect("len checked")
+        } else {
+            Filter::Or(arms)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Filter, PfrError> {
+        let mut arms = vec![self.parse_unary()?];
+        while self.eat_keyword("and") {
+            arms.push(self.parse_unary()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().expect("len checked")
+        } else {
+            Filter::And(arms)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Filter, PfrError> {
+        if self.eat_keyword("not") {
+            Ok(Filter::Not(Box::new(self.parse_unary()?)))
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Filter, PfrError> {
+        self.skip_ws();
+        if self.eat(b'(') {
+            self.skip_ws();
+            let inner = self.parse_or()?;
+            self.skip_ws();
+            if !self.eat(b')') {
+                return Err(self.error("expected ')'"));
+            }
+            self.skip_ws();
+            return Ok(inner);
+        }
+        if self.eat_keyword("all") {
+            return Ok(Filter::All);
+        }
+        if self.eat_keyword("none") {
+            return Ok(Filter::None);
+        }
+        if self.eat_keyword("exists") {
+            let attr = self.parse_ident()?;
+            return Ok(Filter::Exists(attr));
+        }
+        self.parse_predicate()
+    }
+
+    fn parse_predicate(&mut self) -> Result<Filter, PfrError> {
+        let attr = self.parse_ident()?;
+        self.skip_ws();
+        if self.eat_keyword("in") {
+            let values = self.parse_list()?;
+            return Ok(Filter::In { attr, values });
+        }
+        if self.eat_keyword("contains") {
+            let value = self.parse_value()?;
+            return Ok(Filter::Contains { attr, value });
+        }
+        let op = self.parse_cmp_op()?;
+        self.skip_ws();
+        let value = self.parse_value()?;
+        Ok(Filter::Cmp { attr, op, value })
+    }
+
+    fn parse_cmp_op(&mut self) -> Result<CmpOp, PfrError> {
+        let op = match self.peek() {
+            Some(b'=') => {
+                self.pos += 1;
+                CmpOp::Eq
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                if !self.eat(b'=') {
+                    return Err(self.error("expected '=' after '!'"));
+                }
+                CmpOp::Ne
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                if self.eat(b'=') {
+                    CmpOp::Le
+                } else {
+                    CmpOp::Lt
+                }
+            }
+            Some(b'>') => {
+                self.pos += 1;
+                if self.eat(b'=') {
+                    CmpOp::Ge
+                } else {
+                    CmpOp::Gt
+                }
+            }
+            _ => return Err(self.error("expected comparison operator")),
+        };
+        Ok(op)
+    }
+
+    fn parse_ident(&mut self) -> Result<String, PfrError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_byte(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected attribute name"));
+        }
+        let ident = self.text[start..self.pos].to_owned();
+        self.skip_ws();
+        Ok(ident)
+    }
+
+    fn parse_list(&mut self) -> Result<Vec<Value>, PfrError> {
+        self.skip_ws();
+        if !self.eat(b'[') {
+            return Err(self.error("expected '['"));
+        }
+        let mut values = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            self.skip_ws();
+            return Ok(values);
+        }
+        loop {
+            values.push(self.parse_value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                break;
+            }
+            if !self.eat(b',') {
+                return Err(self.error("expected ',' or ']' in list"));
+            }
+            self.skip_ws();
+        }
+        self.skip_ws();
+        Ok(values)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, PfrError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_list().map(Value::List),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("expected value (string, number, bool, or list)"))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, PfrError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => return Err(self.error("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume a full UTF-8 scalar, not just one byte.
+                    let rest = &self.text[self.pos..];
+                    let ch = rest.chars().next().expect("peeked non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        self.skip_ws();
+        Ok(out)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, PfrError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' if self.pos > start => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let slice = &self.text[start..self.pos];
+        self.skip_ws();
+        if is_float {
+            slice
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.error(format!("bad float literal {slice:?}: {e}")))
+        } else {
+            slice
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| self.error(format!("bad integer literal {slice:?}: {e}")))
+        }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(text: &str) -> Filter {
+        parse(text).unwrap_or_else(|e| panic!("parse {text:?} failed: {e}"))
+    }
+
+    #[test]
+    fn parses_keywords() {
+        assert_eq!(parse_ok("all"), Filter::All);
+        assert_eq!(parse_ok("none"), Filter::None);
+        assert_eq!(parse_ok("  ALL  "), Filter::All, "case-insensitive keywords");
+    }
+
+    #[test]
+    fn parses_comparisons() {
+        let f = parse_ok(r#"dest = "a""#);
+        assert_eq!(
+            f,
+            Filter::Cmp {
+                attr: "dest".into(),
+                op: CmpOp::Eq,
+                value: Value::from("a"),
+            }
+        );
+        assert!(matches!(parse_ok("n >= 3"), Filter::Cmp { op: CmpOp::Ge, .. }));
+        assert!(matches!(parse_ok("n != 3"), Filter::Cmp { op: CmpOp::Ne, .. }));
+        assert!(matches!(parse_ok("n < -2"), Filter::Cmp { op: CmpOp::Lt, .. }));
+        assert!(matches!(
+            parse_ok("x = 1.5"),
+            Filter::Cmp { value: Value::Float(_), .. }
+        ));
+        assert!(matches!(
+            parse_ok("x = true"),
+            Filter::Cmp { value: Value::Bool(true), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_in_and_contains() {
+        let f = parse_ok(r#"dest in ["a", "b"]"#);
+        assert_eq!(
+            f,
+            Filter::In {
+                attr: "dest".into(),
+                values: vec![Value::from("a"), Value::from("b")],
+            }
+        );
+        assert_eq!(
+            parse_ok("t in []"),
+            Filter::In { attr: "t".into(), values: vec![] }
+        );
+        let f = parse_ok(r#"dest contains "a""#);
+        assert_eq!(f, Filter::address("dest", "a"));
+    }
+
+    #[test]
+    fn parses_boolean_structure_with_precedence() {
+        // and binds tighter than or
+        let f = parse_ok(r#"a = 1 or b = 2 and c = 3"#);
+        match f {
+            Filter::Or(arms) => {
+                assert_eq!(arms.len(), 2);
+                assert!(matches!(arms[1], Filter::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+        // parentheses override
+        let f = parse_ok(r#"(a = 1 or b = 2) and c = 3"#);
+        assert!(matches!(f, Filter::And(_)));
+    }
+
+    #[test]
+    fn parses_not_and_exists() {
+        let f = parse_ok("not exists x");
+        assert_eq!(f, Filter::Not(Box::new(Filter::Exists("x".into()))));
+        let f = parse_ok("not not all");
+        assert_eq!(
+            f,
+            Filter::Not(Box::new(Filter::Not(Box::new(Filter::All))))
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let f = parse_ok(r#"s = "a\"b\\c\nd""#);
+        match f {
+            Filter::Cmp { value: Value::Str(s), .. } => assert_eq!(s, "a\"b\\c\nd"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let f = parse_ok("s = \"héllo→\"");
+        match f {
+            Filter::Cmp { value: Value::Str(s), .. } => assert_eq!(s, "héllo→"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        for bad in ["", "dest =", "dest in [", "x ~ 1", "(all", "all garbage", "\"x\""] {
+            let err = parse(bad).unwrap_err();
+            match err {
+                PfrError::FilterParse { offset, .. } => assert!(offset <= bad.len()),
+                other => panic!("expected parse error for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_prefix_identifiers_are_not_keywords() {
+        // "android" starts with "and"; "order" starts with "or".
+        let f = parse_ok(r#"android = 1"#);
+        assert!(matches!(f, Filter::Cmp { ref attr, .. } if attr == "android"));
+        let f = parse_ok(r#"order = 1 or all"#);
+        assert!(matches!(f, Filter::Or(_)));
+    }
+}

@@ -1,0 +1,367 @@
+//! Replicated items: the unit of storage, filtering, and transfer.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attrs::AttributeMap;
+use crate::id::{ItemId, Version};
+
+/// How two versions of the same item relate causally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CausalRelation {
+    /// The two are the same version.
+    Equal,
+    /// The first supersedes the second.
+    Supersedes,
+    /// The first is superseded by the second.
+    SupersededBy,
+    /// Neither derives from the other: a concurrent update (conflict).
+    Concurrent,
+}
+
+/// A versioned, attributed data item.
+///
+/// An item is created once (acquiring an [`ItemId`]) and may then be updated
+/// or deleted; each write stamps a new [`Version`] and records the versions
+/// it supersedes, so replicas can distinguish stale copies, newer copies,
+/// and genuinely concurrent (conflicting) copies.
+///
+/// Items carry two attribute maps:
+///
+/// * [`attrs`](Item::attrs) — application data, versioned: changing it is an
+///   update that replicates everywhere.
+/// * [`transient`](Item::transient) — per-copy routing metadata (TTL, copy
+///   counts, hop lists). It travels with every transmitted copy but is
+///   mutable in place without a version bump, implementing the
+///   "host-specific metadata fields" of paper §V-A.
+///
+/// In the DTN application each message is one item whose `dest` attribute
+/// names the recipient, and whose payload is the message body (§IV-A).
+///
+/// # Examples
+///
+/// ```
+/// use pfr::{Item, ItemId, ReplicaId, Version};
+///
+/// let origin = ReplicaId::new(1);
+/// let item = Item::builder(ItemId::new(origin, 1), Version::new(origin, 1))
+///     .attr("dest", "bus-9")
+///     .payload(b"hello".to_vec())
+///     .build();
+/// assert_eq!(item.attrs().get_str("dest"), Some("bus-9"));
+/// assert!(!item.is_deleted());
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Item {
+    id: ItemId,
+    version: Version,
+    /// All versions of this item superseded by `version` (exclusive).
+    ancestors: BTreeSet<Version>,
+    attrs: AttributeMap,
+    transient: AttributeMap,
+    payload: Vec<u8>,
+    deleted: bool,
+}
+
+impl Item {
+    /// Starts building a new item with the given identity and version.
+    pub fn builder(id: ItemId, version: Version) -> ItemBuilder {
+        ItemBuilder {
+            item: Item {
+                id,
+                version,
+                ancestors: BTreeSet::new(),
+                attrs: AttributeMap::new(),
+                transient: AttributeMap::new(),
+                payload: Vec::new(),
+                deleted: false,
+            },
+        }
+    }
+
+    /// The item's globally unique identity.
+    pub fn id(&self) -> ItemId {
+        self.id
+    }
+
+    /// The version of this copy.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Versions of this item that this copy supersedes.
+    pub fn ancestors(&self) -> impl Iterator<Item = Version> + '_ {
+        self.ancestors.iter().copied()
+    }
+
+    /// Returns `true` if this copy supersedes (or is) `version`.
+    pub fn knows_version(&self, version: Version) -> bool {
+        self.version == version || self.ancestors.contains(&version)
+    }
+
+    /// How this copy relates causally to another copy of the same item.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the two copies have different ids.
+    pub fn relation_to(&self, other: &Item) -> CausalRelation {
+        debug_assert_eq!(self.id, other.id, "comparing copies of different items");
+        if self.version == other.version {
+            CausalRelation::Equal
+        } else if self.ancestors.contains(&other.version) {
+            CausalRelation::Supersedes
+        } else if other.ancestors.contains(&self.version) {
+            CausalRelation::SupersededBy
+        } else {
+            CausalRelation::Concurrent
+        }
+    }
+
+    /// The versioned application attributes.
+    pub fn attrs(&self) -> &AttributeMap {
+        &self.attrs
+    }
+
+    /// The per-copy transient routing attributes.
+    pub fn transient(&self) -> &AttributeMap {
+        &self.transient
+    }
+
+    /// Mutable access to the transient attributes.
+    ///
+    /// Mutations here never create a new version; they affect only this
+    /// copy. Versioned attributes can only be changed through
+    /// [`Replica::update`](crate::Replica::update), which stamps a new
+    /// version.
+    pub fn transient_mut(&mut self) -> &mut AttributeMap {
+        &mut self.transient
+    }
+
+    /// The application payload (a message body, in the DTN application).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Returns `true` if this copy is a deletion tombstone.
+    pub fn is_deleted(&self) -> bool {
+        self.deleted
+    }
+
+    /// Approximate in-memory size in bytes, used by storage accounting.
+    pub fn approx_size(&self) -> usize {
+        let attr_size = |m: &AttributeMap| -> usize {
+            m.iter()
+                .map(|(k, v)| k.len() + format!("{v}").len() + 8)
+                .sum()
+        };
+        self.payload.len()
+            + attr_size(&self.attrs)
+            + attr_size(&self.transient)
+            + 16 * (1 + self.ancestors.len())
+    }
+
+    /// Produces the successor copy stamped with `new_version`, used by
+    /// [`Replica::update`](crate::Replica::update) and delete.
+    ///
+    /// The successor's ancestor set is this copy's ancestors plus this
+    /// copy's version. Transient attributes are dropped: routing metadata
+    /// belongs to the copy, not the item, and a new version is a new
+    /// logical message for routing purposes.
+    pub(crate) fn successor(
+        &self,
+        new_version: Version,
+        attrs: AttributeMap,
+        payload: Vec<u8>,
+        deleted: bool,
+    ) -> Item {
+        let mut ancestors = self.ancestors.clone();
+        ancestors.insert(self.version);
+        Item {
+            id: self.id,
+            version: new_version,
+            ancestors,
+            attrs,
+            transient: AttributeMap::new(),
+            payload,
+            deleted,
+        }
+    }
+
+    /// Returns this copy with one more recorded ancestor version. Used when
+    /// reconstructing a copy from the wire; applications use
+    /// [`Replica::update`](crate::Replica::update), which maintains
+    /// ancestry automatically.
+    pub fn with_ancestor(mut self, version: Version) -> Item {
+        if version != self.version {
+            self.ancestors.insert(version);
+        }
+        self
+    }
+
+    /// Merges a concurrent copy into this one, returning the deterministic
+    /// winner. The winner is the copy with the larger version; the loser's
+    /// version and ancestors join the winner's ancestor set, so the merge
+    /// result supersedes both inputs.
+    pub(crate) fn merge_concurrent(self, other: Item) -> Item {
+        debug_assert_eq!(self.id, other.id);
+        let (mut winner, loser) = if self.version >= other.version {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        winner.ancestors.insert(loser.version);
+        winner.ancestors.extend(loser.ancestors);
+        winner.ancestors.remove(&winner.version);
+        winner
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Item")
+            .field("id", &self.id)
+            .field("version", &self.version)
+            .field("attrs", &self.attrs)
+            .field("transient", &self.transient)
+            .field("payload_len", &self.payload.len())
+            .field("deleted", &self.deleted)
+            .finish()
+    }
+}
+
+/// Builder for [`Item`] (C-BUILDER).
+#[derive(Debug)]
+pub struct ItemBuilder {
+    item: Item,
+}
+
+impl ItemBuilder {
+    /// Sets a versioned application attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<crate::Value>) -> Self {
+        self.item.attrs.set(name, value);
+        self
+    }
+
+    /// Sets a transient (per-copy) routing attribute.
+    pub fn transient_attr(
+        mut self,
+        name: impl Into<String>,
+        value: impl Into<crate::Value>,
+    ) -> Self {
+        self.item.transient.set(name, value);
+        self
+    }
+
+    /// Sets the payload.
+    pub fn payload(mut self, payload: Vec<u8>) -> Self {
+        self.item.payload = payload;
+        self
+    }
+
+    /// Replaces the whole versioned attribute map.
+    pub fn attrs(mut self, attrs: AttributeMap) -> Self {
+        self.item.attrs = attrs;
+        self
+    }
+
+    /// Marks the item as a deletion tombstone.
+    pub fn deleted(mut self, deleted: bool) -> Self {
+        self.item.deleted = deleted;
+        self
+    }
+
+    /// Finishes building the item.
+    pub fn build(self) -> Item {
+        self.item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ReplicaId;
+
+    fn rid(n: u64) -> ReplicaId {
+        ReplicaId::new(n)
+    }
+
+    fn base_item() -> Item {
+        Item::builder(ItemId::new(rid(1), 1), Version::new(rid(1), 1))
+            .attr("dest", "b")
+            .payload(vec![1, 2, 3])
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let item = Item::builder(ItemId::new(rid(1), 7), Version::new(rid(1), 9))
+            .attr("k", 1i64)
+            .transient_attr("ttl", 10i64)
+            .payload(vec![9])
+            .build();
+        assert_eq!(item.id().seq(), 7);
+        assert_eq!(item.version().counter(), 9);
+        assert_eq!(item.attrs().get_i64("k"), Some(1));
+        assert_eq!(item.transient().get_i64("ttl"), Some(10));
+        assert_eq!(item.payload(), &[9]);
+        assert!(!item.is_deleted());
+        assert_eq!(item.ancestors().count(), 0);
+    }
+
+    #[test]
+    fn successor_supersedes_and_drops_transient() {
+        let mut item = base_item();
+        item.transient_mut().set("ttl", 5i64);
+        let v2 = Version::new(rid(2), 10);
+        let succ = item.successor(v2, item.attrs().clone(), vec![], true);
+        assert_eq!(succ.version(), v2);
+        assert!(succ.is_deleted());
+        assert!(succ.knows_version(item.version()));
+        assert_eq!(succ.relation_to(&item), CausalRelation::Supersedes);
+        assert_eq!(item.relation_to(&succ), CausalRelation::SupersededBy);
+        assert!(succ.transient().is_empty(), "transient metadata must not replicate");
+    }
+
+    #[test]
+    fn equal_and_concurrent_relations() {
+        let item = base_item();
+        assert_eq!(item.relation_to(&item.clone()), CausalRelation::Equal);
+
+        let a = item.successor(Version::new(rid(2), 5), item.attrs().clone(), vec![], false);
+        let b = item.successor(Version::new(rid(3), 6), item.attrs().clone(), vec![], false);
+        assert_eq!(a.relation_to(&b), CausalRelation::Concurrent);
+    }
+
+    #[test]
+    fn merge_concurrent_is_deterministic_and_supersedes_both() {
+        let item = base_item();
+        let a = item.successor(Version::new(rid(2), 5), item.attrs().clone(), vec![1], false);
+        let b = item.successor(Version::new(rid(3), 6), item.attrs().clone(), vec![2], false);
+
+        let m1 = a.clone().merge_concurrent(b.clone());
+        let m2 = b.clone().merge_concurrent(a.clone());
+        assert_eq!(m1.version(), m2.version(), "winner independent of merge order");
+        assert_eq!(m1.version(), b.version(), "larger version wins");
+        assert!(m1.knows_version(a.version()));
+        assert!(m1.knows_version(b.version()) || m1.version() == b.version());
+        assert!(m1.knows_version(item.version()));
+    }
+
+    #[test]
+    fn approx_size_counts_payload() {
+        let small = base_item();
+        let big = Item::builder(small.id(), small.version())
+            .payload(vec![0; 1000])
+            .build();
+        assert!(big.approx_size() > small.approx_size());
+        assert!(big.approx_size() >= 1000);
+    }
+
+    #[test]
+    fn debug_shows_identity() {
+        let s = format!("{:?}", base_item());
+        assert!(s.contains("R1#1"));
+    }
+}

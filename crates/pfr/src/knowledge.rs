@@ -1,0 +1,346 @@
+//! Knowledge: the compact record of which versions a replica has learned.
+//!
+//! Knowledge is the replication substrate's substitute for the ad-hoc
+//! duplicate-suppression machinery of DTN protocols (summary vectors, hop
+//! lists): a replica never accepts — and a sync partner never re-sends — a
+//! version contained in its knowledge, which yields *at-most-once delivery*
+//! for free (paper §II-B, §III).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{ReplicaId, Version};
+
+/// A compact set of [`Version`]s: a version vector plus an exception set.
+///
+/// The *vector* component maps each replica to the highest counter `c` such
+/// that **all** versions `1..=c` from that replica are known. Versions known
+/// out of order (because filtered replication delivers only a subset of each
+/// origin's writes) are tracked individually in the *exception* set and
+/// absorbed into the vector as gaps fill in.
+///
+/// The representation is therefore proportional to the number of replicas
+/// plus the number of out-of-order receipts — for full replication it
+/// degenerates to the classic version vector whose compactness the paper
+/// highlights, while remaining *sound* for partial (filtered) replication,
+/// where gaps are permanent.
+///
+/// `Knowledge` forms a join-semilattice under [`merge`](Knowledge::merge):
+/// the operation is commutative, associative, and idempotent (property
+/// tested).
+///
+/// # Examples
+///
+/// ```
+/// use pfr::{Knowledge, ReplicaId, Version};
+///
+/// let r = ReplicaId::new(1);
+/// let mut k = Knowledge::new();
+/// k.insert(Version::new(r, 1));
+/// k.insert(Version::new(r, 3)); // out of order: kept as an exception
+/// assert!(k.contains(Version::new(r, 1)));
+/// assert!(!k.contains(Version::new(r, 2)));
+/// k.insert(Version::new(r, 2)); // gap fills: vector compacts to 3
+/// assert_eq!(k.base_counter(r), 3);
+/// assert_eq!(k.exception_count(), 0);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Knowledge {
+    /// replica -> highest prefix-complete counter.
+    vector: BTreeMap<ReplicaId, u64>,
+    /// Individually known versions above the vector entry.
+    exceptions: BTreeSet<Version>,
+}
+
+impl Knowledge {
+    /// Creates empty knowledge (no versions known).
+    pub fn new() -> Self {
+        Knowledge::default()
+    }
+
+    /// Returns `true` if `version` is known.
+    pub fn contains(&self, version: Version) -> bool {
+        let base = self.base_counter(version.replica());
+        version.counter() <= base || self.exceptions.contains(&version)
+    }
+
+    /// The highest counter `c` for `replica` such that all of `1..=c` is
+    /// known (0 if nothing prefix-complete is known).
+    pub fn base_counter(&self, replica: ReplicaId) -> u64 {
+        self.vector.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// Records one version as known. Idempotent.
+    ///
+    /// Consecutive exceptions are folded into the vector whenever the
+    /// insertion closes a gap, keeping the representation compact.
+    pub fn insert(&mut self, version: Version) {
+        let r = version.replica();
+        let base = self.base_counter(r);
+        if version.counter() <= base {
+            return;
+        }
+        if version.counter() == base + 1 {
+            let mut new_base = version.counter();
+            // Absorb any exceptions that are now contiguous.
+            while self.exceptions.remove(&Version::new(r, new_base + 1)) {
+                new_base += 1;
+            }
+            self.vector.insert(r, new_base);
+        } else {
+            self.exceptions.insert(version);
+        }
+    }
+
+    /// Records that *all* versions `1..=counter` from `replica` are known.
+    ///
+    /// This is how a replica advances knowledge of its own writes (which it
+    /// trivially observes in order), and how trusted checkpoints are
+    /// installed.
+    pub fn insert_prefix(&mut self, replica: ReplicaId, counter: u64) {
+        let base = self.base_counter(replica);
+        if counter <= base {
+            return;
+        }
+        let mut new_base = counter;
+        while self.exceptions.remove(&Version::new(replica, new_base + 1)) {
+            new_base += 1;
+        }
+        self.vector.insert(replica, new_base);
+        // Drop exceptions swallowed by the new prefix.
+        let swallowed: Vec<Version> = self
+            .exceptions
+            .iter()
+            .filter(|v| v.replica() == replica && v.counter() <= new_base)
+            .copied()
+            .collect();
+        for v in swallowed {
+            self.exceptions.remove(&v);
+        }
+    }
+
+    /// Merges another replica's knowledge into this one (set union).
+    ///
+    /// After merging, `self.contains(v)` holds exactly when either input
+    /// contained `v`.
+    pub fn merge(&mut self, other: &Knowledge) {
+        for (&replica, &counter) in &other.vector {
+            self.insert_prefix(replica, counter);
+        }
+        for &v in &other.exceptions {
+            self.insert(v);
+        }
+    }
+
+    /// Returns `true` if every version in `other` is also in `self`.
+    pub fn dominates(&self, other: &Knowledge) -> bool {
+        other
+            .vector
+            .iter()
+            .all(|(&r, &c)| self.covers_prefix(r, c))
+            && other.exceptions.iter().all(|&v| self.contains(v))
+    }
+
+    fn covers_prefix(&self, replica: ReplicaId, counter: u64) -> bool {
+        let base = self.base_counter(replica);
+        if counter <= base {
+            return true;
+        }
+        (base + 1..=counter).all(|c| self.exceptions.contains(&Version::new(replica, c)))
+    }
+
+    /// Iterates over `(replica, prefix counter)` vector entries.
+    pub fn vector_entries(&self) -> impl Iterator<Item = (ReplicaId, u64)> + '_ {
+        self.vector.iter().map(|(&r, &c)| (r, c))
+    }
+
+    /// Iterates over exception versions.
+    pub fn exceptions(&self) -> impl Iterator<Item = Version> + '_ {
+        self.exceptions.iter().copied()
+    }
+
+    /// Number of replicas with a vector entry.
+    pub fn replica_count(&self) -> usize {
+        self.vector.len()
+    }
+
+    /// Number of out-of-order exceptions currently held.
+    ///
+    /// This is the metadata-size metric the paper's "compact knowledge"
+    /// claim is about; the storage experiments report it.
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Returns `true` if no versions are known.
+    pub fn is_empty(&self) -> bool {
+        self.vector.is_empty() && self.exceptions.is_empty()
+    }
+
+    /// Total number of versions contained (for testing and metrics; cost is
+    /// O(vector entries), not O(versions)).
+    pub fn version_count(&self) -> u64 {
+        self.vector.values().sum::<u64>() + self.exceptions.len() as u64
+    }
+}
+
+impl fmt::Debug for Knowledge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Knowledge{{")?;
+        for (i, (r, c)) in self.vector.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}:{c}")?;
+        }
+        if !self.exceptions.is_empty() {
+            write!(f, " +{} exc", self.exceptions.len())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64) -> ReplicaId {
+        ReplicaId::new(n)
+    }
+    fn v(replica: u64, counter: u64) -> Version {
+        Version::new(r(replica), counter)
+    }
+
+    #[test]
+    fn empty_knowledge_contains_nothing() {
+        let k = Knowledge::new();
+        assert!(!k.contains(v(1, 1)));
+        assert!(k.is_empty());
+        assert_eq!(k.version_count(), 0);
+    }
+
+    #[test]
+    fn in_order_insertions_stay_in_vector() {
+        let mut k = Knowledge::new();
+        for c in 1..=100 {
+            k.insert(v(1, c));
+        }
+        assert_eq!(k.base_counter(r(1)), 100);
+        assert_eq!(k.exception_count(), 0);
+        assert_eq!(k.version_count(), 100);
+    }
+
+    #[test]
+    fn out_of_order_insertions_become_exceptions_then_compact() {
+        let mut k = Knowledge::new();
+        k.insert(v(1, 5));
+        k.insert(v(1, 3));
+        assert_eq!(k.base_counter(r(1)), 0);
+        assert_eq!(k.exception_count(), 2);
+        k.insert(v(1, 1));
+        assert_eq!(k.base_counter(r(1)), 1);
+        k.insert(v(1, 2)); // closes gap to 3
+        assert_eq!(k.base_counter(r(1)), 3);
+        assert_eq!(k.exception_count(), 1); // 5 still floating
+        k.insert(v(1, 4));
+        assert_eq!(k.base_counter(r(1)), 5);
+        assert_eq!(k.exception_count(), 0);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut k = Knowledge::new();
+        k.insert(v(1, 1));
+        k.insert(v(1, 1));
+        k.insert(v(1, 3));
+        k.insert(v(1, 3));
+        assert_eq!(k.version_count(), 2);
+    }
+
+    #[test]
+    fn insert_prefix_swallows_exceptions() {
+        let mut k = Knowledge::new();
+        k.insert(v(1, 3));
+        k.insert(v(1, 7));
+        k.insert_prefix(r(1), 5);
+        assert_eq!(k.base_counter(r(1)), 5);
+        assert_eq!(k.exception_count(), 1); // only 7 remains
+        assert!(k.contains(v(1, 3)));
+        assert!(k.contains(v(1, 7)));
+        assert!(!k.contains(v(1, 6)));
+    }
+
+    #[test]
+    fn insert_prefix_absorbs_adjacent_exceptions() {
+        let mut k = Knowledge::new();
+        k.insert(v(1, 4));
+        k.insert(v(1, 5));
+        k.insert_prefix(r(1), 3);
+        assert_eq!(k.base_counter(r(1)), 5);
+        assert_eq!(k.exception_count(), 0);
+    }
+
+    #[test]
+    fn insert_prefix_is_monotone() {
+        let mut k = Knowledge::new();
+        k.insert_prefix(r(1), 10);
+        k.insert_prefix(r(1), 4); // no-op, must not regress
+        assert_eq!(k.base_counter(r(1)), 10);
+    }
+
+    #[test]
+    fn merge_unions_both_sides() {
+        let mut a = Knowledge::new();
+        a.insert_prefix(r(1), 5);
+        a.insert(v(2, 3));
+        let mut b = Knowledge::new();
+        b.insert_prefix(r(2), 2);
+        b.insert(v(1, 8));
+        a.merge(&b);
+        assert!(a.contains(v(1, 5)));
+        assert!(a.contains(v(1, 8)));
+        assert!(!a.contains(v(1, 7)));
+        assert!(a.contains(v(2, 2)));
+        assert!(a.contains(v(2, 3)));
+        assert_eq!(a.base_counter(r(2)), 3, "merge compacts 1..=2 plus exception 3");
+    }
+
+    #[test]
+    fn dominates_requires_superset() {
+        let mut a = Knowledge::new();
+        a.insert_prefix(r(1), 5);
+        let mut b = Knowledge::new();
+        b.insert(v(1, 2));
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // Exceptions can cover a prefix claim.
+        let mut c = Knowledge::new();
+        c.insert(v(1, 1));
+        c.insert(v(1, 2));
+        let mut d = Knowledge::new();
+        d.insert_prefix(r(1), 2);
+        assert!(c.dominates(&d));
+        assert!(d.dominates(&c));
+    }
+
+    #[test]
+    fn dominates_self_and_empty() {
+        let mut a = Knowledge::new();
+        a.insert(v(3, 9));
+        assert!(a.dominates(&a.clone()));
+        assert!(a.dominates(&Knowledge::new()));
+        assert!(!Knowledge::new().dominates(&a));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let mut k = Knowledge::new();
+        assert!(!format!("{k:?}").is_empty());
+        k.insert_prefix(r(1), 2);
+        k.insert(v(2, 5));
+        let s = format!("{k:?}");
+        assert!(s.contains("R1:2") && s.contains("exc"));
+    }
+}

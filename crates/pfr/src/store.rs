@@ -1,0 +1,310 @@
+//! The per-replica item store, including the push-out and relay stores.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::Filter;
+use crate::id::{ItemId, ReplicaId};
+use crate::item::Item;
+use crate::time::SimTime;
+
+/// Why a replica is holding an item.
+///
+/// The paper's Cimbiosys stores items matching the replica's filter plus a
+/// *push-out store* of locally-created out-of-filter items awaiting
+/// propagation (§IV-C); the DTN extension adds a third category, foreign
+/// items accepted for *relay* by a routing policy. Storage constraints
+/// (paper §VI-D) apply only to the relay category — "excluding messages for
+/// which the node itself is the sender or the destination".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoreKind {
+    /// The item matches this replica's filter (it is "ours").
+    InFilter,
+    /// Created locally but outside our filter: held until propagated
+    /// (Cimbiosys's push-out store). Never evicted.
+    PushOut,
+    /// Received from a peer outside our filter, held only to forward on
+    /// behalf of others (the DTN relay buffer). Evicted FIFO under storage
+    /// constraints.
+    Relay,
+}
+
+/// Policy for what eviction does to a replica's knowledge.
+///
+/// The substrate's knowledge permanently records every received version, so
+/// after an eviction the default behaviour is that the same version is
+/// never accepted again (`RetainKnowledge`) — the evicting node simply
+/// stops participating in that message's dissemination, and other copies
+/// carry it. This matches the replication semantics; the alternative of
+/// forgetting would re-open the node as a relay at the cost of repeated
+/// transmissions, and is not offered because it would break at-most-once
+/// delivery accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EvictionMode {
+    /// Keep the evicted version in knowledge (never re-receive it).
+    #[default]
+    RetainKnowledge,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct StoredItem {
+    pub item: Item,
+    pub kind: StoreKind,
+    pub received_at: SimTime,
+}
+
+/// The store: all items held by one replica, with relay FIFO accounting.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ItemStore {
+    items: BTreeMap<ItemId, StoredItem>,
+    /// Arrival order of relay items, oldest first, for FIFO eviction.
+    relay_fifo: VecDeque<ItemId>,
+}
+
+impl ItemStore {
+    pub fn new() -> Self {
+        ItemStore::default()
+    }
+
+    pub fn get(&self, id: ItemId) -> Option<&StoredItem> {
+        self.items.get(&id)
+    }
+
+    pub fn get_mut(&mut self, id: ItemId) -> Option<&mut StoredItem> {
+        self.items.get_mut(&id)
+    }
+
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.items.contains_key(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &StoredItem> {
+        self.items.values()
+    }
+
+    pub fn ids(&self) -> Vec<ItemId> {
+        self.items.keys().copied().collect()
+    }
+
+    /// Inserts or replaces an item with the given kind, maintaining relay
+    /// FIFO order. A replaced item keeps its FIFO position only if it stays
+    /// a relay item.
+    pub fn put(&mut self, item: Item, kind: StoreKind, received_at: SimTime) {
+        let id = item.id();
+        let was_relay = self
+            .items
+            .get(&id)
+            .map(|s| s.kind == StoreKind::Relay)
+            .unwrap_or(false);
+        match (was_relay, kind == StoreKind::Relay) {
+            (false, true) => self.relay_fifo.push_back(id),
+            (true, false) => self.remove_from_fifo(id),
+            _ => {}
+        }
+        self.items.insert(
+            id,
+            StoredItem {
+                item,
+                kind,
+                received_at,
+            },
+        );
+    }
+
+    pub fn remove(&mut self, id: ItemId) -> Option<StoredItem> {
+        let removed = self.items.remove(&id);
+        if removed.as_ref().map(|s| s.kind) == Some(StoreKind::Relay) {
+            self.remove_from_fifo(id);
+        }
+        removed
+    }
+
+    fn remove_from_fifo(&mut self, id: ItemId) {
+        if let Some(pos) = self.relay_fifo.iter().position(|&x| x == id) {
+            self.relay_fifo.remove(pos);
+        }
+    }
+
+    /// Number of evictable relay messages: relay-kind, non-tombstone.
+    pub fn relay_load(&self) -> usize {
+        self.relay_fifo
+            .iter()
+            .filter(|id| {
+                self.items
+                    .get(id)
+                    .map(|s| !s.item.is_deleted())
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    /// Evicts and returns the oldest non-tombstone relay item, if any.
+    pub fn evict_oldest_relay(&mut self) -> Option<StoredItem> {
+        let victim = self
+            .relay_fifo
+            .iter()
+            .copied()
+            .find(|id| {
+                self.items
+                    .get(id)
+                    .map(|s| !s.item.is_deleted())
+                    .unwrap_or(false)
+            })?;
+        self.remove(victim)
+    }
+
+    /// The relay FIFO order, oldest first (snapshot support).
+    pub fn relay_fifo_order(&self) -> Vec<ItemId> {
+        self.relay_fifo.iter().copied().collect()
+    }
+
+    /// Rebuilds a store from snapshot parts. Relay items listed in
+    /// `relay_fifo` keep that eviction order; relay items missing from the
+    /// list (corrupt snapshots) are appended in id order.
+    pub fn from_parts(items: Vec<(Item, StoreKind, SimTime)>, relay_fifo: Vec<ItemId>) -> Self {
+        let mut store = ItemStore::new();
+        for (item, kind, received_at) in items {
+            store.put(item, kind, received_at);
+        }
+        // Reorder the FIFO according to the snapshot.
+        let mut ordered: VecDeque<ItemId> = relay_fifo
+            .into_iter()
+            .filter(|id| store.relay_fifo.contains(id))
+            .collect();
+        for id in &store.relay_fifo {
+            if !ordered.contains(id) {
+                ordered.push_back(*id);
+            }
+        }
+        store.relay_fifo = ordered;
+        store
+    }
+
+    /// Re-derives every stored item's kind after a filter change.
+    pub fn reclassify(&mut self, own_id: ReplicaId, filter: &Filter) {
+        let ids = self.ids();
+        for id in ids {
+            let stored = self.items.get(&id).expect("id just listed");
+            let new_kind = classify(&stored.item, own_id, filter);
+            if new_kind != stored.kind {
+                let (item, received_at) = {
+                    let s = self.items.get(&id).expect("present");
+                    (s.item.clone(), s.received_at)
+                };
+                // put() fixes FIFO membership on kind transitions.
+                self.remove(id);
+                self.put(item, new_kind, received_at);
+            }
+        }
+    }
+}
+
+/// Determines how a replica should hold `item`.
+pub(crate) fn classify(item: &Item, own_id: ReplicaId, filter: &Filter) -> StoreKind {
+    if filter.matches(item) {
+        StoreKind::InFilter
+    } else if item.id().origin() == own_id {
+        StoreKind::PushOut
+    } else {
+        StoreKind::Relay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Version;
+
+    fn rid(n: u64) -> ReplicaId {
+        ReplicaId::new(n)
+    }
+
+    fn item(origin: u64, seq: u64, dest: &str) -> Item {
+        Item::builder(ItemId::new(rid(origin), seq), Version::new(rid(origin), seq))
+            .attr("dest", dest)
+            .build()
+    }
+
+    #[test]
+    fn classify_covers_all_kinds() {
+        let me = rid(1);
+        let f = Filter::address("dest", "me");
+        assert_eq!(classify(&item(2, 1, "me"), me, &f), StoreKind::InFilter);
+        assert_eq!(classify(&item(1, 1, "other"), me, &f), StoreKind::PushOut);
+        assert_eq!(classify(&item(2, 1, "other"), me, &f), StoreKind::Relay);
+    }
+
+    #[test]
+    fn relay_fifo_orders_by_arrival() {
+        let mut s = ItemStore::new();
+        s.put(item(2, 1, "x"), StoreKind::Relay, SimTime::from_secs(1));
+        s.put(item(3, 1, "x"), StoreKind::Relay, SimTime::from_secs(2));
+        s.put(item(4, 1, "x"), StoreKind::Relay, SimTime::from_secs(3));
+        assert_eq!(s.relay_load(), 3);
+        let victim = s.evict_oldest_relay().expect("one to evict");
+        assert_eq!(victim.item.id().origin(), rid(2), "oldest goes first");
+        assert_eq!(s.relay_load(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn tombstones_do_not_count_or_evict() {
+        let mut s = ItemStore::new();
+        let dead = Item::builder(ItemId::new(rid(2), 1), Version::new(rid(2), 1))
+            .deleted(true)
+            .build();
+        s.put(dead, StoreKind::Relay, SimTime::ZERO);
+        assert_eq!(s.relay_load(), 0);
+        assert!(s.evict_oldest_relay().is_none());
+        s.put(item(3, 1, "x"), StoreKind::Relay, SimTime::ZERO);
+        let victim = s.evict_oldest_relay().expect("live item evictable");
+        assert_eq!(victim.item.id().origin(), rid(3));
+    }
+
+    #[test]
+    fn replacing_relay_item_keeps_fifo_position() {
+        let mut s = ItemStore::new();
+        s.put(item(2, 1, "x"), StoreKind::Relay, SimTime::ZERO);
+        s.put(item(3, 1, "x"), StoreKind::Relay, SimTime::ZERO);
+        // Replace the first item (new version, still relay).
+        s.put(item(2, 1, "y"), StoreKind::Relay, SimTime::ZERO);
+        let victim = s.evict_oldest_relay().expect("evictable");
+        assert_eq!(victim.item.id().origin(), rid(2), "kept original position");
+    }
+
+    #[test]
+    fn kind_transition_updates_fifo() {
+        let mut s = ItemStore::new();
+        s.put(item(2, 1, "me"), StoreKind::Relay, SimTime::ZERO);
+        assert_eq!(s.relay_load(), 1);
+        s.put(item(2, 1, "me"), StoreKind::InFilter, SimTime::ZERO);
+        assert_eq!(s.relay_load(), 0);
+        assert!(s.evict_oldest_relay().is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn reclassify_after_filter_change() {
+        let me = rid(1);
+        let mut s = ItemStore::new();
+        s.put(item(2, 1, "me"), StoreKind::InFilter, SimTime::ZERO);
+        s.put(item(2, 2, "you"), StoreKind::Relay, SimTime::ZERO);
+        // Widen the filter to cover "you" as well.
+        let f = Filter::any_address("dest", ["me", "you"]);
+        s.reclassify(me, &f);
+        assert!(s.iter().all(|st| st.kind == StoreKind::InFilter));
+        assert_eq!(s.relay_load(), 0);
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut s = ItemStore::new();
+        assert!(s.remove(ItemId::new(rid(9), 9)).is_none());
+    }
+}

@@ -1,0 +1,835 @@
+//! Pairwise synchronization with pluggable DTN routing extensions.
+//!
+//! The protocol follows the paper's Figure 4:
+//!
+//! ```text
+//! Target:  routing = ext.generate_request()
+//!          send (knowledge, filter, routing) to source
+//! Source:  ext.process_request(routing)
+//!          for each stored item unknown to target:
+//!              include if it matches target's filter, or ext.to_send() says so
+//!          sort batch by priority, apply transfer limits
+//! Target:  apply each received item, updating knowledge
+//! ```
+//!
+//! Without an extension (the [`NoExtension`] default) this is plain
+//! filtered replication: only items matching the target's filter flow.
+//! Extensions add out-of-filter forwarding — the paper's pluggable DTN
+//! routing policies — without changing the meaning of filters, so eventual
+//! filter consistency is preserved (§IV-C).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::Filter;
+use crate::id::{ItemId, ReplicaId};
+use crate::item::Item;
+use crate::knowledge::Knowledge;
+use crate::replica::{ApplyOutcome, Replica};
+use crate::time::SimTime;
+
+/// Opaque routing data carried in a sync request, produced and consumed by
+/// a routing extension (e.g. PROPHET's delivery-predictability vector).
+///
+/// The substrate never interprets the bytes; policies define the encoding.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingState(Vec<u8>);
+
+impl RoutingState {
+    /// An empty routing state (what [`NoExtension`] produces).
+    pub fn empty() -> Self {
+        RoutingState(Vec::new())
+    }
+
+    /// Wraps encoded routing data.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        RoutingState(bytes)
+    }
+
+    /// The encoded routing data.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Returns `true` if no routing data is present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for RoutingState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RoutingState({} bytes)", self.0.len())
+    }
+}
+
+/// Coarse priority classes for batch ordering (paper §V-B: a "class" value
+/// from lowest to highest, plus a real-valued cost to break ties).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum PriorityClass {
+    /// Sent last.
+    Lowest,
+    /// Below normal.
+    Low,
+    /// Default for policy-forwarded items.
+    Normal,
+    /// Above normal.
+    High,
+    /// Sent first; filter-matched (destination-addressed) items get this.
+    Highest,
+}
+
+/// A transmission priority: class plus tie-breaking cost (lower cost sends
+/// earlier within a class).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Priority {
+    class: PriorityClass,
+    cost: f64,
+}
+
+impl Priority {
+    /// Creates a priority. `cost` breaks ties within a class: lower cost
+    /// transmits earlier. `NaN` costs are treated as `+inf` (sent last).
+    pub fn new(class: PriorityClass, cost: f64) -> Self {
+        let cost = if cost.is_nan() { f64::INFINITY } else { cost };
+        Priority { class, cost }
+    }
+
+    /// Normal-class priority with zero cost.
+    pub fn normal() -> Self {
+        Priority::new(PriorityClass::Normal, 0.0)
+    }
+
+    /// The highest priority, used for filter-matched items.
+    pub fn highest() -> Self {
+        Priority::new(PriorityClass::Highest, 0.0)
+    }
+
+    /// The priority class.
+    pub fn class(self) -> PriorityClass {
+        self.class
+    }
+
+    /// The tie-breaking cost.
+    pub fn cost(self) -> f64 {
+        self.cost
+    }
+
+    /// Total order for transmission: higher class first, then lower cost.
+    fn sort_key(self) -> (std::cmp::Reverse<PriorityClass>, f64) {
+        (std::cmp::Reverse(self.class), self.cost)
+    }
+}
+
+/// A routing policy's verdict on forwarding one out-of-filter item.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SendDecision {
+    /// Do not include the item.
+    Skip,
+    /// Include the item with the given priority.
+    Send(Priority),
+}
+
+impl SendDecision {
+    /// Converts to an optional priority.
+    pub fn priority(self) -> Option<Priority> {
+        match self {
+            SendDecision::Skip => None,
+            SendDecision::Send(p) => Some(p),
+        }
+    }
+}
+
+/// Host-side context handed to a routing extension during a sync.
+///
+/// Grants the extension the paper's "existing Cimbiosys interfaces": read
+/// access to the local store and the internal no-new-version mutation
+/// channel for transient metadata.
+pub struct HostContext<'a> {
+    replica: &'a mut Replica,
+    now: SimTime,
+    peer: Option<ReplicaId>,
+}
+
+impl<'a> HostContext<'a> {
+    /// Creates a context for `replica` at simulated time `now`.
+    /// `peer` identifies the other endpoint of the sync, when known.
+    pub fn new(replica: &'a mut Replica, now: SimTime, peer: Option<ReplicaId>) -> Self {
+        HostContext { replica, now, peer }
+    }
+
+    /// The local replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.replica.id()
+    }
+
+    /// The sync partner's id, if known.
+    pub fn peer(&self) -> Option<ReplicaId> {
+        self.peer
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to the local replica.
+    pub fn replica(&self) -> &Replica {
+        self.replica
+    }
+
+    /// Sets a transient attribute on a stored item without bumping its
+    /// version (see [`Replica::set_transient`]).
+    pub fn set_transient(
+        &mut self,
+        id: ItemId,
+        name: impl Into<String>,
+        value: impl Into<crate::Value>,
+    ) -> Result<(), crate::PfrError> {
+        self.replica.set_transient(id, name, value)
+    }
+
+    /// Drops a relay copy (see [`Replica::purge_relay`]).
+    pub fn purge_relay(&mut self, id: ItemId) -> bool {
+        self.replica.purge_relay(id)
+    }
+}
+
+impl fmt::Debug for HostContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostContext")
+            .field("id", &self.replica.id())
+            .field("peer", &self.peer)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+/// The pluggable routing extension — the Rust rendering of the paper's
+/// `IDTNPolicy` interface (Figure 3) plus an outgoing-copy transform hook.
+///
+/// All methods have no-op defaults, so the minimal flooding policy is a
+/// one-method implementation.
+pub trait SyncExtension {
+    /// Called on the **target** when it initiates a sync: returns routing
+    /// data to attach to the request (`generateReq()` in the paper).
+    fn generate_request(&mut self, cx: &mut HostContext<'_>) -> RoutingState {
+        let _ = cx;
+        RoutingState::empty()
+    }
+
+    /// Called on the **source** when a request arrives: digests the
+    /// target's routing data (`processReq()` in the paper).
+    fn process_request(&mut self, cx: &mut HostContext<'_>, request: &SyncRequest) {
+        let _ = (cx, request);
+    }
+
+    /// Called on the **source** for each item that is unknown to the target
+    /// and does **not** match the target's filter: decides whether (and how
+    /// urgently) to forward it (`toSend()` in the paper).
+    fn to_send(&mut self, cx: &mut HostContext<'_>, item_id: ItemId, request: &SyncRequest)
+        -> SendDecision {
+        let _ = (cx, item_id, request);
+        SendDecision::Skip
+    }
+
+    /// Called on the **source** for every outgoing copy (filter-matched or
+    /// policy-forwarded) just before transmission; mutates the in-flight
+    /// copy only (TTL decrement, copy-count halving, hop-list append).
+    /// `matched_filter` distinguishes a delivery to the item's destination
+    /// from a relay handoff.
+    fn prepare_outgoing(
+        &mut self,
+        cx: &mut HostContext<'_>,
+        item: &mut Item,
+        target: ReplicaId,
+        matched_filter: bool,
+    ) {
+        let _ = (cx, item, target, matched_filter);
+    }
+
+    /// Called on the **target** after a batch is applied, with the ids of
+    /// items newly delivered into its filtered store (used e.g. by MaxProp
+    /// to originate delivery acknowledgements).
+    fn on_delivered(&mut self, cx: &mut HostContext<'_>, delivered: &[ItemId]) {
+        let _ = (cx, delivered);
+    }
+}
+
+/// The trivial extension: plain filtered replication, no out-of-filter
+/// forwarding. This is "basic Cimbiosys" in the paper's experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoExtension;
+
+impl SyncExtension for NoExtension {}
+
+/// A synchronization request, sent by the target to the source.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SyncRequest {
+    /// The requesting (target) replica.
+    pub target: ReplicaId,
+    /// Everything the target already knows; the source sends only versions
+    /// outside this set (at-most-once delivery).
+    pub knowledge: Knowledge,
+    /// The target's content filter.
+    pub filter: Filter,
+    /// Policy-defined routing data (paper §V-A requirement 2).
+    pub routing: RoutingState,
+}
+
+/// One item in a sync batch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchEntry {
+    /// The transmitted copy (after any in-flight transforms).
+    pub item: Item,
+    /// Transmission priority assigned by the filter match or the policy.
+    pub priority: Priority,
+    /// Whether the item matched the target's filter (as opposed to being
+    /// policy-forwarded).
+    pub matched_filter: bool,
+}
+
+/// An ordered batch of items from source to target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SyncBatch {
+    /// The sending (source) replica.
+    pub source: ReplicaId,
+    /// Entries in transmission order (highest priority first).
+    pub entries: Vec<BatchEntry>,
+    /// Number of candidate items the source declined or cut due to limits,
+    /// recorded for experiment accounting.
+    pub withheld: usize,
+}
+
+/// Transfer limits applied to one sync (the paper's bandwidth constraint
+/// allows a single message per encounter in §VI-D).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncLimits {
+    /// Maximum number of items transmitted in this batch (`None` =
+    /// unlimited).
+    pub max_items: Option<usize>,
+    /// Maximum total payload bytes transmitted in this batch (`None` =
+    /// unlimited). Models an encounter that ends mid-transfer: the batch
+    /// is cut at the first item that would exceed the budget, in priority
+    /// order, so the highest-priority traffic goes first.
+    pub max_payload_bytes: Option<usize>,
+}
+
+impl SyncLimits {
+    /// No limits: every eligible item is transmitted.
+    pub fn unlimited() -> Self {
+        SyncLimits::default()
+    }
+
+    /// At most `n` items per batch.
+    pub fn max_items(n: usize) -> Self {
+        SyncLimits {
+            max_items: Some(n),
+            ..SyncLimits::default()
+        }
+    }
+
+    /// At most `n` total payload bytes per batch.
+    pub fn max_payload_bytes(n: usize) -> Self {
+        SyncLimits {
+            max_payload_bytes: Some(n),
+            ..SyncLimits::default()
+        }
+    }
+
+    /// Adds a payload-byte cap to these limits.
+    pub fn with_max_payload_bytes(mut self, n: usize) -> Self {
+        self.max_payload_bytes = Some(n);
+        self
+    }
+}
+
+/// Statistics from applying one sync batch at the target.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SyncReport {
+    /// Items transmitted in the batch.
+    pub transmitted: usize,
+    /// Items newly visible in the target's filtered store (message
+    /// deliveries, in the DTN application).
+    pub delivered: usize,
+    /// Ids of the newly delivered items.
+    pub delivered_ids: Vec<ItemId>,
+    /// Items accepted into the relay (or push-out) store for forwarding.
+    pub relayed: usize,
+    /// Copies ignored as stale.
+    pub stale: usize,
+    /// Copies rejected as duplicates (should be zero in a correct run).
+    pub duplicates: usize,
+    /// Concurrent copies merged.
+    pub conflicts: usize,
+    /// Candidates the source withheld (declined by policy or cut by
+    /// limits).
+    pub withheld: usize,
+}
+
+/// Builds the target's sync request (paper Fig. 4, target side, step 1).
+pub fn begin_sync(
+    target: &mut Replica,
+    ext: &mut dyn SyncExtension,
+    now: SimTime,
+    source: Option<ReplicaId>,
+) -> SyncRequest {
+    let mut cx = HostContext::new(target, now, source);
+    let routing = ext.generate_request(&mut cx);
+    SyncRequest {
+        target: target.id(),
+        knowledge: target.knowledge().clone(),
+        filter: target.filter().clone(),
+        routing,
+    }
+}
+
+/// Builds the source's item batch for a request (paper Fig. 4, source
+/// side): processes routing state, selects filter-matched plus
+/// policy-forwarded items, sorts by priority, applies limits.
+pub fn prepare_batch(
+    source: &mut Replica,
+    ext: &mut dyn SyncExtension,
+    request: &SyncRequest,
+    limits: SyncLimits,
+    now: SimTime,
+) -> SyncBatch {
+    let source_id = source.id();
+    {
+        let mut cx = HostContext::new(source, now, Some(request.target));
+        ext.process_request(&mut cx, request);
+    }
+
+    let candidates = source.versions_unknown_to(&request.knowledge);
+    let mut selected: Vec<(ItemId, Priority, bool)> = Vec::new();
+    let mut withheld = 0usize;
+    for id in candidates {
+        let matched = source
+            .item(id)
+            .map(|item| request.filter.matches(item))
+            .unwrap_or(false);
+        if matched {
+            selected.push((id, Priority::highest(), true));
+            continue;
+        }
+        let mut cx = HostContext::new(source, now, Some(request.target));
+        match ext.to_send(&mut cx, id, request).priority() {
+            Some(priority) => selected.push((id, priority, false)),
+            None => withheld += 1,
+        }
+    }
+
+    // Deterministic transmission order: priority, then item id.
+    selected.sort_by(|(ida, pa, _), (idb, pb, _)| {
+        let ka = pa.sort_key();
+        let kb = pb.sort_key();
+        ka.0.cmp(&kb.0)
+            .then(ka.1.total_cmp(&kb.1))
+            .then(ida.cmp(idb))
+    });
+
+    if let Some(max) = limits.max_items {
+        if selected.len() > max {
+            withheld += selected.len() - max;
+            selected.truncate(max);
+        }
+    }
+    if let Some(max_bytes) = limits.max_payload_bytes {
+        // Cut, in priority order, at the first item that would overflow
+        // the byte budget (the encounter ends there).
+        let mut used = 0usize;
+        let mut keep = 0usize;
+        for (id, _, _) in &selected {
+            let size = source.item(*id).map(|i| i.payload().len()).unwrap_or(0);
+            if used + size > max_bytes {
+                break;
+            }
+            used += size;
+            keep += 1;
+        }
+        if selected.len() > keep {
+            withheld += selected.len() - keep;
+            selected.truncate(keep);
+        }
+    }
+
+    let mut entries = Vec::with_capacity(selected.len());
+    for (id, priority, matched_filter) in selected {
+        let Some(item) = source.item(id).cloned() else {
+            continue;
+        };
+        let mut copy = item;
+        let mut cx = HostContext::new(source, now, Some(request.target));
+        ext.prepare_outgoing(&mut cx, &mut copy, request.target, matched_filter);
+        entries.push(BatchEntry {
+            item: copy,
+            priority,
+            matched_filter,
+        });
+    }
+
+    SyncBatch {
+        source: source_id,
+        entries,
+        withheld,
+    }
+}
+
+/// Applies a batch at the target (paper Fig. 4, target side, step 2),
+/// returning delivery statistics.
+pub fn apply_batch(
+    target: &mut Replica,
+    ext: &mut dyn SyncExtension,
+    batch: SyncBatch,
+    now: SimTime,
+) -> SyncReport {
+    let mut report = SyncReport {
+        transmitted: batch.entries.len(),
+        withheld: batch.withheld,
+        ..SyncReport::default()
+    };
+    for entry in batch.entries {
+        let id = entry.item.id();
+        match target.apply_remote(entry.item, now) {
+            ApplyOutcome::Accepted { delivered, kind: _ } => {
+                if delivered {
+                    report.delivered += 1;
+                    report.delivered_ids.push(id);
+                } else {
+                    report.relayed += 1;
+                }
+            }
+            ApplyOutcome::Duplicate => report.duplicates += 1,
+            ApplyOutcome::Stale => report.stale += 1,
+            ApplyOutcome::ConflictMerged => report.conflicts += 1,
+        }
+    }
+    let delivered_ids = report.delivered_ids.clone();
+    let mut cx = HostContext::new(target, now, Some(batch.source));
+    ext.on_delivered(&mut cx, &delivered_ids);
+    report
+}
+
+/// Runs one full one-directional sync (`target` pulls from `source`) with
+/// independent extensions on each side.
+pub fn sync_with(
+    source: &mut Replica,
+    source_ext: &mut dyn SyncExtension,
+    target: &mut Replica,
+    target_ext: &mut dyn SyncExtension,
+    limits: SyncLimits,
+    now: SimTime,
+) -> SyncReport {
+    let request = begin_sync(target, target_ext, now, Some(source.id()));
+    let batch = prepare_batch(source, source_ext, &request, limits, now);
+    apply_batch(target, target_ext, batch, now)
+}
+
+/// Runs one plain filtered-replication sync with no routing extension and
+/// no limits — basic Cimbiosys behaviour.
+pub fn sync_once(source: &mut Replica, target: &mut Replica, now: SimTime) -> SyncReport {
+    let mut none_src = NoExtension;
+    let mut none_tgt = NoExtension;
+    sync_with(
+        source,
+        &mut none_src,
+        target,
+        &mut none_tgt,
+        SyncLimits::unlimited(),
+        now,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttributeMap;
+
+    fn rid(n: u64) -> ReplicaId {
+        ReplicaId::new(n)
+    }
+
+    fn dest(d: &str) -> AttributeMap {
+        let mut a = AttributeMap::new();
+        a.set("dest", d);
+        a
+    }
+
+    fn host(n: u64, addr: &str) -> Replica {
+        Replica::new(rid(n), Filter::address("dest", addr))
+    }
+
+    /// Flood-everything test extension.
+    struct FloodAll;
+    impl SyncExtension for FloodAll {
+        fn to_send(
+            &mut self,
+            _cx: &mut HostContext<'_>,
+            _item: ItemId,
+            _req: &SyncRequest,
+        ) -> SendDecision {
+            SendDecision::Send(Priority::normal())
+        }
+    }
+
+    #[test]
+    fn basic_sync_delivers_only_filter_matches() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        a.insert(dest("b"), b"for b".to_vec()).unwrap();
+        a.insert(dest("c"), b"for c".to_vec()).unwrap();
+
+        let report = sync_once(&mut a, &mut b, SimTime::ZERO);
+        assert_eq!(report.transmitted, 1);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.withheld, 1, "out-of-filter item withheld");
+        assert_eq!(b.item_count(), 1);
+    }
+
+    #[test]
+    fn sync_is_idempotent() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        a.insert(dest("b"), vec![]).unwrap();
+        let first = sync_once(&mut a, &mut b, SimTime::ZERO);
+        assert_eq!(first.delivered, 1);
+        let second = sync_once(&mut a, &mut b, SimTime::ZERO);
+        assert_eq!(second.transmitted, 0, "knowledge suppresses re-send");
+        assert_eq!(second.duplicates, 0);
+    }
+
+    #[test]
+    fn flooding_extension_forwards_out_of_filter() {
+        let mut a = host(1, "a");
+        let mut c = host(3, "c");
+        a.insert(dest("b"), vec![]).unwrap();
+        let mut flood = FloodAll;
+        let mut none = NoExtension;
+        let report = sync_with(
+            &mut a,
+            &mut flood,
+            &mut c,
+            &mut none,
+            SyncLimits::unlimited(),
+            SimTime::ZERO,
+        );
+        assert_eq!(report.transmitted, 1);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.relayed, 1);
+        assert_eq!(c.relay_load(), 1);
+
+        // And c can now deliver to b on a later encounter.
+        let mut b = host(2, "b");
+        let report = sync_once(&mut c, &mut b, SimTime::from_secs(10));
+        assert_eq!(report.delivered, 1, "multi-hop delivery through relay");
+    }
+
+    #[test]
+    fn batch_respects_limits_and_consistency_survives() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        for i in 0..5 {
+            a.insert(dest("b"), vec![i]).unwrap();
+        }
+        let report = sync_with(
+            &mut a,
+            &mut NoExtension,
+            &mut b,
+            &mut NoExtension,
+            SyncLimits::max_items(2),
+            SimTime::ZERO,
+        );
+        assert_eq!(report.transmitted, 2);
+        assert_eq!(report.withheld, 3);
+        // The cut items are still unknown to b and arrive on later syncs.
+        let report = sync_with(
+            &mut a,
+            &mut NoExtension,
+            &mut b,
+            &mut NoExtension,
+            SyncLimits::max_items(2),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(report.transmitted, 2);
+        let report = sync_once(&mut a, &mut b, SimTime::from_secs(2));
+        assert_eq!(report.transmitted, 1);
+        assert_eq!(b.iter_items().count(), 5, "partial batches never lose items");
+    }
+
+    #[test]
+    fn byte_budget_cuts_batches_in_priority_order() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        for i in 0..4u8 {
+            a.insert(dest("b"), vec![i; 100]).unwrap();
+        }
+        // 250 bytes fit two 100-byte payloads.
+        let report = sync_with(
+            &mut a,
+            &mut NoExtension,
+            &mut b,
+            &mut NoExtension,
+            SyncLimits::max_payload_bytes(250),
+            SimTime::ZERO,
+        );
+        assert_eq!(report.transmitted, 2);
+        assert_eq!(report.withheld, 2);
+        // Later syncs drain the rest: eventual consistency survives cuts.
+        sync_with(
+            &mut a,
+            &mut NoExtension,
+            &mut b,
+            &mut NoExtension,
+            SyncLimits::max_payload_bytes(250),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(b.iter_items().count(), 4);
+    }
+
+    #[test]
+    fn oversized_item_is_withheld_not_sent() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        a.insert(dest("b"), vec![0; 1000]).unwrap();
+        let report = sync_with(
+            &mut a,
+            &mut NoExtension,
+            &mut b,
+            &mut NoExtension,
+            SyncLimits::max_payload_bytes(100),
+            SimTime::ZERO,
+        );
+        assert_eq!(report.transmitted, 0);
+        assert_eq!(report.withheld, 1);
+    }
+
+    #[test]
+    fn combined_item_and_byte_limits() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        for i in 0..5u8 {
+            a.insert(dest("b"), vec![i; 10]).unwrap();
+        }
+        let limits = SyncLimits::max_items(3).with_max_payload_bytes(25);
+        let report = sync_with(
+            &mut a,
+            &mut NoExtension,
+            &mut b,
+            &mut NoExtension,
+            limits,
+            SimTime::ZERO,
+        );
+        // Item cap would allow 3, but bytes only fit 2.
+        assert_eq!(report.transmitted, 2);
+        assert_eq!(report.withheld, 3);
+    }
+
+    #[test]
+    fn priorities_order_batches() {
+        struct Classed;
+        impl SyncExtension for Classed {
+            fn to_send(
+                &mut self,
+                cx: &mut HostContext<'_>,
+                id: ItemId,
+                _req: &SyncRequest,
+            ) -> SendDecision {
+                // Priority derived from payload: [n] -> cost n, class Normal
+                // except payload 0 which is High class.
+                let item = cx.replica().item(id).expect("item exists");
+                let n = item.payload()[0];
+                if n == 0 {
+                    SendDecision::Send(Priority::new(PriorityClass::High, 0.0))
+                } else {
+                    SendDecision::Send(Priority::new(PriorityClass::Normal, f64::from(n)))
+                }
+            }
+        }
+        let mut a = host(1, "a");
+        let mut c = host(3, "c");
+        // One filter-matched item and three policy items.
+        a.insert(dest("c"), b"\xffmatched".to_vec()).unwrap();
+        for n in [2u8, 1, 0] {
+            a.insert(dest("x"), vec![n]).unwrap();
+        }
+        let request = begin_sync(&mut c, &mut NoExtension, SimTime::ZERO, Some(a.id()));
+        let batch = prepare_batch(
+            &mut a,
+            &mut Classed,
+            &request,
+            SyncLimits::unlimited(),
+            SimTime::ZERO,
+        );
+        let first_bytes: Vec<u8> = batch.entries.iter().map(|e| e.item.payload()[0]).collect();
+        assert_eq!(
+            first_bytes,
+            vec![0xff, 0, 1, 2],
+            "matched first, then class/cost order"
+        );
+        assert!(batch.entries[0].matched_filter);
+    }
+
+    #[test]
+    fn nan_cost_sorts_last() {
+        let p_nan = Priority::new(PriorityClass::Normal, f64::NAN);
+        assert_eq!(p_nan.cost(), f64::INFINITY);
+    }
+
+    #[test]
+    fn deletion_propagates_and_clears_relays() {
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        let mut c = host(3, "c");
+        let id = a.insert(dest("b"), b"m".to_vec()).unwrap();
+
+        // Flood to relay c, deliver to b.
+        let mut flood = FloodAll;
+        sync_with(&mut a, &mut flood, &mut c, &mut NoExtension, SyncLimits::unlimited(), SimTime::ZERO);
+        sync_once(&mut a, &mut b, SimTime::ZERO);
+        assert!(c.contains_item(id));
+
+        // b deletes after reading; tombstone flows b -> c (policy flood).
+        b.delete(id).unwrap();
+        let mut flood_b = FloodAll;
+        sync_with(&mut b, &mut flood_b, &mut c, &mut NoExtension, SyncLimits::unlimited(), SimTime::from_secs(5));
+        let stored = c.item(id).expect("tombstone replaces relay copy");
+        assert!(stored.is_deleted());
+        assert_eq!(c.relay_load(), 0, "tombstones don't occupy relay budget");
+    }
+
+    #[test]
+    fn on_delivered_sees_new_items() {
+        struct Recorder(Vec<ItemId>);
+        impl SyncExtension for Recorder {
+            fn on_delivered(&mut self, _cx: &mut HostContext<'_>, delivered: &[ItemId]) {
+                self.0.extend_from_slice(delivered);
+            }
+        }
+        let mut a = host(1, "a");
+        let mut b = host(2, "b");
+        let id = a.insert(dest("b"), vec![]).unwrap();
+        let mut rec = Recorder(Vec::new());
+        sync_with(
+            &mut a,
+            &mut NoExtension,
+            &mut b,
+            &mut rec,
+            SyncLimits::unlimited(),
+            SimTime::from_secs(42),
+        );
+        assert_eq!(rec.0, vec![id]);
+    }
+
+    #[test]
+    fn routing_state_roundtrip() {
+        let s = RoutingState::from_bytes(vec![1, 2, 3]);
+        assert_eq!(s.as_bytes(), &[1, 2, 3]);
+        assert!(!s.is_empty());
+        assert!(RoutingState::empty().is_empty());
+        assert!(format!("{s:?}").contains("3 bytes"));
+    }
+}

@@ -1,0 +1,896 @@
+//! Compact binary wire encoding for replication messages.
+//!
+//! Synchronization in a DTN happens over scarce, short-lived links, so the
+//! wire format matters. This module provides a small, hand-rolled
+//! tag-free binary codec — LEB128 varints, zig-zag signed integers,
+//! length-prefixed strings — plus [`Encode`]/[`Decode`] implementations
+//! for every protocol type: values, attribute maps, knowledge, filters,
+//! items, and the sync request/batch messages.
+//!
+//! The codec is deliberately independent of `serde` so that the encoded
+//! size of each structure is explicit and testable (the paper's "compact
+//! metadata overhead" claim is about exactly these bytes). Round-trip
+//! correctness is property-tested.
+
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+
+use crate::filter::{CmpOp, Filter};
+use crate::id::{ItemId, ReplicaId, Version};
+use crate::item::Item;
+use crate::knowledge::Knowledge;
+use crate::sync::{BatchEntry, Priority, PriorityClass, RoutingState, SyncBatch, SyncRequest};
+use crate::value::Value;
+use crate::AttributeMap;
+
+/// Errors from decoding a wire message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A varint used more than 10 bytes.
+    VarintOverflow,
+    /// An enum tag byte was out of range.
+    InvalidTag {
+        /// Which type was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Input had bytes left over after the top-level value.
+    TrailingBytes(usize),
+    /// A collection length prefix exceeded the remaining input (corrupt or
+    /// hostile input; bounds-checked before allocation).
+    LengthOverflow(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            WireError::InvalidTag { what, tag } => {
+                write!(f, "invalid tag {tag} while decoding {what}")
+            }
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::LengthOverflow(n) => {
+                write!(f, "length prefix {n} exceeds remaining input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Finishes encoding, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn put_u8(&mut self, byte: u8) {
+        self.buf.put_u8(byte);
+    }
+
+    /// Writes an unsigned LEB128 varint.
+    pub fn put_varint(&mut self, mut value: u64) {
+        loop {
+            let byte = (value & 0x7f) as u8;
+            value >>= 7;
+            if value == 0 {
+                self.buf.put_u8(byte);
+                return;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Writes a signed integer with zig-zag encoding.
+    pub fn put_signed(&mut self, value: i64) {
+        self.put_varint(((value << 1) ^ (value >> 63)) as u64);
+    }
+
+    /// Writes an `f64` as its fixed 8-byte IEEE-754 representation.
+    pub fn put_f64(&mut self, value: f64) {
+        self.buf.put_u64_le(value.to_bits());
+    }
+
+    /// Writes a bool as one byte.
+    pub fn put_bool(&mut self, value: bool) {
+        self.buf.put_u8(u8::from(value));
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.buf.put_slice(bytes);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        let byte = *self.buf.get(self.pos).ok_or(WireError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64, WireError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.get_u8()?;
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(WireError::VarintOverflow)
+    }
+
+    /// Reads a zig-zag signed integer.
+    pub fn get_signed(&mut self) -> Result<i64, WireError> {
+        let raw = self.get_varint()?;
+        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+    }
+
+    /// Reads a fixed 8-byte `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        if self.remaining() < 8 {
+            return Err(WireError::UnexpectedEof);
+        }
+        let mut bits = [0u8; 8];
+        bits.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(bits)))
+    }
+
+    /// Reads a bool byte.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::InvalidTag { what: "bool", tag }),
+        }
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.get_varint()?;
+        if len > self.remaining() as u64 {
+            return Err(WireError::LengthOverflow(len));
+        }
+        let len = len as usize;
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads a collection length prefix, validating it against a minimum
+    /// per-element size so corrupt input cannot trigger huge allocations.
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let len = self.get_varint()?;
+        let budget = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if len > budget {
+            return Err(WireError::LengthOverflow(len));
+        }
+        Ok(len as usize)
+    }
+}
+
+/// Types that can be written to the wire.
+pub trait Encode {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+}
+
+/// Types that can be read back from the wire.
+pub trait Decode: Sized {
+    /// Decodes one value from `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a value to a fresh byte vector.
+pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a value, requiring the input to be fully consumed.
+///
+/// # Errors
+///
+/// Any [`WireError`] from decoding, or [`WireError::TrailingBytes`] if the
+/// value did not consume all input.
+pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(value)
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len(1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::InvalidTag { what: "Option", tag }),
+        }
+    }
+}
+
+impl Encode for ReplicaId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.as_u64());
+    }
+}
+
+impl Decode for ReplicaId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ReplicaId::new(r.get_varint()?))
+    }
+}
+
+impl Encode for ItemId {
+    fn encode(&self, w: &mut Writer) {
+        self.origin().encode(w);
+        w.put_varint(self.seq());
+    }
+}
+
+impl Decode for ItemId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let origin = ReplicaId::decode(r)?;
+        let seq = r.get_varint()?;
+        Ok(ItemId::new(origin, seq))
+    }
+}
+
+impl Encode for Version {
+    fn encode(&self, w: &mut Writer) {
+        self.replica().encode(w);
+        w.put_varint(self.counter());
+    }
+}
+
+impl Decode for Version {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let replica = ReplicaId::decode(r)?;
+        let counter = r.get_varint()?;
+        Ok(Version::new(replica, counter))
+    }
+}
+
+const VAL_STR: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_BOOL: u8 = 3;
+const VAL_BYTES: u8 = 4;
+const VAL_LIST: u8 = 5;
+
+impl Encode for Value {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Value::Str(s) => {
+                w.put_u8(VAL_STR);
+                w.put_str(s);
+            }
+            Value::Int(i) => {
+                w.put_u8(VAL_INT);
+                w.put_signed(*i);
+            }
+            Value::Float(f) => {
+                w.put_u8(VAL_FLOAT);
+                w.put_f64(*f);
+            }
+            Value::Bool(b) => {
+                w.put_u8(VAL_BOOL);
+                w.put_bool(*b);
+            }
+            Value::Bytes(b) => {
+                w.put_u8(VAL_BYTES);
+                w.put_bytes(b);
+            }
+            Value::List(l) => {
+                w.put_u8(VAL_LIST);
+                l.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Value {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            VAL_STR => Ok(Value::Str(r.get_str()?)),
+            VAL_INT => Ok(Value::Int(r.get_signed()?)),
+            VAL_FLOAT => Ok(Value::Float(r.get_f64()?)),
+            VAL_BOOL => Ok(Value::Bool(r.get_bool()?)),
+            VAL_BYTES => Ok(Value::Bytes(r.get_bytes()?.to_vec())),
+            VAL_LIST => Ok(Value::List(Vec::decode(r)?)),
+            tag => Err(WireError::InvalidTag { what: "Value", tag }),
+        }
+    }
+}
+
+impl Encode for AttributeMap {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.len() as u64);
+        for (name, value) in self.iter() {
+            w.put_str(name);
+            value.encode(w);
+        }
+    }
+}
+
+impl Decode for AttributeMap {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_len(2)?;
+        let mut attrs = AttributeMap::new();
+        for _ in 0..len {
+            let name = r.get_str()?;
+            let value = Value::decode(r)?;
+            attrs
+                .try_set(name, value)
+                .map_err(|_| WireError::InvalidTag { what: "AttributeMap(NaN)", tag: 0 })?;
+        }
+        Ok(attrs)
+    }
+}
+
+impl Encode for Knowledge {
+    fn encode(&self, w: &mut Writer) {
+        let vector: Vec<(ReplicaId, u64)> = self.vector_entries().collect();
+        w.put_varint(vector.len() as u64);
+        for (replica, counter) in vector {
+            replica.encode(w);
+            w.put_varint(counter);
+        }
+        let exceptions: Vec<Version> = self.exceptions().collect();
+        exceptions.encode(w);
+    }
+}
+
+impl Decode for Knowledge {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut k = Knowledge::new();
+        let n = r.get_len(2)?;
+        for _ in 0..n {
+            let replica = ReplicaId::decode(r)?;
+            let counter = r.get_varint()?;
+            k.insert_prefix(replica, counter);
+        }
+        for version in Vec::<Version>::decode(r)? {
+            k.insert(version);
+        }
+        Ok(k)
+    }
+}
+
+const CMP_TAGS: [(CmpOp, u8); 6] = [
+    (CmpOp::Eq, 0),
+    (CmpOp::Ne, 1),
+    (CmpOp::Lt, 2),
+    (CmpOp::Le, 3),
+    (CmpOp::Gt, 4),
+    (CmpOp::Ge, 5),
+];
+
+impl Encode for CmpOp {
+    fn encode(&self, w: &mut Writer) {
+        let tag = CMP_TAGS
+            .iter()
+            .find(|(op, _)| op == self)
+            .map(|(_, t)| *t)
+            .expect("all ops tagged");
+        w.put_u8(tag);
+    }
+}
+
+impl Decode for CmpOp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        CMP_TAGS
+            .iter()
+            .find(|(_, t)| *t == tag)
+            .map(|(op, _)| *op)
+            .ok_or(WireError::InvalidTag { what: "CmpOp", tag })
+    }
+}
+
+const FILT_ALL: u8 = 0;
+const FILT_NONE: u8 = 1;
+const FILT_CMP: u8 = 2;
+const FILT_IN: u8 = 3;
+const FILT_CONTAINS: u8 = 4;
+const FILT_EXISTS: u8 = 5;
+const FILT_NOT: u8 = 6;
+const FILT_AND: u8 = 7;
+const FILT_OR: u8 = 8;
+
+impl Encode for Filter {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Filter::All => w.put_u8(FILT_ALL),
+            Filter::None => w.put_u8(FILT_NONE),
+            Filter::Cmp { attr, op, value } => {
+                w.put_u8(FILT_CMP);
+                w.put_str(attr);
+                op.encode(w);
+                value.encode(w);
+            }
+            Filter::In { attr, values } => {
+                w.put_u8(FILT_IN);
+                w.put_str(attr);
+                values.encode(w);
+            }
+            Filter::Contains { attr, value } => {
+                w.put_u8(FILT_CONTAINS);
+                w.put_str(attr);
+                value.encode(w);
+            }
+            Filter::Exists(attr) => {
+                w.put_u8(FILT_EXISTS);
+                w.put_str(attr);
+            }
+            Filter::Not(inner) => {
+                w.put_u8(FILT_NOT);
+                inner.encode(w);
+            }
+            Filter::And(arms) => {
+                w.put_u8(FILT_AND);
+                arms.encode(w);
+            }
+            Filter::Or(arms) => {
+                w.put_u8(FILT_OR);
+                arms.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Filter {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            FILT_ALL => Ok(Filter::All),
+            FILT_NONE => Ok(Filter::None),
+            FILT_CMP => Ok(Filter::Cmp {
+                attr: r.get_str()?,
+                op: CmpOp::decode(r)?,
+                value: Value::decode(r)?,
+            }),
+            FILT_IN => Ok(Filter::In {
+                attr: r.get_str()?,
+                values: Vec::decode(r)?,
+            }),
+            FILT_CONTAINS => Ok(Filter::Contains {
+                attr: r.get_str()?,
+                value: Value::decode(r)?,
+            }),
+            FILT_EXISTS => Ok(Filter::Exists(r.get_str()?)),
+            FILT_NOT => Ok(Filter::Not(Box::new(Filter::decode(r)?))),
+            FILT_AND => Ok(Filter::And(Vec::decode(r)?)),
+            FILT_OR => Ok(Filter::Or(Vec::decode(r)?)),
+            tag => Err(WireError::InvalidTag { what: "Filter", tag }),
+        }
+    }
+}
+
+impl Encode for Item {
+    fn encode(&self, w: &mut Writer) {
+        self.id().encode(w);
+        self.version().encode(w);
+        let ancestors: Vec<Version> = self.ancestors().collect();
+        ancestors.encode(w);
+        self.attrs().encode(w);
+        self.transient().encode(w);
+        w.put_bytes(self.payload());
+        w.put_bool(self.is_deleted());
+    }
+}
+
+impl Decode for Item {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let id = ItemId::decode(r)?;
+        let version = Version::decode(r)?;
+        let ancestors = Vec::<Version>::decode(r)?;
+        let attrs = AttributeMap::decode(r)?;
+        let transient = AttributeMap::decode(r)?;
+        let payload = r.get_bytes()?.to_vec();
+        let deleted = r.get_bool()?;
+        let mut builder = Item::builder(id, version)
+            .attrs(attrs)
+            .payload(payload)
+            .deleted(deleted);
+        for (name, value) in transient.iter() {
+            builder = builder.transient_attr(name, value.clone());
+        }
+        let mut item = builder.build();
+        // Re-derive ancestor history through the supersession API.
+        item = ancestors
+            .into_iter()
+            .fold(item, |item, v| item.with_ancestor(v));
+        Ok(item)
+    }
+}
+
+impl Encode for RoutingState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for RoutingState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RoutingState::from_bytes(r.get_bytes()?.to_vec()))
+    }
+}
+
+const PRIO_TAGS: [(PriorityClass, u8); 5] = [
+    (PriorityClass::Lowest, 0),
+    (PriorityClass::Low, 1),
+    (PriorityClass::Normal, 2),
+    (PriorityClass::High, 3),
+    (PriorityClass::Highest, 4),
+];
+
+impl Encode for PriorityClass {
+    fn encode(&self, w: &mut Writer) {
+        let tag = PRIO_TAGS
+            .iter()
+            .find(|(c, _)| c == self)
+            .map(|(_, t)| *t)
+            .expect("all classes tagged");
+        w.put_u8(tag);
+    }
+}
+
+impl Decode for PriorityClass {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        PRIO_TAGS
+            .iter()
+            .find(|(_, t)| *t == tag)
+            .map(|(c, _)| *c)
+            .ok_or(WireError::InvalidTag { what: "PriorityClass", tag })
+    }
+}
+
+impl Encode for Priority {
+    fn encode(&self, w: &mut Writer) {
+        self.class().encode(w);
+        w.put_f64(self.cost());
+    }
+}
+
+impl Decode for Priority {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let class = PriorityClass::decode(r)?;
+        let cost = r.get_f64()?;
+        Ok(Priority::new(class, cost))
+    }
+}
+
+impl Encode for SyncRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.target.encode(w);
+        self.knowledge.encode(w);
+        self.filter.encode(w);
+        self.routing.encode(w);
+    }
+}
+
+impl Decode for SyncRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SyncRequest {
+            target: ReplicaId::decode(r)?,
+            knowledge: Knowledge::decode(r)?,
+            filter: Filter::decode(r)?,
+            routing: RoutingState::decode(r)?,
+        })
+    }
+}
+
+impl Encode for BatchEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.item.encode(w);
+        self.priority.encode(w);
+        w.put_bool(self.matched_filter);
+    }
+}
+
+impl Decode for BatchEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(BatchEntry {
+            item: Item::decode(r)?,
+            priority: Priority::decode(r)?,
+            matched_filter: r.get_bool()?,
+        })
+    }
+}
+
+impl Encode for SyncBatch {
+    fn encode(&self, w: &mut Writer) {
+        self.source.encode(w);
+        self.entries.encode(w);
+        w.put_varint(self.withheld as u64);
+    }
+}
+
+impl Decode for SyncBatch {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SyncBatch {
+            source: ReplicaId::decode(r)?,
+            entries: Vec::decode(r)?,
+            withheld: r.get_varint()? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut w = Writer::new();
+            w.put_varint(v);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.get_varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn signed_zigzag() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut w = Writer::new();
+            w.put_signed(v);
+            let bytes = w.into_bytes();
+            assert_eq!(Reader::new(&bytes).get_signed().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_varints_are_one_byte() {
+        let mut w = Writer::new();
+        w.put_varint(100);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn eof_and_overflow_errors() {
+        assert_eq!(Reader::new(&[]).get_u8(), Err(WireError::UnexpectedEof));
+        assert_eq!(
+            Reader::new(&[0x80; 11]).get_varint(),
+            Err(WireError::VarintOverflow)
+        );
+        assert_eq!(Reader::new(&[1, 2]).get_f64(), Err(WireError::UnexpectedEof));
+        assert_eq!(
+            Reader::new(&[7]).get_bool(),
+            Err(WireError::InvalidTag { what: "bool", tag: 7 })
+        );
+    }
+
+    #[test]
+    fn length_overflow_rejected_before_allocation() {
+        // Claims 1 GiB of bytes with 1 byte of input.
+        let mut w = Writer::new();
+        w.put_varint(1 << 30);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_bytes(), Err(WireError::LengthOverflow(_))));
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing() {
+        let mut w = Writer::new();
+        ReplicaId::new(1).encode(&mut w);
+        w.put_u8(0xee);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            from_bytes::<ReplicaId>(&bytes),
+            Err(WireError::TrailingBytes(1))
+        );
+    }
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value);
+        let back = from_bytes::<T>(&bytes).unwrap_or_else(|e| panic!("decode failed: {e}"));
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip(Value::from("héllo"));
+        roundtrip(Value::from(-42i64));
+        roundtrip(Value::from(3.25));
+        roundtrip(Value::from(true));
+        roundtrip(Value::from(vec![1u8, 2, 3]));
+        roundtrip(Value::List(vec![
+            Value::from("x"),
+            Value::List(vec![Value::from(1i64)]),
+        ]));
+    }
+
+    #[test]
+    fn knowledge_roundtrips_with_exceptions() {
+        let mut k = Knowledge::new();
+        k.insert_prefix(ReplicaId::new(1), 10);
+        k.insert(Version::new(ReplicaId::new(2), 5));
+        k.insert(Version::new(ReplicaId::new(2), 9));
+        roundtrip(k);
+    }
+
+    #[test]
+    fn filter_roundtrips() {
+        let f = Filter::parse(r#"(dest contains "a") or (n >= 2 and not exists gone)"#)
+            .unwrap();
+        roundtrip(f);
+        roundtrip(Filter::All);
+        roundtrip(Filter::In {
+            attr: "t".into(),
+            values: vec![Value::from(1i64), Value::from("x")],
+        });
+    }
+
+    #[test]
+    fn item_roundtrips_with_ancestors_and_transient() {
+        let id = ItemId::new(ReplicaId::new(3), 7);
+        let item = Item::builder(id, Version::new(ReplicaId::new(3), 7))
+            .attr("dest", "b")
+            .transient_attr("ttl", 9i64)
+            .payload(b"payload".to_vec())
+            .build()
+            .with_ancestor(Version::new(ReplicaId::new(1), 2))
+            .with_ancestor(Version::new(ReplicaId::new(2), 4));
+        roundtrip(item);
+    }
+
+    #[test]
+    fn sync_messages_roundtrip() {
+        let mut k = Knowledge::new();
+        k.insert_prefix(ReplicaId::new(1), 3);
+        let req = SyncRequest {
+            target: ReplicaId::new(2),
+            knowledge: k,
+            filter: Filter::address("dest", "b"),
+            routing: RoutingState::from_bytes(vec![9, 9]),
+        };
+        let bytes = to_bytes(&req);
+        let back: SyncRequest = from_bytes(&bytes).unwrap();
+        assert_eq!(back.target, req.target);
+        assert_eq!(back.filter, req.filter);
+        assert_eq!(back.routing, req.routing);
+        assert!(back.knowledge.contains(Version::new(ReplicaId::new(1), 3)));
+
+        let item = Item::builder(ItemId::new(ReplicaId::new(1), 1), Version::new(ReplicaId::new(1), 1))
+            .attr("dest", "b")
+            .build();
+        let batch = SyncBatch {
+            source: ReplicaId::new(1),
+            entries: vec![BatchEntry {
+                item,
+                priority: Priority::new(PriorityClass::High, 1.5),
+                matched_filter: true,
+            }],
+            withheld: 2,
+        };
+        let bytes = to_bytes(&batch);
+        let back: SyncBatch = from_bytes(&bytes).unwrap();
+        assert_eq!(back.source, batch.source);
+        assert_eq!(back.withheld, 2);
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].priority.cost(), 1.5);
+        assert!(back.entries[0].matched_filter);
+    }
+
+    #[test]
+    fn knowledge_encoding_is_compact() {
+        // 50 replicas, 1000 versions each, fully prefix-compacted: the
+        // encoding must be proportional to replicas, not versions.
+        let mut k = Knowledge::new();
+        for rep in 1..=50 {
+            k.insert_prefix(ReplicaId::new(rep), 1000);
+        }
+        let bytes = to_bytes(&k);
+        assert!(
+            bytes.len() < 50 * 4 + 16,
+            "knowledge for 50k versions took {} bytes",
+            bytes.len()
+        );
+    }
+}

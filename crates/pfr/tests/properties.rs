@@ -1,0 +1,588 @@
+//! Property-based tests for the replication substrate's core invariants:
+//! knowledge algebra, at-most-once delivery, eventual filter consistency,
+//! and wire-codec round trips.
+
+use proptest::prelude::*;
+
+use pfr::wire::{from_bytes, to_bytes};
+use pfr::{
+    sync, AttributeMap, Filter, Knowledge, Replica, ReplicaId, SimTime, Value, Version,
+};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_version() -> impl Strategy<Value = Version> {
+    (1u64..6, 1u64..40).prop_map(|(r, c)| Version::new(ReplicaId::new(r), c))
+}
+
+fn arb_knowledge() -> impl Strategy<Value = Knowledge> {
+    proptest::collection::vec(arb_version(), 0..60).prop_map(|versions| {
+        let mut k = Knowledge::new();
+        for v in versions {
+            k.insert(v);
+        }
+        k
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        "[a-z]{0,8}".prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        // Finite floats only: NaN is rejected by AttributeMap by design.
+        any::<i32>().prop_map(|i| Value::from(f64::from(i) / 8.0)),
+        any::<bool>().prop_map(Value::from),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::from),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Knowledge is a join-semilattice
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn knowledge_contains_every_inserted_version(
+        versions in proptest::collection::vec(arb_version(), 0..80)
+    ) {
+        let mut k = Knowledge::new();
+        for &v in &versions {
+            k.insert(v);
+        }
+        for &v in &versions {
+            prop_assert!(k.contains(v));
+        }
+    }
+
+    #[test]
+    fn knowledge_merge_is_commutative(a in arb_knowledge(), b in arb_knowledge()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert!(ab.dominates(&ba) && ba.dominates(&ab));
+    }
+
+    #[test]
+    fn knowledge_merge_is_associative(
+        a in arb_knowledge(), b in arb_knowledge(), c in arb_knowledge()
+    ) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert!(left.dominates(&right) && right.dominates(&left));
+    }
+
+    #[test]
+    fn knowledge_merge_is_idempotent(a in arb_knowledge()) {
+        let mut aa = a.clone();
+        aa.merge(&a);
+        prop_assert_eq!(aa, a);
+    }
+
+    #[test]
+    fn knowledge_merge_dominates_both_inputs(a in arb_knowledge(), b in arb_knowledge()) {
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(m.dominates(&a));
+        prop_assert!(m.dominates(&b));
+    }
+
+    #[test]
+    fn knowledge_compaction_never_loses_versions(
+        mut counters in proptest::collection::vec(1u64..50, 1..50)
+    ) {
+        // Insert a permutation of 1..=n with duplicates; the set semantics
+        // must be exact regardless of compaction.
+        let r = ReplicaId::new(1);
+        let mut k = Knowledge::new();
+        for &c in &counters {
+            k.insert(Version::new(r, c));
+        }
+        counters.sort_unstable();
+        counters.dedup();
+        for c in 1..=50u64 {
+            prop_assert_eq!(
+                k.contains(Version::new(r, c)),
+                counters.binary_search(&c).is_ok(),
+                "counter {}", c
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn value_codec_roundtrip(v in arb_value()) {
+        let bytes = to_bytes(&v);
+        let back: Value = from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn knowledge_codec_roundtrip(k in arb_knowledge()) {
+        let bytes = to_bytes(&k);
+        let back: Knowledge = from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back, k);
+    }
+
+    #[test]
+    fn item_codec_roundtrip(
+        origin in 1u64..9,
+        seq in 1u64..100,
+        vcounter in 1u64..100,
+        ancestors in proptest::collection::vec(arb_version(), 0..5),
+        attrs in proptest::collection::vec(("[a-z]{1,6}", arb_value()), 0..5),
+        transient in proptest::collection::vec(("[a-z]{1,6}", -100i64..100), 0..3),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        deleted in any::<bool>(),
+    ) {
+        let mut builder = pfr::Item::builder(
+            pfr::ItemId::new(ReplicaId::new(origin), seq),
+            Version::new(ReplicaId::new(origin), vcounter),
+        )
+        .payload(payload)
+        .deleted(deleted);
+        for (name, value) in attrs {
+            if !matches!(&value, Value::Float(f) if f.is_nan()) {
+                builder = builder.attr(name, value);
+            }
+        }
+        for (name, value) in transient {
+            builder = builder.transient_attr(name, value);
+        }
+        let item = ancestors
+            .into_iter()
+            .fold(builder.build(), |item, v| item.with_ancestor(v));
+        let bytes = to_bytes(&item);
+        let back: pfr::Item = from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back, item);
+    }
+
+    #[test]
+    fn sync_request_codec_roundtrip(
+        target in 1u64..9,
+        k in arb_knowledge(),
+        routing in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let request = pfr::sync::SyncRequest {
+            target: ReplicaId::new(target),
+            knowledge: k,
+            filter: Filter::address("dest", "x"),
+            routing: pfr::RoutingState::from_bytes(routing),
+        };
+        let bytes = to_bytes(&request);
+        let back: pfr::sync::SyncRequest = from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back.target, request.target);
+        prop_assert_eq!(back.filter, request.filter);
+        prop_assert_eq!(back.routing, request.routing);
+        prop_assert!(back.knowledge.dominates(&request.knowledge));
+        prop_assert!(request.knowledge.dominates(&back.knowledge));
+    }
+
+    #[test]
+    fn codec_never_panics_on_corrupt_input(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Decoding arbitrary bytes must fail cleanly, never panic or OOM.
+        let _ = from_bytes::<Knowledge>(&bytes);
+        let _ = from_bytes::<Value>(&bytes);
+        let _ = from_bytes::<pfr::sync::SyncRequest>(&bytes);
+        let _ = from_bytes::<pfr::sync::SyncBatch>(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filter parser round trips
+// ---------------------------------------------------------------------------
+
+fn arb_scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-z]{0,6}".prop_map(Value::from),
+        (-1000i64..1000).prop_map(Value::from),
+        any::<bool>().prop_map(Value::from),
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        Just(Filter::All),
+        Just(Filter::None),
+        ("[a-z]{1,6}", arb_scalar_value()).prop_map(|(attr, value)| Filter::Cmp {
+            attr,
+            op: pfr::CmpOp::Eq,
+            value,
+        }),
+        ("[a-z]{1,6}", (-100i64..100)).prop_map(|(attr, n)| Filter::Cmp {
+            attr,
+            op: pfr::CmpOp::Ge,
+            value: Value::from(n),
+        }),
+        (
+            "[a-z]{1,6}",
+            proptest::collection::vec(arb_scalar_value(), 0..4)
+        )
+            .prop_map(|(attr, values)| Filter::In { attr, values }),
+        ("[a-z]{1,6}", arb_scalar_value())
+            .prop_map(|(attr, value)| Filter::Contains { attr, value }),
+        "[a-z]{1,6}".prop_map(Filter::Exists),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        // And/Or need >= 2 arms: the text form of a single-arm connective
+        // is indistinguishable from its arm, so it parses back collapsed.
+        prop_oneof![
+            inner.clone().prop_map(|f| Filter::Not(Box::new(f))),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Filter::And),
+            proptest::collection::vec(inner, 2..4).prop_map(Filter::Or),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn filter_display_parse_roundtrip(f in arb_filter()) {
+        let text = f.to_string();
+        let parsed = Filter::parse(&text)
+            .unwrap_or_else(|e| panic!("parse of {text:?} failed: {e}"));
+        prop_assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn filter_codec_roundtrip(f in arb_filter()) {
+        let bytes = to_bytes(&f);
+        let back: Filter = from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back, f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication invariants over random sync schedules
+// ---------------------------------------------------------------------------
+
+/// A randomized scenario: n replicas, a set of messages (sender, dest), and
+/// a random schedule of pairwise syncs.
+#[derive(Debug, Clone)]
+struct Scenario {
+    hosts: usize,
+    messages: Vec<(usize, usize)>,
+    syncs: Vec<(usize, usize)>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..6).prop_flat_map(|hosts| {
+        let msg = (0..hosts, 0..hosts);
+        let sync = (0..hosts, 0..hosts);
+        (
+            Just(hosts),
+            proptest::collection::vec(msg, 1..12),
+            proptest::collection::vec(sync, 0..60),
+        )
+            .prop_map(|(hosts, messages, syncs)| Scenario {
+                hosts,
+                messages,
+                syncs,
+            })
+    })
+}
+
+fn addr(i: usize) -> String {
+    format!("h{i}")
+}
+
+fn build_hosts(n: usize) -> Vec<Replica> {
+    (0..n)
+        .map(|i| {
+            Replica::new(
+                ReplicaId::new(i as u64 + 1),
+                Filter::address("dest", addr(i).as_str()),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// At-most-once delivery: whatever the sync schedule, no replica ever
+    /// observes a duplicate version.
+    #[test]
+    fn random_sync_schedules_never_duplicate(scenario in arb_scenario()) {
+        let mut hosts = build_hosts(scenario.hosts);
+        for &(from, to) in &scenario.messages {
+            let mut attrs = AttributeMap::new();
+            attrs.set("dest", addr(to).as_str());
+            attrs.set("from", addr(from).as_str());
+            hosts[from].insert(attrs, vec![]).expect("insert");
+        }
+        for (step, &(a, b)) in scenario.syncs.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let (src, tgt) = split_two(&mut hosts, a, b);
+            let report = sync::sync_once(src, tgt, SimTime::from_secs(step as u64));
+            prop_assert_eq!(report.duplicates, 0, "sync step {}", step);
+        }
+        for host in &hosts {
+            prop_assert_eq!(host.stats().duplicates_rejected, 0);
+        }
+    }
+
+    /// Eventual filter consistency: after enough rounds of all-pairs syncs,
+    /// every message reaches its destination (direct encounters suffice
+    /// because every pair syncs).
+    #[test]
+    fn all_pairs_syncing_reaches_filter_consistency(
+        hosts_n in 2usize..5,
+        messages in proptest::collection::vec((0usize..5, 0usize..5), 1..10)
+    ) {
+        let mut hosts = build_hosts(hosts_n);
+        let messages: Vec<(usize, usize)> = messages
+            .into_iter()
+            .map(|(f, t)| (f % hosts_n, t % hosts_n))
+            .collect();
+        for &(from, to) in &messages {
+            let mut attrs = AttributeMap::new();
+            attrs.set("dest", addr(to).as_str());
+            hosts[from].insert(attrs, vec![]).expect("insert");
+        }
+        // Two full rounds of all ordered pairs guarantee propagation along
+        // any single-hop path (senders hold their own messages).
+        let mut t = 0u64;
+        for _round in 0..2 {
+            for a in 0..hosts_n {
+                for b in 0..hosts_n {
+                    if a == b {
+                        continue;
+                    }
+                    let (src, tgt) = split_two(&mut hosts, a, b);
+                    sync::sync_once(src, tgt, SimTime::from_secs(t));
+                    t += 1;
+                }
+            }
+        }
+        for &(from, to) in &messages {
+            let delivered = hosts[to]
+                .iter_items()
+                .filter(|i| i.attrs().get_str("dest") == Some(&addr(to)))
+                .count();
+            let expected = messages
+                .iter()
+                .filter(|&&(_, t2)| t2 == to)
+                .count();
+            prop_assert_eq!(
+                delivered, expected,
+                "destination {} (sender {}) is missing messages", to, from
+            );
+        }
+    }
+
+    /// Knowledge monotonicity: a replica's knowledge only ever grows across
+    /// a sync schedule.
+    #[test]
+    fn knowledge_grows_monotonically(scenario in arb_scenario()) {
+        let mut hosts = build_hosts(scenario.hosts);
+        for &(from, to) in &scenario.messages {
+            let mut attrs = AttributeMap::new();
+            attrs.set("dest", addr(to).as_str());
+            hosts[from].insert(attrs, vec![]).expect("insert");
+        }
+        let mut snapshots: Vec<Knowledge> =
+            hosts.iter().map(|h| h.knowledge().clone()).collect();
+        for (step, &(a, b)) in scenario.syncs.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let (src, tgt) = split_two(&mut hosts, a, b);
+            sync::sync_once(src, tgt, SimTime::from_secs(step as u64));
+            for (i, host) in hosts.iter().enumerate() {
+                prop_assert!(
+                    host.knowledge().dominates(&snapshots[i]),
+                    "host {} knowledge regressed at step {}", i, step
+                );
+                snapshots[i] = host.knowledge().clone();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filter implication soundness
+// ---------------------------------------------------------------------------
+
+/// Attribute maps over a tiny universe, so random filters over the same
+/// attribute names frequently interact with them.
+fn arb_small_attrs() -> impl Strategy<Value = pfr::AttributeMap> {
+    proptest::collection::vec(
+        (
+            prop_oneof![Just("a"), Just("b"), Just("c")],
+            prop_oneof![
+                (-3i64..4).prop_map(Value::from),
+                prop_oneof![Just("x"), Just("y")].prop_map(Value::from),
+            ],
+        ),
+        0..4,
+    )
+    .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+fn arb_small_filter() -> impl Strategy<Value = Filter> {
+    let attr = prop_oneof![Just("a".to_string()), Just("b".to_string())];
+    let value = prop_oneof![
+        (-3i64..4).prop_map(Value::from),
+        prop_oneof![Just("x"), Just("y")].prop_map(Value::from),
+    ];
+    let op = prop_oneof![
+        Just(pfr::CmpOp::Eq),
+        Just(pfr::CmpOp::Ne),
+        Just(pfr::CmpOp::Lt),
+        Just(pfr::CmpOp::Le),
+        Just(pfr::CmpOp::Gt),
+        Just(pfr::CmpOp::Ge),
+    ];
+    let leaf = prop_oneof![
+        Just(Filter::All),
+        Just(Filter::None),
+        (attr.clone(), op, value.clone())
+            .prop_map(|(attr, op, value)| Filter::Cmp { attr, op, value }),
+        (attr.clone(), proptest::collection::vec(value.clone(), 0..3))
+            .prop_map(|(attr, values)| Filter::In { attr, values }),
+        (attr.clone(), value).prop_map(|(attr, value)| Filter::Contains { attr, value }),
+        attr.prop_map(Filter::Exists),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Filter::Not(Box::new(f))),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Filter::And),
+            proptest::collection::vec(inner, 1..3).prop_map(Filter::Or),
+        ]
+    })
+}
+
+proptest! {
+    /// Soundness: whenever `implies` says yes, matching really is a
+    /// subset relation — checked against random attribute maps.
+    #[test]
+    fn implies_is_sound(
+        f in arb_small_filter(),
+        g in arb_small_filter(),
+        attrs in proptest::collection::vec(arb_small_attrs(), 1..20),
+    ) {
+        if f.implies(&g) {
+            for a in &attrs {
+                prop_assert!(
+                    !f.matches_attrs(a) || g.matches_attrs(a),
+                    "{f} implies {g} claimed, but attrs {a:?} separate them"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round trips and corruption resistance
+// ---------------------------------------------------------------------------
+
+/// Builds a replica with an arbitrary mix of local writes, received items,
+/// transient metadata, updates, and deletions.
+fn arb_populated_replica() -> impl Strategy<Value = Replica> {
+    let op = prop_oneof![
+        // (kind, dest index, payload byte)
+        (0u8..5, 0usize..4, any::<u8>()),
+    ];
+    proptest::collection::vec(op, 0..30).prop_map(|ops| {
+        let mut peer = Replica::new(ReplicaId::new(9), Filter::All);
+        let mut r = Replica::new(ReplicaId::new(1), Filter::address("dest", "h0"));
+        r.set_relay_limit(Some(8));
+        let mut my_items = Vec::new();
+        for (kind, dest, payload) in ops {
+            match kind {
+                0 => {
+                    let mut attrs = AttributeMap::new();
+                    attrs.set("dest", addr(dest).as_str());
+                    let id = r.insert(attrs, vec![payload]).expect("insert");
+                    my_items.push(id);
+                }
+                1 => {
+                    let mut attrs = AttributeMap::new();
+                    attrs.set("dest", addr(dest).as_str());
+                    let id = peer.insert(attrs, vec![payload]).expect("insert");
+                    let item = peer.item(id).expect("present").clone();
+                    r.apply_remote(item, SimTime::from_secs(u64::from(payload)));
+                }
+                2 => {
+                    if let Some(&id) = my_items.get(dest % my_items.len().max(1)) {
+                        let _ = r.set_transient(id, "ttl", i64::from(payload));
+                    }
+                }
+                3 => {
+                    if let Some(&id) = my_items.get(dest % my_items.len().max(1)) {
+                        let mut attrs = AttributeMap::new();
+                        attrs.set("dest", addr(dest).as_str());
+                        let _ = r.update(id, attrs, vec![payload, payload]);
+                    }
+                }
+                _ => {
+                    if let Some(&id) = my_items.get(dest % my_items.len().max(1)) {
+                        let _ = r.delete(id);
+                    }
+                }
+            }
+        }
+        r
+    })
+}
+
+proptest! {
+    #[test]
+    fn snapshot_roundtrip_for_arbitrary_replicas(replica in arb_populated_replica()) {
+        let restored = Replica::restore(&replica.snapshot()).expect("restore");
+        prop_assert_eq!(restored.id(), replica.id());
+        prop_assert_eq!(restored.knowledge(), replica.knowledge());
+        prop_assert_eq!(restored.item_ids(), replica.item_ids());
+        for id in replica.item_ids() {
+            prop_assert_eq!(restored.item(id), replica.item(id));
+            prop_assert_eq!(restored.store_kind(id), replica.store_kind(id));
+        }
+        // And the restored snapshot is byte-identical (canonical form).
+        prop_assert_eq!(restored.snapshot(), replica.snapshot());
+    }
+
+    #[test]
+    fn corrupted_snapshots_never_panic(
+        replica in arb_populated_replica(),
+        cut in 0usize..1000,
+        flip in 0usize..1000,
+        value in any::<u8>(),
+    ) {
+        let mut bytes = replica.snapshot();
+        if !bytes.is_empty() {
+            let flip = flip % bytes.len();
+            bytes[flip] ^= value;
+            let cut = cut % (bytes.len() + 1);
+            bytes.truncate(cut);
+        }
+        // Must either fail cleanly or produce some replica; never panic.
+        let _ = Replica::restore(&bytes);
+    }
+}
+
+/// Borrow two distinct elements mutably.
+fn split_two(hosts: &mut [Replica], a: usize, b: usize) -> (&mut Replica, &mut Replica) {
+    assert_ne!(a, b);
+    if a < b {
+        let (left, right) = hosts.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = hosts.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-day assignment of e-mail users to buses.
+//!
+//! "For each day in our experimental run, the experiment uniformly
+//! distributes e-mail users to the buses scheduled on that day" (§VI-A):
+//! a user's mail is delivered to whichever bus carries them today, so the
+//! assignment is the bridge between the e-mail workload (users) and the
+//! mobility trace (buses).
+
+use std::collections::BTreeMap;
+
+use pfr::ReplicaId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mobility::EncounterTrace;
+
+/// For each day, which bus hosts each user.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UserAssignment {
+    /// day -> (user -> bus).
+    by_day: BTreeMap<u64, BTreeMap<String, ReplicaId>>,
+}
+
+impl UserAssignment {
+    /// Uniformly assigns `users` to the buses scheduled on each day of the
+    /// trace. Deterministic for a given seed. Days with no scheduled buses
+    /// get no assignments (users are unreachable that day, as in the real
+    /// trace when a bus is off duty).
+    pub fn uniform(trace: &EncounterTrace, users: &[String], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_day = BTreeMap::new();
+        for day in 0..trace.days() {
+            let buses: Vec<ReplicaId> = trace.nodes_on_day(day).into_iter().collect();
+            if buses.is_empty() {
+                continue;
+            }
+            let mut today = BTreeMap::new();
+            for user in users {
+                let bus = buses[rng.gen_range(0..buses.len())];
+                today.insert(user.clone(), bus);
+            }
+            by_day.insert(day, today);
+        }
+        UserAssignment { by_day }
+    }
+
+    /// The bus hosting `user` on `day`, if any.
+    pub fn bus_of(&self, day: u64, user: &str) -> Option<ReplicaId> {
+        self.by_day.get(&day)?.get(user).copied()
+    }
+
+    /// The users hosted by `bus` on `day`.
+    pub fn users_of(&self, day: u64, bus: ReplicaId) -> Vec<String> {
+        self.by_day
+            .get(&day)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, &b)| b == bus)
+                    .map(|(u, _)| u.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Days with assignments.
+    pub fn days(&self) -> impl Iterator<Item = u64> + '_ {
+        self.by_day.keys().copied()
+    }
+
+    /// The full map for one day.
+    pub fn day_map(&self, day: u64) -> Option<&BTreeMap<String, ReplicaId>> {
+        self.by_day.get(&day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dieselnet::DieselNetConfig;
+    use crate::email::user_name;
+
+    fn setup() -> (EncounterTrace, Vec<String>, UserAssignment) {
+        let trace = DieselNetConfig::small().generate();
+        let users: Vec<String> = (0..10).map(user_name).collect();
+        let assignment = UserAssignment::uniform(&trace, &users, 7);
+        (trace, users, assignment)
+    }
+
+    #[test]
+    fn every_user_assigned_every_day() {
+        let (trace, users, assignment) = setup();
+        for day in 0..trace.days() {
+            let buses = trace.nodes_on_day(day);
+            for user in &users {
+                let bus = assignment.bus_of(day, user).expect("assigned");
+                assert!(buses.contains(&bus), "assigned bus is scheduled that day");
+            }
+        }
+    }
+
+    #[test]
+    fn users_of_inverts_bus_of() {
+        let (trace, users, assignment) = setup();
+        for day in 0..trace.days() {
+            for bus in trace.nodes_on_day(day) {
+                for user in assignment.users_of(day, bus) {
+                    assert_eq!(assignment.bus_of(day, &user), Some(bus));
+                }
+            }
+            let total: usize = trace
+                .nodes_on_day(day)
+                .into_iter()
+                .map(|b| assignment.users_of(day, b).len())
+                .sum();
+            assert_eq!(total, users.len(), "partition covers all users");
+        }
+    }
+
+    #[test]
+    fn assignments_change_between_days() {
+        let (trace, users, assignment) = setup();
+        // With 10 users and >=2 days, at least one user should move.
+        let moved = users.iter().any(|u| {
+            let buses: Vec<_> = (0..trace.days())
+                .filter_map(|d| assignment.bus_of(d, u))
+                .collect();
+            buses.windows(2).any(|w| w[0] != w[1])
+        });
+        assert!(moved, "daily re-assignment should move someone");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (trace, users, _) = setup();
+        let a = UserAssignment::uniform(&trace, &users, 1);
+        let b = UserAssignment::uniform(&trace, &users, 1);
+        let c = UserAssignment::uniform(&trace, &users, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unknown_day_or_user() {
+        let (_, _, assignment) = setup();
+        assert_eq!(assignment.bus_of(999, "u0"), None);
+        assert_eq!(assignment.bus_of(0, "nobody"), None);
+        assert!(assignment.users_of(999, ReplicaId::new(1)).is_empty());
+    }
+}

@@ -1,0 +1,350 @@
+//! Synthetic DieselNet-like vehicular mobility traces.
+//!
+//! The paper replays encounters from the CRAWDAD `umass/diesel` trace:
+//! ~23 buses active per day, 17 usable days (each with encounters from
+//! 08:00 to 23:00), about 16 000 encounters total. That trace requires
+//! registration and cannot be redistributed, so this generator produces a
+//! synthetic trace with the same macro-statistics and — crucially for the
+//! experiments — the same *qualitative* meeting structure:
+//!
+//! * buses belong to routes, and same-route / adjacent-route buses meet
+//!   far more often than unrelated ones (so choosing the most-encountered
+//!   partners, the "selected" filter strategy, beats a random choice);
+//! * day-to-day schedules vary (a bus may be off duty some days), so
+//!   encounter patterns are only *partially* predictable — the property
+//!   the paper's footnote 1 blames for PROPHET's modest gains.
+//!
+//! Real CRAWDAD-style traces can be loaded through [`crate::crawdad`]
+//! instead; everything downstream consumes the same
+//! [`EncounterTrace`](crate::EncounterTrace).
+
+use pfr::{ReplicaId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mobility::{Encounter, EncounterTrace};
+
+/// Configuration for the synthetic vehicular trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DieselNetConfig {
+    /// Number of experiment days.
+    pub days: u64,
+    /// Total fleet size (buses existing across the whole trace).
+    pub fleet_size: usize,
+    /// Buses scheduled on a given day (paper: average of 23).
+    pub buses_per_day: usize,
+    /// Number of routes buses are assigned to.
+    pub routes: usize,
+    /// Number of geographic clusters the routes are grouped into (adjacent
+    /// towns in the real trace). Buses in different clusters meet only
+    /// through hub routes, so a day's contact graph can be — and sometimes
+    /// is — disconnected, which is what gives even flooding policies the
+    /// multi-day delivery tails of Figure 7b.
+    pub clusters: usize,
+    /// Encounters generated per day (paper: ~16 000 over 17 days ≈ 940).
+    pub encounters_per_day: usize,
+    /// First encounter of each day (paper: 08:00).
+    pub day_start_hour: u64,
+    /// Last encounter of each day (paper: 23:00).
+    pub day_end_hour: u64,
+    /// Probability that a bus serves a random route instead of its home
+    /// route on a given day. Day-to-day route churn is what makes the real
+    /// trace only *partially* predictable.
+    pub route_switch_prob: f64,
+    /// Relative encounter weight for two buses on the same route.
+    pub weight_same_route: f64,
+    /// Relative encounter weight for buses on different routes of the same
+    /// cluster (shared terminals downtown).
+    pub weight_same_cluster: f64,
+    /// Relative encounter weight for buses of *different* clusters when
+    /// both serve their cluster's hub route (the inter-town connector).
+    /// All other cross-cluster pairs never meet on the same day.
+    pub weight_bridge: f64,
+    /// Probability that a bus keeps yesterday's duty status today. Values
+    /// near 1 give multi-day off-duty stretches — the source of the
+    /// multi-day delivery tails that even flooding shows in the paper's
+    /// Figure 7b (a parked bus can receive nothing).
+    pub duty_persistence: f64,
+    /// RNG seed: the same seed always yields the same trace.
+    pub seed: u64,
+}
+
+impl Default for DieselNetConfig {
+    /// The paper's macro-statistics: 17 days, ~23 buses/day, ~16 000
+    /// encounters, 08:00–23:00.
+    fn default() -> Self {
+        DieselNetConfig {
+            days: 17,
+            fleet_size: 34,
+            buses_per_day: 23,
+            routes: 9,
+            clusters: 3,
+            encounters_per_day: 941,
+            day_start_hour: 8,
+            day_end_hour: 23,
+            route_switch_prob: 0.7,
+            weight_same_route: 100.0,
+            weight_same_cluster: 6.0,
+            weight_bridge: 1.0,
+            duty_persistence: 0.85,
+            seed: 0x0d1e5e1,
+        }
+    }
+}
+
+impl DieselNetConfig {
+    /// A scaled-down configuration for fast tests and examples.
+    pub fn small() -> Self {
+        DieselNetConfig {
+            days: 4,
+            fleet_size: 12,
+            buses_per_day: 8,
+            routes: 4,
+            clusters: 2,
+            encounters_per_day: 120,
+            ..DieselNetConfig::default()
+        }
+    }
+
+    /// Generates the synthetic trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no buses, no routes, or
+    /// an empty daily window).
+    pub fn generate(&self) -> EncounterTrace {
+        assert!(self.fleet_size >= 2, "need at least two buses");
+        assert!(self.routes >= 1, "need at least one route");
+        assert!(
+            self.buses_per_day >= 2 && self.buses_per_day <= self.fleet_size,
+            "buses_per_day must be within [2, fleet_size]"
+        );
+        assert!(
+            self.day_end_hour > self.day_start_hour,
+            "daily window must be non-empty"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Contact durations come from an independent stream so that adding
+        // or re-tuning them never perturbs the encounter schedule itself.
+        let mut dur_rng = StdRng::seed_from_u64(self.seed ^ 0xd0a7_0a7d);
+
+        // Home routes: bus i prefers route i % routes.
+        let home_route = |bus: usize| bus % self.routes;
+
+        // Per-bus duty state evolves as a two-state Markov chain whose
+        // stationary on-duty fraction is buses_per_day / fleet_size, with
+        // `duty_persistence` controlling how long on/off stretches last.
+        let pi_on = (self.buses_per_day as f64 / self.fleet_size as f64).clamp(0.05, 0.95);
+        let p_on_on = self.duty_persistence.clamp(0.0, 0.999);
+        // Solve the stationary equation for P(off -> off).
+        let p_off_off = (1.0 - (1.0 - p_on_on) * pi_on / (1.0 - pi_on)).clamp(0.0, 0.999);
+        let mut on_duty: Vec<bool> = (0..self.fleet_size)
+            .map(|_| rng.gen::<f64>() < pi_on)
+            .collect();
+
+        let mut encounters = Vec::with_capacity((self.days as usize) * self.encounters_per_day);
+        for day in 0..self.days {
+            // Evolve duty states (the first day uses the stationary draw).
+            if day > 0 {
+                for state in &mut on_duty {
+                    let stay = if *state { p_on_on } else { p_off_off };
+                    if rng.gen::<f64>() >= stay {
+                        *state = !*state;
+                    }
+                }
+            }
+            let mut today: Vec<usize> = (0..self.fleet_size)
+                .filter(|&b| on_duty[b])
+                .collect();
+            // Guarantee a minimally functional day.
+            while today.len() < 2 {
+                let extra = rng.gen_range(0..self.fleet_size);
+                if !today.contains(&extra) {
+                    today.push(extra);
+                    on_duty[extra] = true;
+                }
+            }
+            let today = &today[..];
+
+            // Today's route assignment: mostly the home route, with churn.
+            let routes_today: Vec<usize> = today
+                .iter()
+                .map(|&bus| {
+                    if rng.gen::<f64>() < self.route_switch_prob {
+                        rng.gen_range(0..self.routes)
+                    } else {
+                        home_route(bus)
+                    }
+                })
+                .collect();
+
+            // Pair weights: dominated by same-route service; different
+            // routes of one cluster share terminals; different clusters
+            // touch only where both buses serve their cluster's hub route
+            // (the first route of the cluster).
+            let routes_per_cluster = (self.routes / self.clusters).max(1);
+            let cluster_of = |route: usize| (route / routes_per_cluster).min(self.clusters - 1);
+            let is_hub = |route: usize| route.is_multiple_of(routes_per_cluster);
+            let weight = |ri: usize, rj: usize| -> f64 {
+                if ri == rj {
+                    self.weight_same_route
+                } else if cluster_of(ri) == cluster_of(rj) {
+                    self.weight_same_cluster
+                } else if is_hub(ri) && is_hub(rj) {
+                    self.weight_bridge
+                } else {
+                    0.0
+                }
+            };
+            let mut pairs = Vec::new();
+            let mut cumulative = Vec::new();
+            let mut total = 0f64;
+            for i in 0..today.len() {
+                for j in i + 1..today.len() {
+                    total += weight(routes_today[i], routes_today[j]);
+                    pairs.push((today[i], today[j]));
+                    cumulative.push(total);
+                }
+            }
+
+            if total <= 0.0 {
+                // Degenerate day: no pair can meet (tiny fleets only).
+                continue;
+            }
+            let window_secs =
+                (self.day_end_hour - self.day_start_hour) * 3_600;
+            for _ in 0..self.encounters_per_day {
+                let pick = rng.gen::<f64>() * total;
+                let idx = cumulative
+                    .partition_point(|&c| c <= pick)
+                    .min(pairs.len() - 1);
+                let (x, y) = pairs[idx];
+                let offset = rng.gen_range(0..window_secs);
+                let time = SimTime::from_hms(day, self.day_start_hour, 0, 0)
+                    + pfr::SimDuration::from_secs(offset);
+                // Contact durations: mostly brief drive-bys, occasionally a
+                // long shared layover (roughly geometric, 20s-600s).
+                let duration_secs =
+                    20 + dur_rng.gen_range(0..5) * dur_rng.gen_range(0..30) as u64;
+                encounters.push(Encounter::with_duration(
+                    time,
+                    bus_id(x),
+                    bus_id(y),
+                    pfr::SimDuration::from_secs(duration_secs),
+                ));
+            }
+        }
+        EncounterTrace::from_encounters(encounters)
+    }
+}
+
+/// The [`ReplicaId`] used for bus number `index` (0-based).
+pub fn bus_id(index: usize) -> ReplicaId {
+    ReplicaId::new(index as u64 + 1)
+}
+
+/// The conventional address string for a bus node ("bus-1", "bus-2", ...).
+pub fn bus_address(id: ReplicaId) -> String {
+    format!("bus-{}", id.as_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_macro_stats() {
+        let trace = DieselNetConfig::default().generate();
+        assert_eq!(trace.days(), 17);
+        let total = trace.len();
+        assert!(
+            (15_000..=17_000).contains(&total),
+            "paper has ~16000 encounters, got {total}"
+        );
+        let mean = trace.mean_nodes_per_day();
+        assert!(
+            (20.0..=26.0).contains(&mean),
+            "paper averages 23 buses/day, got {mean}"
+        );
+    }
+
+    #[test]
+    fn encounters_respect_daily_window() {
+        let trace = DieselNetConfig::small().generate();
+        for e in trace.iter() {
+            let s = e.time.seconds_into_day();
+            assert!(
+                (8 * 3600..23 * 3600).contains(&s),
+                "encounter at {} outside 08:00-23:00",
+                e.time
+            );
+            assert_ne!(e.a, e.b, "no self-encounters");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DieselNetConfig::small().generate();
+        let b = DieselNetConfig::small().generate();
+        assert_eq!(a, b);
+        let c = DieselNetConfig {
+            seed: 999,
+            ..DieselNetConfig::small()
+        }
+        .generate();
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn route_structure_skews_meeting_frequencies() {
+        // The most-frequent partner of a bus should meet it far more often
+        // than a median partner: that skew is what "selected" exploits.
+        let trace = DieselNetConfig::default().generate();
+        let node = bus_id(0);
+        let top = trace.top_partners(node, 1);
+        assert!(!top.is_empty());
+        let counts = trace.pair_counts();
+        let count_with = |other: ReplicaId| -> usize {
+            let key = if node <= other { (node, other) } else { (other, node) };
+            counts.get(&key).copied().unwrap_or(0)
+        };
+        let best = count_with(top[0]);
+        let all: Vec<usize> = trace
+            .nodes()
+            .into_iter()
+            .filter(|&n| n != node)
+            .map(count_with)
+            .collect();
+        let mean = all.iter().sum::<usize>() as f64 / all.len() as f64;
+        assert!(
+            best as f64 > 2.0 * mean,
+            "top partner ({best}) should beat mean ({mean}) by >2x"
+        );
+    }
+
+    #[test]
+    fn schedules_vary_across_days() {
+        let trace = DieselNetConfig::default().generate();
+        let d0 = trace.nodes_on_day(0);
+        let d1 = trace.nodes_on_day(1);
+        assert_ne!(d0, d1, "bus schedules differ between days");
+    }
+
+    #[test]
+    fn bus_naming_roundtrip() {
+        let id = bus_id(4);
+        assert_eq!(id.as_u64(), 5);
+        assert_eq!(bus_address(id), "bus-5");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two buses")]
+    fn degenerate_config_rejected() {
+        DieselNetConfig {
+            fleet_size: 1,
+            buses_per_day: 2,
+            ..DieselNetConfig::small()
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,140 @@
+//! A small Zipf-distribution sampler.
+//!
+//! E-mail sending activity is famously heavy-tailed; the Enron-like
+//! workload generator draws senders from a Zipf distribution. `rand`
+//! (without `rand_distr`) has no Zipf sampler, so this implements the
+//! standard inverse-CDF method over a precomputed table.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to
+/// `1 / (rank + 1)^exponent`.
+///
+/// # Examples
+///
+/// ```
+/// use traces::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(100, 1.1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative distribution over ranks; `cdf[i]` = P(rank <= i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `exponent` is not finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(exponent.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the distribution has no ranks (never: `new`
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first rank whose CDF covers u.
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of one rank.
+    pub fn mass(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mass_is_monotone_decreasing() {
+        let z = Zipf::new(50, 1.1);
+        for rank in 1..50 {
+            assert!(
+                z.mass(rank) <= z.mass(rank - 1) + 1e-12,
+                "mass must not increase with rank"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_is_normalized() {
+        let z = Zipf::new(10, 0.8);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        let sum: f64 = (0..10).map(|r| z.mass(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_cover_low_ranks_heavily() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 0 must dominate rank 50");
+        assert!(
+            counts.iter().sum::<usize>() == 10_000,
+            "all samples in range"
+        );
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for rank in 0..4 {
+            assert!((z.mass(rank) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panic() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Length-prefixed message framing for the sync protocol.
+//!
+//! Every protocol message travels as one frame:
+//!
+//! ```text
+//! +----------+----------+------------------+
+//! | magic(2) | type(1)  | length(4, LE)    |  header, 7 bytes
+//! +----------+----------+------------------+
+//! | payload (length bytes, wire-encoded)   |
+//! +-----------------------------------------+
+//! ```
+//!
+//! The magic bytes detect protocol mismatches immediately; the length
+//! field is bounded to keep a malicious peer from forcing huge
+//! allocations.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Frame type tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// A [`pfr::sync::SyncRequest`] from target to source.
+    SyncRequest = 1,
+    /// A [`pfr::sync::SyncBatch`] from source to target.
+    SyncBatch = 2,
+    /// A terse acknowledgement closing one sync session.
+    SyncDone = 3,
+    /// Peer identification exchanged on connect.
+    Hello = 4,
+}
+
+impl FrameType {
+    fn from_tag(tag: u8) -> Option<FrameType> {
+        match tag {
+            1 => Some(FrameType::SyncRequest),
+            2 => Some(FrameType::SyncBatch),
+            3 => Some(FrameType::SyncDone),
+            4 => Some(FrameType::Hello),
+            _ => None,
+        }
+    }
+}
+
+/// Magic bytes prefixed to every frame.
+pub const MAGIC: [u8; 2] = [0xD7, 0x4E]; // "DTN"-ish
+
+/// Hard cap on frame payloads (16 MiB).
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Errors from reading or writing frames.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The peer did not speak this protocol.
+    BadMagic([u8; 2]),
+    /// Unknown frame type tag.
+    BadType(u8),
+    /// A frame exceeded [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// Frame payload failed to decode.
+    Decode(pfr::wire::WireError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            FrameError::BadType(t) => write!(f, "unknown frame type {t}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::Decode(e) => write!(f, "payload decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<pfr::wire::WireError> for FrameError {
+    fn from(e: pfr::wire::WireError) -> Self {
+        FrameError::Decode(e)
+    }
+}
+
+/// Writes one frame to `w`.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] if the payload exceeds the cap, or any I/O
+/// error from the writer.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    frame_type: FrameType,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    if payload.len() as u64 > u64::from(MAX_FRAME_LEN) {
+        return Err(FrameError::TooLarge(payload.len() as u32));
+    }
+    let mut header = [0u8; 7];
+    header[..2].copy_from_slice(&MAGIC);
+    header[2] = frame_type as u8;
+    header[3..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`.
+///
+/// # Errors
+///
+/// Any [`FrameError`] variant; EOF mid-frame surfaces as
+/// [`FrameError::Io`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameType, Vec<u8>), FrameError> {
+    let mut header = [0u8; 7];
+    r.read_exact(&mut header)?;
+    if header[..2] != MAGIC {
+        return Err(FrameError::BadMagic([header[0], header[1]]));
+    }
+    let frame_type = FrameType::from_tag(header[2]).ok_or(FrameError::BadType(header[2]))?;
+    let len = u32::from_le_bytes([header[3], header[4], header[5], header[6]]);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((frame_type, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_all_types() {
+        for ft in [
+            FrameType::SyncRequest,
+            FrameType::SyncBatch,
+            FrameType::SyncDone,
+            FrameType::Hello,
+        ] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, ft, b"payload").unwrap();
+            let (got_type, got_payload) = read_frame(&mut Cursor::new(&buf)).unwrap();
+            assert_eq!(got_type, ft);
+            assert_eq!(got_payload, b"payload");
+        }
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::SyncDone, b"").unwrap();
+        let (_, payload) = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Hello, b"x").unwrap();
+        buf[0] = 0x00;
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, FrameError::BadMagic(_)));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Hello, b"x").unwrap();
+        buf[2] = 0xee;
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, FrameError::BadType(0xee)));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Hello, b"x").unwrap();
+        buf[3..7].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge(_)));
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Hello, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, FrameError::Io(_)));
+    }
+}

@@ -1,0 +1,35 @@
+//! # transport — replication over real sockets
+//!
+//! The paper's emulation drives replicas directly; this crate closes the
+//! loop to a deployable system: a hand-rolled compact wire format (in
+//! [`pfr::wire`]), length-prefixed framing ([`frame`]), a two-direction
+//! sync session protocol ([`protocol`]) mirroring the paper's
+//! two-syncs-per-encounter convention, and a [`Peer`] that listens on TCP
+//! and exchanges items with remote peers — so two OS processes replicate
+//! for real.
+//!
+//! ```no_run
+//! use dtn::{DtnNode, PolicyKind};
+//! use pfr::{ReplicaId, SimTime};
+//! use transport::Peer;
+//!
+//! let a = Peer::start(DtnNode::new(ReplicaId::new(1), "a", PolicyKind::MaxProp),
+//!                     "127.0.0.1:0")?;
+//! let b = Peer::start(DtnNode::new(ReplicaId::new(2), "b", PolicyKind::MaxProp),
+//!                     "127.0.0.1:0")?;
+//! a.with_node(|n| n.send("b", b"hello".to_vec(), SimTime::ZERO)).unwrap();
+//! a.sync_with(b.local_addr(), SimTime::from_secs(1))?;
+//! # Ok::<(), transport::TransportError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod frame;
+pub mod protocol;
+
+mod mesh;
+mod peer;
+
+pub use mesh::{Mesh, MeshConfig};
+pub use peer::{Peer, SessionReport, TransportError};

@@ -1,0 +1,264 @@
+//! TCP peers: real processes replicating over sockets.
+
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dtn::DtnNode;
+use parking_lot::Mutex;
+use pfr::sync::SyncReport;
+use pfr::{ReplicaId, SimTime, SyncLimits};
+
+use crate::frame::FrameError;
+use crate::protocol::{self, ProtocolError};
+
+/// Errors from running a peer.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Socket setup or I/O failure.
+    Io(std::io::Error),
+    /// A session failed mid-protocol.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Protocol(e) => write!(f, "sync protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            TransportError::Protocol(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for TransportError {
+    fn from(e: ProtocolError) -> Self {
+        TransportError::Protocol(e)
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Protocol(ProtocolError::Frame(e))
+    }
+}
+
+/// The outcome of one networked encounter (both sync directions).
+#[derive(Debug, Default, Clone)]
+#[non_exhaustive]
+pub struct SessionReport {
+    /// The remote peer's replica id.
+    pub peer: Option<ReplicaId>,
+    /// Report for the pull direction (remote → us).
+    pub pulled: Option<SyncReport>,
+    /// Report for the push direction (us → remote), as observed from the
+    /// number of items we served.
+    pub served: usize,
+}
+
+/// A replication peer: a [`DtnNode`] listening on a TCP socket, serving
+/// sync sessions to whoever connects, and able to initiate encounters with
+/// remote peers.
+///
+/// # Examples
+///
+/// ```
+/// use dtn::{DtnNode, PolicyKind};
+/// use pfr::{ReplicaId, SimTime};
+/// use transport::Peer;
+///
+/// let a = Peer::start(DtnNode::new(ReplicaId::new(1), "a", PolicyKind::Epidemic),
+///                     "127.0.0.1:0")?;
+/// let b = Peer::start(DtnNode::new(ReplicaId::new(2), "b", PolicyKind::Epidemic),
+///                     "127.0.0.1:0")?;
+/// a.with_node(|n| n.send("b", b"over tcp".to_vec(), SimTime::ZERO)).unwrap();
+/// let report = a.sync_with(b.local_addr(), SimTime::from_secs(1))?;
+/// assert_eq!(report.served, 1);
+/// assert_eq!(b.with_node(|n| n.inbox().len()), 1);
+/// # Ok::<(), transport::TransportError>(())
+/// ```
+pub struct Peer {
+    node: Arc<Mutex<DtnNode>>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    limits: SyncLimits,
+}
+
+impl Peer {
+    /// Starts a peer listening on `bind` (use port 0 for an ephemeral
+    /// port). The accept loop runs on a background thread until the peer
+    /// is dropped or [`Peer::stop`] is called.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if binding fails.
+    pub fn start(node: DtnNode, bind: impl ToSocketAddrs) -> Result<Peer, TransportError> {
+        Peer::start_with_limits(node, bind, SyncLimits::unlimited())
+    }
+
+    /// Starts a peer that serves at most `limits.max_items` items per sync
+    /// (a bandwidth-constrained node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if binding fails.
+    pub fn start_with_limits(
+        node: DtnNode,
+        bind: impl ToSocketAddrs,
+        limits: SyncLimits,
+    ) -> Result<Peer, TransportError> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let node = Arc::new(Mutex::new(node));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_node = Arc::clone(&node);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("peer-accept-{local_addr}"))
+            .spawn(move || {
+                accept_loop(listener, accept_node, accept_shutdown, limits);
+            })?;
+
+        Ok(Peer {
+            node,
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            limits,
+        })
+    }
+
+    /// The socket address the peer listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs a closure against the peer's node (replica + policy) under the
+    /// peer lock.
+    pub fn with_node<T>(&self, f: impl FnOnce(&mut DtnNode) -> T) -> T {
+        f(&mut self.node.lock())
+    }
+
+    /// Initiates a full encounter with a remote peer: pulls items we are
+    /// missing, then serves the remote's pull — two syncs, exactly like a
+    /// physical encounter.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TransportError`] from connecting or the session protocol.
+    pub fn sync_with(
+        &self,
+        remote: SocketAddr,
+        now: SimTime,
+    ) -> Result<SessionReport, TransportError> {
+        let stream = TcpStream::connect_timeout(&remote, Duration::from_secs(5))?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        let report =
+            protocol::run_initiator(&mut reader, &mut writer, &self.node, now, self.limits)?;
+        Ok(report)
+    }
+
+    /// Stops the accept loop and returns the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept thread itself panicked.
+    pub fn stop(mut self) -> DtnNode {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().expect("accept thread panicked");
+        }
+        // The accept loop has exited, so this is the only Arc holder now —
+        // but sessions may briefly hold clones; spin until unique.
+        let mut node_arc = Arc::clone(&self.node);
+        drop(self);
+        loop {
+            match Arc::try_unwrap(node_arc) {
+                Ok(mutex) => return mutex.into_inner(),
+                Err(shared) => {
+                    node_arc = shared;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Peer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Peer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    node: Arc<Mutex<DtnNode>>,
+    shutdown: Arc<AtomicBool>,
+    limits: SyncLimits,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let session_node = Arc::clone(&node);
+                // One thread per session: encounters are short-lived.
+                let _ = std::thread::Builder::new()
+                    .name("peer-session".to_string())
+                    .spawn(move || {
+                        let _ = serve_session(stream, session_node, limits);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_session(
+    stream: TcpStream,
+    node: Arc<Mutex<DtnNode>>,
+    limits: SyncLimits,
+) -> Result<(), TransportError> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    protocol::run_responder(&mut reader, &mut writer, &node, limits)?;
+    Ok(())
+}

@@ -1,0 +1,331 @@
+//! The networked sync session: hello exchange plus two sync directions,
+//! mirroring the paper's "two syncs per encounter, roles alternating".
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use dtn::DtnNode;
+use parking_lot::Mutex;
+use pfr::sync::{SyncBatch, SyncRequest};
+use pfr::wire::{from_bytes, to_bytes, Decode, Encode, Reader as WireReader, Writer as WireWriter};
+use pfr::{ReplicaId, SimTime, SyncLimits};
+
+use crate::frame::{read_frame, write_frame, FrameError, FrameType};
+use crate::peer::SessionReport;
+
+/// Errors in the session protocol.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Framing or I/O failure.
+    Frame(FrameError),
+    /// The peer sent the wrong frame type for the protocol state.
+    UnexpectedFrame {
+        /// What the state machine needed.
+        expected: FrameType,
+        /// What arrived instead.
+        got: FrameType,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Frame(e) => write!(f, "{e}"),
+            ProtocolError::UnexpectedFrame { expected, got } => {
+                write!(f, "expected {expected:?} frame, got {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Frame(e) => Some(e),
+            ProtocolError::UnexpectedFrame { .. } => None,
+        }
+    }
+}
+
+impl From<FrameError> for ProtocolError {
+    fn from(e: FrameError) -> Self {
+        ProtocolError::Frame(e)
+    }
+}
+
+/// Peer identification exchanged when a session opens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// The sender's replica id.
+    pub replica: ReplicaId,
+    /// The sender's clock, so both sides stamp the encounter identically.
+    pub now: SimTime,
+}
+
+impl Encode for Hello {
+    fn encode(&self, w: &mut WireWriter) {
+        self.replica.encode(w);
+        w.put_varint(self.now.as_secs());
+    }
+}
+
+impl Decode for Hello {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, pfr::wire::WireError> {
+        Ok(Hello {
+            replica: ReplicaId::decode(r)?,
+            now: SimTime::from_secs(r.get_varint()?),
+        })
+    }
+}
+
+fn expect(
+    reader: &mut impl Read,
+    expected: FrameType,
+) -> Result<Vec<u8>, ProtocolError> {
+    let (frame_type, payload) = read_frame(reader)?;
+    if frame_type != expected {
+        return Err(ProtocolError::UnexpectedFrame {
+            expected,
+            got: frame_type,
+        });
+    }
+    Ok(payload)
+}
+
+fn decode_payload<T: Decode>(payload: &[u8]) -> Result<T, ProtocolError> {
+    from_bytes(payload).map_err(|e| ProtocolError::Frame(FrameError::Decode(e)))
+}
+
+/// Runs the initiator side: hello, pull (we are target), then serve the
+/// responder's pull (we are source).
+pub fn run_initiator<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    node: &Arc<Mutex<DtnNode>>,
+    now: SimTime,
+    limits: SyncLimits,
+) -> Result<SessionReport, ProtocolError> {
+    // Hello exchange.
+    let my_hello = Hello {
+        replica: node.lock().id(),
+        now,
+    };
+    write_frame(writer, FrameType::Hello, &to_bytes(&my_hello))?;
+    let peer_hello: Hello = decode_payload(&expect(reader, FrameType::Hello)?)?;
+    let peer = peer_hello.replica;
+
+    // Direction 1: we are the target and pull from the responder.
+    let request = node.lock().begin_sync_session(peer, now);
+    write_frame(writer, FrameType::SyncRequest, &to_bytes(&request))?;
+    let batch: SyncBatch = decode_payload(&expect(reader, FrameType::SyncBatch)?)?;
+    let pulled = node.lock().apply_sync(batch, now);
+    write_frame(writer, FrameType::SyncDone, &[])?;
+
+    // Direction 2: the responder pulls from us.
+    let peer_request: SyncRequest = decode_payload(&expect(reader, FrameType::SyncRequest)?)?;
+    let batch = node.lock().respond_sync(&peer_request, limits, now);
+    let served = batch.entries.len();
+    write_frame(writer, FrameType::SyncBatch, &to_bytes(&batch))?;
+    expect(reader, FrameType::SyncDone)?;
+
+    Ok(SessionReport {
+        peer: Some(peer),
+        pulled: Some(pulled),
+        served,
+    })
+}
+
+/// Runs the responder side of a session accepted from the network.
+pub fn run_responder<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    node: &Arc<Mutex<DtnNode>>,
+    limits: SyncLimits,
+) -> Result<SessionReport, ProtocolError> {
+    // Hello exchange: adopt the initiator's clock for this encounter.
+    let peer_hello: Hello = decode_payload(&expect(reader, FrameType::Hello)?)?;
+    let peer = peer_hello.replica;
+    let now = peer_hello.now;
+    let my_hello = Hello {
+        replica: node.lock().id(),
+        now,
+    };
+    write_frame(writer, FrameType::Hello, &to_bytes(&my_hello))?;
+
+    // Direction 1: the initiator pulls from us.
+    let request: SyncRequest = decode_payload(&expect(reader, FrameType::SyncRequest)?)?;
+    let batch = node.lock().respond_sync(&request, limits, now);
+    let served = batch.entries.len();
+    write_frame(writer, FrameType::SyncBatch, &to_bytes(&batch))?;
+    expect(reader, FrameType::SyncDone)?;
+
+    // Direction 2: we pull from the initiator.
+    let request = node.lock().begin_sync_session(peer, now);
+    write_frame(writer, FrameType::SyncRequest, &to_bytes(&request))?;
+    let batch: SyncBatch = decode_payload(&expect(reader, FrameType::SyncBatch)?)?;
+    let pulled = node.lock().apply_sync(batch, now);
+    write_frame(writer, FrameType::SyncDone, &[])?;
+
+    Ok(SessionReport {
+        peer: Some(peer),
+        pulled: Some(pulled),
+        served,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn::PolicyKind;
+
+    /// In-memory duplex pipe for driving both protocol sides without
+    /// sockets.
+    fn pipe() -> (PipeEnd, PipeEnd) {
+        let (tx_a, rx_a) = std::sync::mpsc::channel::<u8>();
+        let (tx_b, rx_b) = std::sync::mpsc::channel::<u8>();
+        (
+            PipeEnd { tx: tx_a, rx: rx_b },
+            PipeEnd { tx: tx_b, rx: rx_a },
+        )
+    }
+
+    struct PipeEnd {
+        tx: std::sync::mpsc::Sender<u8>,
+        rx: std::sync::mpsc::Receiver<u8>,
+    }
+
+    impl Read for PipeEnd {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            match self.rx.recv() {
+                Ok(byte) => {
+                    buf[0] = byte;
+                    let mut n = 1;
+                    while n < buf.len() {
+                        match self.rx.try_recv() {
+                            Ok(b) => {
+                                buf[n] = b;
+                                n += 1;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    Ok(n)
+                }
+                Err(_) => Ok(0),
+            }
+        }
+    }
+
+    impl Write for PipeEnd {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            for &b in buf {
+                self.tx.send(b).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe closed")
+                })?;
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn full_session_over_in_memory_pipe() {
+        let (mut end_a, mut end_b) = pipe();
+        let node_a = Arc::new(Mutex::new(DtnNode::new(
+            ReplicaId::new(1),
+            "a",
+            PolicyKind::Epidemic,
+        )));
+        let node_b = Arc::new(Mutex::new(DtnNode::new(
+            ReplicaId::new(2),
+            "b",
+            PolicyKind::Epidemic,
+        )));
+        node_a
+            .lock()
+            .send("b", b"ping".to_vec(), SimTime::ZERO)
+            .unwrap();
+        node_b
+            .lock()
+            .send("a", b"pong".to_vec(), SimTime::ZERO)
+            .unwrap();
+
+        let responder_node = Arc::clone(&node_b);
+        let responder = std::thread::spawn(move || {
+            let (mut rh, mut wh) = pipe_halves(&mut end_b);
+            run_responder(&mut rh, &mut wh, &responder_node, SyncLimits::unlimited())
+                .expect("responder")
+        });
+
+        let (mut rh, mut wh) = pipe_halves(&mut end_a);
+        let report = run_initiator(
+            &mut rh,
+            &mut wh,
+            &node_a,
+            SimTime::from_secs(60),
+            SyncLimits::unlimited(),
+        )
+        .expect("initiator");
+        let responder_report = responder.join().expect("join");
+
+        assert_eq!(report.peer, Some(ReplicaId::new(2)));
+        assert_eq!(responder_report.peer, Some(ReplicaId::new(1)));
+        assert_eq!(report.pulled.unwrap().delivered, 1);
+        assert_eq!(responder_report.pulled.unwrap().delivered, 1);
+        assert_eq!(node_a.lock().inbox().len(), 1);
+        assert_eq!(node_b.lock().inbox().len(), 1);
+    }
+
+    /// Helper splitting one PipeEnd into independent read/write handles.
+    fn pipe_halves(end: &mut PipeEnd) -> (ReadHalf<'_>, WriteHalf) {
+        let tx = end.tx.clone();
+        (ReadHalf { end }, WriteHalf { tx })
+    }
+
+    struct ReadHalf<'a> {
+        end: &'a mut PipeEnd,
+    }
+    impl Read for ReadHalf<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.end.read(buf)
+        }
+    }
+
+    struct WriteHalf {
+        tx: std::sync::mpsc::Sender<u8>,
+    }
+    impl Write for WriteHalf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            for &b in buf {
+                self.tx.send(b).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe closed")
+                })?;
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn unexpected_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::SyncDone, &[]).unwrap();
+        let err = expect(&mut std::io::Cursor::new(&buf), FrameType::Hello).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::UnexpectedFrame {
+                expected: FrameType::Hello,
+                got: FrameType::SyncDone
+            }
+        ));
+        assert!(err.to_string().contains("Hello"));
+    }
+}

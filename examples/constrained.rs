@@ -1,0 +1,45 @@
+//! Running the DTN under scarce resources (paper §VI-D): a bandwidth cap
+//! of one message per encounter, and a storage cap of two relay messages
+//! per node with FIFO eviction.
+//!
+//! Run with: `cargo run --release --example constrained`
+
+use replidtn::dtn::{EncounterBudget, PolicyKind};
+use replidtn::emu::experiments::{run_policy, Scenario};
+use replidtn::emu::report::Table;
+
+fn main() {
+    let scenario = Scenario::small();
+    let policies = [PolicyKind::Direct, PolicyKind::SprayAndWait, PolicyKind::MaxProp];
+
+    let mut table = Table::new(
+        "Delivery within 12h (%) under constraints",
+        vec!["policy", "unconstrained", "1 msg/encounter", "2 relay slots"],
+    );
+    for policy in policies {
+        let free = run_policy(&scenario, policy, EncounterBudget::unlimited(), None);
+        let bw = run_policy(&scenario, policy, EncounterBudget::max_messages(1), None);
+        let storage = run_policy(&scenario, policy, EncounterBudget::unlimited(), Some(2));
+        table.row(vec![
+            policy.label().to_string(),
+            format!("{:.1}", free.result.delivered_within_12h_pct),
+            format!("{:.1}", bw.result.delivered_within_12h_pct),
+            format!("{:.1}", storage.result.delivered_within_12h_pct),
+        ]);
+
+        // The storage-capped run actually evicted relay copies (except the
+        // baseline, which relays nothing — the paper notes Cimbiosys is
+        // unaffected by the storage limit).
+        if policy != PolicyKind::Direct {
+            assert!(
+                storage.result.metrics.evictions > 0,
+                "{policy}: tight relay storage must evict"
+            );
+        } else {
+            assert_eq!(storage.result.metrics.evictions, 0);
+        }
+    }
+    println!("{table}");
+    println!("note: constraints raise delays, but the DTN policies still beat the baseline —");
+    println!("the paper's §VI-D conclusion.");
+}

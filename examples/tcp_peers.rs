@@ -1,0 +1,63 @@
+//! Real peer-to-peer replication over TCP sockets: three OS-level peers on
+//! localhost, a message relayed across two hops, then a deletion clearing
+//! the relay — the whole DTN stack running over the wire instead of the
+//! emulator.
+//!
+//! Run with: `cargo run --example tcp_peers`
+
+use replidtn::dtn::{DtnNode, PolicyKind};
+use replidtn::pfr::{ReplicaId, SimTime};
+use replidtn::transport::Peer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let alice = Peer::start(
+        DtnNode::new(ReplicaId::new(1), "alice", PolicyKind::Epidemic),
+        "127.0.0.1:0",
+    )?;
+    let relay = Peer::start(
+        DtnNode::new(ReplicaId::new(2), "relay", PolicyKind::Epidemic),
+        "127.0.0.1:0",
+    )?;
+    let bob = Peer::start(
+        DtnNode::new(ReplicaId::new(3), "bob", PolicyKind::Epidemic),
+        "127.0.0.1:0",
+    )?;
+    println!("alice @ {}", alice.local_addr());
+    println!("relay @ {}", relay.local_addr());
+    println!("bob   @ {}", bob.local_addr());
+
+    let msg_id = alice.with_node(|n| n.send("bob", b"sent over real sockets".to_vec(), SimTime::ZERO))?;
+    println!("alice queued {msg_id} for bob");
+
+    // Alice only ever talks to the relay.
+    let report = alice.sync_with(relay.local_addr(), SimTime::from_secs(60))?;
+    println!(
+        "alice <-> relay: served {} item(s) to the relay",
+        report.served
+    );
+
+    // Later the relay meets bob.
+    let report = relay.sync_with(bob.local_addr(), SimTime::from_secs(120))?;
+    println!("relay <-> bob: served {} item(s)", report.served);
+
+    for msg in bob.with_node(|n| n.inbox()) {
+        println!(
+            "bob received {:?} from {}",
+            String::from_utf8_lossy(&msg.payload),
+            msg.src
+        );
+    }
+
+    // Bob deletes after reading; the tombstone clears the relay's buffer on
+    // the next session.
+    bob.with_node(|n| n.replica_mut().delete(msg_id))?;
+    bob.sync_with(relay.local_addr(), SimTime::from_secs(180))?;
+    let relay_load = relay.with_node(|n| n.replica().relay_load());
+    println!("after bob's delete, relay buffer holds {relay_load} message(s)");
+    assert_eq!(relay_load, 0);
+
+    alice.stop();
+    relay.stop();
+    bob.stop();
+    Ok(())
+}

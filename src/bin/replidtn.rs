@@ -1,0 +1,306 @@
+//! `replidtn` — command-line front end for the DTN-over-replication stack.
+//!
+//! ```text
+//! replidtn gen-trace [--days N] [--fleet N] [--buses-per-day N] [--seed S] [--out FILE]
+//! replidtn gen-mail  [--messages N] [--users N] [--days N] [--seed S] [--out FILE]
+//! replidtn run --policy <cimbiosys|epidemic|spray|prophet|maxprop>
+//!              [--trace FILE] [--mail FILE]
+//!              [--bandwidth N] [--storage N]
+//!              [--strategy <random|selected>] [--k N]
+//! replidtn peer --id N --address ADDR --policy P --listen HOST:PORT
+//!               [--connect HOST:PORT] [--send DEST:TEXT]
+//! ```
+//!
+//! `gen-trace`/`gen-mail` write the text formats accepted by `run`, so a
+//! real CRAWDAD-derived trace can be swapped in with no code changes.
+
+use std::process::ExitCode;
+
+use replidtn::dtn::{DtnNode, EncounterBudget, FilterStrategy, PolicyKind};
+use replidtn::emu::{Emulation, EmulationConfig};
+use replidtn::pfr::{ReplicaId, SimDuration, SimTime};
+use replidtn::traces::{
+    format_trace, format_workload, parse_trace, parse_workload, DieselNetConfig, EmailConfig,
+};
+use replidtn::cli::Flags;
+use replidtn::transport::Peer;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen-trace") => gen_trace(&args[1..]),
+        Some("gen-mail") => gen_mail(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("peer") => peer(&args[1..]),
+        Some("fig") => fig(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `replidtn help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+replidtn — delay-tolerant messaging over peer-to-peer filtered replication
+
+USAGE:
+  replidtn gen-trace [--days N] [--fleet N] [--buses-per-day N] [--seed S] [--out FILE]
+      Generate a DieselNet-like encounter trace (text format on stdout or FILE).
+
+  replidtn gen-mail [--messages N] [--users N] [--days N] [--seed S] [--out FILE]
+      Generate an Enron-like mail workload.
+
+  replidtn run --policy <cimbiosys|epidemic|spray|prophet|maxprop>
+               [--trace FILE] [--mail FILE] [--bandwidth N] [--storage N]
+               [--strategy <random|selected>] [--k N] [--seed S]
+      Replay a workload over a trace and print delivery statistics.
+      Without --trace/--mail, the paper-scale synthetic scenario is used.
+
+  replidtn peer --id N --address ADDR [--policy P] --listen HOST:PORT
+                [--connect HOST:PORT]... [--send DEST:TEXT]... [--serve-for SECS]
+      Start a real TCP replication peer, optionally queue messages and sync
+      with remote peers, then print the inbox.
+
+  replidtn fig --id <5|6|7a|7b|8|9|10>
+      Regenerate one figure of the paper (equivalent to the bench target).
+";
+
+fn emit(out: Option<&str>, text: &str) -> Result<(), String> {
+    match out {
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("writing {path:?}: {e}")),
+    }
+}
+
+fn gen_trace(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let config = DieselNetConfig {
+        days: flags.num("days", 17u64)?,
+        fleet_size: flags.num("fleet", 34usize)?,
+        buses_per_day: flags.num("buses-per-day", 23usize)?,
+        seed: flags.num("seed", DieselNetConfig::default().seed)?,
+        ..DieselNetConfig::default()
+    };
+    let trace = config.generate();
+    eprintln!(
+        "generated {} encounters over {} days ({:.1} buses/day)",
+        trace.len(),
+        trace.days(),
+        trace.mean_nodes_per_day()
+    );
+    emit(flags.get("out"), &format_trace(&trace))
+}
+
+fn gen_mail(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let config = EmailConfig {
+        total_messages: flags.num("messages", 490usize)?,
+        users: flags.num("users", 46usize)?,
+        injection_days: flags.num("days", 8u64)?,
+        seed: flags.num("seed", EmailConfig::default().seed)?,
+        ..EmailConfig::default()
+    };
+    let workload = config.generate();
+    eprintln!(
+        "generated {} messages from {} users over {} days",
+        workload.len(),
+        workload.users().len(),
+        workload.last_injection_day().map(|d| d + 1).unwrap_or(0)
+    );
+    emit(flags.get("out"), &format_workload(&workload))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let policy: PolicyKind = flags
+        .get("policy")
+        .ok_or("run requires --policy")?
+        .parse()?;
+
+    let trace = match flags.get("trace") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+            parse_trace(&text).map_err(|e| e.to_string())?
+        }
+        None => DieselNetConfig::default().generate(),
+    };
+    let workload = match flags.get("mail") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+            parse_workload(&text).map_err(|e| e.to_string())?
+        }
+        None => EmailConfig::default().generate(),
+    };
+
+    let budget = match flags.get("bandwidth") {
+        None => EncounterBudget::unlimited(),
+        Some(v) => EncounterBudget::max_messages(
+            v.parse().map_err(|_| format!("--bandwidth: bad {v:?}"))?,
+        ),
+    };
+    let relay_limit = match flags.get("storage") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("--storage: bad {v:?}"))?),
+    };
+    let k: usize = flags.num("k", 0)?;
+    let filter_strategy = match flags.get("strategy") {
+        None => FilterStrategy::SelfOnly,
+        Some("random") => FilterStrategy::Random(k),
+        Some("selected") => FilterStrategy::Selected(k),
+        Some(other) => return Err(format!("--strategy: unknown {other:?}")),
+    };
+
+    let config = EmulationConfig {
+        policy: policy.into(),
+        budget,
+        relay_limit,
+        filter_strategy,
+        assignment_seed: flags.num("seed", EmulationConfig::default().assignment_seed)?,
+        ..EmulationConfig::default()
+    };
+
+    eprintln!(
+        "running {policy} over {} encounters / {} messages ...",
+        trace.len(),
+        workload.len()
+    );
+    let metrics = Emulation::new(&trace, &workload, config).run();
+
+    println!("policy:        {policy}");
+    println!(
+        "delivered:     {}/{} ({:.1}%)",
+        metrics.delivered(),
+        metrics.injected(),
+        metrics.delivery_rate() * 100.0
+    );
+    if let Some(mean) = metrics.mean_delay() {
+        println!("mean delay:    {:.1} h (delivered messages)", mean.as_hours_f64());
+    }
+    println!(
+        "within 12h:    {:.1}%",
+        metrics.delivered_within(SimDuration::from_hours(12)) * 100.0
+    );
+    if let Some(worst) = metrics.max_delay() {
+        println!("worst delay:   {:.1} d", worst.as_days_f64());
+    }
+    println!("transfers:     {}", metrics.transmissions);
+    println!("encounters:    {}", metrics.encounters);
+    println!("evictions:     {}", metrics.evictions);
+    println!("duplicates:    {}", metrics.duplicates);
+    println!();
+    println!("delay CDF (hours):");
+    for p in metrics.delay_cdf(SimDuration::from_hours(2), SimDuration::from_hours(24)) {
+        println!("  <= {:>3}  {:5.1}%", p.delay.to_string(), p.delivered_pct);
+    }
+    Ok(())
+}
+
+fn peer(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let id: u64 = flags.num("id", 0)?;
+    if id == 0 {
+        return Err("peer requires --id (nonzero)".to_string());
+    }
+    let address = flags.get("address").ok_or("peer requires --address")?;
+    let policy: PolicyKind = flags.get("policy").unwrap_or("epidemic").parse()?;
+    let listen = flags.get("listen").ok_or("peer requires --listen")?;
+
+    let node = DtnNode::new(ReplicaId::new(id), address, policy);
+    let peer = Peer::start(node, listen).map_err(|e| e.to_string())?;
+    println!("peer {address} (R{id}, {policy}) listening on {}", peer.local_addr());
+
+    for send in flags.get_all("send") {
+        let (dest, text) = send
+            .split_once(':')
+            .ok_or_else(|| format!("--send wants DEST:TEXT, got {send:?}"))?;
+        peer.with_node(|n| n.send(dest, text.as_bytes().to_vec(), SimTime::ZERO))
+            .map_err(|e| e.to_string())?;
+        println!("queued {text:?} for {dest}");
+    }
+
+    for (i, remote) in flags.get_all("connect").iter().enumerate() {
+        let addr = remote
+            .parse()
+            .map_err(|e| format!("--connect {remote:?}: {e}"))?;
+        let report = peer
+            .sync_with(addr, SimTime::from_secs(60 * (i as u64 + 1)))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "synced with {remote}: served {} item(s), pulled {} deliveries",
+            report.served,
+            report.pulled.map(|r| r.delivered).unwrap_or(0)
+        );
+    }
+
+    // Keep serving inbound sessions when asked (so another `replidtn
+    // peer --connect` invocation can reach this process).
+    let serve_for: u64 = flags.num("serve-for", 0)?;
+    if serve_for > 0 {
+        println!("serving for {serve_for}s ...");
+        std::thread::sleep(std::time::Duration::from_secs(serve_for));
+    }
+
+    let inbox = peer.with_node(|n| n.inbox());
+    println!("inbox ({} messages):", inbox.len());
+    for msg in inbox {
+        println!("  from {}: {:?}", msg.src, String::from_utf8_lossy(&msg.payload));
+    }
+    peer.stop();
+    Ok(())
+}
+
+fn fig(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let which = flags.get("id").ok_or("fig requires --id (5|6|7a|7b|8|9|10)")?;
+    let scenario = replidtn::emu::experiments::Scenario::paper();
+    match which {
+        "5" => benchkit::print_fig5(&scenario),
+        "6" => benchkit::print_fig6(&scenario),
+        "7a" => {
+            let runs = benchkit::unconstrained_runs(&scenario);
+            benchkit::print_hourly_cdfs("Figure 7a: delay CDF (0-12 hours), unconstrained", &runs);
+            benchkit::print_summary(&runs);
+        }
+        "7b" => {
+            let runs = benchkit::unconstrained_runs(&scenario);
+            benchkit::print_fig7b(&runs);
+        }
+        "8" => {
+            let runs = benchkit::unconstrained_runs(&scenario);
+            benchkit::print_fig8(&runs);
+        }
+        "9" => {
+            let runs = replidtn::emu::experiments::policy_comparison(
+                &scenario,
+                EncounterBudget::max_messages(1),
+                None,
+            );
+            benchkit::print_hourly_cdfs("Figure 9: delay CDF, 1 message per encounter", &runs);
+            benchkit::print_summary(&runs);
+        }
+        "10" => {
+            let runs = replidtn::emu::experiments::policy_comparison(
+                &scenario,
+                EncounterBudget::unlimited(),
+                Some(2),
+            );
+            benchkit::print_hourly_cdfs("Figure 10: delay CDF, 2 relay messages per node", &runs);
+            benchkit::print_summary(&runs);
+        }
+        other => return Err(format!("unknown figure {other:?} (try 5|6|7a|7b|8|9|10)")),
+    }
+    Ok(())
+}

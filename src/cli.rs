@@ -1,0 +1,121 @@
+//! Argument handling for the `replidtn` command-line tool.
+//!
+//! A deliberately tiny `--flag value` parser (the CLI has no positional
+//! arguments beyond the subcommand), factored out of the binary so it can
+//! be unit-tested.
+
+/// Parsed `--name value` flags.
+#[derive(Debug)]
+pub struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    /// Parses a flag list. Every argument must be a `--name` followed by a
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a bare value or a flag with no
+    /// value.
+    pub fn parse(args: &'a [String]) -> Result<Flags<'a>, String> {
+        let mut pairs = Vec::new();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected --flag, found {flag:?}"));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            pairs.push((name, value.as_str()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    /// The last value given for `name`, if any (later flags override
+    /// earlier ones).
+    pub fn get(&self, name: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Every value given for `name`, in order (for repeatable flags like
+    /// `--connect`).
+    pub fn get_all(&self, name: &str) -> Vec<&'a str> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .collect()
+    }
+
+    /// Parses `name` as a number, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = args(&["--days", "5", "--seed", "42"]);
+        let flags = Flags::parse(&a).unwrap();
+        assert_eq!(flags.get("days"), Some("5"));
+        assert_eq!(flags.get("seed"), Some("42"));
+        assert_eq!(flags.get("missing"), None);
+    }
+
+    #[test]
+    fn later_flags_override() {
+        let a = args(&["--k", "1", "--k", "2"]);
+        let flags = Flags::parse(&a).unwrap();
+        assert_eq!(flags.get("k"), Some("2"));
+        assert_eq!(flags.get_all("k"), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn rejects_bare_values_and_missing_values() {
+        let a = args(&["oops"]);
+        assert!(Flags::parse(&a).unwrap_err().contains("--flag"));
+        let a = args(&["--days"]);
+        assert!(Flags::parse(&a).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn num_parses_with_default() {
+        let a = args(&["--days", "5"]);
+        let flags = Flags::parse(&a).unwrap();
+        assert_eq!(flags.num("days", 1u64).unwrap(), 5);
+        assert_eq!(flags.num("seed", 9u64).unwrap(), 9);
+        let a = args(&["--days", "zebra"]);
+        let flags = Flags::parse(&a).unwrap();
+        assert!(flags.num("days", 1u64).unwrap_err().contains("days"));
+    }
+
+    #[test]
+    fn empty_args_parse() {
+        let flags = Flags::parse(&[]).unwrap();
+        assert_eq!(flags.get("anything"), None);
+        assert!(flags.get_all("anything").is_empty());
+    }
+}

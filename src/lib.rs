@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the replidtn workspace.
+pub use pfr;
+pub use dtn;
+pub use traces;
+pub use emu;
+pub use transport;
+
+pub mod cli;

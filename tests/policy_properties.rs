@@ -1,0 +1,191 @@
+//! Property tests over random encounter schedules: the routing policies
+//! may differ in *what* they forward, but none may violate the
+//! substrate's guarantees or their own protocol invariants.
+
+use proptest::prelude::*;
+
+use replidtn::dtn::{DtnNode, EncounterBudget, PolicyKind, ATTR_COPIES, ATTR_TTL};
+use replidtn::pfr::{ReplicaId, SimTime, Value};
+
+#[derive(Debug, Clone)]
+struct Schedule {
+    hosts: usize,
+    messages: Vec<(usize, usize)>,
+    encounters: Vec<(usize, usize)>,
+}
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    (3usize..7).prop_flat_map(|hosts| {
+        (
+            Just(hosts),
+            proptest::collection::vec((0..hosts, 0..hosts), 1..8),
+            proptest::collection::vec((0..hosts, 0..hosts), 1..40),
+        )
+            .prop_map(|(hosts, messages, encounters)| Schedule {
+                hosts,
+                messages,
+                encounters,
+            })
+    })
+}
+
+fn build_nodes(n: usize, policy: PolicyKind) -> Vec<DtnNode> {
+    (0..n)
+        .map(|i| DtnNode::new(ReplicaId::new(i as u64 + 1), &format!("h{i}"), policy))
+        .collect()
+}
+
+fn run_schedule(
+    nodes: &mut [DtnNode],
+    schedule: &Schedule,
+    budget: EncounterBudget,
+) -> usize {
+    let mut duplicates = 0;
+    for (step, &(a, b)) in schedule.encounters.iter().enumerate() {
+        if a == b {
+            continue;
+        }
+        let (x, y) = if a < b { (a, b) } else { (b, a) };
+        let (left, right) = nodes.split_at_mut(y);
+        let report = left[x].encounter(
+            &mut right[0],
+            SimTime::from_secs(60 * (step as u64 + 1)),
+            budget,
+        );
+        duplicates += report.duplicates;
+    }
+    duplicates
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No policy, under any schedule, ever double-delivers a version.
+    #[test]
+    fn no_policy_ever_duplicates(schedule in arb_schedule()) {
+        for policy in PolicyKind::ALL {
+            let mut nodes = build_nodes(schedule.hosts, policy);
+            for &(from, to) in &schedule.messages {
+                nodes[from]
+                    .send(&format!("h{to}"), vec![1], SimTime::ZERO)
+                    .expect("send");
+            }
+            let dups = run_schedule(&mut nodes, &schedule, EncounterBudget::unlimited());
+            prop_assert_eq!(dups, 0, "policy {} duplicated", policy);
+            for node in &nodes {
+                prop_assert_eq!(node.replica().stats().duplicates_rejected, 0);
+            }
+        }
+    }
+
+    /// Spray and Wait never inflates its copy budget, whatever the
+    /// schedule.
+    #[test]
+    fn spray_copy_budget_is_conserved(schedule in arb_schedule()) {
+        let initial: i64 = 8;
+        let mut nodes = build_nodes(schedule.hosts, PolicyKind::SprayAndWait);
+        let mut ids = Vec::new();
+        for &(from, to) in &schedule.messages {
+            if from == to {
+                continue;
+            }
+            ids.push(nodes[from]
+                .send(&format!("h{to}"), vec![1], SimTime::ZERO)
+                .expect("send"));
+        }
+        run_schedule(&mut nodes, &schedule, EncounterBudget::unlimited());
+        for id in ids {
+            let total: i64 = nodes
+                .iter()
+                .filter_map(|n| n.replica().item(id))
+                .filter(|item| !item.is_deleted())
+                // Copies held by relays; the destination's copy (delivered)
+                // and untouched source copies count via the default.
+                .map(|item| item.transient().get_i64(ATTR_COPIES).unwrap_or(initial))
+                .sum();
+            // The destination's copy does not participate in spraying, so
+            // allow one extra budget's worth for it.
+            prop_assert!(
+                total <= initial * 2,
+                "logical copies inflated for {}: {}",
+                id,
+                total
+            );
+        }
+    }
+
+    /// Epidemic TTL bounds how many relay hops a copy can take: with TTL t,
+    /// a copy reaching a node has a TTL in [0, t].
+    #[test]
+    fn epidemic_ttl_stays_in_range(schedule in arb_schedule()) {
+        let mut nodes = build_nodes(schedule.hosts, PolicyKind::Epidemic);
+        for &(from, to) in &schedule.messages {
+            nodes[from]
+                .send(&format!("h{to}"), vec![1], SimTime::ZERO)
+                .expect("send");
+        }
+        run_schedule(&mut nodes, &schedule, EncounterBudget::unlimited());
+        for node in &nodes {
+            for item in node.replica().iter_items() {
+                if let Some(ttl) = item.transient().get_i64(ATTR_TTL) {
+                    prop_assert!((0..=10).contains(&ttl), "ttl {} out of range", ttl);
+                }
+            }
+        }
+    }
+
+    /// A shared bandwidth budget is respected by every policy.
+    #[test]
+    fn budget_respected_by_all_policies(schedule in arb_schedule()) {
+        for policy in PolicyKind::ALL {
+            let mut nodes = build_nodes(schedule.hosts, policy);
+            for &(from, to) in &schedule.messages {
+                nodes[from]
+                    .send(&format!("h{to}"), vec![1], SimTime::ZERO)
+                    .expect("send");
+            }
+            for (step, &(a, b)) in schedule.encounters.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let (x, y) = if a < b { (a, b) } else { (b, a) };
+                let (left, right) = nodes.split_at_mut(y);
+                let report = left[x].encounter(
+                    &mut right[0],
+                    SimTime::from_secs(60 * (step as u64 + 1)),
+                    EncounterBudget::max_messages(2),
+                );
+                prop_assert!(
+                    report.transmitted <= 2,
+                    "policy {} sent {} items under a budget of 2",
+                    policy,
+                    report.transmitted
+                );
+            }
+        }
+    }
+
+    /// MaxProp hop lists only ever grow along a copy's path and contain
+    /// plausible node ids.
+    #[test]
+    fn maxprop_hoplists_are_plausible(schedule in arb_schedule()) {
+        let mut nodes = build_nodes(schedule.hosts, PolicyKind::MaxProp);
+        for &(from, to) in &schedule.messages {
+            nodes[from]
+                .send(&format!("h{to}"), vec![1], SimTime::ZERO)
+                .expect("send");
+        }
+        run_schedule(&mut nodes, &schedule, EncounterBudget::unlimited());
+        let max_id = schedule.hosts as i64;
+        for node in &nodes {
+            for item in node.replica().iter_items() {
+                if let Some(Value::List(hops)) = item.transient().get(replidtn::dtn::ATTR_HOPLIST) {
+                    for hop in hops {
+                        let id = hop.as_i64().expect("hoplist entries are ints");
+                        prop_assert!((1..=max_id).contains(&id), "bogus hop id {}", id);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The TCP transport and in-process encounters implement the same
+//! protocol: replaying one encounter schedule through both must leave the
+//! replicas in identical states.
+
+use replidtn::dtn::{DtnNode, EncounterBudget, PolicyKind};
+use replidtn::pfr::{ItemId, ReplicaId, SimTime};
+use replidtn::transport::Peer;
+
+/// A fixed little scenario: 4 nodes, 5 messages, 6 encounters.
+const MESSAGES: [(u64, u64); 5] = [(1, 3), (1, 4), (2, 1), (3, 2), (4, 2)];
+const ENCOUNTERS: [(u64, u64); 6] = [(1, 2), (3, 4), (2, 3), (1, 4), (2, 4), (1, 3)];
+
+fn make_nodes(policy: PolicyKind) -> Vec<DtnNode> {
+    (1..=4u64)
+        .map(|i| DtnNode::new(ReplicaId::new(i), &format!("h{i}"), policy))
+        .collect()
+}
+
+fn inject(nodes: &mut [DtnNode]) -> Vec<ItemId> {
+    MESSAGES
+        .iter()
+        .map(|&(from, to)| {
+            nodes[(from - 1) as usize]
+                .send(&format!("h{to}"), format!("{from}->{to}").into_bytes(), SimTime::ZERO)
+                .expect("send")
+        })
+        .collect()
+}
+
+/// Sorted (item id, payload) pairs for one node.
+type NodeItems = Vec<(ItemId, Vec<u8>)>;
+
+/// Snapshot of observable replica state: per node, the sorted item ids and
+/// payloads it stores plus its inbox size.
+fn snapshot(nodes: &[&DtnNode]) -> Vec<(NodeItems, usize)> {
+    nodes
+        .iter()
+        .map(|n| {
+            let mut items: Vec<(ItemId, Vec<u8>)> = n
+                .replica()
+                .iter_items()
+                .map(|i| (i.id(), i.payload().to_vec()))
+                .collect();
+            items.sort();
+            (items, n.inbox().len())
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_sessions_equal_in_memory_encounters() {
+    for policy in [PolicyKind::Direct, PolicyKind::Epidemic, PolicyKind::SprayAndWait] {
+        // In-memory run.
+        let mut local = make_nodes(policy);
+        inject(&mut local);
+        for (step, &(a, b)) in ENCOUNTERS.iter().enumerate() {
+            let (x, y) = ((a - 1) as usize, (b - 1) as usize);
+            // Borrow node a and node b simultaneously.
+            let (node_a, node_b) = if x < y {
+                let (left, right) = local.split_at_mut(y);
+                (&mut left[x], &mut right[0])
+            } else {
+                let (left, right) = local.split_at_mut(x);
+                (&mut right[0], &mut left[y])
+            };
+            // The TCP initiator (a) pulls first, i.e. it is the *target* of
+            // sync 1. DtnNode::encounter runs self-as-source first, so the
+            // responder (b) plays the `self` role to match.
+            node_b.encounter(
+                node_a,
+                SimTime::from_secs(60 * (step as u64 + 1)),
+                EncounterBudget::unlimited(),
+            );
+        }
+
+        // TCP run with the same logical schedule.
+        let peers: Vec<Peer> = {
+            let mut nodes = make_nodes(policy);
+            inject(&mut nodes);
+            nodes
+                .into_iter()
+                .map(|n| Peer::start(n, "127.0.0.1:0").expect("bind"))
+                .collect()
+        };
+        for (step, &(a, b)) in ENCOUNTERS.iter().enumerate() {
+            let initiator = &peers[(a - 1) as usize];
+            let responder = &peers[(b - 1) as usize];
+            initiator
+                .sync_with(responder.local_addr(), SimTime::from_secs(60 * (step as u64 + 1)))
+                .expect("tcp sync");
+        }
+
+        let tcp_nodes: Vec<DtnNode> = peers.into_iter().map(Peer::stop).collect();
+        let local_refs: Vec<&DtnNode> = local.iter().collect();
+        let tcp_refs: Vec<&DtnNode> = tcp_nodes.iter().collect();
+        assert_eq!(
+            snapshot(&local_refs),
+            snapshot(&tcp_refs),
+            "policy {policy}: transport changed replication outcomes"
+        );
+    }
+}
+
+#[test]
+fn tcp_preserves_transient_metadata() {
+    // Spray's copy counts must survive the wire encoding.
+    let a = Peer::start(
+        DtnNode::new(ReplicaId::new(1), "a", PolicyKind::SprayAndWait),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let b = Peer::start(
+        DtnNode::new(ReplicaId::new(2), "b", PolicyKind::SprayAndWait),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let id = a
+        .with_node(|n| n.send("z", b"spray".to_vec(), SimTime::ZERO))
+        .unwrap();
+    a.sync_with(b.local_addr(), SimTime::from_secs(60)).unwrap();
+    let b_copies = b.with_node(|n| {
+        n.replica()
+            .item(id)
+            .and_then(|i| i.transient().get_i64(replidtn::dtn::ATTR_COPIES))
+    });
+    let a_copies = a.with_node(|n| {
+        n.replica()
+            .item(id)
+            .and_then(|i| i.transient().get_i64(replidtn::dtn::ATTR_COPIES))
+    });
+    assert_eq!(a_copies, Some(4));
+    assert_eq!(b_copies, Some(4));
+}
