@@ -20,7 +20,12 @@ struct Row {
     copies_at_end: f64,
 }
 
-fn run(scenario: &Scenario, spec: PolicySpec, budget: EncounterBudget, relay: Option<usize>) -> Row {
+fn run(
+    scenario: &Scenario,
+    spec: PolicySpec,
+    budget: EncounterBudget,
+    relay: Option<usize>,
+) -> Row {
     let label = spec.label();
     let config = EmulationConfig {
         policy: spec,
@@ -41,7 +46,13 @@ fn run(scenario: &Scenario, spec: PolicySpec, budget: EncounterBudget, relay: Op
 fn print_rows(title: &str, rows: &[Row]) {
     let mut table = Table::new(
         title,
-        vec!["variant", "within 12h (%)", "delivered (%)", "transfers", "copies@end"],
+        vec![
+            "variant",
+            "within 12h (%)",
+            "delivered (%)",
+            "transfers",
+            "copies@end",
+        ],
     );
     for row in rows {
         table.row(vec![
@@ -151,7 +162,10 @@ fn main() {
         row.label = format!("maxprop storage={relay} msgs");
         rows.push(row);
     }
-    print_rows("Ablation: constraint severity (paper uses bw=1, storage=2)", &rows);
+    print_rows(
+        "Ablation: constraint severity (paper uses bw=1, storage=2)",
+        &rows,
+    );
 
     // 6. Crash resilience: reboots lose in-memory routing state but never
     //    the durable replica, so correctness holds and only routing
@@ -164,8 +178,7 @@ fn main() {
                 crash_rate,
                 ..EmulationConfig::default()
             };
-            let metrics =
-                Emulation::new(&scenario.trace, &scenario.workload, config).run();
+            let metrics = Emulation::new(&scenario.trace, &scenario.workload, config).run();
             assert_eq!(metrics.duplicates, 0, "at-most-once must survive crashes");
             rows.push(Row {
                 label: format!("{} crash={crash_rate}", policy.label()),

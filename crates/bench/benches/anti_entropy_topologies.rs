@@ -21,8 +21,8 @@ fn main() {
             vec!["topology", "rounds", "transmissions", "needed (n*(n-1))"],
         );
         for topology in &topologies {
-            let result = rounds_to_convergence(n, topology, 10_000)
-                .expect("connected topologies converge");
+            let result =
+                rounds_to_convergence(n, topology, 10_000).expect("connected topologies converge");
             table.row(vec![
                 topology.label(),
                 result.rounds.to_string(),

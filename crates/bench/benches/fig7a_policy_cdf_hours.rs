@@ -4,9 +4,6 @@
 fn main() {
     let scenario = benchkit::scenario();
     let runs = benchkit::unconstrained_runs(&scenario);
-    benchkit::print_hourly_cdfs(
-        "Figure 7a: delay CDF (0-12 hours), unconstrained",
-        &runs,
-    );
+    benchkit::print_hourly_cdfs("Figure 7a: delay CDF (0-12 hours), unconstrained", &runs);
     benchkit::print_summary(&runs);
 }

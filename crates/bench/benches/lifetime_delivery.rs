@@ -24,7 +24,11 @@ fn main() {
         SimDuration::from_days(2),
         SimDuration::from_days(4),
     ];
-    let policies = [PolicyKind::Direct, PolicyKind::SprayAndWait, PolicyKind::MaxProp];
+    let policies = [
+        PolicyKind::Direct,
+        PolicyKind::SprayAndWait,
+        PolicyKind::MaxProp,
+    ];
 
     let mut table = Table::new(
         "Delivery rate (%) with bounded message lifetimes",
@@ -41,8 +45,7 @@ fn main() {
                 message_lifetime: Some(lifetime),
                 ..EmulationConfig::default()
             };
-            let metrics =
-                Emulation::new(&scenario.trace, &scenario.workload, config).run();
+            let metrics = Emulation::new(&scenario.trace, &scenario.workload, config).run();
             assert_eq!(metrics.duplicates, 0);
             cells.push(format!("{:.1}", metrics.delivery_rate() * 100.0));
         }

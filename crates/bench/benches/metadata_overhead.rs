@@ -20,7 +20,13 @@ const RELAYS: usize = 12;
 /// knowledge size of a fully-caught-up node.
 fn knowledge_bytes(messages: usize) -> (usize, usize) {
     let mut nodes: Vec<DtnNode> = (0..RELAYS)
-        .map(|i| DtnNode::new(ReplicaId::new(i as u64 + 1), &format!("h{i}"), PolicyKind::Epidemic))
+        .map(|i| {
+            DtnNode::new(
+                ReplicaId::new(i as u64 + 1),
+                &format!("h{i}"),
+                PolicyKind::Epidemic,
+            )
+        })
         .collect();
     for m in 0..messages {
         let sender = m % RELAYS;
@@ -35,8 +41,11 @@ fn knowledge_bytes(messages: usize) -> (usize, usize) {
             let j = (i + 1) % RELAYS;
             let (lo, hi) = if i < j { (i, j) } else { (j, i) };
             let (a, b) = two(&mut nodes, lo, hi);
-            a.encounter(b, SimTime::from_secs((round * RELAYS + i) as u64 * 60 + 1),
-                EncounterBudget::unlimited());
+            a.encounter(
+                b,
+                SimTime::from_secs((round * RELAYS + i) as u64 * 60 + 1),
+                EncounterBudget::unlimited(),
+            );
         }
     }
     let node = &nodes[0];
@@ -75,9 +84,7 @@ fn two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
 
 fn main() {
     let mut table = Table::new(
-        format!(
-            "Per-encounter duplicate-suppression metadata, {RELAYS} nodes (paper §III)"
-        ),
+        format!("Per-encounter duplicate-suppression metadata, {RELAYS} nodes (paper §III)"),
         vec![
             "messages",
             "knowledge (bytes)",

@@ -4,9 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pfr::wire::{from_bytes, to_bytes};
-use pfr::{
-    AttributeMap, Filter, Item, ItemId, Knowledge, ReplicaId, Version,
-};
+use pfr::{AttributeMap, Filter, Item, ItemId, Knowledge, ReplicaId, Version};
 
 fn sample_knowledge() -> Knowledge {
     let mut k = Knowledge::new();
@@ -24,18 +22,26 @@ fn sample_item() -> Item {
     attrs.set("dest", "bus-17");
     attrs.set("src", "bus-3");
     attrs.set("sent_at", 28_800i64);
-    Item::builder(ItemId::new(ReplicaId::new(3), 42), Version::new(ReplicaId::new(3), 42))
-        .attrs(attrs)
-        .transient_attr("dtn.ttl", 10i64)
-        .payload(vec![0xab; 120])
-        .build()
+    Item::builder(
+        ItemId::new(ReplicaId::new(3), 42),
+        Version::new(ReplicaId::new(3), 42),
+    )
+    .attrs(attrs)
+    .transient_attr("dtn.ttl", 10i64)
+    .payload(vec![0xab; 120])
+    .build()
 }
 
 fn bench_knowledge_codec(c: &mut Criterion) {
     let k = sample_knowledge();
     let bytes = to_bytes(&k);
-    println!("encoded knowledge (34 replicas x 500 versions): {} bytes", bytes.len());
-    c.bench_function("codec/knowledge_encode", |b| b.iter(|| black_box(to_bytes(&k))));
+    println!(
+        "encoded knowledge (34 replicas x 500 versions): {} bytes",
+        bytes.len()
+    );
+    c.bench_function("codec/knowledge_encode", |b| {
+        b.iter(|| black_box(to_bytes(&k)))
+    });
     c.bench_function("codec/knowledge_decode", |b| {
         b.iter(|| black_box(from_bytes::<Knowledge>(&bytes).expect("decode")))
     });
@@ -44,8 +50,13 @@ fn bench_knowledge_codec(c: &mut Criterion) {
 fn bench_item_codec(c: &mut Criterion) {
     let item = sample_item();
     let bytes = to_bytes(&item);
-    println!("encoded message item (120-byte payload): {} bytes", bytes.len());
-    c.bench_function("codec/item_encode", |b| b.iter(|| black_box(to_bytes(&item))));
+    println!(
+        "encoded message item (120-byte payload): {} bytes",
+        bytes.len()
+    );
+    c.bench_function("codec/item_encode", |b| {
+        b.iter(|| black_box(to_bytes(&item)))
+    });
     c.bench_function("codec/item_decode", |b| {
         b.iter(|| black_box(from_bytes::<Item>(&bytes).expect("decode")))
     });
@@ -54,16 +65,21 @@ fn bench_item_codec(c: &mut Criterion) {
 fn bench_filter_codec(c: &mut Criterion) {
     let filter = Filter::any_address(
         "dest",
-        (0..16).map(|i| format!("bus-{i}")).collect::<Vec<_>>().iter().map(String::as_str),
+        (0..16)
+            .map(|i| format!("bus-{i}"))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str),
     );
     let bytes = to_bytes(&filter);
     println!("encoded 16-address filter: {} bytes", bytes.len());
-    c.bench_function("codec/filter_encode", |b| b.iter(|| black_box(to_bytes(&filter))));
+    c.bench_function("codec/filter_encode", |b| {
+        b.iter(|| black_box(to_bytes(&filter)))
+    });
     c.bench_function("codec/filter_decode", |b| {
         b.iter(|| black_box(from_bytes::<Filter>(&bytes).expect("decode")))
     });
 }
-
 
 /// Short sampling profile: micro-benchmarks here are stable enough that
 /// 2-second measurement windows give tight intervals.
@@ -75,7 +91,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_knowledge_codec, bench_item_codec, bench_filter_codec

@@ -63,7 +63,6 @@ fn bench_merge(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short sampling profile: micro-benchmarks here are stable enough that
 /// 2-second measurement windows give tight intervals.
 fn quick() -> Criterion {
@@ -74,7 +73,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_insert_in_order,

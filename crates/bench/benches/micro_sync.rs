@@ -44,7 +44,6 @@ fn bench_converged_sync(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short sampling profile: micro-benchmarks here are stable enough that
 /// 2-second measurement windows give tight intervals.
 fn quick() -> Criterion {
@@ -55,7 +54,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_first_sync, bench_converged_sync

@@ -46,10 +46,17 @@ fn main() {
             EmulationConfig::for_policy(kind),
         )
         .run_into_parts();
-        let lens: Vec<usize> = nodes.values().map(|n| n.policy().save_state().len()).collect();
+        let lens: Vec<usize> = nodes
+            .values()
+            .map(|n| n.policy().save_state().len())
+            .collect();
         let mean = lens.iter().sum::<usize>() as f64 / lens.len().max(1) as f64;
         let max = lens.iter().max().copied().unwrap_or(0);
-        sizes.row(vec![kind.label().to_string(), format!("{mean:.0}"), max.to_string()]);
+        sizes.row(vec![
+            kind.label().to_string(),
+            format!("{mean:.0}"),
+            max.to_string(),
+        ]);
     }
     println!("{sizes}");
 }

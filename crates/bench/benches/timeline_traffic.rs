@@ -11,7 +11,11 @@ use emu::{Emulation, EmulationConfig};
 
 fn main() {
     let scenario = benchkit::scenario();
-    for policy in [PolicyKind::Direct, PolicyKind::SprayAndWait, PolicyKind::MaxProp] {
+    for policy in [
+        PolicyKind::Direct,
+        PolicyKind::SprayAndWait,
+        PolicyKind::MaxProp,
+    ] {
         let config = EmulationConfig {
             policy: policy.into(),
             budget: EncounterBudget::unlimited(),

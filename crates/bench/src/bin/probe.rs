@@ -9,9 +9,13 @@ use emu::experiments::{policy_comparison, Scenario};
 fn main() {
     let t0 = std::time::Instant::now();
     let scenario = Scenario::paper();
-    println!("scenario: {} encounters, {} messages, {} days, {:.1} buses/day",
-        scenario.trace.len(), scenario.workload.len(), scenario.trace.days(),
-        scenario.trace.mean_nodes_per_day());
+    println!(
+        "scenario: {} encounters, {} messages, {} days, {:.1} buses/day",
+        scenario.trace.len(),
+        scenario.workload.len(),
+        scenario.trace.days(),
+        scenario.trace.mean_nodes_per_day()
+    );
     let runs = policy_comparison(&scenario, EncounterBudget::unlimited(), None);
     for run in &runs {
         println!(

@@ -9,9 +9,12 @@
 //! (useful for smoke-testing the harness; the printed numbers then do not
 //! correspond to the paper's figures).
 
+use std::sync::Arc;
+
 use dtn::EncounterBudget;
 use emu::experiments::{self, PolicyRun, Scenario};
 use emu::report::{fmt_opt, render_cdf, Table};
+use obs::Observer;
 
 /// The figure-5/6 sweep of extra filter addresses.
 pub const FILTER_KS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -28,7 +31,12 @@ pub fn scenario() -> Scenario {
 
 /// Prints the figure-5 table: average message delay per filter strategy.
 pub fn print_fig5(scenario: &Scenario) {
-    let series = experiments::filter_sweep(scenario, &FILTER_KS);
+    print_fig5_with(scenario, None);
+}
+
+/// [`print_fig5`] with an observer receiving every run's event stream.
+pub fn print_fig5_with(scenario: &Scenario, observer: Option<Arc<dyn Observer>>) {
+    let series = experiments::filter_sweep_with(scenario, &FILTER_KS, observer);
     let mut table = Table::new(
         "Figure 5: average message delay (hours) vs addresses in filter",
         vec!["addresses", "random", "selected"],
@@ -46,7 +54,12 @@ pub fn print_fig5(scenario: &Scenario) {
 
 /// Prints the figure-6 table: % delivered within 12 hours per strategy.
 pub fn print_fig6(scenario: &Scenario) {
-    let series = experiments::filter_sweep(scenario, &FILTER_KS);
+    print_fig6_with(scenario, None);
+}
+
+/// [`print_fig6`] with an observer receiving every run's event stream.
+pub fn print_fig6_with(scenario: &Scenario, observer: Option<Arc<dyn Observer>>) {
+    let series = experiments::filter_sweep_with(scenario, &FILTER_KS, observer);
     let mut table = Table::new(
         "Figure 6: % messages delivered within 12 hours vs addresses in filter",
         vec!["addresses", "random", "selected"],
@@ -64,7 +77,16 @@ pub fn print_fig6(scenario: &Scenario) {
 
 /// Runs the unconstrained policy comparison shared by figures 7a/7b/8.
 pub fn unconstrained_runs(scenario: &Scenario) -> Vec<PolicyRun> {
-    experiments::policy_comparison(scenario, EncounterBudget::unlimited(), None)
+    unconstrained_runs_with(scenario, None)
+}
+
+/// [`unconstrained_runs`] with an observer receiving every run's event
+/// stream.
+pub fn unconstrained_runs_with(
+    scenario: &Scenario,
+    observer: Option<Arc<dyn Observer>>,
+) -> Vec<PolicyRun> {
+    experiments::policy_comparison_with(scenario, EncounterBudget::unlimited(), None, observer)
 }
 
 /// Prints an hourly CDF (figures 7a, 9, 10) for a set of runs.
@@ -78,7 +100,11 @@ pub fn print_hourly_cdfs(title: &str, runs: &[PolicyRun]) {
     );
     for run in runs {
         let mut cells = vec![run.policy.label().to_string()];
-        cells.extend(run.cdf_hours.iter().map(|p| format!("{:.1}", p.delivered_pct)));
+        cells.extend(
+            run.cdf_hours
+                .iter()
+                .map(|p| format!("{:.1}", p.delivered_pct)),
+        );
         table.row(cells);
     }
     println!("{table}");
@@ -98,7 +124,11 @@ pub fn print_fig7b(runs: &[PolicyRun]) {
     );
     for run in runs {
         let mut cells = vec![run.policy.label().to_string()];
-        cells.extend(run.cdf_days.iter().map(|p| format!("{:.1}", p.delivered_pct)));
+        cells.extend(
+            run.cdf_days
+                .iter()
+                .map(|p| format!("{:.1}", p.delivered_pct)),
+        );
         cells.push(
             run.max_delay_days
                 .map(|d| format!("{d:.1}d"))

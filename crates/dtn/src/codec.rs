@@ -39,9 +39,7 @@ pub(crate) fn put_node_probs(w: &mut Writer, probs: &BTreeMap<ReplicaId, f64>) {
     }
 }
 
-pub(crate) fn get_node_probs(
-    r: &mut Reader<'_>,
-) -> Result<BTreeMap<ReplicaId, f64>, WireError> {
+pub(crate) fn get_node_probs(r: &mut Reader<'_>) -> Result<BTreeMap<ReplicaId, f64>, WireError> {
     let len = r.get_len(2)?;
     let mut out = BTreeMap::new();
     for _ in 0..len {

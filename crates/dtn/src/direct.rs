@@ -27,7 +27,11 @@ impl DirectDelivery {
     }
 }
 
-impl SyncExtension for DirectDelivery {}
+impl SyncExtension for DirectDelivery {
+    fn label(&self) -> &'static str {
+        "direct"
+    }
+}
 
 impl DtnPolicy for DirectDelivery {
     fn name(&self) -> &'static str {

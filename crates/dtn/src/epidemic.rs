@@ -47,7 +47,9 @@ impl EpidemicPolicy {
 
     /// Reads a copy's remaining TTL, treating a missing field as "fresh".
     fn ttl_of(&self, item: &Item) -> i64 {
-        item.transient().get_i64(ATTR_TTL).unwrap_or(self.initial_ttl)
+        item.transient()
+            .get_i64(ATTR_TTL)
+            .unwrap_or(self.initial_ttl)
     }
 }
 
@@ -59,6 +61,10 @@ impl Default for EpidemicPolicy {
 }
 
 impl SyncExtension for EpidemicPolicy {
+    fn label(&self) -> &'static str {
+        "epidemic"
+    }
+
     fn to_send(
         &mut self,
         cx: &mut HostContext<'_>,
@@ -134,8 +140,21 @@ mod tests {
         r.insert(attrs, b"m".to_vec()).unwrap()
     }
 
-    fn relay_sync(src: &mut Replica, sp: &mut EpidemicPolicy, tgt: &mut Replica, tp: &mut EpidemicPolicy, t: u64) {
-        sync::sync_with(src, sp, tgt, tp, SyncLimits::unlimited(), SimTime::from_secs(t));
+    fn relay_sync(
+        src: &mut Replica,
+        sp: &mut EpidemicPolicy,
+        tgt: &mut Replica,
+        tp: &mut EpidemicPolicy,
+        t: u64,
+    ) {
+        sync::sync_with(
+            src,
+            sp,
+            tgt,
+            tp,
+            SyncLimits::unlimited(),
+            SimTime::from_secs(t),
+        );
     }
 
     #[test]

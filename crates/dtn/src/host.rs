@@ -3,6 +3,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use obs::{DropReason, Event, Span};
 use pfr::sync::{self, SyncReport};
 use pfr::{Filter, ItemId, PfrError, Replica, ReplicaId, SimTime, SyncLimits};
 
@@ -266,13 +267,27 @@ impl DtnNode {
             .map(|item| (item.id(), item.id().origin() == self.replica.id()))
             .collect();
         let mut count = 0;
+        let replica_id = self.replica.id().as_u64();
         for (id, is_origin) in expired {
-            if is_origin {
-                if self.replica.delete(id).is_ok() {
-                    count += 1;
-                }
-            } else if self.replica.purge_relay(id) {
+            let dropped = if is_origin {
+                self.replica.delete(id).is_ok()
+            } else {
+                self.replica.purge_relay(id)
+            };
+            if dropped {
                 count += 1;
+                self.replica.observer().emit(|| Event::ItemExpired {
+                    replica: replica_id,
+                    origin: id.origin().as_u64(),
+                    seq: id.seq(),
+                    at_secs: now.as_secs(),
+                });
+                self.replica.observer().emit(|| Event::MessageDropped {
+                    replica: replica_id,
+                    origin: id.origin().as_u64(),
+                    seq: id.seq(),
+                    reason: DropReason::Expired,
+                });
             }
         }
         count
@@ -294,6 +309,12 @@ impl DtnNode {
         budget: EncounterBudget,
     ) -> EncounterReport {
         let mut report = EncounterReport::default();
+        let span = Span::start(
+            self.replica.observer(),
+            "encounter",
+            self.replica.id().as_u64(),
+            other.replica.id().as_u64(),
+        );
 
         // Bounded-lifetime housekeeping before anything moves.
         self.expire_messages(now);
@@ -354,6 +375,21 @@ impl DtnNode {
             now,
         );
         report.absorb(r2, true);
+        let (a, b) = (self.replica.id().as_u64(), other.replica.id().as_u64());
+        let (transmitted, delivered, duplicates) = (
+            report.transmitted as u64,
+            report.delivered as u64,
+            report.duplicates as u64,
+        );
+        self.replica.observer().emit(|| Event::EncounterCompleted {
+            a,
+            b,
+            transmitted,
+            delivered,
+            duplicates,
+            at_secs: now.as_secs(),
+        });
+        span.finish();
         report
     }
 
@@ -377,7 +413,13 @@ impl DtnNode {
         limits: SyncLimits,
         now: SimTime,
     ) -> pfr::sync::SyncBatch {
-        sync::prepare_batch(&mut self.replica, self.policy.as_mut(), request, limits, now)
+        sync::prepare_batch(
+            &mut self.replica,
+            self.policy.as_mut(),
+            request,
+            limits,
+            now,
+        )
     }
 
     /// Applies a received batch as the *target*, completing the session.
@@ -542,12 +584,20 @@ mod tests {
             a.send("b", vec![i], SimTime::ZERO).unwrap();
             b.send("a", vec![i], SimTime::ZERO).unwrap();
         }
-        let report = a.encounter(&mut b, SimTime::from_secs(1), EncounterBudget::max_messages(1));
+        let report = a.encounter(
+            &mut b,
+            SimTime::from_secs(1),
+            EncounterBudget::max_messages(1),
+        );
         assert_eq!(report.transmitted, 1, "one message per encounter total");
         // Repeated encounters eventually drain the backlog.
         let mut total = report.delivered;
         for t in 2..20 {
-            let r = a.encounter(&mut b, SimTime::from_secs(t), EncounterBudget::max_messages(1));
+            let r = a.encounter(
+                &mut b,
+                SimTime::from_secs(t),
+                EncounterBudget::max_messages(1),
+            );
             total += r.delivered;
         }
         assert_eq!(total, 6);
@@ -560,7 +610,10 @@ mod tests {
         c.set_extra_filter_addresses(["b"]);
         a.send("b", b"m".to_vec(), SimTime::ZERO).unwrap();
         let report = a.encounter(&mut c, SimTime::from_secs(1), EncounterBudget::unlimited());
-        assert_eq!(report.transmitted, 1, "c's widened filter pulls the message");
+        assert_eq!(
+            report.transmitted, 1,
+            "c's widened filter pulls the message"
+        );
         assert!(c.inbox().is_empty(), "not addressed to c itself");
 
         // c later meets b and delivers.
@@ -575,8 +628,14 @@ mod tests {
         let mut bus = node(1, "bus-1", PolicyKind::Direct);
         bus.set_addresses(["bus-1", "alice"]);
         let mut other = node(2, "bus-2", PolicyKind::Direct);
-        other.send("alice", b"mail".to_vec(), SimTime::ZERO).unwrap();
-        other.encounter(&mut bus, SimTime::from_secs(5), EncounterBudget::unlimited());
+        other
+            .send("alice", b"mail".to_vec(), SimTime::ZERO)
+            .unwrap();
+        other.encounter(
+            &mut bus,
+            SimTime::from_secs(5),
+            EncounterBudget::unlimited(),
+        );
         assert_eq!(bus.inbox().len(), 1, "bus hosting alice receives her mail");
 
         // Next day alice moves away; bus-1 no longer receives for her.
@@ -590,8 +649,7 @@ mod tests {
             let mut a = node(1, "a", kind);
             let mut b = node(2, "b", kind);
             a.send("b", b"x".to_vec(), SimTime::ZERO).unwrap();
-            let report =
-                a.encounter(&mut b, SimTime::from_secs(1), EncounterBudget::unlimited());
+            let report = a.encounter(&mut b, SimTime::from_secs(1), EncounterBudget::unlimited());
             assert_eq!(report.delivered, 1, "policy {kind} delivers directly");
             assert_eq!(report.duplicates, 0);
         }
@@ -604,11 +662,20 @@ mod tests {
         let mut b = node(2, "b", PolicyKind::Epidemic);
         let mut z = node(9, "z", PolicyKind::Epidemic);
         let id = a
-            .send_with_lifetime("z", b"short-lived".to_vec(), SimTime::ZERO, SimDuration::from_hours(1))
+            .send_with_lifetime(
+                "z",
+                b"short-lived".to_vec(),
+                SimTime::ZERO,
+                SimDuration::from_hours(1),
+            )
             .unwrap();
 
         // Within the lifetime, the message relays normally.
-        a.encounter(&mut b, SimTime::from_hms(0, 0, 30, 0), EncounterBudget::unlimited());
+        a.encounter(
+            &mut b,
+            SimTime::from_hms(0, 0, 30, 0),
+            EncounterBudget::unlimited(),
+        );
         assert!(b.replica().contains_item(id));
 
         // Past the lifetime, b's relay copy is purged and a tombstones its
@@ -617,7 +684,11 @@ mod tests {
         b.encounter(&mut z, late, EncounterBudget::unlimited());
         assert!(!b.replica().contains_item(id), "relay copy purged");
         assert!(z.inbox().is_empty());
-        a.encounter(&mut z, SimTime::from_hms(0, 3, 0, 0), EncounterBudget::unlimited());
+        a.encounter(
+            &mut z,
+            SimTime::from_hms(0, 3, 0, 0),
+            EncounterBudget::unlimited(),
+        );
         assert!(z.inbox().is_empty(), "origin tombstoned its own message");
         assert!(a.replica().item(id).unwrap().is_deleted());
     }
@@ -627,9 +698,18 @@ mod tests {
         use pfr::SimDuration;
         let mut a = node(1, "a", PolicyKind::Direct);
         let mut b = node(2, "b", PolicyKind::Direct);
-        a.send_with_lifetime("b", b"in time".to_vec(), SimTime::ZERO, SimDuration::from_days(1))
-            .unwrap();
-        let report = a.encounter(&mut b, SimTime::from_hms(0, 5, 0, 0), EncounterBudget::unlimited());
+        a.send_with_lifetime(
+            "b",
+            b"in time".to_vec(),
+            SimTime::ZERO,
+            SimDuration::from_days(1),
+        )
+        .unwrap();
+        let report = a.encounter(
+            &mut b,
+            SimTime::from_hms(0, 5, 0, 0),
+            EncounterBudget::unlimited(),
+        );
         assert_eq!(report.delivered, 1);
         assert_eq!(b.inbox().len(), 1);
     }
@@ -644,14 +724,22 @@ mod tests {
                 .send_multicast(&["b", "c"], b"to both".to_vec(), SimTime::ZERO)
                 .unwrap();
             let r1 = a.encounter(&mut b, SimTime::from_secs(60), EncounterBudget::unlimited());
-            let r2 = a.encounter(&mut c, SimTime::from_secs(120), EncounterBudget::unlimited());
+            let r2 = a.encounter(
+                &mut c,
+                SimTime::from_secs(120),
+                EncounterBudget::unlimited(),
+            );
             assert_eq!(r1.delivered + r2.delivered, 2, "policy {kind}");
             assert_eq!(b.inbox().len(), 1, "policy {kind}");
             assert_eq!(c.inbox().len(), 1, "policy {kind}");
             assert_eq!(b.inbox()[0].id, id);
             assert_eq!(b.inbox()[0].dest, vec!["b".to_string(), "c".to_string()]);
             // Re-encounters move nothing.
-            let r3 = a.encounter(&mut b, SimTime::from_secs(180), EncounterBudget::unlimited());
+            let r3 = a.encounter(
+                &mut b,
+                SimTime::from_secs(180),
+                EncounterBudget::unlimited(),
+            );
             assert_eq!(r3.transmitted, 0, "policy {kind}");
         }
     }
@@ -665,13 +753,24 @@ mod tests {
         let mut b = node(3, "b", PolicyKind::Prophet);
         // relay repeatedly meets b, becoming a good custodian for it.
         for t in 1..4 {
-            relay.encounter(&mut b, SimTime::from_secs(t * 60), EncounterBudget::unlimited());
+            relay.encounter(
+                &mut b,
+                SimTime::from_secs(t * 60),
+                EncounterBudget::unlimited(),
+            );
         }
         let id = a
             .send_multicast(&["b", "z"], b"m".to_vec(), SimTime::ZERO)
             .unwrap();
-        a.encounter(&mut relay, SimTime::from_secs(600), EncounterBudget::unlimited());
-        assert!(relay.replica().contains_item(id), "custody accepted for dest b");
+        a.encounter(
+            &mut relay,
+            SimTime::from_secs(600),
+            EncounterBudget::unlimited(),
+        );
+        assert!(
+            relay.replica().contains_item(id),
+            "custody accepted for dest b"
+        );
     }
 
     #[test]
@@ -703,7 +802,11 @@ mod tests {
         let mut a = node(1, "a", PolicyKind::Prophet);
         let mut b = node(2, "b", PolicyKind::Prophet);
         for t in 1..4 {
-            a.encounter(&mut b, SimTime::from_secs(t * 60), EncounterBudget::unlimited());
+            a.encounter(
+                &mut b,
+                SimTime::from_secs(t * 60),
+                EncounterBudget::unlimited(),
+            );
         }
         let mut restored = DtnNode::restore(&a.snapshot()).unwrap();
 
@@ -713,7 +816,11 @@ mod tests {
         // cold node would not forward c's message for b; warm a does.
         let mut c = node(3, "c", PolicyKind::Prophet);
         let id = c.send("b", b"for b".to_vec(), SimTime::ZERO).unwrap();
-        c.encounter(&mut restored, SimTime::from_secs(300), EncounterBudget::unlimited());
+        c.encounter(
+            &mut restored,
+            SimTime::from_secs(300),
+            EncounterBudget::unlimited(),
+        );
         assert!(
             restored.replica().contains_item(id),
             "restored predictability made the node a custodian"
@@ -722,8 +829,15 @@ mod tests {
         let mut cold = node(4, "d", PolicyKind::Prophet);
         let mut c2 = node(5, "e", PolicyKind::Prophet);
         let id2 = c2.send("b", b"for b".to_vec(), SimTime::ZERO).unwrap();
-        c2.encounter(&mut cold, SimTime::from_secs(300), EncounterBudget::unlimited());
-        assert!(!cold.replica().contains_item(id2), "cold node declines custody");
+        c2.encounter(
+            &mut cold,
+            SimTime::from_secs(300),
+            EncounterBudget::unlimited(),
+        );
+        assert!(
+            !cold.replica().contains_item(id2),
+            "cold node declines custody"
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
 use pfr::sync::{HostContext, SendDecision, SyncRequest};
 use pfr::wire::Writer;
-use pfr::{
-    Item, ItemId, Priority, PriorityClass, ReplicaId, RoutingState, SyncExtension, Value,
-};
+use pfr::{Item, ItemId, Priority, PriorityClass, ReplicaId, RoutingState, SyncExtension, Value};
 
 use crate::codec;
 use crate::policy::{DtnPolicy, PolicySummary};
@@ -224,6 +222,10 @@ impl Ord for OrdF64 {
 }
 
 impl SyncExtension for MaxPropPolicy {
+    fn label(&self) -> &'static str {
+        "maxprop"
+    }
+
     fn generate_request(&mut self, _cx: &mut HostContext<'_>) -> RoutingState {
         let mut w = Writer::new();
         codec::put_addrs(&mut w, &self.local_addrs);
@@ -408,8 +410,22 @@ mod tests {
 
     fn encounter(a: &mut (Replica, MaxPropPolicy), b: &mut (Replica, MaxPropPolicy), t: u64) {
         let now = SimTime::from_secs(t);
-        sync::sync_with(&mut a.0, &mut a.1, &mut b.0, &mut b.1, SyncLimits::unlimited(), now);
-        sync::sync_with(&mut b.0, &mut b.1, &mut a.0, &mut a.1, SyncLimits::unlimited(), now);
+        sync::sync_with(
+            &mut a.0,
+            &mut a.1,
+            &mut b.0,
+            &mut b.1,
+            SyncLimits::unlimited(),
+            now,
+        );
+        sync::sync_with(
+            &mut b.0,
+            &mut b.1,
+            &mut a.0,
+            &mut a.1,
+            SyncLimits::unlimited(),
+            now,
+        );
     }
 
     fn send_msg(r: &mut Replica, dest: &str) -> ItemId {
@@ -424,8 +440,8 @@ mod tests {
         p.record_meeting(ReplicaId::new(2));
         assert!((p.meeting_probability(ReplicaId::new(2)) - 1.0).abs() < 1e-12);
         p.record_meeting(ReplicaId::new(3));
-        let total = p.meeting_probability(ReplicaId::new(2))
-            + p.meeting_probability(ReplicaId::new(3));
+        let total =
+            p.meeting_probability(ReplicaId::new(2)) + p.meeting_probability(ReplicaId::new(3));
         assert!((total - 1.0).abs() < 1e-12);
         // 2 was met once of... weights 1 and 1 -> after normalize both 0.5?
         // record_meeting(2): {2:1} -> {2:1.0}
@@ -496,7 +512,12 @@ mod tests {
         me.0.set_transient(
             old,
             ATTR_HOPLIST,
-            Value::List(vec![Value::Int(5), Value::Int(6), Value::Int(7), Value::Int(8)]),
+            Value::List(vec![
+                Value::Int(5),
+                Value::Int(6),
+                Value::Int(7),
+                Value::Int(8),
+            ]),
         )
         .unwrap();
 
@@ -514,7 +535,10 @@ mod tests {
         assert!(batch.entries[0].matched_filter);
         assert_eq!(batch.entries[1].priority.class(), PriorityClass::High);
         assert_eq!(batch.entries[2].priority.class(), PriorityClass::Normal);
-        assert!(batch.entries[2].priority.cost().is_finite(), "Dijkstra found a path");
+        assert!(
+            batch.entries[2].priority.cost().is_finite(),
+            "Dijkstra found a path"
+        );
     }
 
     #[test]

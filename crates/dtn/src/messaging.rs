@@ -5,7 +5,19 @@
 //! Eventual filter consistency then *is* reliable delivery, and knowledge
 //! *is* duplicate suppression — the application itself is nearly trivial.
 
+use obs::Event;
 use pfr::{AttributeMap, Filter, Item, ItemId, PfrError, Replica, SimTime, Value};
+
+fn emit_injected(replica: &Replica, id: ItemId, src: &str, dst: &str, now: SimTime) {
+    replica.observer().emit(|| Event::MessageInjected {
+        replica: replica.id().as_u64(),
+        origin: id.origin().as_u64(),
+        seq: id.seq(),
+        src: src.to_string(),
+        dst: dst.to_string(),
+        at_secs: now.as_secs(),
+    });
+}
 
 /// Attribute naming the destination address(es) of a message. A scalar
 /// string for unicast; a list of strings for multicast.
@@ -42,15 +54,22 @@ impl Message {
     pub fn from_item(item: &Item) -> Option<Message> {
         let dest = match item.attrs().get(ATTR_DEST)? {
             Value::Str(s) => vec![s.clone()],
-            Value::List(l) => l.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect(),
+            Value::List(l) => l
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_owned))
+                .collect(),
             _ => return None,
         };
         Some(Message {
             id: item.id(),
-            src: item.attrs().get_str(ATTR_SRC).unwrap_or_default().to_owned(),
+            src: item
+                .attrs()
+                .get_str(ATTR_SRC)
+                .unwrap_or_default()
+                .to_owned(),
             dest,
             sent_at: SimTime::from_secs(
-                item.attrs().get_i64(ATTR_SENT_AT).unwrap_or(0).max(0) as u64,
+                item.attrs().get_i64(ATTR_SENT_AT).unwrap_or(0).max(0) as u64
             ),
             payload: item.payload().to_vec(),
         })
@@ -101,7 +120,9 @@ pub fn send_message(
     payload: Vec<u8>,
     now: SimTime,
 ) -> Result<ItemId, PfrError> {
-    replica.insert(message_attrs(src, dest, now), payload)
+    let id = replica.insert(message_attrs(src, dest, now), payload)?;
+    emit_injected(replica, id, src, dest, now);
+    Ok(id)
 }
 
 /// Returns `true` if the item is a message whose lifetime has ended.
@@ -129,7 +150,9 @@ pub fn send_message_with_lifetime(
 ) -> Result<ItemId, PfrError> {
     let mut attrs = message_attrs(src, dest, now);
     attrs.set(ATTR_EXPIRES_AT, (now + lifetime).as_secs() as i64);
-    replica.insert(attrs, payload)
+    let id = replica.insert(attrs, payload)?;
+    emit_injected(replica, id, src, dest, now);
+    Ok(id)
 }
 
 /// Injects a multicast message into a replica: one item whose `dest`
@@ -146,7 +169,9 @@ pub fn send_multicast(
     payload: Vec<u8>,
     now: SimTime,
 ) -> Result<ItemId, PfrError> {
-    replica.insert(multicast_attrs(src, dests, now), payload)
+    let id = replica.insert(multicast_attrs(src, dests, now), payload)?;
+    emit_injected(replica, id, src, &dests.join(","), now);
+    Ok(id)
 }
 
 /// Lists the live messages in `replica` addressed to `addr`.
@@ -210,8 +235,7 @@ mod tests {
     #[test]
     fn send_and_decode_roundtrip() {
         let mut r = replica("a");
-        let id = send_message(&mut r, "a", "b", b"hello".to_vec(), SimTime::from_secs(30))
-            .unwrap();
+        let id = send_message(&mut r, "a", "b", b"hello".to_vec(), SimTime::from_secs(30)).unwrap();
         let msg = Message::from_item(r.item(id).unwrap()).unwrap();
         assert_eq!(msg.id, id);
         assert_eq!(msg.src, "a");

@@ -5,9 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use pfr::sync::{HostContext, SendDecision, SyncRequest};
 use pfr::wire::Writer;
-use pfr::{
-    ItemId, Priority, PriorityClass, RoutingState, SimDuration, SimTime, SyncExtension,
-};
+use pfr::{ItemId, Priority, PriorityClass, RoutingState, SimDuration, SimTime, SyncExtension};
 
 use crate::codec;
 use crate::policy::{DtnPolicy, PolicySummary};
@@ -139,6 +137,10 @@ impl ProphetPolicy {
 }
 
 impl SyncExtension for ProphetPolicy {
+    fn label(&self) -> &'static str {
+        "prophet"
+    }
+
     fn generate_request(&mut self, cx: &mut HostContext<'_>) -> RoutingState {
         self.age(cx.now());
         let mut w = Writer::new();
@@ -225,8 +227,7 @@ impl DtnPolicy for ProphetPolicy {
             protocol: "PROPHET",
             routing_state: "vector of delivery predictabilities: P[d] for each dest d",
             added_to_sync_request: "target's P vector",
-            source_forwarding_policy:
-                "messages addressed to dest when target's P[dest] > source's",
+            source_forwarding_policy: "messages addressed to dest when target's P[dest] > source's",
             parameters: vec![
                 ("Pinit".to_string(), format!("{}", self.params.p_init)),
                 ("beta".to_string(), format!("{}", self.params.beta)),
@@ -268,14 +269,24 @@ mod tests {
         (replica, policy)
     }
 
-    fn encounter(
-        a: &mut (Replica, ProphetPolicy),
-        b: &mut (Replica, ProphetPolicy),
-        t: u64,
-    ) {
+    fn encounter(a: &mut (Replica, ProphetPolicy), b: &mut (Replica, ProphetPolicy), t: u64) {
         let now = SimTime::from_secs(t);
-        sync::sync_with(&mut a.0, &mut a.1, &mut b.0, &mut b.1, SyncLimits::unlimited(), now);
-        sync::sync_with(&mut b.0, &mut b.1, &mut a.0, &mut a.1, SyncLimits::unlimited(), now);
+        sync::sync_with(
+            &mut a.0,
+            &mut a.1,
+            &mut b.0,
+            &mut b.1,
+            SyncLimits::unlimited(),
+            now,
+        );
+        sync::sync_with(
+            &mut b.0,
+            &mut b.1,
+            &mut a.0,
+            &mut a.1,
+            SyncLimits::unlimited(),
+            now,
+        );
     }
 
     #[test]
@@ -285,7 +296,10 @@ mod tests {
         assert_eq!(a.1.predictability("b"), 0.0);
         encounter(&mut a, &mut b, 0);
         let p1 = a.1.predictability("b");
-        assert!((p1 - 0.75).abs() < 1e-9, "first meeting gives P_init, got {p1}");
+        assert!(
+            (p1 - 0.75).abs() < 1e-9,
+            "first meeting gives P_init, got {p1}"
+        );
         encounter(&mut a, &mut b, 10);
         let p2 = a.1.predictability("b");
         assert!(p2 > p1 && p2 < 1.0, "repeat meetings increase P: {p2}");
@@ -373,11 +387,17 @@ mod tests {
 
         // a meets c (P_c[d] = 0 = P_a[d]): no forwarding.
         encounter(&mut a, &mut c, 1000);
-        assert!(!c.0.contains_item(id), "equal predictability must not forward");
+        assert!(
+            !c.0.contains_item(id),
+            "equal predictability must not forward"
+        );
 
         // a meets b (P_b[d] > 0 = P_a[d]): forward.
         encounter(&mut a, &mut b, 2000);
-        assert!(b.0.contains_item(id), "better custodian receives the message");
+        assert!(
+            b.0.contains_item(id),
+            "better custodian receives the message"
+        );
     }
 
     #[test]

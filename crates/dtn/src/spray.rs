@@ -64,6 +64,10 @@ impl Default for SprayAndWaitPolicy {
 }
 
 impl SyncExtension for SprayAndWaitPolicy {
+    fn label(&self) -> &'static str {
+        "spray"
+    }
+
     fn to_send(
         &mut self,
         cx: &mut HostContext<'_>,
@@ -148,7 +152,14 @@ mod tests {
         tp: &mut SprayAndWaitPolicy,
         t: u64,
     ) {
-        sync::sync_with(src, sp, tgt, tp, SyncLimits::unlimited(), SimTime::from_secs(t));
+        sync::sync_with(
+            src,
+            sp,
+            tgt,
+            tp,
+            SyncLimits::unlimited(),
+            SimTime::from_secs(t),
+        );
     }
 
     #[test]
@@ -159,8 +170,14 @@ mod tests {
         let mut pa = SprayAndWaitPolicy::new(8);
         let mut pb = SprayAndWaitPolicy::new(8);
         spray_sync(&mut a, &mut pa, &mut b, &mut pb, 0);
-        assert_eq!(a.item(id).unwrap().transient().get_i64(ATTR_COPIES), Some(4));
-        assert_eq!(b.item(id).unwrap().transient().get_i64(ATTR_COPIES), Some(4));
+        assert_eq!(
+            a.item(id).unwrap().transient().get_i64(ATTR_COPIES),
+            Some(4)
+        );
+        assert_eq!(
+            b.item(id).unwrap().transient().get_i64(ATTR_COPIES),
+            Some(4)
+        );
     }
 
     #[test]
@@ -176,7 +193,13 @@ mod tests {
         for step in 0..5 {
             let (left, right) = hosts.split_at_mut(step + 1);
             let (pl, pr) = policies.split_at_mut(step + 1);
-            spray_sync(&mut left[step], &mut pl[step], &mut right[0], &mut pr[0], step as u64);
+            spray_sync(
+                &mut left[step],
+                &mut pl[step],
+                &mut right[0],
+                &mut pr[0],
+                step as u64,
+            );
         }
         let total: i64 = hosts
             .iter()
@@ -186,7 +209,10 @@ mod tests {
         assert!(total <= i64::from(initial), "copies inflated: {total}");
         // And the message stopped spreading once budgets hit 1.
         let holders = hosts.iter().filter(|h| h.contains_item(id)).count();
-        assert!(holders <= 4, "8 copies spray to at most 4 holders in a line, got {holders}");
+        assert!(
+            holders <= 4,
+            "8 copies spray to at most 4 holders in a line, got {holders}"
+        );
     }
 
     #[test]
@@ -199,7 +225,10 @@ mod tests {
         let mut pb = SprayAndWaitPolicy::new(2);
         let mut pc = SprayAndWaitPolicy::new(2);
         spray_sync(&mut a, &mut pa, &mut b, &mut pb, 0);
-        assert_eq!(b.item(id).unwrap().transient().get_i64(ATTR_COPIES), Some(1));
+        assert_eq!(
+            b.item(id).unwrap().transient().get_i64(ATTR_COPIES),
+            Some(1)
+        );
         // b has one copy: it must not spray to c.
         spray_sync(&mut b, &mut pb, &mut c, &mut pc, 1);
         assert!(!c.contains_item(id), "wait phase forwards nothing");

@@ -39,6 +39,10 @@ impl TwoHopRelayPolicy {
 }
 
 impl SyncExtension for TwoHopRelayPolicy {
+    fn label(&self) -> &'static str {
+        "twohop"
+    }
+
     fn to_send(
         &mut self,
         cx: &mut HostContext<'_>,
@@ -105,13 +109,25 @@ mod tests {
         let id = src.send("z", b"m".to_vec(), SimTime::ZERO).unwrap();
 
         // Source hands copies to both relays.
-        src.encounter(&mut r1, SimTime::from_secs(60), EncounterBudget::unlimited());
-        src.encounter(&mut r2, SimTime::from_secs(120), EncounterBudget::unlimited());
+        src.encounter(
+            &mut r1,
+            SimTime::from_secs(60),
+            EncounterBudget::unlimited(),
+        );
+        src.encounter(
+            &mut r2,
+            SimTime::from_secs(120),
+            EncounterBudget::unlimited(),
+        );
         assert!(r1.replica().contains_item(id));
         assert!(r2.replica().contains_item(id));
 
         // Relays never re-forward: the copy stays within two hops.
-        r1.encounter(&mut far, SimTime::from_secs(180), EncounterBudget::unlimited());
+        r1.encounter(
+            &mut far,
+            SimTime::from_secs(180),
+            EncounterBudget::unlimited(),
+        );
         assert!(!far.replica().contains_item(id), "third hop forbidden");
     }
 
@@ -121,9 +137,16 @@ mod tests {
         let mut relay = node(2, "b");
         let mut dest = node(9, "z");
         let id = src.send("z", b"m".to_vec(), SimTime::ZERO).unwrap();
-        src.encounter(&mut relay, SimTime::from_secs(60), EncounterBudget::unlimited());
-        let report =
-            relay.encounter(&mut dest, SimTime::from_secs(120), EncounterBudget::unlimited());
+        src.encounter(
+            &mut relay,
+            SimTime::from_secs(60),
+            EncounterBudget::unlimited(),
+        );
+        let report = relay.encounter(
+            &mut dest,
+            SimTime::from_secs(120),
+            EncounterBudget::unlimited(),
+        );
         assert_eq!(report.delivered, 1, "hop 2 is the filter-matched delivery");
         assert!(dest.replica().contains_item(id));
     }

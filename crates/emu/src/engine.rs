@@ -11,12 +11,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dtn::{DtnNode, DtnPolicy, EncounterBudget, FilterStrategy, PolicyKind};
+use obs::{Event, Fanout, Obs, Observer};
 use pfr::{ItemId, ReplicaId, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use traces::{bus_address, EmailWorkload, EncounterTrace, UserAssignment};
 
-use crate::metrics::ExperimentMetrics;
+use crate::metrics::{DayRollup, ExperimentMetrics};
 
 /// Which routing policy the emulated nodes run: one of the bundled kinds
 /// with paper parameters, or a custom factory (used by the ablation
@@ -75,7 +76,7 @@ impl std::fmt::Debug for PolicySpec {
 }
 
 /// Configuration of one emulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct EmulationConfig {
     /// The routing policy every node runs.
     pub policy: PolicySpec,
@@ -113,6 +114,34 @@ pub struct EmulationConfig {
     /// encounters with a known duration; zero-duration encounters fall
     /// back to `budget`.
     pub messages_per_contact_minute: Option<f64>,
+    /// Extra observer receiving every event the run emits (sync batches,
+    /// policy decisions, drops, deliveries, encounters). The engine always
+    /// attaches its own [`DayRollup`] — the source of
+    /// [`ExperimentMetrics::daily_stats`] — and fans events out to this
+    /// observer too when one is set.
+    pub observer: Option<Arc<dyn Observer>>,
+}
+
+impl std::fmt::Debug for EmulationConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmulationConfig")
+            .field("policy", &self.policy)
+            .field("budget", &self.budget)
+            .field("relay_limit", &self.relay_limit)
+            .field("filter_strategy", &self.filter_strategy)
+            .field("strategy_seed", &self.strategy_seed)
+            .field("assignment_seed", &self.assignment_seed)
+            .field("encounter_drop_rate", &self.encounter_drop_rate)
+            .field("crash_rate", &self.crash_rate)
+            .field("fault_seed", &self.fault_seed)
+            .field("message_lifetime", &self.message_lifetime)
+            .field(
+                "messages_per_contact_minute",
+                &self.messages_per_contact_minute,
+            )
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl Default for EmulationConfig {
@@ -129,6 +158,7 @@ impl Default for EmulationConfig {
             fault_seed: 0xfa17,
             message_lifetime: None,
             messages_per_contact_minute: None,
+            observer: None,
         }
     }
 }
@@ -151,6 +181,8 @@ pub struct Emulation<'a> {
     nodes: BTreeMap<ReplicaId, DtnNode>,
     assignment: UserAssignment,
     metrics: ExperimentMetrics,
+    obs: Obs,
+    rollup: Arc<DayRollup>,
 }
 
 impl<'a> Emulation<'a> {
@@ -160,11 +192,22 @@ impl<'a> Emulation<'a> {
         workload: &'a EmailWorkload,
         config: EmulationConfig,
     ) -> Self {
+        // The engine's day rollup always listens; a user observer fans in.
+        let rollup = Arc::new(DayRollup::new());
+        let obs = match &config.observer {
+            Some(user) => Obs::new(Arc::new(Fanout::new(vec![
+                rollup.clone() as Arc<dyn Observer>,
+                user.clone(),
+            ]))),
+            None => Obs::new(rollup.clone()),
+        };
+
         let mut nodes = BTreeMap::new();
         let all_nodes: Vec<ReplicaId> = trace.nodes().into_iter().collect();
         for &id in &all_nodes {
             let mut node = DtnNode::with_policy(id, &bus_address(id), config.policy.build());
             node.replica_mut().set_relay_limit(config.relay_limit);
+            node.replica_mut().set_observer(obs.clone());
             nodes.insert(id, node);
         }
 
@@ -174,8 +217,9 @@ impl<'a> Emulation<'a> {
             FilterStrategy::SelfOnly => {}
             FilterStrategy::Random(k) => {
                 for &id in &all_nodes {
-                    let mut rng =
-                        StdRng::seed_from_u64(config.strategy_seed ^ id.as_u64().wrapping_mul(0x9e37));
+                    let mut rng = StdRng::seed_from_u64(
+                        config.strategy_seed ^ id.as_u64().wrapping_mul(0x9e37),
+                    );
                     let mut others: Vec<ReplicaId> =
                         all_nodes.iter().copied().filter(|&o| o != id).collect();
                     for i in 0..k.min(others.len()) {
@@ -205,8 +249,7 @@ impl<'a> Emulation<'a> {
             }
         }
 
-        let assignment =
-            UserAssignment::uniform(trace, workload.users(), config.assignment_seed);
+        let assignment = UserAssignment::uniform(trace, workload.users(), config.assignment_seed);
         Emulation {
             trace,
             workload,
@@ -214,6 +257,8 @@ impl<'a> Emulation<'a> {
             nodes,
             assignment,
             metrics: ExperimentMetrics::new(),
+            obs,
+            rollup,
         }
     }
 
@@ -263,7 +308,11 @@ impl<'a> Emulation<'a> {
                     if self.config.crash_rate > 0.0
                         && fault_rng.gen::<f64>() < self.config.crash_rate
                     {
-                        let victim = if fault_rng.gen::<bool>() { enc.a } else { enc.b };
+                        let victim = if fault_rng.gen::<bool>() {
+                            enc.a
+                        } else {
+                            enc.b
+                        };
                         self.reboot(victim);
                     }
                     self.meet(&enc);
@@ -282,6 +331,8 @@ impl<'a> Emulation<'a> {
             .values()
             .map(|n| n.replica().stats().evictions)
             .sum();
+        // The per-day time series is a pure function of the event stream.
+        self.metrics.set_daily_stats(self.rollup.snapshot());
         (self.metrics, self.nodes)
     }
 
@@ -318,6 +369,13 @@ impl<'a> Emulation<'a> {
             // Sender and destination ride the same bus today: delivered on
             // the spot with a single stored copy.
             self.metrics.record_delivery(id, now, 1);
+            self.obs.emit(|| Event::MessageDelivered {
+                replica: dst_bus.as_u64(),
+                origin: id.origin().as_u64(),
+                seq: id.seq(),
+                delay_secs: 0,
+                at_secs: now.as_secs(),
+            });
         }
     }
 
@@ -342,15 +400,12 @@ impl<'a> Emulation<'a> {
         self.metrics.encounters += 1;
         self.metrics.transmissions += report.transmitted as u64;
         self.metrics.duplicates += report.duplicates as u64;
-        self.metrics.record_encounter_activity(now, report.transmitted);
 
         for (receiver, ids) in [(a, &report.delivered_to_a), (b, &report.delivered_to_b)] {
             let addr = bus_address(receiver);
             for &id in ids {
-                let is_final_destination = self
-                    .metrics
-                    .record(id)
-                    .is_some_and(|rec| rec.dst == addr);
+                let is_final_destination =
+                    self.metrics.record(id).is_some_and(|rec| rec.dst == addr);
                 if is_final_destination && self.metrics.is_pending(id) {
                     // Bounded lifetimes: a copy that slips through after
                     // expiry is not a delivery.
@@ -363,7 +418,19 @@ impl<'a> Emulation<'a> {
                     };
                     if in_time {
                         let copies = self.count_copies(id);
+                        let delay_secs = self
+                            .metrics
+                            .record(id)
+                            .map(|r| now.saturating_since(r.injected_at).as_secs())
+                            .unwrap_or(0);
                         self.metrics.record_delivery(id, now, copies);
+                        self.obs.emit(|| Event::MessageDelivered {
+                            replica: receiver.as_u64(),
+                            origin: id.origin().as_u64(),
+                            seq: id.seq(),
+                            delay_secs,
+                            at_secs: now.as_secs(),
+                        });
                     }
                 }
             }
@@ -384,6 +451,8 @@ impl<'a> Emulation<'a> {
         match DtnNode::restore(&snapshot) {
             Ok(mut restored) => {
                 restored.replace_policy(self.config.policy.build());
+                // Snapshots carry no observability state; re-attach.
+                restored.replica_mut().set_observer(self.obs.clone());
                 self.metrics.reboots += 1;
                 self.nodes.insert(id, restored);
             }
@@ -399,11 +468,7 @@ impl<'a> Emulation<'a> {
     fn count_copies(&self, id: ItemId) -> usize {
         self.nodes
             .values()
-            .filter(|n| {
-                n.replica()
-                    .item(id)
-                    .is_some_and(|item| !item.is_deleted())
-            })
+            .filter(|n| n.replica().item(id).is_some_and(|item| !item.is_deleted()))
             .count()
     }
 }
@@ -434,8 +499,7 @@ mod tests {
     #[test]
     fn baseline_run_completes_and_counts() {
         let (trace, workload) = small_setup();
-        let metrics =
-            Emulation::new(&trace, &workload, EmulationConfig::default()).run();
+        let metrics = Emulation::new(&trace, &workload, EmulationConfig::default()).run();
         assert_eq!(metrics.injected(), workload.len());
         assert_eq!(metrics.encounters, trace.len() as u64);
         assert_eq!(metrics.duplicates, 0, "at-most-once must hold");

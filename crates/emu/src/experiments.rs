@@ -5,7 +5,10 @@
 //! benchmark harness renders as the figure's rows/series. See
 //! `EXPERIMENTS.md` at the repository root for paper-vs-measured notes.
 
+use std::sync::Arc;
+
 use dtn::{EncounterBudget, FilterStrategy, PolicyKind};
+use obs::Observer;
 use pfr::{SimDuration, SimTime};
 use traces::{DieselNetConfig, EmailConfig, EmailWorkload, EncounterTrace};
 
@@ -83,7 +86,19 @@ fn run_result(label: String, scenario: &Scenario, metrics: ExperimentMetrics) ->
 /// Returns one series per strategy; each series starts with the shared
 /// `Self` (k = 0) point.
 pub fn filter_sweep(scenario: &Scenario, ks: &[usize]) -> Vec<(String, Vec<RunResult>)> {
-    let base_cfg = EmulationConfig::default();
+    filter_sweep_with(scenario, ks, None)
+}
+
+/// [`filter_sweep`] with an observer receiving every run's event stream.
+pub fn filter_sweep_with(
+    scenario: &Scenario,
+    ks: &[usize],
+    observer: Option<Arc<dyn Observer>>,
+) -> Vec<(String, Vec<RunResult>)> {
+    let base_cfg = EmulationConfig {
+        observer,
+        ..EmulationConfig::default()
+    };
     let self_only = run_result(
         "Self".to_string(),
         scenario,
@@ -109,8 +124,14 @@ pub fn filter_sweep(scenario: &Scenario, ks: &[usize]) -> Vec<(String, Vec<RunRe
             .map(|&k| scope.spawn(move || run_one(FilterStrategy::Selected(k), k)))
             .collect();
         (
-            random.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>(),
-            selected.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>(),
+            random
+                .into_iter()
+                .map(|h| h.join().expect("run"))
+                .collect::<Vec<_>>(),
+            selected
+                .into_iter()
+                .map(|h| h.join().expect("run"))
+                .collect::<Vec<_>>(),
         )
     });
 
@@ -149,10 +170,22 @@ pub fn run_policy(
     budget: EncounterBudget,
     relay_limit: Option<usize>,
 ) -> PolicyRun {
+    run_policy_with(scenario, policy, budget, relay_limit, None)
+}
+
+/// [`run_policy`] with an observer receiving the run's event stream.
+pub fn run_policy_with(
+    scenario: &Scenario,
+    policy: PolicyKind,
+    budget: EncounterBudget,
+    relay_limit: Option<usize>,
+    observer: Option<Arc<dyn Observer>>,
+) -> PolicyRun {
     let config = EmulationConfig {
         policy: policy.into(),
         budget,
         relay_limit,
+        observer,
         ..EmulationConfig::default()
     };
     let metrics = Emulation::new(&scenario.trace, &scenario.workload, config).run();
@@ -179,13 +212,31 @@ pub fn policy_comparison(
     budget: EncounterBudget,
     relay_limit: Option<usize>,
 ) -> Vec<PolicyRun> {
+    policy_comparison_with(scenario, budget, relay_limit, None)
+}
+
+/// [`policy_comparison`] with an observer receiving every run's event
+/// stream (all five policies report into the same observer, from separate
+/// threads).
+pub fn policy_comparison_with(
+    scenario: &Scenario,
+    budget: EncounterBudget,
+    relay_limit: Option<usize>,
+    observer: Option<Arc<dyn Observer>>,
+) -> Vec<PolicyRun> {
     // Five independent runs: one thread each.
     std::thread::scope(|scope| {
         let handles: Vec<_> = PolicyKind::ALL
             .iter()
-            .map(|&p| scope.spawn(move || run_policy(scenario, p, budget, relay_limit)))
+            .map(|&p| {
+                let observer = observer.clone();
+                scope.spawn(move || run_policy_with(scenario, p, budget, relay_limit, observer))
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run"))
+            .collect()
     })
 }
 
@@ -209,9 +260,7 @@ mod tests {
                 rows[0].mean_delay_hours
             );
             // And no worse 12h delivery (fig 6's shape).
-            assert!(
-                rows[2].delivered_within_12h_pct >= rows[0].delivered_within_12h_pct - 1e-9
-            );
+            assert!(rows[2].delivered_within_12h_pct >= rows[0].delivered_within_12h_pct - 1e-9);
         }
     }
 
@@ -241,11 +290,15 @@ mod tests {
             assert_eq!(run.result.metrics.duplicates, 0);
         }
         // Flooding delivers at least as much as the baseline (fig 7 shape).
-        let base = runs.iter().find(|r| r.policy == PolicyKind::Direct).unwrap();
-        let epidemic = runs.iter().find(|r| r.policy == PolicyKind::Epidemic).unwrap();
-        assert!(
-            epidemic.result.delivery_rate_pct >= base.result.delivery_rate_pct - 1e-9
-        );
+        let base = runs
+            .iter()
+            .find(|r| r.policy == PolicyKind::Direct)
+            .unwrap();
+        let epidemic = runs
+            .iter()
+            .find(|r| r.policy == PolicyKind::Epidemic)
+            .unwrap();
+        assert!(epidemic.result.delivery_rate_pct >= base.result.delivery_rate_pct - 1e-9);
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub mod report;
 pub mod topology;
 
 pub use engine::{Emulation, EmulationConfig, PolicySpec};
-pub use metrics::{CdfPoint, DayStats, ExperimentMetrics, MessageRecord};
+pub use metrics::{CdfPoint, DayRollup, DayStats, ExperimentMetrics, MessageRecord};

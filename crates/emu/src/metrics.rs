@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use obs::{Event, Observer};
+use parking_lot::Mutex;
 use pfr::{ItemId, SimDuration, SimTime};
 
 /// The lifecycle record of one message in an experiment.
@@ -78,6 +80,13 @@ impl ExperimentMetrics {
     /// Per-day activity, keyed by day number.
     pub fn daily_stats(&self) -> &BTreeMap<u64, DayStats> {
         &self.daily
+    }
+
+    /// Replaces the per-day time series wholesale. The emulation engine
+    /// uses this to install the [`DayRollup`] aggregated from the event
+    /// stream at the end of a run.
+    pub fn set_daily_stats(&mut self, daily: BTreeMap<u64, DayStats>) {
+        self.daily = daily;
     }
 
     /// Registers an injected message.
@@ -242,9 +251,61 @@ impl ExperimentMetrics {
             return None;
         }
         Some(
-            self.records.values().map(|r| r.copies_at_end).sum::<usize>() as f64
+            self.records
+                .values()
+                .map(|r| r.copies_at_end)
+                .sum::<usize>() as f64
                 / self.records.len() as f64,
         )
+    }
+}
+
+/// Builds the per-day [`DayStats`] time series from the event stream.
+///
+/// The emulation engine attaches one of these to every node's replica (in
+/// addition to any user-supplied observer), so the daily rollup is a pure
+/// function of the events the run emitted rather than a parallel set of
+/// ad-hoc counters.
+#[derive(Debug, Default)]
+pub struct DayRollup {
+    daily: Mutex<BTreeMap<u64, DayStats>>,
+}
+
+impl DayRollup {
+    /// An empty rollup.
+    pub fn new() -> Self {
+        DayRollup::default()
+    }
+
+    /// The accumulated per-day time series.
+    pub fn snapshot(&self) -> BTreeMap<u64, DayStats> {
+        self.daily.lock().clone()
+    }
+}
+
+impl Observer for DayRollup {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::MessageInjected { at_secs, .. } => {
+                let mut daily = self.daily.lock();
+                daily.entry(at_secs / 86_400).or_default().injections += 1;
+            }
+            Event::MessageDelivered { at_secs, .. } => {
+                let mut daily = self.daily.lock();
+                daily.entry(at_secs / 86_400).or_default().deliveries += 1;
+            }
+            Event::EncounterCompleted {
+                transmitted,
+                at_secs,
+                ..
+            } => {
+                let mut daily = self.daily.lock();
+                let day = daily.entry(at_secs / 86_400).or_default();
+                day.encounters += 1;
+                day.transmissions += transmitted;
+            }
+            _ => {}
+        }
     }
 }
 
@@ -294,8 +355,13 @@ mod tests {
         assert_eq!(m.mean_delay(), Some(SimDuration::from_hours(13)));
         assert_eq!(m.max_delay(), Some(SimDuration::from_hours(24)));
         // Horizon counts the undelivered third message as 48h.
-        let with_horizon = m.mean_delay_with_horizon(SimTime::from_hms(2, 0, 0, 0)).unwrap();
-        assert_eq!(with_horizon, SimDuration::from_secs((2 + 24 + 48) * 3600 / 3));
+        let with_horizon = m
+            .mean_delay_with_horizon(SimTime::from_hms(2, 0, 0, 0))
+            .unwrap();
+        assert_eq!(
+            with_horizon,
+            SimDuration::from_secs((2 + 24 + 48) * 3600 / 3)
+        );
     }
 
     #[test]

@@ -86,7 +86,9 @@ impl fmt::Display for Table {
 
 /// Formats a float with one decimal place, or `-` for `None`.
 pub fn fmt_opt(value: Option<f64>) -> String {
-    value.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".to_string())
+    value
+        .map(|v| format!("{v:.1}"))
+        .unwrap_or_else(|| "-".to_string())
 }
 
 /// Renders a CDF series as `delay: pct%` lines with a crude bar chart, for

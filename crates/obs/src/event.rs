@@ -1,0 +1,621 @@
+//! The typed event vocabulary shared by every instrumented layer.
+
+/// Why a message copy was discarded (the unified drop event always carries
+/// one of these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The message's bounded lifetime ended and the origin tombstoned it.
+    Expired,
+    /// A relay copy was evicted under the relay storage cap.
+    Evicted,
+    /// A relay copy was purged after the policy learned (through an
+    /// acknowledgement) that the message was delivered elsewhere.
+    Acked,
+}
+
+impl DropReason {
+    /// Stable lower-case label used in JSON output and counter names.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::Expired => "expired",
+            DropReason::Evicted => "evicted",
+            DropReason::Acked => "acked",
+        }
+    }
+}
+
+/// What a routing policy decided during batch construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// `to_send` chose to forward the item (cost = priority tie-breaker).
+    Forward,
+    /// `to_send` declined the item.
+    Suppress,
+    /// `process_request` digested the peer's routing state (cost = routing
+    /// payload bytes).
+    RequestProcessed,
+}
+
+impl DecisionKind {
+    /// Stable lower-case label used in JSON output and counter names.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionKind::Forward => "forward",
+            DecisionKind::Suppress => "suppress",
+            DecisionKind::RequestProcessed => "request",
+        }
+    }
+}
+
+/// One observable occurrence somewhere in the stack.
+///
+/// Identifiers are raw integers so this crate depends on nothing: a
+/// `replica`/`source`/`target`/`peer` field is a replica id, and an item is
+/// identified by the `(origin, seq)` pair of its item id. A `peer` or
+/// `source` of `0` means "unknown" (replica ids are nonzero by
+/// convention).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A new message entered the network at its origin replica.
+    MessageInjected {
+        /// Replica the message was inserted into.
+        replica: u64,
+        /// Item id origin component (equals `replica`).
+        origin: u64,
+        /// Item id sequence component.
+        seq: u64,
+        /// Sender address.
+        src: String,
+        /// Destination address.
+        dst: String,
+        /// Simulated time of injection, seconds.
+        at_secs: u64,
+    },
+    /// A sync began: the target built its request.
+    SyncStarted {
+        /// The pulling (target) replica.
+        target: u64,
+        /// The serving (source) replica, 0 if unknown.
+        source: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// The source finished building a batch for one sync.
+    SyncBatchSent {
+        /// The serving replica.
+        source: u64,
+        /// The pulling replica.
+        target: u64,
+        /// Items in the batch.
+        entries: u64,
+        /// Candidates declined by policy or cut by limits.
+        withheld: u64,
+        /// Total payload bytes across the batch.
+        payload_bytes: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// One item was placed in an outgoing batch (a transmission).
+    ItemTransmitted {
+        /// The serving replica.
+        source: u64,
+        /// The pulling replica.
+        target: u64,
+        /// Item id origin component.
+        origin: u64,
+        /// Item id sequence component.
+        seq: u64,
+        /// Payload size of the transmitted copy.
+        bytes: u64,
+        /// Whether the item matched the target's filter (a delivery) as
+        /// opposed to being policy-forwarded (a relay handoff).
+        matched_filter: bool,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// A received item became newly visible in the target's filtered store.
+    ItemDelivered {
+        /// The receiving replica.
+        replica: u64,
+        /// The replica it was received from.
+        source: u64,
+        /// Item id origin component.
+        origin: u64,
+        /// Item id sequence component.
+        seq: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// A received item was accepted into the relay (or push-out) store.
+    ItemRelayed {
+        /// The receiving replica.
+        replica: u64,
+        /// The replica it was received from.
+        source: u64,
+        /// Item id origin component.
+        origin: u64,
+        /// Item id sequence component.
+        seq: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// A relay copy was evicted under the relay storage cap. The store
+    /// layer has no clock, so this event carries no timestamp; the paired
+    /// [`Event::MessageDropped`] identifies the same copy.
+    ItemEvicted {
+        /// The evicting replica.
+        replica: u64,
+        /// Item id origin component.
+        origin: u64,
+        /// Item id sequence component.
+        seq: u64,
+    },
+    /// A message's bounded lifetime ended at this holder.
+    ItemExpired {
+        /// The replica that dropped its copy.
+        replica: u64,
+        /// Item id origin component.
+        origin: u64,
+        /// Item id sequence component.
+        seq: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// A message copy was discarded — the unified drop event. Every drop
+    /// site emits one of these with its reason (specific events like
+    /// [`Event::ItemEvicted`] / [`Event::ItemExpired`] add detail).
+    MessageDropped {
+        /// The replica that discarded the copy.
+        replica: u64,
+        /// Item id origin component.
+        origin: u64,
+        /// Item id sequence component.
+        seq: u64,
+        /// Why the copy was discarded.
+        reason: DropReason,
+    },
+    /// A tracked message reached its true destination for the first time
+    /// (emitted by the emulation engine, which knows the destination).
+    MessageDelivered {
+        /// The destination replica.
+        replica: u64,
+        /// Item id origin component.
+        origin: u64,
+        /// Item id sequence component.
+        seq: u64,
+        /// Delay between injection and delivery, seconds.
+        delay_secs: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// One encounter (two-to-four syncs with alternating roles) finished.
+    EncounterCompleted {
+        /// First participant.
+        a: u64,
+        /// Second participant.
+        b: u64,
+        /// Items transmitted across all directions.
+        transmitted: u64,
+        /// Filtered-store deliveries across both sides.
+        delivered: u64,
+        /// Duplicate receipts (must stay zero).
+        duplicates: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// A batch was applied and the target's knowledge grew.
+    KnowledgeMerged {
+        /// The replica whose knowledge grew.
+        replica: u64,
+        /// The sync peer.
+        peer: u64,
+        /// Entries in the applied batch.
+        batch_entries: u64,
+        /// Replicas tracked in the knowledge vector afterwards.
+        knowledge_replicas: u64,
+        /// Out-of-order exception versions tracked afterwards.
+        knowledge_exceptions: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// A routing policy made one decision during batch construction.
+    PolicyDecision {
+        /// The deciding (source) replica.
+        replica: u64,
+        /// The sync target.
+        peer: u64,
+        /// The policy's label ("epidemic", "maxprop", ...).
+        policy: &'static str,
+        /// Which hook decided, and how.
+        kind: DecisionKind,
+        /// Item id origin component (0 for request processing).
+        origin: u64,
+        /// Item id sequence component (0 for request processing).
+        seq: u64,
+        /// Forwarding cost (priority tie-breaker) or routing-state bytes.
+        cost: f64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// A timed span closed (see [`crate::Span`]).
+    SpanEnded {
+        /// The span's label ("encounter", "transport.initiator", ...).
+        name: &'static str,
+        /// The local replica.
+        replica: u64,
+        /// The remote replica, 0 if unknown.
+        peer: u64,
+        /// Wall-clock duration of the span, microseconds.
+        wall_micros: u64,
+    },
+    /// One networked sync session finished (or failed).
+    TransportSync {
+        /// The local replica.
+        replica: u64,
+        /// The remote replica, 0 if unknown (e.g. connection failures).
+        peer: u64,
+        /// Items served to the remote.
+        served: u64,
+        /// Deliveries into the local filtered store.
+        delivered: u64,
+        /// Total frame payload bytes exchanged in the session.
+        frame_bytes: u64,
+        /// Whether the session completed cleanly.
+        ok: bool,
+    },
+}
+
+impl Event {
+    /// The event's stable snake_case kind label (the `"event"` field of
+    /// its JSON rendering).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::MessageInjected { .. } => "message_injected",
+            Event::SyncStarted { .. } => "sync_started",
+            Event::SyncBatchSent { .. } => "sync_batch_sent",
+            Event::ItemTransmitted { .. } => "item_transmitted",
+            Event::ItemDelivered { .. } => "item_delivered",
+            Event::ItemRelayed { .. } => "item_relayed",
+            Event::ItemEvicted { .. } => "item_evicted",
+            Event::ItemExpired { .. } => "item_expired",
+            Event::MessageDropped { .. } => "message_dropped",
+            Event::MessageDelivered { .. } => "message_delivered",
+            Event::EncounterCompleted { .. } => "encounter_completed",
+            Event::KnowledgeMerged { .. } => "knowledge_merged",
+            Event::PolicyDecision { .. } => "policy_decision",
+            Event::SpanEnded { .. } => "span_ended",
+            Event::TransportSync { .. } => "transport_sync",
+        }
+    }
+
+    /// Renders the event as one line of JSON (no trailing newline). All
+    /// field names are stable; see `crates/obs/README.md` for the schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"event\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match self {
+            Event::MessageInjected {
+                replica,
+                origin,
+                seq,
+                src,
+                dst,
+                at_secs,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "origin", *origin);
+                push_u64(&mut out, "seq", *seq);
+                push_str(&mut out, "src", src);
+                push_str(&mut out, "dst", dst);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::SyncStarted {
+                target,
+                source,
+                at_secs,
+            } => {
+                push_u64(&mut out, "target", *target);
+                push_u64(&mut out, "source", *source);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::SyncBatchSent {
+                source,
+                target,
+                entries,
+                withheld,
+                payload_bytes,
+                at_secs,
+            } => {
+                push_u64(&mut out, "source", *source);
+                push_u64(&mut out, "target", *target);
+                push_u64(&mut out, "entries", *entries);
+                push_u64(&mut out, "withheld", *withheld);
+                push_u64(&mut out, "payload_bytes", *payload_bytes);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::ItemTransmitted {
+                source,
+                target,
+                origin,
+                seq,
+                bytes,
+                matched_filter,
+                at_secs,
+            } => {
+                push_u64(&mut out, "source", *source);
+                push_u64(&mut out, "target", *target);
+                push_u64(&mut out, "origin", *origin);
+                push_u64(&mut out, "seq", *seq);
+                push_u64(&mut out, "bytes", *bytes);
+                push_bool(&mut out, "matched_filter", *matched_filter);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::ItemDelivered {
+                replica,
+                source,
+                origin,
+                seq,
+                at_secs,
+            }
+            | Event::ItemRelayed {
+                replica,
+                source,
+                origin,
+                seq,
+                at_secs,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "source", *source);
+                push_u64(&mut out, "origin", *origin);
+                push_u64(&mut out, "seq", *seq);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::ItemEvicted {
+                replica,
+                origin,
+                seq,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "origin", *origin);
+                push_u64(&mut out, "seq", *seq);
+            }
+            Event::ItemExpired {
+                replica,
+                origin,
+                seq,
+                at_secs,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "origin", *origin);
+                push_u64(&mut out, "seq", *seq);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::MessageDropped {
+                replica,
+                origin,
+                seq,
+                reason,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "origin", *origin);
+                push_u64(&mut out, "seq", *seq);
+                push_str(&mut out, "reason", reason.label());
+            }
+            Event::MessageDelivered {
+                replica,
+                origin,
+                seq,
+                delay_secs,
+                at_secs,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "origin", *origin);
+                push_u64(&mut out, "seq", *seq);
+                push_u64(&mut out, "delay", *delay_secs);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::EncounterCompleted {
+                a,
+                b,
+                transmitted,
+                delivered,
+                duplicates,
+                at_secs,
+            } => {
+                push_u64(&mut out, "a", *a);
+                push_u64(&mut out, "b", *b);
+                push_u64(&mut out, "transmitted", *transmitted);
+                push_u64(&mut out, "delivered", *delivered);
+                push_u64(&mut out, "duplicates", *duplicates);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::KnowledgeMerged {
+                replica,
+                peer,
+                batch_entries,
+                knowledge_replicas,
+                knowledge_exceptions,
+                at_secs,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "peer", *peer);
+                push_u64(&mut out, "batch_entries", *batch_entries);
+                push_u64(&mut out, "knowledge_replicas", *knowledge_replicas);
+                push_u64(&mut out, "knowledge_exceptions", *knowledge_exceptions);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::PolicyDecision {
+                replica,
+                peer,
+                policy,
+                kind,
+                origin,
+                seq,
+                cost,
+                at_secs,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "peer", *peer);
+                push_str(&mut out, "policy", policy);
+                push_str(&mut out, "kind", kind.label());
+                push_u64(&mut out, "origin", *origin);
+                push_u64(&mut out, "seq", *seq);
+                push_f64(&mut out, "cost", *cost);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::SpanEnded {
+                name,
+                replica,
+                peer,
+                wall_micros,
+            } => {
+                push_str(&mut out, "name", name);
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "peer", *peer);
+                push_u64(&mut out, "wall_micros", *wall_micros);
+            }
+            Event::TransportSync {
+                replica,
+                peer,
+                served,
+                delivered,
+                frame_bytes,
+                ok,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "peer", *peer);
+                push_u64(&mut out, "served", *served);
+                push_u64(&mut out, "delivered", *delivered);
+                push_u64(&mut out, "frame_bytes", *frame_bytes);
+                push_bool(&mut out, "ok", *ok);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_u64(out: &mut String, key: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_bool(out: &mut String, key: &str, value: bool) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn push_f64(out: &mut String, key: &str, value: f64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    if value.is_finite() {
+        out.push_str(&format!("{value}"));
+    } else {
+        // JSON has no inf/nan literals; fall back to a string.
+        out.push_str(&format!("\"{value}\""));
+    }
+}
+
+fn push_str(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_kind_and_fields() {
+        let e = Event::ItemTransmitted {
+            source: 1,
+            target: 2,
+            origin: 1,
+            seq: 7,
+            bytes: 42,
+            matched_filter: true,
+            at_secs: 3600,
+        };
+        let json = e.to_json();
+        assert!(json.starts_with("{\"event\":\"item_transmitted\""));
+        assert!(json.contains("\"bytes\":42"));
+        assert!(json.contains("\"matched_filter\":true"));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::MessageInjected {
+            replica: 1,
+            origin: 1,
+            seq: 1,
+            src: "a\"b\\c".to_string(),
+            dst: "line\nbreak".to_string(),
+            at_secs: 0,
+        };
+        let json = e.to_json();
+        assert!(json.contains(r#""src":"a\"b\\c""#));
+        assert!(json.contains(r#""dst":"line\nbreak""#));
+    }
+
+    #[test]
+    fn non_finite_costs_become_strings() {
+        let e = Event::PolicyDecision {
+            replica: 1,
+            peer: 2,
+            policy: "maxprop",
+            kind: DecisionKind::Forward,
+            origin: 1,
+            seq: 1,
+            cost: f64::INFINITY,
+            at_secs: 0,
+        };
+        assert!(e.to_json().contains("\"cost\":\"inf\""));
+    }
+
+    #[test]
+    fn every_variant_kind_is_unique() {
+        let kinds = [
+            "message_injected",
+            "sync_started",
+            "sync_batch_sent",
+            "item_transmitted",
+            "item_delivered",
+            "item_relayed",
+            "item_evicted",
+            "item_expired",
+            "message_dropped",
+            "message_delivered",
+            "encounter_completed",
+            "knowledge_merged",
+            "policy_decision",
+            "span_ended",
+            "transport_sync",
+        ];
+        let set: std::collections::BTreeSet<_> = kinds.iter().collect();
+        assert_eq!(set.len(), kinds.len());
+    }
+}

@@ -1,0 +1,45 @@
+//! # obs — structured observability for the replication stack
+//!
+//! A dependency-light event layer the rest of the workspace reports into:
+//!
+//! * [`Event`] — one typed enum covering the whole stack, from store-level
+//!   evictions up to transport sessions. Layers stay decoupled by using raw
+//!   integer ids (replica ids, item ids) rather than the substrate's types.
+//! * [`Observer`] / [`Obs`] — the consumer trait and the handle the
+//!   instrumented code holds. A disabled handle costs one branch per
+//!   emission site; event construction is inside a closure that never runs
+//!   when no observer is attached.
+//! * [`Registry`] — sharded counters and log-scale histograms aggregated
+//!   from the event stream, with a CSV summary renderer.
+//! * [`MemorySink`] / [`JsonlSink`] — a bounded in-memory ring buffer (for
+//!   tests) and a line-delimited JSON stream writer (for offline
+//!   analysis).
+//! * [`Span`] — wall-clock timing that reports as a [`Event::SpanEnded`].
+//!
+//! ```
+//! use obs::{Event, MemorySink, Obs};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::unbounded());
+//! let handle = Obs::new(sink.clone());
+//! handle.emit(|| Event::ItemEvicted { replica: 1, origin: 2, seq: 3 });
+//! assert_eq!(sink.len(), 1);
+//!
+//! let disabled = Obs::none();
+//! disabled.emit(|| unreachable!("never constructed"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod observer;
+mod registry;
+mod sink;
+mod span;
+
+pub use event::{DecisionKind, DropReason, Event};
+pub use observer::{Fanout, Obs, Observer};
+pub use registry::{Histogram, Registry, RegistrySnapshot};
+pub use sink::{JsonlSink, MemorySink};
+pub use span::Span;

@@ -1,0 +1,112 @@
+//! The consumer trait and the cheap handle instrumented code holds.
+
+use crate::Event;
+use std::fmt;
+use std::sync::Arc;
+
+/// A consumer of [`Event`]s.
+///
+/// Implementations must be cheap and non-blocking where possible: they are
+/// called synchronously from hot paths (batch construction, store
+/// eviction). They must also be thread-safe — the transport layer emits
+/// from listener and anti-entropy threads concurrently.
+pub trait Observer: Send + Sync {
+    /// Called once per emitted event.
+    fn on_event(&self, event: &Event);
+}
+
+/// The handle instrumented code holds. Cloning is one `Arc` clone; the
+/// default ([`Obs::none`]) is disabled and costs a single branch per
+/// emission site.
+#[derive(Clone, Default)]
+pub struct Obs(Option<Arc<dyn Observer>>);
+
+impl Obs {
+    /// A disabled handle: [`Obs::emit`] never constructs the event.
+    pub fn none() -> Self {
+        Obs(None)
+    }
+
+    /// A handle that forwards every event to `observer`.
+    pub fn new(observer: Arc<dyn Observer>) -> Self {
+        Obs(Some(observer))
+    }
+
+    /// Whether an observer is attached.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits one event. The closure runs only when an observer is
+    /// attached, so event construction (and any field computation) is
+    /// free on the disabled path.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> Event) {
+        if let Some(observer) = &self.0 {
+            observer.on_event(&f());
+        }
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Obs")
+            .field(&if self.0.is_some() { "enabled" } else { "none" })
+            .finish()
+    }
+}
+
+/// Broadcasts every event to several observers in order.
+pub struct Fanout(Vec<Arc<dyn Observer>>);
+
+impl Fanout {
+    /// Builds a fanout over `observers`.
+    pub fn new(observers: Vec<Arc<dyn Observer>>) -> Self {
+        Fanout(observers)
+    }
+}
+
+impl Observer for Fanout {
+    fn on_event(&self, event: &Event) {
+        for observer in &self.0 {
+            observer.on_event(event);
+        }
+    }
+}
+
+impl fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Fanout").field(&self.0.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySink;
+
+    #[test]
+    fn disabled_handle_skips_construction() {
+        let handle = Obs::none();
+        assert!(!handle.enabled());
+        handle.emit(|| unreachable!("closure must not run"));
+    }
+
+    #[test]
+    fn fanout_reaches_every_observer() {
+        let a = Arc::new(MemorySink::unbounded());
+        let b = Arc::new(MemorySink::unbounded());
+        let handle = Obs::new(Arc::new(Fanout::new(vec![
+            a.clone() as Arc<dyn Observer>,
+            b.clone() as Arc<dyn Observer>,
+        ])));
+        assert!(handle.enabled());
+        handle.emit(|| Event::ItemEvicted {
+            replica: 1,
+            origin: 2,
+            seq: 3,
+        });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

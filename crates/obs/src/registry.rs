@@ -1,0 +1,472 @@
+//! Sharded counters and log-scale histograms fed by the event stream.
+
+use crate::{Event, Observer};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const SHARDS: usize = 8;
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` covers values whose bit length is `i` (bucket 0 holds the
+/// value 0, bucket 1 holds 1, bucket 2 holds 2–3, ...). Exact count, sum,
+/// min, and max are tracked alongside, so means are exact and quantiles
+/// are bucket-resolution estimates. Merging two histograms is
+/// commutative and associative.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`. Order-independent: merging a set of
+    /// histograms yields the same result regardless of merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate (`q` in 0..=1): the upper bound
+    /// of the bucket containing the `q`-th sample. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i, clamped to the observed max.
+                let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Aggregates the event stream into named counters and histograms.
+///
+/// Lock contention is kept low by sharding: each thread is assigned one of
+/// eight shards round-robin on first use, and a [`RegistrySnapshot`]
+/// merges all shards on demand. Because counter addition and
+/// [`Histogram::merge`] are commutative, the merged view is independent
+/// of which thread recorded what.
+pub struct Registry {
+    shards: Vec<Mutex<Shard>>,
+    next_shard: AtomicUsize,
+}
+
+thread_local! {
+    static MY_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self) -> &Mutex<Shard> {
+        let idx = MY_SHARD.with(|cell| match cell.get() {
+            Some(idx) => idx,
+            None => {
+                let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % SHARDS;
+                cell.set(Some(idx));
+                idx
+            }
+        });
+        &self.shards[idx]
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut shard = self.shard().lock();
+        *shard.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut shard = self.shard().lock();
+        shard
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Merges all shards into one consistent snapshot.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (name, value) in &shard.counters {
+                *counters.entry(name.clone()).or_insert(0) += value;
+            }
+            for (name, hist) in &shard.histograms {
+                histograms.entry(name.clone()).or_default().merge(hist);
+            }
+        }
+        RegistrySnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Observer for Registry {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::MessageInjected { .. } => self.add("messages.injected", 1),
+            Event::SyncStarted { .. } => self.add("sync.sessions", 1),
+            Event::SyncBatchSent {
+                entries,
+                withheld,
+                payload_bytes,
+                ..
+            } => {
+                self.add("sync.batches", 1);
+                self.add("sync.entries", *entries);
+                self.add("sync.withheld", *withheld);
+                self.add("sync.payload_bytes", *payload_bytes);
+                self.observe("sync.batch_items", *entries);
+                self.observe("sync.batch_bytes", *payload_bytes);
+            }
+            Event::ItemTransmitted { bytes, .. } => {
+                self.add("items.transmitted", 1);
+                self.add("items.transmitted_bytes", *bytes);
+            }
+            Event::ItemDelivered { .. } => self.add("items.delivered", 1),
+            Event::ItemRelayed { .. } => self.add("items.relayed", 1),
+            Event::ItemEvicted { .. } => self.add("items.evicted", 1),
+            Event::ItemExpired { .. } => self.add("items.expired", 1),
+            Event::MessageDropped { reason, .. } => {
+                self.add(&format!("drops.{}", reason.label()), 1);
+            }
+            Event::MessageDelivered { delay_secs, .. } => {
+                self.add("messages.delivered", 1);
+                self.observe("delivery.delay_secs", *delay_secs);
+            }
+            Event::EncounterCompleted {
+                transmitted,
+                duplicates,
+                ..
+            } => {
+                self.add("encounters", 1);
+                self.add("encounters.duplicates", *duplicates);
+                self.observe("encounter.transmitted", *transmitted);
+            }
+            Event::KnowledgeMerged {
+                knowledge_replicas,
+                knowledge_exceptions,
+                ..
+            } => {
+                self.add("knowledge.merges", 1);
+                self.observe(
+                    "knowledge.entries",
+                    knowledge_replicas + knowledge_exceptions,
+                );
+            }
+            Event::PolicyDecision { policy, kind, .. } => {
+                self.add(&format!("policy.{}.{}", policy, kind.label()), 1);
+            }
+            Event::SpanEnded {
+                name, wall_micros, ..
+            } => {
+                self.observe(&format!("span.{name}.micros"), *wall_micros);
+            }
+            Event::TransportSync {
+                served,
+                frame_bytes,
+                ok,
+                ..
+            } => {
+                self.add(
+                    if *ok {
+                        "transport.sync_ok"
+                    } else {
+                        "transport.sync_failed"
+                    },
+                    1,
+                );
+                self.add("transport.served", *served);
+                self.observe("transport.frame_bytes", *frame_bytes);
+            }
+        }
+    }
+}
+
+/// A merged, point-in-time view of a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl RegistrySnapshot {
+    /// The named counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, name-sorted.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the snapshot as CSV: one `counter,<name>,<value>` line per
+    /// counter, then one
+    /// `histogram,<name>,<count>,<sum>,<min>,<mean>,<p50>,<p99>,<max>`
+    /// line per histogram.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter,{name},{value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram,{name},{},{},{},{:.2},{},{},{}\n",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DropReason;
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        let mut parts = Vec::new();
+        for chunk in [[1u64, 5, 9], [2, 1000, 0], [7, 7, 7]] {
+            let mut h = Histogram::new();
+            for v in chunk {
+                h.observe(v);
+            }
+            parts.push(h);
+        }
+        let mut forward = Histogram::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = Histogram::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.count(), 9);
+    }
+
+    #[test]
+    fn quantile_brackets_the_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((32..=63).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_aggregates_events() {
+        let r = Registry::new();
+        r.on_event(&Event::ItemTransmitted {
+            source: 1,
+            target: 2,
+            origin: 1,
+            seq: 1,
+            bytes: 10,
+            matched_filter: true,
+            at_secs: 0,
+        });
+        r.on_event(&Event::MessageDropped {
+            replica: 2,
+            origin: 1,
+            seq: 1,
+            reason: DropReason::Evicted,
+        });
+        r.on_event(&Event::MessageDelivered {
+            replica: 2,
+            origin: 1,
+            seq: 1,
+            delay_secs: 120,
+            at_secs: 500,
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("items.transmitted"), 1);
+        assert_eq!(snap.counter("items.transmitted_bytes"), 10);
+        assert_eq!(snap.counter("drops.evicted"), 1);
+        assert_eq!(snap.counter("messages.delivered"), 1);
+        let delay = snap.histogram("delivery.delay_secs").unwrap();
+        assert_eq!(delay.count(), 1);
+        assert_eq!(delay.sum(), 120);
+        let csv = snap.to_csv();
+        assert!(csv.contains("counter,drops.evicted,1"));
+        assert!(csv.contains("histogram,delivery.delay_secs,1,120,"));
+    }
+
+    #[test]
+    fn concurrent_threads_land_in_one_consistent_snapshot() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        r.add("hits", 1);
+                        r.observe("vals", i);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("hits"), 1600);
+        assert_eq!(snap.histogram("vals").unwrap().count(), 1600);
+    }
+}

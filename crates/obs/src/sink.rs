@@ -1,0 +1,187 @@
+//! Event sinks: a bounded in-memory ring buffer and a JSONL stream writer.
+
+use crate::{Event, Observer};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Retains events in memory, optionally bounded: when full, the oldest
+/// event is dropped. Intended for tests and short diagnostic captures.
+pub struct MemorySink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl MemorySink {
+    /// A sink retaining at most `capacity` most-recent events.
+    pub fn new(capacity: usize) -> Self {
+        MemorySink {
+            capacity,
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A sink with no retention bound.
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+impl Observer for MemorySink {
+    fn on_event(&self, event: &Event) {
+        let mut events = self.events.lock();
+        if events.len() >= self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+impl fmt::Debug for MemorySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySink")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Streams every event as one JSON line to a writer. Writes are
+/// best-effort: an I/O error disables the sink rather than panicking a
+/// hot path.
+pub struct JsonlSink {
+    writer: Mutex<Option<BufWriter<Box<dyn Write + Send>>>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// Streams events into an arbitrary writer.
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(Some(BufWriter::new(writer))),
+        }
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        match self.writer.lock().as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Observer for JsonlSink {
+    fn on_event(&self, event: &Event) {
+        let mut guard = self.writer.lock();
+        if let Some(w) = guard.as_mut() {
+            let ok = w
+                .write_all(event.to_json().as_bytes())
+                .and_then(|_| w.write_all(b"\n"))
+                .is_ok();
+            if !ok {
+                *guard = None;
+            }
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Some(w) = self.writer.get_mut().as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("active", &self.writer.lock().is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evicted(seq: u64) -> Event {
+        Event::ItemEvicted {
+            replica: 1,
+            origin: 1,
+            seq,
+        }
+    }
+
+    #[test]
+    fn memory_sink_drops_oldest_when_full() {
+        let sink = MemorySink::new(2);
+        for seq in 0..5 {
+            sink.on_event(&evicted(seq));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], evicted(3));
+        assert_eq!(events[1], evicted(4));
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        use parking_lot::Mutex as PlMutex;
+        use std::sync::Arc;
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<PlMutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared::default();
+        let sink = JsonlSink::from_writer(Box::new(shared.clone()));
+        sink.on_event(&evicted(1));
+        sink.on_event(&evicted(2));
+        sink.flush().unwrap();
+        let text = String::from_utf8(shared.0.lock().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"item_evicted\""));
+        assert!(lines.iter().all(|l| l.ends_with('}')));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: the registry's aggregation is a commutative monoid, so
+//! the merged snapshot must not depend on which shard (thread) recorded
+//! what, nor on the order samples arrived.
+
+use proptest::prelude::*;
+
+use obs::{Histogram, Registry, RegistrySnapshot};
+
+/// One recorded operation: a counter increment or a histogram sample.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(usize, u64),
+    Observe(usize, u64),
+}
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..NAMES.len(), 0u64..1_000_000).prop_map(|(n, v)| Op::Add(n, v)),
+            (0usize..NAMES.len(), 0u64..1_000_000).prop_map(|(n, v)| Op::Observe(n, v)),
+        ],
+        1..64,
+    )
+}
+
+fn apply(registry: &Registry, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Add(n, v) => registry.add(NAMES[n], v),
+            Op::Observe(n, v) => registry.observe(NAMES[n], v),
+        }
+    }
+}
+
+fn snapshots_equal(a: &RegistrySnapshot, b: &RegistrySnapshot) -> bool {
+    a.counters().collect::<Vec<_>>() == b.counters().collect::<Vec<_>>()
+        && a.histograms().collect::<Vec<_>>() == b.histograms().collect::<Vec<_>>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Applying the same operations in reverse order yields an identical
+    /// snapshot.
+    #[test]
+    fn snapshot_is_order_independent(ops in arb_ops()) {
+        let forward = Registry::new();
+        apply(&forward, &ops);
+        let backward = Registry::new();
+        let reversed: Vec<Op> = ops.iter().rev().cloned().collect();
+        apply(&backward, &reversed);
+        prop_assert!(snapshots_equal(&forward.snapshot(), &backward.snapshot()));
+    }
+
+    /// Splitting the operations across many threads (hence shards) yields
+    /// the same snapshot as applying them on one thread.
+    #[test]
+    fn snapshot_is_shard_independent(ops in arb_ops(), parts in 2usize..6) {
+        let serial = Registry::new();
+        apply(&serial, &ops);
+
+        let sharded = Registry::new();
+        let chunk = ops.len().div_ceil(parts);
+        std::thread::scope(|scope| {
+            for piece in ops.chunks(chunk) {
+                scope.spawn(|| apply(&sharded, piece));
+            }
+        });
+        prop_assert!(snapshots_equal(&serial.snapshot(), &sharded.snapshot()));
+    }
+
+    /// Histogram merge is commutative and associative, and merging
+    /// partitions of a sample set equals observing the whole set directly.
+    #[test]
+    fn histogram_merge_matches_direct_observation(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..64),
+        split in 0usize..64,
+    ) {
+        let split = split % values.len();
+        let (left, right) = values.split_at(split);
+
+        let mut direct = Histogram::new();
+        for &v in &values {
+            direct.observe(v);
+        }
+
+        let mut a = Histogram::new();
+        for &v in left {
+            a.observe(v);
+        }
+        let mut b = Histogram::new();
+        for &v in right {
+            b.observe(v);
+        }
+
+        // a ⊕ b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        // b ⊕ a
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(&ab, &direct);
+        prop_assert_eq!(ab.count(), values.len() as u64);
+        prop_assert_eq!(ab.min(), values.iter().copied().min().unwrap());
+        prop_assert_eq!(ab.max(), values.iter().copied().max().unwrap());
+    }
+
+    /// Quantiles always land within [min, max] of the observed samples.
+    #[test]
+    fn quantiles_stay_in_range(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..64),
+        q in 0u32..=100,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let quantile = h.quantile(f64::from(q) / 100.0);
+        prop_assert!(quantile <= h.max());
+    }
+}

@@ -74,12 +74,19 @@ impl Filter {
 
             // Equality vs. membership.
             (
-                Cmp { attr: a, op: CmpOp::Eq, value: v },
+                Cmp {
+                    attr: a,
+                    op: CmpOp::Eq,
+                    value: v,
+                },
                 In { attr: b, values },
             ) => a == b && values.iter().any(|w| v.semantic_eq(w)),
             (
                 In { attr: a, values },
-                In { attr: b, values: supers },
+                In {
+                    attr: b,
+                    values: supers,
+                },
             ) => {
                 a == b
                     && !values.is_empty()
@@ -89,18 +96,34 @@ impl Filter {
             }
             (
                 In { attr: a, values },
-                Cmp { attr: b, op: CmpOp::Eq, value: w },
+                Cmp {
+                    attr: b,
+                    op: CmpOp::Eq,
+                    value: w,
+                },
             ) => a == b && !values.is_empty() && values.iter().all(|v| v.semantic_eq(w)),
             // A scalar equality satisfies a Contains probe for that value.
             (
-                Cmp { attr: a, op: CmpOp::Eq, value: v },
+                Cmp {
+                    attr: a,
+                    op: CmpOp::Eq,
+                    value: v,
+                },
                 Contains { attr: b, value: w },
             ) => a == b && !matches!(v, Value::List(_)) && v.semantic_eq(w),
 
             // Ordered comparisons over the same attribute.
             (
-                Cmp { attr: a, op: op1, value: v1 },
-                Cmp { attr: b, op: op2, value: v2 },
+                Cmp {
+                    attr: a,
+                    op: op1,
+                    value: v1,
+                },
+                Cmp {
+                    attr: b,
+                    op: op2,
+                    value: v2,
+                },
             ) => a == b && cmp_implies(*op1, v1, *op2, v2),
 
             _ => false,
@@ -190,7 +213,10 @@ mod tests {
         assert!(f(r#"t = "a""#).implies(&f("exists t")));
         assert!(f(r#"t in ["a"]"#).implies(&f("exists t")));
         assert!(f(r#"t contains "a""#).implies(&f("exists t")));
-        assert!(f("t != 3").implies(&f("exists t")), "Ne is false on missing attrs");
+        assert!(
+            f("t != 3").implies(&f("exists t")),
+            "Ne is false on missing attrs"
+        );
         assert!(!f(r#"t = "a""#).implies(&f("exists u")));
     }
 

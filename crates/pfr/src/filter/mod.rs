@@ -374,7 +374,10 @@ mod tests {
 
     #[test]
     fn any_address_builds_identity_cases() {
-        assert_eq!(Filter::any_address("dest", Vec::<&str>::new()), Filter::None);
+        assert_eq!(
+            Filter::any_address("dest", Vec::<&str>::new()),
+            Filter::None
+        );
         let one = Filter::any_address("dest", ["a"]);
         assert!(matches!(one, Filter::Contains { .. }));
         let many = Filter::any_address("dest", ["a", "b"]);
@@ -444,8 +447,8 @@ mod tests {
         ];
         for f in filters {
             let text = f.to_string();
-            let parsed = Filter::parse(&text)
-                .unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
+            let parsed =
+                Filter::parse(&text).unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
             assert_eq!(parsed, f, "round trip of {text:?}");
         }
     }

@@ -332,7 +332,11 @@ mod tests {
     fn parses_keywords() {
         assert_eq!(parse_ok("all"), Filter::All);
         assert_eq!(parse_ok("none"), Filter::None);
-        assert_eq!(parse_ok("  ALL  "), Filter::All, "case-insensitive keywords");
+        assert_eq!(
+            parse_ok("  ALL  "),
+            Filter::All,
+            "case-insensitive keywords"
+        );
     }
 
     #[test]
@@ -346,16 +350,31 @@ mod tests {
                 value: Value::from("a"),
             }
         );
-        assert!(matches!(parse_ok("n >= 3"), Filter::Cmp { op: CmpOp::Ge, .. }));
-        assert!(matches!(parse_ok("n != 3"), Filter::Cmp { op: CmpOp::Ne, .. }));
-        assert!(matches!(parse_ok("n < -2"), Filter::Cmp { op: CmpOp::Lt, .. }));
+        assert!(matches!(
+            parse_ok("n >= 3"),
+            Filter::Cmp { op: CmpOp::Ge, .. }
+        ));
+        assert!(matches!(
+            parse_ok("n != 3"),
+            Filter::Cmp { op: CmpOp::Ne, .. }
+        ));
+        assert!(matches!(
+            parse_ok("n < -2"),
+            Filter::Cmp { op: CmpOp::Lt, .. }
+        ));
         assert!(matches!(
             parse_ok("x = 1.5"),
-            Filter::Cmp { value: Value::Float(_), .. }
+            Filter::Cmp {
+                value: Value::Float(_),
+                ..
+            }
         ));
         assert!(matches!(
             parse_ok("x = true"),
-            Filter::Cmp { value: Value::Bool(true), .. }
+            Filter::Cmp {
+                value: Value::Bool(true),
+                ..
+            }
         ));
     }
 
@@ -371,7 +390,10 @@ mod tests {
         );
         assert_eq!(
             parse_ok("t in []"),
-            Filter::In { attr: "t".into(), values: vec![] }
+            Filter::In {
+                attr: "t".into(),
+                values: vec![]
+            }
         );
         let f = parse_ok(r#"dest contains "a""#);
         assert_eq!(f, Filter::address("dest", "a"));
@@ -398,17 +420,17 @@ mod tests {
         let f = parse_ok("not exists x");
         assert_eq!(f, Filter::Not(Box::new(Filter::Exists("x".into()))));
         let f = parse_ok("not not all");
-        assert_eq!(
-            f,
-            Filter::Not(Box::new(Filter::Not(Box::new(Filter::All))))
-        );
+        assert_eq!(f, Filter::Not(Box::new(Filter::Not(Box::new(Filter::All)))));
     }
 
     #[test]
     fn string_escapes() {
         let f = parse_ok(r#"s = "a\"b\\c\nd""#);
         match f {
-            Filter::Cmp { value: Value::Str(s), .. } => assert_eq!(s, "a\"b\\c\nd"),
+            Filter::Cmp {
+                value: Value::Str(s),
+                ..
+            } => assert_eq!(s, "a\"b\\c\nd"),
             other => panic!("{other:?}"),
         }
     }
@@ -417,14 +439,25 @@ mod tests {
     fn unicode_strings() {
         let f = parse_ok("s = \"héllo→\"");
         match f {
-            Filter::Cmp { value: Value::Str(s), .. } => assert_eq!(s, "héllo→"),
+            Filter::Cmp {
+                value: Value::Str(s),
+                ..
+            } => assert_eq!(s, "héllo→"),
             other => panic!("{other:?}"),
         }
     }
 
     #[test]
     fn errors_carry_offsets() {
-        for bad in ["", "dest =", "dest in [", "x ~ 1", "(all", "all garbage", "\"x\""] {
+        for bad in [
+            "",
+            "dest =",
+            "dest in [",
+            "x ~ 1",
+            "(all",
+            "all garbage",
+            "\"x\"",
+        ] {
             let err = parse(bad).unwrap_err();
             match err {
                 PfrError::FilterParse { offset, .. } => assert!(offset <= bad.len()),

@@ -321,7 +321,10 @@ mod tests {
         assert!(succ.knows_version(item.version()));
         assert_eq!(succ.relation_to(&item), CausalRelation::Supersedes);
         assert_eq!(item.relation_to(&succ), CausalRelation::SupersededBy);
-        assert!(succ.transient().is_empty(), "transient metadata must not replicate");
+        assert!(
+            succ.transient().is_empty(),
+            "transient metadata must not replicate"
+        );
     }
 
     #[test]
@@ -337,12 +340,26 @@ mod tests {
     #[test]
     fn merge_concurrent_is_deterministic_and_supersedes_both() {
         let item = base_item();
-        let a = item.successor(Version::new(rid(2), 5), item.attrs().clone(), vec![1], false);
-        let b = item.successor(Version::new(rid(3), 6), item.attrs().clone(), vec![2], false);
+        let a = item.successor(
+            Version::new(rid(2), 5),
+            item.attrs().clone(),
+            vec![1],
+            false,
+        );
+        let b = item.successor(
+            Version::new(rid(3), 6),
+            item.attrs().clone(),
+            vec![2],
+            false,
+        );
 
         let m1 = a.clone().merge_concurrent(b.clone());
         let m2 = b.clone().merge_concurrent(a.clone());
-        assert_eq!(m1.version(), m2.version(), "winner independent of merge order");
+        assert_eq!(
+            m1.version(),
+            m2.version(),
+            "winner independent of merge order"
+        );
         assert_eq!(m1.version(), b.version(), "larger version wins");
         assert!(m1.knows_version(a.version()));
         assert!(m1.knows_version(b.version()) || m1.version() == b.version());

@@ -136,10 +136,7 @@ impl Knowledge {
 
     /// Returns `true` if every version in `other` is also in `self`.
     pub fn dominates(&self, other: &Knowledge) -> bool {
-        other
-            .vector
-            .iter()
-            .all(|(&r, &c)| self.covers_prefix(r, c))
+        other.vector.iter().all(|(&r, &c)| self.covers_prefix(r, c))
             && other.exceptions.iter().all(|&v| self.contains(v))
     }
 
@@ -304,7 +301,11 @@ mod tests {
         assert!(!a.contains(v(1, 7)));
         assert!(a.contains(v(2, 2)));
         assert!(a.contains(v(2, 3)));
-        assert_eq!(a.base_counter(r(2)), 3, "merge compacts 1..=2 plus exception 3");
+        assert_eq!(
+            a.base_counter(r(2)),
+            3,
+            "merge compacts 1..=2 plus exception 3"
+        );
     }
 
     #[test]

@@ -69,8 +69,10 @@ pub use item::{CausalRelation, Item, ItemBuilder};
 pub use knowledge::Knowledge;
 pub use replica::{ApplyOutcome, ConflictRecord, Replica, ReplicaStats};
 pub use store::{EvictionMode, StoreKind};
-pub use sync::{
-    Priority, PriorityClass, RoutingState, SendDecision, SyncExtension, SyncLimits,
-};
+pub use sync::{Priority, PriorityClass, RoutingState, SendDecision, SyncExtension, SyncLimits};
 pub use time::{SimDuration, SimTime};
 pub use value::Value;
+
+// Re-exported so downstream crates can reach the observability layer
+// through their existing `pfr` dependency.
+pub use obs;

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use obs::{DropReason, Event, Obs};
 use serde::{Deserialize, Serialize};
 
 use crate::attrs::AttributeMap;
@@ -105,6 +106,9 @@ pub struct Replica {
     /// part of snapshots: it is observability state, not replication
     /// state.
     conflict_log: Vec<ConflictRecord>,
+    /// Event emission handle. Like `conflict_log`, observability state:
+    /// never part of snapshots, disabled by default.
+    obs: Obs,
 }
 
 impl Replica {
@@ -121,7 +125,21 @@ impl Replica {
             eviction: EvictionMode::default(),
             stats: ReplicaStats::default(),
             conflict_log: Vec::new(),
+            obs: Obs::none(),
         }
+    }
+
+    /// Attaches (or with [`Obs::none`], detaches) an observer receiving
+    /// this replica's events. Observers are not replication state: they
+    /// survive neither snapshots nor clones of snapshots.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The replica's event emission handle (disabled unless an observer
+    /// was attached via [`Replica::set_observer`]).
+    pub fn observer(&self) -> &Obs {
+        &self.obs
     }
 
     /// Sets a cap on relay (foreign, out-of-filter) messages stored, as in
@@ -252,7 +270,8 @@ impl Replica {
         self.next_version_counter += 1;
         let version = Version::new(self.id, self.next_version_counter);
         // A replica observes its own writes in order: prefix knowledge.
-        self.knowledge.insert_prefix(self.id, self.next_version_counter);
+        self.knowledge
+            .insert_prefix(self.id, self.next_version_counter);
         version
     }
 
@@ -491,6 +510,7 @@ impl Replica {
             eviction: EvictionMode::default(),
             stats: ReplicaStats::default(),
             conflict_log: Vec::new(),
+            obs: Obs::none(),
         };
         replica.enforce_relay_limit();
         replica
@@ -501,10 +521,23 @@ impl Replica {
             return;
         };
         while self.store.relay_load() > limit {
-            if self.store.evict_oldest_relay().is_none() {
+            let Some(evicted) = self.store.evict_oldest_relay() else {
                 break;
-            }
+            };
             self.stats.evictions += 1;
+            let replica = self.id.as_u64();
+            let id = evicted.item.id();
+            self.obs.emit(|| Event::ItemEvicted {
+                replica,
+                origin: id.origin().as_u64(),
+                seq: id.seq(),
+            });
+            self.obs.emit(|| Event::MessageDropped {
+                replica,
+                origin: id.origin().as_u64(),
+                seq: id.seq(),
+                reason: DropReason::Evicted,
+            });
         }
         let _ = self.eviction; // single-mode today; field kept for API stability
     }
@@ -653,9 +686,15 @@ mod tests {
         let mut x = replica(4, "x");
         let mut y = replica(5, "x");
         x.apply_remote(c2.clone(), SimTime::ZERO);
-        assert_eq!(x.apply_remote(c3.clone(), SimTime::ZERO), ApplyOutcome::ConflictMerged);
+        assert_eq!(
+            x.apply_remote(c3.clone(), SimTime::ZERO),
+            ApplyOutcome::ConflictMerged
+        );
         y.apply_remote(c3, SimTime::ZERO);
-        assert_eq!(y.apply_remote(c2, SimTime::ZERO), ApplyOutcome::ConflictMerged);
+        assert_eq!(
+            y.apply_remote(c2, SimTime::ZERO),
+            ApplyOutcome::ConflictMerged
+        );
 
         assert_eq!(
             x.item(id).unwrap().payload(),
@@ -713,7 +752,10 @@ mod tests {
             .find(|i| i.attrs().get_str("dest") == Some("x"))
             .unwrap()
             .clone();
-        assert_eq!(c.apply_remote(evicted, SimTime::ZERO), ApplyOutcome::Duplicate);
+        assert_eq!(
+            c.apply_remote(evicted, SimTime::ZERO),
+            ApplyOutcome::Duplicate
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl Decode for StoreKind {
             0 => Ok(StoreKind::InFilter),
             1 => Ok(StoreKind::PushOut),
             2 => Ok(StoreKind::Relay),
-            tag => Err(WireError::InvalidTag { what: "StoreKind", tag }),
+            tag => Err(WireError::InvalidTag {
+                what: "StoreKind",
+                tag,
+            }),
         }
     }
 }

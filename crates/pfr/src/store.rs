@@ -146,16 +146,12 @@ impl ItemStore {
 
     /// Evicts and returns the oldest non-tombstone relay item, if any.
     pub fn evict_oldest_relay(&mut self) -> Option<StoredItem> {
-        let victim = self
-            .relay_fifo
-            .iter()
-            .copied()
-            .find(|id| {
-                self.items
-                    .get(id)
-                    .map(|s| !s.item.is_deleted())
-                    .unwrap_or(false)
-            })?;
+        let victim = self.relay_fifo.iter().copied().find(|id| {
+            self.items
+                .get(id)
+                .map(|s| !s.item.is_deleted())
+                .unwrap_or(false)
+        })?;
         self.remove(victim)
     }
 
@@ -226,9 +222,12 @@ mod tests {
     }
 
     fn item(origin: u64, seq: u64, dest: &str) -> Item {
-        Item::builder(ItemId::new(rid(origin), seq), Version::new(rid(origin), seq))
-            .attr("dest", dest)
-            .build()
+        Item::builder(
+            ItemId::new(rid(origin), seq),
+            Version::new(rid(origin), seq),
+        )
+        .attr("dest", dest)
+        .build()
     }
 
     #[test]

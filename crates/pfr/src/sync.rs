@@ -20,6 +20,7 @@
 
 use std::fmt;
 
+use obs::{DecisionKind, DropReason, Event};
 use serde::{Deserialize, Serialize};
 
 use crate::filter::Filter;
@@ -66,9 +67,7 @@ impl fmt::Debug for RoutingState {
 
 /// Coarse priority classes for batch ordering (paper §V-B: a "class" value
 /// from lowest to highest, plus a real-valued cost to break ties).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PriorityClass {
     /// Sent last.
     Lowest,
@@ -192,9 +191,21 @@ impl<'a> HostContext<'a> {
         self.replica.set_transient(id, name, value)
     }
 
-    /// Drops a relay copy (see [`Replica::purge_relay`]).
+    /// Drops a relay copy (see [`Replica::purge_relay`]). Policies call
+    /// this when an acknowledgement proves the message was delivered
+    /// elsewhere, so a successful purge reports as an `Acked` drop.
     pub fn purge_relay(&mut self, id: ItemId) -> bool {
-        self.replica.purge_relay(id)
+        let purged = self.replica.purge_relay(id);
+        if purged {
+            let replica = self.replica.id().as_u64();
+            self.replica.observer().emit(|| Event::MessageDropped {
+                replica,
+                origin: id.origin().as_u64(),
+                seq: id.seq(),
+                reason: DropReason::Acked,
+            });
+        }
+        purged
     }
 }
 
@@ -214,6 +225,12 @@ impl fmt::Debug for HostContext<'_> {
 /// All methods have no-op defaults, so the minimal flooding policy is a
 /// one-method implementation.
 pub trait SyncExtension {
+    /// A short stable label identifying the policy in emitted
+    /// [`Event::PolicyDecision`]s ("epidemic", "maxprop", ...).
+    fn label(&self) -> &'static str {
+        "ext"
+    }
+
     /// Called on the **target** when it initiates a sync: returns routing
     /// data to attach to the request (`generateReq()` in the paper).
     fn generate_request(&mut self, cx: &mut HostContext<'_>) -> RoutingState {
@@ -230,8 +247,12 @@ pub trait SyncExtension {
     /// Called on the **source** for each item that is unknown to the target
     /// and does **not** match the target's filter: decides whether (and how
     /// urgently) to forward it (`toSend()` in the paper).
-    fn to_send(&mut self, cx: &mut HostContext<'_>, item_id: ItemId, request: &SyncRequest)
-        -> SendDecision {
+    fn to_send(
+        &mut self,
+        cx: &mut HostContext<'_>,
+        item_id: ItemId,
+        request: &SyncRequest,
+    ) -> SendDecision {
         let _ = (cx, item_id, request);
         SendDecision::Skip
     }
@@ -264,7 +285,11 @@ pub trait SyncExtension {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoExtension;
 
-impl SyncExtension for NoExtension {}
+impl SyncExtension for NoExtension {
+    fn label(&self) -> &'static str {
+        "none"
+    }
+}
 
 /// A synchronization request, sent by the target to the source.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -378,6 +403,13 @@ pub fn begin_sync(
     now: SimTime,
     source: Option<ReplicaId>,
 ) -> SyncRequest {
+    let target_id = target.id().as_u64();
+    let source_id = source.map(|s| s.as_u64()).unwrap_or(0);
+    target.observer().emit(|| Event::SyncStarted {
+        target: target_id,
+        source: source_id,
+        at_secs: now.as_secs(),
+    });
     let mut cx = HostContext::new(target, now, source);
     let routing = ext.generate_request(&mut cx);
     SyncRequest {
@@ -399,10 +431,23 @@ pub fn prepare_batch(
     now: SimTime,
 ) -> SyncBatch {
     let source_id = source.id();
+    let policy = ext.label();
+    let target_id = request.target.as_u64();
     {
         let mut cx = HostContext::new(source, now, Some(request.target));
         ext.process_request(&mut cx, request);
     }
+    let routing_bytes = request.routing.as_bytes().len();
+    source.observer().emit(|| Event::PolicyDecision {
+        replica: source_id.as_u64(),
+        peer: target_id,
+        policy,
+        kind: DecisionKind::RequestProcessed,
+        origin: 0,
+        seq: 0,
+        cost: routing_bytes as f64,
+        at_secs: now.as_secs(),
+    });
 
     let candidates = source.versions_unknown_to(&request.knowledge);
     let mut selected: Vec<(ItemId, Priority, bool)> = Vec::new();
@@ -417,7 +462,21 @@ pub fn prepare_batch(
             continue;
         }
         let mut cx = HostContext::new(source, now, Some(request.target));
-        match ext.to_send(&mut cx, id, request).priority() {
+        let verdict = ext.to_send(&mut cx, id, request).priority();
+        source.observer().emit(|| Event::PolicyDecision {
+            replica: source_id.as_u64(),
+            peer: target_id,
+            policy,
+            kind: match verdict {
+                Some(_) => DecisionKind::Forward,
+                None => DecisionKind::Suppress,
+            },
+            origin: id.origin().as_u64(),
+            seq: id.seq(),
+            cost: verdict.map(|p| p.cost()).unwrap_or(0.0),
+            at_secs: now.as_secs(),
+        });
+        match verdict {
             Some(priority) => selected.push((id, priority, false)),
             None => withheld += 1,
         }
@@ -458,6 +517,7 @@ pub fn prepare_batch(
     }
 
     let mut entries = Vec::with_capacity(selected.len());
+    let mut payload_bytes = 0u64;
     for (id, priority, matched_filter) in selected {
         let Some(item) = source.item(id).cloned() else {
             continue;
@@ -465,12 +525,32 @@ pub fn prepare_batch(
         let mut copy = item;
         let mut cx = HostContext::new(source, now, Some(request.target));
         ext.prepare_outgoing(&mut cx, &mut copy, request.target, matched_filter);
+        let bytes = copy.payload().len() as u64;
+        payload_bytes += bytes;
+        source.observer().emit(|| Event::ItemTransmitted {
+            source: source_id.as_u64(),
+            target: target_id,
+            origin: id.origin().as_u64(),
+            seq: id.seq(),
+            bytes,
+            matched_filter,
+            at_secs: now.as_secs(),
+        });
         entries.push(BatchEntry {
             item: copy,
             priority,
             matched_filter,
         });
     }
+    let entry_count = entries.len() as u64;
+    source.observer().emit(|| Event::SyncBatchSent {
+        source: source_id.as_u64(),
+        target: target_id,
+        entries: entry_count,
+        withheld: withheld as u64,
+        payload_bytes,
+        at_secs: now.as_secs(),
+    });
 
     SyncBatch {
         source: source_id,
@@ -492,6 +572,8 @@ pub fn apply_batch(
         withheld: batch.withheld,
         ..SyncReport::default()
     };
+    let target_id = target.id().as_u64();
+    let source_id = batch.source.as_u64();
     for entry in batch.entries {
         let id = entry.item.id();
         match target.apply_remote(entry.item, now) {
@@ -499,14 +581,41 @@ pub fn apply_batch(
                 if delivered {
                     report.delivered += 1;
                     report.delivered_ids.push(id);
+                    target.observer().emit(|| Event::ItemDelivered {
+                        replica: target_id,
+                        source: source_id,
+                        origin: id.origin().as_u64(),
+                        seq: id.seq(),
+                        at_secs: now.as_secs(),
+                    });
                 } else {
                     report.relayed += 1;
+                    target.observer().emit(|| Event::ItemRelayed {
+                        replica: target_id,
+                        source: source_id,
+                        origin: id.origin().as_u64(),
+                        seq: id.seq(),
+                        at_secs: now.as_secs(),
+                    });
                 }
             }
             ApplyOutcome::Duplicate => report.duplicates += 1,
             ApplyOutcome::Stale => report.stale += 1,
             ApplyOutcome::ConflictMerged => report.conflicts += 1,
         }
+    }
+    if report.transmitted > 0 {
+        let batch_entries = report.transmitted as u64;
+        let knowledge_replicas = target.knowledge().replica_count() as u64;
+        let knowledge_exceptions = target.knowledge().exception_count() as u64;
+        target.observer().emit(|| Event::KnowledgeMerged {
+            replica: target_id,
+            peer: source_id,
+            batch_entries,
+            knowledge_replicas,
+            knowledge_exceptions,
+            at_secs: now.as_secs(),
+        });
     }
     let delivered_ids = report.delivered_ids.clone();
     let mut cx = HostContext::new(target, now, Some(batch.source));
@@ -657,7 +766,11 @@ mod tests {
         assert_eq!(report.transmitted, 2);
         let report = sync_once(&mut a, &mut b, SimTime::from_secs(2));
         assert_eq!(report.transmitted, 1);
-        assert_eq!(b.iter_items().count(), 5, "partial batches never lose items");
+        assert_eq!(
+            b.iter_items().count(),
+            5,
+            "partial batches never lose items"
+        );
     }
 
     #[test]
@@ -788,14 +901,28 @@ mod tests {
 
         // Flood to relay c, deliver to b.
         let mut flood = FloodAll;
-        sync_with(&mut a, &mut flood, &mut c, &mut NoExtension, SyncLimits::unlimited(), SimTime::ZERO);
+        sync_with(
+            &mut a,
+            &mut flood,
+            &mut c,
+            &mut NoExtension,
+            SyncLimits::unlimited(),
+            SimTime::ZERO,
+        );
         sync_once(&mut a, &mut b, SimTime::ZERO);
         assert!(c.contains_item(id));
 
         // b deletes after reading; tombstone flows b -> c (policy flood).
         b.delete(id).unwrap();
         let mut flood_b = FloodAll;
-        sync_with(&mut b, &mut flood_b, &mut c, &mut NoExtension, SyncLimits::unlimited(), SimTime::from_secs(5));
+        sync_with(
+            &mut b,
+            &mut flood_b,
+            &mut c,
+            &mut NoExtension,
+            SyncLimits::unlimited(),
+            SimTime::from_secs(5),
+        );
         let stored = c.item(id).expect("tombstone replaces relay copy");
         assert!(stored.is_deleted());
         assert_eq!(c.relay_load(), 0, "tombstones don't occupy relay budget");

@@ -25,9 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((evening - morning).as_hours_f64(), 15.0);
 /// assert_eq!(morning.day(), 0);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -131,9 +129,7 @@ impl Sub<SimTime> for SimTime {
 /// assert_eq!(d.as_secs(), 43_200);
 /// assert_eq!(d.as_days_f64(), 0.5);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -239,7 +235,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(format!("{}", SimTime::from_hms(1, 9, 5, 0)), "day 1 09:05:00");
+        assert_eq!(
+            format!("{}", SimTime::from_hms(1, 9, 5, 0)),
+            "day 1 09:05:00"
+        );
         assert_eq!(format!("{}", SimDuration::from_days(3)), "3d");
         assert_eq!(format!("{}", SimDuration::from_hours(5)), "5h");
         assert_eq!(format!("{}", SimDuration::from_secs(61)), "61s");

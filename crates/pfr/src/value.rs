@@ -256,7 +256,10 @@ mod tests {
             Some(Ordering::Less)
         );
         // Cross non-numeric types are incomparable.
-        assert_eq!(Value::from("a").partial_cmp_same_type(&Value::from(1i64)), None);
+        assert_eq!(
+            Value::from("a").partial_cmp_same_type(&Value::from(1i64)),
+            None
+        );
         // NaN is incomparable even to itself.
         assert_eq!(
             Value::from(f64::NAN).partial_cmp_same_type(&Value::from(f64::NAN)),
@@ -289,7 +292,10 @@ mod tests {
         }
         assert_eq!(format!("{}", Value::from(vec![0xabu8, 0x01])), "0xab01");
         assert_eq!(
-            format!("{}", Value::List(vec![Value::from(1i64), Value::from(2i64)])),
+            format!(
+                "{}",
+                Value::List(vec![Value::from(1i64), Value::from(2i64)])
+            ),
             "[1, 2]"
         );
     }

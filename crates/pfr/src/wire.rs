@@ -304,7 +304,10 @@ impl<T: Decode> Decode for Option<T> {
         match r.get_u8()? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
-            tag => Err(WireError::InvalidTag { what: "Option", tag }),
+            tag => Err(WireError::InvalidTag {
+                what: "Option",
+                tag,
+            }),
         }
     }
 }
@@ -422,7 +425,10 @@ impl Decode for AttributeMap {
             let value = Value::decode(r)?;
             attrs
                 .try_set(name, value)
-                .map_err(|_| WireError::InvalidTag { what: "AttributeMap(NaN)", tag: 0 })?;
+                .map_err(|_| WireError::InvalidTag {
+                    what: "AttributeMap(NaN)",
+                    tag: 0,
+                })?;
         }
         Ok(attrs)
     }
@@ -561,7 +567,10 @@ impl Decode for Filter {
             FILT_NOT => Ok(Filter::Not(Box::new(Filter::decode(r)?))),
             FILT_AND => Ok(Filter::And(Vec::decode(r)?)),
             FILT_OR => Ok(Filter::Or(Vec::decode(r)?)),
-            tag => Err(WireError::InvalidTag { what: "Filter", tag }),
+            tag => Err(WireError::InvalidTag {
+                what: "Filter",
+                tag,
+            }),
         }
     }
 }
@@ -642,7 +651,10 @@ impl Decode for PriorityClass {
             .iter()
             .find(|(_, t)| *t == tag)
             .map(|(c, _)| *c)
-            .ok_or(WireError::InvalidTag { what: "PriorityClass", tag })
+            .ok_or(WireError::InvalidTag {
+                what: "PriorityClass",
+                tag,
+            })
     }
 }
 
@@ -757,10 +769,16 @@ mod tests {
             Reader::new(&[0x80; 11]).get_varint(),
             Err(WireError::VarintOverflow)
         );
-        assert_eq!(Reader::new(&[1, 2]).get_f64(), Err(WireError::UnexpectedEof));
+        assert_eq!(
+            Reader::new(&[1, 2]).get_f64(),
+            Err(WireError::UnexpectedEof)
+        );
         assert_eq!(
             Reader::new(&[7]).get_bool(),
-            Err(WireError::InvalidTag { what: "bool", tag: 7 })
+            Err(WireError::InvalidTag {
+                what: "bool",
+                tag: 7
+            })
         );
     }
 
@@ -817,8 +835,7 @@ mod tests {
 
     #[test]
     fn filter_roundtrips() {
-        let f = Filter::parse(r#"(dest contains "a") or (n >= 2 and not exists gone)"#)
-            .unwrap();
+        let f = Filter::parse(r#"(dest contains "a") or (n >= 2 and not exists gone)"#).unwrap();
         roundtrip(f);
         roundtrip(Filter::All);
         roundtrip(Filter::In {
@@ -857,9 +874,12 @@ mod tests {
         assert_eq!(back.routing, req.routing);
         assert!(back.knowledge.contains(Version::new(ReplicaId::new(1), 3)));
 
-        let item = Item::builder(ItemId::new(ReplicaId::new(1), 1), Version::new(ReplicaId::new(1), 1))
-            .attr("dest", "b")
-            .build();
+        let item = Item::builder(
+            ItemId::new(ReplicaId::new(1), 1),
+            Version::new(ReplicaId::new(1), 1),
+        )
+        .attr("dest", "b")
+        .build();
         let batch = SyncBatch {
             source: ReplicaId::new(1),
             entries: vec![BatchEntry {

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use pfr::wire::{from_bytes, to_bytes};
-use pfr::{
-    sync, AttributeMap, Filter, Knowledge, Replica, ReplicaId, SimTime, Value, Version,
-};
+use pfr::{sync, AttributeMap, Filter, Knowledge, Replica, ReplicaId, SimTime, Value, Version};
 
 // ---------------------------------------------------------------------------
 // Generators
@@ -451,8 +449,11 @@ fn arb_small_filter() -> impl Strategy<Value = Filter> {
     let leaf = prop_oneof![
         Just(Filter::All),
         Just(Filter::None),
-        (attr.clone(), op, value.clone())
-            .prop_map(|(attr, op, value)| Filter::Cmp { attr, op, value }),
+        (attr.clone(), op, value.clone()).prop_map(|(attr, op, value)| Filter::Cmp {
+            attr,
+            op,
+            value
+        }),
         (attr.clone(), proptest::collection::vec(value.clone(), 0..3))
             .prop_map(|(attr, values)| Filter::In { attr, values }),
         (attr.clone(), value).prop_map(|(attr, value)| Filter::Contains { attr, value }),

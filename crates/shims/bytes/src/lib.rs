@@ -1,0 +1,120 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors minimal API-compatible shims for its external
+//! dependencies. Only the `BytesMut` + `BufMut` subset exercised by
+//! `pfr::wire` is provided, backed by a plain `Vec<u8>`.
+
+use std::ops::Deref;
+
+/// A growable byte buffer, append-only in this shim.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Clears the buffer without releasing its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.inner
+    }
+}
+
+/// Append-style write access to a byte buffer.
+pub trait BufMut {
+    /// Appends a single byte.
+    fn put_u8(&mut self, value: u8);
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, value: u64);
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, value: u32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.inner.push(value);
+    }
+
+    fn put_u64_le(&mut self, value: u64) {
+        self.inner.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, value: u32) {
+        self.inner.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_little_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAB);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_slice(b"xyz");
+        assert_eq!(buf.len(), 12);
+        assert!(!buf.is_empty());
+        let v = buf.to_vec();
+        assert_eq!(v[0], 0xAB);
+        assert_eq!(&v[1..9], &0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(&v[9..], b"xyz");
+    }
+
+    #[test]
+    fn deref_exposes_slice() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_slice(&[1, 2, 3]);
+        assert_eq!(&buf[..], &[1, 2, 3]);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

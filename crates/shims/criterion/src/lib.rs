@@ -1,0 +1,306 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors minimal API-compatible shims for its external
+//! dependencies. This one keeps the `crates/bench` micro-benchmarks
+//! compiling and runnable: `b.iter(..)` times the closure over a fixed
+//! sampling window and prints mean/min per benchmark. There is no outlier
+//! analysis, HTML report, or baseline comparison — it is a smoke-test
+//! harness, not a statistics engine.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark driver configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no bootstrap resampling.
+    #[must_use]
+    pub fn nresamples(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Target duration of the measurement phase.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Target duration of the warm-up phase.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Parameterized benchmark label (`group/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling profile.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Target duration of the measurement phase for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// Runs a named benchmark with an input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoLabel, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(self.criterion, &label, &mut |b: &mut Bencher| {
+            b_input(b, input, &mut f)
+        });
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+fn b_input<I, F>(b: &mut Bencher, input: &I, f: &mut F)
+where
+    F: FnMut(&mut Bencher, &I),
+{
+    f(b, input);
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoLabel {
+    /// The printable label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    /// Total time spent inside `iter` payloads.
+    elapsed: Duration,
+    /// Payload invocations performed.
+    iterations: u64,
+    /// How many invocations `iter` should run this sample.
+    batch: u64,
+}
+
+impl Bencher {
+    /// Times `batch` invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += self.batch;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mut F) {
+    // Warm-up: also calibrates how many iterations fit a sample window.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+        batch: 1,
+    };
+    let warm_deadline = Instant::now() + config.warm_up_time;
+    while Instant::now() < warm_deadline {
+        f(&mut bencher);
+    }
+    let per_iter = if bencher.iterations == 0 {
+        Duration::from_micros(1)
+    } else {
+        bencher.elapsed / bencher.iterations.max(1) as u32
+    };
+    let sample_window = config.measurement_time / config.sample_size as u32;
+    let batch = (sample_window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            batch,
+        };
+        f(&mut b);
+        if b.iterations > 0 {
+            samples.push(b.elapsed.as_nanos() as f64 / b.iterations as f64);
+        }
+    }
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("{label:<48} mean {mean:>12.1} ns/iter   min {min:>12.1} ns/iter");
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!{
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_payload() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(8));
+        let mut hits = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_with_input(BenchmarkId::from_parameter(4u32), &4u32, |b, &n| {
+                b.iter(|| hits += u64::from(n))
+            });
+            group.finish();
+        }
+        assert!(hits >= 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a crates.io registry, and nothing
+//! in this workspace actually serializes through serde — the wire format is
+//! the hand-rolled `pfr::wire` codec, and `#[derive(Serialize, Deserialize)]`
+//! is only a forward-compatibility marker on the data types. This shim keeps
+//! those annotations compiling: the traits are empty markers with blanket
+//! implementations, and the re-exported derives expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// sized types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough to import `DeserializeOwned` from its
+/// conventional path.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serialize<T: Serialize + ?Sized>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn blanket_impls_cover_arbitrary_types() {
+        struct Local {
+            _x: u8,
+        }
+        assert_serialize::<Local>();
+        assert_serialize::<str>();
+        assert_deserialize::<Local>();
+        assert_deserialize::<Vec<String>>();
+    }
+}

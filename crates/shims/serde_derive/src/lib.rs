@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker —
+//! no code path actually serializes through serde (the wire format is the
+//! hand-rolled `pfr::wire` codec). The shim `serde` crate blanket-implements
+//! its `Serialize`/`Deserialize` traits for all types, so these derives can
+//! expand to nothing; they exist only so the `#[derive(...)]` attributes and
+//! any `#[serde(...)]` helper attributes keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the shim trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the shim trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

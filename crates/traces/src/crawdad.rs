@@ -31,7 +31,11 @@ pub struct TraceParseError {
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -119,9 +123,7 @@ fn parse_hms(s: &str) -> Option<(u64, u64, u64)> {
 /// Renders a trace to the text format accepted by [`parse_trace`].
 pub fn format_trace(trace: &EncounterTrace) -> String {
     let mut out = String::with_capacity(trace.len() * 20 + 64);
-    out.push_str(
-        "# replidtn encounter trace: <day> <hh:mm:ss> <bus_a> <bus_b> <duration_secs>\n",
-    );
+    out.push_str("# replidtn encounter trace: <day> <hh:mm:ss> <bus_a> <bus_b> <duration_secs>\n");
     for e in trace.iter() {
         let s = e.time.seconds_into_day();
         out.push_str(&format!(
@@ -158,7 +160,10 @@ mod tests {
         let trace = parse_trace(text).unwrap();
         assert_eq!(trace.len(), 2);
         // Sorted despite input order.
-        assert_eq!(trace.iter().next().unwrap().time, SimTime::from_hms(0, 8, 0, 0));
+        assert_eq!(
+            trace.iter().next().unwrap().time,
+            SimTime::from_hms(0, 8, 0, 0)
+        );
     }
 
     #[test]

@@ -153,9 +153,7 @@ impl DieselNetConfig {
                     }
                 }
             }
-            let mut today: Vec<usize> = (0..self.fleet_size)
-                .filter(|&b| on_duty[b])
-                .collect();
+            let mut today: Vec<usize> = (0..self.fleet_size).filter(|&b| on_duty[b]).collect();
             // Guarantee a minimally functional day.
             while today.len() < 2 {
                 let extra = rng.gen_range(0..self.fleet_size);
@@ -211,8 +209,7 @@ impl DieselNetConfig {
                 // Degenerate day: no pair can meet (tiny fleets only).
                 continue;
             }
-            let window_secs =
-                (self.day_end_hour - self.day_start_hour) * 3_600;
+            let window_secs = (self.day_end_hour - self.day_start_hour) * 3_600;
             for _ in 0..self.encounters_per_day {
                 let pick = rng.gen::<f64>() * total;
                 let idx = cumulative
@@ -225,7 +222,7 @@ impl DieselNetConfig {
                 // Contact durations: mostly brief drive-bys, occasionally a
                 // long shared layover (roughly geometric, 20s-600s).
                 let duration_secs =
-                    20 + dur_rng.gen_range(0..5) * dur_rng.gen_range(0..30) as u64;
+                    20 + dur_rng.gen_range(0..5u64) * dur_rng.gen_range(0..30) as u64;
                 encounters.push(Encounter::with_duration(
                     time,
                     bus_id(x),
@@ -305,7 +302,11 @@ mod tests {
         assert!(!top.is_empty());
         let counts = trace.pair_counts();
         let count_with = |other: ReplicaId| -> usize {
-            let key = if node <= other { (node, other) } else { (other, node) };
+            let key = if node <= other {
+                (node, other)
+            } else {
+                (other, node)
+            };
             counts.get(&key).copied().unwrap_or(0)
         };
         let best = count_with(top[0]);

@@ -257,7 +257,10 @@ pub fn parse_workload(text: &str) -> Result<EmailWorkload, crate::TraceParseErro
             dst: fields[3].to_string(),
         });
     }
-    Ok(EmailWorkload::from_events(users.into_iter().collect(), events))
+    Ok(EmailWorkload::from_events(
+        users.into_iter().collect(),
+        events,
+    ))
 }
 
 #[cfg(test)]
@@ -269,11 +272,19 @@ mod tests {
     fn default_matches_paper_schedule() {
         let w = EmailConfig::default().generate();
         assert_eq!(w.len(), 490, "paper: 490 messages total");
-        assert_eq!(w.last_injection_day(), Some(7), "stops after the eighth day");
+        assert_eq!(
+            w.last_injection_day(),
+            Some(7),
+            "stops after the eighth day"
+        );
         for e in w.events() {
             let s = e.time.seconds_into_day();
             assert!(s >= 8 * 3600, "injection before 08:00: {}", e.time);
-            assert!(s < 8 * 3600 + 62 * 120, "injection after window: {}", e.time);
+            assert!(
+                s < 8 * 3600 + 62 * 120,
+                "injection after window: {}",
+                e.time
+            );
             assert_eq!(s % 120, 0, "two-minute spacing");
             assert_ne!(e.src, e.dst, "no self-mail");
         }
@@ -316,7 +327,10 @@ mod tests {
         let w = cfg.generate();
         let mut recipients: BTreeMap<&str, std::collections::BTreeSet<&str>> = BTreeMap::new();
         for e in w.events() {
-            recipients.entry(e.src.as_str()).or_default().insert(e.dst.as_str());
+            recipients
+                .entry(e.src.as_str())
+                .or_default()
+                .insert(e.dst.as_str());
         }
         for (src, dsts) in recipients {
             assert!(
@@ -329,7 +343,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(EmailConfig::small().generate(), EmailConfig::small().generate());
+        assert_eq!(
+            EmailConfig::small().generate(),
+            EmailConfig::small().generate()
+        );
         let other = EmailConfig {
             seed: 1,
             ..EmailConfig::small()
@@ -343,8 +360,15 @@ mod tests {
         let text = format_workload(&original);
         let parsed = parse_workload(&text).expect("parse");
         assert_eq!(parsed.events(), original.events());
-        assert_eq!(parsed.users().len(), 
-            original.events().iter().flat_map(|e| [e.src.as_str(), e.dst.as_str()]).collect::<std::collections::BTreeSet<_>>().len());
+        assert_eq!(
+            parsed.users().len(),
+            original
+                .events()
+                .iter()
+                .flat_map(|e| [e.src.as_str(), e.dst.as_str()])
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
     }
 
     #[test]
@@ -357,7 +381,12 @@ mod tests {
         ] {
             let err = parse_workload(text).unwrap_err();
             assert_eq!(err.line, 1, "for {text:?}");
-            assert!(err.message.contains(needle), "{:?} missing {:?}", err.message, needle);
+            assert!(
+                err.message.contains(needle),
+                "{:?} missing {:?}",
+                err.message,
+                needle
+            );
         }
     }
 

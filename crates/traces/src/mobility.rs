@@ -28,16 +28,21 @@ impl Encounter {
     }
 
     /// Creates an encounter with a recorded contact duration.
-    pub fn with_duration(
-        time: SimTime,
-        a: ReplicaId,
-        b: ReplicaId,
-        duration: SimDuration,
-    ) -> Self {
+    pub fn with_duration(time: SimTime, a: ReplicaId, b: ReplicaId, duration: SimDuration) -> Self {
         if a <= b {
-            Encounter { time, a, b, duration }
+            Encounter {
+                time,
+                a,
+                b,
+                duration,
+            }
         } else {
-            Encounter { time, a: b, b: a, duration }
+            Encounter {
+                time,
+                a: b,
+                b: a,
+                duration,
+            }
         }
     }
 
@@ -216,8 +221,11 @@ mod tests {
 
     #[test]
     fn from_encounters_sorts() {
-        let trace =
-            EncounterTrace::from_encounters(vec![enc(1, 9, 1, 2), enc(0, 8, 3, 4), enc(0, 10, 1, 3)]);
+        let trace = EncounterTrace::from_encounters(vec![
+            enc(1, 9, 1, 2),
+            enc(0, 8, 3, 4),
+            enc(0, 10, 1, 3),
+        ]);
         let times: Vec<u64> = trace.iter().map(|e| e.time.as_secs()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -228,7 +236,10 @@ mod tests {
         trace.push(enc(0, 12, 1, 2));
         trace.push(enc(0, 8, 1, 3));
         trace.push(enc(0, 10, 2, 3));
-        let hours: Vec<u64> = trace.iter().map(|e| e.time.seconds_into_day() / 3600).collect();
+        let hours: Vec<u64> = trace
+            .iter()
+            .map(|e| e.time.seconds_into_day() / 3600)
+            .collect();
         assert_eq!(hours, vec![8, 10, 12]);
     }
 
@@ -243,7 +254,10 @@ mod tests {
         assert_eq!(trace.days(), 3);
         assert_eq!(trace.encounters_on_day(0).len(), 2);
         assert_eq!(trace.encounters_on_day(1).len(), 1);
-        assert_eq!(trace.nodes_on_day(2), [rid(4), rid(5)].into_iter().collect());
+        assert_eq!(
+            trace.nodes_on_day(2),
+            [rid(4), rid(5)].into_iter().collect()
+        );
         assert!(trace.encounters_on_day(7).is_empty());
     }
 

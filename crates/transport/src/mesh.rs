@@ -93,8 +93,8 @@ impl Mesh {
                     std::thread::sleep(config.sync_interval.min(Duration::from_millis(50)));
                     // Honor the configured cadence while staying responsive
                     // to shutdown: only sync when a full interval elapsed.
-                    let due = started.elapsed().as_millis()
-                        / config.sync_interval.as_millis().max(1);
+                    let due =
+                        started.elapsed().as_millis() / config.sync_interval.as_millis().max(1);
                     if due as usize <= next {
                         continue;
                     }
@@ -149,10 +149,26 @@ impl Mesh {
     pub fn sync_now(&self) -> usize {
         let targets = self.peers();
         let now = SimTime::from_secs(self.started.elapsed().as_secs());
-        targets
-            .into_iter()
-            .filter(|&addr| self.peer.sync_with(addr, now).is_ok())
-            .count()
+        let mut synced = 0;
+        for addr in targets {
+            if self.peer.sync_with(addr, now).is_ok() {
+                synced += 1;
+            } else {
+                // The session never completed, so the protocol layer had no
+                // chance to report it; record the failed attempt here.
+                let (replica, obs) =
+                    self.with_node(|n| (n.id().as_u64(), n.replica().observer().clone()));
+                obs.emit(|| obs::Event::TransportSync {
+                    replica,
+                    peer: 0,
+                    served: 0,
+                    delivered: 0,
+                    frame_bytes: 0,
+                    ok: false,
+                });
+            }
+        }
+        synced
     }
 
     /// Stops the anti-entropy loop and the listener.

@@ -6,6 +6,7 @@ use std::io::{Read, Write};
 use std::sync::Arc;
 
 use dtn::DtnNode;
+use obs::{Event, Span};
 use parking_lot::Mutex;
 use pfr::sync::{SyncBatch, SyncRequest};
 use pfr::wire::{from_bytes, to_bytes, Decode, Encode, Reader as WireReader, Writer as WireWriter};
@@ -79,10 +80,7 @@ impl Decode for Hello {
     }
 }
 
-fn expect(
-    reader: &mut impl Read,
-    expected: FrameType,
-) -> Result<Vec<u8>, ProtocolError> {
+fn expect(reader: &mut impl Read, expected: FrameType) -> Result<Vec<u8>, ProtocolError> {
     let (frame_type, payload) = read_frame(reader)?;
     if frame_type != expected {
         return Err(ProtocolError::UnexpectedFrame {
@@ -107,27 +105,56 @@ pub fn run_initiator<R: Read, W: Write>(
     limits: SyncLimits,
 ) -> Result<SessionReport, ProtocolError> {
     // Hello exchange.
+    let (my_id, obs) = {
+        let node = node.lock();
+        (node.id(), node.replica().observer().clone())
+    };
     let my_hello = Hello {
-        replica: node.lock().id(),
+        replica: my_id,
         now,
     };
-    write_frame(writer, FrameType::Hello, &to_bytes(&my_hello))?;
-    let peer_hello: Hello = decode_payload(&expect(reader, FrameType::Hello)?)?;
+    let mut frame_bytes;
+    let hello_bytes = to_bytes(&my_hello);
+    frame_bytes = hello_bytes.len() as u64;
+    write_frame(writer, FrameType::Hello, &hello_bytes)?;
+    let hello_payload = expect(reader, FrameType::Hello)?;
+    frame_bytes += hello_payload.len() as u64;
+    let peer_hello: Hello = decode_payload(&hello_payload)?;
     let peer = peer_hello.replica;
+    let span = Span::start(&obs, "transport.initiator", my_id.as_u64(), peer.as_u64());
 
     // Direction 1: we are the target and pull from the responder.
     let request = node.lock().begin_sync_session(peer, now);
-    write_frame(writer, FrameType::SyncRequest, &to_bytes(&request))?;
-    let batch: SyncBatch = decode_payload(&expect(reader, FrameType::SyncBatch)?)?;
+    let request_bytes = to_bytes(&request);
+    frame_bytes += request_bytes.len() as u64;
+    write_frame(writer, FrameType::SyncRequest, &request_bytes)?;
+    let batch_payload = expect(reader, FrameType::SyncBatch)?;
+    frame_bytes += batch_payload.len() as u64;
+    let batch: SyncBatch = decode_payload(&batch_payload)?;
     let pulled = node.lock().apply_sync(batch, now);
     write_frame(writer, FrameType::SyncDone, &[])?;
 
     // Direction 2: the responder pulls from us.
-    let peer_request: SyncRequest = decode_payload(&expect(reader, FrameType::SyncRequest)?)?;
+    let request_payload = expect(reader, FrameType::SyncRequest)?;
+    frame_bytes += request_payload.len() as u64;
+    let peer_request: SyncRequest = decode_payload(&request_payload)?;
     let batch = node.lock().respond_sync(&peer_request, limits, now);
     let served = batch.entries.len();
-    write_frame(writer, FrameType::SyncBatch, &to_bytes(&batch))?;
+    let batch_bytes = to_bytes(&batch);
+    frame_bytes += batch_bytes.len() as u64;
+    write_frame(writer, FrameType::SyncBatch, &batch_bytes)?;
     expect(reader, FrameType::SyncDone)?;
+
+    let delivered = pulled.delivered as u64;
+    obs.emit(|| Event::TransportSync {
+        replica: my_id.as_u64(),
+        peer: peer.as_u64(),
+        served: served as u64,
+        delivered,
+        frame_bytes,
+        ok: true,
+    });
+    span.finish();
 
     Ok(SessionReport {
         peer: Some(peer),
@@ -144,28 +171,56 @@ pub fn run_responder<R: Read, W: Write>(
     limits: SyncLimits,
 ) -> Result<SessionReport, ProtocolError> {
     // Hello exchange: adopt the initiator's clock for this encounter.
-    let peer_hello: Hello = decode_payload(&expect(reader, FrameType::Hello)?)?;
+    let hello_payload = expect(reader, FrameType::Hello)?;
+    let mut frame_bytes = hello_payload.len() as u64;
+    let peer_hello: Hello = decode_payload(&hello_payload)?;
     let peer = peer_hello.replica;
     let now = peer_hello.now;
+    let (my_id, obs) = {
+        let node = node.lock();
+        (node.id(), node.replica().observer().clone())
+    };
+    let span = Span::start(&obs, "transport.responder", my_id.as_u64(), peer.as_u64());
     let my_hello = Hello {
-        replica: node.lock().id(),
+        replica: my_id,
         now,
     };
-    write_frame(writer, FrameType::Hello, &to_bytes(&my_hello))?;
+    let hello_bytes = to_bytes(&my_hello);
+    frame_bytes += hello_bytes.len() as u64;
+    write_frame(writer, FrameType::Hello, &hello_bytes)?;
 
     // Direction 1: the initiator pulls from us.
-    let request: SyncRequest = decode_payload(&expect(reader, FrameType::SyncRequest)?)?;
+    let request_payload = expect(reader, FrameType::SyncRequest)?;
+    frame_bytes += request_payload.len() as u64;
+    let request: SyncRequest = decode_payload(&request_payload)?;
     let batch = node.lock().respond_sync(&request, limits, now);
     let served = batch.entries.len();
-    write_frame(writer, FrameType::SyncBatch, &to_bytes(&batch))?;
+    let batch_bytes = to_bytes(&batch);
+    frame_bytes += batch_bytes.len() as u64;
+    write_frame(writer, FrameType::SyncBatch, &batch_bytes)?;
     expect(reader, FrameType::SyncDone)?;
 
     // Direction 2: we pull from the initiator.
     let request = node.lock().begin_sync_session(peer, now);
-    write_frame(writer, FrameType::SyncRequest, &to_bytes(&request))?;
-    let batch: SyncBatch = decode_payload(&expect(reader, FrameType::SyncBatch)?)?;
+    let request_bytes = to_bytes(&request);
+    frame_bytes += request_bytes.len() as u64;
+    write_frame(writer, FrameType::SyncRequest, &request_bytes)?;
+    let batch_payload = expect(reader, FrameType::SyncBatch)?;
+    frame_bytes += batch_payload.len() as u64;
+    let batch: SyncBatch = decode_payload(&batch_payload)?;
     let pulled = node.lock().apply_sync(batch, now);
     write_frame(writer, FrameType::SyncDone, &[])?;
+
+    let delivered = pulled.delivered as u64;
+    obs.emit(|| Event::TransportSync {
+        replica: my_id.as_u64(),
+        peer: peer.as_u64(),
+        served: served as u64,
+        delivered,
+        frame_bytes,
+        ok: true,
+    });
+    span.finish();
 
     Ok(SessionReport {
         peer: Some(peer),

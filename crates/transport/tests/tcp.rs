@@ -13,12 +13,18 @@ fn two_peers_exchange_messages_both_ways() {
     let a = Peer::start(node(1, "a", PolicyKind::Direct), "127.0.0.1:0").unwrap();
     let b = Peer::start(node(2, "b", PolicyKind::Direct), "127.0.0.1:0").unwrap();
 
-    a.with_node(|n| n.send("b", b"a->b".to_vec(), SimTime::ZERO)).unwrap();
-    b.with_node(|n| n.send("a", b"b->a".to_vec(), SimTime::ZERO)).unwrap();
+    a.with_node(|n| n.send("b", b"a->b".to_vec(), SimTime::ZERO))
+        .unwrap();
+    b.with_node(|n| n.send("a", b"b->a".to_vec(), SimTime::ZERO))
+        .unwrap();
 
     let report = a.sync_with(b.local_addr(), SimTime::from_secs(10)).unwrap();
     assert_eq!(report.peer, Some(ReplicaId::new(2)));
-    assert_eq!(report.pulled.as_ref().unwrap().delivered, 1, "a pulled its mail");
+    assert_eq!(
+        report.pulled.as_ref().unwrap().delivered,
+        1,
+        "a pulled its mail"
+    );
     assert_eq!(report.served, 1, "a served b's mail");
 
     assert_eq!(a.with_node(|n| n.inbox().len()), 1);
@@ -32,13 +38,17 @@ fn multi_hop_delivery_through_a_tcp_relay() {
     let relay = Peer::start(node(2, "relay", PolicyKind::Epidemic), "127.0.0.1:0").unwrap();
     let c = Peer::start(node(3, "c", PolicyKind::Epidemic), "127.0.0.1:0").unwrap();
 
-    a.with_node(|n| n.send("c", b"via relay".to_vec(), SimTime::ZERO)).unwrap();
+    a.with_node(|n| n.send("c", b"via relay".to_vec(), SimTime::ZERO))
+        .unwrap();
 
     // a never talks to c directly.
-    a.sync_with(relay.local_addr(), SimTime::from_secs(1)).unwrap();
+    a.sync_with(relay.local_addr(), SimTime::from_secs(1))
+        .unwrap();
     assert_eq!(relay.with_node(|n| n.replica().relay_load()), 1);
 
-    relay.sync_with(c.local_addr(), SimTime::from_secs(2)).unwrap();
+    relay
+        .sync_with(c.local_addr(), SimTime::from_secs(2))
+        .unwrap();
     let inbox = c.with_node(|n| n.inbox());
     assert_eq!(inbox.len(), 1);
     assert_eq!(inbox[0].payload, b"via relay");
@@ -48,7 +58,8 @@ fn multi_hop_delivery_through_a_tcp_relay() {
 fn repeated_syncs_are_idempotent() {
     let a = Peer::start(node(1, "a", PolicyKind::Direct), "127.0.0.1:0").unwrap();
     let b = Peer::start(node(2, "b", PolicyKind::Direct), "127.0.0.1:0").unwrap();
-    a.with_node(|n| n.send("b", b"once".to_vec(), SimTime::ZERO)).unwrap();
+    a.with_node(|n| n.send("b", b"once".to_vec(), SimTime::ZERO))
+        .unwrap();
 
     let first = a.sync_with(b.local_addr(), SimTime::from_secs(1)).unwrap();
     assert_eq!(first.served, 1);
@@ -70,7 +81,8 @@ fn bandwidth_limited_peer_serves_partial_batches() {
     )
     .unwrap();
     for i in 0..5u8 {
-        b.with_node(|n| n.send("a", vec![i], SimTime::ZERO)).unwrap();
+        b.with_node(|n| n.send("a", vec![i], SimTime::ZERO))
+            .unwrap();
     }
     // Each encounter moves at most 2 items; three encounters drain all 5.
     let mut got = 0;
@@ -91,8 +103,7 @@ fn concurrent_initiators_against_one_peer() {
     for i in 2..=6u64 {
         handles.push(std::thread::spawn(move || {
             let name = format!("n{i}");
-            let peer =
-                Peer::start(node(i, &name, PolicyKind::Epidemic), "127.0.0.1:0").unwrap();
+            let peer = Peer::start(node(i, &name, PolicyKind::Epidemic), "127.0.0.1:0").unwrap();
             peer.with_node(|n| n.send("hub", vec![i as u8], SimTime::ZERO))
                 .unwrap();
             peer.sync_with(hub_addr, SimTime::from_secs(i)).unwrap();
@@ -101,7 +112,11 @@ fn concurrent_initiators_against_one_peer() {
     for handle in handles {
         handle.join().unwrap();
     }
-    assert_eq!(hub.with_node(|n| n.inbox().len()), 5, "all five messages arrived");
+    assert_eq!(
+        hub.with_node(|n| n.inbox().len()),
+        5,
+        "all five messages arrived"
+    );
     // At-most-once held under concurrency.
     hub.with_node(|n| assert_eq!(n.replica().stats().duplicates_rejected, 0));
 }
@@ -119,7 +134,8 @@ fn different_policies_interoperate() {
     // and simply ignored by the other side.
     let a = Peer::start(node(1, "a", PolicyKind::MaxProp), "127.0.0.1:0").unwrap();
     let b = Peer::start(node(2, "b", PolicyKind::Direct), "127.0.0.1:0").unwrap();
-    a.with_node(|n| n.send("b", b"x".to_vec(), SimTime::ZERO)).unwrap();
+    a.with_node(|n| n.send("b", b"x".to_vec(), SimTime::ZERO))
+        .unwrap();
     let report = a.sync_with(b.local_addr(), SimTime::from_secs(1)).unwrap();
     assert_eq!(report.served, 1);
     assert_eq!(b.with_node(|n| n.inbox().len()), 1);

@@ -10,11 +10,20 @@ use replidtn::emu::report::Table;
 
 fn main() {
     let scenario = Scenario::small();
-    let policies = [PolicyKind::Direct, PolicyKind::SprayAndWait, PolicyKind::MaxProp];
+    let policies = [
+        PolicyKind::Direct,
+        PolicyKind::SprayAndWait,
+        PolicyKind::MaxProp,
+    ];
 
     let mut table = Table::new(
         "Delivery within 12h (%) under constraints",
-        vec!["policy", "unconstrained", "1 msg/encounter", "2 relay slots"],
+        vec![
+            "policy",
+            "unconstrained",
+            "1 msg/encounter",
+            "2 relay slots",
+        ],
     );
     for policy in policies {
         let free = run_policy(&scenario, policy, EncounterBudget::unlimited(), None);

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Opportunistic syncs at the bus stop.
     let report = sync::sync_once(&mut newsroom, &mut commuter, SimTime::from_hms(0, 8, 0, 0));
-    println!("08:00 commuter sync: {} article(s) matched the filter", report.delivered);
+    println!(
+        "08:00 commuter sync: {} article(s) matched the filter",
+        report.delivered
+    );
     show("commuter", &commuter);
 
     let report = sync::sync_once(&mut newsroom, &mut fan, SimTime::from_hms(0, 8, 5, 0));
@@ -68,12 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The fan broadens the subscription mid-day: weather too. The next
     // sync backfills the weather archive — eventual filter consistency
     // applies to the *current* filter, whenever it was set.
-    let broader = Filter::parse(
-        r#"kind = "article" and (topic = "sports" or topic = "weather")"#,
-    )?;
+    let broader = Filter::parse(r#"kind = "article" and (topic = "sports" or topic = "weather")"#)?;
     fan.set_filter(broader);
     let report = sync::sync_once(&mut newsroom, &mut fan, SimTime::from_hms(0, 17, 0, 0));
-    println!("\n17:00 fan widened subscription; backfilled {} article(s)", report.delivered);
+    println!(
+        "\n17:00 fan widened subscription; backfilled {} article(s)",
+        report.delivered
+    );
     show("fan", &fan);
 
     // The newsroom retracts a story; the tombstone chases the copies.
@@ -95,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Filter::parse(r#"kind = "article" and topic = "sports""#)?,
     );
     let report = sync::sync_once(&mut fan, &mut second_fan, SimTime::from_hms(0, 21, 0, 0));
-    println!("\n21:00 fan-to-fan sync delivered {} sports article(s)", report.delivered);
+    println!(
+        "\n21:00 fan-to-fan sync delivered {} sports article(s)",
+        report.delivered
+    );
     assert_eq!(report.delivered, 2);
     Ok(())
 }

@@ -23,14 +23,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // a meets b: the message doesn't match b's filter, but the epidemic
     // policy relays it (TTL-limited flooding).
-    let report = a.encounter(&mut b, SimTime::from_hms(0, 9, 0, 0), EncounterBudget::unlimited());
+    let report = a.encounter(
+        &mut b,
+        SimTime::from_hms(0, 9, 0, 0),
+        EncounterBudget::unlimited(),
+    );
     println!(
         "09:00  a<->b: {} item(s) transferred, {} delivered (b is a relay)",
         report.transmitted, report.delivered
     );
 
     // b meets c hours later: c's filter matches, so this is a delivery.
-    let report = b.encounter(&mut c, SimTime::from_hms(0, 14, 0, 0), EncounterBudget::unlimited());
+    let report = b.encounter(
+        &mut c,
+        SimTime::from_hms(0, 14, 0, 0),
+        EncounterBudget::unlimited(),
+    );
     println!(
         "14:00  b<->c: {} item(s) transferred, {} delivered",
         report.transmitted, report.delivered
@@ -47,14 +55,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Duplicate suppression: meeting again moves nothing.
-    let report = a.encounter(&mut c, SimTime::from_hms(0, 18, 0, 0), EncounterBudget::unlimited());
+    let report = a.encounter(
+        &mut c,
+        SimTime::from_hms(0, 18, 0, 0),
+        EncounterBudget::unlimited(),
+    );
     assert_eq!(report.transmitted, 0);
     println!("18:00  a<->c: nothing to transfer — knowledge suppressed the duplicate");
 
     // The destination deletes the message; the tombstone clears relay
     // copies as it propagates (paper §IV-A: no acknowledgements needed).
     c.replica_mut().delete(msg_id)?;
-    c.encounter(&mut b, SimTime::from_hms(0, 19, 0, 0), EncounterBudget::unlimited());
+    c.encounter(
+        &mut b,
+        SimTime::from_hms(0, 19, 0, 0),
+        EncounterBudget::unlimited(),
+    );
     assert_eq!(b.replica().relay_load(), 0);
     println!("19:00  c's deletion reached b: relay buffer is empty again");
     Ok(())

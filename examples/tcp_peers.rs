@@ -26,7 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("relay @ {}", relay.local_addr());
     println!("bob   @ {}", bob.local_addr());
 
-    let msg_id = alice.with_node(|n| n.send("bob", b"sent over real sockets".to_vec(), SimTime::ZERO))?;
+    let msg_id =
+        alice.with_node(|n| n.send("bob", b"sent over real sockets".to_vec(), SimTime::ZERO))?;
     println!("alice queued {msg_id} for bob");
 
     // Alice only ever talks to the relay.

@@ -47,8 +47,12 @@ fn main() {
 
     println!();
     println!("MaxProp results:");
-    println!("  delivered: {}/{} ({:.1}%)", metrics.delivered(), metrics.injected(),
-        metrics.delivery_rate() * 100.0);
+    println!(
+        "  delivered: {}/{} ({:.1}%)",
+        metrics.delivered(),
+        metrics.injected(),
+        metrics.delivery_rate() * 100.0
+    );
     if let Some(mean) = metrics.mean_delay() {
         println!("  mean delay: {:.1} h", mean.as_hours_f64());
     }
@@ -56,9 +60,14 @@ fn main() {
         "  within 12 h: {:.1}%",
         metrics.delivered_within(SimDuration::from_hours(12)) * 100.0
     );
-    println!("  network traffic: {} item transfers over {} encounters",
-        metrics.transmissions, metrics.encounters);
-    println!("  duplicate receipts: {} (at-most-once delivery)", metrics.duplicates);
+    println!(
+        "  network traffic: {} item transfers over {} encounters",
+        metrics.transmissions, metrics.encounters
+    );
+    println!(
+        "  duplicate receipts: {} (at-most-once delivery)",
+        metrics.duplicates
+    );
 
     // The delay CDF, hour by hour (the shape of the paper's Figure 7a).
     println!();

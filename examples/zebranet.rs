@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The base sees two random collars around midday, daily.
     let mut schedule: Vec<Encounter> = herd_trace.iter().copied().collect();
     for day in 0..3 {
-        for (i, hour) in [(1 + day as usize % COLLARS, 12), (3 + day as usize % COLLARS, 13)] {
+        for (i, hour) in [
+            (1 + day as usize % COLLARS, 12),
+            (3 + day as usize % COLLARS, 13),
+        ] {
             schedule.push(Encounter::new(
                 SimTime::from_hms(day, hour, 0, 0),
                 ReplicaId::new((i % COLLARS) as u64 + 1),
@@ -60,8 +63,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut readings = 0;
     for day in 0..3u64 {
         for (i, collar) in collars.iter_mut().enumerate() {
-            let payload = format!("day{day}: collar-{} at waterhole {}", i + 1, (i * 7 + day as usize) % 5);
-            collar.send("base", payload.into_bytes(), SimTime::from_hms(day, 7, 0, 0))?;
+            let payload = format!(
+                "day{day}: collar-{} at waterhole {}",
+                i + 1,
+                (i * 7 + day as usize) % 5
+            );
+            collar.send(
+                "base",
+                payload.into_bytes(),
+                SimTime::from_hms(day, 7, 0, 0),
+            )?;
             readings += 1;
         }
     }
@@ -100,7 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("relay evictions across the herd: {evictions}");
 
     // Readings the base holds were delivered exactly once each.
-    assert!(collected.len() > readings / 2, "herd relaying must beat direct-only");
+    assert!(
+        collected.len() > readings / 2,
+        "herd relaying must beat direct-only"
+    );
     let total_dups: u64 = collars
         .iter()
         .map(|c| c.replica().stats().duplicates_rejected)

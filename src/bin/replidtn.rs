@@ -7,22 +7,30 @@
 //!              [--trace FILE] [--mail FILE]
 //!              [--bandwidth N] [--storage N]
 //!              [--strategy <random|selected>] [--k N]
+//!              [--events FILE] [--stats]
 //! replidtn peer --id N --address ADDR --policy P --listen HOST:PORT
 //!               [--connect HOST:PORT] [--send DEST:TEXT]
 //! ```
+//!
+//! `--events FILE` streams the structured event log (one JSON object per
+//! line) from the observability layer; `--stats` prints the aggregated
+//! counter/histogram registry as CSV after the run. Both are accepted by
+//! `run`, `peer`, and `fig`.
 //!
 //! `gen-trace`/`gen-mail` write the text formats accepted by `run`, so a
 //! real CRAWDAD-derived trace can be swapped in with no code changes.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use replidtn::cli::Flags;
 use replidtn::dtn::{DtnNode, EncounterBudget, FilterStrategy, PolicyKind};
 use replidtn::emu::{Emulation, EmulationConfig};
+use replidtn::obs::{Fanout, JsonlSink, Obs, Observer, Registry};
 use replidtn::pfr::{ReplicaId, SimDuration, SimTime};
 use replidtn::traces::{
     format_trace, format_workload, parse_trace, parse_workload, DieselNetConfig, EmailConfig,
 };
-use replidtn::cli::Flags;
 use replidtn::transport::Peer;
 
 fn main() -> ExitCode {
@@ -61,17 +69,84 @@ USAGE:
   replidtn run --policy <cimbiosys|epidemic|spray|prophet|maxprop>
                [--trace FILE] [--mail FILE] [--bandwidth N] [--storage N]
                [--strategy <random|selected>] [--k N] [--seed S]
+               [--events FILE] [--stats]
       Replay a workload over a trace and print delivery statistics.
       Without --trace/--mail, the paper-scale synthetic scenario is used.
 
   replidtn peer --id N --address ADDR [--policy P] --listen HOST:PORT
                 [--connect HOST:PORT]... [--send DEST:TEXT]... [--serve-for SECS]
+                [--events FILE] [--stats]
       Start a real TCP replication peer, optionally queue messages and sync
       with remote peers, then print the inbox.
 
-  replidtn fig --id <5|6|7a|7b|8|9|10>
+  replidtn fig --id <5|6|7a|7b|8|9|10> [--events FILE] [--stats]
       Regenerate one figure of the paper (equivalent to the bench target).
+
+  Observability (run, peer, fig):
+    --events FILE   stream every observability event as JSON lines to FILE
+    --stats         print the counter/histogram registry as CSV afterwards
 ";
+
+/// Observability wiring shared by `run`, `peer`, and `fig`: an optional
+/// JSONL event stream (`--events FILE`) and an optional counter/histogram
+/// summary printed at exit (`--stats`).
+struct ObsSetup {
+    observer: Option<Arc<dyn Observer>>,
+    events: Option<Arc<JsonlSink>>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl ObsSetup {
+    fn from_flags(flags: &Flags) -> Result<ObsSetup, String> {
+        let events = match flags.get("events") {
+            None => None,
+            Some("") => return Err("--events needs a file path".to_string()),
+            Some(path) => Some(Arc::new(
+                JsonlSink::create(path).map_err(|e| format!("creating {path:?}: {e}"))?,
+            )),
+        };
+        let registry = flags.has("stats").then(|| Arc::new(Registry::new()));
+        let mut observers: Vec<Arc<dyn Observer>> = Vec::new();
+        if let Some(sink) = &events {
+            observers.push(Arc::clone(sink) as Arc<dyn Observer>);
+        }
+        if let Some(registry) = &registry {
+            observers.push(Arc::clone(registry) as Arc<dyn Observer>);
+        }
+        let observer = match observers.len() {
+            0 => None,
+            1 => observers.pop(),
+            _ => Some(Arc::new(Fanout::new(observers)) as Arc<dyn Observer>),
+        };
+        Ok(ObsSetup {
+            observer,
+            events,
+            registry,
+        })
+    }
+
+    /// Attaches the observer (if any) to a standalone node, e.g. before
+    /// handing it to the transport layer.
+    fn attach(&self, node: &mut DtnNode) {
+        if let Some(observer) = &self.observer {
+            node.replica_mut()
+                .set_observer(Obs::new(Arc::clone(observer)));
+        }
+    }
+
+    /// Flushes the event stream and prints the `--stats` CSV summary.
+    fn finish(&self) -> Result<(), String> {
+        if let Some(sink) = &self.events {
+            sink.flush()
+                .map_err(|e| format!("flushing --events file: {e}"))?;
+        }
+        if let Some(registry) = &self.registry {
+            println!();
+            print!("{}", registry.snapshot().to_csv());
+        }
+        Ok(())
+    }
+}
 
 fn emit(out: Option<&str>, text: &str) -> Result<(), String> {
     match out {
@@ -147,9 +222,9 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let budget = match flags.get("bandwidth") {
         None => EncounterBudget::unlimited(),
-        Some(v) => EncounterBudget::max_messages(
-            v.parse().map_err(|_| format!("--bandwidth: bad {v:?}"))?,
-        ),
+        Some(v) => {
+            EncounterBudget::max_messages(v.parse().map_err(|_| format!("--bandwidth: bad {v:?}"))?)
+        }
     };
     let relay_limit = match flags.get("storage") {
         None => None,
@@ -163,12 +238,14 @@ fn run(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("--strategy: unknown {other:?}")),
     };
 
+    let obs = ObsSetup::from_flags(&flags)?;
     let config = EmulationConfig {
         policy: policy.into(),
         budget,
         relay_limit,
         filter_strategy,
         assignment_seed: flags.num("seed", EmulationConfig::default().assignment_seed)?,
+        observer: obs.observer.clone(),
         ..EmulationConfig::default()
     };
 
@@ -187,7 +264,10 @@ fn run(args: &[String]) -> Result<(), String> {
         metrics.delivery_rate() * 100.0
     );
     if let Some(mean) = metrics.mean_delay() {
-        println!("mean delay:    {:.1} h (delivered messages)", mean.as_hours_f64());
+        println!(
+            "mean delay:    {:.1} h (delivered messages)",
+            mean.as_hours_f64()
+        );
     }
     println!(
         "within 12h:    {:.1}%",
@@ -205,7 +285,7 @@ fn run(args: &[String]) -> Result<(), String> {
     for p in metrics.delay_cdf(SimDuration::from_hours(2), SimDuration::from_hours(24)) {
         println!("  <= {:>3}  {:5.1}%", p.delay.to_string(), p.delivered_pct);
     }
-    Ok(())
+    obs.finish()
 }
 
 fn peer(args: &[String]) -> Result<(), String> {
@@ -218,9 +298,14 @@ fn peer(args: &[String]) -> Result<(), String> {
     let policy: PolicyKind = flags.get("policy").unwrap_or("epidemic").parse()?;
     let listen = flags.get("listen").ok_or("peer requires --listen")?;
 
-    let node = DtnNode::new(ReplicaId::new(id), address, policy);
+    let obs = ObsSetup::from_flags(&flags)?;
+    let mut node = DtnNode::new(ReplicaId::new(id), address, policy);
+    obs.attach(&mut node);
     let peer = Peer::start(node, listen).map_err(|e| e.to_string())?;
-    println!("peer {address} (R{id}, {policy}) listening on {}", peer.local_addr());
+    println!(
+        "peer {address} (R{id}, {policy}) listening on {}",
+        peer.local_addr()
+    );
 
     for send in flags.get_all("send") {
         let (dest, text) = send
@@ -256,51 +341,60 @@ fn peer(args: &[String]) -> Result<(), String> {
     let inbox = peer.with_node(|n| n.inbox());
     println!("inbox ({} messages):", inbox.len());
     for msg in inbox {
-        println!("  from {}: {:?}", msg.src, String::from_utf8_lossy(&msg.payload));
+        println!(
+            "  from {}: {:?}",
+            msg.src,
+            String::from_utf8_lossy(&msg.payload)
+        );
     }
     peer.stop();
-    Ok(())
+    obs.finish()
 }
 
 fn fig(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    let which = flags.get("id").ok_or("fig requires --id (5|6|7a|7b|8|9|10)")?;
+    let which = flags
+        .get("id")
+        .ok_or("fig requires --id (5|6|7a|7b|8|9|10)")?;
     let scenario = replidtn::emu::experiments::Scenario::paper();
+    let obs = ObsSetup::from_flags(&flags)?;
     match which {
-        "5" => benchkit::print_fig5(&scenario),
-        "6" => benchkit::print_fig6(&scenario),
+        "5" => benchkit::print_fig5_with(&scenario, obs.observer.clone()),
+        "6" => benchkit::print_fig6_with(&scenario, obs.observer.clone()),
         "7a" => {
-            let runs = benchkit::unconstrained_runs(&scenario);
+            let runs = benchkit::unconstrained_runs_with(&scenario, obs.observer.clone());
             benchkit::print_hourly_cdfs("Figure 7a: delay CDF (0-12 hours), unconstrained", &runs);
             benchkit::print_summary(&runs);
         }
         "7b" => {
-            let runs = benchkit::unconstrained_runs(&scenario);
+            let runs = benchkit::unconstrained_runs_with(&scenario, obs.observer.clone());
             benchkit::print_fig7b(&runs);
         }
         "8" => {
-            let runs = benchkit::unconstrained_runs(&scenario);
+            let runs = benchkit::unconstrained_runs_with(&scenario, obs.observer.clone());
             benchkit::print_fig8(&runs);
         }
         "9" => {
-            let runs = replidtn::emu::experiments::policy_comparison(
+            let runs = replidtn::emu::experiments::policy_comparison_with(
                 &scenario,
                 EncounterBudget::max_messages(1),
                 None,
+                obs.observer.clone(),
             );
             benchkit::print_hourly_cdfs("Figure 9: delay CDF, 1 message per encounter", &runs);
             benchkit::print_summary(&runs);
         }
         "10" => {
-            let runs = replidtn::emu::experiments::policy_comparison(
+            let runs = replidtn::emu::experiments::policy_comparison_with(
                 &scenario,
                 EncounterBudget::unlimited(),
                 Some(2),
+                obs.observer.clone(),
             );
             benchkit::print_hourly_cdfs("Figure 10: delay CDF, 2 relay messages per node", &runs);
             benchkit::print_summary(&runs);
         }
         other => return Err(format!("unknown figure {other:?} (try 5|6|7a|7b|8|9|10)")),
     }
-    Ok(())
+    obs.finish()
 }

@@ -11,26 +11,34 @@ pub struct Flags<'a> {
 }
 
 impl<'a> Flags<'a> {
-    /// Parses a flag list. Every argument must be a `--name` followed by a
-    /// value.
+    /// Parses a flag list: `--name value` pairs, where a flag followed by
+    /// another `--flag` (or the end of the list) is a bare boolean flag
+    /// with an empty value (see [`Flags::has`]).
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message for a bare value or a flag with no
-    /// value.
+    /// Returns a human-readable message for a bare value.
     pub fn parse(args: &'a [String]) -> Result<Flags<'a>, String> {
         let mut pairs = Vec::new();
-        let mut iter = args.iter();
+        let mut iter = args.iter().peekable();
         while let Some(flag) = iter.next() {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(format!("expected --flag, found {flag:?}"));
             };
-            let value = iter
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
-            pairs.push((name, value.as_str()));
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    iter.next().map(String::as_str).unwrap_or("")
+                }
+                _ => "",
+            };
+            pairs.push((name, value));
         }
         Ok(Flags { pairs })
+    }
+
+    /// Whether `name` was given at all (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| *n == name)
     }
 
     /// The last value given for `name`, if any (later flags override
@@ -57,10 +65,12 @@ impl<'a> Flags<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the flag when the value does not parse.
+    /// Returns a message naming the flag when the value is missing or does
+    /// not parse.
     pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
+            Some("") => Err(format!("--{name} needs a value")),
             Some(v) => v
                 .parse()
                 .map_err(|_| format!("--{name}: cannot parse {v:?}")),
@@ -94,11 +104,26 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bare_values_and_missing_values() {
+    fn rejects_bare_values() {
         let a = args(&["oops"]);
         assert!(Flags::parse(&a).unwrap_err().contains("--flag"));
+    }
+
+    #[test]
+    fn bare_flags_are_booleans() {
+        let a = args(&["--stats", "--events", "out.jsonl"]);
+        let flags = Flags::parse(&a).unwrap();
+        assert!(flags.has("stats"));
+        assert_eq!(flags.get("stats"), Some(""));
+        assert_eq!(flags.get("events"), Some("out.jsonl"));
+        assert!(!flags.has("missing"));
+        // A numeric flag left valueless is still an error.
         let a = args(&["--days"]);
-        assert!(Flags::parse(&a).unwrap_err().contains("needs a value"));
+        let flags = Flags::parse(&a).unwrap();
+        assert!(flags
+            .num("days", 1u64)
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Facade crate re-exporting the replidtn workspace.
-pub use pfr;
 pub use dtn;
-pub use traces;
 pub use emu;
+pub use obs;
+pub use pfr;
+pub use traces;
 pub use transport;
 
 pub mod cli;

@@ -16,7 +16,10 @@ fn every_policy_preserves_at_most_once_delivery() {
     for policy in PolicyKind::ALL {
         let metrics =
             Emulation::new(&s.trace, &s.workload, EmulationConfig::for_policy(policy)).run();
-        assert_eq!(metrics.duplicates, 0, "policy {policy} duplicated a delivery");
+        assert_eq!(
+            metrics.duplicates, 0,
+            "policy {policy} duplicated a delivery"
+        );
         assert_eq!(metrics.injected(), s.workload.len());
     }
 }
@@ -29,7 +32,11 @@ fn deliveries_never_precede_injection_and_copies_are_positive() {
             Emulation::new(&s.trace, &s.workload, EmulationConfig::for_policy(policy)).run();
         for rec in metrics.records() {
             if let Some(at) = rec.delivered_at {
-                assert!(at >= rec.injected_at, "{policy}: time travel for {}", rec.id);
+                assert!(
+                    at >= rec.injected_at,
+                    "{policy}: time travel for {}",
+                    rec.id
+                );
                 let copies = rec.copies_at_delivery.expect("copies recorded");
                 assert!(copies >= 1, "{policy}: delivered with zero copies");
             }
@@ -46,9 +53,12 @@ fn flooding_policies_dominate_the_baseline() {
         EmulationConfig::for_policy(PolicyKind::Direct),
     )
     .run();
-    for policy in [PolicyKind::Epidemic, PolicyKind::MaxProp, PolicyKind::SprayAndWait] {
-        let run =
-            Emulation::new(&s.trace, &s.workload, EmulationConfig::for_policy(policy)).run();
+    for policy in [
+        PolicyKind::Epidemic,
+        PolicyKind::MaxProp,
+        PolicyKind::SprayAndWait,
+    ] {
+        let run = Emulation::new(&s.trace, &s.workload, EmulationConfig::for_policy(policy)).run();
         assert!(
             run.delivered() >= base.delivered(),
             "{policy} delivered less than the baseline"

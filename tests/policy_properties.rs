@@ -35,11 +35,7 @@ fn build_nodes(n: usize, policy: PolicyKind) -> Vec<DtnNode> {
         .collect()
 }
 
-fn run_schedule(
-    nodes: &mut [DtnNode],
-    schedule: &Schedule,
-    budget: EncounterBudget,
-) -> usize {
+fn run_schedule(nodes: &mut [DtnNode], schedule: &Schedule, budget: EncounterBudget) -> usize {
     let mut duplicates = 0;
     for (step, &(a, b)) in schedule.encounters.iter().enumerate() {
         if a == b {

@@ -21,7 +21,11 @@ fn inject(nodes: &mut [DtnNode]) -> Vec<ItemId> {
         .iter()
         .map(|&(from, to)| {
             nodes[(from - 1) as usize]
-                .send(&format!("h{to}"), format!("{from}->{to}").into_bytes(), SimTime::ZERO)
+                .send(
+                    &format!("h{to}"),
+                    format!("{from}->{to}").into_bytes(),
+                    SimTime::ZERO,
+                )
                 .expect("send")
         })
         .collect()
@@ -49,7 +53,11 @@ fn snapshot(nodes: &[&DtnNode]) -> Vec<(NodeItems, usize)> {
 
 #[test]
 fn tcp_sessions_equal_in_memory_encounters() {
-    for policy in [PolicyKind::Direct, PolicyKind::Epidemic, PolicyKind::SprayAndWait] {
+    for policy in [
+        PolicyKind::Direct,
+        PolicyKind::Epidemic,
+        PolicyKind::SprayAndWait,
+    ] {
         // In-memory run.
         let mut local = make_nodes(policy);
         inject(&mut local);
@@ -86,7 +94,10 @@ fn tcp_sessions_equal_in_memory_encounters() {
             let initiator = &peers[(a - 1) as usize];
             let responder = &peers[(b - 1) as usize];
             initiator
-                .sync_with(responder.local_addr(), SimTime::from_secs(60 * (step as u64 + 1)))
+                .sync_with(
+                    responder.local_addr(),
+                    SimTime::from_secs(60 * (step as u64 + 1)),
+                )
                 .expect("tcp sync");
         }
 
