@@ -44,6 +44,11 @@ impl MemorySink {
         self.events.lock().iter().cloned().collect()
     }
 
+    /// Drains the retained events, oldest first, leaving the sink empty.
+    pub fn take(&self) -> Vec<Event> {
+        self.events.lock().drain(..).collect()
+    }
+
     /// Drops all retained events.
     pub fn clear(&self) {
         self.events.lock().clear();

@@ -499,16 +499,21 @@ pub fn prepare_batch(
     }
     if let Some(max_bytes) = limits.max_payload_bytes {
         // Cut, in priority order, at the first item that would overflow
-        // the byte budget (the encounter ends there).
+        // the byte budget (the encounter ends there). A zero budget means
+        // "no transfer at all": without the explicit guard, zero-length
+        // payloads cost nothing and an empty budget would let every such
+        // item through.
         let mut used = 0usize;
         let mut keep = 0usize;
-        for (id, _, _) in &selected {
-            let size = source.item(*id).map(|i| i.payload().len()).unwrap_or(0);
-            if used + size > max_bytes {
-                break;
+        if max_bytes > 0 {
+            for (id, _, _) in &selected {
+                let size = source.item(*id).map(|i| i.payload().len()).unwrap_or(0);
+                if used + size > max_bytes {
+                    break;
+                }
+                used += size;
+                keep += 1;
             }
-            used += size;
-            keep += 1;
         }
         if selected.len() > keep {
             withheld += selected.len() - keep;
@@ -818,6 +823,31 @@ mod tests {
         );
         assert_eq!(report.transmitted, 0);
         assert_eq!(report.withheld, 1);
+    }
+
+    #[test]
+    fn zero_limits_yield_an_empty_batch() {
+        // A zero budget of either kind means "send nothing" — it must not
+        // degenerate into an unbounded batch, even for zero-length
+        // payloads, which cost no bytes and used to slip through the byte
+        // accounting.
+        let mut a = host(1, "a");
+        a.insert(dest("b"), vec![]).unwrap();
+        a.insert(dest("b"), vec![1, 2, 3]).unwrap();
+        for limits in [SyncLimits::max_items(0), SyncLimits::max_payload_bytes(0)] {
+            let mut b = host(2, "b");
+            let report = sync_with(
+                &mut a,
+                &mut NoExtension,
+                &mut b,
+                &mut NoExtension,
+                limits,
+                SimTime::ZERO,
+            );
+            assert_eq!(report.transmitted, 0, "{limits:?} transmitted items");
+            assert_eq!(report.withheld, 2, "{limits:?} withheld count");
+            assert_eq!(b.item_count(), 0);
+        }
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub enum WireError {
     /// A collection length prefix exceeded the remaining input (corrupt or
     /// hostile input; bounds-checked before allocation).
     LengthOverflow(u64),
+    /// Recursive structures (filters, list values) nested deeper than
+    /// [`MAX_DECODE_DEPTH`] — hostile input trying to overflow the stack.
+    DepthLimit,
 }
 
 impl fmt::Display for WireError {
@@ -61,11 +64,20 @@ impl fmt::Display for WireError {
             WireError::LengthOverflow(n) => {
                 write!(f, "length prefix {n} exceeds remaining input")
             }
+            WireError::DepthLimit => {
+                write!(f, "nesting exceeds {MAX_DECODE_DEPTH} levels")
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Maximum nesting depth accepted while decoding recursive structures
+/// (filters and list values). Legitimate filters are a handful of levels
+/// deep; without a bound, a few megabytes of `Not` tags would recurse the
+/// decoder straight through the stack guard page.
+pub const MAX_DECODE_DEPTH: usize = 64;
 
 /// Append-only encoder.
 #[derive(Debug, Default)]
@@ -144,12 +156,34 @@ impl Writer {
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Reader<'a> {
     /// Creates a reader over `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Runs `f` one nesting level deeper, failing with
+    /// [`WireError::DepthLimit`] past [`MAX_DECODE_DEPTH`] levels. Every
+    /// recursive [`Decode`] implementation must route its recursion through
+    /// this so adversarial input cannot overflow the stack.
+    pub fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        if self.depth >= MAX_DECODE_DEPTH {
+            return Err(WireError::DepthLimit);
+        }
+        self.depth += 1;
+        let result = f(self);
+        self.depth -= 1;
+        result
     }
 
     /// Bytes not yet consumed.
@@ -400,7 +434,7 @@ impl Decode for Value {
             VAL_FLOAT => Ok(Value::Float(r.get_f64()?)),
             VAL_BOOL => Ok(Value::Bool(r.get_bool()?)),
             VAL_BYTES => Ok(Value::Bytes(r.get_bytes()?.to_vec())),
-            VAL_LIST => Ok(Value::List(Vec::decode(r)?)),
+            VAL_LIST => Ok(Value::List(r.nested(Vec::decode)?)),
             tag => Err(WireError::InvalidTag { what: "Value", tag }),
         }
     }
@@ -564,9 +598,9 @@ impl Decode for Filter {
                 value: Value::decode(r)?,
             }),
             FILT_EXISTS => Ok(Filter::Exists(r.get_str()?)),
-            FILT_NOT => Ok(Filter::Not(Box::new(Filter::decode(r)?))),
-            FILT_AND => Ok(Filter::And(Vec::decode(r)?)),
-            FILT_OR => Ok(Filter::Or(Vec::decode(r)?)),
+            FILT_NOT => Ok(Filter::Not(Box::new(r.nested(Filter::decode)?))),
+            FILT_AND => Ok(Filter::And(r.nested(Vec::decode)?)),
+            FILT_OR => Ok(Filter::Or(r.nested(Vec::decode)?)),
             tag => Err(WireError::InvalidTag {
                 what: "Filter",
                 tag,
@@ -896,6 +930,39 @@ mod tests {
         assert_eq!(back.entries.len(), 1);
         assert_eq!(back.entries[0].priority.cost(), 1.5);
         assert!(back.entries[0].matched_filter);
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_a_stack_overflow() {
+        // A megabyte of FILT_NOT tags: without the depth guard this
+        // recursed once per byte and blew the stack.
+        let not_bomb = vec![FILT_NOT; 1 << 20];
+        assert_eq!(from_bytes::<Filter>(&not_bomb), Err(WireError::DepthLimit));
+
+        // Same shape through Value::List: tag + length-1 per level.
+        let mut list_bomb = Vec::new();
+        for _ in 0..(1 << 19) {
+            list_bomb.push(VAL_LIST);
+            list_bomb.push(1);
+        }
+        assert_eq!(from_bytes::<Value>(&list_bomb), Err(WireError::DepthLimit));
+
+        // And/Or nest through Vec<Filter>: tag + length-1 per level.
+        let mut and_bomb = Vec::new();
+        for _ in 0..(1 << 19) {
+            and_bomb.push(FILT_AND);
+            and_bomb.push(1);
+        }
+        assert_eq!(from_bytes::<Filter>(&and_bomb), Err(WireError::DepthLimit));
+    }
+
+    #[test]
+    fn legitimate_nesting_fits_under_the_depth_limit() {
+        let mut f = Filter::address("dest", "x");
+        for _ in 0..(MAX_DECODE_DEPTH / 2) {
+            f = Filter::Not(Box::new(f));
+        }
+        roundtrip(f);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Replayable run traces: every `obs` event a simulation produced, in a
+//! deterministic order, renderable as JSONL for byte-level comparison.
+//!
+//! Two runs of the same `(seed, plan)` must produce byte-identical
+//! [`Trace::to_jsonl`] output. The only nondeterministic event the stack
+//! emits is [`obs::Event::SpanEnded`] (it carries a wall-clock duration),
+//! so the trace silently excludes it.
+
+use obs::Event;
+
+/// One recorded event: which script step produced it, on which host.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// Zero-based index of the script step that produced the event.
+    pub step: usize,
+    /// Replica id of the host that emitted the event.
+    pub host: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// An ordered, replayable record of every deterministic event in one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends one event, unless it is a (wall-clock, nondeterministic)
+    /// `SpanEnded`.
+    pub fn record(&mut self, step: usize, host: u64, event: Event) {
+        if matches!(event, Event::SpanEnded { .. }) {
+            return;
+        }
+        self.entries.push(TraceEntry { step, host, event });
+    }
+
+    /// The recorded entries in emission order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many recorded events have the given [`Event::kind`] label.
+    pub fn count(&self, kind: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.event.kind() == kind)
+            .count()
+    }
+
+    /// Renders the trace as JSON lines; each line is the event's stable
+    /// JSON rendering prefixed with the step index and emitting host.
+    /// Byte-equality of two renderings is the determinism check.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let event = entry.event.to_json();
+            out.push_str(&format!(
+                "{{\"step\":{},\"host\":{},{}\n",
+                entry.step,
+                entry.host,
+                &event[1..]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ended_is_filtered_out() {
+        let mut trace = Trace::new();
+        trace.record(
+            0,
+            1,
+            Event::SpanEnded {
+                name: "encounter",
+                replica: 1,
+                peer: 2,
+                wall_micros: 1234,
+            },
+        );
+        trace.record(
+            0,
+            1,
+            Event::ItemEvicted {
+                replica: 1,
+                origin: 2,
+                seq: 3,
+            },
+        );
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.count("item_evicted"), 1);
+        assert_eq!(trace.count("span_ended"), 0);
+    }
+
+    #[test]
+    fn jsonl_lines_carry_step_and_host() {
+        let mut trace = Trace::new();
+        trace.record(
+            3,
+            7,
+            Event::ItemEvicted {
+                replica: 7,
+                origin: 1,
+                seq: 9,
+            },
+        );
+        let text = trace.to_jsonl();
+        assert_eq!(
+            text,
+            "{\"step\":3,\"host\":7,\"event\":\"item_evicted\",\"replica\":7,\"origin\":1,\"seq\":9}\n"
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! Scripted fault scenarios: every frame-fault class, partitions, and
+//! crash-restores, run across the routing policy matrix under invariant
+//! checking, plus the determinism contract (same `(seed, script)` → byte-
+//! identical traces).
+//!
+//! The base seed honours `TESTKIT_SEED` so CI can sweep a seed matrix:
+//! every scenario here must hold for *any* seed, not a lucky one.
+
+use dtn::PolicyKind;
+use testkit::{Direction, EncounterOutcome, FaultPlan, SimRunner, SkipReason, Step};
+use transport::protocol::ProtocolError;
+
+/// The base seed for every scenario, offset by `TESTKIT_SEED` when set
+/// (the CI matrix sets 0..8).
+fn base_seed() -> u64 {
+    std::env::var("TESTKIT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(0xD7_4E)
+}
+
+/// The policies every fault scenario must survive (the paper's §VI set
+/// plus the bundled extension).
+const POLICIES: [PolicyKind; 6] = PolicyKind::EXTENDED;
+
+/// Builds a two-host runner with one pending message a → b.
+fn pair(policy: PolicyKind, seed: u64) -> (SimRunner, usize, usize) {
+    let mut sim = SimRunner::new(seed);
+    let a = sim.add_host("a", policy);
+    let b = sim.add_host("b", policy);
+    sim.send(a, "b", b"the payload under test".to_vec());
+    (sim, a, b)
+}
+
+/// Runs one single-fault scenario for every policy: the faulted encounter
+/// must end in typed errors (never a panic), and the network must still
+/// converge afterwards.
+fn faulted_then_converges(plan: &FaultPlan, expect_failure: bool) {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        let (mut sim, a, b) = pair(policy, base_seed() + i as u64);
+        let outcome = sim.encounter_with_faults(a, b, plan);
+        if expect_failure {
+            assert!(
+                !outcome.is_clean(),
+                "{policy:?}: plan {plan:?} should break the session"
+            );
+            assert!(
+                !outcome.errors().is_empty(),
+                "{policy:?}: a broken session must carry typed errors"
+            );
+        }
+        sim.assert_converged();
+        sim.with_node(b, |n| {
+            assert_eq!(n.inbox().len(), 1, "{policy:?}: message lost");
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1-7: every frame fault class, across the whole policy matrix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scenario_dropped_hello_frame() {
+    faulted_then_converges(&FaultPlan::clean().drop_frame(Direction::AToB, 0), true);
+}
+
+#[test]
+fn scenario_dropped_batch_frame() {
+    // Frame 1 B→A is the responder's SyncBatch answering the pull.
+    faulted_then_converges(&FaultPlan::clean().drop_frame(Direction::BToA, 1), true);
+}
+
+#[test]
+fn scenario_duplicated_request_frame() {
+    // The duplicate arrives where the responder expects the next protocol
+    // frame: an UnexpectedFrame error, not a double-applied request.
+    faulted_then_converges(
+        &FaultPlan::clean().duplicate_frame(Direction::AToB, 1),
+        true,
+    );
+}
+
+#[test]
+fn scenario_reordered_frames_stall_the_session() {
+    faulted_then_converges(&FaultPlan::clean().reorder_frame(Direction::AToB, 1), true);
+}
+
+#[test]
+fn scenario_truncated_batch_frame() {
+    faulted_then_converges(
+        &FaultPlan::clean().truncate_frame(Direction::BToA, 1, 9),
+        true,
+    );
+}
+
+#[test]
+fn scenario_corrupted_batch_frame() {
+    faulted_then_converges(
+        &FaultPlan::clean().corrupt_frame(Direction::BToA, 1, 17, 0x04),
+        true,
+    );
+}
+
+#[test]
+fn scenario_session_cut_mid_protocol() {
+    faulted_then_converges(&FaultPlan::clean().cut_after(Direction::AToB, 2), true);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 8: seeded random loss on a relay chain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scenario_lossy_relay_chain_still_delivers() {
+    // a → relay → b with 30% frame loss on every encounter; repeated
+    // meetings must still get the message through, under full invariant
+    // checking, for every policy that forwards.
+    for (i, policy) in [
+        PolicyKind::Epidemic,
+        PolicyKind::SprayAndWait,
+        PolicyKind::Prophet,
+        PolicyKind::MaxProp,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut sim = SimRunner::new(base_seed() + 100 + i as u64);
+        let a = sim.add_host("a", policy);
+        let r = sim.add_host("relay", policy);
+        let b = sim.add_host("b", policy);
+        sim.send(a, "b", b"through the storm".to_vec());
+        let lossy = FaultPlan::clean().drop_with_probability(0.3);
+        for _ in 0..6 {
+            sim.encounter_with_faults(a, r, &lossy);
+            sim.encounter_with_faults(r, b, &lossy);
+            sim.advance(60);
+        }
+        sim.assert_converged();
+        sim.with_node(b, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 9: a two-hour partition delays but does not lose delivery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scenario_partition_delays_but_does_not_lose() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        let mut sim = SimRunner::new(base_seed() + 200 + i as u64);
+        let a = sim.add_host("a", policy);
+        let b = sim.add_host("b", policy);
+        sim.send(a, "b", b"after the partition".to_vec());
+        sim.partition(a, b, 2 * 3600);
+        // Meetings during the partition move nothing.
+        assert!(matches!(
+            sim.encounter(a, b),
+            EncounterOutcome::Skipped(SkipReason::Partitioned)
+        ));
+        sim.advance(3600);
+        assert!(matches!(
+            sim.encounter(a, b),
+            EncounterOutcome::Skipped(SkipReason::Partitioned)
+        ));
+        sim.with_node(b, |n| assert!(n.inbox().is_empty(), "{policy:?}"));
+        // Two hours later the partition has healed.
+        sim.advance(3600);
+        let outcome = sim.encounter(a, b);
+        assert!(outcome.is_clean(), "{policy:?}: {outcome:?}");
+        sim.assert_converged();
+        sim.with_node(b, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 10: crash and restore from the last snapshot, then re-sync
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scenario_crash_restore_resyncs_without_double_delivery() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        let mut sim = SimRunner::new(base_seed() + 300 + i as u64);
+        let a = sim.add_host("a", policy);
+        let b = sim.add_host("b", policy);
+        sim.send(a, "b", b"survives the crash".to_vec());
+        // b receives the message, snapshots, then receives a second one
+        // that the crash will roll back.
+        let first = sim.encounter(a, b);
+        assert!(first.is_clean(), "{policy:?}: {first:?}");
+        sim.snapshot(b);
+        sim.send(a, "b", b"rolled back and re-synced".to_vec());
+        let second = sim.encounter(a, b);
+        assert!(second.is_clean(), "{policy:?}: {second:?}");
+        sim.with_node(b, |n| assert_eq!(n.inbox().len(), 2, "{policy:?}"));
+        // Crash: b falls back to the snapshot with only the first message.
+        sim.crash(b);
+        assert!(matches!(
+            sim.encounter(a, b),
+            EncounterOutcome::Skipped(SkipReason::Crashed)
+        ));
+        sim.restore(b);
+        sim.with_node(b, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
+        // Re-sync restores the lost message exactly once; the runner's
+        // at-most-once and monotonicity invariants watch every step.
+        sim.assert_converged();
+        sim.with_node(b, |n| assert_eq!(n.inbox().len(), 2, "{policy:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 11: faults during the *second* sync of a bigger script
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scenario_scripted_mesh_with_mixed_faults() {
+    let script = vec![
+        Step::Send {
+            from: 0,
+            dest: "c".to_string(),
+            payload: b"multi-hop".to_vec(),
+        },
+        Step::Encounter {
+            a: 0,
+            b: 1,
+            plan: FaultPlan::clean().corrupt_frame(Direction::BToA, 1, 5, 0x11),
+        },
+        Step::Advance { secs: 30 },
+        Step::Encounter {
+            a: 0,
+            b: 1,
+            plan: FaultPlan::clean(),
+        },
+        Step::Advance { secs: 30 },
+        Step::Encounter {
+            a: 1,
+            b: 2,
+            plan: FaultPlan::clean().drop_frame(Direction::AToB, 2),
+        },
+        Step::Advance { secs: 30 },
+        Step::Encounter {
+            a: 1,
+            b: 2,
+            plan: FaultPlan::clean(),
+        },
+    ];
+    for (i, policy) in [
+        PolicyKind::Epidemic,
+        PolicyKind::SprayAndWait,
+        PolicyKind::Prophet,
+        PolicyKind::MaxProp,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut sim = SimRunner::new(base_seed() + 400 + i as u64);
+        sim.add_host("a", policy);
+        sim.add_host("relay", policy);
+        sim.add_host("c", policy);
+        sim.run_script(&script);
+        sim.assert_converged();
+        sim.with_node(2, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 12: bounded relay stores hold under faulty churn
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scenario_relay_store_stays_bounded_under_faults() {
+    let mut sim = SimRunner::new(base_seed() + 500);
+    let a = sim.add_host("a", PolicyKind::Epidemic);
+    let r = sim.add_host("relay", PolicyKind::Epidemic);
+    let b = sim.add_host("b", PolicyKind::Epidemic);
+    sim.set_relay_limit(r, 4);
+    for i in 0..12 {
+        sim.send(a, "b", format!("message {i}").into_bytes());
+    }
+    let lossy = FaultPlan::clean().drop_with_probability(0.2);
+    for _ in 0..8 {
+        sim.encounter_with_faults(a, r, &lossy);
+        sim.encounter_with_faults(r, b, &lossy);
+        sim.advance(60);
+    }
+    // The bounded-store invariant ran after every step above; directly
+    // confirm the cap too.
+    sim.with_node(r, |n| assert!(n.replica().relay_load() <= 4));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same (seed, script) → byte-identical traces
+// ---------------------------------------------------------------------------
+
+/// One full faulty run, returning the rendered trace.
+fn determinism_run(seed: u64) -> String {
+    let mut sim = SimRunner::new(seed);
+    let a = sim.add_host("a", PolicyKind::MaxProp);
+    let r = sim.add_host("relay", PolicyKind::MaxProp);
+    let b = sim.add_host("b", PolicyKind::MaxProp);
+    sim.send(a, "b", b"deterministic".to_vec());
+    sim.send(b, "a", b"both ways".to_vec());
+    let lossy = FaultPlan::clean()
+        .corrupt_frame(Direction::BToA, 3, 21, 0x55)
+        .drop_with_probability(0.25);
+    for _ in 0..5 {
+        sim.encounter_with_faults(a, r, &lossy);
+        sim.advance(120);
+        sim.encounter_with_faults(r, b, &lossy);
+        sim.advance(120);
+    }
+    sim.snapshot(b);
+    sim.crash(b);
+    sim.restore(b);
+    sim.assert_converged();
+    sim.into_trace().to_jsonl()
+}
+
+#[test]
+fn same_seed_and_script_produce_byte_identical_traces() {
+    let seed = base_seed() + 600;
+    let first = determinism_run(seed);
+    let second = determinism_run(seed);
+    assert!(!first.is_empty(), "a faulty run must record events");
+    assert_eq!(first, second, "trace diverged between two identical runs");
+}
+
+#[test]
+fn different_seeds_shuffle_the_fault_schedule() {
+    // Sanity check that the seed actually reaches the fault draws: two
+    // different seeds on a probabilistic plan should (for these specific
+    // seeds) produce different traces.
+    let first = determinism_run(base_seed() + 601);
+    let second = determinism_run(base_seed() + 602);
+    assert_ne!(first, second, "seed does not influence the fault schedule");
+}
+
+// ---------------------------------------------------------------------------
+// Typed-error contract: damaged sessions never panic and always report
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncation_and_corruption_yield_typed_errors_and_reports() {
+    // Sweep truncation points and corruption offsets over a real session;
+    // every outcome must be a typed ProtocolError plus a SessionReport —
+    // never a panic, never a hang.
+    let seed = base_seed() + 700;
+    for keep in [0, 1, 5, 10, 11, 12, 40] {
+        let (mut sim, a, b) = pair(PolicyKind::Epidemic, seed + keep as u64);
+        let plan = FaultPlan::clean().truncate_frame(Direction::BToA, 1, keep);
+        match sim.encounter_with_faults(a, b, &plan) {
+            EncounterOutcome::Completed(sessions) => {
+                let err = sessions
+                    .initiator
+                    .error
+                    .as_ref()
+                    .expect("truncation must fail the initiator");
+                assert!(matches!(err, ProtocolError::Frame(_)), "keep={keep}: {err}");
+            }
+            other => panic!("keep={keep}: expected a completed-with-error pair, got {other:?}"),
+        }
+    }
+    for offset in 0..24 {
+        let (mut sim, a, b) = pair(PolicyKind::Epidemic, seed + 100 + offset as u64);
+        let plan = FaultPlan::clean().corrupt_frame(Direction::AToB, 1, offset, 0xA5);
+        match sim.encounter_with_faults(a, b, &plan) {
+            EncounterOutcome::Completed(sessions) => {
+                let err = sessions
+                    .responder
+                    .error
+                    .as_ref()
+                    .expect("corruption must fail the responder");
+                assert!(
+                    matches!(
+                        err,
+                        ProtocolError::Frame(_) | ProtocolError::UnexpectedFrame { .. }
+                    ),
+                    "offset={offset}: {err}"
+                );
+                // The responder still produced a (partial) report.
+                assert!(sessions.responder.report.peer.is_some() || offset % 2 == 0);
+            }
+            other => panic!("offset={offset}: expected completed pair, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_policy_survives_a_full_fault_sweep() {
+    // One compact sweep: for each policy, throw one fault of every class
+    // at consecutive sessions and require convergence at the end. This is
+    // the "all six policies through fault scripts" acceptance gate.
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        let seed = base_seed() + 800 + i as u64;
+        let mut sim = SimRunner::new(seed);
+        let a = sim.add_host("a", policy);
+        let b = sim.add_host("b", policy);
+        sim.send(a, "b", b"sweep one".to_vec());
+        sim.send(b, "a", b"sweep two".to_vec());
+        let plans = [
+            FaultPlan::clean().drop_frame(Direction::AToB, 0),
+            FaultPlan::clean().duplicate_frame(Direction::BToA, 0),
+            FaultPlan::clean().reorder_frame(Direction::BToA, 1),
+            FaultPlan::clean().truncate_frame(Direction::AToB, 1, 3),
+            FaultPlan::clean().corrupt_frame(Direction::AToB, 1, 2, 0xFF),
+            FaultPlan::clean().cut_after(Direction::BToA, 2),
+        ];
+        for plan in &plans {
+            sim.encounter_with_faults(a, b, plan);
+            sim.advance(30);
+        }
+        sim.assert_converged();
+        sim.with_node(a, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
+        sim.with_node(b, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
+    }
+}

@@ -1,0 +1,56 @@
+//! The transport seam: a [`Connection`] is the byte duplex a sync session
+//! runs over.
+//!
+//! The protocol state machine in [`crate::protocol`] only needs a reader
+//! and a writer; abstracting them behind this trait lets the same session
+//! code drive a real TCP socket ([`TcpConnection`]) or an in-memory
+//! fault-injecting link (the testkit's `SimNet`), which is how the fault
+//! harness exercises the exact code path production uses.
+
+use std::fmt;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+
+/// A bidirectional byte stream a sync session can run over.
+///
+/// Implementations hand out their two halves so a session can interleave
+/// reads and writes; the halves borrow from `self`, so one session owns
+/// the connection for its duration.
+pub trait Connection {
+    /// Returns the read and write halves of the duplex.
+    fn halves(&mut self) -> (&mut dyn Read, &mut dyn Write);
+}
+
+/// A [`Connection`] over a TCP stream, buffered in both directions.
+pub struct TcpConnection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpConnection {
+    /// Wraps a connected stream, cloning the handle for the read half.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from cloning the stream handle.
+    pub fn new(stream: TcpStream) -> std::io::Result<TcpConnection> {
+        Ok(TcpConnection {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+}
+
+impl Connection for TcpConnection {
+    fn halves(&mut self) -> (&mut dyn Read, &mut dyn Write) {
+        (&mut self.reader, &mut self.writer)
+    }
+}
+
+impl fmt::Debug for TcpConnection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpConnection")
+            .field("peer_addr", &self.reader.get_ref().peer_addr().ok())
+            .finish()
+    }
+}

@@ -3,16 +3,19 @@
 //! Every protocol message travels as one frame:
 //!
 //! ```text
-//! +----------+----------+------------------+
-//! | magic(2) | type(1)  | length(4, LE)    |  header, 7 bytes
-//! +----------+----------+------------------+
-//! | payload (length bytes, wire-encoded)   |
-//! +-----------------------------------------+
+//! +----------+----------+----------------+--------------+
+//! | magic(2) | type(1)  | length(4, LE)  | crc32(4, LE) |  header, 11 bytes
+//! +----------+----------+----------------+--------------+
+//! | payload (length bytes, wire-encoded)                |
+//! +-----------------------------------------------------+
 //! ```
 //!
 //! The magic bytes detect protocol mismatches immediately; the length
 //! field is bounded to keep a malicious peer from forcing huge
-//! allocations.
+//! allocations; the CRC-32 (computed over the type byte, the length
+//! field, and the payload) turns bit corruption anywhere past the magic
+//! into a typed [`FrameError::BadChecksum`] instead of silently
+//! delivering a damaged item — DTN links are exactly where that happens.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -49,6 +52,53 @@ pub const MAGIC: [u8; 2] = [0xD7, 0x4E]; // "DTN"-ish
 /// Hard cap on frame payloads (16 MiB).
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 
+/// Size of the frame header: magic, type, length, CRC-32.
+pub const HEADER_LEN: usize = 11;
+
+/// Largest single allocation made before payload bytes actually arrive;
+/// bigger (still capped) payloads grow the buffer as data is read, so a
+/// lying length prefix cannot reserve 16 MiB up front.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`, continuing from `crc`.
+/// Hand-rolled table-driven implementation: the workspace builds offline,
+/// so no checksum crate is available.
+pub fn crc32(crc: u32, bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                bit += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !crc;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The frame checksum: CRC-32 over the type tag, the LE length field, and
+/// the payload.
+fn frame_checksum(frame_type: u8, len: u32, payload: &[u8]) -> u32 {
+    let mut prefix = [0u8; 5];
+    prefix[0] = frame_type;
+    prefix[1..].copy_from_slice(&len.to_le_bytes());
+    crc32(crc32(0, &prefix), payload)
+}
+
 /// Errors from reading or writing frames.
 #[derive(Debug)]
 pub enum FrameError {
@@ -60,6 +110,14 @@ pub enum FrameError {
     BadType(u8),
     /// A frame exceeded [`MAX_FRAME_LEN`].
     TooLarge(u32),
+    /// The frame checksum did not match: the bytes were corrupted in
+    /// flight (or by a fault injector).
+    BadChecksum {
+        /// Checksum carried in the header.
+        expected: u32,
+        /// Checksum computed over the received bytes.
+        got: u32,
+    },
     /// Frame payload failed to decode.
     Decode(pfr::wire::WireError),
 }
@@ -71,6 +129,12 @@ impl fmt::Display for FrameError {
             FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
             FrameError::BadType(t) => write!(f, "unknown frame type {t}"),
             FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::BadChecksum { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:08x}, computed {got:08x}"
+                )
+            }
             FrameError::Decode(e) => write!(f, "payload decode failed: {e}"),
         }
     }
@@ -112,10 +176,12 @@ pub fn write_frame<W: Write>(
     if payload.len() as u64 > u64::from(MAX_FRAME_LEN) {
         return Err(FrameError::TooLarge(payload.len() as u32));
     }
-    let mut header = [0u8; 7];
+    let len = payload.len() as u32;
+    let mut header = [0u8; HEADER_LEN];
     header[..2].copy_from_slice(&MAGIC);
     header[2] = frame_type as u8;
-    header[3..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[3..7].copy_from_slice(&len.to_le_bytes());
+    header[7..].copy_from_slice(&frame_checksum(frame_type as u8, len, payload).to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()?;
@@ -129,7 +195,7 @@ pub fn write_frame<W: Write>(
 /// Any [`FrameError`] variant; EOF mid-frame surfaces as
 /// [`FrameError::Io`].
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameType, Vec<u8>), FrameError> {
-    let mut header = [0u8; 7];
+    let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     if header[..2] != MAGIC {
         return Err(FrameError::BadMagic([header[0], header[1]]));
@@ -139,8 +205,21 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameType, Vec<u8>), FrameError
     if len > MAX_FRAME_LEN {
         return Err(FrameError::TooLarge(len));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let expected = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+    // Read the payload in bounded chunks: allocation tracks bytes actually
+    // received, so a lying length field cannot reserve the full cap.
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let chunk = (len - payload.len()).min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + chunk, 0);
+        r.read_exact(&mut payload[start..])?;
+    }
+    let got = frame_checksum(header[2], len as u32, &payload);
+    if got != expected {
+        return Err(FrameError::BadChecksum { expected, got });
+    }
     Ok((frame_type, payload))
 }
 
@@ -199,6 +278,37 @@ mod tests {
         buf[3..7].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
         assert!(matches!(err, FrameError::TooLarge(_)));
+    }
+
+    #[test]
+    fn corrupted_payload_byte_is_a_checksum_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::SyncBatch, b"precious payload").unwrap();
+        for pos in HEADER_LEN..buf.len() {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x40;
+            let err = read_frame(&mut Cursor::new(&bad)).unwrap_err();
+            assert!(
+                matches!(err, FrameError::BadChecksum { .. }),
+                "flip at {pos}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_crc_field_is_a_checksum_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::SyncDone, b"").unwrap();
+        buf[7] ^= 0x01;
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, FrameError::BadChecksum { .. }));
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
     }
 
     #[test]

@@ -25,11 +25,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod conn;
 pub mod frame;
 pub mod protocol;
 
 mod mesh;
 mod peer;
 
+pub use conn::{Connection, TcpConnection};
 pub use mesh::{Mesh, MeshConfig};
 pub use peer::{Peer, SessionReport, TransportError};
+pub use protocol::SessionOutcome;

@@ -151,21 +151,24 @@ impl Mesh {
         let now = SimTime::from_secs(self.started.elapsed().as_secs());
         let mut synced = 0;
         for addr in targets {
-            if self.peer.sync_with(addr, now).is_ok() {
-                synced += 1;
-            } else {
-                // The session never completed, so the protocol layer had no
-                // chance to report it; record the failed attempt here.
-                let (replica, obs) =
-                    self.with_node(|n| (n.id().as_u64(), n.replica().observer().clone()));
-                obs.emit(|| obs::Event::TransportSync {
-                    replica,
-                    peer: 0,
-                    served: 0,
-                    delivered: 0,
-                    frame_bytes: 0,
-                    ok: false,
-                });
+            match self.peer.sync_with(addr, now) {
+                Ok(_) => synced += 1,
+                Err(TransportError::Io(_)) => {
+                    // The connection never came up, so the protocol layer had
+                    // no chance to report it; record the failed attempt here.
+                    // (Mid-session failures already self-report.)
+                    let (replica, obs) =
+                        self.with_node(|n| (n.id().as_u64(), n.replica().observer().clone()));
+                    obs.emit(|| obs::Event::TransportSync {
+                        replica,
+                        peer: 0,
+                        served: 0,
+                        delivered: 0,
+                        frame_bytes: 0,
+                        ok: false,
+                    });
+                }
+                Err(TransportError::Protocol(_)) => {}
             }
         }
         synced

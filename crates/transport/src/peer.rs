@@ -1,7 +1,6 @@
 //! TCP peers: real processes replicating over sockets.
 
 use std::fmt;
-use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -13,6 +12,7 @@ use parking_lot::Mutex;
 use pfr::sync::SyncReport;
 use pfr::{ReplicaId, SimTime, SyncLimits};
 
+use crate::conn::TcpConnection;
 use crate::frame::FrameError;
 use crate::protocol::{self, ProtocolError};
 
@@ -175,22 +175,18 @@ impl Peer {
         let stream = TcpStream::connect_timeout(&remote, Duration::from_secs(5))?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut writer = BufWriter::new(stream);
-        let report =
-            protocol::run_initiator(&mut reader, &mut writer, &self.node, now, self.limits)?;
-        Ok(report)
+        let mut conn = TcpConnection::new(stream)?;
+        let outcome = protocol::initiate_session(&mut conn, &self.node, now, self.limits);
+        outcome.into_result().map_err(TransportError::from)
     }
 
     /// Stops the accept loop and returns the node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the accept thread itself panicked.
     pub fn stop(mut self) -> DtnNode {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
-            handle.join().expect("accept thread panicked");
+            // A panicked accept thread has already torn down the listener;
+            // the node is still intact, so recover it rather than re-panic.
+            let _ = handle.join();
         }
         // The accept loop has exited, so this is the only Arc holder now —
         // but sessions may briefly hold clones; spin until unique.
@@ -257,8 +253,8 @@ fn serve_session(
 ) -> Result<(), TransportError> {
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    protocol::run_responder(&mut reader, &mut writer, &node, limits)?;
+    let mut conn = TcpConnection::new(stream)?;
+    let outcome = protocol::respond_session(&mut conn, &node, limits);
+    outcome.into_result().map_err(TransportError::from)?;
     Ok(())
 }

@@ -12,6 +12,7 @@ use pfr::sync::{SyncBatch, SyncRequest};
 use pfr::wire::{from_bytes, to_bytes, Decode, Encode, Reader as WireReader, Writer as WireWriter};
 use pfr::{ReplicaId, SimTime, SyncLimits};
 
+use crate::conn::Connection;
 use crate::frame::{read_frame, write_frame, FrameError, FrameType};
 use crate::peer::SessionReport;
 
@@ -95,15 +96,39 @@ fn decode_payload<T: Decode>(payload: &[u8]) -> Result<T, ProtocolError> {
     from_bytes(payload).map_err(|e| ProtocolError::Frame(FrameError::Decode(e)))
 }
 
-/// Runs the initiator side: hello, pull (we are target), then serve the
-/// responder's pull (we are source).
-pub fn run_initiator<R: Read, W: Write>(
+/// The outcome of one session drive: whatever progress the session made
+/// before it completed or failed, plus the typed error that ended it (if
+/// any). Faulty links routinely kill sessions mid-transfer; the partial
+/// report is what lets callers and the fault harness account for the
+/// state that *did* replicate before the cut.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct SessionOutcome {
+    /// Progress made before the session ended (possibly partial).
+    pub report: SessionReport,
+    /// The error that terminated the session, or `None` on clean close.
+    pub error: Option<ProtocolError>,
+}
+
+impl SessionOutcome {
+    /// Converts to a `Result`, discarding partial progress on error.
+    pub fn into_result(self) -> Result<SessionReport, ProtocolError> {
+        match self.error {
+            None => Ok(self.report),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+fn initiator_steps<R: Read, W: Write>(
     reader: &mut R,
     writer: &mut W,
     node: &Arc<Mutex<DtnNode>>,
     now: SimTime,
     limits: SyncLimits,
-) -> Result<SessionReport, ProtocolError> {
+    report: &mut SessionReport,
+    frame_bytes: &mut u64,
+) -> Result<(), ProtocolError> {
     // Hello exchange.
     let (my_id, obs) = {
         let node = node.lock();
@@ -113,69 +138,56 @@ pub fn run_initiator<R: Read, W: Write>(
         replica: my_id,
         now,
     };
-    let mut frame_bytes;
     let hello_bytes = to_bytes(&my_hello);
-    frame_bytes = hello_bytes.len() as u64;
+    *frame_bytes += hello_bytes.len() as u64;
     write_frame(writer, FrameType::Hello, &hello_bytes)?;
     let hello_payload = expect(reader, FrameType::Hello)?;
-    frame_bytes += hello_payload.len() as u64;
+    *frame_bytes += hello_payload.len() as u64;
     let peer_hello: Hello = decode_payload(&hello_payload)?;
     let peer = peer_hello.replica;
+    report.peer = Some(peer);
     let span = Span::start(&obs, "transport.initiator", my_id.as_u64(), peer.as_u64());
 
     // Direction 1: we are the target and pull from the responder.
     let request = node.lock().begin_sync_session(peer, now);
     let request_bytes = to_bytes(&request);
-    frame_bytes += request_bytes.len() as u64;
+    *frame_bytes += request_bytes.len() as u64;
     write_frame(writer, FrameType::SyncRequest, &request_bytes)?;
     let batch_payload = expect(reader, FrameType::SyncBatch)?;
-    frame_bytes += batch_payload.len() as u64;
+    *frame_bytes += batch_payload.len() as u64;
     let batch: SyncBatch = decode_payload(&batch_payload)?;
-    let pulled = node.lock().apply_sync(batch, now);
+    report.pulled = Some(node.lock().apply_sync(batch, now));
     write_frame(writer, FrameType::SyncDone, &[])?;
 
     // Direction 2: the responder pulls from us.
     let request_payload = expect(reader, FrameType::SyncRequest)?;
-    frame_bytes += request_payload.len() as u64;
+    *frame_bytes += request_payload.len() as u64;
     let peer_request: SyncRequest = decode_payload(&request_payload)?;
     let batch = node.lock().respond_sync(&peer_request, limits, now);
-    let served = batch.entries.len();
+    report.served = batch.entries.len();
     let batch_bytes = to_bytes(&batch);
-    frame_bytes += batch_bytes.len() as u64;
+    *frame_bytes += batch_bytes.len() as u64;
     write_frame(writer, FrameType::SyncBatch, &batch_bytes)?;
     expect(reader, FrameType::SyncDone)?;
-
-    let delivered = pulled.delivered as u64;
-    obs.emit(|| Event::TransportSync {
-        replica: my_id.as_u64(),
-        peer: peer.as_u64(),
-        served: served as u64,
-        delivered,
-        frame_bytes,
-        ok: true,
-    });
     span.finish();
-
-    Ok(SessionReport {
-        peer: Some(peer),
-        pulled: Some(pulled),
-        served,
-    })
+    Ok(())
 }
 
-/// Runs the responder side of a session accepted from the network.
-pub fn run_responder<R: Read, W: Write>(
+fn responder_steps<R: Read, W: Write>(
     reader: &mut R,
     writer: &mut W,
     node: &Arc<Mutex<DtnNode>>,
     limits: SyncLimits,
-) -> Result<SessionReport, ProtocolError> {
+    report: &mut SessionReport,
+    frame_bytes: &mut u64,
+) -> Result<(), ProtocolError> {
     // Hello exchange: adopt the initiator's clock for this encounter.
     let hello_payload = expect(reader, FrameType::Hello)?;
-    let mut frame_bytes = hello_payload.len() as u64;
+    *frame_bytes += hello_payload.len() as u64;
     let peer_hello: Hello = decode_payload(&hello_payload)?;
     let peer = peer_hello.replica;
     let now = peer_hello.now;
+    report.peer = Some(peer);
     let (my_id, obs) = {
         let node = node.lock();
         (node.id(), node.replica().observer().clone())
@@ -186,47 +198,160 @@ pub fn run_responder<R: Read, W: Write>(
         now,
     };
     let hello_bytes = to_bytes(&my_hello);
-    frame_bytes += hello_bytes.len() as u64;
+    *frame_bytes += hello_bytes.len() as u64;
     write_frame(writer, FrameType::Hello, &hello_bytes)?;
 
     // Direction 1: the initiator pulls from us.
     let request_payload = expect(reader, FrameType::SyncRequest)?;
-    frame_bytes += request_payload.len() as u64;
+    *frame_bytes += request_payload.len() as u64;
     let request: SyncRequest = decode_payload(&request_payload)?;
     let batch = node.lock().respond_sync(&request, limits, now);
-    let served = batch.entries.len();
+    report.served = batch.entries.len();
     let batch_bytes = to_bytes(&batch);
-    frame_bytes += batch_bytes.len() as u64;
+    *frame_bytes += batch_bytes.len() as u64;
     write_frame(writer, FrameType::SyncBatch, &batch_bytes)?;
     expect(reader, FrameType::SyncDone)?;
 
     // Direction 2: we pull from the initiator.
     let request = node.lock().begin_sync_session(peer, now);
     let request_bytes = to_bytes(&request);
-    frame_bytes += request_bytes.len() as u64;
+    *frame_bytes += request_bytes.len() as u64;
     write_frame(writer, FrameType::SyncRequest, &request_bytes)?;
     let batch_payload = expect(reader, FrameType::SyncBatch)?;
-    frame_bytes += batch_payload.len() as u64;
+    *frame_bytes += batch_payload.len() as u64;
     let batch: SyncBatch = decode_payload(&batch_payload)?;
-    let pulled = node.lock().apply_sync(batch, now);
+    report.pulled = Some(node.lock().apply_sync(batch, now));
     write_frame(writer, FrameType::SyncDone, &[])?;
+    span.finish();
+    Ok(())
+}
 
-    let delivered = pulled.delivered as u64;
+/// Emits the per-session `TransportSync` event from whatever progress the
+/// report records, whether the session completed or died mid-protocol.
+fn emit_session_event(
+    node: &Arc<Mutex<DtnNode>>,
+    report: &SessionReport,
+    frame_bytes: u64,
+    ok: bool,
+) {
+    let (my_id, obs) = {
+        let node = node.lock();
+        (node.id(), node.replica().observer().clone())
+    };
+    let peer = report.peer.map(|p| p.as_u64()).unwrap_or(0);
+    let served = report.served as u64;
+    let delivered = report
+        .pulled
+        .as_ref()
+        .map(|p| p.delivered as u64)
+        .unwrap_or(0);
     obs.emit(|| Event::TransportSync {
         replica: my_id.as_u64(),
-        peer: peer.as_u64(),
-        served: served as u64,
+        peer,
+        served,
         delivered,
         frame_bytes,
-        ok: true,
+        ok,
     });
-    span.finish();
+}
 
-    Ok(SessionReport {
-        peer: Some(peer),
-        pulled: Some(pulled),
-        served,
-    })
+/// Drives the initiator side of a session over any [`Connection`]: hello,
+/// pull (we are target), then serve the responder's pull (we are source).
+///
+/// Never panics on link faults: every failure surfaces as a typed
+/// [`ProtocolError`] inside the returned [`SessionOutcome`], alongside the
+/// partial [`SessionReport`] for whatever replicated before the failure.
+pub fn initiate_session(
+    conn: &mut dyn Connection,
+    node: &Arc<Mutex<DtnNode>>,
+    now: SimTime,
+    limits: SyncLimits,
+) -> SessionOutcome {
+    let (mut reader, mut writer) = conn.halves();
+    let mut report = SessionReport::default();
+    let mut frame_bytes = 0u64;
+    let error = initiator_steps(
+        &mut reader,
+        &mut writer,
+        node,
+        now,
+        limits,
+        &mut report,
+        &mut frame_bytes,
+    )
+    .err();
+    emit_session_event(node, &report, frame_bytes, error.is_none());
+    SessionOutcome { report, error }
+}
+
+/// Drives the responder side of a session accepted from any
+/// [`Connection`]; see [`initiate_session`] for the failure contract.
+pub fn respond_session(
+    conn: &mut dyn Connection,
+    node: &Arc<Mutex<DtnNode>>,
+    limits: SyncLimits,
+) -> SessionOutcome {
+    let (mut reader, mut writer) = conn.halves();
+    let mut report = SessionReport::default();
+    let mut frame_bytes = 0u64;
+    let error = responder_steps(
+        &mut reader,
+        &mut writer,
+        node,
+        limits,
+        &mut report,
+        &mut frame_bytes,
+    )
+    .err();
+    emit_session_event(node, &report, frame_bytes, error.is_none());
+    SessionOutcome { report, error }
+}
+
+/// Runs the initiator side over split reader/writer halves, failing
+/// without partial progress. Prefer [`initiate_session`] for new code.
+///
+/// # Errors
+///
+/// Any [`ProtocolError`] from the session.
+pub fn run_initiator<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    node: &Arc<Mutex<DtnNode>>,
+    now: SimTime,
+    limits: SyncLimits,
+) -> Result<SessionReport, ProtocolError> {
+    let mut report = SessionReport::default();
+    let mut frame_bytes = 0u64;
+    let result = initiator_steps(
+        reader,
+        writer,
+        node,
+        now,
+        limits,
+        &mut report,
+        &mut frame_bytes,
+    );
+    emit_session_event(node, &report, frame_bytes, result.is_ok());
+    result.map(|()| report)
+}
+
+/// Runs the responder side over split reader/writer halves, failing
+/// without partial progress. Prefer [`respond_session`] for new code.
+///
+/// # Errors
+///
+/// Any [`ProtocolError`] from the session.
+pub fn run_responder<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    node: &Arc<Mutex<DtnNode>>,
+    limits: SyncLimits,
+) -> Result<SessionReport, ProtocolError> {
+    let mut report = SessionReport::default();
+    let mut frame_bytes = 0u64;
+    let result = responder_steps(reader, writer, node, limits, &mut report, &mut frame_bytes);
+    emit_session_event(node, &report, frame_bytes, result.is_ok());
+    result.map(|()| report)
 }
 
 #[cfg(test)]
