@@ -1,0 +1,398 @@
+//! Durability seam: a [`DtnNode`] backed by the crash-safe [`store`]
+//! engine, so replica items, knowledge, addresses, and routing state all
+//! survive `kill -9`.
+//!
+//! The node's whole state serializes to one snapshot (see
+//! [`DtnNode::snapshot`]); persistence writes that snapshot as a single
+//! `Put` into the store's WAL. Whole-value puts make replay idempotent,
+//! so a crash between fsync and anything else costs at most the syncs
+//! since the last [`DtnNode::persist`] — and at-most-once delivery still
+//! holds, because a restored node's knowledge matches its restored items
+//! and the protocol simply re-replicates whatever was lost.
+
+use std::path::Path;
+
+use obs::Obs;
+use pfr::{PfrError, ReplicaId, SimTime};
+use store::{RecoveryReport, Store, StoreConfig, StoreError};
+
+use crate::host::DtnNode;
+use crate::policy::PolicyKind;
+
+/// Store key holding the node snapshot.
+const KEY_NODE: &[u8] = b"node";
+/// Store key holding the sim time of the last persist (varint seconds).
+const KEY_PERSISTED_AT: &[u8] = b"meta/persisted_at";
+
+/// Why a persisted node could not be brought back.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RestoreError {
+    /// The snapshot bytes were corrupt (see the inner [`PfrError`]).
+    Snapshot(PfrError),
+    /// The snapshot names a policy outside the bundled registry.
+    UnknownPolicy(String),
+    /// The snapshot was written under a different policy than the one
+    /// now configured; routing state is not transferable between
+    /// policies, so this is an error rather than a silent reset.
+    PolicyMismatch {
+        /// Policy name stored in the snapshot.
+        persisted: String,
+        /// Policy name the caller configured.
+        expected: String,
+    },
+    /// The persisted node has a different replica id than the one now
+    /// configured — almost certainly a data directory mix-up, and
+    /// resuming under a new id would violate at-most-once delivery.
+    IdMismatch {
+        /// Replica id stored in the data directory.
+        persisted: ReplicaId,
+        /// Replica id the caller configured.
+        expected: ReplicaId,
+    },
+    /// The storage engine failed (I/O, not corruption — corruption is
+    /// tolerated by recovery and surfaces in the [`RecoveryReport`]).
+    Store(StoreError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Snapshot(e) => write!(f, "node snapshot: {e}"),
+            RestoreError::UnknownPolicy(name) => {
+                write!(f, "snapshot names unknown policy {name:?}")
+            }
+            RestoreError::PolicyMismatch {
+                persisted,
+                expected,
+            } => write!(
+                f,
+                "persisted policy {persisted:?} does not match configured policy {expected:?}"
+            ),
+            RestoreError::IdMismatch {
+                persisted,
+                expected,
+            } => write!(
+                f,
+                "data directory belongs to replica {persisted}, not {expected}"
+            ),
+            RestoreError::Store(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RestoreError::Snapshot(e) => Some(e),
+            RestoreError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PfrError> for RestoreError {
+    fn from(e: PfrError) -> Self {
+        RestoreError::Snapshot(e)
+    }
+}
+
+impl From<StoreError> for RestoreError {
+    fn from(e: StoreError) -> Self {
+        RestoreError::Store(e)
+    }
+}
+
+impl DtnNode {
+    /// Opens (creating if necessary) a durable node whose state lives in
+    /// `dir`. A fresh directory yields a new node with `id`, `address`,
+    /// and `kind`; an existing one restores the persisted node — items,
+    /// knowledge, addresses, routing state — after validating that the
+    /// configured policy and replica id match what was persisted. The
+    /// configured `address` is added to a restored node's address set if
+    /// the snapshot predates it.
+    ///
+    /// # Errors
+    ///
+    /// See [`RestoreError`]. Torn WAL tails and corrupt checkpoints are
+    /// *not* errors — the engine recovers past them; inspect
+    /// [`DtnNode::store`]'s [`RecoveryReport`] for what was tolerated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dtn::{DtnNode, PolicyKind};
+    /// use pfr::{ReplicaId, SimTime};
+    ///
+    /// let dir = std::env::temp_dir().join("dtn-open-doc");
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// let mut node = DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Epidemic)?;
+    /// node.send("b", b"durable".to_vec(), SimTime::ZERO).unwrap();
+    /// node.persist(SimTime::ZERO)?;
+    /// drop(node); // or kill -9
+    ///
+    /// let node = DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Epidemic)?;
+    /// assert_eq!(node.replica().item_ids().len(), 1);
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// # Ok::<(), dtn::RestoreError>(())
+    /// ```
+    pub fn open(
+        dir: impl AsRef<Path>,
+        id: ReplicaId,
+        address: &str,
+        kind: PolicyKind,
+    ) -> Result<DtnNode, RestoreError> {
+        DtnNode::open_observed(dir, id, address, kind, Obs::none())
+    }
+
+    /// [`DtnNode::open`] with an observer receiving the store's WAL,
+    /// checkpoint, and recovery events. The observer is *not* attached
+    /// to the replica — wire that separately via
+    /// [`pfr::Replica::set_observer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DtnNode::open`].
+    pub fn open_observed(
+        dir: impl AsRef<Path>,
+        id: ReplicaId,
+        address: &str,
+        kind: PolicyKind,
+        obs: Obs,
+    ) -> Result<DtnNode, RestoreError> {
+        let store = Store::open_with(dir, StoreConfig::default(), obs)?;
+        let mut node = match store.get(KEY_NODE) {
+            Some(bytes) => {
+                let node = DtnNode::restore(bytes)?;
+                if node.policy().name() != kind.label() {
+                    return Err(RestoreError::PolicyMismatch {
+                        persisted: node.policy().name().to_string(),
+                        expected: kind.label().to_string(),
+                    });
+                }
+                if node.id() != id {
+                    return Err(RestoreError::IdMismatch {
+                        persisted: node.id(),
+                        expected: id,
+                    });
+                }
+                node
+            }
+            None => DtnNode::new(id, address, kind),
+        };
+        node.ensure_address(address);
+        node.store = Some(store);
+        Ok(node)
+    }
+
+    /// Attaches an already-opened store, making [`DtnNode::persist`]
+    /// write there. Used when nodes are built some other way (e.g. the
+    /// emulator) and durability is bolted on afterwards.
+    pub fn attach_store(&mut self, store: Store) {
+        self.store = Some(store);
+    }
+
+    /// The attached store, if this node is durable.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Writes the node's full snapshot to the attached store — WAL
+    /// append, fsynced under the default config — plus the persist
+    /// timestamp. Returns `false` (doing nothing) when no store is
+    /// attached, so callers can persist unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on I/O failure; in-memory state is unaffected.
+    pub fn persist(&mut self, now: SimTime) -> Result<bool, StoreError> {
+        if self.store.is_none() {
+            return Ok(false);
+        }
+        let snapshot = self.snapshot();
+        let mut w = pfr::wire::Writer::new();
+        w.put_varint(now.as_secs());
+        let stamp = w.into_bytes();
+        let store = self.store.as_mut().expect("checked above");
+        store.put(KEY_NODE, &snapshot)?;
+        store.put(KEY_PERSISTED_AT, &stamp)?;
+        Ok(true)
+    }
+
+    /// The sim time of the last [`DtnNode::persist`] recorded in the
+    /// attached store, if any.
+    pub fn persisted_at(&self) -> Option<SimTime> {
+        let bytes = self.store.as_ref()?.get(KEY_PERSISTED_AT)?;
+        let mut r = pfr::wire::Reader::new(bytes);
+        r.get_varint().ok().map(SimTime::from_secs)
+    }
+
+    /// What the storage engine's recovery found when this node's store
+    /// was opened (`None` for non-durable nodes).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.store.as_ref().map(Store::recovery)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::EncounterBudget;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dtn-durable-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_persist_reopen_preserves_inbox_and_knowledge() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let mut peer = DtnNode::new(ReplicaId::new(2), "b", PolicyKind::Epidemic);
+            let mut node =
+                DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Epidemic).unwrap();
+            assert!(node.recovery().is_some());
+            peer.send("a", b"to a".to_vec(), SimTime::ZERO).unwrap();
+            node.encounter(
+                &mut peer,
+                SimTime::from_secs(60),
+                EncounterBudget::unlimited(),
+            );
+            assert_eq!(node.inbox().len(), 1);
+            assert!(node.persist(SimTime::from_secs(60)).unwrap());
+            // Dropped without any orderly shutdown: the WAL already has it.
+        }
+        let node = DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Epidemic).unwrap();
+        assert_eq!(node.inbox().len(), 1);
+        assert_eq!(node.inbox()[0].payload, b"to a");
+        assert_eq!(node.persisted_at(), Some(SimTime::from_secs(60)));
+        assert!(node.recovery().unwrap().recovered_state());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_node_does_not_accept_duplicates() {
+        let dir = tmp_dir("amo");
+        let mut peer = DtnNode::new(ReplicaId::new(2), "b", PolicyKind::Epidemic);
+        {
+            let mut node =
+                DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Epidemic).unwrap();
+            peer.send("a", b"once".to_vec(), SimTime::ZERO).unwrap();
+            node.encounter(
+                &mut peer,
+                SimTime::from_secs(1),
+                EncounterBudget::unlimited(),
+            );
+            node.persist(SimTime::from_secs(1)).unwrap();
+        }
+        let mut node = DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Epidemic).unwrap();
+        let report = node.encounter(
+            &mut peer,
+            SimTime::from_secs(2),
+            EncounterBudget::unlimited(),
+        );
+        assert_eq!(report.transmitted, 0, "knowledge survived the restart");
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(node.inbox().len(), 1, "exactly once, not twice");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unpersisted_tail_is_rereplicated_not_duplicated() {
+        // Crash *after* receiving but *before* persisting: the restored
+        // node is behind, and the protocol re-sends without duplicating.
+        let dir = tmp_dir("tail");
+        let mut peer = DtnNode::new(ReplicaId::new(2), "b", PolicyKind::Epidemic);
+        {
+            let mut node =
+                DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Epidemic).unwrap();
+            peer.send("a", b"early".to_vec(), SimTime::ZERO).unwrap();
+            node.encounter(
+                &mut peer,
+                SimTime::from_secs(1),
+                EncounterBudget::unlimited(),
+            );
+            node.persist(SimTime::from_secs(1)).unwrap();
+            peer.send("a", b"late".to_vec(), SimTime::ZERO).unwrap();
+            node.encounter(
+                &mut peer,
+                SimTime::from_secs(2),
+                EncounterBudget::unlimited(),
+            );
+            assert_eq!(node.inbox().len(), 2);
+            // Crash without persisting the second delivery.
+        }
+        let mut node = DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Epidemic).unwrap();
+        assert_eq!(node.inbox().len(), 1, "rolled back to the persist point");
+        let report = node.encounter(
+            &mut peer,
+            SimTime::from_secs(3),
+            EncounterBudget::unlimited(),
+        );
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(node.inbox().len(), 2, "lost delivery re-replicated");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_policy_and_id_mismatches() {
+        let dir = tmp_dir("mismatch");
+        {
+            let mut node =
+                DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Prophet).unwrap();
+            node.persist(SimTime::ZERO).unwrap();
+        }
+        let err = DtnNode::open(&dir, ReplicaId::new(1), "a", PolicyKind::Epidemic).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                RestoreError::PolicyMismatch { persisted, expected }
+                    if persisted == "prophet" && expected == "epidemic"
+            ),
+            "got {err:?}"
+        );
+        let err = DtnNode::open(&dir, ReplicaId::new(9), "a", PolicyKind::Prophet).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                RestoreError::IdMismatch { persisted, expected }
+                    if *persisted == ReplicaId::new(1) && *expected == ReplicaId::new(9)
+            ),
+            "got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn configured_address_is_added_to_a_restored_node() {
+        let dir = tmp_dir("addr");
+        {
+            let mut node =
+                DtnNode::open(&dir, ReplicaId::new(1), "old", PolicyKind::Direct).unwrap();
+            node.persist(SimTime::ZERO).unwrap();
+        }
+        let node = DtnNode::open(&dir, ReplicaId::new(1), "new", PolicyKind::Direct).unwrap();
+        let addrs: Vec<&str> = node.addresses().collect();
+        assert!(
+            addrs.contains(&"old") && addrs.contains(&"new"),
+            "{addrs:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_without_store_is_a_cheap_no_op() {
+        let mut node = DtnNode::new(ReplicaId::new(1), "a", PolicyKind::Direct);
+        assert!(!node.persist(SimTime::ZERO).unwrap());
+        assert!(node.store().is_none());
+        assert!(node.persisted_at().is_none());
+    }
+}

@@ -7,6 +7,7 @@ use obs::{DropReason, Event, Span};
 use pfr::sync::{self, SyncReport};
 use pfr::{Filter, ItemId, PfrError, Replica, ReplicaId, SimTime, SyncLimits};
 
+use crate::durable::RestoreError;
 use crate::messaging::{self, Message};
 use crate::policy::{DtnPolicy, PolicyKind};
 
@@ -83,6 +84,7 @@ pub struct DtnNode {
     policy: Box<dyn DtnPolicy>,
     addresses: BTreeSet<String>,
     extra_filter_addrs: BTreeSet<String>,
+    pub(crate) store: Option<store::Store>,
 }
 
 impl DtnNode {
@@ -99,6 +101,7 @@ impl DtnNode {
             policy,
             addresses,
             extra_filter_addrs: BTreeSet::new(),
+            store: None,
         };
         node.refresh_filter();
         node
@@ -450,14 +453,15 @@ impl DtnNode {
     ///
     /// # Errors
     ///
-    /// Returns [`PfrError::SnapshotDecode`] for corrupt bytes or an
-    /// unknown policy name (restore custom policies with
+    /// [`RestoreError::Snapshot`] for corrupt bytes,
+    /// [`RestoreError::UnknownPolicy`] when the persisted policy name is
+    /// not in the bundled registry (restore custom policies with
     /// [`DtnNode::restore_with_policy`]).
-    pub fn restore(bytes: &[u8]) -> Result<DtnNode, PfrError> {
+    pub fn restore(bytes: &[u8]) -> Result<DtnNode, RestoreError> {
         let (replica, addresses, extra, policy_name, policy_state) = Self::parse_snapshot(bytes)?;
         let kind: PolicyKind = policy_name
             .parse()
-            .map_err(|e: String| PfrError::SnapshotDecode { message: e })?;
+            .map_err(|_: String| RestoreError::UnknownPolicy(policy_name.clone()))?;
         let mut policy = kind.build();
         policy.restore_state(&policy_state);
         Ok(Self::assemble(replica, addresses, extra, policy))
@@ -465,24 +469,52 @@ impl DtnNode {
 
     /// Restores a node from a snapshot using a caller-provided policy
     /// instance (for policies outside the bundled registry). The policy's
-    /// saved state is still applied.
+    /// saved state is still applied, so the instance's name must match
+    /// the one persisted in the snapshot — feeding one policy's state to
+    /// another would silently corrupt routing decisions. To deliberately
+    /// switch policies on restore, use
+    /// [`DtnNode::restore_overriding_policy`].
     ///
     /// # Errors
     ///
-    /// Returns [`PfrError::SnapshotDecode`] for corrupt bytes.
+    /// [`RestoreError::Snapshot`] for corrupt bytes,
+    /// [`RestoreError::PolicyMismatch`] when the snapshot was written by
+    /// a differently-named policy.
     pub fn restore_with_policy(
         bytes: &[u8],
         mut policy: Box<dyn DtnPolicy>,
-    ) -> Result<DtnNode, PfrError> {
-        let (replica, addresses, extra, _name, policy_state) = Self::parse_snapshot(bytes)?;
+    ) -> Result<DtnNode, RestoreError> {
+        let (replica, addresses, extra, name, policy_state) = Self::parse_snapshot(bytes)?;
+        if policy.name() != name {
+            return Err(RestoreError::PolicyMismatch {
+                persisted: name,
+                expected: policy.name().to_string(),
+            });
+        }
         policy.restore_state(&policy_state);
+        Ok(Self::assemble(replica, addresses, extra, policy))
+    }
+
+    /// Restores a node from a snapshot with a *different* policy,
+    /// discarding the persisted policy name and routing state (the
+    /// device was reconfigured across the restart). The replica — items,
+    /// knowledge, inbox — is restored in full.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Snapshot`] for corrupt bytes.
+    pub fn restore_overriding_policy(
+        bytes: &[u8],
+        policy: Box<dyn DtnPolicy>,
+    ) -> Result<DtnNode, RestoreError> {
+        let (replica, addresses, extra, _name, _state) = Self::parse_snapshot(bytes)?;
         Ok(Self::assemble(replica, addresses, extra, policy))
     }
 
     #[allow(clippy::type_complexity)]
     fn parse_snapshot(
         bytes: &[u8],
-    ) -> Result<(Replica, BTreeSet<String>, BTreeSet<String>, String, Vec<u8>), PfrError> {
+    ) -> Result<(Replica, BTreeSet<String>, BTreeSet<String>, String, Vec<u8>), RestoreError> {
         let mut r = pfr::wire::Reader::new(bytes);
         let read = |r: &mut pfr::wire::Reader<'_>| -> Result<_, pfr::wire::WireError> {
             let replica_bytes = r.get_bytes()?.to_vec();
@@ -518,6 +550,17 @@ impl DtnNode {
             policy,
             addresses,
             extra_filter_addrs,
+            store: None,
+        }
+    }
+
+    /// Ensures `addr` is among this node's addresses (used when a
+    /// restored node is reopened under a configured address the snapshot
+    /// predates).
+    pub(crate) fn ensure_address(&mut self, addr: &str) {
+        if !self.addresses.contains(addr) {
+            self.addresses.insert(addr.to_string());
+            self.refresh_filter();
         }
     }
 
@@ -851,10 +894,33 @@ mod tests {
     }
 
     #[test]
-    fn restore_with_custom_policy() {
+    fn restore_with_policy_validates_the_persisted_name() {
+        let a = node(1, "a", PolicyKind::MaxProp);
+        // Matching instance: state flows through.
+        let restored =
+            DtnNode::restore_with_policy(&a.snapshot(), PolicyKind::MaxProp.build()).unwrap();
+        assert_eq!(restored.policy().name(), "maxprop");
+        assert_eq!(restored.id(), a.id());
+        // Mismatched instance: typed rejection, not silent state corruption.
+        let err =
+            DtnNode::restore_with_policy(&a.snapshot(), PolicyKind::Epidemic.build()).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                RestoreError::PolicyMismatch { persisted, expected }
+                    if persisted == "maxprop" && expected == "epidemic"
+            ),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("maxprop"));
+    }
+
+    #[test]
+    fn restore_overriding_policy_discards_routing_state() {
         let a = node(1, "a", PolicyKind::MaxProp);
         let restored =
-            DtnNode::restore_with_policy(&a.snapshot(), PolicyKind::Epidemic.build()).unwrap();
+            DtnNode::restore_overriding_policy(&a.snapshot(), PolicyKind::Epidemic.build())
+                .unwrap();
         assert_eq!(restored.policy().name(), "epidemic");
         assert_eq!(restored.id(), a.id());
     }

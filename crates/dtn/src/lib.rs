@@ -42,6 +42,7 @@ pub mod adhoc;
 
 mod codec;
 mod direct;
+mod durable;
 mod epidemic;
 mod host;
 mod maxprop;
@@ -53,6 +54,7 @@ mod twohop;
 pub mod messaging;
 
 pub use direct::DirectDelivery;
+pub use durable::RestoreError;
 pub use epidemic::{EpidemicPolicy, ATTR_TTL};
 pub use host::{DtnNode, EncounterBudget, EncounterReport};
 pub use maxprop::{MaxPropPolicy, ATTR_HOPLIST};

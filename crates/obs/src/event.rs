@@ -264,6 +264,47 @@ pub enum Event {
         /// Whether the session completed cleanly.
         ok: bool,
     },
+    /// One record was appended to a durable store's write-ahead log.
+    WalAppend {
+        /// Bytes appended (length prefix + payload + checksum).
+        bytes: u64,
+        /// Whether the append was fsynced before returning.
+        fsync: bool,
+        /// Live WAL bytes across all live segments after the append.
+        wal_bytes: u64,
+    },
+    /// A durable store wrote a checkpoint and rotated to a fresh WAL
+    /// segment (compaction).
+    CheckpointWritten {
+        /// The new generation's sequence number.
+        seq: u64,
+        /// Key-value entries captured in the checkpoint.
+        entries: u64,
+        /// Checkpoint file size, bytes.
+        bytes: u64,
+        /// Wall-clock duration of the checkpoint write, microseconds.
+        wall_micros: u64,
+    },
+    /// A durable store finished crash recovery.
+    StoreRecovered {
+        /// Sequence of the checkpoint the state was rebuilt from (0 when
+        /// no valid checkpoint existed).
+        checkpoint_seq: u64,
+        /// WAL records replayed over the checkpoint.
+        wal_records: u64,
+        /// Torn/corrupt tail bytes truncated during replay.
+        truncated_bytes: u64,
+        /// Wall-clock duration of recovery, microseconds.
+        wall_micros: u64,
+    },
+    /// A durability operation failed; the caller chose to continue (the
+    /// in-memory state is still authoritative).
+    StoreFault {
+        /// The operation that failed ("append", "checkpoint", "persist").
+        op: &'static str,
+        /// Human-readable failure detail.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -286,6 +327,10 @@ impl Event {
             Event::PolicyDecision { .. } => "policy_decision",
             Event::SpanEnded { .. } => "span_ended",
             Event::TransportSync { .. } => "transport_sync",
+            Event::WalAppend { .. } => "wal_append",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::StoreRecovered { .. } => "store_recovered",
+            Event::StoreFault { .. } => "store_fault",
         }
     }
 
@@ -492,6 +537,41 @@ impl Event {
                 push_u64(&mut out, "frame_bytes", *frame_bytes);
                 push_bool(&mut out, "ok", *ok);
             }
+            Event::WalAppend {
+                bytes,
+                fsync,
+                wal_bytes,
+            } => {
+                push_u64(&mut out, "bytes", *bytes);
+                push_bool(&mut out, "fsync", *fsync);
+                push_u64(&mut out, "wal_bytes", *wal_bytes);
+            }
+            Event::CheckpointWritten {
+                seq,
+                entries,
+                bytes,
+                wall_micros,
+            } => {
+                push_u64(&mut out, "seq", *seq);
+                push_u64(&mut out, "entries", *entries);
+                push_u64(&mut out, "bytes", *bytes);
+                push_u64(&mut out, "wall_micros", *wall_micros);
+            }
+            Event::StoreRecovered {
+                checkpoint_seq,
+                wal_records,
+                truncated_bytes,
+                wall_micros,
+            } => {
+                push_u64(&mut out, "checkpoint_seq", *checkpoint_seq);
+                push_u64(&mut out, "wal_records", *wal_records);
+                push_u64(&mut out, "truncated_bytes", *truncated_bytes);
+                push_u64(&mut out, "wall_micros", *wall_micros);
+            }
+            Event::StoreFault { op, detail } => {
+                push_str(&mut out, "op", op);
+                push_str(&mut out, "detail", detail);
+            }
         }
         out.push('}');
         out
@@ -614,6 +694,10 @@ mod tests {
             "policy_decision",
             "span_ended",
             "transport_sync",
+            "wal_append",
+            "checkpoint_written",
+            "store_recovered",
+            "store_fault",
         ];
         let set: std::collections::BTreeSet<_> = kinds.iter().collect();
         assert_eq!(set.len(), kinds.len());

@@ -304,6 +304,38 @@ impl Observer for Registry {
                 self.add("transport.served", *served);
                 self.observe("transport.frame_bytes", *frame_bytes);
             }
+            Event::WalAppend { bytes, fsync, .. } => {
+                self.add("store.wal.appends", 1);
+                self.add("store.wal.bytes", *bytes);
+                if *fsync {
+                    self.add("store.fsyncs", 1);
+                }
+            }
+            Event::CheckpointWritten {
+                entries,
+                bytes,
+                wall_micros,
+                ..
+            } => {
+                self.add("store.checkpoints", 1);
+                self.add("store.checkpoint.entries", *entries);
+                self.add("store.checkpoint.bytes", *bytes);
+                self.observe("store.checkpoint.micros", *wall_micros);
+            }
+            Event::StoreRecovered {
+                wal_records,
+                truncated_bytes,
+                wall_micros,
+                ..
+            } => {
+                self.add("store.recoveries", 1);
+                self.add("store.replayed.records", *wal_records);
+                self.add("store.truncated.bytes", *truncated_bytes);
+                self.observe("store.recovery.micros", *wall_micros);
+            }
+            Event::StoreFault { op, .. } => {
+                self.add(&format!("store.faults.{op}"), 1);
+            }
         }
     }
 }

@@ -38,11 +38,26 @@ pub enum PfrError {
         /// What was violated.
         message: String,
     },
-    /// A replica snapshot could not be decoded (corrupt bytes or an
-    /// unsupported snapshot version).
+    /// A replica snapshot could not be decoded (corrupt bytes inside a
+    /// field). Structural envelope problems — an unknown format version,
+    /// garbage after the last field — are the typed
+    /// [`PfrError::BadSnapshot`] instead.
     SnapshotDecode {
         /// What went wrong.
         message: String,
+    },
+    /// A snapshot's envelope is wrong: the leading version byte names a
+    /// format this build does not speak, or decoding finished with bytes
+    /// left over (trailing garbage appended to an otherwise valid
+    /// snapshot). Unlike [`PfrError::SnapshotDecode`], both cases are
+    /// machine-inspectable — a caller can distinguish "newer software
+    /// wrote this" from "the bytes rotted".
+    BadSnapshot {
+        /// The unsupported version byte, when that was the problem.
+        version: Option<u8>,
+        /// Bytes left over after the last field, when that was the
+        /// problem (0 when `version` is the culprit).
+        trailing: usize,
     },
 }
 
@@ -63,6 +78,10 @@ impl fmt::Display for PfrError {
             PfrError::SnapshotDecode { message } => {
                 write!(f, "snapshot decode failed: {message}")
             }
+            PfrError::BadSnapshot { version, trailing } => match version {
+                Some(v) => write!(f, "bad snapshot: unsupported version {v}"),
+                None => write!(f, "bad snapshot: {trailing} trailing bytes"),
+            },
         }
     }
 }

@@ -81,18 +81,26 @@ impl Replica {
     ///
     /// # Errors
     ///
-    /// Returns [`PfrError::SnapshotDecode`] when the bytes are corrupt or
-    /// from an unknown snapshot version.
+    /// Returns [`PfrError::BadSnapshot`] for an unknown format version or
+    /// trailing garbage, and [`PfrError::SnapshotDecode`] when bytes
+    /// inside a field are corrupt.
     pub fn restore(bytes: &[u8]) -> Result<Replica, PfrError> {
-        let mut r = Reader::new(bytes);
-        (|| -> Result<Replica, WireError> {
-            let version = r.get_u8()?;
-            if version != SNAPSHOT_VERSION {
-                return Err(WireError::InvalidTag {
-                    what: "snapshot version",
-                    tag: version,
+        match bytes.first() {
+            Some(&v) if v != SNAPSHOT_VERSION => {
+                return Err(PfrError::BadSnapshot {
+                    version: Some(v),
+                    trailing: 0,
                 });
             }
+            Some(_) => {}
+            None => {
+                return Err(PfrError::SnapshotDecode {
+                    message: "empty snapshot".into(),
+                });
+            }
+        }
+        let mut r = Reader::new(&bytes[1..]);
+        (|| -> Result<Replica, WireError> {
             let id = ReplicaId::decode(&mut r)?;
             let filter = Filter::decode(&mut r)?;
             let knowledge = Knowledge::decode(&mut r)?;
@@ -125,8 +133,16 @@ impl Replica {
                 fifo,
             ))
         })()
-        .map_err(|e| PfrError::SnapshotDecode {
-            message: e.to_string(),
+        .map_err(|e| match e {
+            // The trailing-bytes check is the last step above, so this
+            // arm fires only for garbage after a fully decoded snapshot.
+            WireError::TrailingBytes(n) => PfrError::BadSnapshot {
+                version: None,
+                trailing: n,
+            },
+            e => PfrError::SnapshotDecode {
+                message: e.to_string(),
+            },
         })
     }
 }
@@ -258,6 +274,28 @@ mod tests {
         let mut bad_version = good.clone();
         bad_version[0] = 99;
         let err = Replica::restore(&bad_version).unwrap_err();
+        assert_eq!(
+            err,
+            PfrError::BadSnapshot {
+                version: Some(99),
+                trailing: 0
+            }
+        );
         assert!(err.to_string().contains("snapshot"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_typed_error() {
+        let mut padded = populated_replica().snapshot();
+        padded.extend_from_slice(b"junk");
+        let err = Replica::restore(&padded).unwrap_err();
+        assert_eq!(
+            err,
+            PfrError::BadSnapshot {
+                version: None,
+                trailing: 4
+            }
+        );
+        assert!(err.to_string().contains("4 trailing bytes"));
     }
 }

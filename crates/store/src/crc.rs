@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3, reflected) over byte slices.
+//!
+//! The same polynomial the transport's frame layer uses, implemented here
+//! so the on-disk formats stay self-contained. The table is built at
+//! compile time; `crc32` is the only entry point.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn one_bit_flips_change_the_checksum() {
+        let base = crc32(b"record payload");
+        let mut bytes = b"record payload".to_vec();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                bytes[i] ^= 1 << bit;
+                assert_ne!(crc32(&bytes), base, "flip at byte {i} bit {bit}");
+                bytes[i] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! On-disk layout of a store directory: file naming and generation scans.
+//!
+//! A store directory holds numbered *generations*:
+//!
+//! ```text
+//! data/
+//! ├── ckpt-4.dat   checkpoint: full state through the end of segment 3
+//! ├── wal-4.log    records appended since checkpoint 4
+//! ├── ckpt-3.dat   previous generation, kept as a fallback
+//! └── wal-3.log    its WAL (still replayed when ckpt-4 is unreadable)
+//! ```
+//!
+//! `ckpt-N.dat` captures everything up to the moment WAL segment `N` was
+//! created, so recovery from checkpoint `N` replays segments `≥ N` in
+//! ascending order. These helpers are public so the test kit's disk-fault
+//! layer can aim faults at real files without duplicating naming rules.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The WAL segment file for generation `seq`.
+pub fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq}.log"))
+}
+
+/// The checkpoint file for generation `seq`.
+pub fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{seq}.dat"))
+}
+
+fn numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+fn scan(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = numbered(name, prefix, suffix) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All WAL segments in `dir`, ascending by sequence.
+///
+/// # Errors
+///
+/// Any error listing the directory.
+pub fn wal_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    scan(dir, "wal-", ".log")
+}
+
+/// All checkpoint files in `dir`, ascending by sequence.
+///
+/// # Errors
+///
+/// Any error listing the directory.
+pub fn checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    scan(dir, "ckpt-", ".dat")
+}
+
+/// Leftover `*.tmp` files from interrupted checkpoint writes. Recovery
+/// deletes them: an unrenamed temp file was never part of any generation.
+///
+/// # Errors
+///
+/// Any error listing the directory.
+pub fn temp_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.path().extension().is_some_and(|e| e == "tmp") {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_roundtrips_through_scan() {
+        let dir = std::env::temp_dir().join(format!("store-layout-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for seq in [3u64, 10, 2] {
+            std::fs::write(wal_path(&dir, seq), b"").unwrap();
+            std::fs::write(checkpoint_path(&dir, seq), b"").unwrap();
+        }
+        std::fs::write(dir.join("ckpt-9.tmp"), b"").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"").unwrap();
+
+        let wals: Vec<u64> = wal_segments(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(wals, vec![2, 3, 10], "ascending numeric order");
+        let ckpts: Vec<u64> = checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(ckpts, vec![2, 3, 10]);
+        assert_eq!(temp_files(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,297 @@
+//! Declarative disk faults: scripted damage to a durable host's data
+//! directory, mirroring [`crate::fault`]'s frame-fault design one layer
+//! down.
+//!
+//! A [`DiskFaultPlan`] is a printable list of [`DiskFault`]s applied to a
+//! store directory *while the owning host is crashed* — the moment a real
+//! machine loses power mid-write or a disk silently flips a bit. The
+//! faults target exactly the failure modes the storage engine claims to
+//! recover from:
+//!
+//! * [`DiskFault::TornTail`] — a partial append: the newest WAL segment
+//!   loses its final bytes, as if the crash landed mid-`write`.
+//! * [`DiskFault::CorruptRecord`] — a bit flip near the WAL tail that the
+//!   record CRC must catch.
+//! * [`DiskFault::RemoveCheckpoint`] — the newest checkpoint vanishes,
+//!   forcing recovery to fall back a generation or to the WAL alone.
+//! * [`DiskFault::DuplicateLastRecord`] — the WAL's last record appears
+//!   twice, as a crash between a retried write and its bookkeeping would
+//!   leave it; replay must stay idempotent.
+//!
+//! [`DiskFaultPlan::apply`] performs the damage directly with `std::fs`,
+//! reporting what it actually did in a [`DiskDamage`] so scripts can
+//! assert the fault was real (e.g. a torn tail of 0 bytes proves
+//! nothing).
+
+use std::io;
+use std::path::Path;
+
+use store::{layout, record};
+
+/// One scripted piece of damage to a store data directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Truncates the newest WAL segment by `bytes` (clamped to the
+    /// segment length): a write torn by power loss.
+    TornTail {
+        /// Bytes chopped off the end of the newest segment.
+        bytes: u64,
+    },
+    /// XOR-flips one byte of the newest WAL segment, addressed from the
+    /// end (`offset_back` = 0 is the last byte), wrapped into the
+    /// segment: silent media corruption the CRC must surface.
+    CorruptRecord {
+        /// Distance from the end of the segment to the flipped byte.
+        offset_back: u64,
+        /// Non-zero XOR mask applied to the byte.
+        xor: u8,
+    },
+    /// Deletes the newest checkpoint file, forcing recovery to fall back
+    /// to an older generation or to WAL replay alone.
+    RemoveCheckpoint,
+    /// Re-appends the newest WAL segment's last complete record, so
+    /// replay sees it twice and must stay idempotent.
+    DuplicateLastRecord,
+}
+
+/// What [`DiskFaultPlan::apply`] actually changed on disk. Faults against
+/// files that do not exist (no WAL yet, no checkpoint yet) are no-ops,
+/// and the zeroed fields let a script detect that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskDamage {
+    /// Bytes truncated off WAL segments.
+    pub truncated: u64,
+    /// Bytes XOR-flipped in place.
+    pub flipped: usize,
+    /// Checkpoint files deleted.
+    pub checkpoints_removed: usize,
+    /// WAL records appended a second time.
+    pub records_duplicated: usize,
+}
+
+impl DiskDamage {
+    /// Whether any fault actually altered the directory.
+    pub fn any(&self) -> bool {
+        self.truncated > 0
+            || self.flipped > 0
+            || self.checkpoints_removed > 0
+            || self.records_duplicated > 0
+    }
+}
+
+/// A reproducible schedule of disk damage, applied in order.
+///
+/// # Examples
+///
+/// ```
+/// use testkit::DiskFaultPlan;
+///
+/// // Power loss mid-append, and the newest checkpoint is gone too.
+/// let plan = DiskFaultPlan::clean().torn_tail(3).remove_checkpoint();
+/// assert!(!plan.is_clean());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiskFaultPlan {
+    faults: Vec<DiskFault>,
+}
+
+impl DiskFaultPlan {
+    /// A plan that damages nothing.
+    pub fn clean() -> DiskFaultPlan {
+        DiskFaultPlan::default()
+    }
+
+    /// Whether the plan has no faults.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults in application order.
+    pub fn faults(&self) -> &[DiskFault] {
+        &self.faults
+    }
+
+    /// Appends an arbitrary fault.
+    pub fn fault(mut self, fault: DiskFault) -> DiskFaultPlan {
+        if let DiskFault::CorruptRecord { xor, .. } = fault {
+            assert!(xor != 0, "a zero XOR mask corrupts nothing");
+        }
+        self.faults.push(fault);
+        self
+    }
+
+    /// Chops `bytes` off the newest WAL segment.
+    pub fn torn_tail(self, bytes: u64) -> DiskFaultPlan {
+        self.fault(DiskFault::TornTail { bytes })
+    }
+
+    /// Flips one byte `offset_back` bytes from the newest segment's end.
+    pub fn corrupt_record(self, offset_back: u64, xor: u8) -> DiskFaultPlan {
+        self.fault(DiskFault::CorruptRecord { offset_back, xor })
+    }
+
+    /// Deletes the newest checkpoint file.
+    pub fn remove_checkpoint(self) -> DiskFaultPlan {
+        self.fault(DiskFault::RemoveCheckpoint)
+    }
+
+    /// Appends a copy of the newest segment's last complete record.
+    pub fn duplicate_last_record(self) -> DiskFaultPlan {
+        self.fault(DiskFault::DuplicateLastRecord)
+    }
+
+    /// Applies every fault to `dir` in order, returning what actually
+    /// changed. The directory's owning [`store::Store`] must be closed
+    /// (in the [`crate::SimRunner`], the host must be crashed).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure reading or rewriting the directory's files. Missing
+    /// targets (no WAL segment, no checkpoint) are not errors — the
+    /// fault is skipped and the [`DiskDamage`] shows it did nothing.
+    pub fn apply(&self, dir: &Path) -> io::Result<DiskDamage> {
+        let mut damage = DiskDamage::default();
+        for fault in &self.faults {
+            match *fault {
+                DiskFault::TornTail { bytes } => {
+                    if let Some((_, path)) = layout::wal_segments(dir)?.pop() {
+                        let len = std::fs::metadata(&path)?.len();
+                        let cut = bytes.min(len);
+                        let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+                        file.set_len(len - cut)?;
+                        damage.truncated += cut;
+                    }
+                }
+                DiskFault::CorruptRecord { offset_back, xor } => {
+                    if let Some((_, path)) = layout::wal_segments(dir)?.pop() {
+                        let mut bytes = std::fs::read(&path)?;
+                        if !bytes.is_empty() {
+                            let last = bytes.len() as u64 - 1;
+                            let pos = (last - offset_back % bytes.len() as u64) as usize;
+                            bytes[pos] ^= xor;
+                            std::fs::write(&path, &bytes)?;
+                            damage.flipped += 1;
+                        }
+                    }
+                }
+                DiskFault::RemoveCheckpoint => {
+                    if let Some((_, path)) = layout::checkpoints(dir)?.pop() {
+                        std::fs::remove_file(&path)?;
+                        damage.checkpoints_removed += 1;
+                    }
+                }
+                DiskFault::DuplicateLastRecord => {
+                    if let Some((_, path)) = layout::wal_segments(dir)?.pop() {
+                        let bytes = std::fs::read(&path)?;
+                        let scan = record::scan(&bytes);
+                        if let Some((range, _)) = scan.records.last() {
+                            let copy = bytes[range.clone()].to_vec();
+                            let mut all = bytes;
+                            all.extend_from_slice(&copy);
+                            std::fs::write(&path, &all)?;
+                            damage.records_duplicated += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(damage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use store::Store;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "testkit-diskfault-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seeded(dir: &Path) {
+        let mut s = Store::open(dir).unwrap();
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+    }
+
+    #[test]
+    fn faults_report_what_they_did() {
+        let dir = tmp_dir("report");
+        seeded(&dir);
+        let damage = DiskFaultPlan::clean()
+            .torn_tail(2)
+            .corrupt_record(5, 0x40)
+            .duplicate_last_record()
+            .apply(&dir)
+            .unwrap();
+        assert_eq!(damage.truncated, 2);
+        assert_eq!(damage.flipped, 1);
+        // The torn+flipped tail leaves no scannable last record to copy.
+        assert!(damage.any());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faults_against_an_empty_directory_are_no_ops() {
+        let dir = tmp_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let damage = DiskFaultPlan::clean()
+            .torn_tail(100)
+            .corrupt_record(0, 0xFF)
+            .remove_checkpoint()
+            .duplicate_last_record()
+            .apply(&dir)
+            .unwrap();
+        assert!(!damage.any());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicated_record_replays_idempotently() {
+        let dir = tmp_dir("dup");
+        seeded(&dir);
+        let damage = DiskFaultPlan::clean()
+            .duplicate_last_record()
+            .apply(&dir)
+            .unwrap();
+        assert_eq!(damage.records_duplicated, 1);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get(b"a"), Some(&b"1"[..]));
+        assert_eq!(s.get(b"b"), Some(&b"2"[..]));
+        assert_eq!(s.len(), 2, "replaying the duplicate added nothing");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn removed_checkpoint_still_recovers() {
+        let dir = tmp_dir("ckpt");
+        {
+            let mut s = Store::open(&dir).unwrap();
+            s.put(b"k", b"v").unwrap();
+            s.checkpoint().unwrap();
+        }
+        let damage = DiskFaultPlan::clean()
+            .remove_checkpoint()
+            .apply(&dir)
+            .unwrap();
+        assert_eq!(damage.checkpoints_removed, 1);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get(b"k"), Some(&b"v"[..]), "WAL replay covered the loss");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero XOR mask")]
+    fn zero_xor_is_rejected() {
+        let _ = DiskFaultPlan::clean().corrupt_record(0, 0);
+    }
+}

@@ -19,6 +19,11 @@
 //!   invariants after every step: knowledge monotonicity, at-most-once
 //!   delivery, bounded relay stores, and filter consistency at
 //!   quiescence.
+//! * [`DiskFaultPlan`] — the same declarative design one layer down:
+//!   scripted damage (torn WAL tails, bit flips, lost checkpoints,
+//!   duplicated records) to a *durable* host's data directory while it
+//!   is crashed, so the storage engine's recovery runs inside the same
+//!   invariant harness (see [`SimRunner::add_durable_host`]).
 //!
 //! Everything is a pure function of `(seed, script)`: the same inputs
 //! produce byte-identical [`Trace::to_jsonl`] renderings, and every
@@ -46,12 +51,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod diskfault;
 pub mod fault;
 pub mod simnet;
 pub mod trace;
 
 mod runner;
 
+pub use diskfault::{DiskDamage, DiskFault, DiskFaultPlan};
 pub use fault::{Direction, FaultPlan, FaultRule, FaultScope, FrameFault, FrameSelector};
 pub use runner::{EncounterOutcome, SessionPair, SimRunner, SkipReason, Step};
 pub use simnet::SimNet;

@@ -23,6 +23,7 @@
 //! that is needed to reproduce it.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use dtn::{DtnNode, PolicyKind};
@@ -32,6 +33,7 @@ use pfr::{ItemId, Knowledge, SimTime, SyncLimits};
 use transport::protocol::{initiate_session, respond_session, ProtocolError};
 use transport::SessionOutcome;
 
+use crate::diskfault::{DiskDamage, DiskFaultPlan};
 use crate::fault::FaultPlan;
 use crate::simnet::SimNet;
 use crate::trace::Trace;
@@ -91,6 +93,15 @@ pub enum Step {
         /// Host index.
         host: usize,
     },
+    /// Scripted damage to a crashed durable host's data directory —
+    /// torn WAL tails, flipped bytes, lost checkpoints, duplicated
+    /// records — applied before the host restores from disk.
+    DiskFault {
+        /// Host index (must be durable and crashed).
+        host: usize,
+        /// The damage to apply.
+        plan: DiskFaultPlan,
+    },
 }
 
 /// Why an encounter did not run.
@@ -148,9 +159,13 @@ impl EncounterOutcome {
 struct SimHost {
     address: String,
     replica: u64,
+    policy: PolicyKind,
     node: Arc<Mutex<DtnNode>>,
     sink: Arc<MemorySink>,
     snapshot: Option<Vec<u8>>,
+    /// `Some` for durable hosts: the store directory a crash restores
+    /// from (instead of the in-memory snapshot).
+    data_dir: Option<PathBuf>,
     crashed: bool,
 }
 
@@ -241,9 +256,55 @@ impl SimRunner {
         self.hosts.push(SimHost {
             address: address.to_string(),
             replica,
+            policy,
             node: Arc::new(Mutex::new(node)),
             sink,
             snapshot: None,
+            data_dir: None,
+            crashed: false,
+        });
+        index
+    }
+
+    /// Adds a *durable* host whose state lives in the store directory
+    /// `dir` (created if missing, recovered if it holds a previous run's
+    /// state). The transport layer persists the node after every
+    /// encounter, so [`Step::Crash`] on a durable host models `kill -9`:
+    /// [`Step::Restore`] reopens from disk — optionally after a
+    /// [`Step::DiskFault`] damaged the directory — instead of from an
+    /// in-memory snapshot. Store events (WAL appends, recoveries) carry
+    /// wall-clock timings, so durable hosts trade byte-identical traces
+    /// for real disk I/O.
+    pub fn add_durable_host(
+        &mut self,
+        address: &str,
+        policy: PolicyKind,
+        dir: impl AsRef<Path>,
+    ) -> usize {
+        let index = self.hosts.len();
+        let replica = index as u64 + 1;
+        let sink = Arc::new(MemorySink::unbounded());
+        let mut node = match DtnNode::open_observed(
+            &dir,
+            pfr::ReplicaId::new(replica),
+            address,
+            policy,
+            Obs::new(sink.clone()),
+        ) {
+            Ok(node) => node,
+            Err(e) => self.fail(&format!("durable host {index} failed to open: {e}")),
+        };
+        node.replica_mut().set_observer(Obs::new(sink.clone()));
+        self.watermarks
+            .insert(index, node.replica().knowledge().clone());
+        self.hosts.push(SimHost {
+            address: address.to_string(),
+            replica,
+            policy,
+            node: Arc::new(Mutex::new(node)),
+            sink,
+            snapshot: None,
+            data_dir: Some(dir.as_ref().to_path_buf()),
             crashed: false,
         });
         index
@@ -283,6 +344,9 @@ impl SimRunner {
                 Step::Snapshot { host } => self.snapshot(host),
                 Step::Crash { host } => self.crash(host),
                 Step::Restore { host } => self.restore(host),
+                Step::DiskFault { host, plan } => {
+                    self.disk_fault(host, &plan);
+                }
             }
         }
     }
@@ -399,19 +463,30 @@ impl SimRunner {
         }))
     }
 
-    /// Snapshots host `host`'s full durable state.
+    /// Snapshots host `host`'s full durable state. For a durable host
+    /// this persists to its store (a WAL append); otherwise the snapshot
+    /// is held in memory.
     pub fn snapshot(&mut self, host: usize) {
         self.performed.push(Step::Snapshot { host });
-        let bytes = self.hosts[host].node.lock().snapshot();
-        self.hosts[host].snapshot = Some(bytes);
+        if self.hosts[host].data_dir.is_some() {
+            let now = self.time;
+            if let Err(e) = self.hosts[host].node.lock().persist(now) {
+                self.fail(&format!("durable host {host} failed to persist: {e}"));
+            }
+        } else {
+            let bytes = self.hosts[host].node.lock().snapshot();
+            self.hosts[host].snapshot = Some(bytes);
+        }
         self.after_step();
     }
 
     /// Crashes host `host`: until restored it meets nobody, and restoring
-    /// rolls it back to its last snapshot.
+    /// rolls it back to its last snapshot (in-memory hosts) or to what
+    /// its data directory holds (durable hosts, for which this is a
+    /// `kill -9` — whatever the WAL has is what survives).
     pub fn crash(&mut self, host: usize) {
         self.performed.push(Step::Crash { host });
-        if self.hosts[host].snapshot.is_none() {
+        if self.hosts[host].snapshot.is_none() && self.hosts[host].data_dir.is_none() {
             self.fail(&format!(
                 "script bug: host {host} crashed without a snapshot to restore from"
             ));
@@ -420,22 +495,63 @@ impl SimRunner {
         self.after_step();
     }
 
-    /// Restores host `host` from its last snapshot. The host's knowledge
-    /// watermark and delivery history reset to the snapshot state:
-    /// re-receiving what the rollback lost is correct behaviour, not a
-    /// duplicate. Messages that the crash erased from the whole network
-    /// are dropped from the convergence obligation.
-    pub fn restore(&mut self, host: usize) {
-        self.performed.push(Step::Restore { host });
-        let bytes = match &self.hosts[host].snapshot {
-            Some(bytes) => bytes.clone(),
+    /// Applies scripted disk damage to a crashed durable host's data
+    /// directory (see [`DiskFaultPlan`]), returning what actually
+    /// changed on disk.
+    pub fn disk_fault(&mut self, host: usize, plan: &DiskFaultPlan) -> DiskDamage {
+        self.performed.push(Step::DiskFault {
+            host,
+            plan: plan.clone(),
+        });
+        let dir = match &self.hosts[host].data_dir {
+            Some(dir) => dir.clone(),
             None => self.fail(&format!(
-                "script bug: restore of host {host} without snapshot"
+                "script bug: disk fault on non-durable host {host}"
             )),
         };
-        let mut node = match DtnNode::restore(&bytes) {
-            Ok(node) => node,
-            Err(e) => self.fail(&format!("snapshot of host {host} failed to restore: {e}")),
+        if !self.hosts[host].crashed {
+            self.fail(&format!(
+                "script bug: disk fault on live host {host} (crash it first)"
+            ));
+        }
+        let damage = match plan.apply(&dir) {
+            Ok(damage) => damage,
+            Err(e) => self.fail(&format!("disk fault on host {host} failed: {e}")),
+        };
+        self.after_step();
+        damage
+    }
+
+    /// Restores host `host` from its last snapshot — or, for a durable
+    /// host, by reopening its data directory through the storage
+    /// engine's crash recovery (torn tails truncated, corrupt
+    /// checkpoints skipped). The host's knowledge watermark and delivery
+    /// history reset to the restored state: re-receiving what the
+    /// rollback lost is correct behaviour, not a duplicate. Messages
+    /// that the crash erased from the whole network are dropped from the
+    /// convergence obligation.
+    pub fn restore(&mut self, host: usize) {
+        self.performed.push(Step::Restore { host });
+        let mut node = if let Some(dir) = self.hosts[host].data_dir.clone() {
+            let id = pfr::ReplicaId::new(self.hosts[host].replica);
+            let address = self.hosts[host].address.clone();
+            let policy = self.hosts[host].policy;
+            let obs = Obs::new(self.hosts[host].sink.clone());
+            match DtnNode::open_observed(&dir, id, &address, policy, obs) {
+                Ok(node) => node,
+                Err(e) => self.fail(&format!("durable host {host} failed to reopen: {e}")),
+            }
+        } else {
+            let bytes = match &self.hosts[host].snapshot {
+                Some(bytes) => bytes.clone(),
+                None => self.fail(&format!(
+                    "script bug: restore of host {host} without snapshot"
+                )),
+            };
+            match DtnNode::restore(&bytes) {
+                Ok(node) => node,
+                Err(e) => self.fail(&format!("snapshot of host {host} failed to restore: {e}")),
+            }
         };
         node.replica_mut()
             .set_observer(Obs::new(self.hosts[host].sink.clone()));

@@ -416,3 +416,127 @@ fn every_policy_survives_a_full_fault_sweep() {
         sim.with_node(b, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scenario 16: kill -9 on a durable host — recovery from the data directory
+// ---------------------------------------------------------------------------
+
+/// A unique store directory for one durable scenario host.
+fn durable_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "testkit-durable-{tag}-{}-{}",
+        std::process::id(),
+        base_seed()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn scenario_kill_dash_nine_recovers_from_disk() {
+    // A durable host never snapshots explicitly: the transport persists
+    // it after every session, so a crash is a true kill -9 and restore
+    // reopens whatever the WAL holds.
+    let dir = durable_dir("kill9");
+    let mut sim = SimRunner::new(base_seed() + 1600);
+    let a = sim.add_host("a", PolicyKind::Epidemic);
+    let b = sim.add_durable_host("b", PolicyKind::Epidemic, &dir);
+
+    sim.send(a, "b", b"first, before the crash".to_vec());
+    assert!(sim.encounter(a, b).is_clean());
+    sim.with_node(b, |n| {
+        assert_eq!(n.inbox().len(), 1);
+        assert!(n.persisted_at().is_some(), "session auto-persisted");
+    });
+
+    sim.crash(b); // no snapshot step: kill -9
+    assert!(matches!(
+        sim.encounter(a, b),
+        EncounterOutcome::Skipped(SkipReason::Crashed)
+    ));
+    sim.restore(b);
+    sim.with_node(b, |n| {
+        assert_eq!(n.inbox().len(), 1, "delivery survived the kill");
+        assert!(n.recovery().unwrap().recovered_state());
+    });
+
+    // Post-restart traffic flows, and the runner's at-most-once and
+    // monotonicity invariants watch every step.
+    sim.send(a, "b", b"second, after the restart".to_vec());
+    assert!(sim.encounter(a, b).is_clean());
+    sim.assert_converged();
+    sim.with_node(b, |n| assert_eq!(n.inbox().len(), 2));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn scenario_disk_damage_between_kill_and_restart_is_tolerated() {
+    // The crash also damages the directory: the last record is torn, a
+    // duplicate of it was flushed, and there is no checkpoint to lean
+    // on. Recovery must absorb all of it without losing the delivery.
+    let dir = durable_dir("damage");
+    let mut sim = SimRunner::new(base_seed() + 1700);
+    let a = sim.add_host("a", PolicyKind::Epidemic);
+    let b = sim.add_durable_host("b", PolicyKind::Epidemic, &dir);
+
+    sim.send(a, "b", b"survives disk damage".to_vec());
+    assert!(sim.encounter(a, b).is_clean());
+    sim.crash(b);
+    let damage = sim.disk_fault(
+        b,
+        &testkit::DiskFaultPlan::clean()
+            .duplicate_last_record()
+            .torn_tail(1)
+            .remove_checkpoint(),
+    );
+    assert_eq!(damage.records_duplicated, 1);
+    assert_eq!(damage.truncated, 1);
+    assert_eq!(damage.checkpoints_removed, 0, "no checkpoint existed yet");
+
+    sim.restore(b);
+    sim.with_node(b, |n| {
+        assert_eq!(n.inbox().len(), 1, "node snapshot record was intact");
+        let report = n.recovery().unwrap();
+        assert!(report.truncated_bytes > 0, "torn tail was truncated away");
+    });
+    sim.assert_converged();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn scenario_rollback_past_a_persist_rereplicates_without_duplicates() {
+    // Corruption lands inside the *second* persist's node snapshot, so
+    // recovery rolls b back to the first persist. The runner resets b's
+    // delivery history at restore: whatever the network still holds is
+    // re-replicated, and at-most-once is enforced throughout.
+    let dir = durable_dir("rollback");
+    let mut sim = SimRunner::new(base_seed() + 1800);
+    let a = sim.add_host("a", PolicyKind::Epidemic);
+    let b = sim.add_durable_host("b", PolicyKind::Epidemic, &dir);
+
+    sim.send(a, "b", b"early delivery".to_vec());
+    assert!(sim.encounter(a, b).is_clean()); // persist #1
+    sim.send(a, "b", b"late delivery".to_vec());
+    assert!(sim.encounter(a, b).is_clean()); // persist #2
+    sim.with_node(b, |n| assert_eq!(n.inbox().len(), 2));
+
+    sim.crash(b);
+    // Byte 40-from-end sits inside persist #2's node snapshot record
+    // (the trailing persisted-at record is much smaller than that).
+    let damage = sim.disk_fault(b, &testkit::DiskFaultPlan::clean().corrupt_record(40, 0x55));
+    assert_eq!(damage.flipped, 1);
+
+    sim.restore(b);
+    sim.with_node(b, |n| {
+        assert_eq!(n.inbox().len(), 1, "rolled back to persist #1");
+        assert_eq!(n.inbox()[0].payload, b"early delivery");
+        assert!(n.recovery().unwrap().truncated_bytes > 0);
+    });
+    // Convergence drops obligations the crash erased from the whole
+    // network and re-replicates the rest exactly once.
+    sim.assert_converged();
+    sim.with_node(b, |n| {
+        assert_eq!(n.inbox()[0].payload, b"early delivery");
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -72,6 +72,10 @@ pub struct SessionReport {
     /// Report for the push direction (us → remote), as observed from the
     /// number of items we served.
     pub served: usize,
+    /// The encounter clock the session ran under — the initiator's on
+    /// both sides, fixed by the hello exchange. `None` when the session
+    /// died before the clock was agreed (nothing replicated either).
+    pub now: Option<SimTime>,
 }
 
 /// A replication peer: a [`DtnNode`] listening on a TCP socket, serving

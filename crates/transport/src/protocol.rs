@@ -138,6 +138,7 @@ fn initiator_steps<R: Read, W: Write>(
         replica: my_id,
         now,
     };
+    report.now = Some(now);
     let hello_bytes = to_bytes(&my_hello);
     *frame_bytes += hello_bytes.len() as u64;
     write_frame(writer, FrameType::Hello, &hello_bytes)?;
@@ -188,6 +189,7 @@ fn responder_steps<R: Read, W: Write>(
     let peer = peer_hello.replica;
     let now = peer_hello.now;
     report.peer = Some(peer);
+    report.now = Some(now);
     let (my_id, obs) = {
         let node = node.lock();
         (node.id(), node.replica().observer().clone())
@@ -255,6 +257,24 @@ fn emit_session_event(
     });
 }
 
+/// Persists a durable node after a session — even a failed one: whatever
+/// replicated before the cut is worth keeping, and replay is idempotent.
+/// Non-durable nodes are a free no-op. A persist failure must not kill
+/// the transport (the in-memory state is still good), so it surfaces as
+/// an [`Event::StoreFault`] instead of an error.
+fn persist_after_session(node: &Arc<Mutex<DtnNode>>, now: Option<SimTime>) {
+    let Some(now) = now else { return };
+    let mut node = node.lock();
+    if let Err(e) = node.persist(now) {
+        let obs = node.replica().observer().clone();
+        drop(node);
+        obs.emit(|| Event::StoreFault {
+            op: "persist",
+            detail: e.to_string(),
+        });
+    }
+}
+
 /// Drives the initiator side of a session over any [`Connection`]: hello,
 /// pull (we are target), then serve the responder's pull (we are source).
 ///
@@ -281,6 +301,7 @@ pub fn initiate_session(
     )
     .err();
     emit_session_event(node, &report, frame_bytes, error.is_none());
+    persist_after_session(node, report.now);
     SessionOutcome { report, error }
 }
 
@@ -304,6 +325,7 @@ pub fn respond_session(
     )
     .err();
     emit_session_event(node, &report, frame_bytes, error.is_none());
+    persist_after_session(node, report.now);
     SessionOutcome { report, error }
 }
 
@@ -332,6 +354,7 @@ pub fn run_initiator<R: Read, W: Write>(
         &mut frame_bytes,
     );
     emit_session_event(node, &report, frame_bytes, result.is_ok());
+    persist_after_session(node, report.now);
     result.map(|()| report)
 }
 
@@ -351,6 +374,7 @@ pub fn run_responder<R: Read, W: Write>(
     let mut frame_bytes = 0u64;
     let result = responder_steps(reader, writer, node, limits, &mut report, &mut frame_bytes);
     emit_session_event(node, &report, frame_bytes, result.is_ok());
+    persist_after_session(node, report.now);
     result.map(|()| report)
 }
 

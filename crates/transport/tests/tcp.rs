@@ -129,6 +129,51 @@ fn stop_returns_the_node() {
 }
 
 #[test]
+fn durable_peers_persist_after_every_session_without_being_asked() {
+    // Both sides of a session open from data directories; the transport
+    // persists them after the session, so neither ever calls persist().
+    let dir_a = std::env::temp_dir().join(format!("tcp-durable-a-{}", std::process::id()));
+    let dir_b = std::env::temp_dir().join(format!("tcp-durable-b-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+
+    {
+        let node_a = DtnNode::open(&dir_a, ReplicaId::new(1), "a", PolicyKind::Epidemic).unwrap();
+        let node_b = DtnNode::open(&dir_b, ReplicaId::new(2), "b", PolicyKind::Epidemic).unwrap();
+        let a = Peer::start(node_a, "127.0.0.1:0").unwrap();
+        let b = Peer::start(node_b, "127.0.0.1:0").unwrap();
+        a.with_node(|n| n.send("b", b"survives".to_vec(), SimTime::ZERO))
+            .unwrap();
+        a.sync_with(b.local_addr(), SimTime::from_secs(5)).unwrap();
+        assert_eq!(b.with_node(|n| n.inbox().len()), 1);
+        // Drop both peers with no orderly persist — models kill -9 right
+        // after the session's WAL appends hit disk.
+    }
+
+    let node_b = DtnNode::open(&dir_b, ReplicaId::new(2), "b", PolicyKind::Epidemic).unwrap();
+    assert_eq!(node_b.inbox().len(), 1, "delivery survived the crash");
+    assert_eq!(node_b.inbox()[0].payload, b"survives");
+    assert_eq!(
+        node_b.persisted_at(),
+        Some(SimTime::from_secs(5)),
+        "responder persisted under the initiator's clock"
+    );
+
+    // The restarted responder re-syncs: nothing moves, nothing duplicates.
+    let node_a = DtnNode::open(&dir_a, ReplicaId::new(1), "a", PolicyKind::Epidemic).unwrap();
+    let a = Peer::start(node_a, "127.0.0.1:0").unwrap();
+    let b = Peer::start(node_b, "127.0.0.1:0").unwrap();
+    let report = a.sync_with(b.local_addr(), SimTime::from_secs(6)).unwrap();
+    assert_eq!(report.served, 0, "knowledge survived on both sides");
+    assert_eq!(report.pulled.as_ref().unwrap().duplicates, 0);
+    assert_eq!(b.with_node(|n| n.inbox().len()), 1);
+
+    drop((a, b));
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+#[test]
 fn different_policies_interoperate() {
     // A MaxProp node syncing with a Direct node: routing state is opaque
     // and simply ignored by the other side.

@@ -7,10 +7,15 @@
 //!              [--trace FILE] [--mail FILE]
 //!              [--bandwidth N] [--storage N]
 //!              [--strategy <random|selected>] [--k N]
-//!              [--events FILE] [--stats]
+//!              [--data-dir DIR] [--events FILE] [--stats]
 //! replidtn peer --id N --address ADDR --policy P --listen HOST:PORT
-//!               [--connect HOST:PORT] [--send DEST:TEXT]
+//!               [--connect HOST:PORT] [--send DEST:TEXT] [--data-dir DIR]
 //! ```
+//!
+//! `--data-dir DIR` makes state durable: `peer` opens its node from the
+//! directory (restoring items, knowledge, and routing state after a
+//! crash) and persists after every session; `run` writes each node's
+//! final state under `DIR/node-<id>` when the emulation finishes.
 //!
 //! `--events FILE` streams the structured event log (one JSON object per
 //! line) from the observability layer; `--stats` prints the aggregated
@@ -69,15 +74,19 @@ USAGE:
   replidtn run --policy <cimbiosys|epidemic|spray|prophet|maxprop>
                [--trace FILE] [--mail FILE] [--bandwidth N] [--storage N]
                [--strategy <random|selected>] [--k N] [--seed S]
-               [--events FILE] [--stats]
+               [--data-dir DIR] [--events FILE] [--stats]
       Replay a workload over a trace and print delivery statistics.
       Without --trace/--mail, the paper-scale synthetic scenario is used.
+      With --data-dir, each node's final state is persisted under
+      DIR/node-<id> when the run completes.
 
   replidtn peer --id N --address ADDR [--policy P] --listen HOST:PORT
                 [--connect HOST:PORT]... [--send DEST:TEXT]... [--serve-for SECS]
-                [--events FILE] [--stats]
+                [--data-dir DIR] [--events FILE] [--stats]
       Start a real TCP replication peer, optionally queue messages and sync
-      with remote peers, then print the inbox.
+      with remote peers, then print the inbox. With --data-dir, the node is
+      opened from (and persisted to) the directory, so a killed peer resumes
+      with its items, knowledge, and routing state intact.
 
   replidtn fig --id <5|6|7a|7b|8|9|10> [--events FILE] [--stats]
       Regenerate one figure of the paper (equivalent to the bench target).
@@ -131,6 +140,16 @@ impl ObsSetup {
         if let Some(observer) = &self.observer {
             node.replica_mut()
                 .set_observer(Obs::new(Arc::clone(observer)));
+        }
+    }
+
+    /// The observer as an [`Obs`] handle (a no-op handle when neither
+    /// `--events` nor `--stats` was given) — for layers that take `Obs`
+    /// directly, like the storage engine.
+    fn handle(&self) -> Obs {
+        match &self.observer {
+            Some(observer) => Obs::new(Arc::clone(observer)),
+            None => Obs::none(),
         }
     }
 
@@ -254,7 +273,29 @@ fn run(args: &[String]) -> Result<(), String> {
         trace.len(),
         workload.len()
     );
-    let metrics = Emulation::new(&trace, &workload, config).run();
+    let emulation = Emulation::new(&trace, &workload, config);
+    let metrics = match flags.get("data-dir") {
+        None => emulation.run(),
+        Some(dir) => {
+            let (metrics, nodes) = emulation.run_into_parts();
+            let end = SimTime::from_secs(86_400 * trace.days());
+            let count = nodes.len();
+            for (id, mut node) in nodes {
+                let node_dir = std::path::Path::new(dir).join(format!("node-{}", id.as_u64()));
+                let store = replidtn::store::Store::open_with(
+                    &node_dir,
+                    replidtn::store::StoreConfig::default(),
+                    obs.handle(),
+                )
+                .map_err(|e| format!("opening {node_dir:?}: {e}"))?;
+                node.attach_store(store);
+                node.persist(end)
+                    .map_err(|e| format!("persisting node {id}: {e}"))?;
+            }
+            eprintln!("persisted {count} node state(s) under {dir}");
+            metrics
+        }
+    };
 
     println!("policy:        {policy}");
     println!(
@@ -299,7 +340,28 @@ fn peer(args: &[String]) -> Result<(), String> {
     let listen = flags.get("listen").ok_or("peer requires --listen")?;
 
     let obs = ObsSetup::from_flags(&flags)?;
-    let mut node = DtnNode::new(ReplicaId::new(id), address, policy);
+    let mut node = match flags.get("data-dir") {
+        None => DtnNode::new(ReplicaId::new(id), address, policy),
+        Some(dir) => {
+            let node =
+                DtnNode::open_observed(dir, ReplicaId::new(id), address, policy, obs.handle())
+                    .map_err(|e| format!("opening --data-dir {dir:?}: {e}"))?;
+            let recovery = node.recovery().expect("durable node has a report");
+            if recovery.recovered_state() {
+                println!(
+                    "restored from {dir} (checkpoint {}, {} WAL record(s) replayed, \
+                     {} torn byte(s) dropped): {} message(s) in inbox",
+                    recovery.checkpoint_seq,
+                    recovery.wal_records,
+                    recovery.truncated_bytes,
+                    node.inbox().len()
+                );
+            } else {
+                println!("fresh data directory {dir}");
+            }
+            node
+        }
+    };
     obs.attach(&mut node);
     let peer = Peer::start(node, listen).map_err(|e| e.to_string())?;
     println!(
@@ -316,13 +378,13 @@ fn peer(args: &[String]) -> Result<(), String> {
         println!("queued {text:?} for {dest}");
     }
 
+    let mut last_now = SimTime::ZERO;
     for (i, remote) in flags.get_all("connect").iter().enumerate() {
         let addr = remote
             .parse()
             .map_err(|e| format!("--connect {remote:?}: {e}"))?;
-        let report = peer
-            .sync_with(addr, SimTime::from_secs(60 * (i as u64 + 1)))
-            .map_err(|e| e.to_string())?;
+        last_now = SimTime::from_secs(60 * (i as u64 + 1));
+        let report = peer.sync_with(addr, last_now).map_err(|e| e.to_string())?;
         println!(
             "synced with {remote}: served {} item(s), pulled {} deliveries",
             report.served,
@@ -347,7 +409,12 @@ fn peer(args: &[String]) -> Result<(), String> {
             String::from_utf8_lossy(&msg.payload)
         );
     }
-    peer.stop();
+    // Sessions persist durable state as they run; this final persist
+    // additionally covers --send queuing that never synced. A no-op
+    // without --data-dir.
+    let mut node = peer.stop();
+    node.persist(last_now)
+        .map_err(|e| format!("persisting at exit: {e}"))?;
     obs.finish()
 }
 

@@ -3,6 +3,7 @@ pub use dtn;
 pub use emu;
 pub use obs;
 pub use pfr;
+pub use store;
 pub use traces;
 pub use transport;
 
