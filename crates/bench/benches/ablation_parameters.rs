@@ -9,7 +9,7 @@ use dtn::{
 };
 use emu::experiments::Scenario;
 use emu::report::Table;
-use emu::{Emulation, EmulationConfig, PolicySpec};
+use emu::{Emulation, EmulationConfig, PolicySpec, SweepRunner};
 use pfr::SimDuration;
 
 struct Row {
@@ -68,81 +68,69 @@ fn print_rows(title: &str, rows: &[Row]) {
 
 fn main() {
     let scenario = benchkit::scenario();
+    let runner = SweepRunner::new();
 
     // 1. Epidemic TTL: how much hop budget does flooding actually need?
-    let rows: Vec<Row> = [1u32, 2, 4, 10, 32]
-        .iter()
-        .map(|&ttl| {
-            run(
-                &scenario,
-                PolicySpec::custom(format!("epidemic ttl={ttl}"), move || {
-                    Box::new(EpidemicPolicy::new(ttl))
-                }),
-                EncounterBudget::unlimited(),
-                None,
-            )
-        })
-        .collect();
+    let rows: Vec<Row> = runner.run(vec![1u32, 2, 4, 10, 32], |ttl| {
+        run(
+            &scenario,
+            PolicySpec::custom(format!("epidemic ttl={ttl}"), move || {
+                Box::new(EpidemicPolicy::new(ttl))
+            }),
+            EncounterBudget::unlimited(),
+            None,
+        )
+    });
     print_rows("Ablation: epidemic TTL (Table II default: 10)", &rows);
 
     // 2. Spray and Wait copy budget: delivery vs storage.
-    let rows: Vec<Row> = [2u32, 4, 8, 16, 32]
-        .iter()
-        .map(|&copies| {
-            run(
-                &scenario,
-                PolicySpec::custom(format!("spray copies={copies}"), move || {
-                    Box::new(SprayAndWaitPolicy::new(copies))
-                }),
-                EncounterBudget::unlimited(),
-                None,
-            )
-        })
-        .collect();
+    let rows: Vec<Row> = runner.run(vec![2u32, 4, 8, 16, 32], |copies| {
+        run(
+            &scenario,
+            PolicySpec::custom(format!("spray copies={copies}"), move || {
+                Box::new(SprayAndWaitPolicy::new(copies))
+            }),
+            EncounterBudget::unlimited(),
+            None,
+        )
+    });
     print_rows("Ablation: spray copy budget (Table II default: 8)", &rows);
 
     // 3. PROPHET floor: why gradient forwarding needs pruning.
-    let rows: Vec<Row> = [0.0f64, 0.1, 0.3, 0.5]
-        .iter()
-        .map(|&floor| {
-            run(
-                &scenario,
-                PolicySpec::custom(format!("prophet floor={floor}"), move || {
-                    Box::new(ProphetPolicy::new(ProphetParams {
-                        floor,
-                        ..ProphetParams::default()
-                    }))
-                }),
-                EncounterBudget::unlimited(),
-                None,
-            )
-        })
-        .collect();
+    let rows: Vec<Row> = runner.run(vec![0.0f64, 0.1, 0.3, 0.5], |floor| {
+        run(
+            &scenario,
+            PolicySpec::custom(format!("prophet floor={floor}"), move || {
+                Box::new(ProphetPolicy::new(ProphetParams {
+                    floor,
+                    ..ProphetParams::default()
+                }))
+            }),
+            EncounterBudget::unlimited(),
+            None,
+        )
+    });
     print_rows(
         "Ablation: PROPHET predictability floor (0 = pure protocol, floods)",
         &rows,
     );
 
     // 4. MaxProp acknowledgements: delivery unchanged, storage slashed.
-    let rows: Vec<Row> = [true, false]
-        .iter()
-        .map(|&acks| {
-            run(
-                &scenario,
-                PolicySpec::custom(
-                    format!("maxprop acks={}", if acks { "on" } else { "off" }),
-                    move || Box::new(MaxPropPolicy::default().with_acks(acks)),
-                ),
-                EncounterBudget::unlimited(),
-                None,
-            )
-        })
-        .collect();
+    let rows: Vec<Row> = runner.run(vec![true, false], |acks| {
+        run(
+            &scenario,
+            PolicySpec::custom(
+                format!("maxprop acks={}", if acks { "on" } else { "off" }),
+                move || Box::new(MaxPropPolicy::default().with_acks(acks)),
+            ),
+            EncounterBudget::unlimited(),
+            None,
+        )
+    });
     print_rows("Ablation: MaxProp delivery acknowledgements", &rows);
 
     // 5. Constraint severity around the paper's extreme settings.
-    let mut rows = Vec::new();
-    for budget in [1usize, 2, 4, 8] {
+    let mut rows = runner.run(vec![1usize, 2, 4, 8], |budget| {
         let mut row = run(
             &scenario,
             PolicySpec::Kind(PolicyKind::MaxProp),
@@ -150,9 +138,9 @@ fn main() {
             None,
         );
         row.label = format!("maxprop bw={budget}/encounter");
-        rows.push(row);
-    }
-    for relay in [1usize, 2, 4, 8] {
+        row
+    });
+    rows.extend(runner.run(vec![1usize, 2, 4, 8], |relay| {
         let mut row = run(
             &scenario,
             PolicySpec::Kind(PolicyKind::MaxProp),
@@ -160,8 +148,8 @@ fn main() {
             Some(relay),
         );
         row.label = format!("maxprop storage={relay} msgs");
-        rows.push(row);
-    }
+        row
+    }));
     print_rows(
         "Ablation: constraint severity (paper uses bw=1, storage=2)",
         &rows,

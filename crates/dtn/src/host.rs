@@ -85,6 +85,11 @@ pub struct DtnNode {
     addresses: BTreeSet<String>,
     extra_filter_addrs: BTreeSet<String>,
     pub(crate) store: Option<store::Store>,
+    /// Expiry watermark for [`DtnNode::expire_messages`]: `None` = unknown
+    /// (items may have arrived; the next call must scan), `Some(None)` =
+    /// no stored message expires, `Some(Some(t))` = nothing expires before
+    /// `t`. Purely an acceleration cache — never snapshotted.
+    next_expiry: Option<Option<SimTime>>,
 }
 
 impl DtnNode {
@@ -102,6 +107,7 @@ impl DtnNode {
             addresses,
             extra_filter_addrs: BTreeSet::new(),
             store: None,
+            next_expiry: None,
         };
         node.refresh_filter();
         node
@@ -124,6 +130,9 @@ impl DtnNode {
 
     /// Mutable access to the underlying replica (for storage limits etc.).
     pub fn replica_mut(&mut self) -> &mut Replica {
+        // The caller can insert items behind our back; force the next
+        // expire_messages to rescan.
+        self.next_expiry = None;
         &mut self.replica
     }
 
@@ -243,6 +252,7 @@ impl DtnNode {
             .next()
             .cloned()
             .unwrap_or_else(|| self.replica.id().to_string());
+        self.next_expiry = None;
         messaging::send_message_with_lifetime(&mut self.replica, &src, dest, payload, now, lifetime)
     }
 
@@ -263,12 +273,28 @@ impl DtnNode {
     /// [`DtnNode::encounter`] calls this on both parties before syncing, so
     /// applications using bounded lifetimes need no extra bookkeeping.
     pub fn expire_messages(&mut self, now: SimTime) -> usize {
-        let expired: Vec<(ItemId, bool)> = self
-            .replica
-            .iter_items()
-            .filter(|item| !item.is_deleted() && messaging::is_expired(item, now))
-            .map(|item| (item.id(), item.id().origin() == self.replica.id()))
-            .collect();
+        // Watermark fast path: skip the store scan entirely when nothing
+        // can have expired since the last one. Item arrivals (syncs,
+        // lifetime sends, external replica mutation) reset the watermark.
+        match self.next_expiry {
+            Some(None) => return 0,
+            Some(Some(next)) if now < next => return 0,
+            _ => {}
+        }
+        let mut earliest: Option<SimTime> = None;
+        let mut expired: Vec<(ItemId, bool)> = Vec::new();
+        for item in self.replica.iter_items() {
+            if item.is_deleted() {
+                continue;
+            }
+            match messaging::expires_at(item) {
+                Some(t) if now >= t => {
+                    expired.push((item.id(), item.id().origin() == self.replica.id()));
+                }
+                Some(t) => earliest = Some(earliest.map_or(t, |e| e.min(t))),
+                None => {}
+            }
+        }
         let mut count = 0;
         let replica_id = self.replica.id().as_u64();
         for (id, is_origin) in expired {
@@ -293,6 +319,7 @@ impl DtnNode {
                 });
             }
         }
+        self.next_expiry = Some(earliest);
         count
     }
 
@@ -378,6 +405,11 @@ impl DtnNode {
             now,
         );
         report.absorb(r2, true);
+        if report.transmitted > 0 {
+            // Either side may now hold items with earlier expiry times.
+            self.next_expiry = None;
+            other.next_expiry = None;
+        }
         let (a, b) = (self.replica.id().as_u64(), other.replica.id().as_u64());
         let (transmitted, delivered, duplicates) = (
             report.transmitted as u64,
@@ -404,7 +436,7 @@ impl DtnNode {
         &mut self,
         source: ReplicaId,
         now: SimTime,
-    ) -> pfr::sync::SyncRequest {
+    ) -> pfr::sync::SyncRequest<'_> {
         sync::begin_sync(&mut self.replica, self.policy.as_mut(), now, Some(source))
     }
 
@@ -427,6 +459,10 @@ impl DtnNode {
 
     /// Applies a received batch as the *target*, completing the session.
     pub fn apply_sync(&mut self, batch: pfr::sync::SyncBatch, now: SimTime) -> SyncReport {
+        if !batch.entries.is_empty() {
+            // Arriving items may carry expiry times; rescan next time.
+            self.next_expiry = None;
+        }
         sync::apply_batch(&mut self.replica, self.policy.as_mut(), batch, now)
     }
 
@@ -551,6 +587,7 @@ impl DtnNode {
             addresses,
             extra_filter_addrs,
             store: None,
+            next_expiry: None,
         }
     }
 

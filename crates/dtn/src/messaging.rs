@@ -125,11 +125,17 @@ pub fn send_message(
     Ok(id)
 }
 
-/// Returns `true` if the item is a message whose lifetime has ended.
-pub fn is_expired(item: &Item, now: SimTime) -> bool {
+/// The absolute expiry time a message item carries, if any (negative
+/// stored times clamp to zero, i.e. "already expired").
+pub fn expires_at(item: &Item) -> Option<SimTime> {
     item.attrs()
         .get_i64(ATTR_EXPIRES_AT)
-        .is_some_and(|t| now.as_secs() as i64 >= t)
+        .map(|t| SimTime::from_secs(t.max(0) as u64))
+}
+
+/// Returns `true` if the item is a message whose lifetime has ended.
+pub fn is_expired(item: &Item, now: SimTime) -> bool {
+    expires_at(item).is_some_and(|t| now >= t)
 }
 
 /// Injects a unicast message with a bounded lifetime: after

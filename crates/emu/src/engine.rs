@@ -120,6 +120,11 @@ pub struct EmulationConfig {
     /// [`ExperimentMetrics::daily_stats`] — and fans events out to this
     /// observer too when one is set.
     pub observer: Option<Arc<dyn Observer>>,
+    /// Force every node's replica back onto the legacy full-store
+    /// candidate scan instead of the per-origin version index. Only the
+    /// selection algorithm changes — results are identical either way —
+    /// so this exists for A/B benchmarking (see the `macro_emu` bench).
+    pub candidate_scan: bool,
 }
 
 impl std::fmt::Debug for EmulationConfig {
@@ -140,6 +145,7 @@ impl std::fmt::Debug for EmulationConfig {
                 &self.messages_per_contact_minute,
             )
             .field("observer", &self.observer.is_some())
+            .field("candidate_scan", &self.candidate_scan)
             .finish()
     }
 }
@@ -159,6 +165,7 @@ impl Default for EmulationConfig {
             message_lifetime: None,
             messages_per_contact_minute: None,
             observer: None,
+            candidate_scan: false,
         }
     }
 }
@@ -208,6 +215,7 @@ impl<'a> Emulation<'a> {
             let mut node = DtnNode::with_policy(id, &bus_address(id), config.policy.build());
             node.replica_mut().set_relay_limit(config.relay_limit);
             node.replica_mut().set_observer(obs.clone());
+            node.replica_mut().set_candidate_scan(config.candidate_scan);
             nodes.insert(id, node);
         }
 
@@ -320,11 +328,21 @@ impl<'a> Emulation<'a> {
             }
         }
 
-        // Final storage accounting.
+        // Final storage accounting: one pass over every node's store builds
+        // the copy counts for all tracked messages at once, instead of one
+        // full node sweep per message (O(nodes * messages) -> O(live items)).
+        let mut copies: BTreeMap<ItemId, usize> = BTreeMap::new();
+        for node in self.nodes.values() {
+            for item in node.replica().iter_items() {
+                if !item.is_deleted() {
+                    *copies.entry(item.id()).or_insert(0) += 1;
+                }
+            }
+        }
         let ids: Vec<ItemId> = self.metrics.records().map(|r| r.id).collect();
         for id in ids {
-            let copies = self.count_copies(id);
-            self.metrics.record_final_copies(id, copies);
+            let count = copies.get(&id).copied().unwrap_or(0);
+            self.metrics.record_final_copies(id, count);
         }
         self.metrics.evictions = self
             .nodes
@@ -451,8 +469,12 @@ impl<'a> Emulation<'a> {
         match DtnNode::restore(&snapshot) {
             Ok(mut restored) => {
                 restored.replace_policy(self.config.policy.build());
-                // Snapshots carry no observability state; re-attach.
+                // Snapshots carry no observability or acceleration state;
+                // re-attach the observer and selection mode.
                 restored.replica_mut().set_observer(self.obs.clone());
+                restored
+                    .replica_mut()
+                    .set_candidate_scan(self.config.candidate_scan);
                 self.metrics.reboots += 1;
                 self.nodes.insert(id, restored);
             }

@@ -14,6 +14,7 @@ use traces::{DieselNetConfig, EmailConfig, EmailWorkload, EncounterTrace};
 
 use crate::engine::{Emulation, EmulationConfig};
 use crate::metrics::{CdfPoint, ExperimentMetrics};
+use crate::sweep::SweepRunner;
 
 /// The shared input of every experiment: one mobility trace plus one
 /// message workload.
@@ -95,6 +96,7 @@ pub fn filter_sweep_with(
     ks: &[usize],
     observer: Option<Arc<dyn Observer>>,
 ) -> Vec<(String, Vec<RunResult>)> {
+    let runner = SweepRunner::new().with_observer(observer.clone());
     let base_cfg = EmulationConfig {
         observer,
         ..EmulationConfig::default()
@@ -105,7 +107,7 @@ pub fn filter_sweep_with(
         Emulation::new(&scenario.trace, &scenario.workload, base_cfg.clone()).run(),
     );
 
-    // The per-k runs are independent: fan them out across threads.
+    // The per-k runs are independent: fan them out across the sweep pool.
     let run_one = |strategy: FilterStrategy, k: usize| -> RunResult {
         let config = EmulationConfig {
             filter_strategy: strategy,
@@ -114,26 +116,14 @@ pub fn filter_sweep_with(
         let metrics = Emulation::new(&scenario.trace, &scenario.workload, config).run();
         run_result(format!("+{k}"), scenario, metrics)
     };
-    let (random_rows, selected_rows) = std::thread::scope(|scope| {
-        let random: Vec<_> = ks
-            .iter()
-            .map(|&k| scope.spawn(move || run_one(FilterStrategy::Random(k), k)))
-            .collect();
-        let selected: Vec<_> = ks
-            .iter()
-            .map(|&k| scope.spawn(move || run_one(FilterStrategy::Selected(k), k)))
-            .collect();
-        (
-            random
-                .into_iter()
-                .map(|h| h.join().expect("run"))
-                .collect::<Vec<_>>(),
-            selected
-                .into_iter()
-                .map(|h| h.join().expect("run"))
-                .collect::<Vec<_>>(),
-        )
-    });
+    let jobs: Vec<(FilterStrategy, usize)> = ks
+        .iter()
+        .map(|&k| (FilterStrategy::Random(k), k))
+        .chain(ks.iter().map(|&k| (FilterStrategy::Selected(k), k)))
+        .collect();
+    let mut rows = runner.run(jobs, |(strategy, k)| run_one(strategy, k));
+    let selected_rows = rows.split_off(ks.len());
+    let random_rows = rows;
 
     let mut series = Vec::new();
     for (name, rows) in [("random", random_rows), ("selected", selected_rows)] {
@@ -224,20 +214,12 @@ pub fn policy_comparison_with(
     relay_limit: Option<usize>,
     observer: Option<Arc<dyn Observer>>,
 ) -> Vec<PolicyRun> {
-    // Five independent runs: one thread each.
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = PolicyKind::ALL
-            .iter()
-            .map(|&p| {
-                let observer = observer.clone();
-                scope.spawn(move || run_policy_with(scenario, p, budget, relay_limit, observer))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run"))
-            .collect()
-    })
+    // Five independent runs, fanned out over the sweep pool.
+    SweepRunner::new()
+        .with_observer(observer.clone())
+        .run(PolicyKind::ALL.to_vec(), |p| {
+            run_policy_with(scenario, p, budget, relay_limit, observer.clone())
+        })
 }
 
 #[cfg(test)]
@@ -343,5 +325,37 @@ mod tests {
     fn horizon_is_after_last_day() {
         let scenario = Scenario::small();
         assert_eq!(scenario.horizon().day(), scenario.trace.days());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+        /// Fanning emulation runs across the sweep pool must return
+        /// metrics identical to running them serially, whatever the seeds:
+        /// per-run determinism may not leak scheduling order.
+        #[test]
+        fn parallel_sweep_metrics_identical_to_serial(
+            assignment_seed in proptest::prelude::any::<u64>(),
+            fault_seed in proptest::prelude::any::<u64>(),
+        ) {
+            let scenario = Scenario::small();
+            let jobs = || {
+                [PolicyKind::Direct, PolicyKind::Epidemic, PolicyKind::Prophet]
+                    .map(|p| EmulationConfig {
+                        policy: p.into(),
+                        assignment_seed,
+                        fault_seed,
+                        encounter_drop_rate: 0.1,
+                        ..EmulationConfig::default()
+                    })
+                    .to_vec()
+            };
+            let run_one = |config: EmulationConfig| {
+                Emulation::new(&scenario.trace, &scenario.workload, config).run()
+            };
+            let serial = SweepRunner::serial().run(jobs(), run_one);
+            let parallel = SweepRunner::new().with_workers(3).run(jobs(), run_one);
+            proptest::prop_assert_eq!(serial, parallel);
+        }
     }
 }

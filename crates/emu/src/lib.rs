@@ -8,6 +8,7 @@
 //!
 //! * [`Emulation`] / [`EmulationConfig`] — one run.
 //! * [`ExperimentMetrics`] — delays, CDFs, copy accounting.
+//! * [`SweepRunner`] — bounded parallel execution for multi-run sweeps.
 //! * [`experiments`] — canned runners for every figure of the paper.
 //! * [`report`] — paper-style table and series rendering.
 //!
@@ -27,6 +28,7 @@
 
 mod engine;
 mod metrics;
+mod sweep;
 
 pub mod experiments;
 pub mod report;
@@ -34,3 +36,4 @@ pub mod topology;
 
 pub use engine::{Emulation, EmulationConfig, PolicySpec};
 pub use metrics::{CdfPoint, DayRollup, DayStats, ExperimentMetrics, MessageRecord};
+pub use sweep::SweepRunner;

@@ -48,7 +48,11 @@ pub struct DayStats {
 }
 
 /// Aggregated metrics for one emulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// Implements `PartialEq`/`Eq` so determinism checks (parallel sweep vs
+/// serial baseline, index vs scan candidate selection) can compare whole
+/// runs structurally.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExperimentMetrics {
     records: BTreeMap<ItemId, MessageRecord>,
     daily: BTreeMap<u64, DayStats>,

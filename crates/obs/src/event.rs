@@ -81,6 +81,32 @@ pub enum Event {
         /// Simulated time, seconds.
         at_secs: u64,
     },
+    /// The source finished scanning and selecting candidate items for one
+    /// sync (the hot inner loop of batch construction).
+    SyncCandidatesSelected {
+        /// The serving replica.
+        source: u64,
+        /// The pulling replica.
+        target: u64,
+        /// Candidate items unknown to the target.
+        candidates: u64,
+        /// Candidates selected (filter-matched or policy-forwarded).
+        selected: u64,
+        /// Filter-match verdicts answered from the per-filter memo.
+        memo_hits: u64,
+        /// Wall-clock duration of scan + selection, microseconds (0 when
+        /// the observer was attached mid-run and no timing was taken).
+        scan_us: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// A parallel experiment sweep started.
+    SweepStarted {
+        /// Independent emulation jobs in the sweep.
+        jobs: u64,
+        /// Worker threads executing them.
+        workers: u64,
+    },
     /// The source finished building a batch for one sync.
     SyncBatchSent {
         /// The serving replica.
@@ -314,6 +340,8 @@ impl Event {
         match self {
             Event::MessageInjected { .. } => "message_injected",
             Event::SyncStarted { .. } => "sync_started",
+            Event::SyncCandidatesSelected { .. } => "sync_candidates_selected",
+            Event::SweepStarted { .. } => "sweep_started",
             Event::SyncBatchSent { .. } => "sync_batch_sent",
             Event::ItemTransmitted { .. } => "item_transmitted",
             Event::ItemDelivered { .. } => "item_delivered",
@@ -365,6 +393,27 @@ impl Event {
                 push_u64(&mut out, "target", *target);
                 push_u64(&mut out, "source", *source);
                 push_u64(&mut out, "at", *at_secs);
+            }
+            Event::SyncCandidatesSelected {
+                source,
+                target,
+                candidates,
+                selected,
+                memo_hits,
+                scan_us,
+                at_secs,
+            } => {
+                push_u64(&mut out, "source", *source);
+                push_u64(&mut out, "target", *target);
+                push_u64(&mut out, "candidates", *candidates);
+                push_u64(&mut out, "selected", *selected);
+                push_u64(&mut out, "memo_hits", *memo_hits);
+                push_u64(&mut out, "scan_us", *scan_us);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::SweepStarted { jobs, workers } => {
+                push_u64(&mut out, "jobs", *jobs);
+                push_u64(&mut out, "workers", *workers);
             }
             Event::SyncBatchSent {
                 source,
@@ -681,6 +730,8 @@ mod tests {
         let kinds = [
             "message_injected",
             "sync_started",
+            "sync_candidates_selected",
+            "sweep_started",
             "sync_batch_sent",
             "item_transmitted",
             "item_delivered",

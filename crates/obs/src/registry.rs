@@ -231,6 +231,21 @@ impl Observer for Registry {
         match event {
             Event::MessageInjected { .. } => self.add("messages.injected", 1),
             Event::SyncStarted { .. } => self.add("sync.sessions", 1),
+            Event::SyncCandidatesSelected {
+                candidates,
+                memo_hits,
+                scan_us,
+                ..
+            } => {
+                self.add("sync.candidates", *candidates);
+                self.add("sync.index_hits", *memo_hits);
+                self.observe("sync.candidate_scan_us", *scan_us);
+            }
+            Event::SweepStarted { jobs, workers } => {
+                self.add("emu.sweeps", 1);
+                self.add("emu.sweep.jobs", *jobs);
+                self.observe("emu.sweep_workers", *workers);
+            }
             Event::SyncBatchSent {
                 entries,
                 withheld,

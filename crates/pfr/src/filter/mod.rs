@@ -162,6 +162,19 @@ impl Filter {
         self.matches_attrs(item.attrs())
     }
 
+    /// A 64-bit fingerprint of the filter's canonical text form (its
+    /// [`std::fmt::Display`] rendering, which round-trips through the
+    /// parser). Equal fingerprints identify semantically equal filters
+    /// up to hash collisions; sync uses this to key per-filter match
+    /// memos without holding filter clones.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        self.to_string().hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Evaluates the filter against a bare attribute map.
     pub fn matches_attrs(&self, attrs: &crate::AttributeMap) -> bool {
         match self {

@@ -1,5 +1,6 @@
 //! The replica: one host's filtered copy of the collection.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use obs::{DropReason, Event, Obs};
@@ -109,7 +110,32 @@ pub struct Replica {
     /// Event emission handle. Like `conflict_log`, observability state:
     /// never part of snapshots, disabled by default.
     obs: Obs,
+    /// Memoized `filter.matches(item)` verdicts for sync candidate
+    /// selection, keyed by (filter fingerprint, item version). A verdict
+    /// depends only on the filter and the item's versioned attributes, so
+    /// entries never go stale: updates mint new versions. Acceleration
+    /// state like `conflict_log` — never part of snapshots.
+    match_memo: HashMap<(u64, Version), bool>,
+    /// When set, candidate selection uses the pre-index full store scan
+    /// and bypasses `match_memo`. Benchmark/validation knob (see
+    /// [`Replica::set_candidate_scan`]); off by default.
+    candidate_scan: bool,
 }
+
+/// One resolved sync candidate (see [`Replica::resolve_candidate`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CandidateInfo {
+    /// Whether the requester's filter matches the stored item.
+    pub matched: bool,
+    /// Whether `matched` was answered from the memo.
+    pub memo_hit: bool,
+    /// Stored payload length, for byte-budget accounting.
+    pub payload_len: usize,
+}
+
+/// Entries kept in a replica's filter-match memo before it is cleared and
+/// rebuilt. Bounds memory on long runs with many distinct peer filters.
+const MATCH_MEMO_CAP: usize = 1 << 16;
 
 impl Replica {
     /// Creates an empty replica with the given identity and filter.
@@ -126,6 +152,8 @@ impl Replica {
             stats: ReplicaStats::default(),
             conflict_log: Vec::new(),
             obs: Obs::none(),
+            match_memo: HashMap::new(),
+            candidate_scan: false,
         }
     }
 
@@ -383,12 +411,78 @@ impl Replica {
 
     /// Ids of stored items whose current version is not contained in
     /// `knowledge` — the candidate set a sync source offers a target.
+    ///
+    /// Answered from the store's version index: per origin, only the
+    /// counter suffix beyond the requester's knowledge vector is walked,
+    /// so the cost scales with the *unknown* versions rather than the
+    /// store size. Results are identical (including order) to the full
+    /// scan, which is kept as [`Replica::versions_unknown_to_scan`].
     pub fn versions_unknown_to(&self, knowledge: &Knowledge) -> Vec<ItemId> {
+        if self.candidate_scan {
+            return self.versions_unknown_to_scan(knowledge);
+        }
+        self.store.versions_unknown_to(knowledge)
+    }
+
+    /// Reference implementation of [`Replica::versions_unknown_to`]: a
+    /// full scan of the store. Property tests assert the indexed path
+    /// returns exactly these results; the `macro_emu` benchmark uses it
+    /// (via [`Replica::set_candidate_scan`]) as the pre-index baseline.
+    pub fn versions_unknown_to_scan(&self, knowledge: &Knowledge) -> Vec<ItemId> {
         self.store
             .iter()
             .filter(|s| !knowledge.contains(s.item.version()))
             .map(|s| s.item.id())
             .collect()
+    }
+
+    /// Forces candidate selection back to the pre-index full-scan path
+    /// and disables the filter-match memo. The two paths are equivalent
+    /// (property-tested); this knob exists so benchmarks and validation
+    /// runs can compare them within one process. Off by default.
+    pub fn set_candidate_scan(&mut self, scan: bool) {
+        self.candidate_scan = scan;
+    }
+
+    /// Resolves one sync candidate in a single store lookup: whether
+    /// `filter` matches the stored item, whether that verdict came from
+    /// the memo, and the stored payload length. `fingerprint` must be
+    /// `filter.fingerprint()` (hoisted by the caller — computing it
+    /// canonicalizes the filter, so once per batch, not per item).
+    /// Returns `None` when the item is not stored.
+    pub(crate) fn resolve_candidate(
+        &mut self,
+        filter: &Filter,
+        fingerprint: u64,
+        id: ItemId,
+    ) -> Option<CandidateInfo> {
+        let stored = self.store.get(id)?;
+        let payload_len = stored.item.payload().len();
+        if self.candidate_scan {
+            return Some(CandidateInfo {
+                matched: filter.matches(&stored.item),
+                memo_hit: false,
+                payload_len,
+            });
+        }
+        let key = (fingerprint, stored.item.version());
+        if let Some(&matched) = self.match_memo.get(&key) {
+            return Some(CandidateInfo {
+                matched,
+                memo_hit: true,
+                payload_len,
+            });
+        }
+        let matched = filter.matches(&stored.item);
+        if self.match_memo.len() >= MATCH_MEMO_CAP {
+            self.match_memo.clear();
+        }
+        self.match_memo.insert(key, matched);
+        Some(CandidateInfo {
+            matched,
+            memo_hit: false,
+            payload_len,
+        })
     }
 
     /// Offers a remote item copy to this replica, enforcing at-most-once
@@ -511,6 +605,8 @@ impl Replica {
             stats: ReplicaStats::default(),
             conflict_log: Vec::new(),
             obs: Obs::none(),
+            match_memo: HashMap::new(),
+            candidate_scan: false,
         };
         replica.enforce_relay_limit();
         replica

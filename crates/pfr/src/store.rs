@@ -5,8 +5,9 @@ use std::collections::{BTreeMap, VecDeque};
 use serde::{Deserialize, Serialize};
 
 use crate::filter::Filter;
-use crate::id::{ItemId, ReplicaId};
+use crate::id::{ItemId, ReplicaId, Version};
 use crate::item::Item;
+use crate::knowledge::Knowledge;
 use crate::time::SimTime;
 
 /// Why a replica is holding an item.
@@ -61,6 +62,13 @@ pub(crate) struct ItemStore {
     items: BTreeMap<ItemId, StoredItem>,
     /// Arrival order of relay items, oldest first, for FIFO eviction.
     relay_fifo: VecDeque<ItemId>,
+    /// Version index: origin replica → (version counter → holding item).
+    /// Mirrors the *current* version of every stored item so sync candidate
+    /// selection can walk only the suffix of each origin's counters beyond
+    /// a requester's knowledge vector instead of scanning the whole store.
+    /// Maintained by [`ItemStore::put`] / [`ItemStore::remove`], which every
+    /// mutation path funnels through.
+    version_index: BTreeMap<ReplicaId, BTreeMap<u64, ItemId>>,
 }
 
 impl ItemStore {
@@ -97,6 +105,7 @@ impl ItemStore {
     /// a relay item.
     pub fn put(&mut self, item: Item, kind: StoreKind, received_at: SimTime) {
         let id = item.id();
+        let version = item.version();
         let was_relay = self
             .items
             .get(&id)
@@ -107,7 +116,7 @@ impl ItemStore {
             (true, false) => self.remove_from_fifo(id),
             _ => {}
         }
-        self.items.insert(
+        let replaced = self.items.insert(
             id,
             StoredItem {
                 item,
@@ -115,14 +124,56 @@ impl ItemStore {
                 received_at,
             },
         );
+        if let Some(old) = replaced {
+            let old_version = old.item.version();
+            if old_version != version {
+                self.unindex_version(old_version);
+            }
+        }
+        self.version_index
+            .entry(version.replica())
+            .or_default()
+            .insert(version.counter(), id);
     }
 
     pub fn remove(&mut self, id: ItemId) -> Option<StoredItem> {
         let removed = self.items.remove(&id);
-        if removed.as_ref().map(|s| s.kind) == Some(StoreKind::Relay) {
-            self.remove_from_fifo(id);
+        if let Some(stored) = &removed {
+            if stored.kind == StoreKind::Relay {
+                self.remove_from_fifo(id);
+            }
+            self.unindex_version(stored.item.version());
         }
         removed
+    }
+
+    fn unindex_version(&mut self, version: Version) {
+        if let Some(by_counter) = self.version_index.get_mut(&version.replica()) {
+            by_counter.remove(&version.counter());
+            if by_counter.is_empty() {
+                self.version_index.remove(&version.replica());
+            }
+        }
+    }
+
+    /// Ids of stored items whose versions `knowledge` has not learned,
+    /// answered from the version index: for each origin, only the counter
+    /// suffix beyond the requester's vector entry is walked (exceptions
+    /// prune individual versions inside that suffix). Returns ids in
+    /// ascending order — exactly the order a full scan of the id-keyed
+    /// store produces, so callers observe identical candidate sequences.
+    pub fn versions_unknown_to(&self, knowledge: &Knowledge) -> Vec<ItemId> {
+        let mut ids = Vec::new();
+        for (&origin, by_counter) in &self.version_index {
+            let base = knowledge.base_counter(origin);
+            for (&counter, &id) in by_counter.range(base.saturating_add(1)..) {
+                if !knowledge.contains(Version::new(origin, counter)) {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
     }
 
     fn remove_from_fifo(&mut self, id: ItemId) {
@@ -305,5 +356,65 @@ mod tests {
     fn remove_missing_returns_none() {
         let mut s = ItemStore::new();
         assert!(s.remove(ItemId::new(rid(9), 9)).is_none());
+    }
+
+    /// The version index must mirror the item map exactly: one entry per
+    /// stored item, keyed by that item's current version.
+    fn assert_index_mirrors_items(s: &ItemStore) {
+        let indexed: usize = s.version_index.values().map(|m| m.len()).sum();
+        assert_eq!(indexed, s.items.len(), "index entry count drifted");
+        for (id, stored) in &s.items {
+            let v = stored.item.version();
+            assert_eq!(
+                s.version_index
+                    .get(&v.replica())
+                    .and_then(|m| m.get(&v.counter())),
+                Some(id),
+                "item {id} missing from index under {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_index_tracks_put_replace_remove() {
+        let mut s = ItemStore::new();
+        s.put(item(2, 1, "x"), StoreKind::Relay, SimTime::ZERO);
+        s.put(item(3, 1, "x"), StoreKind::InFilter, SimTime::ZERO);
+        assert_index_mirrors_items(&s);
+
+        // Replace id (2,1) with a newer version written by replica 5.
+        let newer = Item::builder(ItemId::new(rid(2), 1), Version::new(rid(5), 9))
+            .attr("dest", "x")
+            .build();
+        s.put(newer, StoreKind::Relay, SimTime::ZERO);
+        assert_index_mirrors_items(&s);
+        assert!(
+            !s.version_index.contains_key(&rid(2)),
+            "replaced version must leave the index"
+        );
+
+        s.remove(ItemId::new(rid(3), 1));
+        assert_index_mirrors_items(&s);
+        s.remove(ItemId::new(rid(2), 1));
+        assert_index_mirrors_items(&s);
+        assert!(s.version_index.is_empty());
+    }
+
+    #[test]
+    fn versions_unknown_to_walks_suffixes() {
+        let mut s = ItemStore::new();
+        for seq in 1..=4 {
+            s.put(item(2, seq, "x"), StoreKind::InFilter, SimTime::ZERO);
+        }
+        s.put(item(3, 1, "x"), StoreKind::InFilter, SimTime::ZERO);
+
+        let mut k = Knowledge::new();
+        k.insert_prefix(rid(2), 2); // knows 2@1..2
+        k.insert(Version::new(rid(2), 4)); // and the exception 2@4
+        let unknown = s.versions_unknown_to(&k);
+        assert_eq!(
+            unknown,
+            vec![ItemId::new(rid(2), 3), ItemId::new(rid(3), 1)]
+        );
     }
 }

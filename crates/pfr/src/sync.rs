@@ -18,7 +18,9 @@
 //! routing policies — without changing the meaning of filters, so eventual
 //! filter consistency is preserved (§IV-C).
 
+use std::borrow::Cow;
 use std::fmt;
+use std::time::Instant;
 
 use obs::{DecisionKind, DropReason, Event};
 use serde::{Deserialize, Serialize};
@@ -240,7 +242,7 @@ pub trait SyncExtension {
 
     /// Called on the **source** when a request arrives: digests the
     /// target's routing data (`processReq()` in the paper).
-    fn process_request(&mut self, cx: &mut HostContext<'_>, request: &SyncRequest) {
+    fn process_request(&mut self, cx: &mut HostContext<'_>, request: &SyncRequest<'_>) {
         let _ = (cx, request);
     }
 
@@ -251,7 +253,7 @@ pub trait SyncExtension {
         &mut self,
         cx: &mut HostContext<'_>,
         item_id: ItemId,
-        request: &SyncRequest,
+        request: &SyncRequest<'_>,
     ) -> SendDecision {
         let _ = (cx, item_id, request);
         SendDecision::Skip
@@ -292,17 +294,35 @@ impl SyncExtension for NoExtension {
 }
 
 /// A synchronization request, sent by the target to the source.
+///
+/// Knowledge and filter ride in [`Cow`]s: the in-process path
+/// ([`begin_sync`]) borrows both straight from the target replica, so
+/// local encounters clone neither; the wire path decodes owned values
+/// (`SyncRequest<'static>`).
 #[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct SyncRequest {
+pub struct SyncRequest<'a> {
     /// The requesting (target) replica.
     pub target: ReplicaId,
     /// Everything the target already knows; the source sends only versions
     /// outside this set (at-most-once delivery).
-    pub knowledge: Knowledge,
+    pub knowledge: Cow<'a, Knowledge>,
     /// The target's content filter.
-    pub filter: Filter,
+    pub filter: Cow<'a, Filter>,
     /// Policy-defined routing data (paper §V-A requirement 2).
     pub routing: RoutingState,
+}
+
+impl SyncRequest<'_> {
+    /// Detaches the request from any replica borrow, cloning the
+    /// knowledge and filter only if they are still borrowed.
+    pub fn into_owned(self) -> SyncRequest<'static> {
+        SyncRequest {
+            target: self.target,
+            knowledge: Cow::Owned(self.knowledge.into_owned()),
+            filter: Cow::Owned(self.filter.into_owned()),
+            routing: self.routing,
+        }
+    }
 }
 
 /// One item in a sync batch.
@@ -397,12 +417,16 @@ pub struct SyncReport {
 }
 
 /// Builds the target's sync request (paper Fig. 4, target side, step 1).
-pub fn begin_sync(
-    target: &mut Replica,
+///
+/// The returned request borrows the target's knowledge and filter for
+/// `'a` — nothing is cloned. Callers that need an owned request (to
+/// outlive the replica borrow) can [`SyncRequest::into_owned`] it.
+pub fn begin_sync<'a>(
+    target: &'a mut Replica,
     ext: &mut dyn SyncExtension,
     now: SimTime,
     source: Option<ReplicaId>,
-) -> SyncRequest {
+) -> SyncRequest<'a> {
     let target_id = target.id().as_u64();
     let source_id = source.map(|s| s.as_u64()).unwrap_or(0);
     target.observer().emit(|| Event::SyncStarted {
@@ -412,10 +436,11 @@ pub fn begin_sync(
     });
     let mut cx = HostContext::new(target, now, source);
     let routing = ext.generate_request(&mut cx);
+    let target: &'a Replica = target;
     SyncRequest {
         target: target.id(),
-        knowledge: target.knowledge().clone(),
-        filter: target.filter().clone(),
+        knowledge: Cow::Borrowed(target.knowledge()),
+        filter: Cow::Borrowed(target.filter()),
         routing,
     }
 }
@@ -426,19 +451,20 @@ pub fn begin_sync(
 pub fn prepare_batch(
     source: &mut Replica,
     ext: &mut dyn SyncExtension,
-    request: &SyncRequest,
+    request: &SyncRequest<'_>,
     limits: SyncLimits,
     now: SimTime,
 ) -> SyncBatch {
     let source_id = source.id();
     let policy = ext.label();
     let target_id = request.target.as_u64();
-    {
-        let mut cx = HostContext::new(source, now, Some(request.target));
-        ext.process_request(&mut cx, request);
-    }
+    // One context serves the whole batch build: request processing,
+    // per-candidate policy calls, and outgoing preparation. Candidate
+    // resolution reaches the replica through `cx.replica` directly.
+    let mut cx = HostContext::new(source, now, Some(request.target));
+    ext.process_request(&mut cx, request);
     let routing_bytes = request.routing.as_bytes().len();
-    source.observer().emit(|| Event::PolicyDecision {
+    cx.replica.observer().emit(|| Event::PolicyDecision {
         replica: source_id.as_u64(),
         peer: target_id,
         policy,
@@ -449,21 +475,37 @@ pub fn prepare_batch(
         at_secs: now.as_secs(),
     });
 
-    let candidates = source.versions_unknown_to(&request.knowledge);
-    let mut selected: Vec<(ItemId, Priority, bool)> = Vec::new();
+    // Candidate scan + selection, timed only when an observer is
+    // attached (the disabled path never reads the clock, like `Span`).
+    let scan_started = cx.replica.observer().enabled().then(Instant::now);
+    // The filter fingerprint (a Display render + hash) is only needed to
+    // key the match memo; compute it lazily so the common zero-candidate
+    // sync pays nothing for it.
+    let mut fingerprint: Option<u64> = None;
+    let candidates = cx.replica.versions_unknown_to(&request.knowledge);
+    let candidate_count = candidates.len() as u64;
+    let mut memo_hits = 0u64;
+    let mut selected: Vec<(ItemId, Priority, bool, usize)> = Vec::with_capacity(candidates.len());
     let mut withheld = 0usize;
     for id in candidates {
-        let matched = source
-            .item(id)
-            .map(|item| request.filter.matches(item))
-            .unwrap_or(false);
+        // One store lookup resolves filter match, memo state, and the
+        // payload length the byte-budget cut needs later.
+        let fp = *fingerprint.get_or_insert_with(|| request.filter.fingerprint());
+        let (matched, payload_len) = match cx.replica.resolve_candidate(&request.filter, fp, id) {
+            Some(info) => {
+                memo_hits += info.memo_hit as u64;
+                (info.matched, info.payload_len)
+            }
+            // Vanished mid-build (a policy purged it): let the policy
+            // rule on it; the final pass drops it if still gone.
+            None => (false, 0),
+        };
         if matched {
-            selected.push((id, Priority::highest(), true));
+            selected.push((id, Priority::highest(), true, payload_len));
             continue;
         }
-        let mut cx = HostContext::new(source, now, Some(request.target));
         let verdict = ext.to_send(&mut cx, id, request).priority();
-        source.observer().emit(|| Event::PolicyDecision {
+        cx.replica.observer().emit(|| Event::PolicyDecision {
             replica: source_id.as_u64(),
             peer: target_id,
             policy,
@@ -477,13 +519,28 @@ pub fn prepare_batch(
             at_secs: now.as_secs(),
         });
         match verdict {
-            Some(priority) => selected.push((id, priority, false)),
+            Some(priority) => selected.push((id, priority, false, payload_len)),
             None => withheld += 1,
         }
     }
+    let selected_count = selected.len() as u64;
+    let scan_us = scan_started
+        .map(|t| t.elapsed().as_micros().min(u64::MAX as u128) as u64)
+        .unwrap_or(0);
+    cx.replica
+        .observer()
+        .emit(|| Event::SyncCandidatesSelected {
+            source: source_id.as_u64(),
+            target: target_id,
+            candidates: candidate_count,
+            selected: selected_count,
+            memo_hits,
+            scan_us,
+            at_secs: now.as_secs(),
+        });
 
     // Deterministic transmission order: priority, then item id.
-    selected.sort_by(|(ida, pa, _), (idb, pb, _)| {
+    selected.sort_by(|(ida, pa, _, _), (idb, pb, _, _)| {
         let ka = pa.sort_key();
         let kb = pb.sort_key();
         ka.0.cmp(&kb.0)
@@ -502,12 +559,12 @@ pub fn prepare_batch(
         // the byte budget (the encounter ends there). A zero budget means
         // "no transfer at all": without the explicit guard, zero-length
         // payloads cost nothing and an empty budget would let every such
-        // item through.
+        // item through. Sizes were recorded during selection — payloads
+        // are immutable after creation, so no second lookup is needed.
         let mut used = 0usize;
         let mut keep = 0usize;
         if max_bytes > 0 {
-            for (id, _, _) in &selected {
-                let size = source.item(*id).map(|i| i.payload().len()).unwrap_or(0);
+            for (_, _, _, size) in &selected {
                 if used + size > max_bytes {
                     break;
                 }
@@ -523,16 +580,14 @@ pub fn prepare_batch(
 
     let mut entries = Vec::with_capacity(selected.len());
     let mut payload_bytes = 0u64;
-    for (id, priority, matched_filter) in selected {
-        let Some(item) = source.item(id).cloned() else {
+    for (id, priority, matched_filter, _) in selected {
+        let Some(mut copy) = cx.replica.item(id).cloned() else {
             continue;
         };
-        let mut copy = item;
-        let mut cx = HostContext::new(source, now, Some(request.target));
         ext.prepare_outgoing(&mut cx, &mut copy, request.target, matched_filter);
         let bytes = copy.payload().len() as u64;
         payload_bytes += bytes;
-        source.observer().emit(|| Event::ItemTransmitted {
+        cx.replica.observer().emit(|| Event::ItemTransmitted {
             source: source_id.as_u64(),
             target: target_id,
             origin: id.origin().as_u64(),
@@ -548,7 +603,7 @@ pub fn prepare_batch(
         });
     }
     let entry_count = entries.len() as u64;
-    source.observer().emit(|| Event::SyncBatchSent {
+    cx.replica.observer().emit(|| Event::SyncBatchSent {
         source: source_id.as_u64(),
         target: target_id,
         entries: entry_count,
@@ -640,6 +695,8 @@ pub fn sync_with(
 ) -> SyncReport {
     let request = begin_sync(target, target_ext, now, Some(source.id()));
     let batch = prepare_batch(source, source_ext, &request, limits, now);
+    // `request` borrows `target`; release it before applying the batch.
+    drop(request);
     apply_batch(target, target_ext, batch, now)
 }
 
@@ -684,7 +741,7 @@ mod tests {
             &mut self,
             _cx: &mut HostContext<'_>,
             _item: ItemId,
-            _req: &SyncRequest,
+            _req: &SyncRequest<'_>,
         ) -> SendDecision {
             SendDecision::Send(Priority::normal())
         }
@@ -879,7 +936,7 @@ mod tests {
                 &mut self,
                 cx: &mut HostContext<'_>,
                 id: ItemId,
-                _req: &SyncRequest,
+                _req: &SyncRequest<'_>,
             ) -> SendDecision {
                 // Priority derived from payload: [n] -> cost n, class Normal
                 // except payload 0 which is High class.

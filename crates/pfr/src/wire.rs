@@ -707,7 +707,7 @@ impl Decode for Priority {
     }
 }
 
-impl Encode for SyncRequest {
+impl Encode for SyncRequest<'_> {
     fn encode(&self, w: &mut Writer) {
         self.target.encode(w);
         self.knowledge.encode(w);
@@ -716,12 +716,12 @@ impl Encode for SyncRequest {
     }
 }
 
-impl Decode for SyncRequest {
+impl Decode for SyncRequest<'static> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SyncRequest {
             target: ReplicaId::decode(r)?,
-            knowledge: Knowledge::decode(r)?,
-            filter: Filter::decode(r)?,
+            knowledge: std::borrow::Cow::Owned(Knowledge::decode(r)?),
+            filter: std::borrow::Cow::Owned(Filter::decode(r)?),
             routing: RoutingState::decode(r)?,
         })
     }
@@ -897,12 +897,12 @@ mod tests {
         k.insert_prefix(ReplicaId::new(1), 3);
         let req = SyncRequest {
             target: ReplicaId::new(2),
-            knowledge: k,
-            filter: Filter::address("dest", "b"),
+            knowledge: std::borrow::Cow::Owned(k),
+            filter: std::borrow::Cow::Owned(Filter::address("dest", "b")),
             routing: RoutingState::from_bytes(vec![9, 9]),
         };
         let bytes = to_bytes(&req);
-        let back: SyncRequest = from_bytes(&bytes).unwrap();
+        let back: SyncRequest<'_> = from_bytes(&bytes).unwrap();
         assert_eq!(back.target, req.target);
         assert_eq!(back.filter, req.filter);
         assert_eq!(back.routing, req.routing);

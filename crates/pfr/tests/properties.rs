@@ -178,8 +178,8 @@ proptest! {
     ) {
         let request = pfr::sync::SyncRequest {
             target: ReplicaId::new(target),
-            knowledge: k,
-            filter: Filter::address("dest", "x"),
+            knowledge: std::borrow::Cow::Owned(k),
+            filter: std::borrow::Cow::Owned(Filter::address("dest", "x")),
             routing: pfr::RoutingState::from_bytes(routing),
         };
         let bytes = to_bytes(&request);
@@ -573,6 +573,49 @@ proptest! {
         }
         // Must either fail cleanly or produce some replica; never panic.
         let _ = Replica::restore(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed candidate selection ≡ full-store scan
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The per-origin version index must select exactly the candidates
+    /// the legacy full-store scan does, in the same order, for any store
+    /// contents and any requester knowledge.
+    #[test]
+    fn indexed_candidate_selection_matches_scan(
+        replica in arb_populated_replica(),
+        k in arb_knowledge(),
+    ) {
+        let mut replica = replica;
+        replica.set_candidate_scan(true);
+        let scan = replica.versions_unknown_to(&k);
+        replica.set_candidate_scan(false);
+        let indexed = replica.versions_unknown_to(&k);
+        prop_assert_eq!(indexed, scan);
+    }
+
+    /// Whole syncs are mode-invariant: running the same sync schedule with
+    /// the index + filter-match memo produces byte-identical replica
+    /// snapshots to running it with the full scan. Two targets share a
+    /// filter so the second sync exercises the memo's hit path.
+    #[test]
+    fn sync_outcomes_identical_scan_vs_indexed(source in arb_populated_replica()) {
+        let run = |scan: bool| {
+            let mut src = Replica::restore(&source.snapshot()).expect("restore");
+            src.set_candidate_scan(scan);
+            let mut t1 = Replica::new(ReplicaId::new(21), Filter::address("dest", "h1"));
+            let mut t2 = Replica::new(ReplicaId::new(22), Filter::address("dest", "h1"));
+            t1.set_candidate_scan(scan);
+            t2.set_candidate_scan(scan);
+            sync::sync_once(&mut src, &mut t1, SimTime::from_secs(1));
+            sync::sync_once(&mut src, &mut t2, SimTime::from_secs(2));
+            sync::sync_once(&mut src, &mut t2, SimTime::from_secs(3));
+            (src.snapshot(), t1.snapshot(), t2.snapshot())
+        };
+        prop_assert_eq!(run(true), run(false));
     }
 }
 

@@ -72,12 +72,12 @@ fn arb_item() -> impl Strategy<Value = Item> {
         })
 }
 
-fn arb_request() -> impl Strategy<Value = SyncRequest> {
+fn arb_request() -> impl Strategy<Value = SyncRequest<'static>> {
     (1u64..8, arb_knowledge(), arb_filter(), arb_routing()).prop_map(
         |(target, knowledge, filter, routing)| SyncRequest {
             target: ReplicaId::new(target),
-            knowledge,
-            filter,
+            knowledge: std::borrow::Cow::Owned(knowledge),
+            filter: std::borrow::Cow::Owned(filter),
             routing,
         },
     )

@@ -2,9 +2,11 @@
 //! deterministic order, renderable as JSONL for byte-level comparison.
 //!
 //! Two runs of the same `(seed, plan)` must produce byte-identical
-//! [`Trace::to_jsonl`] output. The only nondeterministic event the stack
-//! emits is [`obs::Event::SpanEnded`] (it carries a wall-clock duration),
-//! so the trace silently excludes it.
+//! [`Trace::to_jsonl`] output. The stack emits two events that carry
+//! wall-clock readings: [`obs::Event::SpanEnded`] is excluded outright
+//! (nothing else in it is deterministic), while
+//! [`obs::Event::SyncCandidatesSelected`] has its `scan_us` field zeroed
+//! so its deterministic counters stay comparable.
 
 use obs::Event;
 
@@ -32,10 +34,13 @@ impl Trace {
     }
 
     /// Appends one event, unless it is a (wall-clock, nondeterministic)
-    /// `SpanEnded`.
-    pub fn record(&mut self, step: usize, host: u64, event: Event) {
-        if matches!(event, Event::SpanEnded { .. }) {
-            return;
+    /// `SpanEnded`; the wall-clock `scan_us` field of
+    /// `SyncCandidatesSelected` is zeroed for the same reason.
+    pub fn record(&mut self, step: usize, host: u64, mut event: Event) {
+        match &mut event {
+            Event::SpanEnded { .. } => return,
+            Event::SyncCandidatesSelected { scan_us, .. } => *scan_us = 0,
+            _ => {}
         }
         self.entries.push(TraceEntry { step, host, event });
     }
@@ -110,6 +115,36 @@ mod tests {
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.count("item_evicted"), 1);
         assert_eq!(trace.count("span_ended"), 0);
+    }
+
+    #[test]
+    fn candidate_scan_timing_is_zeroed() {
+        let mut trace = Trace::new();
+        trace.record(
+            0,
+            1,
+            Event::SyncCandidatesSelected {
+                source: 1,
+                target: 2,
+                candidates: 5,
+                selected: 3,
+                memo_hits: 2,
+                scan_us: 777,
+                at_secs: 10,
+            },
+        );
+        assert_eq!(trace.len(), 1);
+        match &trace.entries()[0].event {
+            Event::SyncCandidatesSelected {
+                scan_us,
+                candidates,
+                ..
+            } => {
+                assert_eq!(*scan_us, 0);
+                assert_eq!(*candidates, 5);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -150,8 +150,13 @@ fn initiator_steps<R: Read, W: Write>(
     let span = Span::start(&obs, "transport.initiator", my_id.as_u64(), peer.as_u64());
 
     // Direction 1: we are the target and pull from the responder.
-    let request = node.lock().begin_sync_session(peer, now);
-    let request_bytes = to_bytes(&request);
+    // The request borrows the node's knowledge/filter, so serialize it
+    // while the lock is held; only the bytes leave the critical section.
+    let request_bytes = {
+        let mut node = node.lock();
+        let request = node.begin_sync_session(peer, now);
+        to_bytes(&request)
+    };
     *frame_bytes += request_bytes.len() as u64;
     write_frame(writer, FrameType::SyncRequest, &request_bytes)?;
     let batch_payload = expect(reader, FrameType::SyncBatch)?;
@@ -215,8 +220,13 @@ fn responder_steps<R: Read, W: Write>(
     expect(reader, FrameType::SyncDone)?;
 
     // Direction 2: we pull from the initiator.
-    let request = node.lock().begin_sync_session(peer, now);
-    let request_bytes = to_bytes(&request);
+    // As on the initiator side: serialize the borrowed request under the
+    // lock; only the bytes leave the critical section.
+    let request_bytes = {
+        let mut node = node.lock();
+        let request = node.begin_sync_session(peer, now);
+        to_bytes(&request)
+    };
     *frame_bytes += request_bytes.len() as u64;
     write_frame(writer, FrameType::SyncRequest, &request_bytes)?;
     let batch_payload = expect(reader, FrameType::SyncBatch)?;

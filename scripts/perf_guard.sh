@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Structural guard for the macro_emu benchmark artifact.
+#
+# Checks the *invariants* a run of `cargo bench -p replidtn-bench --bench
+# macro_emu` must always satisfy — the scan and indexed replays produced
+# identical ExperimentMetrics, both modes actually ran encounters, and the
+# per-sync instrumentation was collected. Deliberately asserts NO absolute
+# times or speedup thresholds: CI machines vary, and a shared-runner blip
+# must not fail the build. Regressions are caught by eyeballing the
+# committed 30-day BENCH_emu.json, not by flaky wall-clock gates.
+#
+# Usage: scripts/perf_guard.sh [path/to/BENCH_emu.json]
+set -euo pipefail
+
+FILE=${1:-crates/bench/BENCH_emu.json}
+if [[ ! -f "$FILE" ]]; then
+    echo "error: $FILE not found (run: cargo bench -p replidtn-bench --bench macro_emu)" >&2
+    exit 1
+fi
+
+python3 - "$FILE" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+failures = []
+
+def check(cond, msg):
+    if not cond:
+        failures.append(msg)
+
+check(doc.get("bench") == "macro_emu", "bench name is not macro_emu")
+check(doc.get("metrics_identical") is True,
+      "scan and indexed replays did NOT produce identical metrics")
+check(doc.get("encounters", 0) > 0, "replay ran zero encounters")
+check(doc.get("messages", 0) > 0, "replay injected zero messages")
+check(doc.get("days", 0) > 0, "replay covered zero days")
+
+for mode in ("scan", "indexed"):
+    m = doc.get(mode, {})
+    check(m.get("encounters_per_sec", 0) > 0,
+          f"{mode}: zero encounter throughput")
+    check(m.get("seconds", 0) > 0, f"{mode}: zero elapsed time")
+    hist = m.get("batch_build_us", {})
+    check(hist.get("count", 0) > 0,
+          f"{mode}: batch-build histogram collected no samples")
+
+check(doc.get("speedup", 0) > 0, "speedup missing or non-positive")
+
+if failures:
+    for f in failures:
+        print(f"perf_guard: FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+
+print(f"perf_guard: OK ({path}: days={doc['days']} "
+      f"encounters={doc['encounters']} "
+      f"metrics_identical={doc['metrics_identical']} "
+      f"speedup={doc['speedup']}x)")
+EOF
