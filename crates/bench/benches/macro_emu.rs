@@ -1,13 +1,25 @@
 //! Macro benchmark for the sync hot path: replays a fixed multi-day
-//! Epidemic emulation twice — once forcing the legacy full-store candidate
-//! scan, once with the per-origin version index and filter-match memo —
-//! and reports end-to-end encounter throughput for both, plus the
-//! batch-build latency histogram (`sync.candidate_scan_us`).
+//! Epidemic emulation three times — forcing the legacy full-store
+//! candidate scan, with the per-origin version index (the default,
+//! copy-on-write data plane), and with the index but the legacy *owned*
+//! data plane (every synced copy deep-copies its payload and un-interns
+//! its attribute strings) — and reports end-to-end encounter throughput,
+//! the batch-build latency histogram (`sync.candidate_scan_us`), and the
+//! per-mode allocation count and peak RSS.
 //!
-//! The two runs must produce structurally identical [`ExperimentMetrics`]
-//! (the index changes *how* candidates are found, never *which*); the
-//! bench asserts that before reporting any numbers. Results land in
-//! `BENCH_emu.json` in the working directory.
+//! All runs must produce structurally identical [`ExperimentMetrics`]
+//! (the index changes *how* candidates are found, the data plane *how*
+//! copies are held — never *which* or *what*); the bench asserts both
+//! before reporting any numbers. A loopback TCP session between two
+//! peers additionally captures the data-plane reuse counters
+//! (`transport.pool_hits`, `wire.scratch_reuses`, `wire.bytes_encoded`,
+//! `item.payload_shares`), which the in-process emulation never touches.
+//! Results land in `BENCH_emu.json` in the working directory.
+//!
+//! Build with `--features alloc-count` to populate the allocation
+//! figures (a counting global allocator; off by default so other benches
+//! stay unperturbed). Peak RSS comes from `/proc/self/status` `VmHWM`,
+//! reset per mode via `/proc/self/clear_refs` where the kernel allows.
 //!
 //! `REPLIDTN_EMU_DAYS` overrides the replay length (default 30); CI's
 //! perf-smoke job sets it to 1 for a fast structural check.
@@ -15,10 +27,75 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dtn::PolicyKind;
+use dtn::{DtnNode, PolicyKind};
 use emu::{Emulation, EmulationConfig, ExperimentMetrics};
-use obs::{Histogram, Registry};
+use obs::{Histogram, Obs, Registry};
+use pfr::{ReplicaId, SimTime};
 use traces::{DieselNetConfig, EmailConfig, EmailWorkload, EncounterTrace};
+use transport::Peer;
+
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: defers entirely to `System`; the counter has no effect on
+    // the returned memory.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: Counting = Counting;
+}
+
+/// Heap allocations so far, when the `alloc-count` feature is on.
+fn allocations_now() -> Option<u64> {
+    #[cfg(feature = "alloc-count")]
+    {
+        Some(alloc_count::ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed))
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
+
+/// Best-effort reset of the peak-RSS high-water mark, so each mode's
+/// `VmHWM` reading is its own peak rather than the process maximum.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Peak resident set size in KiB (`VmHWM`), or 0 off Linux.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
 
 struct ModeResult {
     metrics: ExperimentMetrics,
@@ -26,42 +103,107 @@ struct ModeResult {
     encounters_per_sec: f64,
     batch_build_us: Option<Histogram>,
     memo_hits: u64,
+    allocations: Option<u64>,
+    peak_rss_kb: u64,
 }
 
-fn run_mode(trace: &EncounterTrace, workload: &EmailWorkload, candidate_scan: bool) -> ModeResult {
+fn run_mode(
+    trace: &EncounterTrace,
+    workload: &EmailWorkload,
+    candidate_scan: bool,
+    owned_copies: bool,
+    instrument: bool,
+) -> ModeResult {
     // Timing run: no observer attached, so the measured throughput is the
     // protocol hot path itself, not metrics bookkeeping.
     let config = EmulationConfig {
         policy: PolicyKind::Epidemic.into(),
         candidate_scan,
+        owned_copies,
         ..EmulationConfig::default()
     };
+    reset_peak_rss();
+    let allocs_before = allocations_now();
     let started = Instant::now();
     let metrics = Emulation::new(trace, workload, config).run();
     let seconds = started.elapsed().as_secs_f64();
+    let allocations = allocations_now()
+        .zip(allocs_before)
+        .map(|(after, before)| after - before);
+    let peak_rss = peak_rss_kb();
 
     // Instrumented re-run (same inputs, same mode) for the batch-build
     // histogram and memo-hit counter; its wall time is not reported.
-    let registry = Arc::new(Registry::new());
-    let instrumented = EmulationConfig {
-        policy: PolicyKind::Epidemic.into(),
-        observer: Some(registry.clone()),
-        candidate_scan,
-        ..EmulationConfig::default()
+    let (batch_build_us, memo_hits) = if instrument {
+        let registry = Arc::new(Registry::new());
+        let instrumented = EmulationConfig {
+            policy: PolicyKind::Epidemic.into(),
+            observer: Some(registry.clone()),
+            candidate_scan,
+            owned_copies,
+            ..EmulationConfig::default()
+        };
+        let observed = Emulation::new(trace, workload, instrumented).run();
+        assert_eq!(
+            metrics, observed,
+            "attaching an observer must not change run results"
+        );
+        let snapshot = registry.snapshot();
+        (
+            snapshot.histogram("sync.candidate_scan_us").cloned(),
+            snapshot.counter("sync.index_hits"),
+        )
+    } else {
+        (None, 0)
     };
-    let observed = Emulation::new(trace, workload, instrumented).run();
-    assert_eq!(
-        metrics, observed,
-        "attaching an observer must not change run results"
-    );
-    let snapshot = registry.snapshot();
     ModeResult {
         encounters_per_sec: metrics.encounters as f64 / seconds.max(1e-9),
         seconds,
-        batch_build_us: snapshot.histogram("sync.candidate_scan_us").cloned(),
-        memo_hits: snapshot.counter("sync.index_hits"),
+        batch_build_us,
+        memo_hits,
+        allocations,
+        peak_rss_kb: peak_rss,
         metrics,
     }
+}
+
+/// Drives one real TCP loopback encounter between two peers, capturing
+/// the data-plane reuse counters the in-process emulation never exercises
+/// (frames, pooled read buffers, encode scratch, shared decode buffers).
+fn loopback_data_plane() -> (u64, u64, u64, u64) {
+    let registry = Arc::new(Registry::new());
+    let obs = Obs::new(registry.clone());
+
+    let mut a = DtnNode::new(ReplicaId::new(1), "host-a", PolicyKind::Epidemic);
+    a.replica_mut().set_observer(obs.clone());
+    let mut b = DtnNode::new(ReplicaId::new(2), "host-b", PolicyKind::Epidemic);
+    b.replica_mut().set_observer(obs);
+    for i in 0..16u32 {
+        let payload = format!("loopback message {i}").into_bytes();
+        a.send_from(
+            "host-a",
+            "host-b",
+            payload,
+            SimTime::from_secs(u64::from(i)),
+        )
+        .expect("inject");
+    }
+
+    let responder = Peer::start(b, "127.0.0.1:0").expect("bind responder");
+    let initiator = Peer::start(a, "127.0.0.1:0").expect("bind initiator");
+    initiator
+        .sync_with(responder.local_addr(), SimTime::from_secs(60))
+        .expect("loopback sync");
+    initiator.stop();
+    responder.stop();
+
+    let snapshot = registry.snapshot();
+    (
+        snapshot.counter("transport.pool_hits"),
+        snapshot.counter("wire.scratch_reuses"),
+        snapshot.counter("wire.bytes_encoded"),
+        snapshot.counter("item.payload_shares"),
+    )
 }
 
 fn hist_json(hist: &Option<Histogram>) -> String {
@@ -77,6 +219,10 @@ fn hist_json(hist: &Option<Histogram>) -> String {
             h.max()
         ),
     }
+}
+
+fn opt_json(v: Option<u64>) -> String {
+    v.map_or("null".to_string(), |n| n.to_string())
 }
 
 fn main() {
@@ -105,15 +251,23 @@ fn main() {
         workload.len()
     );
 
-    let scan = run_mode(&trace, &workload, true);
+    let scan = run_mode(&trace, &workload, true, false, true);
     println!(
         "  scan    : {:7.2}s, {:8.0} encounters/sec",
         scan.seconds, scan.encounters_per_sec
     );
-    let indexed = run_mode(&trace, &workload, false);
+    let indexed = run_mode(&trace, &workload, false, false, true);
     println!(
         "  indexed : {:7.2}s, {:8.0} encounters/sec, {} memo hits",
         indexed.seconds, indexed.encounters_per_sec, indexed.memo_hits
+    );
+    // Owned runs last: VmHWM only ratchets upward on kernels that refuse
+    // the clear_refs reset, and this ordering keeps even those readings
+    // honest (the shared peak is measured before owned inflates it).
+    let owned = run_mode(&trace, &workload, false, true, false);
+    println!(
+        "  owned   : {:7.2}s, {:8.0} encounters/sec",
+        owned.seconds, owned.encounters_per_sec
     );
 
     // The index is an acceleration structure, not a behavior change.
@@ -121,12 +275,60 @@ fn main() {
         scan.metrics, indexed.metrics,
         "scan and indexed candidate selection must produce identical runs"
     );
+    // The copy-on-write data plane is a representation change, not a
+    // behavior change.
+    assert_eq!(
+        indexed.metrics, owned.metrics,
+        "shared and owned data planes must produce identical runs"
+    );
 
     let speedup = indexed.encounters_per_sec / scan.encounters_per_sec.max(1e-9);
     println!("  speedup : {speedup:.2}x (indexed vs scan)");
+    let alloc_ratio = match (owned.allocations, indexed.allocations) {
+        (Some(o), Some(s)) if s > 0 => Some(o as f64 / s as f64),
+        _ => None,
+    };
+    if let (Some(o), Some(s), Some(r)) = (owned.allocations, indexed.allocations, alloc_ratio) {
+        println!("  allocs  : {s} shared vs {o} owned ({r:.2}x fewer shared)");
+    }
+    println!(
+        "  peakRSS : {} KiB shared vs {} KiB owned",
+        indexed.peak_rss_kb, owned.peak_rss_kb
+    );
 
+    let (pool_hits, scratch_reuses, bytes_encoded, payload_shares) = loopback_data_plane();
+    println!(
+        "  loopback: {pool_hits} pool hits, {scratch_reuses} scratch reuses, \
+         {bytes_encoded} bytes encoded, {payload_shares} payload shares"
+    );
+
+    let encounters = trace.len() as f64;
     let json = format!(
-        "{{\n  \"bench\": \"macro_emu\",\n  \"policy\": \"epidemic\",\n  \"days\": {days},\n  \"encounters\": {encounters},\n  \"messages\": {messages},\n  \"metrics_identical\": true,\n  \"scan\": {{\"seconds\": {scan_s:.3}, \"encounters_per_sec\": {scan_eps:.1}, \"batch_build_us\": {scan_hist}}},\n  \"indexed\": {{\"seconds\": {idx_s:.3}, \"encounters_per_sec\": {idx_eps:.1}, \"memo_hits\": {memo_hits}, \"batch_build_us\": {idx_hist}}},\n  \"speedup\": {speedup:.2}\n}}\n",
+        concat!(
+            "{{\n",
+            "  \"bench\": \"macro_emu\",\n",
+            "  \"policy\": \"epidemic\",\n",
+            "  \"days\": {days},\n",
+            "  \"encounters\": {encounters},\n",
+            "  \"messages\": {messages},\n",
+            "  \"metrics_identical\": true,\n",
+            "  \"owned_metrics_identical\": true,\n",
+            "  \"scan\": {{\"seconds\": {scan_s:.3}, \"encounters_per_sec\": {scan_eps:.1}, ",
+            "\"batch_build_us\": {scan_hist}}},\n",
+            "  \"indexed\": {{\"seconds\": {idx_s:.3}, \"encounters_per_sec\": {idx_eps:.1}, ",
+            "\"memo_hits\": {memo_hits}, \"allocations\": {idx_allocs}, ",
+            "\"allocations_per_encounter\": {idx_ape:.1}, \"peak_rss_kb\": {idx_rss}, ",
+            "\"batch_build_us\": {idx_hist}}},\n",
+            "  \"owned\": {{\"seconds\": {own_s:.3}, \"encounters_per_sec\": {own_eps:.1}, ",
+            "\"allocations\": {own_allocs}, \"allocations_per_encounter\": {own_ape:.1}, ",
+            "\"peak_rss_kb\": {own_rss}}},\n",
+            "  \"alloc_ratio_owned_vs_shared\": {alloc_ratio},\n",
+            "  \"data_plane\": {{\"pool_hits\": {pool_hits}, \"scratch_reuses\": {scratch_reuses}, ",
+            "\"bytes_encoded\": {bytes_encoded}, \"payload_shares\": {payload_shares}}},\n",
+            "  \"speedup\": {speedup:.2}\n",
+            "}}\n",
+        ),
+        days = days,
         encounters = trace.len(),
         messages = workload.len(),
         scan_s = scan.seconds,
@@ -135,7 +337,21 @@ fn main() {
         idx_s = indexed.seconds,
         idx_eps = indexed.encounters_per_sec,
         memo_hits = indexed.memo_hits,
+        idx_allocs = opt_json(indexed.allocations),
+        idx_ape = indexed.allocations.unwrap_or(0) as f64 / encounters.max(1.0),
+        idx_rss = indexed.peak_rss_kb,
         idx_hist = hist_json(&indexed.batch_build_us),
+        own_s = owned.seconds,
+        own_eps = owned.encounters_per_sec,
+        own_allocs = opt_json(owned.allocations),
+        own_ape = owned.allocations.unwrap_or(0) as f64 / encounters.max(1.0),
+        own_rss = owned.peak_rss_kb,
+        alloc_ratio = alloc_ratio.map_or("null".to_string(), |r| format!("{r:.2}")),
+        pool_hits = pool_hits,
+        scratch_reuses = scratch_reuses,
+        bytes_encoded = bytes_encoded,
+        payload_shares = payload_shares,
+        speedup = speedup,
     );
     std::fs::write("BENCH_emu.json", &json).expect("write BENCH_emu.json");
     println!("  wrote BENCH_emu.json");

@@ -1,12 +1,33 @@
 //! Epidemic routing: TTL-limited flooding (Vahdat & Becker, 2000).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use pfr::sync::{HostContext, SendDecision, SyncRequest};
-use pfr::{Item, ItemId, Priority, ReplicaId, SyncExtension};
+use pfr::{AttributeMap, Item, ItemId, Priority, ReplicaId, SyncExtension};
 
 use crate::policy::{DtnPolicy, PolicySummary};
 
 /// Transient attribute holding the remaining hop budget of a copy.
 pub const ATTR_TTL: &str = "dtn.ttl";
+
+/// Process-wide interned `{dtn.ttl: n}` transient maps. TTLs take a tiny
+/// closed set of values, so every in-flight copy at the same remaining
+/// budget can share one map: stamping an outgoing copy is an `Arc` bump
+/// instead of a per-copy map privatization (see
+/// [`Item::replace_transient`]).
+fn ttl_map(ttl: i64) -> Arc<AttributeMap> {
+    static MAPS: OnceLock<Mutex<HashMap<i64, Arc<AttributeMap>>>> = OnceLock::new();
+    let maps = MAPS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut maps = maps.lock().unwrap_or_else(|e| e.into_inner());
+    maps.entry(ttl)
+        .or_insert_with(|| {
+            let mut m = AttributeMap::new();
+            m.set(ATTR_TTL, ttl);
+            Arc::new(m)
+        })
+        .clone()
+}
 
 /// Epidemic routing as a replication policy (paper §V-C1).
 ///
@@ -104,8 +125,17 @@ impl SyncExtension for EpidemicPolicy {
         }
         let ttl = self.ttl_of(item);
         // Decrement affects the in-flight copy only (paper: "does not
-        // affect the TTL values for messages stored in the source").
-        item.transient_mut().set(ATTR_TTL, (ttl - 1).max(0));
+        // affect the TTL values for messages stored in the source"). When
+        // the TTL is the copy's whole transient state — the common case —
+        // the stamp swaps in the interned map for the new budget; only
+        // copies carrying extra transient attributes pay a privatization.
+        let next = (ttl - 1).max(0);
+        let t = item.transient();
+        if t.len() == 1 && t.contains(ATTR_TTL) {
+            item.replace_transient(ttl_map(next));
+        } else {
+            item.transient_mut().set(ATTR_TTL, next);
+        }
     }
 }
 

@@ -53,7 +53,7 @@ impl Message {
     /// messaging attributes.
     pub fn from_item(item: &Item) -> Option<Message> {
         let dest = match item.attrs().get(ATTR_DEST)? {
-            Value::Str(s) => vec![s.clone()],
+            Value::Str(s) => vec![s.as_str().to_owned()],
             Value::List(l) => l
                 .iter()
                 .filter_map(|v| v.as_str().map(str::to_owned))

@@ -125,6 +125,13 @@ pub struct EmulationConfig {
     /// selection algorithm changes — results are identical either way —
     /// so this exists for A/B benchmarking (see the `macro_emu` bench).
     pub candidate_scan: bool,
+    /// Force every synced copy onto the legacy owned data plane: outgoing
+    /// batch entries deep-copy their payload and un-intern their attribute
+    /// strings instead of sharing buffers. Results are byte-identical
+    /// either way — this exists only so the `macro_emu` bench and the perf
+    /// guard can A/B the copy-on-write data plane against pre-CoW
+    /// allocation behavior.
+    pub owned_copies: bool,
 }
 
 impl std::fmt::Debug for EmulationConfig {
@@ -146,6 +153,7 @@ impl std::fmt::Debug for EmulationConfig {
             )
             .field("observer", &self.observer.is_some())
             .field("candidate_scan", &self.candidate_scan)
+            .field("owned_copies", &self.owned_copies)
             .finish()
     }
 }
@@ -166,6 +174,7 @@ impl Default for EmulationConfig {
             messages_per_contact_minute: None,
             observer: None,
             candidate_scan: false,
+            owned_copies: false,
         }
     }
 }
@@ -216,6 +225,7 @@ impl<'a> Emulation<'a> {
             node.replica_mut().set_relay_limit(config.relay_limit);
             node.replica_mut().set_observer(obs.clone());
             node.replica_mut().set_candidate_scan(config.candidate_scan);
+            node.replica_mut().set_owned_copies(config.owned_copies);
             nodes.insert(id, node);
         }
 
@@ -399,11 +409,9 @@ impl<'a> Emulation<'a> {
 
     fn meet(&mut self, encounter: &traces::Encounter) {
         let (a, b, now) = (encounter.a, encounter.b, encounter.time);
-        // Take both nodes out of the map to borrow them mutably together.
-        let (Some(mut node_a), Some(mut node_b)) = (self.nodes.remove(&a), self.nodes.remove(&b))
-        else {
+        if a == b {
             return;
-        };
+        }
         let budget = match self.config.messages_per_contact_minute {
             Some(rate) if encounter.duration.as_secs() > 0 => {
                 let allowance = (encounter.duration.as_secs() as f64 / 60.0 * rate).ceil();
@@ -411,15 +419,38 @@ impl<'a> Emulation<'a> {
             }
             _ => self.config.budget,
         };
-        let report = node_a.encounter(&mut node_b, now, budget);
-        self.nodes.insert(a, node_a);
-        self.nodes.insert(b, node_b);
+        // Borrow both nodes in place via one range iterator — removing and
+        // re-inserting them cost a couple of map-node allocations per
+        // encounter, which dominated the steady-state allocation profile.
+        let report = {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let mut range = self.nodes.range_mut(lo..=hi);
+            let (Some((&first, node_lo)), Some((&last, node_hi))) =
+                (range.next(), range.next_back())
+            else {
+                return;
+            };
+            if first != lo || last != hi {
+                return;
+            }
+            let (node_a, node_b) = if a < b {
+                (node_lo, node_hi)
+            } else {
+                (node_hi, node_lo)
+            };
+            node_a.encounter(node_b, now, budget)
+        };
 
         self.metrics.encounters += 1;
         self.metrics.transmissions += report.transmitted as u64;
         self.metrics.duplicates += report.duplicates as u64;
 
         for (receiver, ids) in [(a, &report.delivered_to_a), (b, &report.delivered_to_b)] {
+            // Rendering the address allocates; skip it on the common
+            // nothing-delivered encounter.
+            if ids.is_empty() {
+                continue;
+            }
             let addr = bus_address(receiver);
             for &id in ids {
                 let is_final_destination =
@@ -475,6 +506,9 @@ impl<'a> Emulation<'a> {
                 restored
                     .replica_mut()
                     .set_candidate_scan(self.config.candidate_scan);
+                restored
+                    .replica_mut()
+                    .set_owned_copies(self.config.owned_copies);
                 self.metrics.reboots += 1;
                 self.nodes.insert(id, restored);
             }
@@ -493,6 +527,41 @@ impl<'a> Emulation<'a> {
             .filter(|n| n.replica().item(id).is_some_and(|item| !item.is_deleted()))
             .count()
     }
+}
+
+/// Fleet-wide storage accounting over the final nodes of a run (use with
+/// [`Emulation::run_into_parts`]).
+///
+/// Deliberately *not* part of [`ExperimentMetrics`]: the owned/shared A/B
+/// harness compares metrics with `==`, and physical sharing is exactly
+/// what differs between the two modes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageFootprint {
+    /// Bytes charging every stored copy independently (what the fleet
+    /// would hold without payload sharing).
+    pub total_bytes: u64,
+    /// Bytes charging each shared payload buffer once across the whole
+    /// fleet (what the fleet physically holds under the copy-on-write
+    /// data plane); equals `total_bytes` when nothing is shared.
+    pub deduped_bytes: u64,
+}
+
+/// Measures the fleet's storage footprint: every live item on every node,
+/// counted both per-copy and with shared payload buffers deduplicated via
+/// [`pfr::Item::approx_size_deduped`].
+pub fn storage_footprint(nodes: &BTreeMap<ReplicaId, DtnNode>) -> StorageFootprint {
+    let mut seen = std::collections::HashSet::new();
+    let mut footprint = StorageFootprint::default();
+    for node in nodes.values() {
+        for item in node.replica().iter_items() {
+            if item.is_deleted() {
+                continue;
+            }
+            footprint.total_bytes += item.approx_size() as u64;
+            footprint.deduped_bytes += item.approx_size_deduped(&mut seen) as u64;
+        }
+    }
+    footprint
 }
 
 impl std::fmt::Debug for Emulation<'_> {
@@ -683,6 +752,34 @@ mod tests {
             crashy.delivery_rate(),
             baseline.delivery_rate()
         );
+    }
+
+    #[test]
+    fn owned_and_shared_data_planes_agree_exactly() {
+        let (trace, workload) = small_setup();
+        let run = |owned_copies| {
+            Emulation::new(
+                &trace,
+                &workload,
+                EmulationConfig {
+                    policy: PolicyKind::Epidemic.into(),
+                    owned_copies,
+                    ..EmulationConfig::default()
+                },
+            )
+            .run_into_parts()
+        };
+        let (shared, shared_nodes) = run(false);
+        let (owned, owned_nodes) = run(true);
+        assert_eq!(shared, owned, "the data plane must be behavior-invisible");
+
+        // The physical footprint is where the modes may differ: flooding
+        // spreads copies, and only the shared plane dedups their payloads.
+        let shared_fp = storage_footprint(&shared_nodes);
+        let owned_fp = storage_footprint(&owned_nodes);
+        assert_eq!(shared_fp.total_bytes, owned_fp.total_bytes);
+        assert_eq!(owned_fp.deduped_bytes, owned_fp.total_bytes);
+        assert!(shared_fp.deduped_bytes < shared_fp.total_bytes);
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod experiments;
 pub mod report;
 pub mod topology;
 
-pub use engine::{Emulation, EmulationConfig, PolicySpec};
+pub use engine::{storage_footprint, Emulation, EmulationConfig, PolicySpec, StorageFootprint};
 pub use metrics::{CdfPoint, DayRollup, DayStats, ExperimentMetrics, MessageRecord};
 pub use sweep::SweepRunner;

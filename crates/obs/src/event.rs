@@ -290,6 +290,25 @@ pub enum Event {
         /// Whether the session completed cleanly.
         ok: bool,
     },
+    /// Data-plane buffer reuse accounting for one networked sync session:
+    /// how much encode/decode work was served from shared or recycled
+    /// buffers instead of fresh allocations.
+    DataPlaneReuse {
+        /// The local replica.
+        replica: u64,
+        /// The remote replica, 0 if unknown.
+        peer: u64,
+        /// Encodes served from the session's reusable scratch buffer
+        /// after its first use (each one a saved allocation).
+        scratch_reuses: u64,
+        /// Total bytes encoded through the scratch buffer.
+        bytes_encoded: u64,
+        /// Frame reads served from the session's buffer pool.
+        pool_hits: u64,
+        /// Item payloads decoded as slices of a shared receive buffer
+        /// instead of private copies.
+        payload_shares: u64,
+    },
     /// One record was appended to a durable store's write-ahead log.
     WalAppend {
         /// Bytes appended (length prefix + payload + checksum).
@@ -355,6 +374,7 @@ impl Event {
             Event::PolicyDecision { .. } => "policy_decision",
             Event::SpanEnded { .. } => "span_ended",
             Event::TransportSync { .. } => "transport_sync",
+            Event::DataPlaneReuse { .. } => "data_plane_reuse",
             Event::WalAppend { .. } => "wal_append",
             Event::CheckpointWritten { .. } => "checkpoint_written",
             Event::StoreRecovered { .. } => "store_recovered",
@@ -586,6 +606,21 @@ impl Event {
                 push_u64(&mut out, "frame_bytes", *frame_bytes);
                 push_bool(&mut out, "ok", *ok);
             }
+            Event::DataPlaneReuse {
+                replica,
+                peer,
+                scratch_reuses,
+                bytes_encoded,
+                pool_hits,
+                payload_shares,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "peer", *peer);
+                push_u64(&mut out, "scratch_reuses", *scratch_reuses);
+                push_u64(&mut out, "bytes_encoded", *bytes_encoded);
+                push_u64(&mut out, "pool_hits", *pool_hits);
+                push_u64(&mut out, "payload_shares", *payload_shares);
+            }
             Event::WalAppend {
                 bytes,
                 fsync,
@@ -745,6 +780,7 @@ mod tests {
             "policy_decision",
             "span_ended",
             "transport_sync",
+            "data_plane_reuse",
             "wal_append",
             "checkpoint_written",
             "store_recovered",

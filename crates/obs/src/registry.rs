@@ -319,6 +319,18 @@ impl Observer for Registry {
                 self.add("transport.served", *served);
                 self.observe("transport.frame_bytes", *frame_bytes);
             }
+            Event::DataPlaneReuse {
+                scratch_reuses,
+                bytes_encoded,
+                pool_hits,
+                payload_shares,
+                ..
+            } => {
+                self.add("wire.scratch_reuses", *scratch_reuses);
+                self.add("wire.bytes_encoded", *bytes_encoded);
+                self.add("transport.pool_hits", *pool_hits);
+                self.add("item.payload_shares", *payload_shares);
+            }
             Event::WalAppend { bytes, fsync, .. } => {
                 self.add("store.wal.appends", 1);
                 self.add("store.wal.bytes", *bytes);
@@ -496,6 +508,24 @@ mod tests {
         let csv = snap.to_csv();
         assert!(csv.contains("counter,drops.evicted,1"));
         assert!(csv.contains("histogram,delivery.delay_secs,1,120,"));
+    }
+
+    #[test]
+    fn data_plane_reuse_feeds_four_counters() {
+        let r = Registry::new();
+        r.on_event(&Event::DataPlaneReuse {
+            replica: 1,
+            peer: 2,
+            scratch_reuses: 3,
+            bytes_encoded: 512,
+            pool_hits: 4,
+            payload_shares: 5,
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("wire.scratch_reuses"), 3);
+        assert_eq!(snap.counter("wire.bytes_encoded"), 512);
+        assert_eq!(snap.counter("transport.pool_hits"), 4);
+        assert_eq!(snap.counter("item.payload_shares"), 5);
     }
 
     #[test]

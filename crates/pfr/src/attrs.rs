@@ -6,6 +6,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::error::PfrError;
+use crate::intern::IStr;
 use crate::value::Value;
 
 /// An ordered map of attribute names to [`Value`]s.
@@ -30,7 +31,7 @@ use crate::value::Value;
 /// ```
 #[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AttributeMap {
-    entries: BTreeMap<String, Value>,
+    entries: BTreeMap<IStr, Value>,
 }
 
 impl AttributeMap {
@@ -48,7 +49,7 @@ impl AttributeMap {
     ///
     /// Panics if `value` is a `NaN` float (directly or inside a list), since
     /// `NaN` would make filter evaluation non-deterministic.
-    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+    pub fn set(&mut self, name: impl Into<IStr>, value: impl Into<Value>) -> &mut Self {
         self.try_set(name, value)
             .expect("attribute value must not contain NaN");
         self
@@ -63,14 +64,14 @@ impl AttributeMap {
     /// `NaN` float.
     pub fn try_set(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<IStr>,
         value: impl Into<Value>,
     ) -> Result<&mut Self, PfrError> {
         let name = name.into();
         let value = value.into();
         if contains_nan(&value) {
             return Err(PfrError::InvalidAttribute {
-                name,
+                name: name.as_str().to_owned(),
                 reason: "NaN floats are not allowed in attributes".into(),
             });
         }
@@ -126,6 +127,28 @@ impl AttributeMap {
             _ => None,
         }
     }
+
+    /// A structurally equal copy whose every string — keys and `Str`
+    /// values, recursively through lists — is a fresh private allocation
+    /// bypassing the interner. Emulates the pre-interning data plane for
+    /// A/B benchmarking (`Item::detach_copy`); production code never
+    /// needs it.
+    pub(crate) fn deep_uninterned(&self) -> AttributeMap {
+        fn uninterned(v: &Value) -> Value {
+            match v {
+                Value::Str(s) => Value::Str(IStr::new_unshared(s)),
+                Value::List(l) => Value::List(l.iter().map(uninterned).collect()),
+                other => other.clone(),
+            }
+        }
+        AttributeMap {
+            entries: self
+                .entries
+                .iter()
+                .map(|(k, v)| (IStr::new_unshared(k), uninterned(v)))
+                .collect(),
+        }
+    }
 }
 
 fn contains_nan(value: &Value) -> bool {
@@ -146,7 +169,7 @@ impl fmt::Debug for AttributeMap {
     }
 }
 
-impl<K: Into<String>, V: Into<Value>> FromIterator<(K, V)> for AttributeMap {
+impl<K: Into<IStr>, V: Into<Value>> FromIterator<(K, V)> for AttributeMap {
     fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
         let mut attrs = AttributeMap::new();
         for (k, v) in iter {
@@ -156,7 +179,7 @@ impl<K: Into<String>, V: Into<Value>> FromIterator<(K, V)> for AttributeMap {
     }
 }
 
-impl<K: Into<String>, V: Into<Value>> Extend<(K, V)> for AttributeMap {
+impl<K: Into<IStr>, V: Into<Value>> Extend<(K, V)> for AttributeMap {
     fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
         for (k, v) in iter {
             self.set(k, v);

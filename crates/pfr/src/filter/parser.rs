@@ -234,7 +234,7 @@ impl<'a> Parser<'a> {
     fn parse_value(&mut self) -> Result<Value, PfrError> {
         self.skip_ws();
         match self.peek() {
-            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'"') => self.parse_string().map(Value::from),
             Some(b'[') => self.parse_list().map(Value::List),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
             _ => {

@@ -1,12 +1,14 @@
 //! Replicated items: the unit of storage, filtering, and transfer.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::attrs::AttributeMap;
 use crate::id::{ItemId, Version};
+use crate::payload::Payload;
 
 /// How two versions of the same item relate causally.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,9 +61,13 @@ pub struct Item {
     version: Version,
     /// All versions of this item superseded by `version` (exclusive).
     ancestors: BTreeSet<Version>,
-    attrs: AttributeMap,
-    transient: AttributeMap,
-    payload: Vec<u8>,
+    /// Versioned attributes never mutate in place (a change is a new
+    /// version), so copies share one map behind an `Arc`.
+    attrs: Arc<AttributeMap>,
+    /// Transient attributes are copy-on-write: cloning shares the map,
+    /// [`Item::transient_mut`] privatizes it only when actually mutated.
+    transient: Arc<AttributeMap>,
+    payload: Payload,
     deleted: bool,
 }
 
@@ -73,9 +79,9 @@ impl Item {
                 id,
                 version,
                 ancestors: BTreeSet::new(),
-                attrs: AttributeMap::new(),
-                transient: AttributeMap::new(),
-                payload: Vec::new(),
+                attrs: Arc::new(AttributeMap::new()),
+                transient: Arc::new(AttributeMap::new()),
+                payload: Payload::empty(),
                 deleted: false,
             },
         }
@@ -136,11 +142,28 @@ impl Item {
     /// [`Replica::update`](crate::Replica::update), which stamps a new
     /// version.
     pub fn transient_mut(&mut self) -> &mut AttributeMap {
-        &mut self.transient
+        // Copy-on-write: privatize the map only if another copy shares it.
+        Arc::make_mut(&mut self.transient)
+    }
+
+    /// Replaces this copy's entire transient map with an already-shared
+    /// one. The structural-sharing counterpart of [`Item::transient_mut`]:
+    /// a policy whose transient state takes only a small closed set of
+    /// values (say, a hop budget counting down) can intern one map per
+    /// state and stamp outgoing copies with a reference-count bump instead
+    /// of privatizing and rewriting a map per copy.
+    pub fn replace_transient(&mut self, map: Arc<AttributeMap>) {
+        self.transient = map;
     }
 
     /// The application payload (a message body, in the DTN application).
     pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The payload as a shared buffer handle (clone = reference-count
+    /// bump). Storage accounting uses its [`Payload::buffer_id`].
+    pub fn payload_shared(&self) -> &Payload {
         &self.payload
     }
 
@@ -149,17 +172,42 @@ impl Item {
         self.deleted
     }
 
-    /// Approximate in-memory size in bytes, used by storage accounting.
+    /// Approximate in-memory size in bytes of this copy viewed in
+    /// isolation, charging the full payload to the copy.
+    ///
+    /// Payloads are shared buffers, so summing `approx_size` over copies
+    /// over-counts: bytes one buffer holds once are charged once *per
+    /// copy*. Storage accounting that walks many copies should use
+    /// [`Item::approx_size_deduped`], which charges each distinct backing
+    /// buffer exactly once.
     pub fn approx_size(&self) -> usize {
+        self.metadata_size() + self.payload.len()
+    }
+
+    /// Approximate in-memory size charging shared payload bytes once per
+    /// distinct backing buffer: the payload counts only if its
+    /// [`Payload::buffer_id`] was not already in `seen_buffers` (which
+    /// this call updates). Per-copy metadata is always charged.
+    ///
+    /// Folding this over every copy in a set of stores yields the real
+    /// resident footprint; folding [`Item::approx_size`] yields the
+    /// logical (pre-sharing) footprint.
+    pub fn approx_size_deduped(&self, seen_buffers: &mut HashSet<usize>) -> usize {
+        let payload = if seen_buffers.insert(self.payload.buffer_id()) {
+            self.payload.len()
+        } else {
+            0
+        };
+        self.metadata_size() + payload
+    }
+
+    fn metadata_size(&self) -> usize {
         let attr_size = |m: &AttributeMap| -> usize {
             m.iter()
                 .map(|(k, v)| k.len() + format!("{v}").len() + 8)
                 .sum()
         };
-        self.payload.len()
-            + attr_size(&self.attrs)
-            + attr_size(&self.transient)
-            + 16 * (1 + self.ancestors.len())
+        attr_size(&self.attrs) + attr_size(&self.transient) + 16 * (1 + self.ancestors.len())
     }
 
     /// Produces the successor copy stamped with `new_version`, used by
@@ -172,8 +220,8 @@ impl Item {
     pub(crate) fn successor(
         &self,
         new_version: Version,
-        attrs: AttributeMap,
-        payload: Vec<u8>,
+        attrs: impl Into<Arc<AttributeMap>>,
+        payload: impl Into<Payload>,
         deleted: bool,
     ) -> Item {
         let mut ancestors = self.ancestors.clone();
@@ -182,11 +230,28 @@ impl Item {
             id: self.id,
             version: new_version,
             ancestors,
-            attrs,
-            transient: AttributeMap::new(),
-            payload,
+            attrs: attrs.into(),
+            transient: Arc::new(AttributeMap::new()),
+            payload: payload.into(),
             deleted,
         }
+    }
+
+    /// The versioned attribute map as a shared handle (used by deletes to
+    /// stamp a tombstone without copying the map).
+    pub(crate) fn attrs_shared(&self) -> Arc<AttributeMap> {
+        Arc::clone(&self.attrs)
+    }
+
+    /// Replaces every shared buffer in this copy — payload, attribute
+    /// maps, and their interned strings — with freshly allocated private
+    /// copies. The bytes are unchanged; only allocation behavior differs.
+    /// This emulates the pre-copy-on-write data plane for A/B benchmarking
+    /// (see `Replica::set_owned_copies`); production code never calls it.
+    pub fn detach_copy(&mut self) {
+        self.payload.detach();
+        self.attrs = Arc::new(self.attrs.deep_uninterned());
+        self.transient = Arc::new(self.transient.deep_uninterned());
     }
 
     /// Returns this copy with one more recorded ancestor version. Used when
@@ -239,30 +304,38 @@ pub struct ItemBuilder {
 
 impl ItemBuilder {
     /// Sets a versioned application attribute.
-    pub fn attr(mut self, name: impl Into<String>, value: impl Into<crate::Value>) -> Self {
-        self.item.attrs.set(name, value);
+    pub fn attr(mut self, name: impl Into<crate::IStr>, value: impl Into<crate::Value>) -> Self {
+        Arc::make_mut(&mut self.item.attrs).set(name, value);
         self
     }
 
     /// Sets a transient (per-copy) routing attribute.
     pub fn transient_attr(
         mut self,
-        name: impl Into<String>,
+        name: impl Into<crate::IStr>,
         value: impl Into<crate::Value>,
     ) -> Self {
-        self.item.transient.set(name, value);
+        Arc::make_mut(&mut self.item.transient).set(name, value);
         self
     }
 
-    /// Sets the payload.
-    pub fn payload(mut self, payload: Vec<u8>) -> Self {
-        self.item.payload = payload;
+    /// Sets the payload. Accepts owned bytes or an existing (possibly
+    /// shared) [`Payload`].
+    pub fn payload(mut self, payload: impl Into<Payload>) -> Self {
+        self.item.payload = payload.into();
         self
     }
 
     /// Replaces the whole versioned attribute map.
     pub fn attrs(mut self, attrs: AttributeMap) -> Self {
-        self.item.attrs = attrs;
+        self.item.attrs = Arc::new(attrs);
+        self
+    }
+
+    /// Replaces the whole transient attribute map (used by wire decode to
+    /// avoid re-setting entries one by one).
+    pub fn transient_attrs(mut self, transient: AttributeMap) -> Self {
+        self.item.transient = Arc::new(transient);
         self
     }
 
@@ -364,6 +437,79 @@ mod tests {
         assert!(m1.knows_version(a.version()));
         assert!(m1.knows_version(b.version()) || m1.version() == b.version());
         assert!(m1.knows_version(item.version()));
+    }
+
+    #[test]
+    fn clone_shares_payload_and_attr_maps() {
+        let item = base_item();
+        let copy = item.clone();
+        assert_eq!(item, copy);
+        assert_eq!(
+            item.payload_shared().buffer_id(),
+            copy.payload_shared().buffer_id(),
+            "cloning must share the payload buffer, not copy it"
+        );
+    }
+
+    #[test]
+    fn transient_mut_is_copy_on_write() {
+        let mut item = base_item();
+        item.transient_mut().set("hops", 1i64);
+        let mut copy = item.clone();
+        copy.transient_mut().set("hops", 2i64);
+        assert_eq!(item.transient().get_i64("hops"), Some(1));
+        assert_eq!(copy.transient().get_i64("hops"), Some(2));
+    }
+
+    #[test]
+    fn detach_copy_preserves_bytes_but_privatizes_buffers() {
+        let item = base_item();
+        let mut copy = item.clone();
+        copy.detach_copy();
+        assert_eq!(item, copy, "detaching never changes contents");
+        assert_ne!(
+            item.payload_shared().buffer_id(),
+            copy.payload_shared().buffer_id()
+        );
+    }
+
+    /// Pins the old-vs-new storage accounting on a two-copy example:
+    /// summing the legacy per-copy `approx_size` charges the 1000-byte
+    /// payload twice, while `approx_size_deduped` charges the shared
+    /// buffer once and only the per-copy metadata twice.
+    #[test]
+    fn two_copies_charge_shared_payload_once() {
+        let item = Item::builder(ItemId::new(rid(1), 1), Version::new(rid(1), 1))
+            .attr("dest", "b")
+            .payload(vec![0u8; 1000])
+            .build();
+        let copy = item.clone();
+
+        let legacy: usize = [&item, &copy].iter().map(|i| i.approx_size()).sum();
+        let mut seen = HashSet::new();
+        let deduped: usize = [&item, &copy]
+            .iter()
+            .map(|i| i.approx_size_deduped(&mut seen))
+            .sum();
+
+        let metadata = item.approx_size() - 1000;
+        assert_eq!(
+            legacy,
+            2 * (1000 + metadata),
+            "old: payload charged per copy"
+        );
+        assert_eq!(
+            deduped,
+            1000 + 2 * metadata,
+            "new: payload charged per buffer"
+        );
+
+        // An unrelated buffer with the same bytes is still charged.
+        let private = Item::builder(ItemId::new(rid(1), 2), Version::new(rid(1), 2))
+            .attr("dest", "b")
+            .payload(vec![0u8; 1000])
+            .build();
+        assert_eq!(private.approx_size_deduped(&mut seen), 1000 + metadata);
     }
 
     #[test]

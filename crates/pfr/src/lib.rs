@@ -50,8 +50,10 @@ mod attrs;
 mod error;
 mod filter;
 mod id;
+mod intern;
 mod item;
 mod knowledge;
+mod payload;
 mod replica;
 mod snapshot;
 mod store;
@@ -65,8 +67,10 @@ pub use attrs::AttributeMap;
 pub use error::PfrError;
 pub use filter::{CmpOp, Filter};
 pub use id::{ItemId, ReplicaId, Version};
+pub use intern::IStr;
 pub use item::{CausalRelation, Item, ItemBuilder};
 pub use knowledge::Knowledge;
+pub use payload::Payload;
 pub use replica::{ApplyOutcome, ConflictRecord, Replica, ReplicaStats};
 pub use store::{EvictionMode, StoreKind};
 pub use sync::{Priority, PriorityClass, RoutingState, SendDecision, SyncExtension, SyncLimits};

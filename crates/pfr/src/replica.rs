@@ -12,6 +12,7 @@ use crate::filter::Filter;
 use crate::id::{ItemId, ReplicaId, Version};
 use crate::item::{CausalRelation, Item};
 use crate::knowledge::Knowledge;
+use crate::payload::Payload;
 use crate::store::{classify, EvictionMode, ItemStore, StoreKind};
 use crate::time::SimTime;
 use crate::value::Value;
@@ -120,6 +121,15 @@ pub struct Replica {
     /// and bypasses `match_memo`. Benchmark/validation knob (see
     /// [`Replica::set_candidate_scan`]); off by default.
     candidate_scan: bool,
+    /// When set, copies prepared for transmission are detached into
+    /// private allocations, emulating the pre-copy-on-write data plane.
+    /// Benchmark/validation knob (see [`Replica::set_owned_copies`]); off
+    /// by default.
+    owned_copies: bool,
+    /// Reusable selection buffers for [`crate::sync::prepare_batch`].
+    /// An allocation cache like `match_memo`: cleared before every use,
+    /// never part of snapshots.
+    sync_scratch: crate::sync::SyncScratch,
 }
 
 /// One resolved sync candidate (see [`Replica::resolve_candidate`]).
@@ -154,6 +164,8 @@ impl Replica {
             obs: Obs::none(),
             match_memo: HashMap::new(),
             candidate_scan: false,
+            owned_copies: false,
+            sync_scratch: crate::sync::SyncScratch::default(),
         }
     }
 
@@ -235,7 +247,11 @@ impl Replica {
     ///
     /// Currently infallible in practice; returns `Result` for forward
     /// compatibility with storage backends that can fail.
-    pub fn insert(&mut self, attrs: AttributeMap, payload: Vec<u8>) -> Result<ItemId, PfrError> {
+    pub fn insert(
+        &mut self,
+        attrs: AttributeMap,
+        payload: impl Into<Payload>,
+    ) -> Result<ItemId, PfrError> {
         self.next_item_seq += 1;
         let id = ItemId::new(self.id, self.next_item_seq);
         let version = self.next_version();
@@ -259,7 +275,7 @@ impl Replica {
         &mut self,
         id: ItemId,
         attrs: AttributeMap,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
     ) -> Result<Version, PfrError> {
         let version = self.next_version();
         let stored = self.store.get(id).ok_or(PfrError::NotStored(id))?;
@@ -283,10 +299,13 @@ impl Replica {
     pub fn delete(&mut self, id: ItemId) -> Result<Version, PfrError> {
         let version = self.next_version();
         let stored = self.store.get(id).ok_or(PfrError::NotStored(id))?;
+        // The tombstone shares the predecessor's attribute map (one Arc
+        // bump) and the global empty payload: deleting allocates nothing
+        // proportional to the item.
         let tombstone =
             stored
                 .item
-                .successor(version, stored.item.attrs().clone(), Vec::new(), true);
+                .successor(version, stored.item.attrs_shared(), Payload::empty(), true);
         let received_at = stored.received_at;
         let kind = classify(&tombstone, self.id, &self.filter);
         self.store.put(tombstone, kind, received_at);
@@ -392,7 +411,7 @@ impl Replica {
         value: impl Into<Value>,
     ) -> Result<(), PfrError> {
         let stored = self.store.get_mut(id).ok_or(PfrError::NotStored(id))?;
-        stored.item.transient_mut().set(name, value);
+        stored.item.transient_mut().set(name.into(), value);
         Ok(())
     }
 
@@ -418,10 +437,46 @@ impl Replica {
     /// store size. Results are identical (including order) to the full
     /// scan, which is kept as [`Replica::versions_unknown_to_scan`].
     pub fn versions_unknown_to(&self, knowledge: &Knowledge) -> Vec<ItemId> {
+        let mut ids = Vec::new();
+        self.versions_unknown_to_into(knowledge, &mut ids);
+        ids
+    }
+
+    /// In-place variant of [`Replica::versions_unknown_to`]: clears `ids`
+    /// and fills it with the candidate set. The sync hot path calls this
+    /// with a reused per-replica buffer so steady-state (zero-candidate)
+    /// encounters allocate nothing.
+    pub(crate) fn versions_unknown_to_into(&self, knowledge: &Knowledge, ids: &mut Vec<ItemId>) {
         if self.candidate_scan {
-            return self.versions_unknown_to_scan(knowledge);
+            ids.clear();
+            ids.extend(
+                self.store
+                    .iter()
+                    .filter(|s| !knowledge.contains(s.item.version()))
+                    .map(|s| s.item.id()),
+            );
+            return;
         }
-        self.store.versions_unknown_to(knowledge)
+        self.store.versions_unknown_to_into(knowledge, ids);
+    }
+
+    /// Detaches the reusable sync-selection buffers (see
+    /// [`crate::sync::SyncScratch`]); pair with
+    /// [`Replica::restore_sync_scratch`].
+    pub(crate) fn take_sync_scratch(&mut self) -> crate::sync::SyncScratch {
+        std::mem::take(&mut self.sync_scratch)
+    }
+
+    /// Returns buffers taken with [`Replica::take_sync_scratch`] so the
+    /// next sync reuses their capacity.
+    pub(crate) fn restore_sync_scratch(&mut self, scratch: crate::sync::SyncScratch) {
+        self.sync_scratch = scratch;
+    }
+
+    /// Hands a drained batch-entry buffer back for reuse by the next
+    /// [`crate::sync::prepare_batch`] on this replica.
+    pub(crate) fn recycle_batch_entries(&mut self, entries: Vec<crate::sync::BatchEntry>) {
+        self.sync_scratch.entries = entries;
     }
 
     /// Reference implementation of [`Replica::versions_unknown_to`]: a
@@ -442,6 +497,22 @@ impl Replica {
     /// runs can compare them within one process. Off by default.
     pub fn set_candidate_scan(&mut self, scan: bool) {
         self.candidate_scan = scan;
+    }
+
+    /// Forces copies prepared for transmission to be detached into private
+    /// allocations (fresh payload buffer, un-interned attribute strings),
+    /// emulating the pre-copy-on-write data plane. The shared and owned
+    /// paths are behavior-identical (property-tested); this knob exists so
+    /// benchmarks and validation runs can compare their allocation and
+    /// memory profiles within one process. Off by default.
+    pub fn set_owned_copies(&mut self, owned: bool) {
+        self.owned_copies = owned;
+    }
+
+    /// Whether transmitted copies are detached into private allocations
+    /// (see [`Replica::set_owned_copies`]).
+    pub fn owned_copies(&self) -> bool {
+        self.owned_copies
     }
 
     /// Resolves one sync candidate in a single store lookup: whether
@@ -607,6 +678,8 @@ impl Replica {
             obs: Obs::none(),
             match_memo: HashMap::new(),
             candidate_scan: false,
+            owned_copies: false,
+            sync_scratch: crate::sync::SyncScratch::default(),
         };
         replica.enforce_relay_limit();
         replica

@@ -99,7 +99,11 @@ impl Replica {
                 });
             }
         }
-        let mut r = Reader::new(&bytes[1..]);
+        // Restore decodes through the shared-buffer path: every restored
+        // item's payload is a slice into this one backing buffer instead
+        // of a private allocation per item.
+        let backing: std::sync::Arc<[u8]> = bytes[1..].into();
+        let mut r = Reader::shared(&backing);
         (|| -> Result<Replica, WireError> {
             let id = ReplicaId::decode(&mut r)?;
             let filter = Filter::decode(&mut r)?;
@@ -260,6 +264,23 @@ mod tests {
         assert!(!restored.contains_item(relay_ids[0]));
         assert!(restored.contains_item(relay_ids[1]));
         assert!(restored.contains_item(relay_ids[2]));
+    }
+
+    #[test]
+    fn restored_payloads_share_one_snapshot_buffer() {
+        let original = populated_replica();
+        let restored = Replica::restore(&original.snapshot()).expect("restore");
+        let buffer_ids: Vec<usize> = restored
+            .iter_items()
+            .map(|i| i.payload_shared())
+            .filter(|p| !p.is_empty())
+            .map(|p| p.buffer_id())
+            .collect();
+        assert!(buffer_ids.len() >= 2, "fixture has payload-bearing items");
+        assert!(
+            buffer_ids.windows(2).all(|w| w[0] == w[1]),
+            "all restored payloads slice the same backing buffer"
+        );
     }
 
     #[test]

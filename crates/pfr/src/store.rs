@@ -156,14 +156,15 @@ impl ItemStore {
         }
     }
 
-    /// Ids of stored items whose versions `knowledge` has not learned,
-    /// answered from the version index: for each origin, only the counter
-    /// suffix beyond the requester's vector entry is walked (exceptions
-    /// prune individual versions inside that suffix). Returns ids in
-    /// ascending order — exactly the order a full scan of the id-keyed
-    /// store produces, so callers observe identical candidate sequences.
-    pub fn versions_unknown_to(&self, knowledge: &Knowledge) -> Vec<ItemId> {
-        let mut ids = Vec::new();
+    /// Fills `ids` (cleared first, capacity reused) with the ids of stored
+    /// items whose versions `knowledge` has not learned, answered from the
+    /// version index: for each origin, only the counter suffix beyond the
+    /// requester's vector entry is walked (exceptions prune individual
+    /// versions inside that suffix). Ids come out in ascending order —
+    /// exactly the order a full scan of the id-keyed store produces, so
+    /// callers observe identical candidate sequences.
+    pub fn versions_unknown_to_into(&self, knowledge: &Knowledge, ids: &mut Vec<ItemId>) {
+        ids.clear();
         for (&origin, by_counter) in &self.version_index {
             let base = knowledge.base_counter(origin);
             for (&counter, &id) in by_counter.range(base.saturating_add(1)..) {
@@ -173,7 +174,6 @@ impl ItemStore {
             }
         }
         ids.sort_unstable();
-        ids
     }
 
     fn remove_from_fifo(&mut self, id: ItemId) {
@@ -411,7 +411,8 @@ mod tests {
         let mut k = Knowledge::new();
         k.insert_prefix(rid(2), 2); // knows 2@1..2
         k.insert(Version::new(rid(2), 4)); // and the exception 2@4
-        let unknown = s.versions_unknown_to(&k);
+        let mut unknown = Vec::new();
+        s.versions_unknown_to_into(&k, &mut unknown);
         assert_eq!(
             unknown,
             vec![ItemId::new(rid(2), 3), ItemId::new(rid(3), 1)]

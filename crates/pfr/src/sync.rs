@@ -125,6 +125,27 @@ impl Priority {
     }
 }
 
+/// Reusable candidate-selection buffers owned by each [`Replica`].
+///
+/// [`prepare_batch`] runs once per sync; holding its working vectors on
+/// the replica (taken with `mem::take`, returned on exit) makes the
+/// steady-state encounter loop allocation-free instead of building and
+/// dropping two vectors per batch. Purely an allocation cache: the
+/// contents are cleared before every use, so the buffers carry no state
+/// between syncs.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SyncScratch {
+    /// Ids the version index reported as unknown to the requester.
+    pub candidates: Vec<ItemId>,
+    /// Selection survivors: (id, priority, matched_filter, payload_len).
+    pub selected: Vec<(ItemId, Priority, bool, usize)>,
+    /// Recycled batch-entry buffer. [`prepare_batch`] moves it into the
+    /// outgoing [`SyncBatch`]; the in-process [`sync_with`] path hands the
+    /// drained vector back after the target applies the batch, so repeat
+    /// syncs between co-located replicas reuse its capacity.
+    pub entries: Vec<BatchEntry>,
+}
+
 /// A routing policy's verdict on forwarding one out-of-filter item.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SendDecision {
@@ -326,7 +347,7 @@ impl SyncRequest<'_> {
 }
 
 /// One item in a sync batch.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BatchEntry {
     /// The transmitted copy (after any in-flight transforms).
     pub item: Item,
@@ -338,7 +359,7 @@ pub struct BatchEntry {
 }
 
 /// An ordered batch of items from source to target.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SyncBatch {
     /// The sending (source) replica.
     pub source: ReplicaId,
@@ -482,12 +503,17 @@ pub fn prepare_batch(
     // key the match memo; compute it lazily so the common zero-candidate
     // sync pays nothing for it.
     let mut fingerprint: Option<u64> = None;
-    let candidates = cx.replica.versions_unknown_to(&request.knowledge);
-    let candidate_count = candidates.len() as u64;
+    // Selection runs in per-replica scratch buffers (returned before this
+    // function exits), so the steady-state encounter — every candidate
+    // already known, nothing selected — builds no vectors at all.
+    let mut scratch = cx.replica.take_sync_scratch();
+    cx.replica
+        .versions_unknown_to_into(&request.knowledge, &mut scratch.candidates);
+    let candidate_count = scratch.candidates.len() as u64;
     let mut memo_hits = 0u64;
-    let mut selected: Vec<(ItemId, Priority, bool, usize)> = Vec::with_capacity(candidates.len());
+    scratch.selected.clear();
     let mut withheld = 0usize;
-    for id in candidates {
+    for &id in &scratch.candidates {
         // One store lookup resolves filter match, memo state, and the
         // payload length the byte-budget cut needs later.
         let fp = *fingerprint.get_or_insert_with(|| request.filter.fingerprint());
@@ -501,7 +527,9 @@ pub fn prepare_batch(
             None => (false, 0),
         };
         if matched {
-            selected.push((id, Priority::highest(), true, payload_len));
+            scratch
+                .selected
+                .push((id, Priority::highest(), true, payload_len));
             continue;
         }
         let verdict = ext.to_send(&mut cx, id, request).priority();
@@ -519,11 +547,11 @@ pub fn prepare_batch(
             at_secs: now.as_secs(),
         });
         match verdict {
-            Some(priority) => selected.push((id, priority, false, payload_len)),
+            Some(priority) => scratch.selected.push((id, priority, false, payload_len)),
             None => withheld += 1,
         }
     }
-    let selected_count = selected.len() as u64;
+    let selected_count = scratch.selected.len() as u64;
     let scan_us = scan_started
         .map(|t| t.elapsed().as_micros().min(u64::MAX as u128) as u64)
         .unwrap_or(0);
@@ -540,18 +568,20 @@ pub fn prepare_batch(
         });
 
     // Deterministic transmission order: priority, then item id.
-    selected.sort_by(|(ida, pa, _, _), (idb, pb, _, _)| {
-        let ka = pa.sort_key();
-        let kb = pb.sort_key();
-        ka.0.cmp(&kb.0)
-            .then(ka.1.total_cmp(&kb.1))
-            .then(ida.cmp(idb))
-    });
+    scratch
+        .selected
+        .sort_by(|(ida, pa, _, _), (idb, pb, _, _)| {
+            let ka = pa.sort_key();
+            let kb = pb.sort_key();
+            ka.0.cmp(&kb.0)
+                .then(ka.1.total_cmp(&kb.1))
+                .then(ida.cmp(idb))
+        });
 
     if let Some(max) = limits.max_items {
-        if selected.len() > max {
-            withheld += selected.len() - max;
-            selected.truncate(max);
+        if scratch.selected.len() > max {
+            withheld += scratch.selected.len() - max;
+            scratch.selected.truncate(max);
         }
     }
     if let Some(max_bytes) = limits.max_payload_bytes {
@@ -564,7 +594,7 @@ pub fn prepare_batch(
         let mut used = 0usize;
         let mut keep = 0usize;
         if max_bytes > 0 {
-            for (_, _, _, size) in &selected {
+            for (_, _, _, size) in &scratch.selected {
                 if used + size > max_bytes {
                     break;
                 }
@@ -572,19 +602,30 @@ pub fn prepare_batch(
                 keep += 1;
             }
         }
-        if selected.len() > keep {
-            withheld += selected.len() - keep;
-            selected.truncate(keep);
+        if scratch.selected.len() > keep {
+            withheld += scratch.selected.len() - keep;
+            scratch.selected.truncate(keep);
         }
     }
 
-    let mut entries = Vec::with_capacity(selected.len());
+    let mut entries = std::mem::take(&mut scratch.entries);
+    entries.clear();
+    entries.reserve(scratch.selected.len());
     let mut payload_bytes = 0u64;
-    for (id, priority, matched_filter, _) in selected {
+    for &(id, priority, matched_filter, _) in &scratch.selected {
         let Some(mut copy) = cx.replica.item(id).cloned() else {
             continue;
         };
         ext.prepare_outgoing(&mut cx, &mut copy, request.target, matched_filter);
+        if cx.replica.owned_copies() {
+            // Benchmark/validation knob: emulate the pre-copy-on-write
+            // data plane by detaching the final outgoing copy into private
+            // allocations (see `Replica::set_owned_copies`). Runs after
+            // the policy's in-flight transforms so any structural sharing
+            // they introduce is privatized too, exactly as a system
+            // without shared buffers would transmit it.
+            copy.detach_copy();
+        }
         let bytes = copy.payload().len() as u64;
         payload_bytes += bytes;
         cx.replica.observer().emit(|| Event::ItemTransmitted {
@@ -611,6 +652,7 @@ pub fn prepare_batch(
         payload_bytes,
         at_secs: now.as_secs(),
     });
+    cx.replica.restore_sync_scratch(scratch);
 
     SyncBatch {
         source: source_id,
@@ -627,6 +669,18 @@ pub fn apply_batch(
     batch: SyncBatch,
     now: SimTime,
 ) -> SyncReport {
+    apply_batch_recycling(target, ext, batch, now).0
+}
+
+/// [`apply_batch`] that also returns the batch's drained entry buffer so
+/// the in-process [`sync_with`] path can hand it back to the source for
+/// reuse (see [`SyncScratch`]).
+fn apply_batch_recycling(
+    target: &mut Replica,
+    ext: &mut dyn SyncExtension,
+    mut batch: SyncBatch,
+    now: SimTime,
+) -> (SyncReport, Vec<BatchEntry>) {
     let mut report = SyncReport {
         transmitted: batch.entries.len(),
         withheld: batch.withheld,
@@ -634,7 +688,7 @@ pub fn apply_batch(
     };
     let target_id = target.id().as_u64();
     let source_id = batch.source.as_u64();
-    for entry in batch.entries {
+    for entry in batch.entries.drain(..) {
         let id = entry.item.id();
         match target.apply_remote(entry.item, now) {
             ApplyOutcome::Accepted { delivered, kind: _ } => {
@@ -677,10 +731,13 @@ pub fn apply_batch(
             at_secs: now.as_secs(),
         });
     }
-    let delivered_ids = report.delivered_ids.clone();
+    // Lend the delivered-id list to the extension rather than cloning it;
+    // the report gets it back untouched.
+    let delivered_ids = std::mem::take(&mut report.delivered_ids);
     let mut cx = HostContext::new(target, now, Some(batch.source));
     ext.on_delivered(&mut cx, &delivered_ids);
-    report
+    report.delivered_ids = delivered_ids;
+    (report, batch.entries)
 }
 
 /// Runs one full one-directional sync (`target` pulls from `source`) with
@@ -697,7 +754,11 @@ pub fn sync_with(
     let batch = prepare_batch(source, source_ext, &request, limits, now);
     // `request` borrows `target`; release it before applying the batch.
     drop(request);
-    apply_batch(target, target_ext, batch, now)
+    let (report, spent_entries) = apply_batch_recycling(target, target_ext, batch, now);
+    // Both endpoints are in-process: return the drained entry buffer to
+    // the source so its next batch reuses the capacity.
+    source.recycle_batch_entries(spent_entries);
+    report
 }
 
 /// Runs one plain filtered-replication sync with no routing extension and

@@ -4,6 +4,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::intern::IStr;
+
 /// A dynamically-typed attribute value attached to a replicated item.
 ///
 /// Filters ([`Filter`](crate::Filter)) evaluate predicates over these
@@ -26,8 +28,9 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Value {
-    /// UTF-8 text.
-    Str(String),
+    /// UTF-8 text, interned: the same string stored by many items (hot
+    /// recipient addresses, folder names) shares one allocation.
+    Str(IStr),
     /// Signed 64-bit integer.
     Int(i64),
     /// IEEE-754 double. `NaN` is rejected by [`AttributeMap`](crate::AttributeMap).
@@ -45,7 +48,7 @@ impl Value {
     /// Returns the contained string, if this is a [`Value::Str`].
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -165,12 +168,18 @@ fn hex(bytes: &[u8]) -> String {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_owned())
+        Value::Str(IStr::new(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Str(IStr::new(&s))
+    }
+}
+
+impl From<IStr> for Value {
+    fn from(s: IStr) -> Self {
         Value::Str(s)
     }
 }

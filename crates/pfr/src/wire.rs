@@ -13,13 +13,16 @@
 //! correctness is property-tested.
 
 use std::fmt;
+use std::sync::Arc;
 
 use bytes::{BufMut, BytesMut};
 
 use crate::filter::{CmpOp, Filter};
 use crate::id::{ItemId, ReplicaId, Version};
+use crate::intern::IStr;
 use crate::item::Item;
 use crate::knowledge::Knowledge;
+use crate::payload::Payload;
 use crate::sync::{BatchEntry, Priority, PriorityClass, RoutingState, SyncBatch, SyncRequest};
 use crate::value::Value;
 use crate::AttributeMap;
@@ -91,9 +94,20 @@ impl Writer {
         Writer::default()
     }
 
-    /// Finishes encoding, returning the bytes.
+    /// Finishes encoding, returning the bytes. Moves the buffer out —
+    /// no copy.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf.into()
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Empties the writer, retaining its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// Bytes written so far.
@@ -152,11 +166,19 @@ impl Writer {
 }
 
 /// Cursor-based decoder over a byte slice.
+///
+/// A reader constructed with [`Reader::shared`] additionally knows the
+/// reference-counted buffer backing its input, letting
+/// [`Reader::get_payload`] hand out [`Payload`]s that *slice into* that
+/// buffer instead of copying — the zero-copy decode path for received
+/// frames and snapshots.
 #[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
     depth: usize,
+    backing: Option<&'a Arc<[u8]>>,
+    shared_payloads: u64,
 }
 
 impl<'a> Reader<'a> {
@@ -166,7 +188,28 @@ impl<'a> Reader<'a> {
             buf,
             pos: 0,
             depth: 0,
+            backing: None,
+            shared_payloads: 0,
         }
+    }
+
+    /// Creates a reader over a shared buffer: payloads decoded via
+    /// [`Reader::get_payload`] will reference-count `backing` and slice
+    /// into it rather than allocating.
+    pub fn shared(backing: &'a Arc<[u8]>) -> Self {
+        Reader {
+            buf: backing,
+            pos: 0,
+            depth: 0,
+            backing: Some(backing),
+            shared_payloads: 0,
+        }
+    }
+
+    /// How many payloads were decoded as slices of the shared backing
+    /// buffer (always 0 for a [`Reader::new`] reader).
+    pub fn shared_payload_count(&self) -> u64 {
+        self.shared_payloads
     }
 
     /// Runs `f` one nesting level deeper, failing with
@@ -249,10 +292,36 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
+    /// Reads a length-prefixed byte slice as a [`Payload`]. On a
+    /// [`Reader::shared`] reader the payload slices into the backing
+    /// buffer (reference-count bump, no allocation); otherwise the bytes
+    /// are copied into a fresh buffer.
+    pub fn get_payload(&mut self) -> Result<Payload, WireError> {
+        let len = self.get_varint()?;
+        if len > self.remaining() as u64 {
+            return Err(WireError::LengthOverflow(len));
+        }
+        let len = len as usize;
+        let start = self.pos;
+        self.pos += len;
+        match self.backing {
+            Some(arc) if len > 0 => {
+                self.shared_payloads += 1;
+                Ok(Payload::from_shared(arc.clone(), start, len))
+            }
+            _ => Ok(Payload::from(&self.buf[start..start + len])),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string as a borrowed slice.
+    pub fn get_str_slice(&mut self) -> Result<&'a str, WireError> {
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String, WireError> {
-        let bytes = self.get_bytes()?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        Ok(self.get_str_slice()?.to_owned())
     }
 
     /// Reads a collection length prefix, validating it against a minimum
@@ -286,6 +355,52 @@ pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// A reusable encode buffer: every [`EncodeScratch::encode`] call after
+/// the first reuses the same allocation, so steady-state encoding — one
+/// sync session's frames, a WAL's appends — allocates nothing per message.
+/// Tracks reuse and byte counters for the `wire.scratch_reuses` /
+/// `wire.bytes_encoded` observability counters.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    w: Writer,
+    encodes: u64,
+    bytes_encoded: u64,
+}
+
+impl EncodeScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        EncodeScratch::default()
+    }
+
+    /// Encodes `value` into the scratch buffer (clearing any previous
+    /// contents, keeping the allocation) and returns the encoded bytes.
+    /// The bytes stay valid — retrievable via [`EncodeScratch::last`] —
+    /// until the next `encode` call.
+    pub fn encode<T: Encode>(&mut self, value: &T) -> &[u8] {
+        self.encodes += 1;
+        self.w.clear();
+        value.encode(&mut self.w);
+        self.bytes_encoded += self.w.len() as u64;
+        self.w.as_slice()
+    }
+
+    /// The bytes of the most recent [`EncodeScratch::encode`] call.
+    pub fn last(&self) -> &[u8] {
+        self.w.as_slice()
+    }
+
+    /// How many encodes reused the buffer (all but the first).
+    pub fn reuses(&self) -> u64 {
+        self.encodes.saturating_sub(1)
+    }
+
+    /// Total bytes encoded through this scratch buffer.
+    pub fn bytes_encoded(&self) -> u64 {
+        self.bytes_encoded
+    }
+}
+
 /// Decodes a value, requiring the input to be fully consumed.
 ///
 /// # Errors
@@ -299,6 +414,24 @@ pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
         return Err(WireError::TrailingBytes(r.remaining()));
     }
     Ok(value)
+}
+
+/// Decodes a value from a shared buffer, requiring the input to be fully
+/// consumed. Item payloads inside the value slice into `backing` instead
+/// of being copied (see [`Reader::shared`]); the second return value is
+/// how many payloads were shared that way.
+///
+/// # Errors
+///
+/// Any [`WireError`] from decoding, or [`WireError::TrailingBytes`] if the
+/// value did not consume all input.
+pub fn from_bytes_shared<T: Decode>(backing: &Arc<[u8]>) -> Result<(T, u64), WireError> {
+    let mut r = Reader::shared(backing);
+    let value = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok((value, r.shared_payload_count()))
 }
 
 impl<T: Encode> Encode for Vec<T> {
@@ -429,7 +562,7 @@ impl Encode for Value {
 impl Decode for Value {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.get_u8()? {
-            VAL_STR => Ok(Value::Str(r.get_str()?)),
+            VAL_STR => Ok(Value::Str(IStr::new(r.get_str_slice()?))),
             VAL_INT => Ok(Value::Int(r.get_signed()?)),
             VAL_FLOAT => Ok(Value::Float(r.get_f64()?)),
             VAL_BOOL => Ok(Value::Bool(r.get_bool()?)),
@@ -455,7 +588,7 @@ impl Decode for AttributeMap {
         let len = r.get_len(2)?;
         let mut attrs = AttributeMap::new();
         for _ in 0..len {
-            let name = r.get_str()?;
+            let name = IStr::new(r.get_str_slice()?);
             let value = Value::decode(r)?;
             attrs
                 .try_set(name, value)
@@ -629,21 +762,20 @@ impl Decode for Item {
         let ancestors = Vec::<Version>::decode(r)?;
         let attrs = AttributeMap::decode(r)?;
         let transient = AttributeMap::decode(r)?;
-        let payload = r.get_bytes()?.to_vec();
+        // On a shared reader this slices into the frame buffer: every
+        // item in a received batch shares the one backing allocation.
+        let payload = r.get_payload()?;
         let deleted = r.get_bool()?;
-        let mut builder = Item::builder(id, version)
+        let item = Item::builder(id, version)
             .attrs(attrs)
+            .transient_attrs(transient)
             .payload(payload)
-            .deleted(deleted);
-        for (name, value) in transient.iter() {
-            builder = builder.transient_attr(name, value.clone());
-        }
-        let mut item = builder.build();
+            .deleted(deleted)
+            .build();
         // Re-derive ancestor history through the supersession API.
-        item = ancestors
+        Ok(ancestors
             .into_iter()
-            .fold(item, |item, v| item.with_ancestor(v));
-        Ok(item)
+            .fold(item, |item, v| item.with_ancestor(v)))
     }
 }
 
@@ -930,6 +1062,61 @@ mod tests {
         assert_eq!(back.entries.len(), 1);
         assert_eq!(back.entries[0].priority.cost(), 1.5);
         assert!(back.entries[0].matched_filter);
+    }
+
+    #[test]
+    fn shared_decode_slices_the_backing_buffer() {
+        let item = Item::builder(
+            ItemId::new(ReplicaId::new(1), 1),
+            Version::new(ReplicaId::new(1), 1),
+        )
+        .attr("dest", "b")
+        .payload(b"zero-copy payload".to_vec())
+        .build();
+        let batch = SyncBatch {
+            source: ReplicaId::new(1),
+            entries: vec![
+                BatchEntry {
+                    item: item.clone(),
+                    priority: Priority::new(PriorityClass::Normal, 0.0),
+                    matched_filter: true,
+                },
+                BatchEntry {
+                    item,
+                    priority: Priority::new(PriorityClass::Normal, 0.0),
+                    matched_filter: true,
+                },
+            ],
+            withheld: 0,
+        };
+        let bytes: Arc<[u8]> = to_bytes(&batch).into();
+
+        let owned: SyncBatch = from_bytes(&bytes).unwrap();
+        let (shared, shares) = from_bytes_shared::<SyncBatch>(&bytes).unwrap();
+        assert_eq!(owned, shared, "shared decode must be value-identical");
+        assert_eq!(shares, 2, "both payloads decoded zero-copy");
+
+        let a = shared.entries[0].item.payload_shared();
+        let b = shared.entries[1].item.payload_shared();
+        assert_eq!(a.buffer_id(), b.buffer_id(), "one frame, one buffer");
+        assert_eq!(&a[..], b"zero-copy payload");
+
+        // Re-encoding the shared decode is byte-identical to the original.
+        assert_eq!(to_bytes(&shared), &bytes[..]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_and_counted() {
+        let values = [Value::from("a"), Value::from(7i64), Value::from("a")];
+        let mut scratch = EncodeScratch::new();
+        for v in &values {
+            let fresh = to_bytes(v);
+            assert_eq!(scratch.encode(v), &fresh[..]);
+            assert_eq!(scratch.last(), &fresh[..]);
+        }
+        assert_eq!(scratch.reuses(), 2, "all encodes after the first reuse");
+        let total: u64 = values.iter().map(|v| to_bytes(v).len() as u64).sum();
+        assert_eq!(scratch.bytes_encoded(), total);
     }
 
     #[test]

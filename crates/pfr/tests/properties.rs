@@ -619,6 +619,76 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Copy-on-write data plane: shared and owned copies are indistinguishable
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// A shared copy (interned strings, shared payload buffer) and its
+    /// detached twin (private allocations, as the pre-copy-on-write data
+    /// plane produced) encode to byte-identical wire form, and decoding
+    /// yields an item equal to both.
+    #[test]
+    fn shared_and_owned_copies_encode_identically(replica in arb_populated_replica()) {
+        for id in replica.item_ids() {
+            let shared = replica.item(id).expect("present").clone();
+            let mut owned = shared.clone();
+            owned.detach_copy();
+            let shared_bytes = to_bytes(&shared);
+            let owned_bytes = to_bytes(&owned);
+            prop_assert_eq!(&shared_bytes, &owned_bytes);
+            let decoded: pfr::Item = from_bytes(&shared_bytes).expect("decode");
+            prop_assert_eq!(&decoded, &shared);
+            prop_assert_eq!(&decoded, &owned);
+        }
+    }
+
+    /// Whole syncs are data-plane-invariant: transmitting detached copies
+    /// (`set_owned_copies`) leaves every endpoint in a byte-identical
+    /// snapshot state to transmitting shared copies. The mirror of the
+    /// scan-vs-indexed run equality above, for the memory A/B knob.
+    #[test]
+    fn sync_outcomes_identical_shared_vs_owned(source in arb_populated_replica()) {
+        let run = |owned: bool| {
+            let mut src = Replica::restore(&source.snapshot()).expect("restore");
+            src.set_owned_copies(owned);
+            let mut t1 = Replica::new(ReplicaId::new(31), Filter::address("dest", "h1"));
+            let mut t2 = Replica::new(ReplicaId::new(32), Filter::All);
+            t1.set_owned_copies(owned);
+            t2.set_owned_copies(owned);
+            sync::sync_once(&mut src, &mut t1, SimTime::from_secs(1));
+            sync::sync_once(&mut src, &mut t2, SimTime::from_secs(2));
+            sync::sync_once(&mut t1, &mut t2, SimTime::from_secs(3));
+            (src.snapshot(), t1.snapshot(), t2.snapshot())
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// Interning is invisible to filter evaluation: any filter gives the
+    /// same verdict on a shared (interned) item and on its detached
+    /// (un-interned) twin.
+    #[test]
+    fn interning_never_changes_filter_verdicts(
+        replica in arb_populated_replica(),
+        filters in proptest::collection::vec(arb_small_filter(), 1..8),
+    ) {
+        for id in replica.item_ids() {
+            let shared = replica.item(id).expect("present").clone();
+            let mut owned = shared.clone();
+            owned.detach_copy();
+            for f in &filters {
+                prop_assert_eq!(
+                    f.matches(&shared),
+                    f.matches(&owned),
+                    "filter {} separates shared and detached copies of {:?}",
+                    f,
+                    id
+                );
+            }
+        }
+    }
+}
+
 /// Borrow two distinct elements mutably.
 fn split_two(hosts: &mut [Replica], a: usize, b: usize) -> (&mut Replica, &mut Replica) {
     assert_ne!(a, b);

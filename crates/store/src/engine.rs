@@ -11,7 +11,7 @@ use obs::{Event, Obs};
 
 use crate::checkpoint::{self, CheckpointFault};
 use crate::layout;
-use crate::record::{self, Record};
+use crate::record::{self, Record, RecordScratch};
 use crate::StoreError;
 
 /// Tuning knobs for a [`Store`].
@@ -83,6 +83,7 @@ pub struct Store {
     wal_bytes: u64,
     last_checkpoint_bytes: u64,
     recovery: RecoveryReport,
+    scratch: RecordScratch,
 }
 
 impl Store {
@@ -210,6 +211,7 @@ impl Store {
             wal_bytes,
             last_checkpoint_bytes,
             recovery: report,
+            scratch: RecordScratch::default(),
         })
     }
 
@@ -283,19 +285,20 @@ impl Store {
     }
 
     fn append(&mut self, rec: Record) -> Result<(), StoreError> {
-        let bytes = rec.encode();
+        let bytes = rec.encode_into(&mut self.scratch);
         let path = layout::wal_path(&self.dir, self.active_seq);
         self.wal
-            .write_all(&bytes)
+            .write_all(bytes)
             .map_err(|e| StoreError::io("append", &path, e))?;
         if self.config.fsync {
             self.wal
                 .sync_data()
                 .map_err(|e| StoreError::io("fsync", &path, e))?;
         }
-        self.wal_bytes += bytes.len() as u64;
+        let len = bytes.len() as u64;
+        self.wal_bytes += len;
         apply(&mut self.map, rec);
-        let (len, fsync, total) = (bytes.len() as u64, self.config.fsync, self.wal_bytes);
+        let (fsync, total) = (self.config.fsync, self.wal_bytes);
         self.obs.emit(|| Event::WalAppend {
             bytes: len,
             fsync,

@@ -188,13 +188,34 @@ pub fn write_frame<W: Write>(
     Ok(())
 }
 
-/// Reads one frame from `r`.
+/// Reads one frame from `r` into a fresh allocation.
+///
+/// Steady-state sessions should prefer [`read_frame_into`] with a pooled
+/// buffer (see [`BufPool`]); this convenience wrapper allocates per call.
 ///
 /// # Errors
 ///
 /// Any [`FrameError`] variant; EOF mid-frame surfaces as
 /// [`FrameError::Io`].
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameType, Vec<u8>), FrameError> {
+    let mut payload = Vec::new();
+    let frame_type = read_frame_into(r, &mut payload)?;
+    Ok((frame_type, payload))
+}
+
+/// Reads one frame from `r` into `payload`, reusing its allocation.
+///
+/// The buffer is cleared first; on success it holds exactly the frame
+/// payload. A buffer recycled across frames reaches a steady state where
+/// no per-frame allocation happens at all once it has grown to the
+/// session's largest frame.
+///
+/// # Errors
+///
+/// Any [`FrameError`] variant; EOF mid-frame surfaces as
+/// [`FrameError::Io`]. On error the buffer contents are unspecified.
+pub fn read_frame_into<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> Result<FrameType, FrameError> {
+    payload.clear();
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     if header[..2] != MAGIC {
@@ -209,18 +230,76 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameType, Vec<u8>), FrameError
     // Read the payload in bounded chunks: allocation tracks bytes actually
     // received, so a lying length field cannot reserve the full cap.
     let len = len as usize;
-    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    payload.reserve(len.min(READ_CHUNK));
     while payload.len() < len {
         let chunk = (len - payload.len()).min(READ_CHUNK);
         let start = payload.len();
         payload.resize(start + chunk, 0);
         r.read_exact(&mut payload[start..])?;
     }
-    let got = frame_checksum(header[2], len as u32, &payload);
+    let got = frame_checksum(header[2], len as u32, payload);
     if got != expected {
         return Err(FrameError::BadChecksum { expected, got });
     }
-    Ok((frame_type, payload))
+    Ok(frame_type)
+}
+
+/// A small free-list of receive buffers, held per session so steady-state
+/// frame reads recycle allocations instead of minting fresh `Vec`s.
+///
+/// `take` hands out a cleared buffer (recycled when one is available);
+/// `give` returns a buffer to the pool, keeping at most
+/// [`BufPool::MAX_POOLED`] and letting the rest drop. Hit/miss counters
+/// feed the `transport.pool_hits` observability counter.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufPool {
+    /// Buffers retained by the pool; more are simply dropped on `give`.
+    /// Sync sessions hold at most a couple of frames in flight, so a
+    /// handful of buffers reaches the zero-allocation steady state.
+    pub const MAX_POOLED: usize = 4;
+
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// Hands out a cleared buffer, recycling a pooled one when available.
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
+                buf.clear();
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool (dropped if the pool is full).
+    pub fn give(&mut self, buf: Vec<u8>) {
+        if self.free.len() < Self::MAX_POOLED {
+            self.free.push(buf);
+        }
+    }
+
+    /// Takes served from a recycled buffer.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Takes that had to allocate fresh.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +382,56 @@ mod tests {
         let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
         assert!(matches!(err, FrameError::BadChecksum { .. }));
         assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn read_frame_into_reuses_the_buffer_capacity() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FrameType::SyncBatch, &[7u8; 4096]).unwrap();
+        write_frame(&mut stream, FrameType::SyncDone, b"tiny").unwrap();
+        let mut cursor = Cursor::new(&stream);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut buf).unwrap(),
+            FrameType::SyncBatch
+        );
+        assert_eq!(buf.len(), 4096);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut buf).unwrap(),
+            FrameType::SyncDone
+        );
+        assert_eq!(buf, b"tiny");
+        assert_eq!(buf.capacity(), cap, "no reallocation for a smaller frame");
+        assert_eq!(buf.as_ptr(), ptr, "same backing allocation");
+    }
+
+    #[test]
+    fn buf_pool_recycles_and_counts() {
+        let mut pool = BufPool::new();
+        let first = pool.take();
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 0);
+        let mut grown = first;
+        grown.extend_from_slice(&[1u8; 1000]);
+        let ptr = grown.as_ptr();
+        pool.give(grown);
+        let recycled = pool.take();
+        assert_eq!(pool.hits(), 1);
+        assert!(recycled.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(recycled.as_ptr(), ptr, "same allocation handed back");
+        assert!(recycled.capacity() >= 1000);
+        // The pool caps how many buffers it retains.
+        for _ in 0..(BufPool::MAX_POOLED + 3) {
+            pool.give(Vec::new());
+        }
+        for _ in 0..BufPool::MAX_POOLED {
+            pool.take();
+        }
+        let before = pool.misses();
+        pool.take();
+        assert_eq!(pool.misses(), before + 1, "pool retained only its cap");
     }
 
     #[test]

@@ -9,11 +9,16 @@ use dtn::DtnNode;
 use obs::{Event, Span};
 use parking_lot::Mutex;
 use pfr::sync::{SyncBatch, SyncRequest};
-use pfr::wire::{from_bytes, to_bytes, Decode, Encode, Reader as WireReader, Writer as WireWriter};
+use pfr::wire::{
+    from_bytes, from_bytes_shared, Decode, Encode, EncodeScratch, Reader as WireReader,
+    Writer as WireWriter,
+};
 use pfr::{ReplicaId, SimTime, SyncLimits};
 
 use crate::conn::Connection;
-use crate::frame::{read_frame, write_frame, FrameError, FrameType};
+#[cfg(test)]
+use crate::frame::read_frame;
+use crate::frame::{read_frame_into, write_frame, BufPool, FrameError, FrameType};
 use crate::peer::SessionReport;
 
 /// Errors in the session protocol.
@@ -81,6 +86,7 @@ impl Decode for Hello {
     }
 }
 
+#[cfg(test)]
 fn expect(reader: &mut impl Read, expected: FrameType) -> Result<Vec<u8>, ProtocolError> {
     let (frame_type, payload) = read_frame(reader)?;
     if frame_type != expected {
@@ -90,6 +96,51 @@ fn expect(reader: &mut impl Read, expected: FrameType) -> Result<Vec<u8>, Protoc
         });
     }
     Ok(payload)
+}
+
+/// Per-session reusable buffers: one encode scratch for every outbound
+/// frame, one receive-buffer pool for every inbound frame, and the
+/// session's accounting (payloads decoded as shared slices, total frame
+/// payload bytes both ways). Steady-state sessions do no per-frame
+/// allocation; the counters feed [`Event::DataPlaneReuse`] and
+/// [`Event::TransportSync`].
+#[derive(Debug, Default)]
+struct SessionBuffers {
+    scratch: EncodeScratch,
+    pool: BufPool,
+    payload_shares: u64,
+    frame_bytes: u64,
+}
+
+/// Reads one frame of the expected type into a pooled buffer. The caller
+/// returns the buffer via `pool.give` once decoded; on error it is
+/// recycled here.
+fn expect_pooled(
+    reader: &mut impl Read,
+    expected: FrameType,
+    pool: &mut BufPool,
+) -> Result<Vec<u8>, ProtocolError> {
+    let mut payload = pool.take();
+    match read_frame_into(reader, &mut payload) {
+        Ok(frame_type) if frame_type == expected => Ok(payload),
+        Ok(got) => {
+            pool.give(payload);
+            Err(ProtocolError::UnexpectedFrame { expected, got })
+        }
+        Err(e) => {
+            pool.give(payload);
+            Err(e.into())
+        }
+    }
+}
+
+/// Decodes a [`SyncBatch`] through the shared-buffer wire path: the frame
+/// payload becomes one `Arc<[u8]>` backing buffer and every item payload
+/// in the batch is a slice of it — one allocation for the whole batch
+/// instead of one per item. Returns the batch and the share count.
+fn decode_batch_shared(payload: &[u8]) -> Result<(SyncBatch, u64), ProtocolError> {
+    let backing: Arc<[u8]> = payload.into();
+    from_bytes_shared(&backing).map_err(|e| ProtocolError::Frame(FrameError::Decode(e)))
 }
 
 fn decode_payload<T: Decode>(payload: &[u8]) -> Result<T, ProtocolError> {
@@ -127,7 +178,7 @@ fn initiator_steps<R: Read, W: Write>(
     now: SimTime,
     limits: SyncLimits,
     report: &mut SessionReport,
-    frame_bytes: &mut u64,
+    bufs: &mut SessionBuffers,
 ) -> Result<(), ProtocolError> {
     // Hello exchange.
     let (my_id, obs) = {
@@ -139,42 +190,48 @@ fn initiator_steps<R: Read, W: Write>(
         now,
     };
     report.now = Some(now);
-    let hello_bytes = to_bytes(&my_hello);
-    *frame_bytes += hello_bytes.len() as u64;
-    write_frame(writer, FrameType::Hello, &hello_bytes)?;
-    let hello_payload = expect(reader, FrameType::Hello)?;
-    *frame_bytes += hello_payload.len() as u64;
+    let hello_bytes = bufs.scratch.encode(&my_hello);
+    bufs.frame_bytes += hello_bytes.len() as u64;
+    write_frame(writer, FrameType::Hello, hello_bytes)?;
+    let hello_payload = expect_pooled(reader, FrameType::Hello, &mut bufs.pool)?;
+    bufs.frame_bytes += hello_payload.len() as u64;
     let peer_hello: Hello = decode_payload(&hello_payload)?;
+    bufs.pool.give(hello_payload);
     let peer = peer_hello.replica;
     report.peer = Some(peer);
     let span = Span::start(&obs, "transport.initiator", my_id.as_u64(), peer.as_u64());
 
     // Direction 1: we are the target and pull from the responder.
     // The request borrows the node's knowledge/filter, so serialize it
-    // while the lock is held; only the bytes leave the critical section.
+    // while the lock is held; only the scratch bytes leave the critical
+    // section.
     let request_bytes = {
         let mut node = node.lock();
         let request = node.begin_sync_session(peer, now);
-        to_bytes(&request)
+        bufs.scratch.encode(&request)
     };
-    *frame_bytes += request_bytes.len() as u64;
-    write_frame(writer, FrameType::SyncRequest, &request_bytes)?;
-    let batch_payload = expect(reader, FrameType::SyncBatch)?;
-    *frame_bytes += batch_payload.len() as u64;
-    let batch: SyncBatch = decode_payload(&batch_payload)?;
+    bufs.frame_bytes += request_bytes.len() as u64;
+    write_frame(writer, FrameType::SyncRequest, request_bytes)?;
+    let batch_payload = expect_pooled(reader, FrameType::SyncBatch, &mut bufs.pool)?;
+    bufs.frame_bytes += batch_payload.len() as u64;
+    let (batch, shares) = decode_batch_shared(&batch_payload)?;
+    bufs.pool.give(batch_payload);
+    bufs.payload_shares += shares;
     report.pulled = Some(node.lock().apply_sync(batch, now));
     write_frame(writer, FrameType::SyncDone, &[])?;
 
     // Direction 2: the responder pulls from us.
-    let request_payload = expect(reader, FrameType::SyncRequest)?;
-    *frame_bytes += request_payload.len() as u64;
+    let request_payload = expect_pooled(reader, FrameType::SyncRequest, &mut bufs.pool)?;
+    bufs.frame_bytes += request_payload.len() as u64;
     let peer_request: SyncRequest = decode_payload(&request_payload)?;
+    bufs.pool.give(request_payload);
     let batch = node.lock().respond_sync(&peer_request, limits, now);
     report.served = batch.entries.len();
-    let batch_bytes = to_bytes(&batch);
-    *frame_bytes += batch_bytes.len() as u64;
-    write_frame(writer, FrameType::SyncBatch, &batch_bytes)?;
-    expect(reader, FrameType::SyncDone)?;
+    let batch_bytes = bufs.scratch.encode(&batch);
+    bufs.frame_bytes += batch_bytes.len() as u64;
+    write_frame(writer, FrameType::SyncBatch, batch_bytes)?;
+    let done = expect_pooled(reader, FrameType::SyncDone, &mut bufs.pool)?;
+    bufs.pool.give(done);
     span.finish();
     Ok(())
 }
@@ -185,12 +242,13 @@ fn responder_steps<R: Read, W: Write>(
     node: &Arc<Mutex<DtnNode>>,
     limits: SyncLimits,
     report: &mut SessionReport,
-    frame_bytes: &mut u64,
+    bufs: &mut SessionBuffers,
 ) -> Result<(), ProtocolError> {
     // Hello exchange: adopt the initiator's clock for this encounter.
-    let hello_payload = expect(reader, FrameType::Hello)?;
-    *frame_bytes += hello_payload.len() as u64;
+    let hello_payload = expect_pooled(reader, FrameType::Hello, &mut bufs.pool)?;
+    bufs.frame_bytes += hello_payload.len() as u64;
     let peer_hello: Hello = decode_payload(&hello_payload)?;
+    bufs.pool.give(hello_payload);
     let peer = peer_hello.replica;
     let now = peer_hello.now;
     report.peer = Some(peer);
@@ -204,47 +262,52 @@ fn responder_steps<R: Read, W: Write>(
         replica: my_id,
         now,
     };
-    let hello_bytes = to_bytes(&my_hello);
-    *frame_bytes += hello_bytes.len() as u64;
-    write_frame(writer, FrameType::Hello, &hello_bytes)?;
+    let hello_bytes = bufs.scratch.encode(&my_hello);
+    bufs.frame_bytes += hello_bytes.len() as u64;
+    write_frame(writer, FrameType::Hello, hello_bytes)?;
 
     // Direction 1: the initiator pulls from us.
-    let request_payload = expect(reader, FrameType::SyncRequest)?;
-    *frame_bytes += request_payload.len() as u64;
+    let request_payload = expect_pooled(reader, FrameType::SyncRequest, &mut bufs.pool)?;
+    bufs.frame_bytes += request_payload.len() as u64;
     let request: SyncRequest = decode_payload(&request_payload)?;
+    bufs.pool.give(request_payload);
     let batch = node.lock().respond_sync(&request, limits, now);
     report.served = batch.entries.len();
-    let batch_bytes = to_bytes(&batch);
-    *frame_bytes += batch_bytes.len() as u64;
-    write_frame(writer, FrameType::SyncBatch, &batch_bytes)?;
-    expect(reader, FrameType::SyncDone)?;
+    let batch_bytes = bufs.scratch.encode(&batch);
+    bufs.frame_bytes += batch_bytes.len() as u64;
+    write_frame(writer, FrameType::SyncBatch, batch_bytes)?;
+    let done = expect_pooled(reader, FrameType::SyncDone, &mut bufs.pool)?;
+    bufs.pool.give(done);
 
     // Direction 2: we pull from the initiator.
     // As on the initiator side: serialize the borrowed request under the
-    // lock; only the bytes leave the critical section.
+    // lock; only the scratch bytes leave the critical section.
     let request_bytes = {
         let mut node = node.lock();
         let request = node.begin_sync_session(peer, now);
-        to_bytes(&request)
+        bufs.scratch.encode(&request)
     };
-    *frame_bytes += request_bytes.len() as u64;
-    write_frame(writer, FrameType::SyncRequest, &request_bytes)?;
-    let batch_payload = expect(reader, FrameType::SyncBatch)?;
-    *frame_bytes += batch_payload.len() as u64;
-    let batch: SyncBatch = decode_payload(&batch_payload)?;
+    bufs.frame_bytes += request_bytes.len() as u64;
+    write_frame(writer, FrameType::SyncRequest, request_bytes)?;
+    let batch_payload = expect_pooled(reader, FrameType::SyncBatch, &mut bufs.pool)?;
+    bufs.frame_bytes += batch_payload.len() as u64;
+    let (batch, shares) = decode_batch_shared(&batch_payload)?;
+    bufs.pool.give(batch_payload);
+    bufs.payload_shares += shares;
     report.pulled = Some(node.lock().apply_sync(batch, now));
     write_frame(writer, FrameType::SyncDone, &[])?;
     span.finish();
     Ok(())
 }
 
-/// Emits the per-session `TransportSync` event from whatever progress the
-/// report records, whether the session completed or died mid-protocol.
+/// Emits the per-session `TransportSync` and `DataPlaneReuse` events from
+/// whatever progress the report and buffers record, whether the session
+/// completed or died mid-protocol.
 fn emit_session_event(
     node: &Arc<Mutex<DtnNode>>,
     report: &SessionReport,
-    frame_bytes: u64,
     ok: bool,
+    bufs: &SessionBuffers,
 ) {
     let (my_id, obs) = {
         let node = node.lock();
@@ -262,8 +325,16 @@ fn emit_session_event(
         peer,
         served,
         delivered,
-        frame_bytes,
+        frame_bytes: bufs.frame_bytes,
         ok,
+    });
+    obs.emit(|| Event::DataPlaneReuse {
+        replica: my_id.as_u64(),
+        peer,
+        scratch_reuses: bufs.scratch.reuses(),
+        bytes_encoded: bufs.scratch.bytes_encoded(),
+        pool_hits: bufs.pool.hits(),
+        payload_shares: bufs.payload_shares,
     });
 }
 
@@ -299,7 +370,7 @@ pub fn initiate_session(
 ) -> SessionOutcome {
     let (mut reader, mut writer) = conn.halves();
     let mut report = SessionReport::default();
-    let mut frame_bytes = 0u64;
+    let mut bufs = SessionBuffers::default();
     let error = initiator_steps(
         &mut reader,
         &mut writer,
@@ -307,10 +378,10 @@ pub fn initiate_session(
         now,
         limits,
         &mut report,
-        &mut frame_bytes,
+        &mut bufs,
     )
     .err();
-    emit_session_event(node, &report, frame_bytes, error.is_none());
+    emit_session_event(node, &report, error.is_none(), &bufs);
     persist_after_session(node, report.now);
     SessionOutcome { report, error }
 }
@@ -324,17 +395,17 @@ pub fn respond_session(
 ) -> SessionOutcome {
     let (mut reader, mut writer) = conn.halves();
     let mut report = SessionReport::default();
-    let mut frame_bytes = 0u64;
+    let mut bufs = SessionBuffers::default();
     let error = responder_steps(
         &mut reader,
         &mut writer,
         node,
         limits,
         &mut report,
-        &mut frame_bytes,
+        &mut bufs,
     )
     .err();
-    emit_session_event(node, &report, frame_bytes, error.is_none());
+    emit_session_event(node, &report, error.is_none(), &bufs);
     persist_after_session(node, report.now);
     SessionOutcome { report, error }
 }
@@ -353,17 +424,9 @@ pub fn run_initiator<R: Read, W: Write>(
     limits: SyncLimits,
 ) -> Result<SessionReport, ProtocolError> {
     let mut report = SessionReport::default();
-    let mut frame_bytes = 0u64;
-    let result = initiator_steps(
-        reader,
-        writer,
-        node,
-        now,
-        limits,
-        &mut report,
-        &mut frame_bytes,
-    );
-    emit_session_event(node, &report, frame_bytes, result.is_ok());
+    let mut bufs = SessionBuffers::default();
+    let result = initiator_steps(reader, writer, node, now, limits, &mut report, &mut bufs);
+    emit_session_event(node, &report, result.is_ok(), &bufs);
     persist_after_session(node, report.now);
     result.map(|()| report)
 }
@@ -381,9 +444,9 @@ pub fn run_responder<R: Read, W: Write>(
     limits: SyncLimits,
 ) -> Result<SessionReport, ProtocolError> {
     let mut report = SessionReport::default();
-    let mut frame_bytes = 0u64;
-    let result = responder_steps(reader, writer, node, limits, &mut report, &mut frame_bytes);
-    emit_session_event(node, &report, frame_bytes, result.is_ok());
+    let mut bufs = SessionBuffers::default();
+    let result = responder_steps(reader, writer, node, limits, &mut report, &mut bufs);
+    emit_session_event(node, &report, result.is_ok(), &bufs);
     persist_after_session(node, report.now);
     result.map(|()| report)
 }

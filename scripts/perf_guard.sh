@@ -2,12 +2,18 @@
 # Structural guard for the macro_emu benchmark artifact.
 #
 # Checks the *invariants* a run of `cargo bench -p replidtn-bench --bench
-# macro_emu` must always satisfy — the scan and indexed replays produced
-# identical ExperimentMetrics, both modes actually ran encounters, and the
-# per-sync instrumentation was collected. Deliberately asserts NO absolute
+# macro_emu` must always satisfy — the scan, indexed, and owned-data-plane
+# replays produced identical ExperimentMetrics, every mode actually ran
+# encounters, the per-sync instrumentation was collected, and the loopback
+# session exercised the zero-copy data plane (pooled read buffers, encode
+# scratch reuse, shared payload decodes). Deliberately asserts NO absolute
 # times or speedup thresholds: CI machines vary, and a shared-runner blip
 # must not fail the build. Regressions are caught by eyeballing the
-# committed 30-day BENCH_emu.json, not by flaky wall-clock gates.
+# committed 30-day BENCH_emu.json, not by flaky wall-clock gates. The one
+# quantitative gate is the allocation ratio — allocator counts are
+# deterministic, so when the artifact was built with `--features
+# alloc-count` the owned data plane must allocate at least 5x more than
+# the shared one.
 #
 # Usage: scripts/perf_guard.sh [path/to/BENCH_emu.json]
 set -euo pipefail
@@ -34,18 +40,38 @@ def check(cond, msg):
 check(doc.get("bench") == "macro_emu", "bench name is not macro_emu")
 check(doc.get("metrics_identical") is True,
       "scan and indexed replays did NOT produce identical metrics")
+check(doc.get("owned_metrics_identical") is True,
+      "shared and owned data planes did NOT produce identical metrics")
 check(doc.get("encounters", 0) > 0, "replay ran zero encounters")
 check(doc.get("messages", 0) > 0, "replay injected zero messages")
 check(doc.get("days", 0) > 0, "replay covered zero days")
 
-for mode in ("scan", "indexed"):
+for mode in ("scan", "indexed", "owned"):
     m = doc.get(mode, {})
     check(m.get("encounters_per_sec", 0) > 0,
           f"{mode}: zero encounter throughput")
     check(m.get("seconds", 0) > 0, f"{mode}: zero elapsed time")
-    hist = m.get("batch_build_us", {})
+for mode in ("scan", "indexed"):
+    hist = doc.get(mode, {}).get("batch_build_us", {})
     check(hist.get("count", 0) > 0,
           f"{mode}: batch-build histogram collected no samples")
+
+# The loopback TCP session must actually exercise the zero-copy data
+# plane: pooled frame reads, reused encode scratch, shared-buffer payload
+# decodes, and a nonzero byte volume.
+plane = doc.get("data_plane", {})
+for counter in ("pool_hits", "scratch_reuses", "bytes_encoded",
+                "payload_shares"):
+    check(plane.get(counter, 0) > 0, f"data_plane.{counter} is zero")
+
+# Allocation counts are deterministic (unlike wall clock), so the ratio
+# is gated when present. Null means the artifact was built without
+# `--features alloc-count`; the committed 30-day artifact must have it.
+ratio = doc.get("alloc_ratio_owned_vs_shared")
+if ratio is not None:
+    check(ratio >= 5.0,
+          f"owned data plane allocates only {ratio}x more than shared "
+          "(expected >= 5x)")
 
 check(doc.get("speedup", 0) > 0, "speedup missing or non-positive")
 
@@ -57,5 +83,8 @@ if failures:
 print(f"perf_guard: OK ({path}: days={doc['days']} "
       f"encounters={doc['encounters']} "
       f"metrics_identical={doc['metrics_identical']} "
+      f"owned_metrics_identical={doc['owned_metrics_identical']} "
+      f"alloc_ratio={doc.get('alloc_ratio_owned_vs_shared')} "
+      f"pool_hits={plane.get('pool_hits')} "
       f"speedup={doc['speedup']}x)")
 EOF
