@@ -1,15 +1,23 @@
 //! A DTN host: one replica bundled with its routing policy and addresses.
 
+use std::borrow::Cow;
 use std::collections::BTreeSet;
 use std::fmt;
 
 use obs::{DropReason, Event, Span};
+use pfr::digest::{
+    self, DigestRequest, PendingExchange, ReconStats, SummaryOutcome, VersionAnswer, VersionQuery,
+};
 use pfr::sync::{self, SyncReport};
-use pfr::{Filter, ItemId, PfrError, Replica, ReplicaId, SimTime, SyncLimits};
+use pfr::{
+    DigestPolicy, Filter, ItemId, PfrError, ReconState, Replica, ReplicaId, SimTime, SyncLimits,
+    SyncMode,
+};
 
 use crate::durable::RestoreError;
 use crate::messaging::{self, Message};
 use crate::policy::{DtnPolicy, PolicyKind};
+use crate::recon::{DigestExt, RoutingLinks};
 
 /// Resource limits applied to one encounter (paper §VI-D).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,6 +71,55 @@ impl EncounterReport {
     }
 }
 
+/// Target-side continuation of a digest-mode network session: created by
+/// [`DtnNode::begin_digest_session`], held by the transport across the
+/// wire round trip, and consumed by [`DtnNode::commit_digest_session`]
+/// once the batch is applied. Dropping it (a torn session) leaves the
+/// snapshot caches untouched, which the next exchange repairs with one
+/// fallback round.
+#[derive(Debug)]
+pub struct DigestSessionState {
+    pending: PendingExchange,
+    full: pfr::sync::SyncRequest<'static>,
+    full_bytes: u64,
+    kind: &'static str,
+}
+
+impl DigestSessionState {
+    /// The equivalent full-mode request — what the target retransmits
+    /// when the source cannot resolve the digest.
+    pub fn full_request(&self) -> &pfr::sync::SyncRequest<'static> {
+        &self.full
+    }
+
+    /// Encoded size of the full-mode request: the bytes full mode would
+    /// have spent where the digest went instead.
+    pub fn full_bytes(&self) -> u64 {
+        self.full_bytes
+    }
+
+    /// Summary kind of the digest request (`"full"`, `"unchanged"`,
+    /// `"delta"`, or `"bloom"`).
+    pub fn summary_kind(&self) -> &'static str {
+        self.kind
+    }
+}
+
+/// What a digest request resolved to on the source side of a network
+/// session (see [`DtnNode::respond_digest`]).
+#[derive(Debug)]
+pub enum DigestResponse {
+    /// Candidates resolved exactly; this batch closes the exchange.
+    Batch(pfr::sync::SyncBatch),
+    /// Bloom screening left these versions uncertain: send the query,
+    /// feed the answer to [`DtnNode::respond_digest_answer`].
+    NeedVersions(VersionQuery),
+    /// The summary references state this side does not hold; the target
+    /// must retransmit a plain full request
+    /// ([`DtnNode::respond_digest_resync`] serves it).
+    Resync,
+}
+
 /// One device in the DTN: a replica, a routing policy, and the set of
 /// addresses it answers for.
 ///
@@ -90,6 +147,14 @@ pub struct DtnNode {
     /// no stored message expires, `Some(Some(t))` = nothing expires before
     /// `t`. Purely an acceleration cache — never snapshotted.
     next_expiry: Option<Option<SimTime>>,
+    /// How encounters exchange metadata. Runtime configuration, not
+    /// snapshotted — a restored node starts in [`SyncMode::Full`] until
+    /// its host application reapplies the mode.
+    sync_mode: SyncMode,
+    /// Reconciliation snapshots for digest-mode knowledge exchange.
+    recon: ReconState,
+    /// Per-peer routing-state envelope caches (digest mode only).
+    links: RoutingLinks,
 }
 
 impl DtnNode {
@@ -108,6 +173,9 @@ impl DtnNode {
             extra_filter_addrs: BTreeSet::new(),
             store: None,
             next_expiry: None,
+            sync_mode: SyncMode::default(),
+            recon: ReconState::new(),
+            links: RoutingLinks::default(),
         };
         node.refresh_filter();
         node
@@ -139,6 +207,54 @@ impl DtnNode {
     /// Read access to the routing policy.
     pub fn policy(&self) -> &dyn DtnPolicy {
         self.policy.as_ref()
+    }
+
+    /// The node's metadata exchange mode (see [`DtnNode::set_sync_mode`]).
+    pub fn sync_mode(&self) -> SyncMode {
+        self.sync_mode
+    }
+
+    /// Selects how encounters exchange sync metadata. In
+    /// [`SyncMode::Digest`], knowledge vectors travel as compact
+    /// reconciliation digests and routing state is delta-encoded against
+    /// the last copy the peer saw — but only when *both* encounter
+    /// parties run digest mode; a mixed pair falls back to full requests.
+    /// Switching modes drops the per-peer digest caches, so the first
+    /// digest exchange with each peer starts from scratch.
+    pub fn set_sync_mode(&mut self, mode: SyncMode) {
+        if self.sync_mode != mode {
+            self.sync_mode = mode;
+            self.recon.clear_peers();
+            self.links.clear();
+        }
+    }
+
+    /// Overrides the digest summary policy (defaults to
+    /// [`DigestPolicy::Auto`]); only meaningful in [`SyncMode::Digest`].
+    pub fn set_digest_policy(&mut self, policy: DigestPolicy) {
+        self.recon.set_policy(policy);
+    }
+
+    /// Overrides the Bloom filter density in bits per version (the
+    /// false-positive / digest-size trade; see
+    /// [`pfr::digest::ReconState::set_bloom_bits_per_item`]).
+    pub fn set_bloom_bits_per_item(&mut self, bits: u32) {
+        self.recon.set_bloom_bits_per_item(bits);
+    }
+
+    /// Cumulative digest-mode exchange counters for this node's source
+    /// role (zero while the node syncs in [`SyncMode::Full`]).
+    pub fn recon_stats(&self) -> ReconStats {
+        self.recon.stats()
+    }
+
+    /// Drops all digest caches — reconciliation snapshots and routing
+    /// envelope bases — as a crash that lost in-memory state would. The
+    /// next digest exchange with every peer resolves through the
+    /// fallback path and reseeds the caches; deliveries are unaffected.
+    pub fn clear_recon_state(&mut self) {
+        self.recon.clear_peers();
+        self.links.clear();
     }
 
     /// Swaps in a new policy instance, discarding the old one's in-memory
@@ -355,55 +471,25 @@ impl DtnNode {
             // Phase 1 (budgeted encounters only): deliveries first. Plain
             // filtered replication in both directions, so routing-policy
             // hooks fire exactly once per encounter (in phase 2).
-            let mut none_a = sync::NoExtension;
-            let mut none_b = sync::NoExtension;
-            let r = sync::sync_with(
-                &mut self.replica,
-                &mut none_a,
-                &mut other.replica,
-                &mut none_b,
-                limits_for(remaining),
-                now,
-            );
+            let r = node_sync(self, other, false, limits_for(remaining), now);
             spend(&mut remaining, r.transmitted);
             // Phase-1 deliveries bypass the policy's on_delivered hook via
             // NoExtension; replay them so acknowledgement schemes see them.
             other.notify_delivered(now, &r.delivered_ids, self.replica.id());
             report.absorb(r, false);
 
-            let r = sync::sync_with(
-                &mut other.replica,
-                &mut none_b,
-                &mut self.replica,
-                &mut none_a,
-                limits_for(remaining),
-                now,
-            );
+            let r = node_sync(other, self, false, limits_for(remaining), now);
             spend(&mut remaining, r.transmitted);
             self.notify_delivered(now, &r.delivered_ids, other.replica.id());
             report.absorb(r, true);
         }
 
         // Policy phase: self is source, other is target, then roles swap.
-        let r1 = sync::sync_with(
-            &mut self.replica,
-            self.policy.as_mut(),
-            &mut other.replica,
-            other.policy.as_mut(),
-            limits_for(remaining),
-            now,
-        );
+        let r1 = node_sync(self, other, true, limits_for(remaining), now);
         spend(&mut remaining, r1.transmitted);
         report.absorb(r1, false);
 
-        let r2 = sync::sync_with(
-            &mut other.replica,
-            other.policy.as_mut(),
-            &mut self.replica,
-            self.policy.as_mut(),
-            limits_for(remaining),
-            now,
-        );
+        let r2 = node_sync(other, self, true, limits_for(remaining), now);
         report.absorb(r2, true);
         if report.transmitted > 0 {
             // Either side may now hold items with earlier expiry times.
@@ -464,6 +550,188 @@ impl DtnNode {
             self.next_expiry = None;
         }
         sync::apply_batch(&mut self.replica, self.policy.as_mut(), batch, now)
+    }
+
+    // --- Digest-mode network sessions -----------------------------------
+    //
+    // The in-process encounter path drives both parties through
+    // [`pfr::digest::sync_with_digest`]; a network transport holds only
+    // one side, so the same exchange is split into target-role
+    // ([`DtnNode::begin_digest_session`] .. [`DtnNode::commit_digest_session`])
+    // and source-role ([`DtnNode::respond_digest`] and friends) calls with
+    // the wire round trips in between. Routing state rides verbatim here —
+    // the delta envelopes of the local path need a same-process back
+    // channel to recover from cache loss, which a socket does not offer.
+    //
+    // Snapshot caches advance independently per side (the target commits
+    // after applying the batch, the source when it serves one). A session
+    // torn between the two leaves the caches disagreeing, which the next
+    // exchange detects by checksum and resolves as a fallback round —
+    // degraded bandwidth once, never wrong candidates.
+
+    /// Begins a digest-mode sync session in which this node is the
+    /// *target*: produces the compact request to send to the source, plus
+    /// the continuation the transport holds across the round trip.
+    pub fn begin_digest_session(
+        &mut self,
+        source: ReplicaId,
+        now: SimTime,
+    ) -> (DigestRequest, DigestSessionState) {
+        let full = sync::begin_sync(&mut self.replica, self.policy.as_mut(), now, Some(source))
+            .into_owned();
+        let full_bytes = pfr::wire::to_bytes(&full).len() as u64;
+        let (request, pending) = self.recon.build_request(source, &full);
+        let kind = request.summary.kind();
+        (
+            request,
+            DigestSessionState {
+                pending,
+                full,
+                full_bytes,
+                kind,
+            },
+        )
+    }
+
+    /// Answers the exact-membership round of a Bloom digest session (the
+    /// source asks about versions its filter screening left uncertain).
+    pub fn answer_digest_query(&self, query: &VersionQuery) -> VersionAnswer {
+        digest::answer_query(self.replica.knowledge(), query)
+    }
+
+    /// Completes a digest session as the *target*: advances the snapshot
+    /// cache (only when the exchange conveyed the exact knowledge set —
+    /// Bloom rounds are lossy and must not seed deltas), folds the byte
+    /// accounting into [`DtnNode::recon_stats`], and emits the session's
+    /// `ReconDigest` event.
+    pub fn commit_digest_session(
+        &mut self,
+        source: ReplicaId,
+        state: DigestSessionState,
+        knowledge_shared: bool,
+        digest_bytes: u64,
+        fallback_rounds: u64,
+        false_positives: u64,
+    ) {
+        // A resync that retransmitted the full request is accounted as a
+        // "full" exchange, mirroring the in-process driver.
+        let kind = if fallback_rounds > 0 && knowledge_shared {
+            "full"
+        } else {
+            state.kind
+        };
+        self.replica.observer().emit(|| Event::ReconDigest {
+            replica: self.replica.id().as_u64(),
+            peer: source.as_u64(),
+            kind,
+            digest_bytes,
+            full_bytes: state.full_bytes,
+            fallback_rounds,
+            false_positives,
+        });
+        self.recon.note_exchange(
+            digest_bytes,
+            state.full_bytes,
+            fallback_rounds,
+            false_positives,
+        );
+        self.recon.commit_sent(state.pending, knowledge_shared);
+    }
+
+    /// Answers a digest request as the *source*. A [`DigestResponse::Batch`]
+    /// closes the exchange in one reply; the other variants need a further
+    /// round trip ([`DtnNode::respond_digest_answer`] after the target
+    /// answers a version query, [`DtnNode::respond_digest_resync`] after
+    /// it retransmits a full request).
+    pub fn respond_digest(
+        &mut self,
+        request: &DigestRequest,
+        limits: SyncLimits,
+        now: SimTime,
+    ) -> DigestResponse {
+        let Some(filter) = self.recon.effective_filter(request.target, request) else {
+            // The peer elided a filter we never cached: protocol desync.
+            return DigestResponse::Resync;
+        };
+        match self
+            .recon
+            .resolve(&self.replica, request.target, &request.summary)
+        {
+            SummaryOutcome::Resolved(knowledge) => {
+                // Bloom-resolved knowledge is a conservative subset, not
+                // the peer's exact set; it must not seed the delta cache.
+                let exact = request.summary.kind() != "bloom";
+                let batch =
+                    self.prepare_digest_batch(request, knowledge.clone(), &filter, limits, now);
+                self.recon.commit_peer(
+                    request.target,
+                    exact.then_some(knowledge),
+                    request.filter_fingerprint,
+                    &filter,
+                );
+                DigestResponse::Batch(batch)
+            }
+            SummaryOutcome::NeedVersions(query) => DigestResponse::NeedVersions(query),
+            SummaryOutcome::Resync => DigestResponse::Resync,
+        }
+    }
+
+    /// Continues a [`DigestResponse::NeedVersions`] exchange as the
+    /// *source* once the target's answer arrives. `None` when the answer
+    /// does not match the query (the caller should fall back to a resync
+    /// round).
+    pub fn respond_digest_answer(
+        &mut self,
+        request: &DigestRequest,
+        query: &VersionQuery,
+        answer: &VersionAnswer,
+        limits: SyncLimits,
+        now: SimTime,
+    ) -> Option<pfr::sync::SyncBatch> {
+        let filter = self.recon.effective_filter(request.target, request)?;
+        let (known, _false_positives) = digest::knowledge_from_answer(query, answer)?;
+        let batch = self.prepare_digest_batch(request, known, &filter, limits, now);
+        // Query rounds convey a lossy knowledge view: cache the filter only.
+        self.recon
+            .commit_peer(request.target, None, request.filter_fingerprint, &filter);
+        Some(batch)
+    }
+
+    /// Serves the full request a target retransmits after a
+    /// [`DigestResponse::Resync`], caching the now exactly-known peer
+    /// state so the *next* exchange can summarize again.
+    pub fn respond_digest_resync(
+        &mut self,
+        request: &pfr::sync::SyncRequest,
+        limits: SyncLimits,
+        now: SimTime,
+    ) -> pfr::sync::SyncBatch {
+        let batch = self.respond_sync(request, limits, now);
+        self.recon.commit_peer(
+            request.target,
+            Some(request.knowledge.as_ref().clone()),
+            request.filter.fingerprint(),
+            request.filter.as_ref(),
+        );
+        batch
+    }
+
+    /// Source-role batch preparation shared by the digest reply paths.
+    fn prepare_digest_batch(
+        &mut self,
+        request: &DigestRequest,
+        knowledge: pfr::Knowledge,
+        filter: &Filter,
+        limits: SyncLimits,
+        now: SimTime,
+    ) -> pfr::sync::SyncBatch {
+        let full = pfr::sync::SyncRequest {
+            target: request.target,
+            knowledge: Cow::Owned(knowledge),
+            filter: Cow::Owned(filter.clone()),
+            routing: request.routing.clone(),
+        };
+        sync::prepare_batch(&mut self.replica, self.policy.as_mut(), &full, limits, now)
     }
 
     /// Serializes the node's full durable state: replica snapshot, address
@@ -588,6 +856,9 @@ impl DtnNode {
             extra_filter_addrs,
             store: None,
             next_expiry: None,
+            sync_mode: SyncMode::default(),
+            recon: ReconState::new(),
+            links: RoutingLinks::default(),
         }
     }
 
@@ -608,6 +879,80 @@ impl DtnNode {
         let mut cx = sync::HostContext::new(&mut self.replica, now, Some(peer));
         self.policy.on_delivered(&mut cx, delivered);
     }
+}
+
+/// One directional sync between two co-located nodes, routed through the
+/// digest layer when *both* sides run [`SyncMode::Digest`] (a mixed pair
+/// speaks the lowest common denominator: full requests). `with_policy`
+/// selects the routing-policy extensions; phase-1 delivery syncs pass
+/// `false` and run plain filtered replication.
+fn node_sync(
+    source: &mut DtnNode,
+    target: &mut DtnNode,
+    with_policy: bool,
+    limits: SyncLimits,
+    now: SimTime,
+) -> SyncReport {
+    if source.sync_mode != SyncMode::Digest || target.sync_mode != SyncMode::Digest {
+        let (mut none_s, mut none_t) = (sync::NoExtension, sync::NoExtension);
+        return if with_policy {
+            sync::sync_with(
+                &mut source.replica,
+                source.policy.as_mut(),
+                &mut target.replica,
+                target.policy.as_mut(),
+                limits,
+                now,
+            )
+        } else {
+            sync::sync_with(
+                &mut source.replica,
+                &mut none_s,
+                &mut target.replica,
+                &mut none_t,
+                limits,
+                now,
+            )
+        };
+    }
+
+    let source_id = source.replica.id();
+    let target_id = target.replica.id();
+    let (report, routing_desync) = if with_policy {
+        let mut source_ext = DigestExt::new(source.policy.as_mut(), source.links.link(target_id));
+        let mut target_ext = DigestExt::new(target.policy.as_mut(), target.links.link(source_id));
+        let report = digest::sync_with_digest(
+            &mut source.replica,
+            &mut source_ext,
+            &mut source.recon,
+            &mut target.replica,
+            &mut target_ext,
+            &mut target.recon,
+            limits,
+            now,
+        );
+        (report, source_ext.decode_failed)
+    } else {
+        let (mut none_s, mut none_t) = (sync::NoExtension, sync::NoExtension);
+        let report = digest::sync_with_digest(
+            &mut source.replica,
+            &mut none_s,
+            &mut source.recon,
+            &mut target.replica,
+            &mut none_t,
+            &mut target.recon,
+            limits,
+            now,
+        );
+        (report, false)
+    };
+    if routing_desync {
+        // The source could not reconstruct the target's routing envelope
+        // (the target's delta assumed a base this side no longer holds);
+        // make the target resend the full payload at the next meeting.
+        target.links.reset_tx(source_id);
+    }
+    report
 }
 
 fn limits_for(remaining: Option<usize>) -> SyncLimits {
@@ -966,5 +1311,173 @@ mod tests {
     fn debug_shows_policy() {
         let a = node(1, "a", PolicyKind::MaxProp);
         assert!(format!("{a:?}").contains("maxprop"));
+    }
+
+    /// Two identical worlds, one per sync mode: every encounter must
+    /// deliver the same messages to the same inboxes.
+    #[test]
+    fn digest_encounters_deliver_identically_to_full() {
+        for kind in PolicyKind::ALL {
+            let build = |mode: SyncMode| {
+                let mut nodes: Vec<DtnNode> = (1..=3)
+                    .map(|n| {
+                        let addr = ["a", "b", "c"][n as usize - 1];
+                        let mut node = DtnNode::new(ReplicaId::new(n), addr, kind);
+                        node.set_sync_mode(mode);
+                        node
+                    })
+                    .collect();
+                for i in 0..4u8 {
+                    nodes[0].send("c", vec![i], SimTime::ZERO).unwrap();
+                    nodes[1].send("a", vec![i], SimTime::ZERO).unwrap();
+                }
+                nodes
+            };
+            let mut full = build(SyncMode::Full);
+            let mut dig = build(SyncMode::Digest);
+            for run in [&mut full, &mut dig] {
+                let [a, b, c] = &mut run[..] else {
+                    unreachable!()
+                };
+                for round in 0..3u64 {
+                    let t = |s| SimTime::from_secs(round * 600 + s);
+                    a.encounter(b, t(0), EncounterBudget::unlimited());
+                    b.encounter(c, t(60), EncounterBudget::unlimited());
+                }
+            }
+            for (f, d) in full.iter().zip(dig.iter()) {
+                assert_eq!(f.inbox(), d.inbox(), "policy {kind}");
+                assert_eq!(
+                    f.replica().item_ids(),
+                    d.replica().item_ids(),
+                    "policy {kind}: stores diverged"
+                );
+            }
+            let digested: u64 = dig.iter().map(|n| n.recon_stats().exchanges).sum();
+            assert!(digested > 0, "policy {kind}: digest path never ran");
+        }
+    }
+
+    #[test]
+    fn mixed_mode_pairs_fall_back_to_full_requests() {
+        let mut a = node(1, "a", PolicyKind::Epidemic);
+        let mut b = node(2, "b", PolicyKind::Epidemic);
+        a.set_sync_mode(SyncMode::Digest);
+        // b stays in full mode: deliveries work, no digests are spoken.
+        a.send("b", b"m".to_vec(), SimTime::ZERO).unwrap();
+        let report = a.encounter(&mut b, SimTime::from_secs(1), EncounterBudget::unlimited());
+        assert_eq!(report.delivered, 1);
+        assert_eq!(a.recon_stats().exchanges, 0);
+        assert_eq!(b.recon_stats().exchanges, 0);
+    }
+
+    /// The routing envelope is transparent: PROPHET learns exactly the
+    /// same predictabilities through delta-encoded vectors as through raw
+    /// ones.
+    #[test]
+    fn digest_mode_preserves_prophet_routing_state() {
+        let run = |mode: SyncMode| {
+            let mut a = node(1, "a", PolicyKind::Prophet);
+            let mut b = node(2, "b", PolicyKind::Prophet);
+            let mut c = node(3, "c", PolicyKind::Prophet);
+            for n in [&mut a, &mut b, &mut c] {
+                n.set_sync_mode(mode);
+            }
+            for t in 1..5 {
+                b.encounter(
+                    &mut c,
+                    SimTime::from_secs(t * 60),
+                    EncounterBudget::unlimited(),
+                );
+                a.encounter(
+                    &mut b,
+                    SimTime::from_secs(t * 60 + 30),
+                    EncounterBudget::unlimited(),
+                );
+            }
+            (a.policy.save_state(), b.policy.save_state())
+        };
+        assert_eq!(run(SyncMode::Full), run(SyncMode::Digest));
+    }
+
+    /// Steady-state digests must cost a fraction of full metadata. The
+    /// no-forwarding baseline with alternating destinations leaves
+    /// permanent gaps in the peer's knowledge (every "x" version is a
+    /// lasting exception), which is exactly the case where full requests
+    /// stay large while repeat digests collapse to "unchanged".
+    #[test]
+    fn repeat_digest_encounters_cost_less_than_full() {
+        let mut a = node(1, "a", PolicyKind::Direct);
+        let mut b = node(2, "b", PolicyKind::Direct);
+        a.set_sync_mode(SyncMode::Digest);
+        b.set_sync_mode(SyncMode::Digest);
+        for i in 0..300u32 {
+            let dest = if i % 2 == 0 { "b" } else { "x" };
+            a.send(dest, vec![i as u8], SimTime::ZERO).unwrap();
+        }
+        for t in 1..30 {
+            a.encounter(
+                &mut b,
+                SimTime::from_secs(t * 60),
+                EncounterBudget::unlimited(),
+            );
+        }
+        let stats = [a.recon_stats(), b.recon_stats()];
+        let digest: u64 = stats.iter().map(|s| s.digest_bytes).sum();
+        let full: u64 = stats.iter().map(|s| s.full_bytes).sum();
+        assert!(
+            digest * 3 <= full,
+            "steady-state digests should cost <= 1/3 of full metadata: {digest} vs {full}"
+        );
+    }
+
+    /// Losing one side's digest caches mid-conversation (a crash) makes
+    /// the next exchange fall back — and still deliver.
+    #[test]
+    fn lost_digest_state_degrades_gracefully() {
+        let mut a = node(1, "a", PolicyKind::Prophet);
+        let mut b = node(2, "b", PolicyKind::Prophet);
+        a.set_sync_mode(SyncMode::Digest);
+        b.set_sync_mode(SyncMode::Digest);
+        for t in 1..4 {
+            a.encounter(
+                &mut b,
+                SimTime::from_secs(t * 60),
+                EncounterBudget::unlimited(),
+            );
+        }
+        let fallbacks_before = a.recon_stats().fallback_rounds + b.recon_stats().fallback_rounds;
+        b.clear_recon_state();
+        a.send("b", b"after the crash".to_vec(), SimTime::from_secs(290))
+            .unwrap();
+        let report = a.encounter(
+            &mut b,
+            SimTime::from_secs(300),
+            EncounterBudget::unlimited(),
+        );
+        assert_eq!(report.delivered, 1, "delivery survives the cache loss");
+        let fallbacks_after = a.recon_stats().fallback_rounds + b.recon_stats().fallback_rounds;
+        assert!(
+            fallbacks_after > fallbacks_before,
+            "the desynchronized exchange must resolve via fallback"
+        );
+        // The pair recovers: later encounters digest again without falling
+        // back.
+        a.encounter(
+            &mut b,
+            SimTime::from_secs(360),
+            EncounterBudget::unlimited(),
+        );
+        let settled = a.recon_stats().fallback_rounds + b.recon_stats().fallback_rounds;
+        a.encounter(
+            &mut b,
+            SimTime::from_secs(420),
+            EncounterBudget::unlimited(),
+        );
+        assert_eq!(
+            a.recon_stats().fallback_rounds + b.recon_stats().fallback_rounds,
+            settled,
+            "recovered pairs stop falling back"
+        );
     }
 }

@@ -48,6 +48,7 @@ mod host;
 mod maxprop;
 mod policy;
 mod prophet;
+mod recon;
 mod spray;
 mod twohop;
 
@@ -56,7 +57,7 @@ pub mod messaging;
 pub use direct::DirectDelivery;
 pub use durable::RestoreError;
 pub use epidemic::{EpidemicPolicy, ATTR_TTL};
-pub use host::{DtnNode, EncounterBudget, EncounterReport};
+pub use host::{DigestResponse, DigestSessionState, DtnNode, EncounterBudget, EncounterReport};
 pub use maxprop::{MaxPropPolicy, ATTR_HOPLIST};
 pub use messaging::{FilterStrategy, Message};
 pub use policy::{DtnPolicy, PolicyKind, PolicySummary};

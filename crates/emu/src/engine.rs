@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use dtn::{DtnNode, DtnPolicy, EncounterBudget, FilterStrategy, PolicyKind};
 use obs::{Event, Fanout, Obs, Observer};
-use pfr::{ItemId, ReplicaId, SimTime};
+use pfr::{ItemId, ReplicaId, SimTime, SyncMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use traces::{bus_address, EmailWorkload, EncounterTrace, UserAssignment};
@@ -132,6 +132,14 @@ pub struct EmulationConfig {
     /// guard can A/B the copy-on-write data plane against pre-CoW
     /// allocation behavior.
     pub owned_copies: bool,
+    /// How encounters exchange sync metadata (see
+    /// [`DtnNode::set_sync_mode`]): [`SyncMode::Full`] sends complete
+    /// knowledge vectors and routing payloads; [`SyncMode::Digest`]
+    /// replaces them with compact reconciliation digests and routing
+    /// deltas. Delivery results are identical in both modes — only the
+    /// metadata bytes on the wire differ (`recon.*` counters account the
+    /// savings).
+    pub sync_mode: SyncMode,
 }
 
 impl std::fmt::Debug for EmulationConfig {
@@ -154,6 +162,7 @@ impl std::fmt::Debug for EmulationConfig {
             .field("observer", &self.observer.is_some())
             .field("candidate_scan", &self.candidate_scan)
             .field("owned_copies", &self.owned_copies)
+            .field("sync_mode", &self.sync_mode)
             .finish()
     }
 }
@@ -175,6 +184,7 @@ impl Default for EmulationConfig {
             observer: None,
             candidate_scan: false,
             owned_copies: false,
+            sync_mode: SyncMode::default(),
         }
     }
 }
@@ -226,6 +236,7 @@ impl<'a> Emulation<'a> {
             node.replica_mut().set_observer(obs.clone());
             node.replica_mut().set_candidate_scan(config.candidate_scan);
             node.replica_mut().set_owned_copies(config.owned_copies);
+            node.set_sync_mode(config.sync_mode);
             nodes.insert(id, node);
         }
 
@@ -509,6 +520,10 @@ impl<'a> Emulation<'a> {
                 restored
                     .replica_mut()
                     .set_owned_copies(self.config.owned_copies);
+                // Digest caches died with the process; the mode survives
+                // as configuration and the first post-reboot exchange per
+                // peer resolves through the fallback path.
+                restored.set_sync_mode(self.config.sync_mode);
                 self.metrics.reboots += 1;
                 self.nodes.insert(id, restored);
             }
@@ -780,6 +795,97 @@ mod tests {
         assert_eq!(shared_fp.total_bytes, owned_fp.total_bytes);
         assert_eq!(owned_fp.deduped_bytes, owned_fp.total_bytes);
         assert!(shared_fp.deduped_bytes < shared_fp.total_bytes);
+    }
+
+    /// The tentpole invariant: digest-mode reconciliation changes only
+    /// what travels on the wire, never what gets delivered. Every metric
+    /// must match the full-mode run exactly, for every paper policy.
+    #[test]
+    fn digest_mode_reproduces_full_mode_metrics_exactly() {
+        let (trace, workload) = small_setup();
+        for kind in PolicyKind::ALL {
+            let run = |sync_mode| {
+                Emulation::new(
+                    &trace,
+                    &workload,
+                    EmulationConfig {
+                        policy: kind.into(),
+                        sync_mode,
+                        ..EmulationConfig::default()
+                    },
+                )
+                .run()
+            };
+            let full = run(SyncMode::Full);
+            let digest = run(SyncMode::Digest);
+            assert_eq!(full, digest, "policy {kind}: digest mode diverged");
+        }
+    }
+
+    /// Crash injection wipes digest caches mid-run: knowledge exchange
+    /// falls back to full retransmission (candidates stay exact), while a
+    /// routing-envelope miss costs one exchange of routing metadata per
+    /// peer — relay traffic may drift, but the replication guarantees and
+    /// deliveries must hold up.
+    #[test]
+    fn digest_mode_survives_crash_injection() {
+        let (trace, workload) = small_setup();
+        let run = |sync_mode| {
+            Emulation::new(
+                &trace,
+                &workload,
+                EmulationConfig {
+                    policy: PolicyKind::MaxProp.into(),
+                    crash_rate: 0.1,
+                    sync_mode,
+                    ..EmulationConfig::default()
+                },
+            )
+            .run_into_parts()
+        };
+        let (full, _) = run(SyncMode::Full);
+        let (digest, nodes) = run(SyncMode::Digest);
+        assert!(digest.reboots > 0, "crashes must actually happen");
+        assert_eq!(digest.duplicates, 0, "at-most-once survives cache loss");
+        assert_eq!(digest.injected(), full.injected());
+        assert!(
+            digest.delivery_rate() >= full.delivery_rate() * 0.9,
+            "lost digest caches must not dent delivery: {} vs {}",
+            digest.delivery_rate(),
+            full.delivery_rate()
+        );
+        let fallbacks: u64 = nodes
+            .values()
+            .map(|n| n.recon_stats().fallback_rounds)
+            .sum();
+        assert!(
+            fallbacks > 0,
+            "reboots must exercise the digest fallback path"
+        );
+    }
+
+    #[test]
+    fn digest_mode_exchanges_are_counted() {
+        let (trace, workload) = small_setup();
+        let (_, nodes) = Emulation::new(
+            &trace,
+            &workload,
+            EmulationConfig {
+                policy: PolicyKind::Epidemic.into(),
+                sync_mode: SyncMode::Digest,
+                ..EmulationConfig::default()
+            },
+        )
+        .run_into_parts();
+        let exchanges: u64 = nodes.values().map(|n| n.recon_stats().exchanges).sum();
+        let digest: u64 = nodes.values().map(|n| n.recon_stats().digest_bytes).sum();
+        let full: u64 = nodes.values().map(|n| n.recon_stats().full_bytes).sum();
+        assert!(exchanges > 0, "digest path must run");
+        assert!(digest > 0 && full > 0);
+        assert!(
+            digest < full,
+            "digest metadata must undercut full: {digest} vs {full}"
+        );
     }
 
     #[test]

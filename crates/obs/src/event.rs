@@ -308,6 +308,31 @@ pub enum Event {
         /// Item payloads decoded as slices of a shared receive buffer
         /// instead of private copies.
         payload_shares: u64,
+        /// Total frame payload bytes decoded during the session (the
+        /// receive-side mirror of `bytes_encoded`).
+        bytes_decoded: u64,
+    },
+    /// One digest-mode sync exchange: what the compact knowledge summary
+    /// cost on the wire versus what shipping the full knowledge would
+    /// have, plus fallback-round accounting.
+    ReconDigest {
+        /// The summary sender (the sync target / initiator).
+        replica: u64,
+        /// The summary receiver (the sync source).
+        peer: u64,
+        /// Summary kind actually used: "unchanged", "delta", "bloom",
+        /// or "full" (digest mode fell back to a full exchange).
+        kind: &'static str,
+        /// Sync-metadata bytes the digest exchange cost (summary plus
+        /// any query/answer/resync rounds).
+        digest_bytes: u64,
+        /// Bytes the equivalent full knowledge request would have cost.
+        full_bytes: u64,
+        /// Extra resolution rounds taken (Bloom membership queries,
+        /// undecodable-sketch resyncs).
+        fallback_rounds: u64,
+        /// Bloom false positives resolved by the exact query round.
+        false_positives: u64,
     },
     /// One record was appended to a durable store's write-ahead log.
     WalAppend {
@@ -375,6 +400,7 @@ impl Event {
             Event::SpanEnded { .. } => "span_ended",
             Event::TransportSync { .. } => "transport_sync",
             Event::DataPlaneReuse { .. } => "data_plane_reuse",
+            Event::ReconDigest { .. } => "recon_digest",
             Event::WalAppend { .. } => "wal_append",
             Event::CheckpointWritten { .. } => "checkpoint_written",
             Event::StoreRecovered { .. } => "store_recovered",
@@ -613,6 +639,7 @@ impl Event {
                 bytes_encoded,
                 pool_hits,
                 payload_shares,
+                bytes_decoded,
             } => {
                 push_u64(&mut out, "replica", *replica);
                 push_u64(&mut out, "peer", *peer);
@@ -620,6 +647,24 @@ impl Event {
                 push_u64(&mut out, "bytes_encoded", *bytes_encoded);
                 push_u64(&mut out, "pool_hits", *pool_hits);
                 push_u64(&mut out, "payload_shares", *payload_shares);
+                push_u64(&mut out, "bytes_decoded", *bytes_decoded);
+            }
+            Event::ReconDigest {
+                replica,
+                peer,
+                kind,
+                digest_bytes,
+                full_bytes,
+                fallback_rounds,
+                false_positives,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "peer", *peer);
+                push_str(&mut out, "kind", kind);
+                push_u64(&mut out, "digest_bytes", *digest_bytes);
+                push_u64(&mut out, "full_bytes", *full_bytes);
+                push_u64(&mut out, "fallback_rounds", *fallback_rounds);
+                push_u64(&mut out, "false_positives", *false_positives);
             }
             Event::WalAppend {
                 bytes,
@@ -781,6 +826,7 @@ mod tests {
             "span_ended",
             "transport_sync",
             "data_plane_reuse",
+            "recon_digest",
             "wal_append",
             "checkpoint_written",
             "store_recovered",

@@ -324,12 +324,32 @@ impl Observer for Registry {
                 bytes_encoded,
                 pool_hits,
                 payload_shares,
+                bytes_decoded,
                 ..
             } => {
                 self.add("wire.scratch_reuses", *scratch_reuses);
                 self.add("wire.bytes_encoded", *bytes_encoded);
                 self.add("transport.pool_hits", *pool_hits);
                 self.add("item.payload_shares", *payload_shares);
+                self.add("wire.bytes_decoded", *bytes_decoded);
+            }
+            Event::ReconDigest {
+                kind,
+                digest_bytes,
+                full_bytes,
+                fallback_rounds,
+                false_positives,
+                ..
+            } => {
+                self.add(&format!("recon.summary.{kind}"), 1);
+                self.add("recon.digest_bytes", *digest_bytes);
+                self.add("recon.full_bytes", *full_bytes);
+                self.add(
+                    "recon.bytes_saved",
+                    full_bytes.saturating_sub(*digest_bytes),
+                );
+                self.add("recon.fallback_rounds", *fallback_rounds);
+                self.add("recon.false_positives", *false_positives);
             }
             Event::WalAppend { bytes, fsync, .. } => {
                 self.add("store.wal.appends", 1);
@@ -511,7 +531,7 @@ mod tests {
     }
 
     #[test]
-    fn data_plane_reuse_feeds_four_counters() {
+    fn data_plane_reuse_feeds_five_counters() {
         let r = Registry::new();
         r.on_event(&Event::DataPlaneReuse {
             replica: 1,
@@ -520,12 +540,35 @@ mod tests {
             bytes_encoded: 512,
             pool_hits: 4,
             payload_shares: 5,
+            bytes_decoded: 640,
         });
         let snap = r.snapshot();
         assert_eq!(snap.counter("wire.scratch_reuses"), 3);
         assert_eq!(snap.counter("wire.bytes_encoded"), 512);
         assert_eq!(snap.counter("transport.pool_hits"), 4);
         assert_eq!(snap.counter("item.payload_shares"), 5);
+        assert_eq!(snap.counter("wire.bytes_decoded"), 640);
+    }
+
+    #[test]
+    fn recon_digest_feeds_recon_counters() {
+        let r = Registry::new();
+        r.on_event(&Event::ReconDigest {
+            replica: 1,
+            peer: 2,
+            kind: "delta",
+            digest_bytes: 100,
+            full_bytes: 900,
+            fallback_rounds: 1,
+            false_positives: 3,
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("recon.summary.delta"), 1);
+        assert_eq!(snap.counter("recon.digest_bytes"), 100);
+        assert_eq!(snap.counter("recon.full_bytes"), 900);
+        assert_eq!(snap.counter("recon.bytes_saved"), 800);
+        assert_eq!(snap.counter("recon.fallback_rounds"), 1);
+        assert_eq!(snap.counter("recon.false_positives"), 3);
     }
 
     #[test]

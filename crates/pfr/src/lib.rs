@@ -60,10 +60,12 @@ mod store;
 mod time;
 mod value;
 
+pub mod digest;
 pub mod sync;
 pub mod wire;
 
 pub use attrs::AttributeMap;
+pub use digest::{DigestPolicy, DigestRequest, KnowledgeSummary, ReconState, SyncMode};
 pub use error::PfrError;
 pub use filter::{CmpOp, Filter};
 pub use id::{ItemId, ReplicaId, Version};

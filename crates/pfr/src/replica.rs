@@ -460,6 +460,22 @@ impl Replica {
         self.store.versions_unknown_to_into(knowledge, ids);
     }
 
+    /// The current version of every stored item (digest mode screens
+    /// this set against a peer's Bloom summary).
+    pub(crate) fn stored_versions(&self) -> impl Iterator<Item = Version> + '_ {
+        self.store.current_versions()
+    }
+
+    /// Whether `knowledge`'s vector watermarks cover every stored
+    /// version (see [`crate::store`]'s `covered_by`); lets the sync path
+    /// skip the candidate walk entirely.
+    pub(crate) fn store_covered_by(&self, knowledge: &Knowledge) -> bool {
+        // The scan knob emulates the pre-index system, which had no
+        // cheap coverage check; keep that baseline honest by not
+        // short-circuiting its full scans from the index.
+        !self.candidate_scan && self.store.covered_by(knowledge)
+    }
+
     /// Detaches the reusable sync-selection buffers (see
     /// [`crate::sync::SyncScratch`]); pair with
     /// [`Replica::restore_sync_scratch`].

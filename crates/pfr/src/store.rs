@@ -176,6 +176,31 @@ impl ItemStore {
         ids.sort_unstable();
     }
 
+    /// The current version of every stored item, ascending by (origin,
+    /// counter) — the set a digest-mode peer screens against its Bloom
+    /// summary.
+    pub fn current_versions(&self) -> impl Iterator<Item = Version> + '_ {
+        self.version_index.iter().flat_map(|(&origin, by_counter)| {
+            by_counter
+                .keys()
+                .map(move |&counter| Version::new(origin, counter))
+        })
+    }
+
+    /// Whether `knowledge`'s per-origin vector watermarks already cover
+    /// every stored version. When true, no candidate walk can select
+    /// anything, so [`versions_unknown_to_into`](Self::versions_unknown_to_into)
+    /// need not run at all. Exceptions are irrelevant here: a version at
+    /// or below the watermark is known regardless of them.
+    pub fn covered_by(&self, knowledge: &Knowledge) -> bool {
+        self.version_index.iter().all(|(&origin, by_counter)| {
+            by_counter
+                .keys()
+                .next_back()
+                .is_none_or(|&max| max <= knowledge.base_counter(origin))
+        })
+    }
+
     fn remove_from_fifo(&mut self, id: ItemId) {
         if let Some(pos) = self.relay_fifo.iter().position(|&x| x == id) {
             self.relay_fifo.remove(pos);

@@ -507,8 +507,17 @@ pub fn prepare_batch(
     // function exits), so the steady-state encounter — every candidate
     // already known, nothing selected — builds no vectors at all.
     let mut scratch = cx.replica.take_sync_scratch();
-    cx.replica
-        .versions_unknown_to_into(&request.knowledge, &mut scratch.candidates);
+    if cx.replica.store_covered_by(&request.knowledge) {
+        // Watermark short-circuit: every stored version sits at or below
+        // the requester's per-origin vector entries, so the candidate
+        // walk cannot select anything. This is the steady state between
+        // converged peers; skipping the walk makes those encounters
+        // O(origins) instead of O(origins + suffix scans).
+        scratch.candidates.clear();
+    } else {
+        cx.replica
+            .versions_unknown_to_into(&request.knowledge, &mut scratch.candidates);
+    }
     let candidate_count = scratch.candidates.len() as u64;
     let mut memo_hits = 0u64;
     scratch.selected.clear();
@@ -673,9 +682,10 @@ pub fn apply_batch(
 }
 
 /// [`apply_batch`] that also returns the batch's drained entry buffer so
-/// the in-process [`sync_with`] path can hand it back to the source for
-/// reuse (see [`SyncScratch`]).
-fn apply_batch_recycling(
+/// the in-process [`sync_with`] path (and its digest-mode sibling,
+/// [`crate::digest::sync_with_digest`]) can hand it back to the source
+/// for reuse (see [`SyncScratch`]).
+pub(crate) fn apply_batch_recycling(
     target: &mut Replica,
     ext: &mut dyn SyncExtension,
     mut batch: SyncBatch,

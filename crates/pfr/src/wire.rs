@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use bytes::{BufMut, BytesMut};
 
+use crate::digest::{DigestRequest, KnowledgeSummary, VersionAnswer, VersionQuery};
 use crate::filter::{CmpOp, Filter};
 use crate::id::{ItemId, ReplicaId, Version};
 use crate::intern::IStr;
@@ -52,6 +53,9 @@ pub enum WireError {
     /// Recursive structures (filters, list values) nested deeper than
     /// [`MAX_DECODE_DEPTH`] — hostile input trying to overflow the stack.
     DepthLimit,
+    /// A reconciliation sketch (Bloom/IBLT) embedded in a digest message
+    /// failed its own decoder's validation.
+    BadSketch,
 }
 
 impl fmt::Display for WireError {
@@ -70,6 +74,7 @@ impl fmt::Display for WireError {
             WireError::DepthLimit => {
                 write!(f, "nesting exceeds {MAX_DECODE_DEPTH} levels")
             }
+            WireError::BadSketch => write!(f, "embedded reconciliation sketch is invalid"),
         }
     }
 }
@@ -123,6 +128,13 @@ impl Writer {
     /// Writes one raw byte.
     pub fn put_u8(&mut self, byte: u8) {
         self.buf.put_u8(byte);
+    }
+
+    /// Writes a fixed-width little-endian u64. Varints spend ~9.5 bytes
+    /// on a uniformly random 64-bit value; hashes (checksums,
+    /// fingerprints) always take this fixed 8-byte form instead.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.put_slice(&value.to_le_bytes());
     }
 
     /// Writes an unsigned LEB128 varint.
@@ -239,6 +251,17 @@ impl<'a> Reader<'a> {
         let byte = *self.buf.get(self.pos).ok_or(WireError::UnexpectedEof)?;
         self.pos += 1;
         Ok(byte)
+    }
+
+    /// Reads a fixed-width little-endian u64 (see [`Writer::put_u64`]).
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let end = self.pos.checked_add(8).ok_or(WireError::UnexpectedEof)?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
     }
 
     /// Reads an unsigned LEB128 varint.
@@ -892,6 +915,138 @@ impl Decode for SyncBatch {
             entries: Vec::decode(r)?,
             withheld: r.get_varint()? as usize,
         })
+    }
+}
+
+// ---- digest-mode messages -------------------------------------------------
+//
+// Sketches (Bloom filters, IBLTs) carry their own self-validating binary
+// format inside `recon`; on this layer they travel as length-prefixed
+// opaque byte strings, so hostile lengths are bounds-checked here and
+// hostile contents are rejected by the sketch decoders (mapped to
+// [`WireError::BadSketch`]).
+
+const SUMMARY_FULL: u8 = 0;
+const SUMMARY_UNCHANGED: u8 = 1;
+const SUMMARY_DELTA: u8 = 2;
+const SUMMARY_BLOOM: u8 = 3;
+
+impl Encode for KnowledgeSummary {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            KnowledgeSummary::Full(k) => {
+                w.put_u8(SUMMARY_FULL);
+                k.encode(w);
+            }
+            KnowledgeSummary::Unchanged { checksum } => {
+                w.put_u8(SUMMARY_UNCHANGED);
+                w.put_u64(*checksum);
+            }
+            KnowledgeSummary::Delta {
+                base_checksum,
+                checksum,
+                iblt,
+            } => {
+                w.put_u8(SUMMARY_DELTA);
+                w.put_u64(*base_checksum);
+                w.put_u64(*checksum);
+                w.put_bytes(&iblt.to_bytes());
+            }
+            KnowledgeSummary::Bloom {
+                version_count,
+                bloom,
+            } => {
+                w.put_u8(SUMMARY_BLOOM);
+                w.put_varint(*version_count);
+                w.put_bytes(&bloom.to_bytes());
+            }
+        }
+    }
+}
+
+impl Decode for KnowledgeSummary {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            SUMMARY_FULL => Ok(KnowledgeSummary::Full(Knowledge::decode(r)?)),
+            SUMMARY_UNCHANGED => Ok(KnowledgeSummary::Unchanged {
+                checksum: r.get_u64()?,
+            }),
+            SUMMARY_DELTA => {
+                let base_checksum = r.get_u64()?;
+                let checksum = r.get_u64()?;
+                let iblt =
+                    recon::Iblt::from_bytes(r.get_bytes()?).map_err(|_| WireError::BadSketch)?;
+                Ok(KnowledgeSummary::Delta {
+                    base_checksum,
+                    checksum,
+                    iblt,
+                })
+            }
+            SUMMARY_BLOOM => {
+                let version_count = r.get_varint()?;
+                let bloom =
+                    recon::Bloom::from_bytes(r.get_bytes()?).map_err(|_| WireError::BadSketch)?;
+                Ok(KnowledgeSummary::Bloom {
+                    version_count,
+                    bloom,
+                })
+            }
+            tag => Err(WireError::InvalidTag {
+                what: "KnowledgeSummary",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for DigestRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.target.encode(w);
+        self.summary.encode(w);
+        w.put_u64(self.filter_fingerprint);
+        self.filter.encode(w);
+        self.routing.encode(w);
+    }
+}
+
+impl Decode for DigestRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DigestRequest {
+            target: ReplicaId::decode(r)?,
+            summary: KnowledgeSummary::decode(r)?,
+            filter_fingerprint: r.get_u64()?,
+            filter: Option::decode(r)?,
+            routing: RoutingState::decode(r)?,
+        })
+    }
+}
+
+impl Encode for VersionQuery {
+    fn encode(&self, w: &mut Writer) {
+        self.versions.encode(w);
+    }
+}
+
+impl Decode for VersionQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(VersionQuery {
+            versions: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for VersionAnswer {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.len() as u64);
+        w.put_bytes(self.bits());
+    }
+}
+
+impl Decode for VersionAnswer {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let count = r.get_varint()?;
+        let bits = r.get_bytes()?.to_vec();
+        VersionAnswer::from_parts(count as usize, bits).ok_or(WireError::LengthOverflow(count))
     }
 }
 

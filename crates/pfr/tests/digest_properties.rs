@@ -1,0 +1,279 @@
+//! Property-based tests for the digest-mode reconciliation layer: wire
+//! round trips for every [`KnowledgeSummary`] kind, never-panic decoding
+//! of adversarial digest frames, query/answer membership consistency,
+//! and the tentpole equivalence — full-mode and digest-mode sync runs
+//! converge to identical replica state on arbitrary item sets.
+//!
+//! Digest requests are generated through the real [`ReconState`] build
+//! path (not hand-assembled), so the round-trip properties cover the
+//! exact Bloom / IBLT / unchanged / full summaries production code emits.
+
+use std::borrow::Cow;
+
+use proptest::prelude::*;
+
+use pfr::digest::{self, ReconState, VersionAnswer, VersionQuery};
+use pfr::sync::{self, NoExtension, SyncRequest};
+use pfr::wire::{from_bytes, to_bytes};
+use pfr::{
+    AttributeMap, DigestPolicy, DigestRequest, Filter, Knowledge, Replica, ReplicaId, RoutingState,
+    SimTime, SyncLimits, Version,
+};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_version() -> impl Strategy<Value = Version> {
+    (1u64..6, 1u64..40).prop_map(|(r, c)| Version::new(ReplicaId::new(r), c))
+}
+
+fn arb_knowledge() -> impl Strategy<Value = Knowledge> {
+    proptest::collection::vec(arb_version(), 0..40).prop_map(|versions| {
+        let mut k = Knowledge::new();
+        for v in versions {
+            k.insert(v);
+        }
+        k
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = DigestPolicy> {
+    prop_oneof![
+        Just(DigestPolicy::Auto),
+        Just(DigestPolicy::ForceBloom),
+        Just(DigestPolicy::ForceIblt),
+        Just(DigestPolicy::ForceFull),
+    ]
+}
+
+fn arb_routing() -> impl Strategy<Value = RoutingState> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(RoutingState::from_bytes)
+}
+
+fn request_over(knowledge: Knowledge, routing: RoutingState) -> SyncRequest<'static> {
+    SyncRequest {
+        target: ReplicaId::new(1),
+        knowledge: Cow::Owned(knowledge),
+        filter: Cow::Owned(Filter::address("dest", "a")),
+        routing,
+    }
+}
+
+/// Byte-identical round trip: the codec is canonical, so re-encoding the
+/// decoded value must reproduce the input exactly.
+fn assert_canonical(request: &DigestRequest) {
+    let bytes = to_bytes(request);
+    let back: DigestRequest = from_bytes(&bytes).expect("valid digest encoding decodes");
+    assert_eq!(to_bytes(&back), bytes, "digest re-encode diverged");
+}
+
+/// Exercises every digest decode entry point; the only acceptable
+/// outcomes are `Ok` or a typed `WireError`.
+fn decode_all_digest(bytes: &[u8]) {
+    let _ = from_bytes::<DigestRequest>(bytes);
+    let _ = from_bytes::<VersionQuery>(bytes);
+    let _ = from_bytes::<VersionAnswer>(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Wire round trips through the real summary construction path
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Two consecutive build_request rounds against one peer: the first
+    /// covers first-contact summaries (bloom / full), and after a
+    /// committed exchange the second covers the cached paths (unchanged /
+    /// IBLT delta). Every emitted request must round-trip byte-identically.
+    #[test]
+    fn digest_requests_roundtrip_byte_identically(
+        policy in arb_policy(),
+        base in arb_knowledge(),
+        extra in proptest::collection::vec(arb_version(), 0..12),
+        routing in arb_routing(),
+    ) {
+        let mut state = ReconState::with_policy(policy);
+        let peer = ReplicaId::new(9);
+
+        let first = request_over(base.clone(), routing.clone());
+        let (digest, pending) = state.build_request(peer, &first);
+        assert_canonical(&digest);
+        state.commit_sent(pending, true);
+
+        let mut grown = base;
+        for v in extra {
+            grown.insert(v);
+        }
+        let second = request_over(grown, routing);
+        let (digest, _) = state.build_request(peer, &second);
+        assert_canonical(&digest);
+    }
+
+    #[test]
+    fn version_queries_and_answers_roundtrip(
+        versions in proptest::collection::vec(arb_version(), 0..60),
+        knowledge in arb_knowledge(),
+    ) {
+        let query = VersionQuery { versions };
+        let bytes = to_bytes(&query);
+        let back: VersionQuery = from_bytes(&bytes).expect("valid query decodes");
+        prop_assert_eq!(&back, &query);
+        prop_assert_eq!(to_bytes(&back), bytes);
+
+        let answer = digest::answer_query(&knowledge, &query);
+        let bytes = to_bytes(&answer);
+        let back: VersionAnswer = from_bytes(&bytes).expect("valid answer decodes");
+        prop_assert_eq!(&back, &answer);
+        prop_assert_eq!(to_bytes(&back), bytes);
+    }
+
+    /// The exact membership round is sound: the answer's bits agree with
+    /// the knowledge, and the reconstructed knowledge counts exactly the
+    /// unknown versions as false positives.
+    #[test]
+    fn query_answers_agree_with_knowledge(
+        versions in proptest::collection::vec(arb_version(), 0..60),
+        knowledge in arb_knowledge(),
+    ) {
+        let query = VersionQuery { versions };
+        let answer = digest::answer_query(&knowledge, &query);
+        let mut misses = 0u64;
+        for (i, &v) in query.versions.iter().enumerate() {
+            prop_assert_eq!(answer.known(i), knowledge.contains(v));
+            if !knowledge.contains(v) {
+                misses += 1;
+            }
+        }
+        let (known, fps) =
+            digest::knowledge_from_answer(&query, &answer).expect("answer sized to query");
+        prop_assert_eq!(fps, misses);
+        for (i, &v) in query.versions.iter().enumerate() {
+            prop_assert_eq!(known.contains(v), answer.known(i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Never-panic on adversarial digest frames
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_bytes_never_panic_digest_decoders(
+        bytes in proptest::collection::vec(any::<u8>(), 0..1024)
+    ) {
+        decode_all_digest(&bytes);
+    }
+
+    #[test]
+    fn mutated_digest_encodings_never_panic(
+        policy in arb_policy(),
+        knowledge in arb_knowledge(),
+        routing in arb_routing(),
+        flips in proptest::collection::vec((0usize..4096, 1u8..255), 1..8),
+        cut in 0usize..4096,
+    ) {
+        let mut state = ReconState::with_policy(policy);
+        let request = request_over(knowledge, routing);
+        let (digest, _) = state.build_request(ReplicaId::new(9), &request);
+        let mut bytes = to_bytes(&digest);
+        for (pos, xor) in flips {
+            if !bytes.is_empty() {
+                let pos = pos % bytes.len();
+                bytes[pos] ^= xor;
+            }
+        }
+        decode_all_digest(&bytes);
+        bytes.truncate(cut % (bytes.len() + 1));
+        decode_all_digest(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole equivalence: digest mode replicates exactly what full
+// mode replicates
+// ---------------------------------------------------------------------------
+
+fn attrs(dest: &str) -> AttributeMap {
+    let mut a = AttributeMap::new();
+    a.set("dest", dest);
+    a
+}
+
+fn host(n: u64, addr: &str) -> Replica {
+    Replica::new(ReplicaId::new(n), Filter::address("dest", addr))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary item sets on both replicas, two rounds of bidirectional
+    /// sync (growth between rounds exercises the cached delta paths),
+    /// under every digest policy: per-round reports and final knowledge
+    /// must match a full-mode run of the same schedule exactly.
+    #[test]
+    fn full_and_digest_runs_converge_identically(
+        policy in arb_policy(),
+        seed_a in proptest::collection::vec(("[abx]", 0u8..255), 0..16),
+        seed_b in proptest::collection::vec(("[abx]", 0u8..255), 0..16),
+        growth in proptest::collection::vec(("[abx]", 0u8..255), 0..8),
+    ) {
+        let build_pair = || {
+            let mut a = host(1, "a");
+            let mut b = host(2, "b");
+            for (dest, byte) in &seed_a {
+                a.insert(attrs(dest), vec![*byte]).unwrap();
+            }
+            for (dest, byte) in &seed_b {
+                b.insert(attrs(dest), vec![*byte]).unwrap();
+            }
+            (a, b)
+        };
+
+        let (mut fa, mut fb) = build_pair();
+        let (mut da, mut db) = build_pair();
+        let (mut ra, mut rb) = (
+            ReconState::with_policy(policy),
+            ReconState::with_policy(policy),
+        );
+        let digest_sync = |src: &mut Replica,
+                               src_recon: &mut ReconState,
+                               tgt: &mut Replica,
+                               tgt_recon: &mut ReconState,
+                               at: u64| {
+            digest::sync_with_digest(
+                src,
+                &mut NoExtension,
+                src_recon,
+                tgt,
+                &mut NoExtension,
+                tgt_recon,
+                SyncLimits::unlimited(),
+                SimTime::from_secs(at),
+            )
+        };
+
+        for round in 0..2u64 {
+            if round == 1 {
+                for (dest, byte) in &growth {
+                    fa.insert(attrs(dest), vec![*byte, 1]).unwrap();
+                    da.insert(attrs(dest), vec![*byte, 1]).unwrap();
+                }
+            }
+            let at = round * 100;
+            let full = sync::sync_once(&mut fa, &mut fb, SimTime::from_secs(at));
+            let dig = digest_sync(&mut da, &mut ra, &mut db, &mut rb, at);
+            prop_assert_eq!(full.delivered, dig.delivered, "a->b delivered, round {}", round);
+            prop_assert_eq!(full.transmitted, dig.transmitted, "a->b transmitted, round {}", round);
+            let full = sync::sync_once(&mut fb, &mut fa, SimTime::from_secs(at + 1));
+            let dig = digest_sync(&mut db, &mut rb, &mut da, &mut ra, at + 1);
+            prop_assert_eq!(full.delivered, dig.delivered, "b->a delivered, round {}", round);
+            prop_assert_eq!(full.transmitted, dig.transmitted, "b->a transmitted, round {}", round);
+        }
+
+        prop_assert_eq!(fa.knowledge(), da.knowledge());
+        prop_assert_eq!(fb.knowledge(), db.knowledge());
+    }
+}

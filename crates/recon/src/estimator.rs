@@ -1,0 +1,164 @@
+//! Strata estimator: cheap upper-bound estimate of the symmetric
+//! difference between two key sets, used to size the main IBLT when no
+//! better signal (a cached snapshot of the peer's set) is available.
+//!
+//! Classic Eppstein et al. construction: each key lands in stratum
+//! `trailing_zeros(hash(key))`, so stratum `i` samples the sets at rate
+//! `2^-i`. Decoding strata top-down and scaling the first failure by
+//! its sampling rate estimates the total difference. Each stratum is a
+//! small fixed IBLT, so the whole estimator is a few KiB regardless of
+//! set size.
+
+use crate::codec::Cursor;
+use crate::hash::key_hash;
+use crate::iblt::Iblt;
+use crate::ReconError;
+
+/// Strata count: 2^16 scaling covers differences far beyond anything
+/// the sync layer will meet in one encounter.
+pub const STRATA: usize = 16;
+/// Cells per stratum IBLT; decodes up to ~20 sampled keys reliably.
+const STRATUM_CELLS: usize = 36;
+
+const ESTIMATOR_TAG: u8 = 0x5E;
+const SALT: u64 = 0x1f0a_dead_beef_cafe;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrataEstimator {
+    seed: u64,
+    strata: Vec<Iblt>,
+}
+
+impl StrataEstimator {
+    pub fn new(seed: u64) -> Self {
+        StrataEstimator {
+            seed,
+            strata: (0..STRATA)
+                .map(|i| Iblt::with_cells(STRATUM_CELLS, seed ^ (i as u64)))
+                .collect(),
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn stratum_of(&self, key: u128) -> usize {
+        let h = key_hash(key, self.seed ^ SALT);
+        (h.trailing_zeros() as usize).min(STRATA - 1)
+    }
+
+    pub fn insert(&mut self, key: u128) {
+        let s = self.stratum_of(key);
+        self.strata[s].insert(key);
+    }
+
+    /// Estimate |A △ B| from this estimator (A) and a peer's (B). The
+    /// estimate deliberately rounds up — oversizing the main IBLT costs
+    /// a few bytes, undersizing costs a fallback round.
+    pub fn estimate(&self, other: &StrataEstimator) -> Result<usize, ReconError> {
+        if self.seed != other.seed || self.strata.len() != other.strata.len() {
+            return Err(ReconError::Mismatch);
+        }
+        let mut count = 0usize;
+        for i in (0..self.strata.len()).rev() {
+            let sub = self.strata[i].subtract(&other.strata[i])?;
+            match sub.decode() {
+                Ok(diff) => count += diff.len(),
+                Err(_) => {
+                    // Stratum i failed to decode: everything at or
+                    // below its sampling rate is unseen. Scale what we
+                    // counted so far from the strata above it.
+                    return Ok(((count.max(1)) << (i + 1)).max(count));
+                }
+            }
+        }
+        Ok(count)
+    }
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(ESTIMATOR_TAG);
+        crate::codec::put_varint(out, self.seed);
+        out.push(self.strata.len() as u8);
+        for s in &self.strata {
+            s.encode(out);
+        }
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(STRATA * STRATUM_CELLS * 8);
+        self.encode(&mut out);
+        out
+    }
+
+    pub(crate) fn decode(cur: &mut Cursor<'_>) -> Result<StrataEstimator, ReconError> {
+        if cur.get_u8()? != ESTIMATOR_TAG {
+            return Err(ReconError::Malformed);
+        }
+        let seed = cur.get_varint()?;
+        let n = cur.get_u8()? as usize;
+        if n == 0 || n > STRATA {
+            return Err(ReconError::Malformed);
+        }
+        let mut strata = Vec::with_capacity(n);
+        for _ in 0..n {
+            strata.push(Iblt::decode_bytes(cur)?);
+        }
+        Ok(StrataEstimator { seed, strata })
+    }
+
+    pub fn from_bytes(buf: &[u8]) -> Result<StrataEstimator, ReconError> {
+        let mut cur = Cursor::new(buf);
+        let e = Self::decode(&mut cur)?;
+        if !cur.is_empty() {
+            return Err(ReconError::Malformed);
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> u128 {
+        ((i as u128) << 64) | i.wrapping_mul(0x2545_f491_4f6c_dd1d) as u128
+    }
+
+    #[test]
+    fn estimates_cover_true_difference() {
+        for &diff in &[0usize, 3, 10, 40, 150] {
+            let mut a = StrataEstimator::new(11);
+            let mut b = StrataEstimator::new(11);
+            for i in 0..1000u64 {
+                a.insert(key(i));
+                b.insert(key(i));
+            }
+            for i in 0..diff as u64 {
+                a.insert(key(100_000 + i));
+            }
+            let est = a.estimate(&b).unwrap();
+            // Must not undershoot by more than 2x (we size the IBLT
+            // with 1.5x headroom on top), and not overshoot absurdly.
+            assert!(est * 2 >= diff, "diff={diff} est={est}");
+            assert!(est <= diff.max(1) * 32 + 64, "diff={diff} est={est}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut e = StrataEstimator::new(5);
+        for i in 0..200 {
+            e.insert(key(i));
+        }
+        let bytes = e.to_bytes();
+        assert_eq!(StrataEstimator::from_bytes(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn mismatched_seeds_rejected() {
+        let a = StrataEstimator::new(1);
+        let b = StrataEstimator::new(2);
+        assert!(a.estimate(&b).is_err());
+    }
+}

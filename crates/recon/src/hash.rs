@@ -1,0 +1,94 @@
+//! Seeded, deterministic hash primitives shared by the Bloom and IBLT
+//! sketches.
+//!
+//! Everything in this crate must be reproducible across runs and across
+//! peers that agree on a seed, so no `RandomState` or per-process keys:
+//! the only entropy is the explicit `seed` argument. The mixer is the
+//! splitmix64 finalizer, which is cheap, has full avalanche, and is
+//! already used elsewhere in the workspace for deterministic seeding.
+
+/// splitmix64 finalizer: full-avalanche 64-bit mixer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Collapse a 128-bit key and a seed into one well-mixed 64-bit hash.
+#[inline]
+pub fn key_hash(key: u128, seed: u64) -> u64 {
+    let lo = key as u64;
+    let hi = (key >> 64) as u64;
+    mix64(mix64(lo ^ seed) ^ hi.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Kirsch–Mitzenmacher double hashing: derive the i-th probe from two
+/// base hashes, `h1 + i*h2`, with `h2` forced odd so successive probes
+/// walk the whole (power-of-two or not) table.
+#[derive(Clone, Copy)]
+pub struct DoubleHasher {
+    h1: u64,
+    h2: u64,
+}
+
+impl DoubleHasher {
+    #[inline]
+    pub fn new(key: u128, seed: u64) -> Self {
+        let h1 = key_hash(key, seed);
+        let h2 = key_hash(key, seed ^ 0xa076_1d64_78bd_642f) | 1;
+        DoubleHasher { h1, h2 }
+    }
+
+    /// The i-th probe value (reduce modulo table size at the call site).
+    #[inline]
+    pub fn nth(&self, i: u32) -> u64 {
+        self.h1.wrapping_add((i as u64).wrapping_mul(self.h2))
+    }
+}
+
+/// Per-key checksum used by IBLT cells to recognise pure (decodable)
+/// cells. Salted differently from the index hashes so a key's checksum
+/// is independent of its cell positions.
+#[inline]
+pub fn key_check(key: u128, seed: u64) -> u64 {
+    key_hash(key, seed ^ 0xc3a5_c85c_97cb_3127)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(1), mix64(2));
+        // Single-bit inputs should not collide on low output bits.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            assert!(seen.insert(mix64(1u64 << i) & 0xffff_ffff));
+        }
+    }
+
+    #[test]
+    fn key_hash_depends_on_both_halves_and_seed() {
+        let k = (7u128 << 64) | 9;
+        assert_ne!(key_hash(k, 1), key_hash(k, 2));
+        assert_ne!(key_hash(k, 1), key_hash(k ^ 1, 1));
+        assert_ne!(key_hash(k, 1), key_hash(k ^ (1 << 100), 1));
+    }
+
+    #[test]
+    fn double_hasher_step_is_odd() {
+        for key in [0u128, 1, u128::MAX, 1 << 77] {
+            let h = DoubleHasher::new(key, 42);
+            // Consecutive probes differ by the (odd) step everywhere.
+            let step = h.nth(1).wrapping_sub(h.nth(0));
+            assert_eq!(step % 2, 1);
+            assert_eq!(h.nth(5).wrapping_sub(h.nth(4)), step);
+        }
+    }
+}

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use dtn::{DtnNode, PolicyKind};
 use obs::{Event, MemorySink, Obs};
 use parking_lot::Mutex;
-use pfr::{ItemId, Knowledge, SimTime, SyncLimits};
+use pfr::{ItemId, Knowledge, SimTime, SyncLimits, SyncMode};
 use transport::protocol::{initiate_session, respond_session, ProtocolError};
 use transport::SessionOutcome;
 
@@ -198,6 +198,7 @@ struct Injected {
 pub struct SimRunner {
     seed: u64,
     limits: SyncLimits,
+    sync_mode: SyncMode,
     time: SimTime,
     step: usize,
     hosts: Vec<SimHost>,
@@ -216,6 +217,7 @@ impl SimRunner {
         SimRunner {
             seed,
             limits: SyncLimits::unlimited(),
+            sync_mode: SyncMode::Full,
             time: SimTime::ZERO,
             step: 0,
             hosts: Vec::new(),
@@ -243,12 +245,24 @@ impl SimRunner {
         self.limits = limits;
     }
 
+    /// Puts every host — existing, future, and *restored* — in the given
+    /// sync mode. Sync mode is runtime configuration, not replica state:
+    /// it is not captured by snapshots, so the runner re-applies it after
+    /// every [`Step::Restore`] exactly as a redeployed binary would.
+    pub fn set_sync_mode(&mut self, mode: SyncMode) {
+        self.sync_mode = mode;
+        for host in &self.hosts {
+            host.node.lock().set_sync_mode(mode);
+        }
+    }
+
     /// Adds a host with the given address and routing policy; returns its
     /// index. Replica ids are assigned densely starting at 1.
     pub fn add_host(&mut self, address: &str, policy: PolicyKind) -> usize {
         let index = self.hosts.len();
         let replica = index as u64 + 1;
         let mut node = DtnNode::new(pfr::ReplicaId::new(replica), address, policy);
+        node.set_sync_mode(self.sync_mode);
         let sink = Arc::new(MemorySink::unbounded());
         node.replica_mut().set_observer(Obs::new(sink.clone()));
         self.watermarks
@@ -294,6 +308,7 @@ impl SimRunner {
             Ok(node) => node,
             Err(e) => self.fail(&format!("durable host {index} failed to open: {e}")),
         };
+        node.set_sync_mode(self.sync_mode);
         node.replica_mut().set_observer(Obs::new(sink.clone()));
         self.watermarks
             .insert(index, node.replica().knowledge().clone());
@@ -555,6 +570,9 @@ impl SimRunner {
                 Err(e) => self.fail(&format!("snapshot of host {host} failed to restore: {e}")),
             }
         };
+        // Sync mode is runtime config, not snapshotted — a restored node
+        // starts in `SyncMode::Full` unless the runner re-applies its own.
+        node.set_sync_mode(self.sync_mode);
         node.replica_mut()
             .set_observer(Obs::new(self.hosts[host].sink.clone()));
         let replica = self.hosts[host].replica;

@@ -7,6 +7,8 @@
 //! every scenario here must hold for *any* seed, not a lucky one.
 
 use dtn::PolicyKind;
+use pfr::digest::DigestPolicy;
+use pfr::SyncMode;
 use testkit::{Direction, EncounterOutcome, FaultPlan, SimRunner, SkipReason, Step};
 use transport::protocol::ProtocolError;
 
@@ -415,6 +417,112 @@ fn every_policy_survives_a_full_fault_sweep() {
         sim.with_node(a, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
         sim.with_node(b, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 13-15: digest-mode reconciliation under faults and crashes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scenario_digest_mode_converges_across_policies() {
+    // The whole policy matrix, with every host syncing via compact
+    // digests instead of full knowledge exchange. A crash-restore in the
+    // middle rolls b behind a's cached snapshot of it, so at least one
+    // later digest exchange cannot verify its checksum and must fall
+    // back — convergence and at-most-once must hold regardless.
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        let mut sim = SimRunner::new(base_seed() + 1900 + i as u64);
+        sim.set_sync_mode(SyncMode::Digest);
+        let a = sim.add_host("a", policy);
+        let b = sim.add_host("b", policy);
+        sim.send(a, "b", b"digest one".to_vec());
+        sim.send(b, "a", b"digest two".to_vec());
+        let first = sim.encounter(a, b);
+        assert!(first.is_clean(), "{policy:?}: {first:?}");
+        sim.snapshot(b);
+        sim.send(a, "b", b"digest three, rolled back".to_vec());
+        assert!(sim.encounter(a, b).is_clean(), "{policy:?}");
+        sim.crash(b);
+        sim.restore(b);
+        // Sync mode is runtime config: the runner must have re-applied
+        // it to the restored node.
+        sim.with_node(b, |n| {
+            assert_eq!(n.sync_mode(), SyncMode::Digest, "{policy:?}");
+        });
+        sim.assert_converged();
+        sim.with_node(a, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
+        sim.with_node(b, |n| assert_eq!(n.inbox().len(), 2, "{policy:?}"));
+        let stats_a = sim.with_node(a, |n| n.recon_stats());
+        assert!(stats_a.exchanges > 0, "{policy:?}: no digest exchanges ran");
+        assert!(
+            stats_a.digest_bytes > 0,
+            "{policy:?}: digests moved no bytes"
+        );
+    }
+}
+
+#[test]
+fn scenario_corrupted_digest_frame_falls_back_to_full_exchange() {
+    // A→B frame 1 is the initiator's SyncDigest; offset 1 lands the flip
+    // on the frame checksum, so the responder sees a typed BadChecksum
+    // *after* the payload is consumed, answers ReconResync, and the
+    // initiator retransmits the plain full request inside the same
+    // session. The encounter stays clean — degraded bandwidth, not a
+    // failed session — and the fallback is visible in the recon stats.
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        let mut sim = SimRunner::new(base_seed() + 2000 + i as u64);
+        sim.set_sync_mode(SyncMode::Digest);
+        let a = sim.add_host("a", policy);
+        let b = sim.add_host("b", policy);
+        sim.send(a, "b", b"survives digest corruption".to_vec());
+        let plan = FaultPlan::clean().corrupt_frame(Direction::AToB, 1, 1, 0x40);
+        let outcome = sim.encounter_with_faults(a, b, &plan);
+        assert!(
+            outcome.is_clean(),
+            "{policy:?}: in-session fallback should keep the session clean, got {outcome:?}"
+        );
+        sim.with_node(b, |n| assert_eq!(n.inbox().len(), 1, "{policy:?}"));
+        let stats_a = sim.with_node(a, |n| n.recon_stats());
+        assert!(
+            stats_a.fallback_rounds >= 1,
+            "{policy:?}: corruption must register as a fallback round, stats {stats_a:?}"
+        );
+        sim.assert_converged();
+    }
+}
+
+#[test]
+fn scenario_force_bloom_resolves_overlap_with_query_rounds() {
+    // ForceBloom summarizes with a Bloom filter even on repeat
+    // encounters. After the first exchange the hosts' version sets
+    // overlap, so the second exchange screens real members against the
+    // filter: the uncertain set is non-empty and the source must run the
+    // exact membership round. Delivery stays exactly-once — the query
+    // round verifies membership exactly, so false positives can cost a
+    // round trip but never produce wrong candidates.
+    let mut sim = SimRunner::new(base_seed() + 2100);
+    sim.set_sync_mode(SyncMode::Digest);
+    let a = sim.add_host("a", PolicyKind::Epidemic);
+    let b = sim.add_host("b", PolicyKind::Epidemic);
+    for h in [a, b] {
+        sim.with_node(h, |n| n.set_digest_policy(DigestPolicy::ForceBloom));
+    }
+    for i in 0..6 {
+        sim.send(a, "b", format!("bloom a->b {i}").into_bytes());
+        sim.send(b, "a", format!("bloom b->a {i}").into_bytes());
+    }
+    assert!(sim.encounter(a, b).is_clean());
+    sim.advance(60);
+    assert!(sim.encounter(a, b).is_clean());
+    let stats_a = sim.with_node(a, |n| n.recon_stats());
+    let stats_b = sim.with_node(b, |n| n.recon_stats());
+    assert!(
+        stats_a.fallback_rounds + stats_b.fallback_rounds >= 1,
+        "overlapping bloom exchanges must trigger a query round: {stats_a:?} / {stats_b:?}"
+    );
+    sim.assert_converged();
+    sim.with_node(a, |n| assert_eq!(n.inbox().len(), 6));
+    sim.with_node(b, |n| assert_eq!(n.inbox().len(), 6));
 }
 
 // ---------------------------------------------------------------------------

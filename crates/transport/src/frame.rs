@@ -32,6 +32,19 @@ pub enum FrameType {
     SyncDone = 3,
     /// Peer identification exchanged on connect.
     Hello = 4,
+    /// A [`pfr::digest::DigestRequest`] from target to source: the
+    /// digest-mode stand-in for a [`FrameType::SyncRequest`].
+    SyncDigest = 5,
+    /// A [`pfr::digest::VersionQuery`] from source to target: the exact
+    /// membership round confirming a Bloom summary's possible hits.
+    RangeRequest = 6,
+    /// A [`pfr::digest::VersionAnswer`] from target to source, answering
+    /// a [`FrameType::RangeRequest`].
+    RangeResponse = 7,
+    /// The source could not resolve a digest (lost snapshot, corrupt
+    /// frame): the target must retransmit a plain full
+    /// [`FrameType::SyncRequest`].
+    ReconResync = 8,
 }
 
 impl FrameType {
@@ -41,6 +54,10 @@ impl FrameType {
             2 => Some(FrameType::SyncBatch),
             3 => Some(FrameType::SyncDone),
             4 => Some(FrameType::Hello),
+            5 => Some(FrameType::SyncDigest),
+            6 => Some(FrameType::RangeRequest),
+            7 => Some(FrameType::RangeResponse),
+            8 => Some(FrameType::ReconResync),
             _ => None,
         }
     }
@@ -314,6 +331,10 @@ mod tests {
             FrameType::SyncBatch,
             FrameType::SyncDone,
             FrameType::Hello,
+            FrameType::SyncDigest,
+            FrameType::RangeRequest,
+            FrameType::RangeResponse,
+            FrameType::ReconResync,
         ] {
             let mut buf = Vec::new();
             write_frame(&mut buf, ft, b"payload").unwrap();

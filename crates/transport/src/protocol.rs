@@ -5,15 +5,16 @@ use std::fmt;
 use std::io::{Read, Write};
 use std::sync::Arc;
 
-use dtn::DtnNode;
+use dtn::{DigestResponse, DtnNode};
 use obs::{Event, Span};
 use parking_lot::Mutex;
-use pfr::sync::{SyncBatch, SyncRequest};
+use pfr::digest::{DigestRequest, VersionAnswer, VersionQuery};
+use pfr::sync::{SyncBatch, SyncReport, SyncRequest};
 use pfr::wire::{
     from_bytes, from_bytes_shared, Decode, Encode, EncodeScratch, Reader as WireReader,
     Writer as WireWriter,
 };
-use pfr::{ReplicaId, SimTime, SyncLimits};
+use pfr::{ReplicaId, SimTime, SyncLimits, SyncMode};
 
 use crate::conn::Connection;
 #[cfg(test)]
@@ -33,6 +34,8 @@ pub enum ProtocolError {
         /// What arrived instead.
         got: FrameType,
     },
+    /// A digest version answer did not match the query it responds to.
+    AnswerMismatch,
 }
 
 impl fmt::Display for ProtocolError {
@@ -42,6 +45,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnexpectedFrame { expected, got } => {
                 write!(f, "expected {expected:?} frame, got {got:?}")
             }
+            ProtocolError::AnswerMismatch => {
+                write!(f, "digest version answer does not match its query")
+            }
         }
     }
 }
@@ -50,7 +56,7 @@ impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProtocolError::Frame(e) => Some(e),
-            ProtocolError::UnexpectedFrame { .. } => None,
+            ProtocolError::UnexpectedFrame { .. } | ProtocolError::AnswerMismatch => None,
         }
     }
 }
@@ -110,6 +116,9 @@ struct SessionBuffers {
     pool: BufPool,
     payload_shares: u64,
     frame_bytes: u64,
+    /// Frame payload bytes received and decoded this session (the
+    /// receive-side mirror of the scratch's `bytes_encoded`).
+    bytes_decoded: u64,
 }
 
 /// Reads one frame of the expected type into a pooled buffer. The caller
@@ -147,6 +156,68 @@ fn decode_payload<T: Decode>(payload: &[u8]) -> Result<T, ProtocolError> {
     from_bytes(payload).map_err(|e| ProtocolError::Frame(FrameError::Decode(e)))
 }
 
+/// Receives one frame of the expected type, folding its payload length
+/// into the session byte accounting.
+fn recv_expected(
+    reader: &mut impl Read,
+    expected: FrameType,
+    bufs: &mut SessionBuffers,
+) -> Result<Vec<u8>, ProtocolError> {
+    let payload = expect_pooled(reader, expected, &mut bufs.pool)?;
+    bufs.frame_bytes += payload.len() as u64;
+    bufs.bytes_decoded += payload.len() as u64;
+    Ok(payload)
+}
+
+/// Receives whatever frame comes next (the digest state machine branches
+/// on the type), folding its payload length into the accounting.
+fn recv_any(
+    reader: &mut impl Read,
+    bufs: &mut SessionBuffers,
+) -> Result<(FrameType, Vec<u8>), ProtocolError> {
+    let mut payload = bufs.pool.take();
+    match read_frame_into(reader, &mut payload) {
+        Ok(frame_type) => {
+            bufs.frame_bytes += payload.len() as u64;
+            bufs.bytes_decoded += payload.len() as u64;
+            Ok((frame_type, payload))
+        }
+        Err(e) => {
+            bufs.pool.give(payload);
+            Err(e.into())
+        }
+    }
+}
+
+/// Encodes and writes one frame through the session scratch, returning
+/// the payload length for digest byte accounting.
+fn send_frame<T: Encode>(
+    writer: &mut impl Write,
+    frame_type: FrameType,
+    value: &T,
+    bufs: &mut SessionBuffers,
+) -> Result<u64, ProtocolError> {
+    let bytes = bufs.scratch.encode(value);
+    let len = bytes.len() as u64;
+    bufs.frame_bytes += len;
+    write_frame(writer, frame_type, bytes)?;
+    Ok(len)
+}
+
+/// Decodes a received batch payload through the shared-buffer path and
+/// applies it to the node (target role).
+fn apply_batch_payload(
+    node: &Arc<Mutex<DtnNode>>,
+    payload: Vec<u8>,
+    now: SimTime,
+    bufs: &mut SessionBuffers,
+) -> Result<SyncReport, ProtocolError> {
+    let (batch, shares) = decode_batch_shared(&payload)?;
+    bufs.pool.give(payload);
+    bufs.payload_shares += shares;
+    Ok(node.lock().apply_sync(batch, now))
+}
+
 /// The outcome of one session drive: whatever progress the session made
 /// before it completed or failed, plus the typed error that ended it (if
 /// any). Faulty links routinely kill sessions mid-transfer; the partial
@@ -171,6 +242,255 @@ impl SessionOutcome {
     }
 }
 
+/// Drives the pull direction: this side is the target, the peer serves.
+/// The node's [`SyncMode`] picks the request shape; the serve side needs
+/// no negotiation because it dispatches on the request frame type.
+fn pull_direction<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    node: &Arc<Mutex<DtnNode>>,
+    peer: ReplicaId,
+    now: SimTime,
+    bufs: &mut SessionBuffers,
+) -> Result<SyncReport, ProtocolError> {
+    if node.lock().sync_mode() == SyncMode::Digest {
+        return pull_digest(reader, writer, node, peer, now, bufs);
+    }
+    // Full mode: the request borrows the node's knowledge/filter, so
+    // serialize it while the lock is held; only the scratch bytes leave
+    // the critical section.
+    let request_bytes = {
+        let mut node = node.lock();
+        let request = node.begin_sync_session(peer, now);
+        bufs.scratch.encode(&request)
+    };
+    bufs.frame_bytes += request_bytes.len() as u64;
+    write_frame(writer, FrameType::SyncRequest, request_bytes)?;
+    let batch_payload = recv_expected(reader, FrameType::SyncBatch, bufs)?;
+    let report = apply_batch_payload(node, batch_payload, now, bufs)?;
+    write_frame(writer, FrameType::SyncDone, &[])?;
+    Ok(report)
+}
+
+/// Digest-mode pull: sends a compact [`DigestRequest`] and follows
+/// whichever continuation the source answers with — a direct batch, an
+/// exact version round (Bloom summaries), or a resync demand that makes
+/// this side retransmit the plain full request. Every terminal path
+/// applies a batch and commits the exchange with its byte accounting.
+fn pull_digest<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    node: &Arc<Mutex<DtnNode>>,
+    peer: ReplicaId,
+    now: SimTime,
+    bufs: &mut SessionBuffers,
+) -> Result<SyncReport, ProtocolError> {
+    let (request, state) = node.lock().begin_digest_session(peer, now);
+    let mut digest_bytes = send_frame(writer, FrameType::SyncDigest, &request, bufs)?;
+    let mut fallback_rounds = 0u64;
+    let mut false_positives = 0u64;
+    let mut knowledge_shared = state.summary_kind() != "bloom";
+
+    // Serves the resync demand: retransmit the full request (its bytes
+    // are charged to digest mode — fallbacks are its cost, not full
+    // mode's, plus one byte for the resync frame itself).
+    macro_rules! retransmit_full {
+        () => {{
+            fallback_rounds += 1;
+            knowledge_shared = true;
+            let request_bytes = bufs.scratch.encode(state.full_request());
+            digest_bytes += 1 + request_bytes.len() as u64;
+            bufs.frame_bytes += request_bytes.len() as u64;
+            write_frame(writer, FrameType::SyncRequest, request_bytes)?;
+        }};
+    }
+
+    let (frame_type, payload) = recv_any(reader, bufs)?;
+    let report = match frame_type {
+        FrameType::SyncBatch => apply_batch_payload(node, payload, now, bufs)?,
+        FrameType::RangeRequest => {
+            // Bloom path: the source screens uncertain versions through
+            // one exact membership round.
+            fallback_rounds += 1;
+            knowledge_shared = false;
+            digest_bytes += payload.len() as u64;
+            let query: VersionQuery = decode_payload(&payload)?;
+            bufs.pool.give(payload);
+            let answer = node.lock().answer_digest_query(&query);
+            false_positives = (0..answer.len()).filter(|&i| !answer.known(i)).count() as u64;
+            digest_bytes += send_frame(writer, FrameType::RangeResponse, &answer, bufs)?;
+            let (frame_type, payload) = recv_any(reader, bufs)?;
+            match frame_type {
+                FrameType::SyncBatch => apply_batch_payload(node, payload, now, bufs)?,
+                FrameType::ReconResync => {
+                    // The source rejected the answer round; fall all the
+                    // way back to a full exchange.
+                    bufs.pool.give(payload);
+                    retransmit_full!();
+                    let batch_payload = recv_expected(reader, FrameType::SyncBatch, bufs)?;
+                    apply_batch_payload(node, batch_payload, now, bufs)?
+                }
+                got => {
+                    bufs.pool.give(payload);
+                    return Err(ProtocolError::UnexpectedFrame {
+                        expected: FrameType::SyncBatch,
+                        got,
+                    });
+                }
+            }
+        }
+        FrameType::ReconResync => {
+            bufs.pool.give(payload);
+            retransmit_full!();
+            let batch_payload = recv_expected(reader, FrameType::SyncBatch, bufs)?;
+            apply_batch_payload(node, batch_payload, now, bufs)?
+        }
+        got => {
+            bufs.pool.give(payload);
+            return Err(ProtocolError::UnexpectedFrame {
+                expected: FrameType::SyncBatch,
+                got,
+            });
+        }
+    };
+    write_frame(writer, FrameType::SyncDone, &[])?;
+    node.lock().commit_digest_session(
+        peer,
+        state,
+        knowledge_shared,
+        digest_bytes,
+        fallback_rounds,
+        false_positives,
+    );
+    Ok(report)
+}
+
+/// Serves the peer's pull: this side is the source. Dispatches on the
+/// request frame type, so full-mode and digest-mode peers are both served
+/// without prior negotiation. A request frame that fails its checksum is
+/// answered with [`FrameType::ReconResync`] — the corrupt payload was
+/// fully consumed, so the stream is still aligned, and a digest-mode peer
+/// recovers by retransmitting its full request. Returns the number of
+/// items served.
+fn serve_direction<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    node: &Arc<Mutex<DtnNode>>,
+    limits: SyncLimits,
+    now: SimTime,
+    bufs: &mut SessionBuffers,
+) -> Result<usize, ProtocolError> {
+    let mut payload = bufs.pool.take();
+    let frame_type = match read_frame_into(reader, &mut payload) {
+        Ok(frame_type) => frame_type,
+        Err(FrameError::BadChecksum { .. }) => {
+            bufs.pool.give(payload);
+            write_frame(writer, FrameType::ReconResync, &[])?;
+            let served = serve_resync(reader, writer, node, limits, now, bufs)?;
+            let done = recv_expected(reader, FrameType::SyncDone, bufs)?;
+            bufs.pool.give(done);
+            return Ok(served);
+        }
+        Err(e) => {
+            bufs.pool.give(payload);
+            return Err(e.into());
+        }
+    };
+    bufs.frame_bytes += payload.len() as u64;
+    bufs.bytes_decoded += payload.len() as u64;
+    let served = match frame_type {
+        FrameType::SyncRequest => {
+            let request: SyncRequest = decode_payload(&payload)?;
+            bufs.pool.give(payload);
+            let batch = node.lock().respond_sync(&request, limits, now);
+            let served = batch.entries.len();
+            send_frame(writer, FrameType::SyncBatch, &batch, bufs)?;
+            served
+        }
+        FrameType::SyncDigest => {
+            let request: DigestRequest = decode_payload(&payload)?;
+            bufs.pool.give(payload);
+            serve_digest(reader, writer, node, &request, limits, now, bufs)?
+        }
+        got => {
+            bufs.pool.give(payload);
+            return Err(ProtocolError::UnexpectedFrame {
+                expected: FrameType::SyncRequest,
+                got,
+            });
+        }
+    };
+    let done = recv_expected(reader, FrameType::SyncDone, bufs)?;
+    bufs.pool.give(done);
+    Ok(served)
+}
+
+/// Source side of one digest request, through whichever continuation it
+/// needs. Returns the number of items served.
+fn serve_digest<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    node: &Arc<Mutex<DtnNode>>,
+    request: &DigestRequest,
+    limits: SyncLimits,
+    now: SimTime,
+    bufs: &mut SessionBuffers,
+) -> Result<usize, ProtocolError> {
+    let response = node.lock().respond_digest(request, limits, now);
+    match response {
+        DigestResponse::Batch(batch) => {
+            let served = batch.entries.len();
+            send_frame(writer, FrameType::SyncBatch, &batch, bufs)?;
+            Ok(served)
+        }
+        DigestResponse::NeedVersions(query) => {
+            send_frame(writer, FrameType::RangeRequest, &query, bufs)?;
+            let answer_payload = recv_expected(reader, FrameType::RangeResponse, bufs)?;
+            let answer: VersionAnswer = decode_payload(&answer_payload)?;
+            bufs.pool.give(answer_payload);
+            match node
+                .lock()
+                .respond_digest_answer(request, &query, &answer, limits, now)
+            {
+                Some(batch) => {
+                    let served = batch.entries.len();
+                    send_frame(writer, FrameType::SyncBatch, &batch, bufs)?;
+                    Ok(served)
+                }
+                None => {
+                    // The answer does not cover the query; salvage the
+                    // exchange with a full resync round.
+                    write_frame(writer, FrameType::ReconResync, &[])?;
+                    serve_resync(reader, writer, node, limits, now, bufs)
+                }
+            }
+        }
+        DigestResponse::Resync => {
+            write_frame(writer, FrameType::ReconResync, &[])?;
+            serve_resync(reader, writer, node, limits, now, bufs)
+        }
+    }
+}
+
+/// After this side demanded a resync: receives the peer's full request
+/// and serves it, caching the now exactly-known peer state.
+fn serve_resync<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    node: &Arc<Mutex<DtnNode>>,
+    limits: SyncLimits,
+    now: SimTime,
+    bufs: &mut SessionBuffers,
+) -> Result<usize, ProtocolError> {
+    let request_payload = recv_expected(reader, FrameType::SyncRequest, bufs)?;
+    let request: SyncRequest = decode_payload(&request_payload)?;
+    bufs.pool.give(request_payload);
+    let batch = node.lock().respond_digest_resync(&request, limits, now);
+    let served = batch.entries.len();
+    send_frame(writer, FrameType::SyncBatch, &batch, bufs)?;
+    Ok(served)
+}
+
 fn initiator_steps<R: Read, W: Write>(
     reader: &mut R,
     writer: &mut W,
@@ -190,11 +510,8 @@ fn initiator_steps<R: Read, W: Write>(
         now,
     };
     report.now = Some(now);
-    let hello_bytes = bufs.scratch.encode(&my_hello);
-    bufs.frame_bytes += hello_bytes.len() as u64;
-    write_frame(writer, FrameType::Hello, hello_bytes)?;
-    let hello_payload = expect_pooled(reader, FrameType::Hello, &mut bufs.pool)?;
-    bufs.frame_bytes += hello_payload.len() as u64;
+    send_frame(writer, FrameType::Hello, &my_hello, bufs)?;
+    let hello_payload = recv_expected(reader, FrameType::Hello, bufs)?;
     let peer_hello: Hello = decode_payload(&hello_payload)?;
     bufs.pool.give(hello_payload);
     let peer = peer_hello.replica;
@@ -202,36 +519,10 @@ fn initiator_steps<R: Read, W: Write>(
     let span = Span::start(&obs, "transport.initiator", my_id.as_u64(), peer.as_u64());
 
     // Direction 1: we are the target and pull from the responder.
-    // The request borrows the node's knowledge/filter, so serialize it
-    // while the lock is held; only the scratch bytes leave the critical
-    // section.
-    let request_bytes = {
-        let mut node = node.lock();
-        let request = node.begin_sync_session(peer, now);
-        bufs.scratch.encode(&request)
-    };
-    bufs.frame_bytes += request_bytes.len() as u64;
-    write_frame(writer, FrameType::SyncRequest, request_bytes)?;
-    let batch_payload = expect_pooled(reader, FrameType::SyncBatch, &mut bufs.pool)?;
-    bufs.frame_bytes += batch_payload.len() as u64;
-    let (batch, shares) = decode_batch_shared(&batch_payload)?;
-    bufs.pool.give(batch_payload);
-    bufs.payload_shares += shares;
-    report.pulled = Some(node.lock().apply_sync(batch, now));
-    write_frame(writer, FrameType::SyncDone, &[])?;
+    report.pulled = Some(pull_direction(reader, writer, node, peer, now, bufs)?);
 
     // Direction 2: the responder pulls from us.
-    let request_payload = expect_pooled(reader, FrameType::SyncRequest, &mut bufs.pool)?;
-    bufs.frame_bytes += request_payload.len() as u64;
-    let peer_request: SyncRequest = decode_payload(&request_payload)?;
-    bufs.pool.give(request_payload);
-    let batch = node.lock().respond_sync(&peer_request, limits, now);
-    report.served = batch.entries.len();
-    let batch_bytes = bufs.scratch.encode(&batch);
-    bufs.frame_bytes += batch_bytes.len() as u64;
-    write_frame(writer, FrameType::SyncBatch, batch_bytes)?;
-    let done = expect_pooled(reader, FrameType::SyncDone, &mut bufs.pool)?;
-    bufs.pool.give(done);
+    report.served = serve_direction(reader, writer, node, limits, now, bufs)?;
     span.finish();
     Ok(())
 }
@@ -245,8 +536,7 @@ fn responder_steps<R: Read, W: Write>(
     bufs: &mut SessionBuffers,
 ) -> Result<(), ProtocolError> {
     // Hello exchange: adopt the initiator's clock for this encounter.
-    let hello_payload = expect_pooled(reader, FrameType::Hello, &mut bufs.pool)?;
-    bufs.frame_bytes += hello_payload.len() as u64;
+    let hello_payload = recv_expected(reader, FrameType::Hello, bufs)?;
     let peer_hello: Hello = decode_payload(&hello_payload)?;
     bufs.pool.give(hello_payload);
     let peer = peer_hello.replica;
@@ -262,40 +552,13 @@ fn responder_steps<R: Read, W: Write>(
         replica: my_id,
         now,
     };
-    let hello_bytes = bufs.scratch.encode(&my_hello);
-    bufs.frame_bytes += hello_bytes.len() as u64;
-    write_frame(writer, FrameType::Hello, hello_bytes)?;
+    send_frame(writer, FrameType::Hello, &my_hello, bufs)?;
 
     // Direction 1: the initiator pulls from us.
-    let request_payload = expect_pooled(reader, FrameType::SyncRequest, &mut bufs.pool)?;
-    bufs.frame_bytes += request_payload.len() as u64;
-    let request: SyncRequest = decode_payload(&request_payload)?;
-    bufs.pool.give(request_payload);
-    let batch = node.lock().respond_sync(&request, limits, now);
-    report.served = batch.entries.len();
-    let batch_bytes = bufs.scratch.encode(&batch);
-    bufs.frame_bytes += batch_bytes.len() as u64;
-    write_frame(writer, FrameType::SyncBatch, batch_bytes)?;
-    let done = expect_pooled(reader, FrameType::SyncDone, &mut bufs.pool)?;
-    bufs.pool.give(done);
+    report.served = serve_direction(reader, writer, node, limits, now, bufs)?;
 
     // Direction 2: we pull from the initiator.
-    // As on the initiator side: serialize the borrowed request under the
-    // lock; only the scratch bytes leave the critical section.
-    let request_bytes = {
-        let mut node = node.lock();
-        let request = node.begin_sync_session(peer, now);
-        bufs.scratch.encode(&request)
-    };
-    bufs.frame_bytes += request_bytes.len() as u64;
-    write_frame(writer, FrameType::SyncRequest, request_bytes)?;
-    let batch_payload = expect_pooled(reader, FrameType::SyncBatch, &mut bufs.pool)?;
-    bufs.frame_bytes += batch_payload.len() as u64;
-    let (batch, shares) = decode_batch_shared(&batch_payload)?;
-    bufs.pool.give(batch_payload);
-    bufs.payload_shares += shares;
-    report.pulled = Some(node.lock().apply_sync(batch, now));
-    write_frame(writer, FrameType::SyncDone, &[])?;
+    report.pulled = Some(pull_direction(reader, writer, node, peer, now, bufs)?);
     span.finish();
     Ok(())
 }
@@ -335,6 +598,7 @@ fn emit_session_event(
         bytes_encoded: bufs.scratch.bytes_encoded(),
         pool_hits: bufs.pool.hits(),
         payload_shares: bufs.payload_shares,
+        bytes_decoded: bufs.bytes_decoded,
     });
 }
 
@@ -589,6 +853,202 @@ mod tests {
         fn flush(&mut self) -> std::io::Result<()> {
             Ok(())
         }
+    }
+
+    /// Wraps a writer, flipping one byte in the payload of the first
+    /// [`FrameType::SyncDigest`] frame that passes through — corruption
+    /// the frame CRC catches on the receive side.
+    struct CorruptDigest<W: Write> {
+        inner: W,
+        header: Vec<u8>,
+        payload_left: usize,
+        corrupt_next: bool,
+        done: bool,
+    }
+
+    impl<W: Write> CorruptDigest<W> {
+        fn new(inner: W) -> Self {
+            CorruptDigest {
+                inner,
+                header: Vec::new(),
+                payload_left: 0,
+                corrupt_next: false,
+                done: false,
+            }
+        }
+    }
+
+    impl<W: Write> Write for CorruptDigest<W> {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let mut out = Vec::with_capacity(buf.len());
+            for &b in buf {
+                let mut byte = b;
+                if self.payload_left == 0 {
+                    self.header.push(b);
+                    if self.header.len() == crate::frame::HEADER_LEN {
+                        let len = u32::from_le_bytes([
+                            self.header[3],
+                            self.header[4],
+                            self.header[5],
+                            self.header[6],
+                        ]) as usize;
+                        if self.header[2] == FrameType::SyncDigest as u8 && !self.done && len > 0 {
+                            self.corrupt_next = true;
+                            self.done = true;
+                        }
+                        self.payload_left = len;
+                        self.header.clear();
+                    }
+                } else {
+                    self.payload_left -= 1;
+                    if self.corrupt_next {
+                        byte ^= 0x55;
+                        self.corrupt_next = false;
+                    }
+                }
+                out.push(byte);
+            }
+            self.inner.write_all(&out)?;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    fn digest_node(n: u64, addr: &str) -> Arc<Mutex<DtnNode>> {
+        let mut node = DtnNode::new(ReplicaId::new(n), addr, PolicyKind::Epidemic);
+        node.set_sync_mode(SyncMode::Digest);
+        Arc::new(Mutex::new(node))
+    }
+
+    fn run_session(node_a: &Arc<Mutex<DtnNode>>, node_b: &Arc<Mutex<DtnNode>>, at: u64) {
+        let (mut end_a, mut end_b) = pipe();
+        let responder_node = Arc::clone(node_b);
+        let responder = std::thread::spawn(move || {
+            let (mut rh, mut wh) = pipe_halves(&mut end_b);
+            run_responder(&mut rh, &mut wh, &responder_node, SyncLimits::unlimited())
+                .expect("responder")
+        });
+        let (mut rh, mut wh) = pipe_halves(&mut end_a);
+        run_initiator(
+            &mut rh,
+            &mut wh,
+            node_a,
+            SimTime::from_secs(at),
+            SyncLimits::unlimited(),
+        )
+        .expect("initiator");
+        responder.join().expect("join");
+    }
+
+    #[test]
+    fn digest_sessions_deliver_and_settle_into_summaries() {
+        let node_a = digest_node(1, "a");
+        let node_b = digest_node(2, "b");
+        node_a
+            .lock()
+            .send("b", b"ping".to_vec(), SimTime::ZERO)
+            .unwrap();
+        node_b
+            .lock()
+            .send("a", b"pong".to_vec(), SimTime::ZERO)
+            .unwrap();
+
+        // Three sessions: seed the snapshot caches, then exchange
+        // summaries against them.
+        for round in 0..3u64 {
+            run_session(&node_a, &node_b, 60 * (round + 1));
+        }
+        assert_eq!(node_a.lock().inbox().len(), 1);
+        assert_eq!(node_b.lock().inbox().len(), 1);
+        // Both sides pulled in digest mode every session.
+        let stats_a = node_a.lock().recon_stats();
+        let stats_b = node_b.lock().recon_stats();
+        assert_eq!(stats_a.exchanges, 3);
+        assert_eq!(stats_b.exchanges, 3);
+        assert!(stats_a.digest_bytes > 0);
+        // Once warm, summaries undercut the full requests they replace.
+        assert!(
+            stats_a.digest_bytes < stats_a.full_bytes + stats_b.full_bytes,
+            "digest {} vs full {}+{}",
+            stats_a.digest_bytes,
+            stats_a.full_bytes,
+            stats_b.full_bytes
+        );
+    }
+
+    #[test]
+    fn mixed_mode_session_interoperates() {
+        // Only the pulling side's mode matters: a digest-mode node is
+        // served by any peer (dispatch is by frame type), and serves
+        // full-mode peers unchanged.
+        let node_a = digest_node(1, "a");
+        let node_b = Arc::new(Mutex::new(DtnNode::new(
+            ReplicaId::new(2),
+            "b",
+            PolicyKind::Epidemic,
+        )));
+        node_a
+            .lock()
+            .send("b", b"to full".to_vec(), SimTime::ZERO)
+            .unwrap();
+        node_b
+            .lock()
+            .send("a", b"to digest".to_vec(), SimTime::ZERO)
+            .unwrap();
+        run_session(&node_a, &node_b, 60);
+        assert_eq!(node_a.lock().inbox().len(), 1);
+        assert_eq!(node_b.lock().inbox().len(), 1);
+        assert_eq!(node_a.lock().recon_stats().exchanges, 1);
+        assert_eq!(node_b.lock().recon_stats().exchanges, 0);
+    }
+
+    #[test]
+    fn corrupted_digest_frame_degrades_to_full_exchange() {
+        let node_a = digest_node(1, "a");
+        let node_b = digest_node(2, "b");
+        node_a
+            .lock()
+            .send("b", b"survives corruption".to_vec(), SimTime::ZERO)
+            .unwrap();
+
+        let (mut end_a, mut end_b) = pipe();
+        let responder_node = Arc::clone(&node_b);
+        let responder = std::thread::spawn(move || {
+            let (mut rh, mut wh) = pipe_halves(&mut end_b);
+            run_responder(&mut rh, &mut wh, &responder_node, SyncLimits::unlimited())
+                .expect("responder")
+        });
+        let (mut rh, wh) = pipe_halves(&mut end_a);
+        // The initiator's first SyncDigest frame arrives corrupted; the
+        // responder answers ReconResync and the session completes on the
+        // retransmitted full request.
+        let mut wh = CorruptDigest::new(wh);
+        run_initiator(
+            &mut rh,
+            &mut wh,
+            &node_a,
+            SimTime::from_secs(60),
+            SyncLimits::unlimited(),
+        )
+        .expect("initiator");
+        responder.join().expect("join");
+
+        assert_eq!(node_b.lock().inbox().len(), 1);
+        let stats = node_a.lock().recon_stats();
+        assert_eq!(stats.exchanges, 1);
+        assert!(
+            stats.fallback_rounds >= 1,
+            "corruption must be accounted as a fallback round"
+        );
+
+        // The fallback seeded both snapshot caches: a clean follow-up
+        // session summarizes instead of falling back again.
+        run_session(&node_a, &node_b, 120);
+        let stats = node_a.lock().recon_stats();
+        assert_eq!(stats.exchanges, 2);
+        assert_eq!(stats.fallback_rounds, 1);
     }
 
     #[test]

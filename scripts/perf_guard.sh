@@ -15,12 +15,23 @@
 # alloc-count` the owned data plane must allocate at least 5x more than
 # the shared one.
 #
-# Usage: scripts/perf_guard.sh [path/to/BENCH_emu.json]
+# The companion macro_recon artifact gets its own quantitative gate:
+# digest-mode metadata must undercut full knowledge exchange by at least
+# 3x on the committed 30-day replay. Byte counts come from deterministic
+# wire encodings, so — unlike wall clock — that ratio is stable enough to
+# fail the build on.
+#
+# Usage: scripts/perf_guard.sh [path/to/BENCH_emu.json] [path/to/BENCH_recon.json]
 set -euo pipefail
 
 FILE=${1:-crates/bench/BENCH_emu.json}
+RECON_FILE=${2:-crates/bench/BENCH_recon.json}
 if [[ ! -f "$FILE" ]]; then
     echo "error: $FILE not found (run: cargo bench -p replidtn-bench --bench macro_emu)" >&2
+    exit 1
+fi
+if [[ ! -f "$RECON_FILE" ]]; then
+    echo "error: $RECON_FILE not found (run: cargo bench -p replidtn-bench --bench macro_recon)" >&2
     exit 1
 fi
 
@@ -87,4 +98,58 @@ print(f"perf_guard: OK ({path}: days={doc['days']} "
       f"alloc_ratio={doc.get('alloc_ratio_owned_vs_shared')} "
       f"pool_hits={plane.get('pool_hits')} "
       f"speedup={doc['speedup']}x)")
+EOF
+
+python3 - "$RECON_FILE" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+failures = []
+
+def check(cond, msg):
+    if not cond:
+        failures.append(msg)
+
+check(doc.get("bench") == "macro_recon", "bench name is not macro_recon")
+check(doc.get("metrics_identical") is True,
+      "full and digest replays did NOT produce identical metrics")
+check(doc.get("encounters", 0) > 0, "replay ran zero encounters")
+check(doc.get("delivered", 0) > 0, "replay delivered zero messages")
+
+digest = doc.get("digest", {})
+check(digest.get("exchanges", 0) > 0, "digest mode ran zero exchanges")
+check(digest.get("digest_bytes", 0) > 0, "recon.digest_bytes is zero")
+check(digest.get("full_bytes", 0) > digest.get("digest_bytes", 0),
+      "digest metadata did not undercut full knowledge exchange")
+
+# The tentpole's quantitative acceptance gate: wire encodings are
+# deterministic, so the metadata reduction on the committed 30-day
+# replay is a stable >= 3x.
+ratio = doc.get("metadata_ratio", 0)
+check(ratio >= 3.0,
+      f"digest mode reduces sync metadata only {ratio}x (expected >= 3x)")
+
+# The Bloom density sweep must chart the size / false-positive trade:
+# sparse filters see false positives, every density resolves them via
+# exact query rounds (never wrong candidates, so fallbacks are nonzero).
+sweep = doc.get("bloom_sweep", [])
+check(len(sweep) >= 3, "bloom sweep covered fewer than 3 densities")
+check(any(row.get("false_positives", 0) > 0 for row in sweep),
+      "bloom sweep never produced a false positive")
+check(all(row.get("fallback_rounds", 0) > 0 for row in sweep),
+      "a bloom sweep row resolved without exact query rounds")
+
+if failures:
+    for f in failures:
+        print(f"perf_guard: FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+
+print(f"perf_guard: OK ({path}: days={doc['days']} "
+      f"exchanges={digest.get('exchanges')} "
+      f"metrics_identical={doc['metrics_identical']} "
+      f"metadata_ratio={ratio}x "
+      f"sweep_densities={len(sweep)})")
 EOF
