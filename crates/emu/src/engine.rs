@@ -15,7 +15,7 @@ use obs::{Event, Fanout, Obs, Observer};
 use pfr::{ItemId, ReplicaId, SimTime, SyncMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use traces::{bus_address, EmailWorkload, EncounterTrace, UserAssignment};
+use traces::{bus_address, EmailWorkload, EncounterTrace, SpooledTrace, UserAssignment};
 
 use crate::metrics::{DayRollup, ExperimentMetrics};
 
@@ -55,7 +55,7 @@ impl PolicySpec {
         }
     }
 
-    fn build(&self) -> Box<dyn DtnPolicy> {
+    pub(crate) fn build(&self) -> Box<dyn DtnPolicy> {
         match self {
             PolicySpec::Kind(kind) => kind.build(),
             PolicySpec::Custom { build, .. } => build(),
@@ -140,6 +140,27 @@ pub struct EmulationConfig {
     /// metadata bytes on the wire differ (`recon.*` counters account the
     /// savings).
     pub sync_mode: SyncMode,
+    /// Number of worker shards for the sharded engine. `None` runs the
+    /// serial engine unless another scale knob (`stream_encounters`,
+    /// `spill_dir`, `resident_limit`, or a spooled trace source) forces
+    /// the sharded path with one worker. Metrics are identical to the
+    /// serial engine for any shard count — the differential suite in
+    /// `tests/shard_equivalence.rs` pins this.
+    pub shards: Option<usize>,
+    /// Stream encounters from disk instead of iterating the in-memory
+    /// trace: an in-memory source is first spooled to a temp file, a
+    /// spooled source streams directly. The encounter *sequence* is
+    /// byte-identical either way.
+    pub stream_encounters: bool,
+    /// Where spill and temp spool files live. Defaults to
+    /// [`std::env::temp_dir`] when a knob that needs disk is on.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Cap on resident (in-memory) replicas: beyond it, the coldest nodes
+    /// are snapshotted into a spill file and restored on their next
+    /// encounter. `None` keeps every node resident. The cap is enforced
+    /// between batches, so residency transiently exceeds it by at most one
+    /// batch's working set.
+    pub resident_limit: Option<usize>,
 }
 
 impl std::fmt::Debug for EmulationConfig {
@@ -163,6 +184,10 @@ impl std::fmt::Debug for EmulationConfig {
             .field("candidate_scan", &self.candidate_scan)
             .field("owned_copies", &self.owned_copies)
             .field("sync_mode", &self.sync_mode)
+            .field("shards", &self.shards)
+            .field("stream_encounters", &self.stream_encounters)
+            .field("spill_dir", &self.spill_dir)
+            .field("resident_limit", &self.resident_limit)
             .finish()
     }
 }
@@ -185,6 +210,10 @@ impl Default for EmulationConfig {
             candidate_scan: false,
             owned_copies: false,
             sync_mode: SyncMode::default(),
+            shards: None,
+            stream_encounters: false,
+            spill_dir: None,
+            resident_limit: None,
         }
     }
 }
@@ -199,22 +228,73 @@ impl EmulationConfig {
     }
 }
 
+/// Where an emulation reads its encounter schedule from: a fully
+/// in-memory [`EncounterTrace`], or an on-disk [`SpooledTrace`] whose
+/// encounters stream from a file (only per-day schedules stay resident).
+#[derive(Clone, Copy)]
+pub(crate) enum TraceSource<'a> {
+    /// Every encounter resident in memory.
+    Memory(&'a EncounterTrace),
+    /// Encounters streamed from a spool file.
+    Spooled(&'a SpooledTrace),
+}
+
+impl TraceSource<'_> {
+    fn node_ids(&self) -> Vec<ReplicaId> {
+        match self {
+            TraceSource::Memory(trace) => trace.nodes().into_iter().collect(),
+            TraceSource::Spooled(trace) => trace.nodes().iter().copied().collect(),
+        }
+    }
+
+    fn len(&self) -> u64 {
+        match self {
+            TraceSource::Memory(trace) => trace.len() as u64,
+            TraceSource::Spooled(trace) => trace.len(),
+        }
+    }
+}
+
 /// A full emulation: nodes, traces, assignment, and collected metrics.
 pub struct Emulation<'a> {
-    trace: &'a EncounterTrace,
-    workload: &'a EmailWorkload,
-    config: EmulationConfig,
-    nodes: BTreeMap<ReplicaId, DtnNode>,
-    assignment: UserAssignment,
-    metrics: ExperimentMetrics,
-    obs: Obs,
-    rollup: Arc<DayRollup>,
+    pub(crate) source: TraceSource<'a>,
+    pub(crate) workload: &'a EmailWorkload,
+    pub(crate) config: EmulationConfig,
+    pub(crate) nodes: BTreeMap<ReplicaId, DtnNode>,
+    pub(crate) assignment: UserAssignment,
+    pub(crate) metrics: ExperimentMetrics,
+    pub(crate) obs: Obs,
+    pub(crate) rollup: Arc<DayRollup>,
 }
 
 impl<'a> Emulation<'a> {
     /// Prepares an emulation over the given trace and workload.
     pub fn new(
         trace: &'a EncounterTrace,
+        workload: &'a EmailWorkload,
+        config: EmulationConfig,
+    ) -> Self {
+        Self::build(TraceSource::Memory(trace), workload, config)
+    }
+
+    /// Prepares an emulation over a spooled (on-disk) trace: encounters
+    /// stream from the spool file, so only per-day schedules and the node
+    /// set stay resident. Runs on the sharded engine.
+    ///
+    /// # Panics
+    ///
+    /// When `config.filter_strategy` is [`FilterStrategy::Selected`]: top
+    /// partner statistics require the whole trace in memory.
+    pub fn from_spooled(
+        trace: &'a SpooledTrace,
+        workload: &'a EmailWorkload,
+        config: EmulationConfig,
+    ) -> Self {
+        Self::build(TraceSource::Spooled(trace), workload, config)
+    }
+
+    fn build(
+        source: TraceSource<'a>,
         workload: &'a EmailWorkload,
         config: EmulationConfig,
     ) -> Self {
@@ -229,7 +309,7 @@ impl<'a> Emulation<'a> {
         };
 
         let mut nodes = BTreeMap::new();
-        let all_nodes: Vec<ReplicaId> = trace.nodes().into_iter().collect();
+        let all_nodes: Vec<ReplicaId> = source.node_ids();
         for &id in &all_nodes {
             let mut node = DtnNode::with_policy(id, &bus_address(id), config.policy.build());
             node.replica_mut().set_relay_limit(config.relay_limit);
@@ -264,6 +344,13 @@ impl<'a> Emulation<'a> {
                 }
             }
             FilterStrategy::Selected(k) => {
+                let TraceSource::Memory(trace) = source else {
+                    panic!(
+                        "FilterStrategy::Selected needs top-partner statistics over the whole \
+                         trace, which a spooled source does not keep in memory; use SelfOnly or \
+                         Random with spooled traces"
+                    );
+                };
                 for &id in &all_nodes {
                     let addrs: Vec<String> = trace
                         .top_partners(id, k)
@@ -278,9 +365,16 @@ impl<'a> Emulation<'a> {
             }
         }
 
-        let assignment = UserAssignment::uniform(trace, workload.users(), config.assignment_seed);
+        let assignment = match source {
+            TraceSource::Memory(trace) => {
+                UserAssignment::uniform(trace, workload.users(), config.assignment_seed)
+            }
+            TraceSource::Spooled(trace) => {
+                UserAssignment::uniform_spooled(trace, workload.users(), config.assignment_seed)
+            }
+        };
         Emulation {
-            trace,
+            source,
             workload,
             config,
             nodes,
@@ -310,8 +404,14 @@ impl<'a> Emulation<'a> {
     /// nodes for post-run inspection (stored items, policy state sizes,
     /// replica statistics).
     pub fn run_into_parts(mut self) -> (ExperimentMetrics, BTreeMap<ReplicaId, DtnNode>) {
+        if self.sharded_requested() {
+            return self.run_sharded();
+        }
+        let TraceSource::Memory(trace) = self.source else {
+            unreachable!("spooled sources always take the sharded path");
+        };
         let mut injections = self.workload.events().iter().peekable();
-        let mut encounters = self.trace.iter().peekable();
+        let mut encounters = trace.iter().peekable();
         let mut fault_rng = StdRng::seed_from_u64(self.config.fault_seed);
 
         loop {
@@ -373,6 +473,15 @@ impl<'a> Emulation<'a> {
         // The per-day time series is a pure function of the event stream.
         self.metrics.set_daily_stats(self.rollup.snapshot());
         (self.metrics, self.nodes)
+    }
+
+    /// Whether any scale knob routes this run onto the sharded engine.
+    fn sharded_requested(&self) -> bool {
+        self.config.shards.is_some()
+            || self.config.stream_encounters
+            || self.config.spill_dir.is_some()
+            || self.config.resident_limit.is_some()
+            || matches!(self.source, TraceSource::Spooled(_))
     }
 
     fn inject(&mut self, src_user: &str, dst_user: &str, now: SimTime) {
@@ -584,7 +693,7 @@ impl std::fmt::Debug for Emulation<'_> {
         f.debug_struct("Emulation")
             .field("policy", &self.config.policy.label())
             .field("nodes", &self.nodes.len())
-            .field("encounters", &self.trace.len())
+            .field("encounters", &self.source.len())
             .field("messages", &self.workload.len())
             .finish()
     }

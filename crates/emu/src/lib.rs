@@ -28,6 +28,7 @@
 
 mod engine;
 mod metrics;
+mod shard;
 mod sweep;
 
 pub mod experiments;

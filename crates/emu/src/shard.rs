@@ -1,0 +1,811 @@
+//! The sharded, event-driven emulation engine.
+//!
+//! The serial engine in [`engine`](crate::engine) walks the merged
+//! injection/encounter schedule one operation at a time with every
+//! replica resident — fine for the paper's 34-bus fleet, a wall at city
+//! scale. This module re-runs the *same* schedule as batches of
+//! conflict-free operations executed on worker shards, with three
+//! properties the differential suite (`tests/shard_equivalence.rs`) pins:
+//!
+//! * **Equivalence.** [`ExperimentMetrics`] are *equal* (`==`) to the
+//!   serial engine's for any worker count. The argument: operations get
+//!   global sequence numbers in scan order (identical to the serial
+//!   processing order, including fault-injection draws, which happen at
+//!   scan time on one rng); a batch only admits operations touching
+//!   disjoint node sets, and an operation that conflicts is deferred
+//!   *and blocks its nodes* so every later operation on those nodes
+//!   defers behind it — hence per-node execution order equals serial
+//!   order, and node states evolve identically. Metric bookkeeping
+//!   happens on the main thread strictly in sequence order, over event
+//!   deltas of committed operations only, so time-sensitive metrics
+//!   (`copies_at_delivery`, daily series) see exactly the serial-prefix
+//!   world.
+//! * **Streaming.** Encounters can be read from a
+//!   [`SpooledTrace`](traces::SpooledTrace) file instead of an in-memory
+//!   `Vec` ([`EmulationConfig::stream_encounters`]); the sequence is
+//!   byte-identical either way (pinned by the spool's own tests).
+//! * **Bounded residency.** With [`EmulationConfig::resident_limit`],
+//!   cold replicas are snapshotted into an append-only
+//!   [`SpillFile`](store::SpillFile) between batches and restored on
+//!   their next operation, so peak RSS tracks the hot set, not the
+//!   fleet. Spilling is invisible to metrics under [`SyncMode::Full`];
+//!   under digest mode the (unsnapshotted) reconciliation caches die
+//!   with each spill, which can shift `recon.*` traffic — like a reboot,
+//!   never a correctness loss.
+//!
+//! Cross-shard encounters — the pair's endpoints hash to different
+//! shards — execute on the first endpoint's shard and are surfaced as
+//! [`Event::ShardHandoff`] (counter `shard.handoffs`); spill activity as
+//! [`Event::ReplicaSpill`] (`shard.spills` / `shard.unspills` /
+//! `shard.resident`). Both are emitted from the main thread at commit,
+//! so observer output stays deterministic for a fixed worker count.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+use dtn::{DtnNode, EncounterBudget};
+use obs::{Event, Obs, Observer};
+use parking_lot::Mutex;
+use pfr::{ItemId, ReplicaId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use store::{SpillFile, SpillSlot};
+use traces::{bus_address, Encounter, MessageEvent, UserAssignment};
+
+use crate::engine::{Emulation, EmulationConfig, TraceSource};
+use crate::metrics::ExperimentMetrics;
+
+/// Disambiguates spill/spool files when several emulations run in one
+/// process (the test harness does exactly that).
+static FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn unique_path(dir: &Path, tag: &str) -> PathBuf {
+    let n = FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("replidtn-{tag}-{}-{n}.bin", std::process::id()))
+}
+
+/// Per-node event mailbox: a replica's observer while it executes on a
+/// worker. Drained into the operation's result and re-emitted on the run
+/// observer at commit, in global sequence order.
+#[derive(Debug, Default)]
+struct EventBuffer {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventBuffer {
+    fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+impl Observer for EventBuffer {
+    fn on_event(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// One schedule operation, resolved at scan time (assignment lookups and
+/// fault draws happen there, on the serial rng order).
+#[derive(Debug)]
+enum OpKind {
+    /// A message injection on `src_bus` (the only node it mutates).
+    Inject {
+        src_user: String,
+        dst_user: String,
+        src_bus: ReplicaId,
+        dst_bus: ReplicaId,
+        now: SimTime,
+    },
+    /// An encounter, with an optional crash-injection victim rebooting
+    /// first (as in the serial engine, the reboot draw precedes the
+    /// meeting).
+    Meet {
+        encounter: Encounter,
+        victim: Option<ReplicaId>,
+    },
+    /// A degenerate self-encounter whose crash draw still fired: the
+    /// serial engine reboots the victim and skips the meeting.
+    Reboot { victim: ReplicaId },
+}
+
+#[derive(Debug)]
+struct Op {
+    seq: u64,
+    kind: OpKind,
+}
+
+impl Op {
+    fn node_ids(&self) -> (ReplicaId, Option<ReplicaId>) {
+        match &self.kind {
+            OpKind::Inject { src_bus, .. } => (*src_bus, None),
+            OpKind::Meet { encounter, .. } => (encounter.a, Some(encounter.b)),
+            OpKind::Reboot { victim } => (*victim, None),
+        }
+    }
+
+    fn victim(&self) -> Option<ReplicaId> {
+        match &self.kind {
+            OpKind::Inject { .. } => None,
+            OpKind::Meet { victim, .. } => *victim,
+            OpKind::Reboot { victim } => Some(*victim),
+        }
+    }
+}
+
+/// A dispatched operation: the op plus owned nodes (and their event
+/// mailboxes) travelling to a worker shard and back.
+struct Job {
+    op: Op,
+    nodes: Vec<(ReplicaId, DtnNode, Arc<EventBuffer>)>,
+}
+
+enum Outcome {
+    Injected {
+        id: Option<ItemId>,
+    },
+    Met {
+        report: dtn::EncounterReport,
+        rebooted: bool,
+    },
+    Rebooted {
+        rebooted: bool,
+    },
+}
+
+struct ExecResult {
+    op: Op,
+    nodes: Vec<(ReplicaId, DtnNode)>,
+    events: Vec<Event>,
+    outcome: Outcome,
+}
+
+/// The merged, time-ordered operation stream: injections and encounters
+/// interleaved exactly as the serial loop does (ties go to injections),
+/// with fault-injection draws taken here so the rng consumption order is
+/// identical to serial regardless of batching.
+struct OpStream<'s> {
+    injections: std::iter::Peekable<std::slice::Iter<'s, MessageEvent>>,
+    encounters: std::iter::Peekable<Box<dyn Iterator<Item = Encounter> + 's>>,
+    fault_rng: StdRng,
+    drop_rate: f64,
+    crash_rate: f64,
+    assignment: &'s UserAssignment,
+    next_seq: u64,
+}
+
+impl OpStream<'_> {
+    fn next_op(&mut self) -> Option<Op> {
+        loop {
+            let ti = self.injections.peek().map(|e| e.time);
+            let te = self.encounters.peek().map(|e| e.time);
+            let kind = match (ti, te) {
+                (None, None) => return None,
+                (Some(ti), Some(te)) if ti <= te => self.scan_injection(),
+                (Some(_), None) => self.scan_injection(),
+                (_, Some(_)) => self.scan_encounter(),
+            };
+            if let Some(kind) = kind {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                return Some(Op { seq, kind });
+            }
+        }
+    }
+
+    fn scan_injection(&mut self) -> Option<OpKind> {
+        let event = self.injections.next().expect("peeked");
+        let day = event.time.day();
+        let (Some(src_bus), Some(dst_bus)) = (
+            self.assignment.bus_of(day, &event.src),
+            self.assignment.bus_of(day, &event.dst),
+        ) else {
+            return None; // no buses scheduled that day: lost upstream, as in serial
+        };
+        Some(OpKind::Inject {
+            src_user: event.src.clone(),
+            dst_user: event.dst.clone(),
+            src_bus,
+            dst_bus,
+            now: event.time,
+        })
+    }
+
+    fn scan_encounter(&mut self) -> Option<OpKind> {
+        let enc = self.encounters.next().expect("peeked");
+        if self.drop_rate > 0.0 && self.fault_rng.gen::<f64>() < self.drop_rate {
+            return None;
+        }
+        let mut victim = None;
+        if self.crash_rate > 0.0 && self.fault_rng.gen::<f64>() < self.crash_rate {
+            victim = Some(if self.fault_rng.gen::<bool>() {
+                enc.a
+            } else {
+                enc.b
+            });
+        }
+        if enc.a == enc.b {
+            // The serial engine's `meet` returns immediately on a
+            // degenerate self-encounter, but the reboot drawn before it
+            // still happens.
+            return victim.map(|victim| OpKind::Reboot { victim });
+        }
+        Some(OpKind::Meet {
+            encounter: enc,
+            victim,
+        })
+    }
+}
+
+fn shard_of(id: ReplicaId, workers: usize) -> usize {
+    (id.as_u64() % workers as u64) as usize
+}
+
+/// Reboots a node in place: durable state round-trips through a snapshot,
+/// the routing policy restarts cold. Mirrors the serial engine's
+/// `reboot`, including keeping the node untouched when the snapshot names
+/// a policy outside the registry (custom specs).
+fn reboot_in_place(
+    node: &mut DtnNode,
+    buffer: &Arc<EventBuffer>,
+    config: &EmulationConfig,
+) -> bool {
+    let snapshot = node.snapshot();
+    match DtnNode::restore(&snapshot) {
+        Ok(mut restored) => {
+            restored.replace_policy(config.policy.build());
+            restored
+                .replica_mut()
+                .set_observer(Obs::new(buffer.clone()));
+            restored
+                .replica_mut()
+                .set_candidate_scan(config.candidate_scan);
+            restored.replica_mut().set_owned_copies(config.owned_copies);
+            restored.set_sync_mode(config.sync_mode);
+            *node = restored;
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Executes one operation on a worker shard. Pure node work: no metrics,
+/// no shared state — everything the commit step needs rides back in the
+/// result.
+fn execute(job: Job, config: &EmulationConfig) -> ExecResult {
+    let Job { op, mut nodes } = job;
+    let outcome = match &op.kind {
+        OpKind::Inject {
+            src_user,
+            dst_user,
+            src_bus,
+            dst_bus,
+            now,
+        } => {
+            let (_, node, _) = &mut nodes[0];
+            let src_addr = bus_address(*src_bus);
+            let dst_addr = bus_address(*dst_bus);
+            let payload = format!("{src_user}->{dst_user}").into_bytes();
+            let sent = match config.message_lifetime {
+                Some(lifetime) => dtn::messaging::send_message_with_lifetime(
+                    node.replica_mut(),
+                    &src_addr,
+                    &dst_addr,
+                    payload,
+                    *now,
+                    lifetime,
+                ),
+                None => node.send_from(&src_addr, &dst_addr, payload, *now),
+            };
+            Outcome::Injected { id: sent.ok() }
+        }
+        OpKind::Meet { encounter, victim } => {
+            let mut rebooted = false;
+            if let Some(victim) = victim {
+                let slot = nodes
+                    .iter_mut()
+                    .find(|(id, _, _)| id == victim)
+                    .expect("victim rides with its op");
+                rebooted = reboot_in_place(&mut slot.1, &slot.2, config);
+            }
+            let budget = match config.messages_per_contact_minute {
+                Some(rate) if encounter.duration.as_secs() > 0 => {
+                    let allowance = (encounter.duration.as_secs() as f64 / 60.0 * rate).ceil();
+                    EncounterBudget::max_messages((allowance as usize).max(1))
+                }
+                _ => config.budget,
+            };
+            let (first, rest) = nodes.split_at_mut(1);
+            let report = first[0].1.encounter(&mut rest[0].1, encounter.time, budget);
+            Outcome::Met { report, rebooted }
+        }
+        OpKind::Reboot { victim: _ } => {
+            let (_, node, buffer) = &mut nodes[0];
+            let buffer = buffer.clone();
+            let rebooted = reboot_in_place(node, &buffer, config);
+            Outcome::Rebooted { rebooted }
+        }
+    };
+    // Drain mailboxes in op-node order (a before b): per-op event
+    // grouping is deterministic even though worker completion order
+    // is not.
+    let mut events = Vec::new();
+    for (_, _, buffer) in &nodes {
+        events.extend(buffer.drain());
+    }
+    ExecResult {
+        op,
+        nodes: nodes.into_iter().map(|(id, node, _)| (id, node)).collect(),
+        events,
+        outcome,
+    }
+}
+
+/// Main-thread bookkeeping that replaces the serial engine's direct node
+/// inspection: live copy counts and per-node eviction counters are
+/// maintained incrementally from committed events, so commits never need
+/// to look at (possibly spilled, possibly mid-batch) node state.
+#[derive(Default)]
+struct CommitState {
+    /// `(origin, seq) -> live copies`, from injection/accept/drop deltas.
+    /// Matches the serial `count_copies` scan at every commit point for
+    /// every queried (pending, unexpired) message.
+    copies: HashMap<(u64, u64), i64>,
+    /// Evictions per node since its last successful reboot.
+    evict_since_reboot: HashMap<u64, u64>,
+    total_evictions: u64,
+    /// Evictions wiped by reboots (`ReplicaStats` are not snapshotted, so
+    /// the serial engine's final sum only sees since-last-reboot counts).
+    lost_evictions: u64,
+}
+
+impl CommitState {
+    fn apply(&mut self, event: &Event) {
+        match event {
+            Event::MessageInjected { origin, seq, .. }
+            | Event::ItemDelivered { origin, seq, .. }
+            | Event::ItemRelayed { origin, seq, .. } => {
+                *self.copies.entry((*origin, *seq)).or_insert(0) += 1;
+            }
+            Event::MessageDropped { origin, seq, .. } => {
+                *self.copies.entry((*origin, *seq)).or_insert(0) -= 1;
+            }
+            Event::ItemEvicted { replica, .. } => {
+                self.total_evictions += 1;
+                *self.evict_since_reboot.entry(*replica).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn live_copies(&self, id: ItemId) -> usize {
+        self.copies
+            .get(&(id.origin().as_u64(), id.seq()))
+            .copied()
+            .unwrap_or(0)
+            .max(0) as usize
+    }
+}
+
+/// Applies one executed operation to the metrics, in global sequence
+/// order. This is the serial engine's post-mutation bookkeeping, verbatim
+/// but fed from the result instead of live nodes.
+fn commit(
+    result: ExecResult,
+    metrics: &mut ExperimentMetrics,
+    obs: &Obs,
+    config: &EmulationConfig,
+    state: &mut CommitState,
+    workers: usize,
+) {
+    let ExecResult {
+        op,
+        events,
+        outcome,
+        ..
+    } = result;
+
+    // Reboot bookkeeping precedes the op's own events (the serial engine
+    // reboots before meeting).
+    let rebooted = matches!(
+        outcome,
+        Outcome::Met { rebooted: true, .. } | Outcome::Rebooted { rebooted: true }
+    );
+    if rebooted {
+        let victim = op.victim().expect("rebooted op has a victim");
+        let lost = state
+            .evict_since_reboot
+            .remove(&victim.as_u64())
+            .unwrap_or(0);
+        state.lost_evictions += lost;
+        metrics.reboots += 1;
+    }
+
+    if let OpKind::Meet { encounter, .. } = &op.kind {
+        let from = shard_of(encounter.a, workers);
+        let to = shard_of(encounter.b, workers);
+        if from != to {
+            obs.emit(|| Event::ShardHandoff {
+                a: encounter.a.as_u64(),
+                b: encounter.b.as_u64(),
+                from_shard: from as u64,
+                to_shard: to as u64,
+                at_secs: encounter.time.as_secs(),
+            });
+        }
+    }
+
+    for event in events {
+        state.apply(&event);
+        obs.emit(|| event);
+    }
+
+    match outcome {
+        Outcome::Injected { id: None } | Outcome::Rebooted { .. } => {}
+        Outcome::Injected { id: Some(id) } => {
+            let OpKind::Inject {
+                src_bus,
+                dst_bus,
+                now,
+                ..
+            } = &op.kind
+            else {
+                unreachable!("injection outcome from injection op")
+            };
+            let src_addr = bus_address(*src_bus);
+            let dst_addr = bus_address(*dst_bus);
+            metrics.record_injection(id, &src_addr, &dst_addr, *now);
+            if src_bus == dst_bus {
+                // Sender and destination ride the same bus today:
+                // delivered on the spot with a single stored copy.
+                metrics.record_delivery(id, *now, 1);
+                obs.emit(|| Event::MessageDelivered {
+                    replica: dst_bus.as_u64(),
+                    origin: id.origin().as_u64(),
+                    seq: id.seq(),
+                    delay_secs: 0,
+                    at_secs: now.as_secs(),
+                });
+            }
+        }
+        Outcome::Met { report, .. } => {
+            let OpKind::Meet { encounter, .. } = &op.kind else {
+                unreachable!("meet outcome from meet op")
+            };
+            let now = encounter.time;
+            metrics.encounters += 1;
+            metrics.transmissions += report.transmitted as u64;
+            metrics.duplicates += report.duplicates as u64;
+            for (receiver, ids) in [
+                (encounter.a, &report.delivered_to_a),
+                (encounter.b, &report.delivered_to_b),
+            ] {
+                if ids.is_empty() {
+                    continue;
+                }
+                let addr = bus_address(receiver);
+                for &id in ids {
+                    let is_final_destination =
+                        metrics.record(id).is_some_and(|rec| rec.dst == addr);
+                    if is_final_destination && metrics.is_pending(id) {
+                        let in_time = match config.message_lifetime {
+                            None => true,
+                            Some(lifetime) => metrics
+                                .record(id)
+                                .is_some_and(|r| now.saturating_since(r.injected_at) < lifetime),
+                        };
+                        if in_time {
+                            let copies = state.live_copies(id);
+                            let delay_secs = metrics
+                                .record(id)
+                                .map(|r| now.saturating_since(r.injected_at).as_secs())
+                                .unwrap_or(0);
+                            metrics.record_delivery(id, now, copies);
+                            obs.emit(|| Event::MessageDelivered {
+                                replica: receiver.as_u64(),
+                                origin: id.origin().as_u64(),
+                                seq: id.seq(),
+                                delay_secs,
+                                at_secs: now.as_secs(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Restores a spilled replica into the resident set.
+fn ensure_resident(
+    id: ReplicaId,
+    nodes: &mut BTreeMap<ReplicaId, DtnNode>,
+    spilled: &mut BTreeMap<ReplicaId, SpillSlot>,
+    spill: Option<&mut SpillFile>,
+    buffers: &BTreeMap<ReplicaId, Arc<EventBuffer>>,
+    config: &EmulationConfig,
+    obs: &Obs,
+) {
+    if nodes.contains_key(&id) {
+        return;
+    }
+    let slot = spilled.remove(&id).expect("node is resident or spilled");
+    let file = spill.expect("spill file exists while nodes are spilled");
+    let bytes = file.read(&slot).expect("read back spilled replica");
+    let mut node = DtnNode::restore_with_policy(&bytes, config.policy.build())
+        .expect("spilled replica restores under the run's own policy");
+    // Snapshots carry no observability or acceleration state; re-attach
+    // the mailbox and selection modes, as the serial reboot path does.
+    node.replica_mut()
+        .set_observer(Obs::new(buffers[&id].clone()));
+    node.replica_mut().set_candidate_scan(config.candidate_scan);
+    node.replica_mut().set_owned_copies(config.owned_copies);
+    node.set_sync_mode(config.sync_mode);
+    nodes.insert(id, node);
+    obs.emit(|| Event::ReplicaSpill {
+        replica: id.as_u64(),
+        bytes: slot.len() as u64,
+        resident: nodes.len() as u64,
+        unspill: true,
+    });
+}
+
+impl<'a> Emulation<'a> {
+    /// Runs the schedule on the sharded engine. Dispatched to by
+    /// [`Emulation::run_into_parts`] whenever a scale knob is set; the
+    /// returned metrics equal a serial run's exactly.
+    pub(crate) fn run_sharded(self) -> (ExperimentMetrics, BTreeMap<ReplicaId, DtnNode>) {
+        let Emulation {
+            source,
+            workload,
+            config,
+            mut nodes,
+            assignment,
+            mut metrics,
+            obs,
+            rollup,
+        } = self;
+        let workers = config.shards.unwrap_or(1).max(1);
+
+        // Per-node event mailboxes replace the shared observer: a node's
+        // events accumulate locally while it executes on a worker and are
+        // forwarded to the run observer in global sequence order at
+        // commit.
+        let mut buffers: BTreeMap<ReplicaId, Arc<EventBuffer>> = BTreeMap::new();
+        for (&id, node) in nodes.iter_mut() {
+            let buffer = Arc::new(EventBuffer::default());
+            node.replica_mut().set_observer(Obs::new(buffer.clone()));
+            buffers.insert(id, buffer);
+        }
+
+        // Disk plumbing: a spill file when residency is capped, a temp
+        // spool when an in-memory trace should stream from disk.
+        let scratch_dir = config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+        let mut spill = config.resident_limit.map(|_| {
+            std::fs::create_dir_all(&scratch_dir).expect("create spill directory");
+            SpillFile::create(unique_path(&scratch_dir, "spill")).expect("create spill file")
+        });
+        let mut spilled: BTreeMap<ReplicaId, SpillSlot> = BTreeMap::new();
+        let mut last_used: BTreeMap<ReplicaId, u64> = BTreeMap::new();
+
+        let temp_spool = match (source, config.stream_encounters) {
+            (TraceSource::Memory(trace), true) => {
+                std::fs::create_dir_all(&scratch_dir).expect("create spool directory");
+                let path = unique_path(&scratch_dir, "spool");
+                Some(traces::SpooledTrace::spool(trace, path).expect("spool trace to disk"))
+            }
+            _ => None,
+        };
+        let encounters: Box<dyn Iterator<Item = Encounter> + '_> = match (&temp_spool, source) {
+            (Some(spooled), _) => Box::new(spooled.iter().expect("open temp encounter spool")),
+            (None, TraceSource::Spooled(trace)) => {
+                Box::new(trace.iter().expect("open encounter spool"))
+            }
+            (None, TraceSource::Memory(trace)) => Box::new(trace.iter().copied()),
+        };
+
+        let mut stream = OpStream {
+            injections: workload.events().iter().peekable(),
+            encounters: encounters.peekable(),
+            fault_rng: StdRng::seed_from_u64(config.fault_seed),
+            drop_rate: config.encounter_drop_rate,
+            crash_rate: config.crash_rate,
+            assignment: &assignment,
+            next_seq: 0,
+        };
+
+        let mut deferred: VecDeque<Op> = VecDeque::new();
+        let mut pending: BTreeMap<u64, ExecResult> = BTreeMap::new();
+        let mut next_commit: u64 = 0;
+        let mut state = CommitState::default();
+        let max_batch = workers * 32;
+        // Conflicts concentrate on hub nodes; past this many parked ops,
+        // scanning further mostly grows the park, so cut the batch here.
+        const MAX_DEFERRED: usize = 64;
+        let mut batch_no: u64 = 0;
+
+        let (result_tx, result_rx) = mpsc::channel::<ExecResult>();
+        std::thread::scope(|scope| {
+            let mut job_txs: Vec<mpsc::Sender<Job>> = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (tx, rx) = mpsc::channel::<Job>();
+                job_txs.push(tx);
+                let worker_config = config.clone();
+                let results = result_tx.clone();
+                scope.spawn(move || {
+                    for job in rx {
+                        if results.send(execute(job, &worker_config)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+
+            loop {
+                // Assemble one conflict-free batch: deferred ops first (in
+                // order), then fresh scans. A deferred/conflicting op
+                // blocks its nodes so everything behind it on those nodes
+                // queues up behind it — per-node order stays serial.
+                let mut batch: Vec<Op> = Vec::new();
+                let mut busy: HashSet<ReplicaId> = HashSet::new();
+                let mut blocked: HashSet<ReplicaId> = HashSet::new();
+                let mut parked: VecDeque<Op> = VecDeque::new();
+                let place = |op: Op,
+                             batch: &mut Vec<Op>,
+                             busy: &mut HashSet<ReplicaId>,
+                             blocked: &mut HashSet<ReplicaId>,
+                             parked: &mut VecDeque<Op>| {
+                    let (a, b) = op.node_ids();
+                    let clear = |set: &HashSet<ReplicaId>, id: ReplicaId| !set.contains(&id);
+                    let free = |id: ReplicaId| clear(busy, id) && clear(blocked, id);
+                    let placeable = free(a)
+                        && match b {
+                            Some(b) => free(b),
+                            None => true,
+                        };
+                    if placeable {
+                        busy.insert(a);
+                        if let Some(b) = b {
+                            busy.insert(b);
+                        }
+                        batch.push(op);
+                    } else {
+                        blocked.insert(a);
+                        if let Some(b) = b {
+                            blocked.insert(b);
+                        }
+                        parked.push_back(op);
+                    }
+                };
+                for op in deferred.drain(..) {
+                    place(op, &mut batch, &mut busy, &mut blocked, &mut parked);
+                }
+                while batch.len() < max_batch && parked.len() < MAX_DEFERRED {
+                    let Some(op) = stream.next_op() else { break };
+                    place(op, &mut batch, &mut busy, &mut blocked, &mut parked);
+                }
+                deferred = parked;
+                if batch.is_empty() {
+                    // The first deferred op is always placeable, so an
+                    // empty batch means the schedule is exhausted.
+                    debug_assert!(deferred.is_empty());
+                    break;
+                }
+                batch_no += 1;
+
+                // Dispatch: each op executes on the shard of its first
+                // node, carrying its (unspilled, owned) nodes along.
+                let dispatched = batch.len();
+                for op in batch {
+                    let (a, b) = op.node_ids();
+                    let shard = shard_of(a, workers);
+                    let mut op_nodes = Vec::with_capacity(2);
+                    for id in [Some(a), b].into_iter().flatten() {
+                        ensure_resident(
+                            id,
+                            &mut nodes,
+                            &mut spilled,
+                            spill.as_mut(),
+                            &buffers,
+                            &config,
+                            &obs,
+                        );
+                        last_used.insert(id, batch_no);
+                        let node = nodes.remove(&id).expect("resident node");
+                        op_nodes.push((id, node, buffers[&id].clone()));
+                    }
+                    job_txs[shard]
+                        .send(Job {
+                            op,
+                            nodes: op_nodes,
+                        })
+                        .expect("worker shard alive");
+                }
+
+                // Collect the whole batch back (completion order is
+                // nondeterministic; ownership returns here).
+                for _ in 0..dispatched {
+                    let mut result = result_rx.recv().expect("worker result");
+                    for (id, node) in result.nodes.drain(..) {
+                        nodes.insert(id, node);
+                    }
+                    pending.insert(result.op.seq, result);
+                }
+
+                // Commit strictly in global sequence order. Ops still
+                // deferred stall later commits until they execute.
+                while let Some(result) = pending.remove(&next_commit) {
+                    commit(result, &mut metrics, &obs, &config, &mut state, workers);
+                    next_commit += 1;
+                }
+
+                // Spill down to the residency cap, coldest (least recently
+                // used, then lowest id) first.
+                if let (Some(limit), Some(file)) = (config.resident_limit, spill.as_mut()) {
+                    while nodes.len() > limit {
+                        let victim = nodes
+                            .keys()
+                            .copied()
+                            .min_by_key(|id| (last_used.get(id).copied().unwrap_or(0), *id))
+                            .expect("resident set nonempty");
+                        let node = nodes.remove(&victim).expect("victim resident");
+                        let snapshot = node.snapshot();
+                        let slot = file.append(&snapshot).expect("append to spill file");
+                        spilled.insert(victim, slot);
+                        obs.emit(|| Event::ReplicaSpill {
+                            replica: victim.as_u64(),
+                            bytes: slot.len() as u64,
+                            resident: nodes.len() as u64,
+                            unspill: false,
+                        });
+                    }
+                }
+            }
+            drop(job_txs);
+        });
+        debug_assert!(pending.is_empty(), "all dispatched ops commit");
+
+        // Bring every spilled replica home for final accounting, then
+        // drop the scratch files.
+        let parked: Vec<ReplicaId> = spilled.keys().copied().collect();
+        for id in parked {
+            ensure_resident(
+                id,
+                &mut nodes,
+                &mut spilled,
+                spill.as_mut(),
+                &buffers,
+                &config,
+                &obs,
+            );
+        }
+        if let Some(file) = &spill {
+            let _ = std::fs::remove_file(file.path());
+        }
+        if let Some(spooled) = &temp_spool {
+            let _ = std::fs::remove_file(spooled.path());
+        }
+
+        // Final accounting, identical to the serial engine — except
+        // evictions, which come from committed events because spilling
+        // (like rebooting) discards `ReplicaStats`.
+        let mut copies: BTreeMap<ItemId, usize> = BTreeMap::new();
+        for node in nodes.values() {
+            for item in node.replica().iter_items() {
+                if !item.is_deleted() {
+                    *copies.entry(item.id()).or_insert(0) += 1;
+                }
+            }
+        }
+        let ids: Vec<ItemId> = metrics.records().map(|r| r.id).collect();
+        for id in ids {
+            let count = copies.get(&id).copied().unwrap_or(0);
+            metrics.record_final_copies(id, count);
+        }
+        metrics.evictions = state.total_evictions - state.lost_evictions;
+        metrics.set_daily_stats(rollup.snapshot());
+        (metrics, nodes)
+    }
+}

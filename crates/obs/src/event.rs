@@ -375,6 +375,33 @@ pub enum Event {
         /// Human-readable failure detail.
         detail: String,
     },
+    /// A sharded emulation routed an encounter whose endpoints live on
+    /// two different worker shards (a cross-shard handoff).
+    ShardHandoff {
+        /// First participant.
+        a: u64,
+        /// Second participant.
+        b: u64,
+        /// Shard owning `a` (the shard the op executed on).
+        from_shard: u64,
+        /// Shard owning `b`.
+        to_shard: u64,
+        /// Simulated time, seconds.
+        at_secs: u64,
+    },
+    /// A sharded emulation parked a cold replica's snapshot on disk — or
+    /// brought it back — to bound resident memory.
+    ReplicaSpill {
+        /// The replica spilled or restored.
+        replica: u64,
+        /// Snapshot size, bytes.
+        bytes: u64,
+        /// Replicas resident in memory after this transition.
+        resident: u64,
+        /// `true` when the replica was *restored* from disk, `false`
+        /// when it was parked.
+        unspill: bool,
+    },
 }
 
 impl Event {
@@ -405,6 +432,8 @@ impl Event {
             Event::CheckpointWritten { .. } => "checkpoint_written",
             Event::StoreRecovered { .. } => "store_recovered",
             Event::StoreFault { .. } => "store_fault",
+            Event::ShardHandoff { .. } => "shard_handoff",
+            Event::ReplicaSpill { .. } => "replica_spill",
         }
     }
 
@@ -701,6 +730,30 @@ impl Event {
                 push_str(&mut out, "op", op);
                 push_str(&mut out, "detail", detail);
             }
+            Event::ShardHandoff {
+                a,
+                b,
+                from_shard,
+                to_shard,
+                at_secs,
+            } => {
+                push_u64(&mut out, "a", *a);
+                push_u64(&mut out, "b", *b);
+                push_u64(&mut out, "from_shard", *from_shard);
+                push_u64(&mut out, "to_shard", *to_shard);
+                push_u64(&mut out, "at", *at_secs);
+            }
+            Event::ReplicaSpill {
+                replica,
+                bytes,
+                resident,
+                unspill,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "bytes", *bytes);
+                push_u64(&mut out, "resident", *resident);
+                push_bool(&mut out, "unspill", *unspill);
+            }
         }
         out.push('}');
         out
@@ -831,6 +884,8 @@ mod tests {
             "checkpoint_written",
             "store_recovered",
             "store_fault",
+            "shard_handoff",
+            "replica_spill",
         ];
         let set: std::collections::BTreeSet<_> = kinds.iter().collect();
         assert_eq!(set.len(), kinds.len());

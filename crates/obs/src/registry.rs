@@ -383,6 +383,21 @@ impl Observer for Registry {
             Event::StoreFault { op, .. } => {
                 self.add(&format!("store.faults.{op}"), 1);
             }
+            Event::ShardHandoff { .. } => self.add("shard.handoffs", 1),
+            Event::ReplicaSpill {
+                bytes,
+                resident,
+                unspill,
+                ..
+            } => {
+                if *unspill {
+                    self.add("shard.unspills", 1);
+                } else {
+                    self.add("shard.spills", 1);
+                    self.add("shard.spilled_bytes", *bytes);
+                }
+                self.observe("shard.resident", *resident);
+            }
         }
     }
 }
@@ -569,6 +584,36 @@ mod tests {
         assert_eq!(snap.counter("recon.bytes_saved"), 800);
         assert_eq!(snap.counter("recon.fallback_rounds"), 1);
         assert_eq!(snap.counter("recon.false_positives"), 3);
+    }
+
+    #[test]
+    fn shard_events_feed_shard_counters() {
+        let r = Registry::new();
+        r.on_event(&Event::ShardHandoff {
+            a: 1,
+            b: 2,
+            from_shard: 0,
+            to_shard: 1,
+            at_secs: 0,
+        });
+        r.on_event(&Event::ReplicaSpill {
+            replica: 3,
+            bytes: 256,
+            resident: 10,
+            unspill: false,
+        });
+        r.on_event(&Event::ReplicaSpill {
+            replica: 3,
+            bytes: 256,
+            resident: 11,
+            unspill: true,
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("shard.handoffs"), 1);
+        assert_eq!(snap.counter("shard.spills"), 1);
+        assert_eq!(snap.counter("shard.spilled_bytes"), 256);
+        assert_eq!(snap.counter("shard.unspills"), 1);
+        assert_eq!(snap.histogram("shard.resident").unwrap().count(), 2);
     }
 
     #[test]

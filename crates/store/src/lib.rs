@@ -52,6 +52,7 @@ pub mod checkpoint;
 pub mod crc;
 pub mod layout;
 pub mod record;
+pub mod spill;
 
 mod engine;
 
@@ -60,6 +61,7 @@ use std::path::PathBuf;
 
 pub use engine::{RecoveryReport, Store, StoreConfig};
 pub use record::Record;
+pub use spill::{SpillFile, SpillSlot};
 
 /// Errors from the storage engine. Corrupt *data* is not an error — it is
 /// handled by recovery (truncate, fall back a generation) — so every

@@ -1,0 +1,164 @@
+//! Append-only spill files: cheap cold-state parking for the emulator.
+//!
+//! The sharded emulation engine keeps only the hottest replicas resident;
+//! the rest are serialized ([`pfr` snapshots]) and parked on disk until
+//! their next encounter. That access pattern — write once, read back at
+//! most once per park, no durability requirement beyond the process —
+//! does not want the full WAL/checkpoint machinery of [`Store`]; it wants
+//! a flat file and an offset. [`SpillFile`] is exactly that: append a
+//! blob, get back a [`SpillSlot`] ticket, redeem the ticket for the bytes
+//! (CRC-checked, so a bug that hands a stale or torn slot back is caught
+//! at read time instead of corrupting a replica).
+//!
+//! Space from re-spilled replicas is never reclaimed — the file only
+//! grows — which is the right trade for an emulation run: reclaiming
+//! would need compaction machinery, and the file dies with the run.
+//!
+//! [`pfr` snapshots]: https://docs.rs/pfr
+//! [`Store`]: crate::Store
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+
+/// A redeemable ticket for one blob parked in a [`SpillFile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpillSlot {
+    /// Byte offset of the blob within the file.
+    offset: u64,
+    /// Blob length in bytes.
+    len: u32,
+    /// CRC-32 of the blob, verified on read.
+    crc: u32,
+}
+
+impl SpillSlot {
+    /// The parked blob's length in bytes.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the parked blob is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An append-only file of CRC-checked blobs addressed by [`SpillSlot`].
+#[derive(Debug)]
+pub struct SpillFile {
+    file: File,
+    path: PathBuf,
+    end: u64,
+}
+
+impl SpillFile {
+    /// Creates (truncating) a spill file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<SpillFile> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(SpillFile { file, path, end: 0 })
+    }
+
+    /// The spill file's location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total bytes appended so far (file size).
+    pub fn bytes_written(&self) -> u64 {
+        self.end
+    }
+
+    /// Appends one blob and returns its redeemable slot.
+    pub fn append(&mut self, bytes: &[u8]) -> io::Result<SpillSlot> {
+        let len = u32::try_from(bytes.len()).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "spill blob exceeds u32::MAX bytes",
+            )
+        })?;
+        let offset = self.end;
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(bytes)?;
+        self.end += u64::from(len);
+        Ok(SpillSlot {
+            offset,
+            len,
+            crc: crc32(bytes),
+        })
+    }
+
+    /// Reads back the blob behind `slot`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] when the stored bytes do not match
+    /// the slot's checksum (a stale ticket or torn write), plus any
+    /// underlying read error.
+    pub fn read(&mut self, slot: &SpillSlot) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; slot.len as usize];
+        self.file.seek(SeekFrom::Start(slot.offset))?;
+        self.file.read_exact(&mut buf)?;
+        if crc32(&buf) != slot.crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("spill slot at offset {} failed its checksum", slot.offset),
+            ));
+        }
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("replidtn-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn blobs_roundtrip_in_any_order() {
+        let mut f = SpillFile::create(tmp("roundtrip.spill")).expect("create");
+        let blobs: Vec<Vec<u8>> = (0u8..20).map(|i| vec![i; 10 + i as usize * 13]).collect();
+        let slots: Vec<SpillSlot> = blobs.iter().map(|b| f.append(b).expect("append")).collect();
+        assert_eq!(
+            f.bytes_written(),
+            blobs.iter().map(|b| b.len() as u64).sum::<u64>()
+        );
+        for (blob, slot) in blobs.iter().zip(&slots).rev() {
+            assert_eq!(&f.read(slot).expect("read"), blob);
+            assert_eq!(slot.len() as usize, blob.len());
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = tmp("corrupt.spill");
+        let mut f = SpillFile::create(&path).expect("create");
+        let slot = f.append(b"precious replica state").expect("append");
+        // Flip one byte behind the spill file's back.
+        f.file.seek(SeekFrom::Start(3)).expect("seek");
+        f.file.write_all(&[0xFF]).expect("scribble");
+        let err = f.read(&slot).expect_err("checksum must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_blob_is_fine() {
+        let mut f = SpillFile::create(tmp("empty.spill")).expect("create");
+        let slot = f.append(b"").expect("append");
+        assert!(slot.is_empty());
+        assert_eq!(f.read(&slot).expect("read"), Vec::<u8>::new());
+    }
+}

@@ -2,11 +2,16 @@
 //! deterministic order, renderable as JSONL for byte-level comparison.
 //!
 //! Two runs of the same `(seed, plan)` must produce byte-identical
-//! [`Trace::to_jsonl`] output. The stack emits two events that carry
+//! [`Trace::to_jsonl`] output. Large-fleet traces should not be compared
+//! by materializing that output: [`Trace::write_jsonl`] streams it line
+//! by line and [`Trace::jsonl_digest`] folds it into a constant-memory
+//! 64-bit digest. The stack emits two events that carry
 //! wall-clock readings: [`obs::Event::SpanEnded`] is excluded outright
 //! (nothing else in it is deterministic), while
 //! [`obs::Event::SyncCandidatesSelected`] has its `scan_us` field zeroed
 //! so its deterministic counters stay comparable.
+
+use std::io::{self, Write};
 
 use obs::Event;
 
@@ -68,21 +73,79 @@ impl Trace {
             .count()
     }
 
-    /// Renders the trace as JSON lines; each line is the event's stable
-    /// JSON rendering prefixed with the step index and emitting host.
-    /// Byte-equality of two renderings is the determinism check.
-    pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+    /// Streams the JSONL rendering into `out`, one line at a time, never
+    /// materializing more than a single line. This is the scale-safe form
+    /// of [`Trace::to_jsonl`]: a city-scale trace flows straight to a
+    /// file (or a hasher) without a trace-sized `String`.
+    pub fn write_jsonl(&self, out: &mut dyn Write) -> io::Result<()> {
         for entry in &self.entries {
             let event = entry.event.to_json();
-            out.push_str(&format!(
-                "{{\"step\":{},\"host\":{},{}\n",
+            writeln!(
+                out,
+                "{{\"step\":{},\"host\":{},{}",
                 entry.step,
                 entry.host,
                 &event[1..]
-            ));
+            )?;
         }
-        out
+        Ok(())
+    }
+
+    /// A 64-bit FNV-1a digest over the exact bytes [`Trace::write_jsonl`]
+    /// would emit. Two traces render byte-identically iff their digests
+    /// match (up to hash collision), so determinism checks on large-fleet
+    /// runs compare eight bytes instead of holding two full renderings.
+    pub fn jsonl_digest(&self) -> u64 {
+        let mut hasher = FnvWriter::default();
+        self.write_jsonl(&mut hasher)
+            .expect("hashing cannot fail I/O");
+        hasher.finish()
+    }
+
+    /// Renders the trace as JSON lines; each line is the event's stable
+    /// JSON rendering prefixed with the step index and emitting host.
+    /// Byte-equality of two renderings is the determinism check; for
+    /// traces too large to buffer, stream with [`Trace::write_jsonl`] or
+    /// compare [`Trace::jsonl_digest`] values instead.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = Vec::new();
+        self.write_jsonl(&mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("JSONL rendering is UTF-8")
+    }
+}
+
+/// An [`io::Write`] that folds every byte into a 64-bit FNV-1a state
+/// instead of storing it — constant memory regardless of trace size.
+struct FnvWriter {
+    state: u64,
+}
+
+impl Default for FnvWriter {
+    fn default() -> Self {
+        FnvWriter {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl FnvWriter {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Write for FnvWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        for &byte in buf {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
     }
 }
 
@@ -164,5 +227,48 @@ mod tests {
             text,
             "{\"step\":3,\"host\":7,\"event\":\"item_evicted\",\"replica\":7,\"origin\":1,\"seq\":9}\n"
         );
+    }
+
+    fn sample_trace(seq_base: u64) -> Trace {
+        let mut trace = Trace::new();
+        for i in 0..4 {
+            trace.record(
+                i as usize,
+                i % 2,
+                Event::ItemEvicted {
+                    replica: i % 2,
+                    origin: 1,
+                    seq: seq_base + i,
+                },
+            );
+        }
+        trace
+    }
+
+    #[test]
+    fn streamed_rendering_matches_buffered_rendering() {
+        let trace = sample_trace(10);
+        let mut streamed = Vec::new();
+        trace.write_jsonl(&mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), trace.to_jsonl());
+    }
+
+    #[test]
+    fn digest_discriminates_exactly_like_byte_equality() {
+        let a = sample_trace(10);
+        let b = sample_trace(10);
+        let c = sample_trace(11);
+        assert_eq!(a.jsonl_digest(), b.jsonl_digest());
+        assert_ne!(a.jsonl_digest(), c.jsonl_digest());
+        // The digest is a hash of the rendered bytes, so it must agree
+        // with the buffered rendering byte for byte.
+        let mut hasher = FnvWriter::default();
+        hasher.write_all(a.to_jsonl().as_bytes()).unwrap();
+        assert_eq!(a.jsonl_digest(), hasher.finish());
+    }
+
+    #[test]
+    fn empty_trace_digest_is_the_fnv_offset_basis() {
+        assert_eq!(Trace::new().jsonl_digest(), 0xcbf2_9ce4_8422_2325);
     }
 }

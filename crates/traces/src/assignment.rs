@@ -27,10 +27,40 @@ impl UserAssignment {
     /// get no assignments (users are unreachable that day, as in the real
     /// trace when a bus is off duty).
     pub fn uniform(trace: &EncounterTrace, users: &[String], seed: u64) -> Self {
+        Self::uniform_over_schedule(
+            trace.days(),
+            |day| trace.nodes_on_day(day).into_iter().collect(),
+            users,
+            seed,
+        )
+    }
+
+    /// [`uniform`](UserAssignment::uniform) for a spooled trace: same
+    /// draw sequence, fed from the spool's resident per-day schedules, so
+    /// an in-memory trace and its spooled twin produce *identical*
+    /// assignments for the same seed.
+    pub fn uniform_spooled(trace: &crate::SpooledTrace, users: &[String], seed: u64) -> Self {
+        Self::uniform_over_schedule(
+            trace.days(),
+            |day| trace.nodes_on_day(day).into_iter().collect(),
+            users,
+            seed,
+        )
+    }
+
+    /// Shared draw loop: one `StdRng`, days in order, buses in sorted
+    /// (`BTreeSet`) order — any divergence here would silently desync the
+    /// in-memory and spooled experiment paths.
+    fn uniform_over_schedule(
+        days: u64,
+        buses_on_day: impl Fn(u64) -> Vec<ReplicaId>,
+        users: &[String],
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut by_day = BTreeMap::new();
-        for day in 0..trace.days() {
-            let buses: Vec<ReplicaId> = trace.nodes_on_day(day).into_iter().collect();
+        for day in 0..days {
+            let buses = buses_on_day(day);
             if buses.is_empty() {
                 continue;
             }
@@ -137,6 +167,16 @@ mod tests {
         let c = UserAssignment::uniform(&trace, &users, 2);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spooled_assignment_matches_in_memory() {
+        let (trace, users, assignment) = setup();
+        let dir = std::env::temp_dir().join(format!("replidtn-assign-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let spooled = crate::SpooledTrace::spool(&trace, dir.join("assign.spool")).expect("spool");
+        let via_spool = UserAssignment::uniform_spooled(&spooled, &users, 7);
+        assert_eq!(assignment, via_spool, "identical draws either way");
     }
 
     #[test]

@@ -106,13 +106,29 @@ impl DieselNetConfig {
         }
     }
 
-    /// Generates the synthetic trace.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is degenerate (no buses, no routes, or
-    /// an empty daily window).
-    pub fn generate(&self) -> EncounterTrace {
+    /// A city-scale configuration: the paper's 34-bus topology multiplied
+    /// by `scale` along every axis (fleet, daily schedule, routes, towns,
+    /// contact volume). Route size, cluster structure, and per-bus contact
+    /// rates stay at the paper's values, so the trace is "more city", not
+    /// "denser city". At `scale = 50` that is a 1 700-vehicle fleet with
+    /// ~47 000 encounters/day — generate it with
+    /// [`generate_spooled`](DieselNetConfig::generate_spooled); the
+    /// in-memory [`generate`](DieselNetConfig::generate) builds an
+    /// all-pairs weight table each day and does not scale past a few
+    /// hundred vehicles.
+    pub fn city(scale: usize) -> Self {
+        let scale = scale.max(1);
+        DieselNetConfig {
+            fleet_size: 34 * scale,
+            buses_per_day: 23 * scale,
+            routes: 9 * scale,
+            clusters: 3 * scale,
+            encounters_per_day: 941 * scale,
+            ..DieselNetConfig::default()
+        }
+    }
+
+    fn validate(&self) {
         assert!(self.fleet_size >= 2, "need at least two buses");
         assert!(self.routes >= 1, "need at least one route");
         assert!(
@@ -123,6 +139,16 @@ impl DieselNetConfig {
             self.day_end_hour > self.day_start_hour,
             "daily window must be non-empty"
         );
+    }
+
+    /// Generates the synthetic trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no buses, no routes, or
+    /// an empty daily window).
+    pub fn generate(&self) -> EncounterTrace {
+        self.validate();
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Contact durations come from an independent stream so that adding
         // or re-tuning them never perturbs the encounter schedule itself.
@@ -233,6 +259,215 @@ impl DieselNetConfig {
         }
         EncounterTrace::from_encounters(encounters)
     }
+
+    /// Generates the trace straight to an on-disk spool, one day at a
+    /// time, without ever materializing the whole schedule — the
+    /// city-scale path ([`DieselNetConfig::city`]).
+    ///
+    /// [`generate`](DieselNetConfig::generate) samples each encounter
+    /// from an explicit all-pairs weight table, which is O(buses²) memory
+    /// and time per day — fine for 34 buses, hopeless for 3 400. This
+    /// generator draws from the identical weight *structure*
+    /// (same-route ≫ same-cluster ≫ hub-bridge) by sampling the category
+    /// first and then a uniform pair within it, so per-day cost is
+    /// O(buses + encounters·log routes) and peak memory is one day's
+    /// encounter buffer. The two generators produce different (but
+    /// equally-distributed) schedules for the same seed; the spooled one
+    /// is its own deterministic family.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing the spool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration, like
+    /// [`generate`](DieselNetConfig::generate).
+    pub fn generate_spooled(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<crate::SpooledTrace> {
+        self.validate();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dur_rng = StdRng::seed_from_u64(self.seed ^ 0xd0a7_0a7d);
+        let home_route = |bus: usize| bus % self.routes;
+
+        let pi_on = (self.buses_per_day as f64 / self.fleet_size as f64).clamp(0.05, 0.95);
+        let p_on_on = self.duty_persistence.clamp(0.0, 0.999);
+        let p_off_off = (1.0 - (1.0 - p_on_on) * pi_on / (1.0 - pi_on)).clamp(0.0, 0.999);
+        let mut on_duty: Vec<bool> = (0..self.fleet_size)
+            .map(|_| rng.gen::<f64>() < pi_on)
+            .collect();
+
+        let routes_per_cluster = (self.routes / self.clusters).max(1);
+        let cluster_of = |route: usize| (route / routes_per_cluster).min(self.clusters - 1);
+        let is_hub = |route: usize| route.is_multiple_of(routes_per_cluster);
+        let pairs2 = |n: usize| (n * n.saturating_sub(1) / 2) as f64;
+
+        let mut spool = crate::TraceSpool::create(path)?;
+        for day in 0..self.days {
+            if day > 0 {
+                for state in &mut on_duty {
+                    let stay = if *state { p_on_on } else { p_off_off };
+                    if rng.gen::<f64>() >= stay {
+                        *state = !*state;
+                    }
+                }
+            }
+            let mut today: Vec<usize> = (0..self.fleet_size).filter(|&b| on_duty[b]).collect();
+            while today.len() < 2 {
+                let extra = rng.gen_range(0..self.fleet_size);
+                if !today.contains(&extra) {
+                    today.push(extra);
+                    on_duty[extra] = true;
+                }
+            }
+
+            // Today's route assignment, then bucket the active buses by
+            // route / cluster / hub so pairs are sampled by category
+            // instead of enumerated.
+            let mut route_members: Vec<Vec<usize>> = vec![Vec::new(); self.routes];
+            let mut cluster_members: Vec<Vec<usize>> = vec![Vec::new(); self.clusters];
+            let mut hub_members: Vec<Vec<usize>> = vec![Vec::new(); self.clusters];
+            for &bus in &today {
+                let route = if rng.gen::<f64>() < self.route_switch_prob {
+                    rng.gen_range(0..self.routes)
+                } else {
+                    home_route(bus)
+                };
+                route_members[route].push(bus);
+                cluster_members[cluster_of(route)].push(bus);
+                if is_hub(route) {
+                    hub_members[cluster_of(route)].push(bus);
+                }
+            }
+            // Per-route bus→route lookup for the same-cluster rejection
+            // draw (two buses of one cluster must serve different routes).
+            let mut route_of = vec![usize::MAX; self.fleet_size];
+            for (r, members) in route_members.iter().enumerate() {
+                for &bus in members {
+                    route_of[bus] = r;
+                }
+            }
+
+            // Category weights and in-category cumulative tables.
+            let mut route_cum = Vec::with_capacity(self.routes);
+            let mut w_route = 0.0;
+            for members in &route_members {
+                w_route += pairs2(members.len());
+                route_cum.push(w_route);
+            }
+            let mut cluster_cum = Vec::with_capacity(self.clusters);
+            let mut cluster_cross = Vec::with_capacity(self.clusters);
+            let mut w_cluster = 0.0;
+            for (c, members) in cluster_members.iter().enumerate() {
+                let same_route: f64 = route_members
+                    .iter()
+                    .enumerate()
+                    .filter(|(r, _)| cluster_of(*r) == c)
+                    .map(|(_, m)| pairs2(m.len()))
+                    .sum();
+                let cross = (pairs2(members.len()) - same_route).max(0.0);
+                cluster_cross.push(cross);
+                w_cluster += cross;
+                cluster_cum.push(w_cluster);
+            }
+            let hub_total: f64 = hub_members.iter().map(|m| m.len() as f64).sum();
+            let hub_sq: f64 = hub_members.iter().map(|m| (m.len() as f64).powi(2)).sum();
+            let mut hub_cum = Vec::with_capacity(self.clusters);
+            let mut acc = 0.0;
+            for members in &hub_members {
+                acc += members.len() as f64;
+                hub_cum.push(acc);
+            }
+            let w_bridge = (hub_total * hub_total - hub_sq) / 2.0;
+
+            let total = self.weight_same_route * w_route
+                + self.weight_same_cluster * w_cluster
+                + self.weight_bridge * w_bridge;
+            if total <= 0.0 {
+                continue; // degenerate day: no pair can meet
+            }
+
+            // Uniform unordered pair from a bucket of distinct members.
+            let pick_pair = |rng: &mut StdRng, members: &[usize]| -> (usize, usize) {
+                let i = rng.gen_range(0..members.len());
+                let mut j = rng.gen_range(0..members.len() - 1);
+                if j >= i {
+                    j += 1;
+                }
+                (members[i], members[j])
+            };
+            // Cumulative-table draw. Float rounding at the top of the
+            // range can overshoot onto a trailing zero-weight bucket, so
+            // walk left until `valid` (some valid bucket always exists —
+            // the category's total weight was positive).
+            let pick_bucket = |cum: &[f64], t: f64, valid: &dyn Fn(usize) -> bool| -> usize {
+                let mut i = cum.partition_point(|&c| c <= t).min(cum.len() - 1);
+                while !valid(i) {
+                    i -= 1;
+                }
+                i
+            };
+
+            let window_secs = (self.day_end_hour - self.day_start_hour) * 3_600;
+            let mut encounters = Vec::with_capacity(self.encounters_per_day);
+            for _ in 0..self.encounters_per_day {
+                let pick = rng.gen::<f64>() * total;
+                let same_cluster_cutoff =
+                    self.weight_same_route * w_route + self.weight_same_cluster * w_cluster;
+                let (x, y) = if pick < self.weight_same_route * w_route {
+                    // Same route: route r with probability ∝ C(n_r, 2).
+                    let t = pick / self.weight_same_route;
+                    let r = pick_bucket(&route_cum, t, &|r| route_members[r].len() >= 2);
+                    pick_pair(&mut rng, &route_members[r])
+                } else if pick < same_cluster_cutoff {
+                    // Same cluster, different routes: cluster ∝ its
+                    // cross-route pair count, then rejection-sample a
+                    // distinct pair until the routes differ (acceptance
+                    // is the exact conditional, so the pair is uniform
+                    // over cross-route pairs of the cluster).
+                    let t = (pick - self.weight_same_route * w_route) / self.weight_same_cluster;
+                    let c = pick_bucket(&cluster_cum, t, &|c| cluster_cross[c] > 0.0);
+                    loop {
+                        let (x, y) = pick_pair(&mut rng, &cluster_members[c]);
+                        if route_of[x] != route_of[y] {
+                            break (x, y);
+                        }
+                    }
+                } else {
+                    // Bridge: hub buses of two different clusters, pair
+                    // probability ∝ h_i · h_j.
+                    let t = rng.gen::<f64>() * hub_total;
+                    let ci = pick_bucket(&hub_cum, t, &|c| !hub_members[c].is_empty());
+                    let cj = loop {
+                        let t = rng.gen::<f64>() * hub_total;
+                        let cj = pick_bucket(&hub_cum, t, &|c| !hub_members[c].is_empty());
+                        if cj != ci {
+                            break cj;
+                        }
+                    };
+                    (
+                        hub_members[ci][rng.gen_range(0..hub_members[ci].len())],
+                        hub_members[cj][rng.gen_range(0..hub_members[cj].len())],
+                    )
+                };
+                let offset = rng.gen_range(0..window_secs);
+                let time = SimTime::from_hms(day, self.day_start_hour, 0, 0)
+                    + pfr::SimDuration::from_secs(offset);
+                let duration_secs =
+                    20 + dur_rng.gen_range(0..5u64) * dur_rng.gen_range(0..30) as u64;
+                encounters.push(Encounter::with_duration(
+                    time,
+                    bus_id(x),
+                    bus_id(y),
+                    pfr::SimDuration::from_secs(duration_secs),
+                ));
+            }
+            spool.push_day(encounters)?;
+        }
+        spool.finish()
+    }
 }
 
 /// The [`ReplicaId`] used for bus number `index` (0-based).
@@ -336,6 +571,89 @@ mod tests {
         let id = bus_id(4);
         assert_eq!(id.as_u64(), 5);
         assert_eq!(bus_address(id), "bus-5");
+    }
+
+    #[test]
+    fn city_scales_every_axis() {
+        let city = DieselNetConfig::city(50);
+        assert_eq!(city.fleet_size, 1_700);
+        assert_eq!(city.buses_per_day, 23 * 50);
+        assert_eq!(city.routes, 9 * 50);
+        assert_eq!(city.clusters, 3 * 50);
+        assert_eq!(city.encounters_per_day, 941 * 50);
+        assert_eq!(city.days, 17, "non-scaled axes keep the paper's values");
+        assert_eq!(DieselNetConfig::city(0), DieselNetConfig::city(1));
+    }
+
+    #[test]
+    fn spooled_generator_matches_trace_invariants() {
+        let dir = std::env::temp_dir().join(format!("replidtn-dieselnet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("small.spool");
+        let cfg = DieselNetConfig::small();
+        let spooled = cfg.generate_spooled(&path).expect("generate");
+        assert_eq!(spooled.days(), cfg.days);
+        assert_eq!(
+            spooled.len(),
+            (cfg.days as usize * cfg.encounters_per_day) as u64
+        );
+        let mut last = None;
+        for e in spooled.iter().expect("open") {
+            let s = e.time.seconds_into_day();
+            assert!(
+                (8 * 3600..23 * 3600).contains(&s),
+                "encounter at {} outside 08:00-23:00",
+                e.time
+            );
+            assert_ne!(e.a, e.b, "no self-encounters");
+            let key = (e.time, e.a, e.b);
+            assert!(last <= Some(key), "stream stays time-ordered");
+            last = Some(key);
+        }
+        // Deterministic: a second run writes a byte-identical spool.
+        let again = dir.join("small-again.spool");
+        cfg.generate_spooled(&again).expect("regenerate");
+        assert_eq!(
+            std::fs::read(&path).expect("read"),
+            std::fs::read(&again).expect("read again"),
+        );
+    }
+
+    #[test]
+    fn spooled_generator_keeps_route_skew() {
+        // Category sampling must preserve the same-route dominance that
+        // the "selected" filter strategy exploits.
+        let dir = std::env::temp_dir().join(format!("replidtn-dieselnet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let spooled = DieselNetConfig::default()
+            .generate_spooled(dir.join("default.spool"))
+            .expect("generate");
+        let mut counts: std::collections::BTreeMap<(ReplicaId, ReplicaId), usize> =
+            std::collections::BTreeMap::new();
+        let node = bus_id(0);
+        for e in spooled.iter().expect("open") {
+            *counts.entry((e.a, e.b)).or_default() += 1;
+        }
+        let count_with = |other: ReplicaId| -> usize {
+            let key = if node <= other {
+                (node, other)
+            } else {
+                (other, node)
+            };
+            counts.get(&key).copied().unwrap_or(0)
+        };
+        let all: Vec<usize> = spooled
+            .nodes()
+            .iter()
+            .filter(|&&n| n != node)
+            .map(|&n| count_with(n))
+            .collect();
+        let best = *all.iter().max().unwrap();
+        let mean = all.iter().sum::<usize>() as f64 / all.len() as f64;
+        assert!(
+            best as f64 > 2.0 * mean,
+            "top partner ({best}) should beat mean ({mean}) by >2x"
+        );
     }
 
     #[test]

@@ -121,6 +121,21 @@ impl EmailConfig {
         }
     }
 
+    /// A city-scale workload matching [`DieselNetConfig::city`]
+    /// (`crate::DieselNetConfig::city`): `scale`× the users and messages,
+    /// with the injection interval tightened so the same two-hour morning
+    /// window still fits the whole day's mail — at large scales that is
+    /// millions of messages per experiment from a one-second cadence.
+    pub fn city(scale: usize) -> Self {
+        let scale = scale.max(1);
+        EmailConfig {
+            users: 46 * scale,
+            total_messages: 490 * scale,
+            interval: SimDuration::from_secs((120 / scale as u64).max(1)),
+            ..EmailConfig::default()
+        }
+    }
+
     /// Generates the workload.
     ///
     /// Messages are spread over `injection_days` days (the per-day

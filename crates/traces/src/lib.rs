@@ -17,7 +17,12 @@
 //!   persistent contacts, the paper's exact injection schedule: two-minute
 //!   intervals in a two-hour morning window, 490 messages over 8 days);
 //! * [`UserAssignment`] — the daily uniform distribution of users onto the
-//!   scheduled buses (§VI-A).
+//!   scheduled buses (§VI-A);
+//! * [`SpooledTrace`]/[`TraceSpool`] — on-disk encounter spools for
+//!   city-scale runs ([`DieselNetConfig::city`],
+//!   [`DieselNetConfig::generate_spooled`], [`EmailConfig::city`]):
+//!   metadata stays resident, encounters stream from a fixed-width binary
+//!   file in time order.
 //!
 //! ```
 //! use traces::{DieselNetConfig, EmailConfig, UserAssignment};
@@ -37,6 +42,7 @@ mod crawdad;
 mod dieselnet;
 mod email;
 mod mobility;
+mod spool;
 mod zipf;
 
 pub use assignment::UserAssignment;
@@ -46,4 +52,5 @@ pub use email::{
     format_workload, parse_workload, user_name, EmailConfig, EmailWorkload, MessageEvent,
 };
 pub use mobility::{Encounter, EncounterTrace};
+pub use spool::{SpooledIter, SpooledTrace, TraceSpool};
 pub use zipf::Zipf;

@@ -1,16 +1,25 @@
 //! `replidtn` — command-line front end for the DTN-over-replication stack.
 //!
 //! ```text
-//! replidtn gen-trace [--days N] [--fleet N] [--buses-per-day N] [--seed S] [--out FILE]
+//! replidtn gen-trace [--days N] [--fleet N] [--buses-per-day N] [--seed S]
+//!                    [--scale N] [--out FILE | --spool FILE]
 //! replidtn gen-mail  [--messages N] [--users N] [--days N] [--seed S] [--out FILE]
 //! replidtn run --policy <cimbiosys|epidemic|spray|prophet|maxprop>
-//!              [--trace FILE] [--mail FILE]
+//!              [--trace FILE | --spool FILE] [--mail FILE]
 //!              [--bandwidth N] [--storage N]
 //!              [--strategy <random|selected>] [--k N]
+//!              [--shards N] [--stream-encounters]
+//!              [--spill-dir DIR] [--resident-limit N]
 //!              [--data-dir DIR] [--events FILE] [--stats]
 //! replidtn peer --id N --address ADDR --policy P --listen HOST:PORT
 //!               [--connect HOST:PORT] [--send DEST:TEXT] [--data-dir DIR]
 //! ```
+//!
+//! City-scale runs combine `gen-trace --scale N --spool FILE` (streamed
+//! binary trace, never resident) with `run --spool FILE --shards W
+//! [--resident-limit R --spill-dir DIR]`: the sharded engine fans
+//! encounters across W workers and spills cold replicas, producing the
+//! exact metrics of a serial in-memory run.
 //!
 //! `--data-dir DIR` makes state durable: `peer` opens its node from the
 //! directory (restoring items, knowledge, and routing state after a
@@ -35,6 +44,7 @@ use replidtn::obs::{Fanout, JsonlSink, Obs, Observer, Registry};
 use replidtn::pfr::{ReplicaId, SimDuration, SimTime};
 use replidtn::traces::{
     format_trace, format_workload, parse_trace, parse_workload, DieselNetConfig, EmailConfig,
+    SpooledTrace,
 };
 use replidtn::transport::Peer;
 
@@ -65,20 +75,32 @@ const USAGE: &str = "\
 replidtn — delay-tolerant messaging over peer-to-peer filtered replication
 
 USAGE:
-  replidtn gen-trace [--days N] [--fleet N] [--buses-per-day N] [--seed S] [--out FILE]
-      Generate a DieselNet-like encounter trace (text format on stdout or FILE).
+  replidtn gen-trace [--days N] [--fleet N] [--buses-per-day N] [--seed S]
+                     [--scale N] [--out FILE | --spool FILE]
+      Generate a DieselNet-like encounter trace (text format on stdout or
+      FILE). --scale N starts from the city preset (N x the paper's 34-bus
+      fleet); --spool FILE streams the trace to a binary spool instead,
+      never holding it in memory — the input for `run --spool`.
 
   replidtn gen-mail [--messages N] [--users N] [--days N] [--seed S] [--out FILE]
       Generate an Enron-like mail workload.
 
   replidtn run --policy <cimbiosys|epidemic|spray|prophet|maxprop>
-               [--trace FILE] [--mail FILE] [--bandwidth N] [--storage N]
+               [--trace FILE | --spool FILE] [--mail FILE]
+               [--bandwidth N] [--storage N]
                [--strategy <random|selected>] [--k N] [--seed S]
+               [--shards N] [--stream-encounters]
+               [--spill-dir DIR] [--resident-limit N]
                [--data-dir DIR] [--events FILE] [--stats]
       Replay a workload over a trace and print delivery statistics.
       Without --trace/--mail, the paper-scale synthetic scenario is used.
       With --data-dir, each node's final state is persisted under
       DIR/node-<id> when the run completes.
+
+      Scale knobs (all preserve serial metrics exactly): --shards N runs
+      the sharded engine with N workers; --stream-encounters iterates the
+      schedule from disk; --resident-limit N caps resident replicas,
+      spilling cold state under --spill-dir (or the system temp dir).
 
   replidtn peer --id N --address ADDR [--policy P] --listen HOST:PORT
                 [--connect HOST:PORT]... [--send DEST:TEXT]... [--serve-for SECS]
@@ -179,21 +201,48 @@ fn emit(out: Option<&str>, text: &str) -> Result<(), String> {
 
 fn gen_trace(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    // --scale N starts from the city-scale preset (the paper's 34-bus
+    // topology multiplied N-fold); explicit flags still override it.
+    let scale: usize = flags.num("scale", 0)?;
+    let base = if scale > 0 {
+        DieselNetConfig::city(scale)
+    } else {
+        DieselNetConfig::default()
+    };
     let config = DieselNetConfig {
         days: flags.num("days", 17u64)?,
-        fleet_size: flags.num("fleet", 34usize)?,
-        buses_per_day: flags.num("buses-per-day", 23usize)?,
-        seed: flags.num("seed", DieselNetConfig::default().seed)?,
-        ..DieselNetConfig::default()
+        fleet_size: flags.num("fleet", base.fleet_size)?,
+        buses_per_day: flags.num("buses-per-day", base.buses_per_day)?,
+        seed: flags.num("seed", base.seed)?,
+        ..base
     };
-    let trace = config.generate();
-    eprintln!(
-        "generated {} encounters over {} days ({:.1} buses/day)",
-        trace.len(),
-        trace.days(),
-        trace.mean_nodes_per_day()
-    );
-    emit(flags.get("out"), &format_trace(&trace))
+    match flags.get("spool") {
+        Some("") => Err("--spool needs a file path".to_string()),
+        Some(path) => {
+            // Stream straight to the binary spool: city-scale fleets never
+            // materialize in memory.
+            let spooled = config
+                .generate_spooled(path)
+                .map_err(|e| format!("spooling to {path:?}: {e}"))?;
+            eprintln!(
+                "spooled {} encounters over {} days ({} vehicles) to {path}",
+                spooled.len(),
+                spooled.days(),
+                spooled.nodes().len()
+            );
+            Ok(())
+        }
+        None => {
+            let trace = config.generate();
+            eprintln!(
+                "generated {} encounters over {} days ({:.1} buses/day)",
+                trace.len(),
+                trace.days(),
+                trace.mean_nodes_per_day()
+            );
+            emit(flags.get("out"), &format_trace(&trace))
+        }
+    }
 }
 
 fn gen_mail(args: &[String]) -> Result<(), String> {
@@ -222,13 +271,22 @@ fn run(args: &[String]) -> Result<(), String> {
         .ok_or("run requires --policy")?
         .parse()?;
 
-    let trace = match flags.get("trace") {
+    let spooled = match flags.get("spool") {
+        None => None,
+        Some("") => return Err("--spool needs a file path".to_string()),
         Some(path) => {
+            Some(SpooledTrace::open(path).map_err(|e| format!("opening spool {path:?}: {e}"))?)
+        }
+    };
+    let trace = match (&spooled, flags.get("trace")) {
+        (Some(_), Some(_)) => return Err("--trace and --spool are mutually exclusive".to_string()),
+        (Some(_), None) => None,
+        (None, Some(path)) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
-            parse_trace(&text).map_err(|e| e.to_string())?
+            Some(parse_trace(&text).map_err(|e| e.to_string())?)
         }
-        None => DieselNetConfig::default().generate(),
+        (None, None) => Some(DieselNetConfig::default().generate()),
     };
     let workload = match flags.get("mail") {
         Some(path) => {
@@ -257,6 +315,34 @@ fn run(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("--strategy: unknown {other:?}")),
     };
 
+    // Scale knobs: worker shards, streamed encounter iteration, and a
+    // spill directory / residency cap for cold replica state. Any of them
+    // routes the run through the sharded engine (bit-equal to serial).
+    let shards = match flags.get("shards") {
+        None => None,
+        Some("") => return Err("--shards needs a worker count".to_string()),
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--shards: cannot parse {v:?}"))?,
+        ),
+    };
+    let resident_limit = match flags.get("resident-limit") {
+        None => None,
+        Some("") => return Err("--resident-limit needs a node count".to_string()),
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--resident-limit: cannot parse {v:?}"))?,
+        ),
+    };
+    let spill_dir = match flags.get("spill-dir") {
+        None => None,
+        Some("") => return Err("--spill-dir needs a directory".to_string()),
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+            Some(std::path::PathBuf::from(dir))
+        }
+    };
+
     let obs = ObsSetup::from_flags(&flags)?;
     let config = EmulationConfig {
         policy: policy.into(),
@@ -265,20 +351,32 @@ fn run(args: &[String]) -> Result<(), String> {
         filter_strategy,
         assignment_seed: flags.num("seed", EmulationConfig::default().assignment_seed)?,
         observer: obs.observer.clone(),
+        shards,
+        stream_encounters: flags.has("stream-encounters"),
+        spill_dir,
+        resident_limit,
         ..EmulationConfig::default()
     };
 
+    let (encounters, days) = match (&spooled, &trace) {
+        (Some(s), _) => (s.len(), s.days()),
+        (None, Some(t)) => (t.len() as u64, t.days()),
+        (None, None) => unreachable!("either --spool or a trace is set"),
+    };
     eprintln!(
-        "running {policy} over {} encounters / {} messages ...",
-        trace.len(),
+        "running {policy} over {encounters} encounters / {} messages ...",
         workload.len()
     );
-    let emulation = Emulation::new(&trace, &workload, config);
+    let emulation = match (&spooled, &trace) {
+        (Some(s), _) => Emulation::from_spooled(s, &workload, config),
+        (None, Some(t)) => Emulation::new(t, &workload, config),
+        (None, None) => unreachable!("either --spool or a trace is set"),
+    };
     let metrics = match flags.get("data-dir") {
         None => emulation.run(),
         Some(dir) => {
             let (metrics, nodes) = emulation.run_into_parts();
-            let end = SimTime::from_secs(86_400 * trace.days());
+            let end = SimTime::from_secs(86_400 * days);
             let count = nodes.len();
             for (id, mut node) in nodes {
                 let node_dir = std::path::Path::new(dir).join(format!("node-{}", id.as_u64()));
