@@ -1,0 +1,275 @@
+//! Load generator for the async reactor (`crates/net`): one server
+//! [`NetNode`] absorbs a burst of detached sync sessions from a client
+//! node over real loopback TCP, and the bench reports structural
+//! concurrency (peak sessions open at once on the server), session
+//! throughput, and per-session latency quantiles from the server's
+//! `net.session_micros` histogram. A second section measures gossip
+//! membership convergence: a seed-chained cluster must heal to a full
+//! alive view within a bounded number of rounds.
+//!
+//! The client runs with a zero-lifetime connection pool so every dial is
+//! a distinct TCP connection: the server parks each inbound responder
+//! until the far end closes, so its peak session count measures true
+//! concurrent sessions, not a registration/completion race.
+//!
+//! Results land in `BENCH_net.json`; the perf guard gates structurally
+//! (nonzero throughput, p99 >= p50 > 0, zero failures, bounded gossip
+//! convergence) and requires >= 1,000 peak concurrent sessions whenever
+//! the artifact claims a >= 1,000-session run — the committed artifact
+//! does; CI's smoke run shrinks the burst via `REPLIDTN_NET_SESSIONS`.
+//!
+//! `REPLIDTN_NET_SESSIONS` overrides the burst size (default 1200);
+//! `REPLIDTN_NET_GOSSIP_NODES` the gossip cluster size (default 12).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dtn::{DtnNode, PolicyKind};
+use net::{MembershipConfig, NetConfig, NetNode, PeerStatus};
+use obs::{Obs, Registry};
+use pfr::{ReplicaId, SimTime};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// The session burst: `sessions` detached syncs against one server, all
+/// registered before any is awaited. Returns the metrics JSON fragment
+/// values the caller stitches together.
+struct BurstResult {
+    sessions: usize,
+    messages: usize,
+    delivered_to_server: usize,
+    delivered_to_client: usize,
+    peak: usize,
+    completed: u64,
+    failed: u64,
+    backpressure_stalls: u64,
+    elapsed_s: f64,
+    sessions_per_sec: f64,
+    p50_micros: u64,
+    p99_micros: u64,
+    max_micros: u64,
+}
+
+fn session_burst(sessions: usize) -> BurstResult {
+    let messages = sessions.min(256);
+    let registry = Arc::new(Registry::new());
+
+    let mut server_node = DtnNode::new(ReplicaId::new(2), "server", PolicyKind::Epidemic);
+    server_node
+        .replica_mut()
+        .set_observer(Obs::new(registry.clone()));
+    let mut client_node = DtnNode::new(ReplicaId::new(1), "client", PolicyKind::Epidemic);
+    // Traffic both ways: sessions pull payloads, not just knowledge.
+    for i in 0..messages {
+        let payload = vec![0x5A; 256];
+        client_node
+            .send("server", payload.clone(), SimTime::from_secs(i as u64))
+            .expect("inject");
+        server_node
+            .send("client", payload, SimTime::from_secs(i as u64))
+            .expect("inject");
+    }
+
+    let server = NetNode::start(
+        server_node,
+        "127.0.0.1:0",
+        NetConfig {
+            max_sessions: sessions + 64,
+            gossip_interval: Duration::ZERO,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind server");
+    let client = NetNode::start(
+        client_node,
+        "127.0.0.1:0",
+        NetConfig {
+            max_sessions: sessions + 64,
+            gossip_interval: Duration::ZERO,
+            // A zero-lifetime pool: every dial is a fresh connection, so
+            // the server's peak measures true concurrent sessions.
+            idle_timeout: Duration::ZERO,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind client");
+    let addr = server.local_addr().to_string();
+
+    let started = Instant::now();
+    let tickets: Vec<_> = (0..sessions)
+        .map(|i| {
+            client
+                .sync_detached(&addr, SimTime::from_secs(3600 + i as u64))
+                .expect("register session")
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let result = ticket.wait();
+        assert!(result.is_ok(), "session {i} failed: {:?}", result.error);
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let server_stats = server.stats();
+    let client_stats = client.stats();
+    assert_eq!(client_stats.failed, 0, "client sessions failed");
+    assert_eq!(client_stats.completed, sessions as u64, "sessions lost");
+    assert!(
+        server_stats.peak_sessions * 2 >= sessions,
+        "server peak {} never reached half the burst of {sessions}",
+        server_stats.peak_sessions
+    );
+
+    let server_node = server.stop();
+    let client_node = client.stop();
+    assert_eq!(
+        server_node.inbox().len(),
+        messages,
+        "at-most-once delivery broke under the burst"
+    );
+    assert_eq!(
+        client_node.inbox().len(),
+        messages,
+        "pull path lost messages"
+    );
+
+    let snapshot = registry.snapshot();
+    let hist = snapshot
+        .histogram("net.session_micros")
+        .expect("server sessions observed");
+    assert!(hist.count() >= sessions as u64, "histogram missed sessions");
+
+    BurstResult {
+        sessions,
+        messages,
+        delivered_to_server: messages,
+        delivered_to_client: messages,
+        peak: server_stats.peak_sessions,
+        completed: client_stats.completed,
+        failed: client_stats.failed,
+        backpressure_stalls: client_stats.backpressure_stalls + server_stats.backpressure_stalls,
+        elapsed_s,
+        sessions_per_sec: sessions as f64 / elapsed_s.max(1e-9),
+        p50_micros: hist.quantile(0.5),
+        p99_micros: hist.quantile(0.99),
+        max_micros: hist.max(),
+    }
+}
+
+/// Gossip convergence: `n` nodes chained by seeds (each knows only its
+/// predecessor) gossip until every view holds all `n - 1` peers alive.
+/// Returns (rounds, bound).
+fn gossip_convergence(n: usize) -> (usize, usize) {
+    let nodes: Vec<NetNode> = (1..=n as u64)
+        .map(|i| {
+            NetNode::start(
+                DtnNode::new(ReplicaId::new(i), &format!("g{i}"), PolicyKind::Epidemic),
+                "127.0.0.1:0",
+                NetConfig {
+                    gossip_interval: Duration::ZERO,
+                    gossip: MembershipConfig {
+                        seed: i,
+                        ..MembershipConfig::default()
+                    },
+                    ..NetConfig::default()
+                },
+            )
+            .expect("bind gossip node")
+        })
+        .collect();
+    for pair in nodes.windows(2) {
+        pair[1].add_seed(pair[0].local_addr().to_string());
+    }
+
+    let bound = 2 * n;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        for node in &nodes {
+            node.gossip_now();
+        }
+        let converged = nodes.iter().all(|node| {
+            let view = node.membership();
+            view.len() == n - 1 && view.iter().all(|p| p.status == PeerStatus::Alive)
+        });
+        if converged {
+            break;
+        }
+        assert!(
+            rounds < bound,
+            "gossip failed to converge in {bound} rounds"
+        );
+    }
+    for node in nodes {
+        node.stop();
+    }
+    (rounds, bound)
+}
+
+fn main() {
+    let sessions = env_usize("REPLIDTN_NET_SESSIONS", 1200);
+    let gossip_nodes = env_usize("REPLIDTN_NET_GOSSIP_NODES", 12).max(2);
+
+    println!("macro_net: {sessions}-session burst, {gossip_nodes}-node gossip chain");
+    let burst = session_burst(sessions);
+    println!(
+        "  burst   : peak {} concurrent sessions, {:.0} sessions/s, \
+         p50 {}us p99 {}us max {}us, {} backpressure stalls, {:.2}s",
+        burst.peak,
+        burst.sessions_per_sec,
+        burst.p50_micros,
+        burst.p99_micros,
+        burst.max_micros,
+        burst.backpressure_stalls,
+        burst.elapsed_s
+    );
+
+    let (rounds, bound) = gossip_convergence(gossip_nodes);
+    println!("  gossip  : {gossip_nodes} nodes converged in {rounds} rounds (bound {bound})");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"macro_net\",\n",
+            "  \"sessions\": {sessions},\n",
+            "  \"messages\": {messages},\n",
+            "  \"delivered_to_server\": {to_server},\n",
+            "  \"delivered_to_client\": {to_client},\n",
+            "  \"peak_concurrent_sessions\": {peak},\n",
+            "  \"completed\": {completed},\n",
+            "  \"failed\": {failed},\n",
+            "  \"backpressure_stalls\": {stalls},\n",
+            "  \"elapsed_seconds\": {elapsed:.3},\n",
+            "  \"sessions_per_sec\": {rate:.1},\n",
+            "  \"p50_micros\": {p50},\n",
+            "  \"p99_micros\": {p99},\n",
+            "  \"max_micros\": {max},\n",
+            "  \"gossip\": {{\"nodes\": {gnodes}, \"rounds_to_converge\": {rounds}, ",
+            "\"bound\": {bound}, \"converged\": true}}\n",
+            "}}\n",
+        ),
+        sessions = burst.sessions,
+        messages = burst.messages,
+        to_server = burst.delivered_to_server,
+        to_client = burst.delivered_to_client,
+        peak = burst.peak,
+        completed = burst.completed,
+        failed = burst.failed,
+        stalls = burst.backpressure_stalls,
+        elapsed = burst.elapsed_s,
+        rate = burst.sessions_per_sec,
+        p50 = burst.p50_micros,
+        p99 = burst.p99_micros,
+        max = burst.max_micros,
+        gnodes = gossip_nodes,
+        rounds = rounds,
+        bound = bound,
+    );
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    println!("  wrote BENCH_net.json");
+}

@@ -1,0 +1,35 @@
+//! Async high-fanout transport core.
+//!
+//! The blocking [`transport`] stack dedicates a thread per session; this
+//! crate multiplexes thousands of concurrent sync sessions onto a small
+//! worker pool. Three layers:
+//!
+//! * [`session`] — the sync protocol (full and digest modes, both roles)
+//!   as an explicit non-blocking state machine, byte-compatible with
+//!   `transport::protocol` so async and blocking nodes interoperate.
+//! * [`reactor`] — a readiness-loop reactor over nonblocking std TCP
+//!   streams (no external async runtime): per-session frame accumulators,
+//!   bounded write queues with backpressure, idle/stall timeouts, and a
+//!   connection pool for session reuse.
+//! * [`membership`] + [`wire`] — gossip peer discovery: periodic
+//!   peer-exchange rounds with seeded deterministic fanout, incarnation-
+//!   based failure suspicion with refutation and rejoin, and route
+//!   healing (dials go through the discovered view).
+//!
+//! [`NetNode`] ties them together as the drop-in high-fanout sibling of
+//! [`transport::Peer`].
+
+#![warn(missing_docs)]
+
+pub mod membership;
+pub mod node;
+pub mod reactor;
+pub mod session;
+pub mod wire;
+
+pub use membership::{Membership, MembershipConfig, PeerView, TickReport};
+pub use node::{GossipRoundStats, NetConfig, NetNode, NetStats};
+pub use reactor::{NetSessionResult, SessionTicket};
+
+pub use session::{Progress, SessionError, SessionMachine};
+pub use wire::{GossipMessage, PeerStatus, PeerWire};

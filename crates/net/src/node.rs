@@ -1,0 +1,609 @@
+//! [`NetNode`]: a DTN node served by the async reactor.
+//!
+//! The high-fanout sibling of [`transport::Peer`]. One accept thread
+//! feeds inbound connections to the reactor's worker pool (each parked as
+//! an idle responder that can carry many back-to-back sessions); outbound
+//! syncs are detached — [`NetNode::sync_detached`] registers the session
+//! and returns a [`SessionTicket`] immediately, so one caller can hold
+//! hundreds of sessions in flight. A gossip thread runs periodic
+//! peer-exchange rounds against the membership view: seeds are dialed
+//! until resolved, suspicion spreads and heals through incarnations, and
+//! (optionally) an anti-entropy round-robin syncs with discovered members
+//! so data flows over routes gossip found.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dtn::DtnNode;
+use obs::{Event, Obs};
+use parking_lot::Mutex;
+use pfr::{SimTime, SyncLimits};
+
+use crate::membership::{Membership, MembershipConfig, PeerView};
+use crate::reactor::{NetSessionResult, Reactor, ReactorConfig, SessionTicket, Shared};
+use crate::session::{SessionError, SessionMachine};
+
+/// Tunables for a [`NetNode`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Reactor worker threads.
+    pub workers: usize,
+    /// Concurrent-session cap: inbound connections beyond it are refused,
+    /// outbound registrations fail fast with
+    /// [`SessionError::AtCapacity`].
+    pub max_sessions: usize,
+    /// Per-session write-queue bound; a session over it stops reading
+    /// until the queue drains (backpressure).
+    pub write_queue_limit: usize,
+    /// Idle responder connections past this are closed.
+    pub idle_timeout: Duration,
+    /// Sessions making no forward progress past this are failed.
+    pub stall_timeout: Duration,
+    /// Blocking TCP connect budget for outbound dials.
+    pub connect_timeout: Duration,
+    /// Gossip round period; [`Duration::ZERO`] disables the thread (rounds
+    /// can still be driven manually with [`NetNode::gossip_now`]).
+    pub gossip_interval: Duration,
+    /// Membership tunables (fanout, suspicion, eviction, seed).
+    pub gossip: MembershipConfig,
+    /// Anti-entropy period: every interval, sync with one discovered
+    /// member round-robin. [`Duration::ZERO`] disables it.
+    pub anti_entropy_interval: Duration,
+    /// Sync limits applied when serving peers.
+    pub limits: SyncLimits,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 2,
+            max_sessions: 4096,
+            write_queue_limit: 256 * 1024,
+            idle_timeout: Duration::from_secs(30),
+            stall_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(5),
+            gossip_interval: Duration::from_secs(1),
+            gossip: MembershipConfig::default(),
+            anti_entropy_interval: Duration::ZERO,
+            limits: SyncLimits::unlimited(),
+        }
+    }
+}
+
+/// Point-in-time reactor counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Sessions currently registered (in-flight plus parked responders).
+    pub open_sessions: usize,
+    /// High-water mark of concurrently open sessions.
+    pub peak_sessions: usize,
+    /// Sessions completed cleanly.
+    pub completed: u64,
+    /// Sessions that failed.
+    pub failed: u64,
+    /// Outbound sessions carried over a pooled connection.
+    pub conn_reuses: u64,
+    /// Backpressure episodes (write queue over its bound).
+    pub backpressure_stalls: u64,
+}
+
+/// What one gossip round accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GossipRoundStats {
+    /// Peers dialed this round.
+    pub dialed: usize,
+    /// Exchanges that completed (both views merged).
+    pub merged: usize,
+    /// Dials that failed (targets marked suspect when identifiable).
+    pub failed: usize,
+    /// Members believed alive after the round.
+    pub alive: usize,
+    /// Members under suspicion after the round.
+    pub suspect: usize,
+    /// Membership entries newly learned this round.
+    pub learned: u64,
+}
+
+/// A DTN node listening and dialing through the async reactor.
+pub struct NetNode {
+    node: Arc<Mutex<DtnNode>>,
+    membership: Arc<Mutex<Membership>>,
+    reactor: Reactor,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    gossip_thread: Option<std::thread::JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+    config: NetConfig,
+    obs: Obs,
+    replica: u64,
+}
+
+impl NetNode {
+    /// Binds `bind` and starts the reactor, the accept loop, and (when
+    /// `gossip_interval` is nonzero) the gossip thread.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error binding the listener.
+    pub fn start(node: DtnNode, bind: &str, config: NetConfig) -> io::Result<NetNode> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let replica = node.id().as_u64();
+        let obs = node.replica().observer().clone();
+        let node = Arc::new(Mutex::new(node));
+        let membership = Arc::new(Mutex::new(Membership::new(
+            replica,
+            local_addr.to_string(),
+            config.gossip.clone(),
+        )));
+        let reactor = Reactor::start(ReactorConfig {
+            workers: config.workers,
+            write_queue_limit: config.write_queue_limit,
+            idle_timeout: config.idle_timeout,
+            stall_timeout: config.stall_timeout,
+            pool_idle: config.idle_timeout,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let shared = Arc::clone(reactor.shared());
+            let node = Arc::clone(&node);
+            let membership = Arc::clone(&membership);
+            let shutdown = Arc::clone(&shutdown);
+            let obs = obs.clone();
+            let limits = config.limits;
+            let max_sessions = config.max_sessions;
+            std::thread::Builder::new()
+                .name("net-accept".into())
+                .spawn(move || {
+                    accept_loop(
+                        &listener,
+                        &shared,
+                        &node,
+                        &membership,
+                        &shutdown,
+                        &obs,
+                        limits,
+                        max_sessions,
+                        replica,
+                    )
+                })
+                .expect("spawn accept thread")
+        };
+
+        let gossip_thread = if config.gossip_interval > Duration::ZERO {
+            let shared = Arc::clone(reactor.shared());
+            let node = Arc::clone(&node);
+            let membership = Arc::clone(&membership);
+            let shutdown = Arc::clone(&shutdown);
+            let obs = obs.clone();
+            let config = config.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("net-gossip".into())
+                    .spawn(move || {
+                        gossip_loop(
+                            &shared,
+                            &node,
+                            &membership,
+                            &shutdown,
+                            &obs,
+                            &config,
+                            replica,
+                        )
+                    })
+                    .expect("spawn gossip thread"),
+            )
+        } else {
+            None
+        };
+
+        Ok(NetNode {
+            node,
+            membership,
+            reactor,
+            accept_thread: Some(accept_thread),
+            gossip_thread,
+            shutdown,
+            local_addr,
+            config,
+            obs,
+            replica,
+        })
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs a closure against the node under its lock.
+    pub fn with_node<T>(&self, f: impl FnOnce(&mut DtnNode) -> T) -> T {
+        f(&mut self.node.lock())
+    }
+
+    /// Registers a bootstrap peer address for gossip discovery.
+    pub fn add_seed(&self, addr: impl Into<String>) {
+        self.membership.lock().add_seed(addr);
+    }
+
+    /// A snapshot of the gossip membership view.
+    pub fn membership(&self) -> Vec<PeerView> {
+        self.membership.lock().view()
+    }
+
+    /// Current reactor counters.
+    pub fn stats(&self) -> NetStats {
+        let shared = self.reactor.shared();
+        NetStats {
+            open_sessions: shared.open.load(Ordering::Relaxed),
+            peak_sessions: shared.peak.load(Ordering::Relaxed),
+            completed: shared.completed.load(Ordering::Relaxed),
+            failed: shared.failed.load(Ordering::Relaxed),
+            conn_reuses: shared.reuses.load(Ordering::Relaxed),
+            backpressure_stalls: shared.stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Starts a detached sync session with `addr` and returns its ticket
+    /// without waiting: the caller can hold many sessions in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::AtCapacity`] at the session cap, or
+    /// [`SessionError::Io`] when the dial fails.
+    pub fn sync_detached(&self, addr: &str, now: SimTime) -> Result<SessionTicket, SessionError> {
+        let shared = self.reactor.shared();
+        if shared.open_sessions() >= self.config.max_sessions {
+            return Err(SessionError::AtCapacity);
+        }
+        let (stream, reused) = self.dial(addr)?;
+        let (machine, out) = SessionMachine::sync_initiator(
+            Arc::clone(&self.node),
+            Arc::clone(&self.membership),
+            self.config.limits,
+            now,
+            reused,
+        )?;
+        let ticket = SessionTicket::new();
+        shared.register(
+            stream,
+            addr.to_string(),
+            machine,
+            out,
+            Some(ticket.clone()),
+            false,
+            reused,
+            self.obs.clone(),
+            self.replica,
+        );
+        Ok(ticket)
+    }
+
+    /// Runs one full sync session with `addr`, blocking until it
+    /// completes or fails.
+    pub fn sync_with(&self, addr: &str, now: SimTime) -> NetSessionResult {
+        match self.sync_detached(addr, now) {
+            Ok(ticket) => ticket.wait(),
+            Err(error) => NetSessionResult {
+                report: Default::default(),
+                error: Some(error),
+            },
+        }
+    }
+
+    /// Runs one synchronous gossip round: membership sweep, fanout dials,
+    /// merge replies. The background thread does exactly this once per
+    /// interval; tests and CLIs can drive rounds deterministically.
+    pub fn gossip_now(&self) -> GossipRoundStats {
+        gossip_round(
+            self.reactor.shared(),
+            &self.node,
+            &self.membership,
+            &self.obs,
+            &self.config,
+            self.replica,
+        )
+    }
+
+    /// Stops the accept loop, gossip thread, and reactor, returning the
+    /// node with everything it replicated.
+    pub fn stop(mut self) -> DtnNode {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.gossip_thread.take() {
+            let _ = handle.join();
+        }
+        self.reactor.stop();
+        // The threads have exited, so sessions no longer hold clones —
+        // but finalization may lag a beat; spin until unique.
+        let mut node_arc = Arc::clone(&self.node);
+        drop(self);
+        loop {
+            match Arc::try_unwrap(node_arc) {
+                Ok(mutex) => return mutex.into_inner(),
+                Err(shared) => {
+                    node_arc = shared;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    /// Dials `addr`, pool-first: a pooled connection skips the TCP
+    /// handshake entirely. Fresh dials block for at most
+    /// `connect_timeout`, then flip nonblocking for the reactor.
+    fn dial(&self, addr: &str) -> Result<(TcpStream, bool), SessionError> {
+        let shared = self.reactor.shared();
+        if let Some(stream) = shared.take_pooled(addr) {
+            return Ok((stream, true));
+        }
+        let stream = connect(addr, self.config.connect_timeout).map_err(SessionError::Io)?;
+        Ok((stream, false))
+    }
+}
+
+/// Resolves and connects with a timeout, returning a nonblocking stream.
+fn connect(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_nonblocking(true)?;
+    Ok(stream)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    node: &Arc<Mutex<DtnNode>>,
+    membership: &Arc<Mutex<Membership>>,
+    shutdown: &AtomicBool,
+    obs: &Obs,
+    limits: SyncLimits,
+    max_sessions: usize,
+    replica: u64,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // At the cap, refuse instead of queueing unbounded work;
+                // the remote sees a closed connection and backs off.
+                if shared.open_sessions() >= max_sessions {
+                    drop(stream);
+                    continue;
+                }
+                if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let machine =
+                    SessionMachine::responder(Arc::clone(node), Arc::clone(membership), limits);
+                shared.register(
+                    stream,
+                    String::new(),
+                    machine,
+                    Vec::new(),
+                    None,
+                    true,
+                    false,
+                    obs.clone(),
+                    replica,
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One gossip round: suspicion sweep, fanout dials, merge replies (the
+/// session machines merge into the shared membership as replies land),
+/// then the round event.
+fn gossip_round(
+    shared: &Arc<Shared>,
+    node: &Arc<Mutex<DtnNode>>,
+    membership: &Arc<Mutex<Membership>>,
+    obs: &Obs,
+    config: &NetConfig,
+    replica: u64,
+) -> GossipRoundStats {
+    let now_ms = shared.now_ms();
+    let targets = {
+        let mut membership = membership.lock();
+        membership.tick(now_ms);
+        membership.fanout_targets()
+    };
+    let mut stats = GossipRoundStats {
+        dialed: targets.len(),
+        ..GossipRoundStats::default()
+    };
+    let mut tickets = Vec::with_capacity(targets.len());
+    for addr in &targets {
+        match gossip_dial(shared, node, membership, obs, config, replica, addr) {
+            Ok(ticket) => tickets.push((addr.clone(), ticket)),
+            Err(_) => {
+                stats.failed += 1;
+                mark_addr_failed(membership, addr);
+            }
+        }
+    }
+    for (addr, ticket) in tickets {
+        let result = ticket.wait();
+        if result.is_ok() {
+            stats.merged += 1;
+        } else {
+            stats.failed += 1;
+            mark_addr_failed(membership, &addr);
+        }
+    }
+    {
+        let mut membership = membership.lock();
+        stats.alive = membership.alive_count();
+        stats.suspect = membership.suspect_count();
+        stats.learned = membership.take_learned();
+    }
+    let (fanout, alive, suspect, learned) = (
+        stats.dialed as u64,
+        stats.alive as u64,
+        stats.suspect as u64,
+        stats.learned,
+    );
+    obs.emit(|| Event::GossipRound {
+        replica,
+        fanout,
+        alive,
+        suspect,
+        learned,
+    });
+    stats
+}
+
+/// Registers one outbound gossip exchange (pool-first, like syncs).
+fn gossip_dial(
+    shared: &Arc<Shared>,
+    node: &Arc<Mutex<DtnNode>>,
+    membership: &Arc<Mutex<Membership>>,
+    obs: &Obs,
+    config: &NetConfig,
+    replica: u64,
+    addr: &str,
+) -> Result<SessionTicket, SessionError> {
+    let (stream, reused) = match shared.take_pooled(addr) {
+        Some(stream) => (stream, true),
+        None => (
+            connect(addr, config.connect_timeout).map_err(SessionError::Io)?,
+            false,
+        ),
+    };
+    let (machine, out) = SessionMachine::gossip_initiator(
+        Arc::clone(node),
+        Arc::clone(membership),
+        shared.now_ms(),
+        reused,
+    )?;
+    let ticket = SessionTicket::new();
+    shared.register(
+        stream,
+        addr.to_string(),
+        machine,
+        out,
+        Some(ticket.clone()),
+        false,
+        reused,
+        obs.clone(),
+        replica,
+    );
+    Ok(ticket)
+}
+
+/// A failed dial is first-hand evidence: suspect the member at that
+/// address (unresolved seeds have no member yet — they just stay seeds).
+fn mark_addr_failed(membership: &Arc<Mutex<Membership>>, addr: &str) {
+    let mut membership = membership.lock();
+    let failed: Vec<u64> = membership
+        .view()
+        .into_iter()
+        .filter(|p| p.addr == addr)
+        .map(|p| p.replica)
+        .collect();
+    for replica in failed {
+        membership.observe_failed(replica);
+    }
+}
+
+/// The background gossip driver: one round per interval, plus the
+/// optional anti-entropy sync round-robin over discovered members.
+fn gossip_loop(
+    shared: &Arc<Shared>,
+    node: &Arc<Mutex<DtnNode>>,
+    membership: &Arc<Mutex<Membership>>,
+    shutdown: &AtomicBool,
+    obs: &Obs,
+    config: &NetConfig,
+    replica: u64,
+) {
+    let mut last_round = Instant::now() - config.gossip_interval;
+    let mut last_ae = Instant::now();
+    let mut ae_cursor = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        if last_round.elapsed() >= config.gossip_interval {
+            last_round = Instant::now();
+            gossip_round(shared, node, membership, obs, config, replica);
+        }
+        if config.anti_entropy_interval > Duration::ZERO
+            && last_ae.elapsed() >= config.anti_entropy_interval
+        {
+            last_ae = Instant::now();
+            anti_entropy_step(
+                shared,
+                node,
+                membership,
+                obs,
+                config,
+                replica,
+                &mut ae_cursor,
+            );
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Route healing in action: syncs with the next live member discovered by
+/// gossip, so data flows over routes the application never configured.
+fn anti_entropy_step(
+    shared: &Arc<Shared>,
+    node: &Arc<Mutex<DtnNode>>,
+    membership: &Arc<Mutex<Membership>>,
+    obs: &Obs,
+    config: &NetConfig,
+    replica: u64,
+    cursor: &mut usize,
+) {
+    let addrs = membership.lock().live_addrs();
+    if addrs.is_empty() {
+        return;
+    }
+    let addr = &addrs[*cursor % addrs.len()];
+    *cursor = cursor.wrapping_add(1);
+    let now = SimTime::from_secs(shared.now_ms() / 1000);
+    let (stream, reused) = match shared.take_pooled(addr) {
+        Some(stream) => (stream, true),
+        None => match connect(addr, config.connect_timeout) {
+            Ok(stream) => (stream, false),
+            Err(_) => {
+                mark_addr_failed(membership, addr);
+                return;
+            }
+        },
+    };
+    let Ok((machine, out)) = SessionMachine::sync_initiator(
+        Arc::clone(node),
+        Arc::clone(membership),
+        config.limits,
+        now,
+        reused,
+    ) else {
+        return;
+    };
+    shared.register(
+        stream,
+        addr.to_string(),
+        machine,
+        out,
+        None,
+        false,
+        reused,
+        obs.clone(),
+        replica,
+    );
+}

@@ -1,0 +1,522 @@
+//! The readiness-loop reactor: many sessions, few threads.
+//!
+//! No external async runtime — each worker thread owns a set of sessions
+//! over nonblocking std [`TcpStream`]s and loops over them: flush the
+//! session's outbox until the socket would block, read whatever bytes are
+//! ready, feed complete frames to the [`SessionMachine`], repeat. A
+//! session costs a few hundred bytes of state rather than a thread, so
+//! thousands run concurrently on a handful of workers.
+//!
+//! Flow control is per session: the outbox is a bounded write queue — a
+//! session whose queue is over its bound stops *reading* until it drains
+//! (backpressure propagates to the peer through TCP). A session making no
+//! forward progress past the stall timeout is failed; an idle pooled
+//! responder past the idle timeout is closed. Completed outbound
+//! connections return to a pool keyed by dial address for reuse.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use obs::{Event, Obs};
+use parking_lot::Mutex;
+use transport::frame::{FrameAccum, FrameError};
+use transport::SessionReport;
+
+use crate::session::{Progress, SessionError, SessionMachine};
+
+/// How many bytes one `read` call pulls at most.
+const READ_BUF: usize = 16 * 1024;
+/// Read calls per session per loop pass (fairness bound).
+const READS_PER_PASS: usize = 8;
+/// Worker park time when a pass makes no progress.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// Reactor tunables (filled in from [`crate::NetConfig`]).
+#[derive(Clone, Debug)]
+pub(crate) struct ReactorConfig {
+    pub workers: usize,
+    pub write_queue_limit: usize,
+    pub idle_timeout: Duration,
+    pub stall_timeout: Duration,
+    pub pool_idle: Duration,
+}
+
+/// The outcome of one reactor-driven session.
+#[derive(Debug)]
+pub struct NetSessionResult {
+    /// Progress made before the session ended (possibly partial).
+    pub report: SessionReport,
+    /// The error that ended the session, or `None` on clean completion.
+    pub error: Option<SessionError>,
+}
+
+impl NetSessionResult {
+    /// True when the session completed cleanly.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+struct TicketInner {
+    // std primitives: the workspace `parking_lot` shim has no Condvar.
+    result: std::sync::Mutex<Option<NetSessionResult>>,
+    cond: std::sync::Condvar,
+}
+
+/// A handle to a detached session: resolves when the reactor finishes it.
+#[derive(Clone)]
+pub struct SessionTicket(Arc<TicketInner>);
+
+impl SessionTicket {
+    pub(crate) fn new() -> SessionTicket {
+        SessionTicket(Arc::new(TicketInner {
+            result: std::sync::Mutex::new(None),
+            cond: std::sync::Condvar::new(),
+        }))
+    }
+
+    pub(crate) fn resolve(&self, result: NetSessionResult) {
+        let mut slot = self.0.result.lock().expect("ticket lock");
+        if slot.is_none() {
+            *slot = Some(result);
+            self.0.cond.notify_all();
+        }
+    }
+
+    /// Blocks until the session completes or fails.
+    pub fn wait(&self) -> NetSessionResult {
+        let mut slot = self.0.result.lock().expect("ticket lock");
+        while slot.is_none() {
+            slot = self.0.cond.wait(slot).expect("ticket lock");
+        }
+        slot.take().expect("resolved")
+    }
+
+    /// Non-blocking poll; returns the result at most once.
+    pub fn try_take(&self) -> Option<NetSessionResult> {
+        self.0.result.lock().expect("ticket lock").take()
+    }
+}
+
+impl std::fmt::Debug for SessionTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionTicket").finish_non_exhaustive()
+    }
+}
+
+/// Outbox: a write queue with a consumed-prefix offset so partial writes
+/// do not memmove the remainder every pass.
+#[derive(Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl OutBuf {
+    fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+    }
+}
+
+/// One registered connection and its protocol state.
+pub(crate) struct Session {
+    stream: TcpStream,
+    /// Dial address, for returning the connection to the pool; empty for
+    /// inbound connections.
+    addr: String,
+    machine: SessionMachine,
+    accum: FrameAccum,
+    out: OutBuf,
+    ticket: Option<SessionTicket>,
+    inbound: bool,
+    last_progress: Instant,
+    stalled: bool,
+    /// Machine finished; flush the outbox, then finalize.
+    finished: bool,
+    obs: Obs,
+    replica: u64,
+}
+
+struct PooledConn {
+    stream: TcpStream,
+    addr: String,
+    idle_since: Instant,
+}
+
+/// State shared between the reactor handle and its workers.
+pub(crate) struct Shared {
+    config: ReactorConfig,
+    shutdown: AtomicBool,
+    queues: Vec<Mutex<Vec<Session>>>,
+    next_queue: AtomicUsize,
+    pool: Mutex<VecDeque<PooledConn>>,
+    epoch: Instant,
+    pub(crate) open: AtomicUsize,
+    pub(crate) peak: AtomicUsize,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) reuses: AtomicU64,
+    pub(crate) stalls: AtomicU64,
+}
+
+impl Shared {
+    /// Milliseconds since the reactor started: the monotonic clock the
+    /// membership layer ages entries against.
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Pops a pooled connection to `addr`, pruning stale entries.
+    pub(crate) fn take_pooled(&self, addr: &str) -> Option<TcpStream> {
+        let mut pool = self.pool.lock();
+        let now = Instant::now();
+        pool.retain(|c| now.duration_since(c.idle_since) < self.config.pool_idle);
+        let idx = pool.iter().position(|c| c.addr == addr)?;
+        pool.remove(idx).map(|c| c.stream)
+    }
+
+    fn give_pooled(&self, addr: String, stream: TcpStream) {
+        if addr.is_empty() {
+            return;
+        }
+        self.pool.lock().push_back(PooledConn {
+            stream,
+            addr,
+            idle_since: Instant::now(),
+        });
+    }
+
+    /// Registers a session with the next worker round-robin. The stream
+    /// must already be nonblocking.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn register(
+        &self,
+        stream: TcpStream,
+        addr: String,
+        machine: SessionMachine,
+        initial_out: Vec<u8>,
+        ticket: Option<SessionTicket>,
+        inbound: bool,
+        reused: bool,
+        obs: Obs,
+        replica: u64,
+    ) {
+        if reused {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        let session = Session {
+            stream,
+            addr,
+            machine,
+            accum: FrameAccum::new(),
+            out: OutBuf {
+                buf: initial_out,
+                pos: 0,
+            },
+            ticket,
+            inbound,
+            last_progress: Instant::now(),
+            stalled: false,
+            finished: false,
+            obs,
+            replica,
+        };
+        let open = self.open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(open, Ordering::Relaxed);
+        let idx = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[idx].lock().push(session);
+    }
+
+    pub(crate) fn open_sessions(&self) -> usize {
+        self.open.load(Ordering::Relaxed)
+    }
+}
+
+/// The worker pool driving every registered session.
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Reactor {
+    pub(crate) fn start(config: ReactorConfig) -> Reactor {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            shutdown: AtomicBool::new(false),
+            queues: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            next_queue: AtomicUsize::new(0),
+            pool: Mutex::new(VecDeque::new()),
+            epoch: Instant::now(),
+            open: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("net-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn net worker")
+            })
+            .collect();
+        Reactor {
+            shared,
+            workers: handles,
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Stops the workers, failing every session still in flight.
+    pub(crate) fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// What one step decided about a session's future.
+enum Verdict {
+    /// Still running; keep it registered.
+    Keep,
+    /// Finished cleanly; the connection may return to the pool.
+    Finished,
+    /// Closed without error (EOF on an idle responder, idle timeout).
+    Closed,
+    /// Failed with an error.
+    Failed(SessionError),
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut local: Vec<Session> = Vec::new();
+    let mut read_buf = vec![0u8; READ_BUF];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            local.append(&mut shared.queues[index].lock());
+            for mut session in local.drain(..) {
+                finalize(shared, &mut session, Verdict::Failed(SessionError::Eof));
+            }
+            return;
+        }
+        {
+            let mut queue = shared.queues[index].lock();
+            local.append(&mut queue);
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < local.len() {
+            let (verdict, moved) = step(shared, &mut local[i], &mut read_buf);
+            progressed |= moved;
+            match verdict {
+                Verdict::Keep => i += 1,
+                verdict => {
+                    let mut session = local.swap_remove(i);
+                    finalize(shared, &mut session, verdict);
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(IDLE_PARK);
+        }
+    }
+}
+
+/// Accounts a removed session and resolves its ticket.
+fn finalize(shared: &Shared, session: &mut Session, verdict: Verdict) {
+    shared.open.fetch_sub(1, Ordering::Relaxed);
+    match verdict {
+        Verdict::Keep => unreachable!(),
+        Verdict::Finished => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(ticket) = session.ticket.take() {
+                ticket.resolve(NetSessionResult {
+                    report: session.machine.report().clone(),
+                    error: None,
+                });
+            }
+            // Return the outbound connection for the next session.
+            if !session.inbound {
+                if let Ok(stream) = session.stream.try_clone() {
+                    shared.give_pooled(std::mem::take(&mut session.addr), stream);
+                }
+            }
+        }
+        Verdict::Closed => {
+            // A responder that served sessions before going quiet already
+            // counted them at completion; nothing to account here.
+        }
+        Verdict::Failed(error) => {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            session.machine.abort();
+            if let Some(ticket) = session.ticket.take() {
+                ticket.resolve(NetSessionResult {
+                    report: session.machine.report().clone(),
+                    error: Some(error),
+                });
+            }
+        }
+    }
+}
+
+/// One readiness pass over one session. Returns the verdict plus whether
+/// any bytes moved (the worker's idle heuristic).
+fn step(shared: &Shared, session: &mut Session, read_buf: &mut [u8]) -> (Verdict, bool) {
+    let mut moved = false;
+
+    // Flush the outbox until the socket would block.
+    while session.out.pending() > 0 {
+        match session.stream.write(&session.out.buf[session.out.pos..]) {
+            Ok(0) => return (Verdict::Failed(SessionError::Eof), moved),
+            Ok(n) => {
+                session.out.advance(n);
+                session.last_progress = Instant::now();
+                moved = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return (Verdict::Failed(SessionError::Io(e)), moved),
+        }
+    }
+
+    if session.finished {
+        if session.out.pending() == 0 {
+            return (Verdict::Finished, moved);
+        }
+        return (Verdict::Keep, moved);
+    }
+
+    // Backpressure: a session over its write bound stops reading until
+    // the queue drains — the peer feels it through TCP.
+    if session.out.pending() > shared.config.write_queue_limit {
+        if !session.stalled {
+            session.stalled = true;
+            shared.stalls.fetch_add(1, Ordering::Relaxed);
+            let replica = session.replica;
+            let peer = session
+                .machine
+                .report()
+                .peer
+                .map(|p| p.as_u64())
+                .unwrap_or(0);
+            let queued = session.out.pending() as u64;
+            session.obs.emit(|| Event::NetBackpressure {
+                replica,
+                peer,
+                queued_bytes: queued,
+            });
+        }
+        if session.last_progress.elapsed() > shared.config.stall_timeout {
+            return (Verdict::Failed(SessionError::Backpressure), moved);
+        }
+        return (Verdict::Keep, moved);
+    }
+    session.stalled = false;
+
+    // Read whatever is ready, bounded per pass for fairness.
+    let mut saw_eof = false;
+    for _ in 0..READS_PER_PASS {
+        match session.stream.read(read_buf) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
+            }
+            Ok(n) => {
+                session.accum.extend(&read_buf[..n]);
+                session.last_progress = Instant::now();
+                moved = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return (Verdict::Failed(SessionError::Io(e)), moved),
+        }
+    }
+
+    // Feed complete frames to the machine.
+    let now_ms = shared.now_ms();
+    loop {
+        let (frame_type, payload) = match session.accum.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e @ FrameError::BadChecksum { .. }) => {
+                // The damaged frame was consumed; the machine decides
+                // whether this state can recover (serve side answers
+                // with a resync demand).
+                match session.machine.on_checksum_error(e, &mut session.out.buf) {
+                    Ok(Progress::Continue) => continue,
+                    Ok(_) => unreachable!("checksum recovery never completes a session"),
+                    Err(err) => return (Verdict::Failed(err), moved),
+                }
+            }
+            Err(e) => return (Verdict::Failed(SessionError::Frame(e)), moved),
+        };
+        moved = true;
+        match session
+            .machine
+            .on_frame(frame_type, &payload, now_ms, &mut session.out.buf)
+        {
+            Ok(Progress::Continue) => {}
+            Ok(Progress::SessionComplete) if session.inbound => {
+                // The responder machine reset itself to idle; the
+                // connection stays registered for the next session.
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Progress::SessionComplete) | Ok(Progress::GossipComplete) => {
+                session.finished = true;
+                break;
+            }
+            Err(err) => return (Verdict::Failed(err), moved),
+        }
+    }
+
+    if session.finished && session.out.pending() == 0 {
+        return (Verdict::Finished, moved);
+    }
+
+    if saw_eof {
+        // EOF with the responder parked idle and nothing queued is a
+        // clean close; mid-session it is an error.
+        if session.machine.is_idle() && session.out.pending() == 0 && session.accum.buffered() == 0
+        {
+            return (Verdict::Closed, moved);
+        }
+        return (Verdict::Failed(SessionError::Eof), moved);
+    }
+
+    // Timeouts: stalls kill active sessions, idleness reaps parked ones.
+    let quiet = session.last_progress.elapsed();
+    if session.machine.is_idle() {
+        if quiet > shared.config.idle_timeout {
+            return (Verdict::Closed, moved);
+        }
+    } else if quiet > shared.config.stall_timeout {
+        return (Verdict::Failed(SessionError::Stalled), moved);
+    }
+    (Verdict::Keep, moved)
+}

@@ -1,0 +1,277 @@
+//! End-to-end reactor tests over real sockets: async↔async and
+//! async↔blocking interop, detached high-fanout sessions, connection
+//! pooling, gossip discovery, and failure/backpressure edges.
+
+use std::time::{Duration, Instant};
+
+use dtn::{DtnNode, PolicyKind};
+use net::{MembershipConfig, NetConfig, NetNode, PeerStatus};
+use pfr::{ReplicaId, SimTime, SyncMode};
+use transport::Peer;
+
+fn node(id: u64, addr: &str) -> DtnNode {
+    DtnNode::new(ReplicaId::new(id), addr, PolicyKind::Epidemic)
+}
+
+fn quiet_config() -> NetConfig {
+    NetConfig {
+        gossip_interval: Duration::ZERO, // drive rounds manually
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn async_nodes_sync_both_ways() {
+    let mut a = node(1, "a");
+    let mut b = node(2, "b");
+    a.send("b", b"ping".to_vec(), SimTime::ZERO).unwrap();
+    b.send("a", b"pong".to_vec(), SimTime::ZERO).unwrap();
+
+    let server = NetNode::start(b, "127.0.0.1:0", quiet_config()).unwrap();
+    let client = NetNode::start(a, "127.0.0.1:0", quiet_config()).unwrap();
+
+    let result = client.sync_with(&server.local_addr().to_string(), SimTime::from_secs(60));
+    assert!(result.is_ok(), "session failed: {:?}", result.error);
+    assert_eq!(result.report.peer, Some(ReplicaId::new(2)));
+    assert_eq!(result.report.pulled.as_ref().unwrap().delivered, 1);
+
+    let a = client.stop();
+    let b = server.stop();
+    assert_eq!(a.inbox().len(), 1);
+    assert_eq!(b.inbox().len(), 1);
+}
+
+#[test]
+fn async_initiator_interoperates_with_blocking_peer() {
+    // The reactor speaks the exact same wire protocol as the blocking
+    // transport: a NetNode initiator syncs against a transport::Peer.
+    let mut a = node(1, "a");
+    let mut b = node(2, "b");
+    a.send("b", b"to blocking".to_vec(), SimTime::ZERO).unwrap();
+    b.send("a", b"to async".to_vec(), SimTime::ZERO).unwrap();
+
+    let blocking = Peer::start(b, "127.0.0.1:0").unwrap();
+    let client = NetNode::start(a, "127.0.0.1:0", quiet_config()).unwrap();
+
+    let result = client.sync_with(&blocking.local_addr().to_string(), SimTime::from_secs(60));
+    assert!(result.is_ok(), "session failed: {:?}", result.error);
+
+    let a = client.stop();
+    let b = blocking.stop();
+    assert_eq!(a.inbox().len(), 1);
+    assert_eq!(b.inbox().len(), 1);
+}
+
+#[test]
+fn blocking_initiator_interoperates_with_async_responder() {
+    let mut a = node(1, "a");
+    let mut b = node(2, "b");
+    a.send("b", b"to async".to_vec(), SimTime::ZERO).unwrap();
+    b.send("a", b"to blocking".to_vec(), SimTime::ZERO).unwrap();
+
+    let server = NetNode::start(b, "127.0.0.1:0", quiet_config()).unwrap();
+    let blocking = Peer::start(a, "127.0.0.1:0").unwrap();
+
+    let report = blocking
+        .sync_with(server.local_addr(), SimTime::from_secs(60))
+        .expect("blocking initiator");
+    assert_eq!(report.peer, Some(ReplicaId::new(2)));
+
+    let a = blocking.stop();
+    let b = server.stop();
+    assert_eq!(a.inbox().len(), 1);
+    assert_eq!(b.inbox().len(), 1);
+}
+
+#[test]
+fn digest_mode_sessions_run_through_the_reactor() {
+    let mut a = node(1, "a");
+    let mut b = node(2, "b");
+    a.set_sync_mode(SyncMode::Digest);
+    b.set_sync_mode(SyncMode::Digest);
+    a.send("b", b"digest ping".to_vec(), SimTime::ZERO).unwrap();
+    b.send("a", b"digest pong".to_vec(), SimTime::ZERO).unwrap();
+
+    let server = NetNode::start(b, "127.0.0.1:0", quiet_config()).unwrap();
+    let client = NetNode::start(a, "127.0.0.1:0", quiet_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    for round in 1..=3u64 {
+        let result = client.sync_with(&addr, SimTime::from_secs(60 * round));
+        assert!(result.is_ok(), "round {round} failed: {:?}", result.error);
+    }
+
+    let a = client.stop();
+    let b = server.stop();
+    assert_eq!(a.inbox().len(), 1);
+    assert_eq!(b.inbox().len(), 1);
+    assert_eq!(a.recon_stats().exchanges, 3);
+    assert_eq!(b.recon_stats().exchanges, 3);
+}
+
+#[test]
+fn pooled_connections_carry_back_to_back_sessions() {
+    let client_node = node(1, "a");
+    let server_node = node(2, "b");
+    let server = NetNode::start(server_node, "127.0.0.1:0", quiet_config()).unwrap();
+    let client = NetNode::start(client_node, "127.0.0.1:0", quiet_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    for round in 1..=4u64 {
+        let result = client.sync_with(&addr, SimTime::from_secs(60 * round));
+        assert!(result.is_ok(), "round {round} failed: {:?}", result.error);
+    }
+    let stats = client.stats();
+    assert_eq!(stats.completed, 4);
+    assert!(
+        stats.conn_reuses >= 3,
+        "rounds after the first reuse the pooled connection, got {}",
+        stats.conn_reuses
+    );
+    client.stop();
+    server.stop();
+}
+
+#[test]
+fn detached_sessions_run_concurrently() {
+    // One client drives many sessions in flight at once against one
+    // server: the point of the reactor over thread-per-session.
+    let mut client_node = node(1, "client");
+    for i in 0..20 {
+        client_node
+            .send("server", format!("msg {i}").into_bytes(), SimTime::ZERO)
+            .unwrap();
+    }
+    let server = NetNode::start(node(2, "server"), "127.0.0.1:0", quiet_config()).unwrap();
+    let client = NetNode::start(client_node, "127.0.0.1:0", quiet_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Fresh dials (no pooling between concurrent sessions to the same
+    // addr: the pool only holds completed connections).
+    let tickets: Vec<_> = (0..20)
+        .map(|i| {
+            client
+                .sync_detached(&addr, SimTime::from_secs(60 + i))
+                .expect("register session")
+        })
+        .collect();
+    for ticket in tickets {
+        let result = ticket.wait();
+        assert!(
+            result.is_ok(),
+            "detached session failed: {:?}",
+            result.error
+        );
+    }
+    let server_stats = server.stats();
+    assert!(
+        server_stats.peak_sessions >= 2,
+        "server should see concurrent inbound sessions, peak {}",
+        server_stats.peak_sessions
+    );
+    let server_node = server.stop();
+    assert_eq!(server_node.inbox().len(), 20);
+    client.stop();
+}
+
+#[test]
+fn gossip_rounds_discover_peers_transitively() {
+    // c knows only b; b knows only a. Gossip spreads the full view.
+    let config = |seed: u64| NetConfig {
+        gossip_interval: Duration::ZERO,
+        gossip: MembershipConfig {
+            seed,
+            ..MembershipConfig::default()
+        },
+        ..NetConfig::default()
+    };
+    let a = NetNode::start(node(1, "a"), "127.0.0.1:0", config(1)).unwrap();
+    let b = NetNode::start(node(2, "b"), "127.0.0.1:0", config(2)).unwrap();
+    let c = NetNode::start(node(3, "c"), "127.0.0.1:0", config(3)).unwrap();
+    b.add_seed(a.local_addr().to_string());
+    c.add_seed(b.local_addr().to_string());
+
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        b.gossip_now();
+        c.gossip_now();
+        if c.membership().len() == 2 && a.membership().len() == 2 && b.membership().len() == 2 {
+            break;
+        }
+        assert!(
+            rounds < 10,
+            "gossip failed to converge: c sees {:?}",
+            c.membership()
+        );
+    }
+    assert!(rounds <= 4, "transitive discovery took {rounds} rounds");
+    assert!(c.membership().iter().all(|p| p.status == PeerStatus::Alive));
+    a.stop();
+    b.stop();
+    c.stop();
+}
+
+#[test]
+fn failed_dials_turn_members_suspect() {
+    let a = NetNode::start(node(1, "a"), "127.0.0.1:0", quiet_config()).unwrap();
+    let b = NetNode::start(node(2, "b"), "127.0.0.1:0", quiet_config()).unwrap();
+    a.add_seed(b.local_addr().to_string());
+    a.gossip_now();
+    assert_eq!(a.membership().len(), 1);
+
+    // b dies; a's next gossip round fails the dial and suspects it.
+    b.stop();
+    let mut suspected = false;
+    for _ in 0..5 {
+        a.gossip_now();
+        if a.membership()
+            .iter()
+            .any(|p| p.replica == 2 && p.status == PeerStatus::Suspect)
+        {
+            suspected = true;
+            break;
+        }
+    }
+    assert!(
+        suspected,
+        "dead member never suspected: {:?}",
+        a.membership()
+    );
+    a.stop();
+}
+
+#[test]
+fn dial_to_dead_address_fails_fast() {
+    let client = NetNode::start(node(1, "a"), "127.0.0.1:0", quiet_config()).unwrap();
+    // Bind-then-drop: the port is (very likely) dead.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let start = Instant::now();
+    let result = client.sync_with(&dead, SimTime::from_secs(60));
+    assert!(!result.is_ok());
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "refused dial should fail fast"
+    );
+    assert_eq!(
+        client.stats().failed,
+        0,
+        "dial failures never register a session"
+    );
+    client.stop();
+}
+
+#[test]
+fn at_capacity_registrations_fail_fast() {
+    let config = NetConfig {
+        max_sessions: 0,
+        ..quiet_config()
+    };
+    let client = NetNode::start(node(1, "a"), "127.0.0.1:0", config).unwrap();
+    let result = client.sync_with("127.0.0.1:1", SimTime::from_secs(60));
+    assert!(matches!(result.error, Some(net::SessionError::AtCapacity)));
+    client.stop();
+}

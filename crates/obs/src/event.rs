@@ -389,6 +389,48 @@ pub enum Event {
         /// Simulated time, seconds.
         at_secs: u64,
     },
+    /// One async-reactor sync session finished (or failed). Emitted by
+    /// `crates/net` alongside [`Event::TransportSync`]; this variant adds
+    /// the reactor-specific dimensions (direction, connection reuse).
+    NetSession {
+        /// The local replica.
+        replica: u64,
+        /// The remote replica, 0 if unknown.
+        peer: u64,
+        /// `true` when the remote initiated (we served first).
+        inbound: bool,
+        /// Whether the session ran over a pooled (reused) connection.
+        reused: bool,
+        /// Whether the session completed cleanly.
+        ok: bool,
+        /// Wall-clock duration of the session, microseconds.
+        wall_micros: u64,
+    },
+    /// One gossip round completed: this node pushed its membership view
+    /// to a fanout of peers and merged whatever came back.
+    GossipRound {
+        /// The gossiping replica.
+        replica: u64,
+        /// Peers the round dialed.
+        fanout: u64,
+        /// Members believed alive after the round.
+        alive: u64,
+        /// Members under failure suspicion after the round.
+        suspect: u64,
+        /// Membership entries newly learned (or refreshed forward) by
+        /// merging this round's replies.
+        learned: u64,
+    },
+    /// A session's bounded write queue filled: the reactor stopped
+    /// reading from that peer until the queue drained (backpressure).
+    NetBackpressure {
+        /// The local replica.
+        replica: u64,
+        /// The remote replica, 0 if unknown.
+        peer: u64,
+        /// Bytes queued when the stall was declared.
+        queued_bytes: u64,
+    },
     /// A sharded emulation parked a cold replica's snapshot on disk — or
     /// brought it back — to bound resident memory.
     ReplicaSpill {
@@ -433,6 +475,9 @@ impl Event {
             Event::StoreRecovered { .. } => "store_recovered",
             Event::StoreFault { .. } => "store_fault",
             Event::ShardHandoff { .. } => "shard_handoff",
+            Event::NetSession { .. } => "net_session",
+            Event::GossipRound { .. } => "gossip_round",
+            Event::NetBackpressure { .. } => "net_backpressure",
             Event::ReplicaSpill { .. } => "replica_spill",
         }
     }
@@ -743,6 +788,43 @@ impl Event {
                 push_u64(&mut out, "to_shard", *to_shard);
                 push_u64(&mut out, "at", *at_secs);
             }
+            Event::NetSession {
+                replica,
+                peer,
+                inbound,
+                reused,
+                ok,
+                wall_micros,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "peer", *peer);
+                push_bool(&mut out, "inbound", *inbound);
+                push_bool(&mut out, "reused", *reused);
+                push_bool(&mut out, "ok", *ok);
+                push_u64(&mut out, "wall_micros", *wall_micros);
+            }
+            Event::GossipRound {
+                replica,
+                fanout,
+                alive,
+                suspect,
+                learned,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "fanout", *fanout);
+                push_u64(&mut out, "alive", *alive);
+                push_u64(&mut out, "suspect", *suspect);
+                push_u64(&mut out, "learned", *learned);
+            }
+            Event::NetBackpressure {
+                replica,
+                peer,
+                queued_bytes,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_u64(&mut out, "peer", *peer);
+                push_u64(&mut out, "queued_bytes", *queued_bytes);
+            }
             Event::ReplicaSpill {
                 replica,
                 bytes,
@@ -885,6 +967,9 @@ mod tests {
             "store_recovered",
             "store_fault",
             "shard_handoff",
+            "net_session",
+            "gossip_round",
+            "net_backpressure",
             "replica_spill",
         ];
         let set: std::collections::BTreeSet<_> = kinds.iter().collect();

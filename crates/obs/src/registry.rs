@@ -384,6 +384,36 @@ impl Observer for Registry {
                 self.add(&format!("store.faults.{op}"), 1);
             }
             Event::ShardHandoff { .. } => self.add("shard.handoffs", 1),
+            Event::NetSession {
+                reused,
+                ok,
+                wall_micros,
+                ..
+            } => {
+                self.add("net.sessions", 1);
+                if !*ok {
+                    self.add("net.sessions_failed", 1);
+                }
+                if *reused {
+                    self.add("net.conn_reuses", 1);
+                }
+                self.observe("net.session_micros", *wall_micros);
+            }
+            Event::GossipRound {
+                alive,
+                suspect,
+                learned,
+                ..
+            } => {
+                self.add("net.gossip.rounds", 1);
+                self.add("net.gossip.learned", *learned);
+                self.add("net.gossip.suspects", *suspect);
+                self.observe("net.membership", *alive);
+            }
+            Event::NetBackpressure { queued_bytes, .. } => {
+                self.add("net.backpressure_stalls", 1);
+                self.observe("net.write_queue_bytes", *queued_bytes);
+            }
             Event::ReplicaSpill {
                 bytes,
                 resident,
@@ -614,6 +644,53 @@ mod tests {
         assert_eq!(snap.counter("shard.spilled_bytes"), 256);
         assert_eq!(snap.counter("shard.unspills"), 1);
         assert_eq!(snap.histogram("shard.resident").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn net_events_feed_net_counters() {
+        let r = Registry::new();
+        r.on_event(&Event::NetSession {
+            replica: 1,
+            peer: 2,
+            inbound: false,
+            reused: true,
+            ok: true,
+            wall_micros: 1500,
+        });
+        r.on_event(&Event::NetSession {
+            replica: 1,
+            peer: 0,
+            inbound: true,
+            reused: false,
+            ok: false,
+            wall_micros: 90,
+        });
+        r.on_event(&Event::GossipRound {
+            replica: 1,
+            fanout: 3,
+            alive: 12,
+            suspect: 1,
+            learned: 4,
+        });
+        r.on_event(&Event::NetBackpressure {
+            replica: 1,
+            peer: 2,
+            queued_bytes: 1 << 20,
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("net.sessions"), 2);
+        assert_eq!(snap.counter("net.sessions_failed"), 1);
+        assert_eq!(snap.counter("net.conn_reuses"), 1);
+        assert_eq!(snap.counter("net.gossip.rounds"), 1);
+        assert_eq!(snap.counter("net.gossip.learned"), 4);
+        assert_eq!(snap.counter("net.gossip.suspects"), 1);
+        assert_eq!(snap.counter("net.backpressure_stalls"), 1);
+        assert_eq!(snap.histogram("net.session_micros").unwrap().count(), 2);
+        assert_eq!(snap.histogram("net.membership").unwrap().max(), 12);
+        assert_eq!(
+            snap.histogram("net.write_queue_bytes").unwrap().sum(),
+            1 << 20
+        );
     }
 
     #[test]

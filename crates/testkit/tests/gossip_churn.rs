@@ -1,0 +1,256 @@
+//! Peer churn under gossip: nodes join, crash, and rejoin mid-run over
+//! real sockets, and the system must re-converge — membership heals
+//! (suspicion, refutation, rejoin), knowledge only grows, and delivery
+//! stays at-most-once no matter how many redundant sessions the churn
+//! provokes.
+//!
+//! The gossip seed honours `TESTKIT_SEED` like the scripted scenarios,
+//! so the CI matrix sweeps fanout target selection too.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use dtn::{DtnNode, PolicyKind};
+use net::{MembershipConfig, NetConfig, NetNode, PeerStatus};
+use pfr::{Knowledge, ReplicaId, SimTime};
+
+/// The base seed for every scenario, offset by `TESTKIT_SEED` when set
+/// (the CI matrix sets 0..8).
+fn base_seed() -> u64 {
+    std::env::var("TESTKIT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(0xD7_4E)
+}
+
+fn dtn(id: u64, addr: &str) -> DtnNode {
+    DtnNode::new(ReplicaId::new(id), addr, PolicyKind::Epidemic)
+}
+
+/// Manual gossip rounds (interval zero) keep churn tests deterministic:
+/// the test decides when rounds happen, not a timer thread.
+fn config(seed: u64) -> NetConfig {
+    NetConfig {
+        gossip_interval: Duration::ZERO,
+        gossip: MembershipConfig {
+            seed,
+            ..MembershipConfig::default()
+        },
+        ..NetConfig::default()
+    }
+}
+
+/// Starts `n` nodes chained by seeds (each knows only its predecessor)
+/// and gossips until every view holds all `n - 1` other peers, alive.
+fn converged_cluster(n: u64) -> Vec<NetNode> {
+    let seed = base_seed();
+    let names: Vec<String> = (1..=n).map(|i| format!("h{i}")).collect();
+    let nodes: Vec<NetNode> = (1..=n)
+        .map(|i| {
+            NetNode::start(
+                dtn(i, &names[(i - 1) as usize]),
+                "127.0.0.1:0",
+                config(seed.wrapping_add(i)),
+            )
+            .expect("bind")
+        })
+        .collect();
+    for pair in nodes.windows(2) {
+        pair[1].add_seed(pair[0].local_addr().to_string());
+    }
+    gossip_until(&nodes, 4 * n as usize, |all| {
+        all.iter().all(|node| {
+            let view = node.membership();
+            view.len() == (n - 1) as usize && view.iter().all(|p| p.status == PeerStatus::Alive)
+        })
+    });
+    nodes
+}
+
+/// Runs full gossip rounds until `done` holds, panicking after `limit`
+/// rounds (membership must re-converge in bounded rounds, not eventually).
+fn gossip_until(nodes: &[NetNode], limit: usize, done: impl Fn(&[NetNode]) -> bool) {
+    for _ in 0..limit {
+        for node in nodes {
+            node.gossip_now();
+        }
+        if done(nodes) {
+            return;
+        }
+    }
+    let views: Vec<_> = nodes.iter().map(|n| n.membership()).collect();
+    panic!("membership failed to converge within {limit} rounds: {views:?}");
+}
+
+#[test]
+fn membership_reconverges_after_crash_and_rejoin() {
+    let mut nodes = converged_cluster(4);
+
+    // Crash h4. The survivors' dials fail and suspicion spreads.
+    let crashed = nodes.pop().expect("four nodes");
+    let dead_addr = crashed.local_addr().to_string();
+    let state = crashed.stop();
+    gossip_until(&nodes, 12, |all| {
+        all.iter().all(|node| {
+            node.membership()
+                .iter()
+                .any(|p| p.replica == 4 && p.status == PeerStatus::Suspect)
+        })
+    });
+
+    // Rejoin with the crashed node's persisted state on a fresh port: a
+    // fresh incarnation refutes the standing suspicion, and the view
+    // heals to the *new* address (route healing).
+    let rejoined =
+        NetNode::start(state, "127.0.0.1:0", config(base_seed().wrapping_add(99))).expect("rebind");
+    let new_addr = rejoined.local_addr().to_string();
+    assert_ne!(new_addr, dead_addr, "rejoin picked a fresh port");
+    rejoined.add_seed(nodes[0].local_addr().to_string());
+    nodes.push(rejoined);
+    gossip_until(&nodes, 12, |all| {
+        all.iter().enumerate().all(|(i, node)| {
+            let me = i as u64 + 1;
+            let view = node.membership();
+            view.len() == 3
+                && view.iter().all(|p| p.status == PeerStatus::Alive)
+                && (me == 4 || view.iter().any(|p| p.replica == 4 && p.addr == new_addr))
+        })
+    });
+
+    for node in nodes {
+        node.stop();
+    }
+}
+
+#[test]
+fn knowledge_stays_monotonic_across_churned_sync_rounds() {
+    let mut nodes = converged_cluster(3);
+    let addrs: Vec<String> = nodes.iter().map(|n| n.local_addr().to_string()).collect();
+
+    // Seed traffic in both directions so sync rounds actually move data.
+    nodes[0].with_node(|n| {
+        n.send("h3", b"over the churn".to_vec(), SimTime::ZERO)
+            .unwrap();
+    });
+    nodes[2].with_node(|n| {
+        n.send("h1", b"against the churn".to_vec(), SimTime::ZERO)
+            .unwrap();
+    });
+
+    let snapshot =
+        |node: &NetNode| -> Knowledge { node.with_node(|n| n.replica().knowledge().clone()) };
+    let mut prev: Vec<Knowledge> = nodes.iter().map(snapshot).collect();
+    let check = |nodes: &[NetNode], prev: &mut Vec<Knowledge>, when: &str| {
+        for (i, node) in nodes.iter().enumerate() {
+            let now = snapshot(node);
+            assert!(
+                now.dominates(&prev[i]),
+                "{when}: node {} knowledge regressed",
+                i + 1
+            );
+            prev[i] = now;
+        }
+    };
+
+    // Round 1: ring syncs while everyone is up.
+    for (i, node) in nodes.iter().enumerate() {
+        let target = &addrs[(i + 1) % addrs.len()];
+        let result = node.sync_with(target, SimTime::from_secs(60));
+        assert!(result.is_ok(), "ring sync failed: {:?}", result.error);
+    }
+    check(&nodes, &mut prev, "after full-mesh round");
+
+    // Crash h2 mid-run; the survivors keep syncing with each other (and
+    // fail toward the corpse) — failed sessions must not regress state.
+    let crashed = nodes.remove(1);
+    let state = crashed.stop();
+    prev.remove(1);
+    let _ = nodes[0].sync_with(&addrs[1], SimTime::from_secs(120)); // dial the corpse
+    let result = nodes[0].sync_with(&addrs[2], SimTime::from_secs(121));
+    assert!(result.is_ok(), "survivor sync failed: {:?}", result.error);
+    check(&nodes, &mut prev, "after crash round");
+
+    // h2 rejoins with its persisted state and catches back up.
+    let rejoined =
+        NetNode::start(state, "127.0.0.1:0", config(base_seed().wrapping_add(77))).expect("rebind");
+    let rejoined_addr = rejoined.local_addr().to_string();
+    prev.insert(1, snapshot(&rejoined));
+    nodes.insert(1, rejoined);
+    let result = nodes[1].sync_with(&addrs[0], SimTime::from_secs(180));
+    assert!(result.is_ok(), "rejoin sync failed: {:?}", result.error);
+    let result = nodes[2].sync_with(&rejoined_addr, SimTime::from_secs(181));
+    assert!(
+        result.is_ok(),
+        "sync to rejoined failed: {:?}",
+        result.error
+    );
+    check(&nodes, &mut prev, "after rejoin round");
+
+    for node in nodes {
+        node.stop();
+    }
+}
+
+#[test]
+fn delivery_is_at_most_once_under_repeated_churned_syncs() {
+    const MESSAGES: usize = 5;
+    let mut nodes = converged_cluster(3);
+    let addrs: Vec<String> = nodes.iter().map(|n| n.local_addr().to_string()).collect();
+
+    nodes[0].with_node(|n| {
+        for i in 0..MESSAGES {
+            n.send(
+                "h3",
+                format!("exactly once #{i}").into_bytes(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+    });
+
+    // Redundant delivery paths: direct and via h2, repeated across
+    // rounds, with the destination crashing and rejoining in between.
+    for round in 0..3u64 {
+        for target in [&addrs[1], &addrs[2]] {
+            let result = nodes[0].sync_with(target, SimTime::from_secs(60 + round));
+            assert!(result.is_ok(), "h1 sync failed: {:?}", result.error);
+        }
+        let result = nodes[1].sync_with(&addrs[2], SimTime::from_secs(90 + round));
+        assert!(result.is_ok(), "h2 relay failed: {:?}", result.error);
+    }
+    let crashed = nodes.pop().expect("three nodes");
+    let state = crashed.stop();
+    let rejoined =
+        NetNode::start(state, "127.0.0.1:0", config(base_seed().wrapping_add(55))).expect("rebind");
+    let rejoined_addr = rejoined.local_addr().to_string();
+    nodes.push(rejoined);
+    for round in 0..2u64 {
+        let result = nodes[0].sync_with(&rejoined_addr, SimTime::from_secs(200 + round));
+        assert!(
+            result.is_ok(),
+            "post-rejoin sync failed: {:?}",
+            result.error
+        );
+        let result = nodes[1].sync_with(&rejoined_addr, SimTime::from_secs(210 + round));
+        assert!(
+            result.is_ok(),
+            "post-rejoin relay failed: {:?}",
+            result.error
+        );
+    }
+
+    let dest = nodes.pop().expect("rejoined node").stop();
+    let inbox = dest.inbox();
+    assert_eq!(
+        inbox.len(),
+        MESSAGES,
+        "every message delivered exactly once despite redundant sessions"
+    );
+    let unique: HashSet<_> = inbox.iter().map(|m| m.id).collect();
+    assert_eq!(unique.len(), MESSAGES, "no duplicate message ids");
+    for node in nodes {
+        node.stop();
+    }
+}

@@ -45,6 +45,9 @@ pub enum FrameType {
     /// frame): the target must retransmit a plain full
     /// [`FrameType::SyncRequest`].
     ReconResync = 8,
+    /// A gossip membership exchange: one node's view of the mesh, sent
+    /// either unsolicited (a gossip round) or as the reply to one.
+    Gossip = 9,
 }
 
 impl FrameType {
@@ -58,6 +61,7 @@ impl FrameType {
             6 => Some(FrameType::RangeRequest),
             7 => Some(FrameType::RangeResponse),
             8 => Some(FrameType::ReconResync),
+            9 => Some(FrameType::Gossip),
             _ => None,
         }
     }
@@ -261,6 +265,90 @@ pub fn read_frame_into<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> Result<Fram
     Ok(frame_type)
 }
 
+/// An incremental frame decoder for nonblocking sockets.
+///
+/// [`read_frame_into`] blocks until a whole frame arrives; a readiness
+/// loop instead gets bytes in arbitrary chunks. `FrameAccum` buffers
+/// whatever has arrived and yields complete frames as they materialize,
+/// so the async reactor drives the exact same wire format as the
+/// blocking path.
+///
+/// Error semantics mirror the blocking reader with one addition:
+/// [`FrameError::BadChecksum`] is *recoverable* — the corrupt frame's
+/// bytes are fully consumed, so the stream stays aligned and the caller
+/// can keep decoding (the serve side uses this to answer with
+/// [`FrameType::ReconResync`]). All other errors mean the byte stream
+/// itself is broken and the connection should be dropped.
+#[derive(Debug, Default)]
+pub struct FrameAccum {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        FrameAccum::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing: steady-state sessions
+        // never exceed one frame plus one read chunk of buffered bytes.
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= READ_CHUNK) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by [`FrameAccum::next_frame`].
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Tries to decode the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadChecksum`] consumes the damaged frame and leaves
+    /// the decoder aligned on the next one; [`FrameError::BadMagic`],
+    /// [`FrameError::BadType`] and [`FrameError::TooLarge`] poison the
+    /// stream — drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<(FrameType, Vec<u8>)>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if avail[..2] != MAGIC {
+            return Err(FrameError::BadMagic([avail[0], avail[1]]));
+        }
+        let frame_type = FrameType::from_tag(avail[2]).ok_or(FrameError::BadType(avail[2]))?;
+        let len = u32::from_le_bytes([avail[3], avail[4], avail[5], avail[6]]);
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge(len));
+        }
+        let expected = u32::from_le_bytes([avail[7], avail[8], avail[9], avail[10]]);
+        let total = HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER_LEN..total];
+        let got = frame_checksum(avail[2], len, payload);
+        let frame = if got == expected {
+            Ok(Some((frame_type, payload.to_vec())))
+        } else {
+            Err(FrameError::BadChecksum { expected, got })
+        };
+        // Consume the frame either way: a checksum failure is a damaged
+        // payload, not a framing loss, so the next frame starts right after.
+        self.start += total;
+        frame
+    }
+}
+
 /// A small free-list of receive buffers, held per session so steady-state
 /// frame reads recycle allocations instead of minting fresh `Vec`s.
 ///
@@ -335,6 +423,7 @@ mod tests {
             FrameType::RangeRequest,
             FrameType::RangeResponse,
             FrameType::ReconResync,
+            FrameType::Gossip,
         ] {
             let mut buf = Vec::new();
             write_frame(&mut buf, ft, b"payload").unwrap();
@@ -459,6 +548,68 @@ mod tests {
     fn crc32_matches_known_vector() {
         // The IEEE CRC-32 of "123456789" is the classic check value.
         assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn accum_decodes_frames_delivered_byte_by_byte() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FrameType::Hello, b"hi").unwrap();
+        write_frame(&mut stream, FrameType::Gossip, &[9u8; 300]).unwrap();
+        let mut accum = FrameAccum::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            accum.extend(std::slice::from_ref(b));
+            while let Some(frame) = accum.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (FrameType::Hello, b"hi".to_vec()));
+        assert_eq!(got[1].0, FrameType::Gossip);
+        assert_eq!(got[1].1, vec![9u8; 300]);
+        assert_eq!(accum.buffered(), 0);
+    }
+
+    #[test]
+    fn accum_checksum_error_stays_aligned() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FrameType::SyncRequest, b"damaged").unwrap();
+        write_frame(&mut stream, FrameType::SyncDone, b"clean").unwrap();
+        stream[HEADER_LEN] ^= 0x80; // corrupt the first payload byte
+        let mut accum = FrameAccum::new();
+        accum.extend(&stream);
+        let err = accum.next_frame().unwrap_err();
+        assert!(matches!(err, FrameError::BadChecksum { .. }));
+        // The damaged frame was consumed: the next decode succeeds.
+        let (ft, payload) = accum.next_frame().unwrap().expect("second frame");
+        assert_eq!(ft, FrameType::SyncDone);
+        assert_eq!(payload, b"clean");
+    }
+
+    #[test]
+    fn accum_rejects_bad_magic_and_type() {
+        let mut accum = FrameAccum::new();
+        accum.extend(&[0xFF; HEADER_LEN]);
+        assert!(matches!(accum.next_frame(), Err(FrameError::BadMagic(_))));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Hello, b"x").unwrap();
+        buf[2] = 0xEE;
+        let mut accum = FrameAccum::new();
+        accum.extend(&buf);
+        assert!(matches!(accum.next_frame(), Err(FrameError::BadType(0xEE))));
+    }
+
+    #[test]
+    fn accum_matches_blocking_reader_output() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FrameType::SyncBatch, &[3u8; 5000]).unwrap();
+        let (bt, bp) = read_frame(&mut Cursor::new(&stream)).unwrap();
+        let mut accum = FrameAccum::new();
+        accum.extend(&stream);
+        let (at, ap) = accum.next_frame().unwrap().unwrap();
+        assert_eq!(at, bt);
+        assert_eq!(ap, bp);
     }
 
     #[test]

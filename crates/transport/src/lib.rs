@@ -34,5 +34,5 @@ mod peer;
 
 pub use conn::{Connection, TcpConnection};
 pub use mesh::{Mesh, MeshConfig};
-pub use peer::{Peer, SessionReport, TransportError};
+pub use peer::{DialConfig, Peer, SessionReport, TransportError};
 pub use protocol::SessionOutcome;

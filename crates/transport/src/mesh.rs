@@ -16,19 +16,25 @@ use dtn::DtnNode;
 use parking_lot::Mutex;
 use pfr::SimTime;
 
-use crate::peer::{Peer, TransportError};
+use pfr::SyncLimits;
+
+use crate::peer::{DialConfig, Peer, TransportError};
 
 /// Configuration for a mesh node's anti-entropy loop.
 #[derive(Clone, Copy, Debug)]
 pub struct MeshConfig {
     /// Time between sync attempts (one peer per tick, round-robin).
     pub sync_interval: Duration,
+    /// Dial policy for outbound sessions: connect/I-O deadlines and the
+    /// reconnect backoff, so one wedged peer cannot stall the rotation.
+    pub dial: DialConfig,
 }
 
 impl Default for MeshConfig {
     fn default() -> Self {
         MeshConfig {
             sync_interval: Duration::from_secs(30),
+            dial: DialConfig::default(),
         }
     }
 }
@@ -77,7 +83,12 @@ impl Mesh {
         bind: impl ToSocketAddrs,
         config: MeshConfig,
     ) -> Result<Mesh, TransportError> {
-        let peer = Arc::new(Peer::start(node, bind)?);
+        let peer = Arc::new(Peer::start_configured(
+            node,
+            bind,
+            SyncLimits::unlimited(),
+            config.dial,
+        )?);
         let peers: Arc<Mutex<Vec<SocketAddr>>> = Arc::new(Mutex::new(Vec::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let started = Instant::now();
@@ -214,6 +225,7 @@ mod tests {
             "127.0.0.1:0",
             MeshConfig {
                 sync_interval: Duration::from_secs(3600), // manual ticks only
+                ..MeshConfig::default()
             },
         )
         .expect("bind")
@@ -269,6 +281,7 @@ mod tests {
             "127.0.0.1:0",
             MeshConfig {
                 sync_interval: Duration::from_millis(60),
+                ..MeshConfig::default()
             },
         )
         .expect("bind");

@@ -61,6 +61,92 @@ impl From<FrameError> for TransportError {
     }
 }
 
+/// Timeout and retry policy for outbound dials.
+///
+/// The original dial path blocked without bound on a stalled peer (OS
+/// default connect timeout, no read deadline). Every knob here is
+/// surfaced as a CLI flag on `peer`; reconnect attempts back off
+/// exponentially with deterministic jitter so a herd of nodes chasing a
+/// rebooted peer does not stampede it in lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct DialConfig {
+    /// Deadline for the TCP connect itself.
+    pub connect_timeout: Duration,
+    /// Read/write deadline applied to the connected socket, so a peer
+    /// that wedges mid-session cannot hold the dialer forever.
+    pub io_timeout: Duration,
+    /// Extra connect attempts after the first failure.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Upper bound the exponential backoff saturates at.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter added to each backoff (up to
+    /// half the delay). Same seed, same schedule — testable by design.
+    pub jitter_seed: u64,
+}
+
+impl Default for DialConfig {
+    fn default() -> Self {
+        DialConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(10),
+            retries: 0,
+            backoff: Duration::from_millis(200),
+            backoff_cap: Duration::from_secs(5),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl DialConfig {
+    /// The delay to sleep before retry `attempt` (1-based): exponential
+    /// backoff capped at [`DialConfig::backoff_cap`], plus deterministic
+    /// jitter of up to half the delay.
+    pub fn retry_delay(&self, attempt: u32) -> Duration {
+        let base = self
+            .backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.backoff_cap);
+        let mut x = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F));
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        let half = base.as_millis() as u64 / 2;
+        let jitter = if half == 0 { 0 } else { x % half };
+        base + Duration::from_millis(jitter)
+    }
+
+    /// Connects to `remote`, retrying per this policy. Applies the
+    /// connect deadline to each attempt and the I/O deadline to the
+    /// resulting stream.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once every attempt is exhausted.
+    pub fn dial(&self, remote: SocketAddr) -> std::io::Result<TcpStream> {
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect_timeout(&remote, self.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.io_timeout))?;
+                    stream.set_write_timeout(Some(self.io_timeout))?;
+                    return Ok(stream);
+                }
+                Err(e) => {
+                    if attempt >= self.retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(self.retry_delay(attempt));
+                }
+            }
+        }
+    }
+}
+
 /// The outcome of one networked encounter (both sync directions).
 #[derive(Debug, Default, Clone)]
 #[non_exhaustive]
@@ -105,6 +191,7 @@ pub struct Peer {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     limits: SyncLimits,
+    dial: DialConfig,
 }
 
 impl Peer {
@@ -130,6 +217,20 @@ impl Peer {
         bind: impl ToSocketAddrs,
         limits: SyncLimits,
     ) -> Result<Peer, TransportError> {
+        Peer::start_configured(node, bind, limits, DialConfig::default())
+    }
+
+    /// Starts a peer with explicit serve limits and dial policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if binding fails.
+    pub fn start_configured(
+        node: DtnNode,
+        bind: impl ToSocketAddrs,
+        limits: SyncLimits,
+        dial: DialConfig,
+    ) -> Result<Peer, TransportError> {
         let listener = TcpListener::bind(bind)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -150,6 +251,7 @@ impl Peer {
             shutdown,
             accept_thread: Some(accept_thread),
             limits,
+            dial,
         })
     }
 
@@ -176,9 +278,7 @@ impl Peer {
         remote: SocketAddr,
         now: SimTime,
     ) -> Result<SessionReport, TransportError> {
-        let stream = TcpStream::connect_timeout(&remote, Duration::from_secs(5))?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let stream = self.dial.dial(remote)?;
         let mut conn = TcpConnection::new(stream)?;
         let outcome = protocol::initiate_session(&mut conn, &self.node, now, self.limits);
         outcome.into_result().map_err(TransportError::from)
@@ -261,4 +361,79 @@ fn serve_session(
     let outcome = protocol::respond_session(&mut conn, &node, limits);
     outcome.into_result().map_err(TransportError::from)?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delay_is_deterministic_and_grows() {
+        let cfg = DialConfig::default();
+        let d1 = cfg.retry_delay(1);
+        let d2 = cfg.retry_delay(2);
+        let d3 = cfg.retry_delay(3);
+        // Same seed, same schedule.
+        assert_eq!(d1, cfg.retry_delay(1));
+        // Exponential growth: each delay exceeds the previous base.
+        assert!(d1 >= cfg.backoff);
+        assert!(d2 >= cfg.backoff * 2);
+        assert!(d3 >= cfg.backoff * 4);
+        // Jitter is bounded by half the base delay.
+        assert!(d1 <= cfg.backoff + cfg.backoff / 2);
+    }
+
+    #[test]
+    fn retry_delay_saturates_at_the_cap() {
+        let cfg = DialConfig {
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(400),
+            ..DialConfig::default()
+        };
+        // 2^30 would overflow without saturation; the cap bounds it.
+        let d = cfg.retry_delay(31);
+        assert!(d <= Duration::from_millis(400 + 200));
+    }
+
+    #[test]
+    fn different_seeds_give_different_jitter() {
+        let a = DialConfig {
+            jitter_seed: 1,
+            ..DialConfig::default()
+        };
+        let b = DialConfig {
+            jitter_seed: 2,
+            ..DialConfig::default()
+        };
+        // Not a proof, but two herd members should not share a schedule.
+        assert_ne!(
+            (a.retry_delay(1), a.retry_delay(2)),
+            (b.retry_delay(1), b.retry_delay(2))
+        );
+    }
+
+    #[test]
+    fn dial_retries_then_reports_the_connect_error() {
+        // Bind-then-drop guarantees a port nobody listens on right now.
+        let port = {
+            let sock = TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap().port()
+        };
+        let cfg = DialConfig {
+            connect_timeout: Duration::from_millis(300),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..DialConfig::default()
+        };
+        let err = cfg
+            .dial(SocketAddr::from(([127, 0, 0, 1], port)))
+            .unwrap_err();
+        // Three attempts were made and the final error surfaced.
+        assert!(
+            err.kind() == std::io::ErrorKind::ConnectionRefused
+                || err.kind() == std::io::ErrorKind::TimedOut,
+            "unexpected error kind: {err}"
+        );
+    }
 }

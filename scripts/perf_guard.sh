@@ -29,12 +29,21 @@
 # (the spill run is measured first, so the bound holds even on kernels
 # that refuse the VmHWM reset). No absolute RSS or throughput gates.
 #
-# Usage: scripts/perf_guard.sh [BENCH_emu.json] [BENCH_recon.json] [BENCH_scale.json]
+# The macro_net artifact (async reactor load generator) is also gated
+# structurally: the burst actually exercised high fanout (peak concurrent
+# sessions at least half the burst, and >= 1,000 whenever the artifact
+# claims a >= 1,000-session run — the committed one does), no session
+# failed, delivery stayed exactly-once both ways, latency quantiles were
+# collected, and the gossip chain converged within its round bound. No
+# absolute throughput or latency gates.
+#
+# Usage: scripts/perf_guard.sh [BENCH_emu.json] [BENCH_recon.json] [BENCH_scale.json] [BENCH_net.json]
 set -euo pipefail
 
 FILE=${1:-crates/bench/BENCH_emu.json}
 RECON_FILE=${2:-crates/bench/BENCH_recon.json}
 SCALE_FILE=${3:-crates/bench/BENCH_scale.json}
+NET_FILE=${4:-crates/bench/BENCH_net.json}
 if [[ ! -f "$FILE" ]]; then
     echo "error: $FILE not found (run: cargo bench -p replidtn-bench --bench macro_emu)" >&2
     exit 1
@@ -45,6 +54,10 @@ if [[ ! -f "$RECON_FILE" ]]; then
 fi
 if [[ ! -f "$SCALE_FILE" ]]; then
     echo "error: $SCALE_FILE not found (run: cargo bench -p replidtn-bench --bench macro_scale)" >&2
+    exit 1
+fi
+if [[ ! -f "$NET_FILE" ]]; then
+    echo "error: $NET_FILE not found (run: cargo bench -p replidtn-bench --bench macro_net)" >&2
     exit 1
 fi
 
@@ -232,4 +245,61 @@ print(f"perf_guard: OK ({path}: scale={doc['scale']} fleet={doc['fleet']} "
       f"encounters={doc['encounters']} workers={doc['workers']} "
       f"handoffs={shard.get('handoffs')} spills={shard.get('spills')} "
       f"spill_rss_kb={spill_rss} sharded_rss_kb={sharded_rss})")
+EOF
+
+python3 - "$NET_FILE" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+failures = []
+
+def check(cond, msg):
+    if not cond:
+        failures.append(msg)
+
+check(doc.get("bench") == "macro_net", "bench name is not macro_net")
+
+sessions = doc.get("sessions", 0)
+peak = doc.get("peak_concurrent_sessions", 0)
+check(sessions > 0, "burst ran zero sessions")
+check(doc.get("completed", 0) >= sessions, "sessions were lost")
+check(doc.get("failed", 1) == 0, "sessions failed under the burst")
+check(peak * 2 >= sessions,
+      f"peak concurrency {peak} never reached half the {sessions}-session burst")
+# The committed artifact must demonstrate >= 1,000 concurrent sessions;
+# CI's shrunken smoke runs are exempt (they claim fewer sessions).
+if sessions >= 1000:
+    check(peak >= 1000,
+          f"a {sessions}-session burst peaked at only {peak} concurrent sessions")
+
+check(doc.get("sessions_per_sec", 0) > 0, "zero session throughput")
+p50 = doc.get("p50_micros", 0)
+p99 = doc.get("p99_micros", 0)
+check(p50 > 0, "p50 latency not collected")
+check(p99 >= p50, "p99 below p50: histogram is broken")
+
+# Delivery must stay exactly-once in both directions no matter how many
+# redundant sessions the burst piles on.
+msgs = doc.get("messages", 0)
+check(msgs > 0, "burst carried zero messages")
+check(doc.get("delivered_to_server", -1) == msgs, "push path lost or duplicated messages")
+check(doc.get("delivered_to_client", -1) == msgs, "pull path lost or duplicated messages")
+
+gossip = doc.get("gossip", {})
+check(gossip.get("converged") is True, "gossip chain did not converge")
+check(gossip.get("nodes", 0) >= 2, "gossip section ran a trivial cluster")
+check(0 < gossip.get("rounds_to_converge", 0) <= gossip.get("bound", 0),
+      "gossip convergence exceeded its round bound")
+
+if failures:
+    for f in failures:
+        print(f"perf_guard: FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+
+print(f"perf_guard: OK ({path}: sessions={sessions} peak={peak} "
+      f"rate={doc.get('sessions_per_sec')}/s p99={p99}us "
+      f"gossip_rounds={gossip.get('rounds_to_converge')}/{gossip.get('bound')})")
 EOF

@@ -13,6 +13,8 @@
 //!              [--data-dir DIR] [--events FILE] [--stats]
 //! replidtn peer --id N --address ADDR --policy P --listen HOST:PORT
 //!               [--connect HOST:PORT] [--send DEST:TEXT] [--data-dir DIR]
+//!               [--gossip] [--seed-peer HOST:PORT] [--max-sessions N]
+//!               [--connect-timeout-ms MS] [--retries N] [--backoff-ms MS]
 //! ```
 //!
 //! City-scale runs combine `gen-trace --scale N --spool FILE` (streamed
@@ -40,13 +42,14 @@ use std::sync::Arc;
 use replidtn::cli::Flags;
 use replidtn::dtn::{DtnNode, EncounterBudget, FilterStrategy, PolicyKind};
 use replidtn::emu::{Emulation, EmulationConfig};
+use replidtn::net::{MembershipConfig, NetConfig, NetNode};
 use replidtn::obs::{Fanout, JsonlSink, Obs, Observer, Registry};
-use replidtn::pfr::{ReplicaId, SimDuration, SimTime};
+use replidtn::pfr::{ReplicaId, SimDuration, SimTime, SyncLimits};
 use replidtn::traces::{
     format_trace, format_workload, parse_trace, parse_workload, DieselNetConfig, EmailConfig,
     SpooledTrace,
 };
-use replidtn::transport::Peer;
+use replidtn::transport::{DialConfig, Peer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -104,11 +107,25 @@ USAGE:
 
   replidtn peer --id N --address ADDR [--policy P] --listen HOST:PORT
                 [--connect HOST:PORT]... [--send DEST:TEXT]... [--serve-for SECS]
+                [--gossip] [--seed-peer HOST:PORT]... [--max-sessions N]
+                [--gossip-interval-ms MS] [--anti-entropy-ms MS]
+                [--connect-timeout-ms MS] [--io-timeout-ms MS]
+                [--retries N] [--backoff-ms MS]
                 [--data-dir DIR] [--events FILE] [--stats]
       Start a real TCP replication peer, optionally queue messages and sync
       with remote peers, then print the inbox. With --data-dir, the node is
       opened from (and persisted to) the directory, so a killed peer resumes
       with its items, knowledge, and routing state intact.
+
+      --gossip swaps the thread-per-session transport for the async
+      reactor (crates/net): up to --max-sessions concurrent sessions on a
+      small worker pool, gossip membership bootstrapped from --seed-peer
+      addresses (one round per --gossip-interval-ms), and, when
+      --anti-entropy-ms is nonzero, periodic syncs round-robin over the
+      discovered view. The dial flags tune both transports:
+      --connect-timeout-ms / --io-timeout-ms bound the socket,
+      --retries / --backoff-ms add exponential backoff with deterministic
+      jitter to failed dials (blocking transport).
 
   replidtn fig --id <5|6|7a|7b|8|9|10> [--events FILE] [--stats]
       Regenerate one figure of the paper (equivalent to the bench target).
@@ -437,6 +454,24 @@ fn peer(args: &[String]) -> Result<(), String> {
     let policy: PolicyKind = flags.get("policy").unwrap_or("epidemic").parse()?;
     let listen = flags.get("listen").ok_or("peer requires --listen")?;
 
+    // Dial policy, shared by both transports: connect/IO deadlines plus
+    // retry count and exponential backoff for flaky links.
+    let dial_defaults = DialConfig::default();
+    let dial = DialConfig {
+        connect_timeout: std::time::Duration::from_millis(flags.num(
+            "connect-timeout-ms",
+            dial_defaults.connect_timeout.as_millis() as u64,
+        )?),
+        io_timeout: std::time::Duration::from_millis(
+            flags.num("io-timeout-ms", dial_defaults.io_timeout.as_millis() as u64)?,
+        ),
+        retries: flags.num("retries", dial_defaults.retries)?,
+        backoff: std::time::Duration::from_millis(
+            flags.num("backoff-ms", dial_defaults.backoff.as_millis() as u64)?,
+        ),
+        ..dial_defaults
+    };
+
     let obs = ObsSetup::from_flags(&flags)?;
     let mut node = match flags.get("data-dir") {
         None => DtnNode::new(ReplicaId::new(id), address, policy),
@@ -461,44 +496,119 @@ fn peer(args: &[String]) -> Result<(), String> {
         }
     };
     obs.attach(&mut node);
-    let peer = Peer::start(node, listen).map_err(|e| e.to_string())?;
-    println!(
-        "peer {address} (R{id}, {policy}) listening on {}",
-        peer.local_addr()
-    );
 
-    for send in flags.get_all("send") {
-        let (dest, text) = send
-            .split_once(':')
-            .ok_or_else(|| format!("--send wants DEST:TEXT, got {send:?}"))?;
-        peer.with_node(|n| n.send(dest, text.as_bytes().to_vec(), SimTime::ZERO))
-            .map_err(|e| e.to_string())?;
-        println!("queued {text:?} for {dest}");
-    }
+    type SendQueue<'a> = &'a dyn Fn(&str, Vec<u8>) -> Result<(), String>;
+    let queue_sends = |queue: SendQueue| -> Result<(), String> {
+        for send in flags.get_all("send") {
+            let (dest, text) = send
+                .split_once(':')
+                .ok_or_else(|| format!("--send wants DEST:TEXT, got {send:?}"))?;
+            queue(dest, text.as_bytes().to_vec())?;
+            println!("queued {text:?} for {dest}");
+        }
+        Ok(())
+    };
+    let serve_for: u64 = flags.num("serve-for", 0)?;
 
     let mut last_now = SimTime::ZERO;
-    for (i, remote) in flags.get_all("connect").iter().enumerate() {
-        let addr = remote
-            .parse()
-            .map_err(|e| format!("--connect {remote:?}: {e}"))?;
-        last_now = SimTime::from_secs(60 * (i as u64 + 1));
-        let report = peer.sync_with(addr, last_now).map_err(|e| e.to_string())?;
+    let mut node = if flags.has("gossip") {
+        // The async reactor: thousands of concurrent sessions on a small
+        // worker pool, gossip peer discovery, and periodic anti-entropy
+        // syncs over the discovered view.
+        let defaults = NetConfig::default();
+        let config = NetConfig {
+            max_sessions: flags.num("max-sessions", defaults.max_sessions)?,
+            connect_timeout: dial.connect_timeout,
+            gossip_interval: std::time::Duration::from_millis(
+                flags.num("gossip-interval-ms", 1_000u64)?,
+            ),
+            anti_entropy_interval: std::time::Duration::from_millis(
+                flags.num("anti-entropy-ms", 0u64)?,
+            ),
+            gossip: MembershipConfig {
+                seed: id,
+                ..MembershipConfig::default()
+            },
+            ..defaults
+        };
+        let net = NetNode::start(node, listen, config).map_err(|e| e.to_string())?;
         println!(
-            "synced with {remote}: served {} item(s), pulled {} deliveries",
-            report.served,
-            report.pulled.map(|r| r.delivered).unwrap_or(0)
+            "peer {address} (R{id}, {policy}) listening on {} (gossip on)",
+            net.local_addr()
         );
-    }
+        for seed in flags.get_all("seed-peer") {
+            net.add_seed(seed.to_string());
+            println!("seeded gossip with {seed}");
+        }
+        queue_sends(&|dest, payload| {
+            net.with_node(|n| n.send(dest, payload, SimTime::ZERO))
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        })?;
+        for (i, remote) in flags.get_all("connect").iter().enumerate() {
+            last_now = SimTime::from_secs(60 * (i as u64 + 1));
+            let result = net.sync_with(remote, last_now);
+            if let Some(error) = result.error {
+                return Err(format!("syncing with {remote}: {error}"));
+            }
+            println!(
+                "synced with {remote}: served {} item(s), pulled {} deliveries",
+                result.report.served,
+                result.report.pulled.map(|r| r.delivered).unwrap_or(0)
+            );
+        }
+        if serve_for > 0 {
+            println!("serving for {serve_for}s (gossip running) ...");
+            std::thread::sleep(std::time::Duration::from_secs(serve_for));
+        }
+        let view = net.membership();
+        println!("membership ({} peer(s)):", view.len());
+        for peer in &view {
+            println!(
+                "  R{} at {} [{:?}, incarnation {}]",
+                peer.replica, peer.addr, peer.status, peer.incarnation
+            );
+        }
+        let stats = net.stats();
+        println!(
+            "sessions: {} completed, {} failed, {} connection reuse(s), peak {} concurrent",
+            stats.completed, stats.failed, stats.conn_reuses, stats.peak_sessions
+        );
+        net.stop()
+    } else {
+        let peer = Peer::start_configured(node, listen, SyncLimits::unlimited(), dial)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "peer {address} (R{id}, {policy}) listening on {}",
+            peer.local_addr()
+        );
+        queue_sends(&|dest, payload| {
+            peer.with_node(|n| n.send(dest, payload, SimTime::ZERO))
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        })?;
+        for (i, remote) in flags.get_all("connect").iter().enumerate() {
+            let addr = remote
+                .parse()
+                .map_err(|e| format!("--connect {remote:?}: {e}"))?;
+            last_now = SimTime::from_secs(60 * (i as u64 + 1));
+            let report = peer.sync_with(addr, last_now).map_err(|e| e.to_string())?;
+            println!(
+                "synced with {remote}: served {} item(s), pulled {} deliveries",
+                report.served,
+                report.pulled.map(|r| r.delivered).unwrap_or(0)
+            );
+        }
+        // Keep serving inbound sessions when asked (so another `replidtn
+        // peer --connect` invocation can reach this process).
+        if serve_for > 0 {
+            println!("serving for {serve_for}s ...");
+            std::thread::sleep(std::time::Duration::from_secs(serve_for));
+        }
+        peer.stop()
+    };
 
-    // Keep serving inbound sessions when asked (so another `replidtn
-    // peer --connect` invocation can reach this process).
-    let serve_for: u64 = flags.num("serve-for", 0)?;
-    if serve_for > 0 {
-        println!("serving for {serve_for}s ...");
-        std::thread::sleep(std::time::Duration::from_secs(serve_for));
-    }
-
-    let inbox = peer.with_node(|n| n.inbox());
+    let inbox = node.inbox();
     println!("inbox ({} messages):", inbox.len());
     for msg in inbox {
         println!(
@@ -510,7 +620,6 @@ fn peer(args: &[String]) -> Result<(), String> {
     // Sessions persist durable state as they run; this final persist
     // additionally covers --send queuing that never synced. A no-op
     // without --data-dir.
-    let mut node = peer.stop();
     node.persist(last_now)
         .map_err(|e| format!("persisting at exit: {e}"))?;
     obs.finish()

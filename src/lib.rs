@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the replidtn workspace.
 pub use dtn;
 pub use emu;
+pub use net;
 pub use obs;
 pub use pfr;
 pub use store;
