@@ -9,8 +9,12 @@
 //!   `transport::protocol` so async and blocking nodes interoperate.
 //! * [`reactor`] — a readiness-loop reactor over nonblocking std TCP
 //!   streams (no external async runtime): per-session frame accumulators,
-//!   bounded write queues with backpressure, idle/stall timeouts, and a
-//!   connection pool for session reuse.
+//!   vectored-write outboxes with backpressure, idle/stall timeouts, and
+//!   a connection pool for session reuse.
+//! * [`poll`] — the readiness backends behind the reactor
+//!   ([`PollBackend`]): an in-tree edge-triggered `epoll(7)` binding
+//!   (workers block until sockets are actually ready) with the original
+//!   exhaustive sweep as the selectable A/B fallback.
 //! * [`membership`] + [`wire`] — gossip peer discovery: periodic
 //!   peer-exchange rounds with seeded deterministic fanout, incarnation-
 //!   based failure suspicion with refutation and rejoin, and route
@@ -21,14 +25,17 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod listen;
 pub mod membership;
 pub mod node;
+pub mod poll;
 pub mod reactor;
 pub mod session;
 pub mod wire;
 
 pub use membership::{Membership, MembershipConfig, PeerView, TickReport};
 pub use node::{GossipRoundStats, NetConfig, NetNode, NetStats};
+pub use poll::PollBackend;
 pub use reactor::{NetSessionResult, SessionTicket};
 
 pub use session::{Progress, SessionError, SessionMachine};

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 use pfr::{SimTime, SyncLimits};
 
 use crate::membership::{Membership, MembershipConfig, PeerView};
+use crate::poll::PollBackend;
 use crate::reactor::{NetSessionResult, Reactor, ReactorConfig, SessionTicket, Shared};
 use crate::session::{SessionError, SessionMachine};
 
@@ -31,10 +32,18 @@ use crate::session::{SessionError, SessionMachine};
 pub struct NetConfig {
     /// Reactor worker threads.
     pub workers: usize,
+    /// How workers discover ready sockets: edge-triggered epoll or the
+    /// exhaustive sweep. Defaults from `REPLIDTN_POLL_BACKEND` when set,
+    /// else the platform default (epoll on Linux).
+    pub backend: PollBackend,
     /// Concurrent-session cap: inbound connections beyond it are refused,
     /// outbound registrations fail fast with
     /// [`SessionError::AtCapacity`].
     pub max_sessions: usize,
+    /// Listen backlog requested for the accept socket (the kernel clamps
+    /// it to `net.core.somaxconn`). Deep enough by default that a
+    /// high-fanout dial burst never overflows into SYN retransmits.
+    pub accept_backlog: usize,
     /// Per-session write-queue bound; a session over it stops reading
     /// until the queue drains (backpressure).
     pub write_queue_limit: usize,
@@ -60,7 +69,9 @@ impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {
             workers: 2,
+            backend: PollBackend::from_env(),
             max_sessions: 4096,
+            accept_backlog: 1024,
             write_queue_limit: 256 * 1024,
             idle_timeout: Duration::from_secs(30),
             stall_timeout: Duration::from_secs(10),
@@ -88,6 +99,13 @@ pub struct NetStats {
     pub conn_reuses: u64,
     /// Backpressure episodes (write queue over its bound).
     pub backpressure_stalls: u64,
+    /// Socket/poll syscalls issued by the reactor workers.
+    pub syscalls: u64,
+    /// Times a parked worker was woken to pick up enqueued sessions.
+    pub wakeups: u64,
+    /// Label of the readiness backend actually running (`"epoll"` or
+    /// `"sweep"` — the requested backend resolved against the platform).
+    pub backend: &'static str,
 }
 
 /// What one gossip round accomplished.
@@ -129,7 +147,7 @@ impl NetNode {
     ///
     /// Any I/O error binding the listener.
     pub fn start(node: DtnNode, bind: &str, config: NetConfig) -> io::Result<NetNode> {
-        let listener = TcpListener::bind(bind)?;
+        let listener = crate::listen::bind_listener(bind, config.accept_backlog as i32)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let replica = node.id().as_u64();
@@ -140,13 +158,18 @@ impl NetNode {
             local_addr.to_string(),
             config.gossip.clone(),
         )));
-        let reactor = Reactor::start(ReactorConfig {
-            workers: config.workers,
-            write_queue_limit: config.write_queue_limit,
-            idle_timeout: config.idle_timeout,
-            stall_timeout: config.stall_timeout,
-            pool_idle: config.idle_timeout,
-        });
+        let reactor = Reactor::start(
+            ReactorConfig {
+                workers: config.workers,
+                backend: config.backend,
+                write_queue_limit: config.write_queue_limit,
+                idle_timeout: config.idle_timeout,
+                stall_timeout: config.stall_timeout,
+                pool_idle: config.idle_timeout,
+            },
+            obs.clone(),
+            replica,
+        );
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let accept_thread = {
@@ -246,6 +269,9 @@ impl NetNode {
             failed: shared.failed.load(Ordering::Relaxed),
             conn_reuses: shared.reuses.load(Ordering::Relaxed),
             backpressure_stalls: shared.stalls.load(Ordering::Relaxed),
+            syscalls: shared.syscalls.load(Ordering::Relaxed),
+            wakeups: shared.wakeups.load(Ordering::Relaxed),
+            backend: shared.backend().name(),
         }
     }
 
@@ -372,6 +398,25 @@ fn accept_loop(
     max_sessions: usize,
     replica: u64,
 ) {
+    // Event-driven parking under the epoll backend: block on listener
+    // readiness instead of a fixed 2 ms nap, so a dial burst is drained
+    // the moment it arrives. The loop accepts to `WouldBlock` before
+    // waiting again, honouring the edge-trigger contract.
+    #[cfg(target_os = "linux")]
+    let mut poller = if shared.backend() == crate::poll::PollBackend::Epoll {
+        use std::os::unix::io::AsRawFd;
+        crate::poll::EpollPoller::new()
+            .and_then(|poller| {
+                poller.register(listener.as_raw_fd(), 0)?;
+                Ok(poller)
+            })
+            .ok()
+    } else {
+        None
+    };
+    #[cfg(target_os = "linux")]
+    let mut ready: Vec<usize> = Vec::new();
+
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -399,6 +444,14 @@ fn accept_loop(
                 );
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                #[cfg(target_os = "linux")]
+                if let Some(poller) = poller.as_mut() {
+                    ready.clear();
+                    // Bounded so the shutdown flag stays responsive.
+                    if poller.wait(50, &mut ready).is_ok() {
+                        continue;
+                    }
+                }
                 std::thread::sleep(Duration::from_millis(2));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(10)),

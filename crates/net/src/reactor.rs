@@ -1,11 +1,25 @@
 //! The readiness-loop reactor: many sessions, few threads.
 //!
 //! No external async runtime — each worker thread owns a set of sessions
-//! over nonblocking std [`TcpStream`]s and loops over them: flush the
+//! over nonblocking std [`TcpStream`]s and drives them: flush the
 //! session's outbox until the socket would block, read whatever bytes are
 //! ready, feed complete frames to the [`SessionMachine`], repeat. A
 //! session costs a few hundred bytes of state rather than a thread, so
 //! thousands run concurrently on a handful of workers.
+//!
+//! *How* a worker learns which sessions to drive is the
+//! [`PollBackend`]: the epoll backend registers every socket
+//! edge-triggered with a per-worker `epoll(7)` instance and blocks in
+//! `epoll_wait` until something is actually ready (syscalls scale with
+//! ready sessions), while the sweep backend probes every live session
+//! each pass (syscalls scale with live sessions) and parks on a condvar
+//! when idle. Both run the same [`step`] function over the same session
+//! state, so wire traffic is byte-identical — pinned by the differential
+//! suite in `tests/backend_equivalence.rs`.
+//!
+//! Writes are batched: a session's outbox is a queue of encoded-frame
+//! segments flushed with vectored [`Write::write_vectored`] submissions
+//! (`writev(2)`), so one syscall drains many queued frames.
 //!
 //! Flow control is per session: the outbox is a bounded write queue — a
 //! session whose queue is over its bound stops *reading* until it drains
@@ -15,7 +29,7 @@
 //! connections return to a pool keyed by dial address for reuse.
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -26,19 +40,36 @@ use parking_lot::Mutex;
 use transport::frame::{FrameAccum, FrameError};
 use transport::SessionReport;
 
+use crate::poll::{CondWaker, PollBackend, Waker};
 use crate::session::{Progress, SessionError, SessionMachine};
+
+#[cfg(target_os = "linux")]
+use crate::poll::EpollPoller;
 
 /// How many bytes one `read` call pulls at most.
 const READ_BUF: usize = 16 * 1024;
 /// Read calls per session per loop pass (fairness bound).
 const READS_PER_PASS: usize = 8;
-/// Worker park time when a pass makes no progress.
+/// Sweep-backend park time when sessions exist but none progressed (the
+/// sweep still has to probe them; an *empty* sweep worker parks on its
+/// condvar with no floor at all).
 const IDLE_PARK: Duration = Duration::from_micros(500);
+/// Frame segments per vectored write submission.
+const WRITEV_BATCH: usize = 16;
+/// Recycled outbox segments kept per session, and the capacity above
+/// which a segment is dropped instead of pooled.
+const SEG_POOL: usize = 4;
+const SEG_POOL_CAP: usize = 64 * 1024;
+/// Epoll-backend deadline sweep period: how often parked sessions are
+/// checked against idle/stall timeouts when no I/O wakes them.
+#[cfg(target_os = "linux")]
+const DEADLINE_TICK: Duration = Duration::from_millis(20);
 
 /// Reactor tunables (filled in from [`crate::NetConfig`]).
 #[derive(Clone, Debug)]
 pub(crate) struct ReactorConfig {
     pub workers: usize,
+    pub backend: PollBackend,
     pub write_queue_limit: usize,
     pub idle_timeout: Duration,
     pub stall_timeout: Duration,
@@ -108,25 +139,106 @@ impl std::fmt::Debug for SessionTicket {
     }
 }
 
-/// Outbox: a write queue with a consumed-prefix offset so partial writes
-/// do not memmove the remainder every pass.
+/// Outbox: a queue of encoded-frame segments flushed with vectored
+/// writes, so one `writev` syscall drains up to [`WRITEV_BATCH`] queued
+/// frames. Drained segments are recycled through a small per-session
+/// pool, so a long-lived responder stops allocating.
 #[derive(Default)]
 struct OutBuf {
-    buf: Vec<u8>,
+    segs: VecDeque<Vec<u8>>,
+    /// Consumed prefix of the front segment (partial writes do not
+    /// memmove the remainder).
     pos: usize,
+    pending: usize,
+    pool: Vec<Vec<u8>>,
+}
+
+enum FlushStatus {
+    /// Everything queued hit the socket.
+    Drained,
+    /// The socket would block; bytes remain queued.
+    Blocked,
 }
 
 impl OutBuf {
     fn pending(&self) -> usize {
-        self.buf.len() - self.pos
+        self.pending
     }
 
-    fn advance(&mut self, n: usize) {
-        self.pos += n;
-        if self.pos == self.buf.len() {
-            self.buf.clear();
-            self.pos = 0;
+    /// A recycled (or fresh) segment for the machine to encode into.
+    fn take_seg(&mut self) -> Vec<u8> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Queues a filled segment; empty ones go straight back to the pool.
+    fn push_seg(&mut self, seg: Vec<u8>) {
+        if seg.is_empty() {
+            self.recycle(seg);
+        } else {
+            self.pending += seg.len();
+            self.segs.push_back(seg);
         }
+    }
+
+    fn recycle(&mut self, mut seg: Vec<u8>) {
+        if self.pool.len() < SEG_POOL && seg.capacity() <= SEG_POOL_CAP {
+            seg.clear();
+            self.pool.push(seg);
+        }
+    }
+
+    fn advance(&mut self, mut n: usize) {
+        self.pending -= n;
+        while n > 0 {
+            let left = self.segs.front().expect("advance past queue").len() - self.pos;
+            if n >= left {
+                n -= left;
+                self.pos = 0;
+                let seg = self.segs.pop_front().expect("advance past queue");
+                self.recycle(seg);
+            } else {
+                self.pos += n;
+                n = 0;
+            }
+        }
+    }
+
+    /// Flushes queued segments with vectored writes until the queue is
+    /// empty or the socket would block. `Ok(0)` from the socket surfaces
+    /// as [`SessionError::Eof`].
+    fn flush(
+        &mut self,
+        stream: &TcpStream,
+        syscalls: &mut u64,
+        moved: &mut bool,
+    ) -> Result<FlushStatus, SessionError> {
+        const EMPTY: &[u8] = &[];
+        while self.pending > 0 {
+            let mut slices = [IoSlice::new(EMPTY); WRITEV_BATCH];
+            let mut count = 0;
+            for (i, seg) in self.segs.iter().take(WRITEV_BATCH).enumerate() {
+                slices[i] = if i == 0 {
+                    IoSlice::new(&seg[self.pos..])
+                } else {
+                    IoSlice::new(seg)
+                };
+                count = i + 1;
+            }
+            *syscalls += 1;
+            match (&*stream).write_vectored(&slices[..count]) {
+                Ok(0) => return Err(SessionError::Eof),
+                Ok(n) => {
+                    self.advance(n);
+                    *moved = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(FlushStatus::Blocked)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(SessionError::Io(e)),
+            }
+        }
+        Ok(FlushStatus::Drained)
     }
 }
 
@@ -145,6 +257,9 @@ pub(crate) struct Session {
     stalled: bool,
     /// Machine finished; flush the outbox, then finalize.
     finished: bool,
+    /// When the session was handed to its worker queue (consumed by the
+    /// wakeup-latency measurement on first pickup).
+    enqueued_at: Instant,
     obs: Obs,
     replica: u64,
 }
@@ -158,17 +273,27 @@ struct PooledConn {
 /// State shared between the reactor handle and its workers.
 pub(crate) struct Shared {
     config: ReactorConfig,
+    /// The backend actually running (the requested one resolved against
+    /// the platform, with epoll falling back to sweep on setup failure).
+    backend: PollBackend,
     shutdown: AtomicBool,
     queues: Vec<Mutex<Vec<Session>>>,
+    /// One waker per worker: parked workers resume when a session lands
+    /// on their queue (condvar for sweep, socketpair write for epoll).
+    wakers: Vec<Waker>,
     next_queue: AtomicUsize,
     pool: Mutex<VecDeque<PooledConn>>,
     epoch: Instant,
+    obs: Obs,
+    replica: u64,
     pub(crate) open: AtomicUsize,
     pub(crate) peak: AtomicUsize,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
     pub(crate) reuses: AtomicU64,
     pub(crate) stalls: AtomicU64,
+    pub(crate) syscalls: AtomicU64,
+    pub(crate) wakeups: AtomicU64,
 }
 
 impl Shared {
@@ -176,6 +301,11 @@ impl Shared {
     /// membership layer ages entries against.
     pub(crate) fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// The readiness backend actually driving the workers.
+    pub(crate) fn backend(&self) -> PollBackend {
+        self.backend
     }
 
     /// Pops a pooled connection to `addr`, pruning stale entries.
@@ -198,8 +328,8 @@ impl Shared {
         });
     }
 
-    /// Registers a session with the next worker round-robin. The stream
-    /// must already be nonblocking.
+    /// Registers a session with the next worker round-robin and wakes
+    /// that worker. The stream must already be nonblocking.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn register(
         &self,
@@ -216,20 +346,20 @@ impl Shared {
         if reused {
             self.reuses.fetch_add(1, Ordering::Relaxed);
         }
+        let mut out = OutBuf::default();
+        out.push_seg(initial_out);
         let session = Session {
             stream,
             addr,
             machine,
             accum: FrameAccum::new(),
-            out: OutBuf {
-                buf: initial_out,
-                pos: 0,
-            },
+            out,
             ticket,
             inbound,
             last_progress: Instant::now(),
             stalled: false,
             finished: false,
+            enqueued_at: Instant::now(),
             obs,
             replica,
         };
@@ -237,10 +367,28 @@ impl Shared {
         self.peak.fetch_max(open, Ordering::Relaxed);
         let idx = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
         self.queues[idx].lock().push(session);
+        self.wakers[idx].wake();
     }
 
     pub(crate) fn open_sessions(&self) -> usize {
         self.open.load(Ordering::Relaxed)
+    }
+}
+
+/// How one worker discovers readiness: its half of the A/B switch.
+enum WorkerPoller {
+    Sweep(Arc<CondWaker>),
+    #[cfg(target_os = "linux")]
+    Epoll(EpollPoller),
+}
+
+impl WorkerPoller {
+    fn waker(&self) -> Waker {
+        match self {
+            WorkerPoller::Sweep(w) => Waker::Cond(Arc::clone(w)),
+            #[cfg(target_os = "linux")]
+            WorkerPoller::Epoll(p) => Waker::Pipe(p.waker()),
+        }
     }
 }
 
@@ -251,28 +399,42 @@ pub(crate) struct Reactor {
 }
 
 impl Reactor {
-    pub(crate) fn start(config: ReactorConfig) -> Reactor {
+    pub(crate) fn start(config: ReactorConfig, obs: Obs, replica: u64) -> Reactor {
         let workers = config.workers.max(1);
+        let (backend, pollers) = build_pollers(config.backend, workers);
+        let wakers = pollers.iter().map(WorkerPoller::waker).collect();
         let shared = Arc::new(Shared {
             config,
+            backend,
             shutdown: AtomicBool::new(false),
             queues: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            wakers,
             next_queue: AtomicUsize::new(0),
             pool: Mutex::new(VecDeque::new()),
             epoch: Instant::now(),
+            obs,
+            replica,
             open: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
+            syscalls: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
         });
-        let handles = (0..workers)
-            .map(|w| {
+        let handles = pollers
+            .into_iter()
+            .enumerate()
+            .map(|(w, poller)| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("net-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
+                    .spawn(move || match poller {
+                        WorkerPoller::Sweep(waker) => sweep_loop(&shared, w, &waker),
+                        #[cfg(target_os = "linux")]
+                        WorkerPoller::Epoll(poller) => epoll_loop(&shared, w, poller),
+                    })
                     .expect("spawn net worker")
             })
             .collect();
@@ -289,6 +451,9 @@ impl Reactor {
     /// Stops the workers, failing every session still in flight.
     pub(crate) fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        for waker in &self.shared.wakers {
+            waker.wake();
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -299,6 +464,32 @@ impl Drop for Reactor {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// Builds one poller per worker for the requested backend, falling back
+/// to the sweep when epoll setup fails (fd exhaustion, odd platforms).
+fn build_pollers(requested: PollBackend, workers: usize) -> (PollBackend, Vec<WorkerPoller>) {
+    #[cfg(target_os = "linux")]
+    if requested.resolved() == PollBackend::Epoll {
+        let mut pollers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            match EpollPoller::new() {
+                Ok(poller) => pollers.push(WorkerPoller::Epoll(poller)),
+                Err(_) => {
+                    pollers.clear();
+                    break;
+                }
+            }
+        }
+        if pollers.len() == workers {
+            return (PollBackend::Epoll, pollers);
+        }
+    }
+    let _ = requested;
+    let pollers = (0..workers)
+        .map(|_| WorkerPoller::Sweep(CondWaker::new()))
+        .collect();
+    (PollBackend::Sweep, pollers)
 }
 
 /// What one step decided about a session's future.
@@ -313,38 +504,264 @@ enum Verdict {
     Failed(SessionError),
 }
 
-fn worker_loop(shared: &Shared, index: usize) {
+/// What one step observed beyond the verdict.
+struct StepOutcome {
+    /// Bytes moved in either direction (the sweep's idle heuristic).
+    moved: bool,
+    /// The socket was driven to `WouldBlock`/EOF in the read direction.
+    /// Under edge-triggered epoll a session that stopped early (fairness
+    /// bound) must be re-stepped without waiting for an edge.
+    drained: bool,
+}
+
+/// Per-worker telemetry: syscall/wakeup deltas accumulated locally and
+/// flushed to the shared counters plus one `net_poll` event per wakeup
+/// batch (and a final flush at shutdown).
+struct PollTelemetry {
+    backend: &'static str,
+    syscalls: u64,
+    wakeups: u64,
+    woken: u64,
+    max_latency_us: u64,
+}
+
+impl PollTelemetry {
+    fn new(backend: PollBackend) -> PollTelemetry {
+        PollTelemetry {
+            backend: backend.name(),
+            syscalls: 0,
+            wakeups: 0,
+            woken: 0,
+            max_latency_us: 0,
+        }
+    }
+
+    /// Records one wakeup that picked up `sessions` (measuring each
+    /// session's enqueue→pickup latency), then emits the batch.
+    fn on_wakeup(&mut self, shared: &Shared, sessions: &[Session]) {
+        self.wakeups += 1;
+        shared.wakeups.fetch_add(1, Ordering::Relaxed);
+        for session in sessions {
+            let us = session.enqueued_at.elapsed().as_micros() as u64;
+            self.max_latency_us = self.max_latency_us.max(us);
+            self.woken += 1;
+        }
+        self.emit(shared);
+    }
+
+    /// Adds a syscall delta to the shared counter and the pending event.
+    fn add_syscalls(&mut self, shared: &Shared, n: u64) {
+        if n > 0 {
+            self.syscalls += n;
+            shared.syscalls.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn emit(&mut self, shared: &Shared) {
+        if self.syscalls == 0 && self.wakeups == 0 {
+            return;
+        }
+        let (backend, syscalls, wakeups, woken, latency) = (
+            self.backend,
+            self.syscalls,
+            self.wakeups,
+            self.woken,
+            self.max_latency_us,
+        );
+        let replica = shared.replica;
+        shared.obs.emit(|| Event::NetPoll {
+            replica,
+            backend,
+            syscalls,
+            wakeups,
+            woken,
+            wakeup_latency_us: latency,
+        });
+        self.syscalls = 0;
+        self.wakeups = 0;
+        self.woken = 0;
+        self.max_latency_us = 0;
+    }
+}
+
+/// The sweep backend: probe every live session each pass. Idle workers
+/// park on their condvar until a session is enqueued (no latency floor);
+/// workers with live-but-quiet sessions park for [`IDLE_PARK`] between
+/// probe passes.
+fn sweep_loop(shared: &Shared, index: usize, waker: &CondWaker) {
     let mut local: Vec<Session> = Vec::new();
     let mut read_buf = vec![0u8; READ_BUF];
+    let mut telemetry = PollTelemetry::new(PollBackend::Sweep);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             local.append(&mut shared.queues[index].lock());
             for mut session in local.drain(..) {
                 finalize(shared, &mut session, Verdict::Failed(SessionError::Eof));
             }
+            telemetry.emit(shared);
             return;
         }
         {
             let mut queue = shared.queues[index].lock();
-            local.append(&mut queue);
+            if !queue.is_empty() {
+                let first_new = local.len();
+                local.append(&mut queue);
+                drop(queue);
+                telemetry.on_wakeup(shared, &local[first_new..]);
+            }
         }
+        let mut syscalls = 0u64;
         let mut progressed = false;
         let mut i = 0;
         while i < local.len() {
-            let (verdict, moved) = step(shared, &mut local[i], &mut read_buf);
-            progressed |= moved;
-            match verdict {
-                Verdict::Keep => i += 1,
-                verdict => {
-                    let mut session = local.swap_remove(i);
-                    finalize(shared, &mut session, verdict);
-                    progressed = true;
+            let (verdict, outcome) = step(shared, &mut local[i], &mut read_buf, &mut syscalls);
+            progressed |= outcome.moved;
+            let verdict = match verdict {
+                Verdict::Keep => match deadline_verdict(shared, &local[i]) {
+                    None => {
+                        i += 1;
+                        continue;
+                    }
+                    Some(verdict) => verdict,
+                },
+                verdict => verdict,
+            };
+            let mut session = local.swap_remove(i);
+            finalize(shared, &mut session, verdict);
+            progressed = true;
+        }
+        telemetry.add_syscalls(shared, syscalls);
+        if !progressed {
+            if local.is_empty() {
+                waker.park(None);
+            } else {
+                waker.park(Some(IDLE_PARK));
+            }
+        }
+    }
+}
+
+/// The epoll backend: sessions live in a token-indexed slab, their
+/// sockets registered edge-triggered with the worker's epoll instance;
+/// the worker blocks in `epoll_wait` until a socket is ready or the
+/// waker fires, then steps exactly the ready sessions. Sessions whose
+/// read was cut short by the fairness bound stay "hot" and are
+/// re-stepped with a zero-timeout wait in between (the edge-trigger
+/// contract: an un-drained socket fires no further events). Deadlines
+/// are enforced by a periodic sweep every [`DEADLINE_TICK`].
+#[cfg(target_os = "linux")]
+fn epoll_loop(shared: &Shared, index: usize, mut poller: EpollPoller) {
+    use std::os::unix::io::AsRawFd;
+
+    let mut slots: Vec<Option<Session>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut hot: Vec<usize> = Vec::new();
+    let mut ready: Vec<usize> = Vec::new();
+    let mut incoming: Vec<Session> = Vec::new();
+    let mut read_buf = vec![0u8; READ_BUF];
+    let mut telemetry = PollTelemetry::new(PollBackend::Epoll);
+    let mut last_tick = Instant::now();
+    let tick_ms = DEADLINE_TICK.as_millis() as i32;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            incoming.append(&mut shared.queues[index].lock());
+            for mut session in incoming.drain(..) {
+                finalize(shared, &mut session, Verdict::Failed(SessionError::Eof));
+            }
+            for slot in &mut slots {
+                if let Some(mut session) = slot.take() {
+                    poller.deregister(session.stream.as_raw_fd());
+                    finalize(shared, &mut session, Verdict::Failed(SessionError::Eof));
+                }
+            }
+            telemetry.emit(shared);
+            return;
+        }
+
+        // Intake: adopt newly registered sessions into the slab. They are
+        // stepped immediately (hot) — the initial outbox must hit the
+        // wire, and a pooled/inbound socket may already hold bytes that
+        // will never fire an edge.
+        incoming.append(&mut shared.queues[index].lock());
+        if !incoming.is_empty() {
+            telemetry.on_wakeup(shared, &incoming);
+            for session in incoming.drain(..) {
+                let token = free.pop().unwrap_or_else(|| {
+                    slots.push(None);
+                    slots.len() - 1
+                });
+                match poller.register(session.stream.as_raw_fd(), token) {
+                    Ok(()) => {
+                        slots[token] = Some(session);
+                        hot.push(token);
+                    }
+                    Err(e) => {
+                        free.push(token);
+                        let mut session = session;
+                        finalize(shared, &mut session, Verdict::Failed(SessionError::Io(e)));
+                    }
                 }
             }
         }
-        if !progressed {
-            std::thread::sleep(IDLE_PARK);
+
+        // Wait for readiness — not at all while hot sessions need
+        // re-stepping, else until the next deadline tick.
+        ready.clear();
+        let timeout = if hot.is_empty() { tick_ms } else { 0 };
+        let mut syscalls = 1u64;
+        if poller.wait(timeout, &mut ready).is_err() {
+            // epoll_wait failing is unrecoverable for this worker; fail
+            // everything rather than spin.
+            for slot in &mut slots {
+                if let Some(mut session) = slot.take() {
+                    poller.deregister(session.stream.as_raw_fd());
+                    finalize(shared, &mut session, Verdict::Failed(SessionError::Eof));
+                }
+            }
+            hot.clear();
+            continue;
         }
+        ready.append(&mut hot);
+        ready.sort_unstable();
+        ready.dedup();
+
+        for &token in &ready {
+            let Some(session) = slots.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            let (verdict, outcome) = step(shared, session, &mut read_buf, &mut syscalls);
+            match verdict {
+                Verdict::Keep => {
+                    if !outcome.drained {
+                        hot.push(token);
+                    }
+                }
+                verdict => {
+                    let mut session = slots[token].take().expect("stepped session");
+                    poller.deregister(session.stream.as_raw_fd());
+                    free.push(token);
+                    finalize(shared, &mut session, verdict);
+                }
+            }
+        }
+
+        // Deadline sweep: no event fires for a peer that simply went
+        // quiet, so timeouts are enforced on a coarse periodic tick.
+        if last_tick.elapsed() >= DEADLINE_TICK {
+            last_tick = Instant::now();
+            for (token, slot) in slots.iter_mut().enumerate() {
+                let Some(session) = slot.as_ref() else {
+                    continue;
+                };
+                if let Some(verdict) = deadline_verdict(shared, session) {
+                    let mut session = slot.take().expect("checked session");
+                    poller.deregister(session.stream.as_raw_fd());
+                    free.push(token);
+                    finalize(shared, &mut session, verdict);
+                }
+            }
+        }
+        telemetry.add_syscalls(shared, syscalls);
     }
 }
 
@@ -355,17 +772,19 @@ fn finalize(shared: &Shared, session: &mut Session, verdict: Verdict) {
         Verdict::Keep => unreachable!(),
         Verdict::Finished => {
             shared.completed.fetch_add(1, Ordering::Relaxed);
+            // Return the outbound connection *before* resolving the
+            // ticket: a caller that re-dials the moment its wait returns
+            // must find the connection already pooled.
+            if !session.inbound {
+                if let Ok(stream) = session.stream.try_clone() {
+                    shared.give_pooled(std::mem::take(&mut session.addr), stream);
+                }
+            }
             if let Some(ticket) = session.ticket.take() {
                 ticket.resolve(NetSessionResult {
                     report: session.machine.report().clone(),
                     error: None,
                 });
-            }
-            // Return the outbound connection for the next session.
-            if !session.inbound {
-                if let Ok(stream) = session.stream.try_clone() {
-                    shared.give_pooled(std::mem::take(&mut session.addr), stream);
-                }
             }
         }
         Verdict::Closed => {
@@ -385,35 +804,73 @@ fn finalize(shared: &Shared, session: &mut Session, verdict: Verdict) {
     }
 }
 
-/// One readiness pass over one session. Returns the verdict plus whether
-/// any bytes moved (the worker's idle heuristic).
-fn step(shared: &Shared, session: &mut Session, read_buf: &mut [u8]) -> (Verdict, bool) {
-    let mut moved = false;
-
-    // Flush the outbox until the socket would block.
-    while session.out.pending() > 0 {
-        match session.stream.write(&session.out.buf[session.out.pos..]) {
-            Ok(0) => return (Verdict::Failed(SessionError::Eof), moved),
-            Ok(n) => {
-                session.out.advance(n);
-                session.last_progress = Instant::now();
-                moved = true;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return (Verdict::Failed(SessionError::Io(e)), moved),
+/// Applies idle/stall/backpressure deadlines to a kept session. Shared
+/// by both backends: the sweep checks after every step, the epoll loop
+/// on its periodic tick (no event fires for a peer that went quiet).
+fn deadline_verdict(shared: &Shared, session: &Session) -> Option<Verdict> {
+    let quiet = session.last_progress.elapsed();
+    if session.stalled {
+        if quiet > shared.config.stall_timeout {
+            return Some(Verdict::Failed(SessionError::Backpressure));
         }
+        return None;
+    }
+    if session.finished {
+        // Finished but the outbox will not drain: the peer stopped
+        // reading. Treated as a stall like any other no-progress state.
+        if quiet > shared.config.stall_timeout {
+            return Some(Verdict::Failed(SessionError::Stalled));
+        }
+        return None;
+    }
+    if session.machine.is_idle() {
+        if quiet > shared.config.idle_timeout {
+            return Some(Verdict::Closed);
+        }
+    } else if quiet > shared.config.stall_timeout {
+        return Some(Verdict::Failed(SessionError::Stalled));
+    }
+    None
+}
+
+/// One readiness pass over one session: flush, read, feed frames, flush
+/// again. Identical for both backends — only *when* it runs differs.
+/// Each socket syscall bumps `*syscalls`.
+fn step(
+    shared: &Shared,
+    session: &mut Session,
+    read_buf: &mut [u8],
+    syscalls: &mut u64,
+) -> (Verdict, StepOutcome) {
+    let mut outcome = StepOutcome {
+        moved: false,
+        drained: true,
+    };
+
+    // Flush the outbox until empty or the socket would block.
+    match session
+        .out
+        .flush(&session.stream, syscalls, &mut outcome.moved)
+    {
+        Ok(_) => {
+            if outcome.moved {
+                session.last_progress = Instant::now();
+            }
+        }
+        Err(err) => return (Verdict::Failed(err), outcome),
     }
 
     if session.finished {
         if session.out.pending() == 0 {
-            return (Verdict::Finished, moved);
+            return (Verdict::Finished, outcome);
         }
-        return (Verdict::Keep, moved);
+        return (Verdict::Keep, outcome);
     }
 
     // Backpressure: a session over its write bound stops reading until
-    // the queue drains — the peer feels it through TCP.
+    // the queue drains — the peer feels it through TCP. The next flush
+    // opportunity (writability edge, or the next sweep pass) re-enters
+    // this step and resumes reading once under the bound.
     if session.out.pending() > shared.config.write_queue_limit {
         if !session.stalled {
             session.stalled = true;
@@ -432,16 +889,23 @@ fn step(shared: &Shared, session: &mut Session, read_buf: &mut [u8]) -> (Verdict
                 queued_bytes: queued,
             });
         }
-        if session.last_progress.elapsed() > shared.config.stall_timeout {
-            return (Verdict::Failed(SessionError::Backpressure), moved);
-        }
-        return (Verdict::Keep, moved);
+        return (Verdict::Keep, outcome);
     }
     session.stalled = false;
 
-    // Read whatever is ready, bounded per pass for fairness.
+    // Read whatever is ready, bounded per pass for fairness. A session
+    // that used its whole budget without hitting WouldBlock is not
+    // drained: the caller must re-step it (edge-triggered epoll will
+    // never re-announce those bytes).
     let mut saw_eof = false;
-    for _ in 0..READS_PER_PASS {
+    let mut reads = 0;
+    loop {
+        if reads == READS_PER_PASS {
+            outcome.drained = false;
+            break;
+        }
+        reads += 1;
+        *syscalls += 1;
         match session.stream.read(read_buf) {
             Ok(0) => {
                 saw_eof = true;
@@ -450,37 +914,88 @@ fn step(shared: &Shared, session: &mut Session, read_buf: &mut [u8]) -> (Verdict
             Ok(n) => {
                 session.accum.extend(&read_buf[..n]);
                 session.last_progress = Instant::now();
-                moved = true;
+                outcome.moved = true;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return (Verdict::Failed(SessionError::Io(e)), moved),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                reads -= 1;
+                continue;
+            }
+            Err(e) => return (Verdict::Failed(SessionError::Io(e)), outcome),
         }
     }
 
-    // Feed complete frames to the machine.
+    // Feed complete frames to the machine, encoding replies into a
+    // recycled outbox segment.
+    let mut seg = session.out.take_seg();
     let now_ms = shared.now_ms();
+    let fed = feed_frames(shared, session, &mut seg, now_ms, &mut outcome.moved);
+    session.out.push_seg(seg);
+    if let Err(verdict) = fed {
+        return (verdict, outcome);
+    }
+
+    // Flush again: frames the machine just queued would otherwise wait
+    // for a writability edge that may never come (the socket is already
+    // writable — edge-triggered epoll stays silent).
+    if session.out.pending() > 0 {
+        match session
+            .out
+            .flush(&session.stream, syscalls, &mut outcome.moved)
+        {
+            Ok(_) => {
+                if outcome.moved {
+                    session.last_progress = Instant::now();
+                }
+            }
+            Err(err) => return (Verdict::Failed(err), outcome),
+        }
+    }
+
+    if session.finished && session.out.pending() == 0 {
+        return (Verdict::Finished, outcome);
+    }
+
+    if saw_eof {
+        // EOF with the responder parked idle and nothing queued is a
+        // clean close; mid-session it is an error.
+        if session.machine.is_idle() && session.out.pending() == 0 && session.accum.buffered() == 0
+        {
+            return (Verdict::Closed, outcome);
+        }
+        return (Verdict::Failed(SessionError::Eof), outcome);
+    }
+
+    (Verdict::Keep, outcome)
+}
+
+/// Drains complete frames from the accumulator into the machine. Reply
+/// bytes land in `seg`; errors come back as the failing verdict.
+fn feed_frames(
+    shared: &Shared,
+    session: &mut Session,
+    seg: &mut Vec<u8>,
+    now_ms: u64,
+    moved: &mut bool,
+) -> Result<(), Verdict> {
     loop {
         let (frame_type, payload) = match session.accum.next_frame() {
             Ok(Some(frame)) => frame,
-            Ok(None) => break,
+            Ok(None) => return Ok(()),
             Err(e @ FrameError::BadChecksum { .. }) => {
                 // The damaged frame was consumed; the machine decides
                 // whether this state can recover (serve side answers
                 // with a resync demand).
-                match session.machine.on_checksum_error(e, &mut session.out.buf) {
+                match session.machine.on_checksum_error(e, seg) {
                     Ok(Progress::Continue) => continue,
                     Ok(_) => unreachable!("checksum recovery never completes a session"),
-                    Err(err) => return (Verdict::Failed(err), moved),
+                    Err(err) => return Err(Verdict::Failed(err)),
                 }
             }
-            Err(e) => return (Verdict::Failed(SessionError::Frame(e)), moved),
+            Err(e) => return Err(Verdict::Failed(SessionError::Frame(e))),
         };
-        moved = true;
-        match session
-            .machine
-            .on_frame(frame_type, &payload, now_ms, &mut session.out.buf)
-        {
+        *moved = true;
+        match session.machine.on_frame(frame_type, &payload, now_ms, seg) {
             Ok(Progress::Continue) => {}
             Ok(Progress::SessionComplete) if session.inbound => {
                 // The responder machine reset itself to idle; the
@@ -489,34 +1004,9 @@ fn step(shared: &Shared, session: &mut Session, read_buf: &mut [u8]) -> (Verdict
             }
             Ok(Progress::SessionComplete) | Ok(Progress::GossipComplete) => {
                 session.finished = true;
-                break;
+                return Ok(());
             }
-            Err(err) => return (Verdict::Failed(err), moved),
+            Err(err) => return Err(Verdict::Failed(err)),
         }
     }
-
-    if session.finished && session.out.pending() == 0 {
-        return (Verdict::Finished, moved);
-    }
-
-    if saw_eof {
-        // EOF with the responder parked idle and nothing queued is a
-        // clean close; mid-session it is an error.
-        if session.machine.is_idle() && session.out.pending() == 0 && session.accum.buffered() == 0
-        {
-            return (Verdict::Closed, moved);
-        }
-        return (Verdict::Failed(SessionError::Eof), moved);
-    }
-
-    // Timeouts: stalls kill active sessions, idleness reaps parked ones.
-    let quiet = session.last_progress.elapsed();
-    if session.machine.is_idle() {
-        if quiet > shared.config.idle_timeout {
-            return (Verdict::Closed, moved);
-        }
-    } else if quiet > shared.config.stall_timeout {
-        return (Verdict::Failed(SessionError::Stalled), moved);
-    }
-    (Verdict::Keep, moved)
 }

@@ -22,7 +22,7 @@ use pfr::digest::{DigestRequest, VersionAnswer, VersionQuery};
 use pfr::sync::SyncBatch;
 use pfr::wire::{from_bytes, from_bytes_shared, Encode, EncodeScratch};
 use pfr::{SimTime, SyncLimits, SyncMode};
-use transport::frame::{write_frame, FrameError, FrameType};
+use transport::frame::{frame_header, FrameError, FrameType};
 use transport::protocol::Hello;
 use transport::SessionReport;
 
@@ -321,12 +321,12 @@ impl SessionMachine {
         let bytes = self.scratch.encode(value);
         let len = bytes.len() as u64;
         self.frame_bytes += len;
-        write_frame(out, frame_type, bytes)?;
+        append_frame(out, frame_type, bytes)?;
         Ok(len)
     }
 
     fn send_empty(&mut self, out: &mut Vec<u8>, frame_type: FrameType) -> Result<(), SessionError> {
-        write_frame(out, frame_type, &[])?;
+        append_frame(out, frame_type, &[])?;
         Ok(())
     }
 
@@ -364,7 +364,7 @@ impl SessionMachine {
                 self.scratch.encode(&request)
             };
             self.frame_bytes += request_bytes.len() as u64;
-            write_frame(out, FrameType::SyncRequest, request_bytes)?;
+            append_frame(out, FrameType::SyncRequest, request_bytes)?;
             self.phase = Phase::PullAwaitFirst(None);
         }
         Ok(())
@@ -382,7 +382,7 @@ impl SessionMachine {
         let request_bytes = self.scratch.encode(pull.state.full_request());
         pull.digest_bytes += 1 + request_bytes.len() as u64;
         self.frame_bytes += request_bytes.len() as u64;
-        write_frame(out, FrameType::SyncRequest, request_bytes)?;
+        append_frame(out, FrameType::SyncRequest, request_bytes)?;
         Ok(())
     }
 
@@ -756,6 +756,22 @@ impl SessionMachine {
     fn unexpected_in(&self, phase: &'static str, got: FrameType) -> SessionError {
         SessionError::UnexpectedFrame { phase, got }
     }
+}
+
+/// Appends one encoded frame (header + payload) to an outbox segment in
+/// a single reserve — the byte layout is exactly what
+/// [`transport::frame::write_frame`] produces on a blocking socket, so
+/// the reactor's vectored flush stays wire-compatible with it.
+fn append_frame(
+    out: &mut Vec<u8>,
+    frame_type: FrameType,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    let header = frame_header(frame_type, payload)?;
+    out.reserve(header.len() + payload.len());
+    out.extend_from_slice(&header);
+    out.extend_from_slice(payload);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,310 @@
+//! Differential suite: `PollBackend::Epoll` ≡ `PollBackend::Sweep`.
+//!
+//! The poll backend decides *when* sessions are driven, never *what*
+//! they say. Two pins, mirroring `emu`'s shard-equivalence suite:
+//!
+//! * **Wire bytes** — a tee proxy between a client and server records
+//!   every byte of sequential sync sessions in both directions; the
+//!   captured streams must be identical under both backends, connection
+//!   by connection.
+//! * **Convergence** — seeded multi-peer bursts (several clients, many
+//!   concurrent detached sessions) followed by a quiescing round must
+//!   leave identical final inboxes and identical knowledge checksums on
+//!   every node, whichever backend ran them.
+//!
+//! The base seed honours `TESTKIT_SEED` so the CI matrix sweeps it.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use dtn::{DtnNode, PolicyKind};
+use net::{NetConfig, NetNode, PollBackend};
+use pfr::digest::knowledge_checksum;
+use pfr::{ReplicaId, SimTime, SyncMode};
+use proptest::prelude::*;
+
+/// The base seed for every scenario, offset by `TESTKIT_SEED` when set
+/// (the CI matrix sets 0..8).
+fn base_seed() -> u64 {
+    std::env::var("TESTKIT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(0x5AAD)
+}
+
+/// Deterministic payload bytes for message `j` of node `i` under `seed`.
+fn payload(seed: u64, i: u64, j: u64, len: usize) -> Vec<u8> {
+    let mut state = seed ^ (i << 32) ^ j ^ 0x9E37_79B9_7F4A_7C15;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.push((state >> 56) as u8);
+    }
+    out
+}
+
+fn config(backend: PollBackend) -> NetConfig {
+    NetConfig {
+        backend,
+        gossip_interval: Duration::ZERO,
+        ..NetConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pin 1: identical bytes on the wire.
+// ---------------------------------------------------------------------
+
+/// Per-connection captured byte streams: (client→server, server→client).
+type WireLogs = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// A tee proxy: accepts `conns` connections, forwards each to `target`,
+/// and records the full byte stream in both directions, in accept order.
+fn tee_proxy(target: SocketAddr, conns: usize) -> (SocketAddr, std::thread::JoinHandle<WireLogs>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    let handle = std::thread::spawn(move || {
+        let mut logs = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            let (client, _) = listener.accept().expect("proxy accept");
+            let server = TcpStream::connect(target).expect("proxy dial");
+            server.set_nodelay(true).expect("nodelay");
+            client.set_nodelay(true).expect("nodelay");
+            let c2s = tee_copy(
+                client.try_clone().expect("clone"),
+                server.try_clone().expect("clone"),
+            );
+            let s2c = tee_copy(server, client);
+            logs.push((c2s.join().expect("c2s"), s2c.join().expect("s2c")));
+        }
+        logs
+    });
+    (addr, handle)
+}
+
+/// Copies `from` into `to` until EOF, returning every byte seen.
+fn tee_copy(mut from: TcpStream, mut to: TcpStream) -> std::thread::JoinHandle<Vec<u8>> {
+    std::thread::spawn(move || {
+        let mut log = Vec::new();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match from.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    log.extend_from_slice(&buf[..n]);
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = to.shutdown(Shutdown::Write);
+        log
+    })
+}
+
+/// Runs `sessions` sequential syncs through the tee proxy and returns
+/// the captured per-connection byte streams.
+fn captured_wire(backend: PollBackend, mode: SyncMode, sessions: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let seed = base_seed();
+    let mut server_node = DtnNode::new(ReplicaId::new(2), "server", PolicyKind::Epidemic);
+    let mut client_node = DtnNode::new(ReplicaId::new(1), "client", PolicyKind::Epidemic);
+    server_node.set_sync_mode(mode);
+    client_node.set_sync_mode(mode);
+    for j in 0..3u64 {
+        let len = 64 + (seed as usize ^ j as usize) % 512;
+        client_node
+            .send("server", payload(seed, 1, j, len), SimTime::from_secs(j))
+            .expect("inject");
+        server_node
+            .send("client", payload(seed, 2, j, len), SimTime::from_secs(j))
+            .expect("inject");
+    }
+
+    let server = NetNode::start(server_node, "127.0.0.1:0", config(backend)).expect("server");
+    let client = NetNode::start(
+        client_node,
+        "127.0.0.1:0",
+        NetConfig {
+            // Zero-lifetime pool: each sync dials the proxy afresh, so
+            // captures line up connection-per-session in both runs.
+            idle_timeout: Duration::ZERO,
+            ..config(backend)
+        },
+    )
+    .expect("client");
+    let (proxy_addr, proxy) = tee_proxy(server.local_addr(), sessions);
+
+    for s in 0..sessions {
+        let result = client.sync_with(&proxy_addr.to_string(), SimTime::from_secs(100 + s as u64));
+        assert!(result.is_ok(), "session {s} failed: {:?}", result.error);
+    }
+    client.stop();
+    server.stop();
+    let logs = proxy.join().expect("proxy");
+    assert_eq!(logs.len(), sessions);
+    logs
+}
+
+fn assert_wire_identical(mode: SyncMode) {
+    let epoll = captured_wire(PollBackend::Epoll, mode, 3);
+    let sweep = captured_wire(PollBackend::Sweep, mode, 3);
+    assert_eq!(epoll.len(), sweep.len());
+    for (i, (e, s)) in epoll.iter().zip(&sweep).enumerate() {
+        assert!(!e.0.is_empty() && !e.1.is_empty(), "empty capture {i}");
+        assert_eq!(
+            e.0, s.0,
+            "session {i}: initiator->responder bytes differ between backends"
+        );
+        assert_eq!(
+            e.1, s.1,
+            "session {i}: responder->initiator bytes differ between backends"
+        );
+    }
+}
+
+#[test]
+fn wire_bytes_identical_across_backends_full_mode() {
+    assert_wire_identical(SyncMode::Full);
+}
+
+#[test]
+fn wire_bytes_identical_across_backends_digest_mode() {
+    assert_wire_identical(SyncMode::Digest);
+}
+
+// ---------------------------------------------------------------------
+// Pin 2: identical convergence over seeded multi-peer bursts.
+// ---------------------------------------------------------------------
+
+/// Everything observable once a scenario quiesces: per-node inboxes
+/// (sorted) and knowledge checksums, server first.
+#[derive(Debug, PartialEq, Eq)]
+struct Converged {
+    inboxes: Vec<Vec<(String, Vec<u8>)>>,
+    knowledge: Vec<u64>,
+}
+
+fn run_burst(
+    backend: PollBackend,
+    seed: u64,
+    clients: usize,
+    burst_per_client: usize,
+    messages: usize,
+    payload_len: usize,
+    mode: SyncMode,
+) -> Converged {
+    let mut server_node = DtnNode::new(ReplicaId::new(100), "server", PolicyKind::Epidemic);
+    server_node.set_sync_mode(mode);
+    for j in 0..messages as u64 {
+        for i in 1..=clients as u64 {
+            server_node
+                .send(
+                    &format!("c{i}"),
+                    payload(seed, 100 + i, j, payload_len),
+                    SimTime::from_secs(j),
+                )
+                .expect("inject");
+        }
+    }
+    let server = NetNode::start(server_node, "127.0.0.1:0", config(backend)).expect("server");
+    let addr = server.local_addr().to_string();
+
+    let client_nodes: Vec<NetNode> = (1..=clients as u64)
+        .map(|i| {
+            let mut node = DtnNode::new(ReplicaId::new(i), &format!("c{i}"), PolicyKind::Epidemic);
+            node.set_sync_mode(mode);
+            for j in 0..messages as u64 {
+                node.send(
+                    "server",
+                    payload(seed, i, j, payload_len),
+                    SimTime::from_secs(j),
+                )
+                .expect("inject");
+            }
+            NetNode::start(node, "127.0.0.1:0", config(backend)).expect("client")
+        })
+        .collect();
+
+    // Concurrent burst: every client holds several detached sessions in
+    // flight at once — interleaving is the backend's to schedule.
+    let tickets: Vec<_> = (0..burst_per_client)
+        .flat_map(|r| {
+            client_nodes
+                .iter()
+                .map(|c| c.sync_detached(&addr, SimTime::from_secs(3600 + r as u64)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let result = ticket.expect("register").wait();
+        assert!(
+            result.is_ok(),
+            "burst session {i} failed: {:?}",
+            result.error
+        );
+    }
+    // Quiescing round, fixed order: every client pulls the complete set.
+    for client in &client_nodes {
+        let result = client.sync_with(&addr, SimTime::from_secs(7200));
+        assert!(result.is_ok(), "quiesce failed: {:?}", result.error);
+    }
+
+    let mut nodes = vec![server.stop()];
+    nodes.extend(client_nodes.into_iter().map(NetNode::stop));
+    let inboxes = nodes
+        .iter()
+        .map(|n| {
+            let mut inbox: Vec<(String, Vec<u8>)> = n
+                .inbox()
+                .into_iter()
+                .map(|m| (m.src.clone(), m.payload.clone()))
+                .collect();
+            inbox.sort();
+            inbox
+        })
+        .collect();
+    let knowledge = nodes
+        .iter()
+        .map(|n| knowledge_checksum(n.replica().knowledge()))
+        .collect();
+    Converged { inboxes, knowledge }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4 })]
+
+    #[test]
+    fn burst_convergence_identical_across_backends(
+        seed_offset in 0u64..1 << 48,
+        clients in 2usize..4,
+        burst_per_client in 1usize..4,
+        messages in 1usize..4,
+        payload_len in 16usize..512,
+        digest in any::<bool>(),
+    ) {
+        let seed = base_seed() ^ seed_offset;
+        let mode = if digest { SyncMode::Digest } else { SyncMode::Full };
+        let epoll = run_burst(
+            PollBackend::Epoll, seed, clients, burst_per_client, messages, payload_len, mode,
+        );
+        let sweep = run_burst(
+            PollBackend::Sweep, seed, clients, burst_per_client, messages, payload_len, mode,
+        );
+        // Every message delivered exactly once, and both backends agree
+        // on every inbox and every knowledge checksum.
+        for (i, inbox) in epoll.inboxes.iter().enumerate() {
+            let expected = if i == 0 { clients * messages } else { messages };
+            prop_assert_eq!(
+                inbox.len(), expected,
+                "node {} inbox wrong under epoll", i
+            );
+        }
+        prop_assert_eq!(&epoll, &sweep);
+    }
+}

@@ -431,6 +431,23 @@ pub enum Event {
         /// Bytes queued when the stall was declared.
         queued_bytes: u64,
     },
+    /// One reactor-worker poll batch: syscall and wakeup deltas from the
+    /// readiness backend (emitted when a parked worker wakes to pick up
+    /// sessions, and flushed once more at worker shutdown).
+    NetPoll {
+        /// The local replica.
+        replica: u64,
+        /// The readiness backend label (`"epoll"` or `"sweep"`).
+        backend: &'static str,
+        /// Socket/poll syscalls issued since the last batch.
+        syscalls: u64,
+        /// Worker wakeups in this batch.
+        wakeups: u64,
+        /// Sessions picked up by those wakeups.
+        woken: u64,
+        /// Worst enqueue→pickup latency in the batch, microseconds.
+        wakeup_latency_us: u64,
+    },
     /// A sharded emulation parked a cold replica's snapshot on disk — or
     /// brought it back — to bound resident memory.
     ReplicaSpill {
@@ -478,6 +495,7 @@ impl Event {
             Event::NetSession { .. } => "net_session",
             Event::GossipRound { .. } => "gossip_round",
             Event::NetBackpressure { .. } => "net_backpressure",
+            Event::NetPoll { .. } => "net_poll",
             Event::ReplicaSpill { .. } => "replica_spill",
         }
     }
@@ -824,6 +842,21 @@ impl Event {
                 push_u64(&mut out, "replica", *replica);
                 push_u64(&mut out, "peer", *peer);
                 push_u64(&mut out, "queued_bytes", *queued_bytes);
+            }
+            Event::NetPoll {
+                replica,
+                backend,
+                syscalls,
+                wakeups,
+                woken,
+                wakeup_latency_us,
+            } => {
+                push_u64(&mut out, "replica", *replica);
+                push_str(&mut out, "backend", backend);
+                push_u64(&mut out, "syscalls", *syscalls);
+                push_u64(&mut out, "wakeups", *wakeups);
+                push_u64(&mut out, "woken", *woken);
+                push_u64(&mut out, "wakeup_latency_us", *wakeup_latency_us);
             }
             Event::ReplicaSpill {
                 replica,

@@ -414,6 +414,19 @@ impl Observer for Registry {
                 self.add("net.backpressure_stalls", 1);
                 self.observe("net.write_queue_bytes", *queued_bytes);
             }
+            Event::NetPoll {
+                syscalls,
+                wakeups,
+                woken,
+                wakeup_latency_us,
+                ..
+            } => {
+                self.add("net.syscalls", *syscalls);
+                self.add("net.wakeups", *wakeups);
+                if *woken > 0 {
+                    self.observe("net.wakeup_latency_us", *wakeup_latency_us);
+                }
+            }
             Event::ReplicaSpill {
                 bytes,
                 resident,
@@ -677,6 +690,22 @@ mod tests {
             peer: 2,
             queued_bytes: 1 << 20,
         });
+        r.on_event(&Event::NetPoll {
+            replica: 1,
+            backend: "epoll",
+            syscalls: 42,
+            wakeups: 3,
+            woken: 5,
+            wakeup_latency_us: 120,
+        });
+        r.on_event(&Event::NetPoll {
+            replica: 1,
+            backend: "epoll",
+            syscalls: 8,
+            wakeups: 0,
+            woken: 0,
+            wakeup_latency_us: 0,
+        });
         let snap = r.snapshot();
         assert_eq!(snap.counter("net.sessions"), 2);
         assert_eq!(snap.counter("net.sessions_failed"), 1);
@@ -685,6 +714,10 @@ mod tests {
         assert_eq!(snap.counter("net.gossip.learned"), 4);
         assert_eq!(snap.counter("net.gossip.suspects"), 1);
         assert_eq!(snap.counter("net.backpressure_stalls"), 1);
+        assert_eq!(snap.counter("net.syscalls"), 50);
+        assert_eq!(snap.counter("net.wakeups"), 3);
+        // The zero-woken batch must not pollute the latency histogram.
+        assert_eq!(snap.histogram("net.wakeup_latency_us").unwrap().count(), 1);
         assert_eq!(snap.histogram("net.session_micros").unwrap().count(), 2);
         assert_eq!(snap.histogram("net.membership").unwrap().max(), 12);
         assert_eq!(

@@ -194,6 +194,22 @@ pub fn write_frame<W: Write>(
     frame_type: FrameType,
     payload: &[u8],
 ) -> Result<(), FrameError> {
+    let header = frame_header(frame_type, payload)?;
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Builds the [`HEADER_LEN`]-byte header framing `payload` — the
+/// encode-side primitive behind [`write_frame`], exposed so callers that
+/// batch frames (the async reactor's vectored outbox) can emit header
+/// and payload as separate segments without an intermediate copy.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] if the payload exceeds the cap.
+pub fn frame_header(frame_type: FrameType, payload: &[u8]) -> Result<[u8; HEADER_LEN], FrameError> {
     if payload.len() as u64 > u64::from(MAX_FRAME_LEN) {
         return Err(FrameError::TooLarge(payload.len() as u32));
     }
@@ -203,10 +219,7 @@ pub fn write_frame<W: Write>(
     header[2] = frame_type as u8;
     header[3..7].copy_from_slice(&len.to_le_bytes());
     header[7..].copy_from_slice(&frame_checksum(frame_type as u8, len, payload).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
-    w.flush()?;
-    Ok(())
+    Ok(header)
 }
 
 /// Reads one frame from `r` into a fresh allocation.

@@ -108,6 +108,7 @@ USAGE:
   replidtn peer --id N --address ADDR [--policy P] --listen HOST:PORT
                 [--connect HOST:PORT]... [--send DEST:TEXT]... [--serve-for SECS]
                 [--gossip] [--seed-peer HOST:PORT]... [--max-sessions N]
+                [--poll-backend {epoll,sweep}]
                 [--gossip-interval-ms MS] [--anti-entropy-ms MS]
                 [--connect-timeout-ms MS] [--io-timeout-ms MS]
                 [--retries N] [--backoff-ms MS]
@@ -122,7 +123,10 @@ USAGE:
       small worker pool, gossip membership bootstrapped from --seed-peer
       addresses (one round per --gossip-interval-ms), and, when
       --anti-entropy-ms is nonzero, periodic syncs round-robin over the
-      discovered view. The dial flags tune both transports:
+      discovered view. --poll-backend selects how reactor workers find
+      ready sockets: edge-triggered epoll (default on Linux, O(1)
+      syscalls per session) or the portable exhaustive sweep; the
+      REPLIDTN_POLL_BACKEND env var sets the default. The dial flags tune both transports:
       --connect-timeout-ms / --io-timeout-ms bound the socket,
       --retries / --backoff-ms add exponential backoff with deterministic
       jitter to failed dials (blocking transport).
@@ -516,7 +520,13 @@ fn peer(args: &[String]) -> Result<(), String> {
         // worker pool, gossip peer discovery, and periodic anti-entropy
         // syncs over the discovered view.
         let defaults = NetConfig::default();
+        let backend = match flags.get("poll-backend") {
+            None => defaults.backend,
+            Some(v) => replidtn::net::PollBackend::parse(v)
+                .ok_or_else(|| format!("--poll-backend wants epoll or sweep, got {v:?}"))?,
+        };
         let config = NetConfig {
+            backend,
             max_sessions: flags.num("max-sessions", defaults.max_sessions)?,
             connect_timeout: dial.connect_timeout,
             gossip_interval: std::time::Duration::from_millis(
@@ -533,8 +543,9 @@ fn peer(args: &[String]) -> Result<(), String> {
         };
         let net = NetNode::start(node, listen, config).map_err(|e| e.to_string())?;
         println!(
-            "peer {address} (R{id}, {policy}) listening on {} (gossip on)",
-            net.local_addr()
+            "peer {address} (R{id}, {policy}) listening on {} (gossip on, {} poll)",
+            net.local_addr(),
+            net.stats().backend,
         );
         for seed in flags.get_all("seed-peer") {
             net.add_seed(seed.to_string());
