@@ -25,11 +25,21 @@
 //!
 //! `REPLIDTN_SCALE` multiplies the paper's topology along every axis
 //! (default 10: a 340-vehicle fleet); `REPLIDTN_SCALE_DAYS` sets the
-//! replay horizon (default 6). CI's scale-smoke sets both low for a fast
-//! structural check. Peak RSS comes from `/proc/self/status` `VmHWM`,
-//! reset per mode via `/proc/self/clear_refs` where the kernel allows;
-//! the spill mode is measured first so its reading stays honest even on
-//! kernels that refuse the reset (`VmHWM` only ratchets upward).
+//! replay horizon (default 6); `REPLIDTN_SCALE_RESIDENT` overrides the
+//! resident-replica cap (default 3/5 of the fleet — DieselNet's daily
+//! active set is ~2/3 of the fleet with near-uniform touch frequency, so
+//! a much smaller cap measures pure thrash, not residency management).
+//! CI's scale-smoke sets scale low for a fast structural check. Peak RSS
+//! comes from `/proc/self/status` `VmHWM`, reset per mode via
+//! `/proc/self/clear_refs` where the kernel allows; the spill mode is
+//! measured first so its reading stays honest even on kernels that
+//! refuse the reset (`VmHWM` only ratchets upward).
+//!
+//! Beyond wall time and RSS, the report carries the residency health
+//! numbers the perf guard gates: the *thrash ratio* (unspills per
+//! encounter — below 0.3 the engine restores state ahead of need instead
+//! of faulting on it) and the spill file's high-water size (with
+//! free-list slot reuse it plateaus at the peak parked set).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -114,11 +124,15 @@ fn main() {
         .generate_spooled(&spool_path)
         .expect("spool city trace");
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(2, 8);
-    let resident_limit = (fleet / 8).max(16);
+    let workers = env_num(
+        "REPLIDTN_SCALE_WORKERS",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8) as u64,
+    ) as usize;
+    let resident_limit =
+        env_num("REPLIDTN_SCALE_RESIDENT", (fleet * 3 / 5).max(16) as u64) as usize;
 
     println!(
         "macro_scale: Epidemic (relay cap {RELAY_LIMIT}), scale {scale} \
@@ -181,14 +195,24 @@ fn main() {
         "attaching an observer must not change run results"
     );
     let snap = registry.snapshot();
-    let (handoffs, spills, unspills) = (
+    let (handoffs, spills, unspills, evictions) = (
         snap.counter("shard.handoffs"),
         snap.counter("shard.spills"),
         snap.counter("shard.unspills"),
+        snap.counter("shard.evictions"),
+    );
+    let (resident_peak, spill_file_bytes) = (
+        snap.gauge("shard.resident_peak"),
+        snap.gauge("shard.spill_file_bytes"),
     );
     assert!(handoffs > 0, "a multi-shard city run must cross shards");
     assert!(spills > 0, "the resident cap must force spills");
-    println!("  shard   : {handoffs} handoffs, {spills} spills, {unspills} unspills");
+    let thrash_ratio = unspills as f64 / spooled.len().max(1) as f64;
+    println!(
+        "  shard   : {handoffs} handoffs, {spills} spills, {unspills} unspills \
+         ({thrash_ratio:.3} unspills/encounter), peak {resident_peak} resident, \
+         spill file high-water {spill_file_bytes} bytes"
+    );
 
     // Serial in-memory baseline: the differential anchor. The *same*
     // spool is materialized into an in-memory trace (the spool enforces
@@ -197,7 +221,7 @@ fn main() {
     // different — equally-distributed but not identical — schedule.
     // Skipped at scales where materializing every encounter stops being
     // reasonable; the spill-vs-sharded equality above still gates those.
-    let serial = (scale <= 12).then(|| {
+    let serial = (scale <= 100).then(|| {
         let trace = EncounterTrace::from_encounters(
             spooled
                 .iter()
@@ -249,7 +273,10 @@ fn main() {
             "  \"resident_limit\": {resident_limit},\n",
             "  \"metrics_identical\": true,\n",
             "  \"shard\": {{\"handoffs\": {handoffs}, \"spills\": {spills}, ",
-            "\"unspills\": {unspills}}},\n",
+            "\"unspills\": {unspills}, \"evictions\": {evictions}, ",
+            "\"thrash_ratio\": {thrash_ratio:.4}, ",
+            "\"resident_peak\": {resident_peak}, ",
+            "\"spill_file_bytes\": {spill_file_bytes}}},\n",
             "  \"spill\": {{\"seconds\": {spill_s:.3}, \"encounters_per_sec\": {spill_eps:.1}, ",
             "\"peak_rss_kb\": {spill_rss}}},\n",
             "  \"sharded\": {{\"seconds\": {shard_s:.3}, \"encounters_per_sec\": {shard_eps:.1}, ",
@@ -269,6 +296,10 @@ fn main() {
         handoffs = handoffs,
         spills = spills,
         unspills = unspills,
+        evictions = evictions,
+        thrash_ratio = thrash_ratio,
+        resident_peak = resident_peak,
+        spill_file_bytes = spill_file_bytes,
         spill_s = spill.seconds,
         spill_eps = spill.encounters_per_sec,
         spill_rss = spill.peak_rss_kb,

@@ -57,7 +57,9 @@ pub mod messaging;
 pub use direct::DirectDelivery;
 pub use durable::RestoreError;
 pub use epidemic::{EpidemicPolicy, ATTR_TTL};
-pub use host::{DigestResponse, DigestSessionState, DtnNode, EncounterBudget, EncounterReport};
+pub use host::{
+    DigestResponse, DigestSessionState, DtnNode, EncounterBudget, EncounterReport, SnapshotScratch,
+};
 pub use maxprop::{MaxPropPolicy, ATTR_HOPLIST};
 pub use messaging::{FilterStrategy, Message};
 pub use policy::{DtnPolicy, PolicyKind, PolicySummary};

@@ -161,6 +161,24 @@ pub struct EmulationConfig {
     /// between batches, so residency transiently exceeds it by at most one
     /// batch's working set.
     pub resident_limit: Option<usize>,
+    /// Trace-lookahead window (encounters) for the Belady-style residency
+    /// policy: eviction spills the replica whose next windowed encounter
+    /// is farthest (or absent), and upcoming spilled replicas are
+    /// batch-unspilled ahead of their encounters. `None` derives a window
+    /// from `resident_limit`. Purely a performance knob — the metrics are
+    /// identical for any window (the differential suite pins this).
+    pub lookahead: Option<usize>,
+    /// Worker threads executing shard chunks. Shards are a *partitioning*
+    /// unit (handoff accounting, conflict-free batching); threads are an
+    /// *execution* resource, and decoupling them lets the engine fit the
+    /// host: `None` sizes the pool to the machine — one thread per shard
+    /// on multi-core hosts, zero on a single-core host, where the shards
+    /// instead execute cooperatively on the main thread with operations
+    /// committed as they complete (no channels, no event buffering).
+    /// `Some(0)` forces the cooperative path, `Some(n)` forces a pool of
+    /// `min(n, shards)` threads. Purely an execution knob — metrics are
+    /// identical for any value (the differential suite pins this).
+    pub exec_threads: Option<usize>,
 }
 
 impl std::fmt::Debug for EmulationConfig {
@@ -188,6 +206,7 @@ impl std::fmt::Debug for EmulationConfig {
             .field("stream_encounters", &self.stream_encounters)
             .field("spill_dir", &self.spill_dir)
             .field("resident_limit", &self.resident_limit)
+            .field("lookahead", &self.lookahead)
             .finish()
     }
 }
@@ -214,6 +233,8 @@ impl Default for EmulationConfig {
             stream_encounters: false,
             spill_dir: None,
             resident_limit: None,
+            lookahead: None,
+            exec_threads: None,
         }
     }
 }

@@ -25,37 +25,106 @@
 //!   `Vec` ([`EmulationConfig::stream_encounters`]); the sequence is
 //!   byte-identical either way (pinned by the spool's own tests).
 //! * **Bounded residency.** With [`EmulationConfig::resident_limit`],
-//!   cold replicas are snapshotted into an append-only
-//!   [`SpillFile`](store::SpillFile) between batches and restored on
+//!   cold replicas are snapshotted into a slot-reusing
+//!   [`SpillFile`](store::SpillFile) between batches and restored before
 //!   their next operation, so peak RSS tracks the hot set, not the
 //!   fleet. Spilling is invisible to metrics under [`SyncMode::Full`];
 //!   under digest mode the (unsnapshotted) reconciliation caches die
 //!   with each spill, which can shift `recon.*` traffic — like a reboot,
 //!   never a correctness loss.
 //!
+//! Three mechanisms keep the engine fast rather than merely correct:
+//!
+//! * **Host-sized execution.** Shards are a *partitioning* unit — they
+//!   fix handoff accounting and conflict-free batch membership — while
+//!   threads are an *execution* resource, sized separately by
+//!   [`EmulationConfig::exec_threads`]. With a pool, a batch is split
+//!   into per-thread chunks and each pool thread gets *one* channel send
+//!   (and answers with one) per batch, not one per operation; events
+//!   accumulate in a per-thread mailbox drained after each operation.
+//!   Without a pool — the default on a single-core host, where threads
+//!   only add hand-off latency — the shards execute *cooperatively* on
+//!   the main thread: operations run one at a time in sequence order and
+//!   commit immediately, nodes permanently wear a direct-commit
+//!   observer, and no batch assembly, result buffering, or event
+//!   re-emission exists at all. Metrics are identical either way.
+//! * **Lookahead-driven residency.** The encounter stream is wrapped in
+//!   a [`Lookahead`](traces::Lookahead) window (sized by
+//!   [`EmulationConfig::lookahead`], default `8 × resident_limit`).
+//!   Eviction is Belady-style: the replica whose next windowed encounter
+//!   is farthest goes first (never-in-window beats touched-late), nodes
+//!   riding in deferred operations are pinned, and replicas the window
+//!   touches soon are *prefetched* while a dispatched batch is still
+//!   executing, so spill reads overlap compute. The policy is
+//!   performance-only — any eviction choice preserves equivalence.
+//! * **Batched spill I/O.** A spill-down snapshots every victim through
+//!   a persistent [`SnapshotScratch`] into one arena and appends them
+//!   with one write; restores read sorted-by-offset batches and free
+//!   their slots for reuse, so the spill file plateaus at the live
+//!   parked set instead of growing with write volume.
+//!
 //! Cross-shard encounters — the pair's endpoints hash to different
 //! shards — execute on the first endpoint's shard and are surfaced as
 //! [`Event::ShardHandoff`] (counter `shard.handoffs`); spill activity as
 //! [`Event::ReplicaSpill`] (`shard.spills` / `shard.unspills` /
-//! `shard.resident`). Both are emitted from the main thread at commit,
-//! so observer output stays deterministic for a fixed worker count.
+//! `shard.resident`, latency and file high-water in `latency_us` /
+//! `file_bytes`). Both are emitted from the main thread, so observer
+//! output stays deterministic for a fixed worker count and execution
+//! mode.
 
+use std::cmp::Reverse;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
-use dtn::{DtnNode, EncounterBudget};
+use dtn::{DtnNode, EncounterBudget, SnapshotScratch};
 use obs::{Event, Obs, Observer};
 use parking_lot::Mutex;
 use pfr::{ItemId, ReplicaId, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use store::{SpillFile, SpillSlot};
-use traces::{bus_address, Encounter, MessageEvent, UserAssignment};
+use traces::{bus_address, Encounter, Lookahead, MessageEvent, UserAssignment};
 
 use crate::engine::{Emulation, EmulationConfig, TraceSource};
 use crate::metrics::ExperimentMetrics;
+
+/// FxHash-style multiply-xor hasher for the hot-path maps. Their keys are
+/// replica ids and sequence numbers — small, trusted integers — where
+/// SipHash's DoS resistance buys nothing and its latency is measurable at
+/// half a dozen map touches per operation.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
+type FxSet<K> = HashSet<K, FxBuild>;
 
 /// Disambiguates spill/spool files when several emulations run in one
 /// process (the test harness does exactly that).
@@ -66,9 +135,22 @@ fn unique_path(dir: &Path, tag: &str) -> PathBuf {
     dir.join(format!("replidtn-{tag}-{}-{n}.bin", std::process::id()))
 }
 
-/// Per-node event mailbox: a replica's observer while it executes on a
-/// worker. Drained into the operation's result and re-emitted on the run
-/// observer at commit, in global sequence order.
+/// Deletes a scratch file on drop, so temp spools survive neither panics
+/// nor early exits.
+struct RemoveOnDrop(PathBuf);
+
+impl Drop for RemoveOnDrop {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Per-worker event mailbox: the observer every replica wears while it
+/// executes on that worker. Drained after each operation into the
+/// operation's result and re-emitted on the run observer at commit, in
+/// global sequence order — so the per-op event stream preserves true
+/// emission order (both encounter endpoints interleaved, exactly as the
+/// serial engine's observer sees it).
 #[derive(Debug, Default)]
 struct EventBuffer {
     events: Mutex<Vec<Event>>,
@@ -83,6 +165,24 @@ impl EventBuffer {
 impl Observer for EventBuffer {
     fn on_event(&self, event: &Event) {
         self.events.lock().push(event.clone());
+    }
+}
+
+/// The observer every node wears permanently on the cooperative
+/// (thread-free) path: each event lands in the commit-state ledger and
+/// forwards to the run observer as it is emitted, so the fast path needs
+/// no per-operation buffering, cloning, or re-emission at all. The lock
+/// is uncontended — only the main thread executes — and exists to keep
+/// the `Observer: Sync` contract honest.
+struct DirectSink {
+    state: Mutex<CommitState>,
+    obs: Obs,
+}
+
+impl Observer for DirectSink {
+    fn on_event(&self, event: &Event) {
+        self.state.lock().apply(event);
+        self.obs.forward(event);
     }
 }
 
@@ -134,11 +234,13 @@ impl Op {
     }
 }
 
-/// A dispatched operation: the op plus owned nodes (and their event
-/// mailboxes) travelling to a worker shard and back.
+/// A dispatched operation: the op plus its owned nodes travelling to a
+/// worker shard and back. Nodes stay boxed end to end — a [`DtnNode`] is
+/// ~1 KiB inline, so every hop (map, chunk, channel, result) moves a
+/// pointer, not the struct.
 struct Job {
     op: Op,
-    nodes: Vec<(ReplicaId, DtnNode, Arc<EventBuffer>)>,
+    nodes: Vec<(ReplicaId, Box<DtnNode>)>,
 }
 
 enum Outcome {
@@ -156,18 +258,28 @@ enum Outcome {
 
 struct ExecResult {
     op: Op,
-    nodes: Vec<(ReplicaId, DtnNode)>,
+    nodes: Vec<(ReplicaId, Box<DtnNode>)>,
     events: Vec<Event>,
     outcome: Outcome,
+}
+
+/// The worker side of the chunked dispatch protocol: one job channel per
+/// pool thread — a single send carries the thread's whole share of a
+/// batch — and one shared result channel back, answered once per chunk.
+struct WorkerPool {
+    jobs: Vec<mpsc::Sender<Vec<Job>>>,
+    results: mpsc::Receiver<Vec<ExecResult>>,
 }
 
 /// The merged, time-ordered operation stream: injections and encounters
 /// interleaved exactly as the serial loop does (ties go to injections),
 /// with fault-injection draws taken here so the rng consumption order is
-/// identical to serial regardless of batching.
+/// identical to serial regardless of batching. The encounter side is a
+/// [`Lookahead`] window, so residency decisions can ask "when is this
+/// node touched next?" without disturbing the sequence.
 struct OpStream<'s> {
     injections: std::iter::Peekable<std::slice::Iter<'s, MessageEvent>>,
-    encounters: std::iter::Peekable<Box<dyn Iterator<Item = Encounter> + 's>>,
+    encounters: Lookahead<Box<dyn Iterator<Item = Encounter> + 's>>,
     fault_rng: StdRng,
     drop_rate: f64,
     crash_rate: f64,
@@ -246,18 +358,12 @@ fn shard_of(id: ReplicaId, workers: usize) -> usize {
 /// the routing policy restarts cold. Mirrors the serial engine's
 /// `reboot`, including keeping the node untouched when the snapshot names
 /// a policy outside the registry (custom specs).
-fn reboot_in_place(
-    node: &mut DtnNode,
-    buffer: &Arc<EventBuffer>,
-    config: &EmulationConfig,
-) -> bool {
+fn reboot_in_place(node: &mut DtnNode, mailbox: &Obs, config: &EmulationConfig) -> bool {
     let snapshot = node.snapshot();
     match DtnNode::restore(&snapshot) {
         Ok(mut restored) => {
             restored.replace_policy(config.policy.build());
-            restored
-                .replica_mut()
-                .set_observer(Obs::new(buffer.clone()));
+            restored.replica_mut().set_observer(mailbox.clone());
             restored
                 .replica_mut()
                 .set_candidate_scan(config.candidate_scan);
@@ -272,9 +378,13 @@ fn reboot_in_place(
 
 /// Executes one operation on a worker shard. Pure node work: no metrics,
 /// no shared state — everything the commit step needs rides back in the
-/// result.
-fn execute(job: Job, config: &EmulationConfig) -> ExecResult {
+/// result. The worker's mailbox is attached to every rider first and
+/// drained once after the op, so events come out in true emission order.
+fn execute(job: Job, config: &EmulationConfig, buffer: &EventBuffer, mailbox: &Obs) -> ExecResult {
     let Job { op, mut nodes } = job;
+    for (_, node) in nodes.iter_mut() {
+        node.replica_mut().set_observer(mailbox.clone());
+    }
     let outcome = match &op.kind {
         OpKind::Inject {
             src_user,
@@ -283,7 +393,7 @@ fn execute(job: Job, config: &EmulationConfig) -> ExecResult {
             dst_bus,
             now,
         } => {
-            let (_, node, _) = &mut nodes[0];
+            let (_, node) = &mut nodes[0];
             let src_addr = bus_address(*src_bus);
             let dst_addr = bus_address(*dst_bus);
             let payload = format!("{src_user}->{dst_user}").into_bytes();
@@ -305,9 +415,9 @@ fn execute(job: Job, config: &EmulationConfig) -> ExecResult {
             if let Some(victim) = victim {
                 let slot = nodes
                     .iter_mut()
-                    .find(|(id, _, _)| id == victim)
+                    .find(|(id, _)| id == victim)
                     .expect("victim rides with its op");
-                rebooted = reboot_in_place(&mut slot.1, &slot.2, config);
+                rebooted = reboot_in_place(&mut slot.1, mailbox, config);
             }
             let budget = match config.messages_per_contact_minute {
                 Some(rate) if encounter.duration.as_secs() > 0 => {
@@ -321,22 +431,15 @@ fn execute(job: Job, config: &EmulationConfig) -> ExecResult {
             Outcome::Met { report, rebooted }
         }
         OpKind::Reboot { victim: _ } => {
-            let (_, node, buffer) = &mut nodes[0];
-            let buffer = buffer.clone();
-            let rebooted = reboot_in_place(node, &buffer, config);
+            let (_, node) = &mut nodes[0];
+            let rebooted = reboot_in_place(node, mailbox, config);
             Outcome::Rebooted { rebooted }
         }
     };
-    // Drain mailboxes in op-node order (a before b): per-op event
-    // grouping is deterministic even though worker completion order
-    // is not.
-    let mut events = Vec::new();
-    for (_, _, buffer) in &nodes {
-        events.extend(buffer.drain());
-    }
+    let events = buffer.drain();
     ExecResult {
         op,
-        nodes: nodes.into_iter().map(|(id, node, _)| (id, node)).collect(),
+        nodes,
         events,
         outcome,
     }
@@ -351,9 +454,9 @@ struct CommitState {
     /// `(origin, seq) -> live copies`, from injection/accept/drop deltas.
     /// Matches the serial `count_copies` scan at every commit point for
     /// every queried (pending, unexpired) message.
-    copies: HashMap<(u64, u64), i64>,
+    copies: FxMap<(u64, u64), i64>,
     /// Evictions per node since its last successful reboot.
-    evict_since_reboot: HashMap<u64, u64>,
+    evict_since_reboot: FxMap<u64, u64>,
     total_evictions: u64,
     /// Evictions wiped by reboots (`ReplicaStats` are not snapshotted, so
     /// the serial engine's final sum only sees since-last-reboot counts).
@@ -388,40 +491,25 @@ impl CommitState {
     }
 }
 
-/// Applies one executed operation to the metrics, in global sequence
-/// order. This is the serial engine's post-mutation bookkeeping, verbatim
-/// but fed from the result instead of live nodes.
-fn commit(
-    result: ExecResult,
-    metrics: &mut ExperimentMetrics,
-    obs: &Obs,
-    config: &EmulationConfig,
-    state: &mut CommitState,
-    workers: usize,
-) {
-    let ExecResult {
-        op,
-        events,
-        outcome,
-        ..
-    } = result;
+/// Reboot bookkeeping: the victim's pre-reboot eviction counter is wiped
+/// (the serial engine's `ReplicaStats` are not snapshotted, so its final
+/// sum only sees since-last-reboot counts). Runs *before* the rebooted
+/// operation's own events reach the ledger — the serial engine reboots
+/// before meeting, so any evictions the meeting causes count against the
+/// fresh epoch.
+fn note_reboot(victim: ReplicaId, state: &mut CommitState, metrics: &mut ExperimentMetrics) {
+    let lost = state
+        .evict_since_reboot
+        .remove(&victim.as_u64())
+        .unwrap_or(0);
+    state.lost_evictions += lost;
+    metrics.reboots += 1;
+}
 
-    // Reboot bookkeeping precedes the op's own events (the serial engine
-    // reboots before meeting).
-    let rebooted = matches!(
-        outcome,
-        Outcome::Met { rebooted: true, .. } | Outcome::Rebooted { rebooted: true }
-    );
-    if rebooted {
-        let victim = op.victim().expect("rebooted op has a victim");
-        let lost = state
-            .evict_since_reboot
-            .remove(&victim.as_u64())
-            .unwrap_or(0);
-        state.lost_evictions += lost;
-        metrics.reboots += 1;
-    }
-
+/// Emits the cross-shard handoff marker for `op` if its encounter spans
+/// shards. Pure partition accounting: `shard_of` depends only on ids and
+/// the shard count, never on how many threads executed the batch.
+fn note_handoff(op: &Op, workers: usize, obs: &Obs) {
     if let OpKind::Meet { encounter, .. } = &op.kind {
         let from = shard_of(encounter.a, workers);
         let to = shard_of(encounter.b, workers);
@@ -435,12 +523,21 @@ fn commit(
             });
         }
     }
+}
 
-    for event in events {
-        state.apply(&event);
-        obs.emit(|| event);
-    }
-
+/// Applies one executed operation to the metrics, in global sequence
+/// order. This is the serial engine's post-mutation bookkeeping, verbatim
+/// but fed from the outcome and the event-derived ledger instead of live
+/// nodes. Reboot accounting is *not* here — callers run [`note_reboot`]
+/// at the right point relative to the op's events.
+fn apply_outcome(
+    op: &Op,
+    outcome: Outcome,
+    metrics: &mut ExperimentMetrics,
+    obs: &Obs,
+    config: &EmulationConfig,
+    state: &mut CommitState,
+) {
     match outcome {
         Outcome::Injected { id: None } | Outcome::Rebooted { .. } => {}
         Outcome::Injected { id: Some(id) } => {
@@ -517,38 +614,229 @@ fn commit(
     }
 }
 
-/// Restores a spilled replica into the resident set.
-fn ensure_resident(
-    id: ReplicaId,
-    nodes: &mut BTreeMap<ReplicaId, DtnNode>,
-    spilled: &mut BTreeMap<ReplicaId, SpillSlot>,
-    spill: Option<&mut SpillFile>,
-    buffers: &BTreeMap<ReplicaId, Arc<EventBuffer>>,
+/// Commits one executed result from the pooled path, in global sequence
+/// order: reboot bookkeeping first (it precedes the op's own events, as
+/// the serial engine reboots before meeting), then the handoff marker,
+/// then the op's buffered events into the ledger and out to the run
+/// observer, then the outcome's metric deltas.
+fn commit(
+    result: ExecResult,
+    metrics: &mut ExperimentMetrics,
+    obs: &Obs,
+    config: &EmulationConfig,
+    state: &mut CommitState,
+    workers: usize,
+) {
+    let ExecResult {
+        op,
+        events,
+        outcome,
+        ..
+    } = result;
+    let rebooted = matches!(
+        outcome,
+        Outcome::Met { rebooted: true, .. } | Outcome::Rebooted { rebooted: true }
+    );
+    if rebooted {
+        let victim = op.victim().expect("rebooted op has a victim");
+        note_reboot(victim, state, metrics);
+    }
+    note_handoff(&op, workers, obs);
+    for event in events {
+        state.apply(&event);
+        obs.emit(|| event);
+    }
+    apply_outcome(&op, outcome, metrics, obs, config, state);
+}
+
+/// Bounded-residency state: the slot-reusing spill file, the parked
+/// replicas' slots, and the reusable scratch buffers batched snapshot
+/// writes stage through.
+struct Residency {
+    file: SpillFile,
+    slots: BTreeMap<ReplicaId, SpillSlot>,
+    limit: usize,
+    scratch: SnapshotScratch,
+    /// Victim snapshots for one spill-down, back to back; retained so a
+    /// steady-state spill cycle stops allocating.
+    arena: Vec<u8>,
+}
+
+impl Residency {
+    fn new(path: PathBuf, limit: usize) -> Residency {
+        Residency {
+            file: SpillFile::create(path).expect("create spill file"),
+            slots: BTreeMap::new(),
+            limit,
+            scratch: SnapshotScratch::new(),
+            arena: Vec::new(),
+        }
+    }
+
+    /// Restores `ids` (all currently spilled) with one sorted-offset
+    /// batch read, freeing their slots for reuse. Unspill latency is the
+    /// amortized read share plus the node's own rebuild time. Restored
+    /// nodes come up wearing `wear` — the direct-commit sink on the
+    /// cooperative path, disabled on the pooled path (whose workers
+    /// attach their own mailbox at dispatch).
+    fn unspill(
+        &mut self,
+        ids: &[ReplicaId],
+        nodes: &mut FxMap<ReplicaId, Box<DtnNode>>,
+        config: &EmulationConfig,
+        obs: &Obs,
+        wear: &Obs,
+    ) {
+        if ids.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        let slots: Vec<SpillSlot> = ids
+            .iter()
+            .map(|id| self.slots.remove(id).expect("node is resident or spilled"))
+            .collect();
+        let blobs = self.file.read_batch(&slots).expect("read spilled replicas");
+        let read_share_us = started.elapsed().as_micros() as u64 / ids.len() as u64;
+        for ((&id, slot), bytes) in ids.iter().zip(&slots).zip(&blobs) {
+            let rebuild = Instant::now();
+            let mut node = DtnNode::restore_with_policy(bytes, config.policy.build())
+                .expect("spilled replica restores under the run's own policy");
+            // Snapshots carry no observability or acceleration state; the
+            // caller's `wear` observer goes on here, the selection modes
+            // come back as on the serial reboot path.
+            node.replica_mut().set_observer(wear.clone());
+            node.replica_mut().set_candidate_scan(config.candidate_scan);
+            node.replica_mut().set_owned_copies(config.owned_copies);
+            node.set_sync_mode(config.sync_mode);
+            nodes.insert(id, Box::new(node));
+            let latency_us = read_share_us + rebuild.elapsed().as_micros() as u64;
+            obs.emit(|| Event::ReplicaSpill {
+                replica: id.as_u64(),
+                bytes: slot.len() as u64,
+                resident: nodes.len() as u64,
+                unspill: true,
+                latency_us,
+                file_bytes: self.file.file_bytes(),
+            });
+        }
+        for slot in slots {
+            self.file.free(slot);
+        }
+    }
+
+    /// Evicts down to the cap, Belady-style: the replica whose next
+    /// windowed encounter is farthest goes first, and "not in the window
+    /// at all" is farthest of all; least-recently-dispatched then lowest
+    /// id break ties deterministically. `pinned` nodes — riding in
+    /// deferred operations that execute next batch — are never evicted.
+    /// All victims snapshot into one arena and land in one batched
+    /// append.
+    fn spill_down(
+        &mut self,
+        nodes: &mut FxMap<ReplicaId, Box<DtnNode>>,
+        pinned: &FxSet<ReplicaId>,
+        next_need: impl Fn(ReplicaId) -> Option<u64>,
+        last_used: &FxMap<ReplicaId, u64>,
+        obs: &Obs,
+    ) {
+        if nodes.len() <= self.limit {
+            return;
+        }
+        let mut candidates: Vec<(u64, Reverse<u64>, Reverse<u64>)> = nodes
+            .keys()
+            .filter(|id| !pinned.contains(id))
+            .map(|&id| {
+                (
+                    next_need(id).unwrap_or(u64::MAX),
+                    Reverse(last_used.get(&id).copied().unwrap_or(0)),
+                    Reverse(id.as_u64()),
+                )
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|&c| Reverse(c));
+        let excess = nodes.len() - self.limit;
+
+        self.arena.clear();
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(excess);
+        let mut evicted: Vec<(ReplicaId, u64)> = Vec::with_capacity(excess);
+        for &(_, _, Reverse(raw)) in candidates.iter().take(excess) {
+            let id = ReplicaId::new(raw);
+            let node = nodes.remove(&id).expect("victim resident");
+            let snapshot = node.snapshot_with(&mut self.scratch);
+            spans.push((self.arena.len(), snapshot.len()));
+            self.arena.extend_from_slice(snapshot);
+            evicted.push((id, nodes.len() as u64));
+        }
+        let blobs: Vec<&[u8]> = spans.iter().map(|&(o, l)| &self.arena[o..o + l]).collect();
+        let slots = self
+            .file
+            .append_batch(&blobs)
+            .expect("append to spill file");
+        let file_bytes = self.file.file_bytes();
+        for ((id, resident), slot) in evicted.into_iter().zip(slots) {
+            let bytes = slot.len() as u64;
+            self.slots.insert(id, slot);
+            obs.emit(|| Event::ReplicaSpill {
+                replica: id.as_u64(),
+                bytes,
+                resident,
+                unspill: false,
+                latency_us: 0,
+                file_bytes,
+            });
+        }
+    }
+}
+
+/// Restores soon-needed spilled replicas while a dispatched batch is
+/// still executing on the workers, so spill reads overlap compute.
+/// Deferred operations' nodes come first (they run next batch), then the
+/// lookahead window in schedule order; the budget keeps the resident set
+/// — counting the nodes riding in flight — under the cap.
+#[allow(clippy::too_many_arguments)]
+fn prefetch_upcoming<I: Iterator<Item = Encounter>>(
+    res: &mut Residency,
+    nodes: &mut FxMap<ReplicaId, Box<DtnNode>>,
+    in_flight: usize,
+    deferred: &VecDeque<Op>,
+    window: &Lookahead<I>,
     config: &EmulationConfig,
     obs: &Obs,
+    wear: &Obs,
 ) {
-    if nodes.contains_key(&id) {
+    let budget = res.limit.saturating_sub(nodes.len() + in_flight);
+    if budget == 0 || res.slots.is_empty() {
         return;
     }
-    let slot = spilled.remove(&id).expect("node is resident or spilled");
-    let file = spill.expect("spill file exists while nodes are spilled");
-    let bytes = file.read(&slot).expect("read back spilled replica");
-    let mut node = DtnNode::restore_with_policy(&bytes, config.policy.build())
-        .expect("spilled replica restores under the run's own policy");
-    // Snapshots carry no observability or acceleration state; re-attach
-    // the mailbox and selection modes, as the serial reboot path does.
-    node.replica_mut()
-        .set_observer(Obs::new(buffers[&id].clone()));
-    node.replica_mut().set_candidate_scan(config.candidate_scan);
-    node.replica_mut().set_owned_copies(config.owned_copies);
-    node.set_sync_mode(config.sync_mode);
-    nodes.insert(id, node);
-    obs.emit(|| Event::ReplicaSpill {
-        replica: id.as_u64(),
-        bytes: slot.len() as u64,
-        resident: nodes.len() as u64,
-        unspill: true,
-    });
+    /// Window entries examined per batch: far enough to keep reads ahead
+    /// of the schedule, bounded so scanning stays off the critical path.
+    const PREFETCH_SCAN: usize = 2048;
+    let mut wanted: Vec<ReplicaId> = Vec::new();
+    let mut seen: FxSet<ReplicaId> = FxSet::default();
+    'scan: {
+        for op in deferred {
+            let (a, b) = op.node_ids();
+            for id in [Some(a), b].into_iter().flatten() {
+                if seen.insert(id) && res.slots.contains_key(&id) {
+                    wanted.push(id);
+                    if wanted.len() == budget {
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        for enc in window.upcoming().take(PREFETCH_SCAN) {
+            for id in [enc.a, enc.b] {
+                if seen.insert(id) && res.slots.contains_key(&id) {
+                    wanted.push(id);
+                    if wanted.len() == budget {
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    res.unspill(&wanted, nodes, config, obs, wear);
 }
 
 impl<'a> Emulation<'a> {
@@ -560,54 +848,81 @@ impl<'a> Emulation<'a> {
             source,
             workload,
             config,
-            mut nodes,
+            nodes,
             assignment,
             mut metrics,
             obs,
             rollup,
         } = self;
         let workers = config.shards.unwrap_or(1).max(1);
+        // Threads are sized to the host, not to the shard count: on a
+        // single-core machine a pool only adds hand-off latency, so zero
+        // threads means the shards run cooperatively on the main thread.
+        let threads = match config.exec_threads {
+            Some(n) => n.min(workers),
+            None => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                if cores <= 1 || workers == 1 {
+                    0
+                } else {
+                    workers
+                }
+            }
+        };
 
-        // Per-node event mailboxes replace the shared observer: a node's
-        // events accumulate locally while it executes on a worker and are
-        // forwarded to the run observer in global sequence order at
-        // commit.
-        let mut buffers: BTreeMap<ReplicaId, Arc<EventBuffer>> = BTreeMap::new();
-        for (&id, node) in nodes.iter_mut() {
-            let buffer = Arc::new(EventBuffer::default());
-            node.replica_mut().set_observer(Obs::new(buffer.clone()));
-            buffers.insert(id, buffer);
+        // The working map boxes every node: a `DtnNode` is ~1 KiB inline,
+        // and the hot loop moves each op's nodes out and back four times —
+        // boxed, those moves are pointer-sized. Workers attach their own
+        // mailbox at dispatch; nothing may fire on the run observer from
+        // between batches.
+        let mut nodes: FxMap<ReplicaId, Box<DtnNode>> = nodes
+            .into_iter()
+            .map(|(id, node)| (id, Box::new(node)))
+            .collect();
+        for node in nodes.values_mut() {
+            node.replica_mut().set_observer(Obs::none());
         }
 
         // Disk plumbing: a spill file when residency is capped, a temp
-        // spool when an in-memory trace should stream from disk.
+        // spool when an in-memory trace should stream from disk. Both
+        // remove themselves on drop (the spill file via its own `Drop`).
         let scratch_dir = config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
-        let mut spill = config.resident_limit.map(|_| {
+        let mut residency = config.resident_limit.map(|limit| {
             std::fs::create_dir_all(&scratch_dir).expect("create spill directory");
-            SpillFile::create(unique_path(&scratch_dir, "spill")).expect("create spill file")
+            Residency::new(unique_path(&scratch_dir, "spill"), limit)
         });
-        let mut spilled: BTreeMap<ReplicaId, SpillSlot> = BTreeMap::new();
-        let mut last_used: BTreeMap<ReplicaId, u64> = BTreeMap::new();
+        let mut last_used: FxMap<ReplicaId, u64> = FxMap::default();
 
         let temp_spool = match (source, config.stream_encounters) {
             (TraceSource::Memory(trace), true) => {
                 std::fs::create_dir_all(&scratch_dir).expect("create spool directory");
                 let path = unique_path(&scratch_dir, "spool");
-                Some(traces::SpooledTrace::spool(trace, path).expect("spool trace to disk"))
+                let spooled = traces::SpooledTrace::spool(trace, path).expect("spool trace");
+                let guard = RemoveOnDrop(spooled.path().to_path_buf());
+                Some((spooled, guard))
             }
             _ => None,
         };
         let encounters: Box<dyn Iterator<Item = Encounter> + '_> = match (&temp_spool, source) {
-            (Some(spooled), _) => Box::new(spooled.iter().expect("open temp encounter spool")),
+            (Some((spooled, _)), _) => Box::new(spooled.iter().expect("open temp encounter spool")),
             (None, TraceSource::Spooled(trace)) => {
                 Box::new(trace.iter().expect("open encounter spool"))
             }
             (None, TraceSource::Memory(trace)) => Box::new(trace.iter().copied()),
         };
 
+        // Without a residency cap the window degenerates to plain
+        // peeking; with one, see far enough past the hot set for Belady
+        // eviction and prefetch to bite.
+        let window = config.lookahead.unwrap_or(match config.resident_limit {
+            Some(limit) => (limit * 8).clamp(1024, 131_072),
+            None => 1,
+        });
         let mut stream = OpStream {
             injections: workload.events().iter().peekable(),
-            encounters: encounters.peekable(),
+            encounters: Lookahead::new(encounters, window),
             fault_rng: StdRng::seed_from_u64(config.fault_seed),
             drop_rate: config.encounter_drop_rate,
             crash_rate: config.crash_rate,
@@ -615,182 +930,363 @@ impl<'a> Emulation<'a> {
             next_seq: 0,
         };
 
-        let mut deferred: VecDeque<Op> = VecDeque::new();
-        let mut pending: BTreeMap<u64, ExecResult> = BTreeMap::new();
-        let mut next_commit: u64 = 0;
         let mut state = CommitState::default();
-        let max_batch = workers * 32;
-        // Conflicts concentrate on hub nodes; past this many parked ops,
-        // scanning further mostly grows the park, so cut the batch here.
-        const MAX_DEFERRED: usize = 64;
-        let mut batch_no: u64 = 0;
 
-        let (result_tx, result_rx) = mpsc::channel::<ExecResult>();
-        std::thread::scope(|scope| {
-            let mut job_txs: Vec<mpsc::Sender<Job>> = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let (tx, rx) = mpsc::channel::<Job>();
-                job_txs.push(tx);
-                let worker_config = config.clone();
-                let results = result_tx.clone();
-                scope.spawn(move || {
-                    for job in rx {
-                        if results.send(execute(job, &worker_config)).is_err() {
-                            break;
+        if threads == 0 {
+            // Cooperative path: no pool, no batches, no buffering.
+            // Operations execute in sequence order and commit on the
+            // spot; every node permanently wears the direct-commit sink,
+            // so events reach the ledger and the run observer the moment
+            // they are emitted. Shard handoff accounting is untouched —
+            // a shard is a property of ids, not of threads.
+            let sink = Arc::new(DirectSink {
+                state: Mutex::new(std::mem::take(&mut state)),
+                obs: obs.clone(),
+            });
+            let sink_obs = Obs::new(sink.clone());
+            for node in nodes.values_mut() {
+                node.replica_mut().set_observer(sink_obs.clone());
+            }
+            // Residency maintenance cadence: eviction and prefetch run
+            // every this many operations — often enough that the
+            // resident set never drifts far past the cap, rare enough
+            // that the Belady scan amortizes away.
+            const MAINTENANCE_OPS: u64 = 64;
+            let no_deferred: VecDeque<Op> = VecDeque::new();
+            let mut ops_done: u64 = 0;
+            while let Some(op) = stream.next_op() {
+                if let Some(res) = residency.as_mut() {
+                    let (a, b) = op.node_ids();
+                    let mut needed: Vec<ReplicaId> = Vec::new();
+                    for id in [Some(a), b].into_iter().flatten() {
+                        last_used.insert(id, op.seq);
+                        if res.slots.contains_key(&id) {
+                            needed.push(id);
                         }
                     }
-                });
-            }
-            drop(result_tx);
-
-            loop {
-                // Assemble one conflict-free batch: deferred ops first (in
-                // order), then fresh scans. A deferred/conflicting op
-                // blocks its nodes so everything behind it on those nodes
-                // queues up behind it — per-node order stays serial.
-                let mut batch: Vec<Op> = Vec::new();
-                let mut busy: HashSet<ReplicaId> = HashSet::new();
-                let mut blocked: HashSet<ReplicaId> = HashSet::new();
-                let mut parked: VecDeque<Op> = VecDeque::new();
-                let place = |op: Op,
-                             batch: &mut Vec<Op>,
-                             busy: &mut HashSet<ReplicaId>,
-                             blocked: &mut HashSet<ReplicaId>,
-                             parked: &mut VecDeque<Op>| {
-                    let (a, b) = op.node_ids();
-                    let clear = |set: &HashSet<ReplicaId>, id: ReplicaId| !set.contains(&id);
-                    let free = |id: ReplicaId| clear(busy, id) && clear(blocked, id);
-                    let placeable = free(a)
-                        && match b {
-                            Some(b) => free(b),
-                            None => true,
+                    res.unspill(&needed, &mut nodes, &config, &obs, &sink_obs);
+                }
+                note_handoff(&op, workers, &obs);
+                let outcome = match &op.kind {
+                    OpKind::Inject {
+                        src_user,
+                        dst_user,
+                        src_bus,
+                        dst_bus,
+                        now,
+                    } => {
+                        let node = nodes.get_mut(src_bus).expect("resident node");
+                        let src_addr = bus_address(*src_bus);
+                        let dst_addr = bus_address(*dst_bus);
+                        let payload = format!("{src_user}->{dst_user}").into_bytes();
+                        let sent = match config.message_lifetime {
+                            Some(lifetime) => dtn::messaging::send_message_with_lifetime(
+                                node.replica_mut(),
+                                &src_addr,
+                                &dst_addr,
+                                payload,
+                                *now,
+                                lifetime,
+                            ),
+                            None => node.send_from(&src_addr, &dst_addr, payload, *now),
                         };
-                    if placeable {
-                        busy.insert(a);
-                        if let Some(b) = b {
-                            busy.insert(b);
+                        Outcome::Injected { id: sent.ok() }
+                    }
+                    OpKind::Meet { encounter, victim } => {
+                        if let Some(victim) = victim {
+                            let node = nodes.get_mut(victim).expect("victim resident");
+                            if reboot_in_place(node, &sink_obs, &config) {
+                                // Between the reboot and the meeting,
+                                // exactly where the serial engine's
+                                // bookkeeping lands: pre-reboot evictions
+                                // are wiped before the meeting can add
+                                // fresh ones.
+                                note_reboot(*victim, &mut sink.state.lock(), &mut metrics);
+                            }
                         }
-                        batch.push(op);
-                    } else {
-                        blocked.insert(a);
-                        if let Some(b) = b {
-                            blocked.insert(b);
+                        let budget = match config.messages_per_contact_minute {
+                            Some(rate) if encounter.duration.as_secs() > 0 => {
+                                let allowance =
+                                    (encounter.duration.as_secs() as f64 / 60.0 * rate).ceil();
+                                EncounterBudget::max_messages((allowance as usize).max(1))
+                            }
+                            _ => config.budget,
+                        };
+                        // A self-encounter is scanned as `OpKind::Reboot`,
+                        // so the endpoints are always distinct here.
+                        let [first, second] = nodes
+                            .get_disjoint_mut([&encounter.a, &encounter.b])
+                            .map(|n| n.expect("resident node"));
+                        let report = first.encounter(second, encounter.time, budget);
+                        // Reboot bookkeeping already happened in place.
+                        Outcome::Met {
+                            report,
+                            rebooted: false,
                         }
-                        parked.push_back(op);
+                    }
+                    OpKind::Reboot { victim } => {
+                        let node = nodes.get_mut(victim).expect("resident node");
+                        if reboot_in_place(node, &sink_obs, &config) {
+                            note_reboot(*victim, &mut sink.state.lock(), &mut metrics);
+                        }
+                        Outcome::Rebooted { rebooted: false }
                     }
                 };
-                for op in deferred.drain(..) {
-                    place(op, &mut batch, &mut busy, &mut blocked, &mut parked);
-                }
-                while batch.len() < max_batch && parked.len() < MAX_DEFERRED {
-                    let Some(op) = stream.next_op() else { break };
-                    place(op, &mut batch, &mut busy, &mut blocked, &mut parked);
-                }
-                deferred = parked;
-                if batch.is_empty() {
-                    // The first deferred op is always placeable, so an
-                    // empty batch means the schedule is exhausted.
-                    debug_assert!(deferred.is_empty());
-                    break;
-                }
-                batch_no += 1;
-
-                // Dispatch: each op executes on the shard of its first
-                // node, carrying its (unspilled, owned) nodes along.
-                let dispatched = batch.len();
-                for op in batch {
-                    let (a, b) = op.node_ids();
-                    let shard = shard_of(a, workers);
-                    let mut op_nodes = Vec::with_capacity(2);
-                    for id in [Some(a), b].into_iter().flatten() {
-                        ensure_resident(
-                            id,
+                apply_outcome(
+                    &op,
+                    outcome,
+                    &mut metrics,
+                    &obs,
+                    &config,
+                    &mut sink.state.lock(),
+                );
+                ops_done += 1;
+                if ops_done.is_multiple_of(MAINTENANCE_OPS) {
+                    if let Some(res) = residency.as_mut() {
+                        res.spill_down(
                             &mut nodes,
-                            &mut spilled,
-                            spill.as_mut(),
-                            &buffers,
-                            &config,
+                            &FxSet::default(),
+                            |id| stream.encounters.next_need(id),
+                            &last_used,
                             &obs,
                         );
-                        last_used.insert(id, batch_no);
-                        let node = nodes.remove(&id).expect("resident node");
-                        op_nodes.push((id, node, buffers[&id].clone()));
-                    }
-                    job_txs[shard]
-                        .send(Job {
-                            op,
-                            nodes: op_nodes,
-                        })
-                        .expect("worker shard alive");
-                }
-
-                // Collect the whole batch back (completion order is
-                // nondeterministic; ownership returns here).
-                for _ in 0..dispatched {
-                    let mut result = result_rx.recv().expect("worker result");
-                    for (id, node) in result.nodes.drain(..) {
-                        nodes.insert(id, node);
-                    }
-                    pending.insert(result.op.seq, result);
-                }
-
-                // Commit strictly in global sequence order. Ops still
-                // deferred stall later commits until they execute.
-                while let Some(result) = pending.remove(&next_commit) {
-                    commit(result, &mut metrics, &obs, &config, &mut state, workers);
-                    next_commit += 1;
-                }
-
-                // Spill down to the residency cap, coldest (least recently
-                // used, then lowest id) first.
-                if let (Some(limit), Some(file)) = (config.resident_limit, spill.as_mut()) {
-                    while nodes.len() > limit {
-                        let victim = nodes
-                            .keys()
-                            .copied()
-                            .min_by_key(|id| (last_used.get(id).copied().unwrap_or(0), *id))
-                            .expect("resident set nonempty");
-                        let node = nodes.remove(&victim).expect("victim resident");
-                        let snapshot = node.snapshot();
-                        let slot = file.append(&snapshot).expect("append to spill file");
-                        spilled.insert(victim, slot);
-                        obs.emit(|| Event::ReplicaSpill {
-                            replica: victim.as_u64(),
-                            bytes: slot.len() as u64,
-                            resident: nodes.len() as u64,
-                            unspill: false,
-                        });
+                        prefetch_upcoming(
+                            res,
+                            &mut nodes,
+                            0,
+                            &no_deferred,
+                            &stream.encounters,
+                            &config,
+                            &obs,
+                            &sink_obs,
+                        );
                     }
                 }
             }
-            drop(job_txs);
-        });
-        debug_assert!(pending.is_empty(), "all dispatched ops commit");
+            state = std::mem::take(&mut *sink.state.lock());
+        } else {
+            let mut deferred: VecDeque<Op> = VecDeque::new();
+            // Keyed probes on `next_commit` only — no order needed, and a
+            // B-tree would shift 200-byte results around on every insert.
+            let mut pending: FxMap<u64, ExecResult> = FxMap::default();
+            let mut next_commit: u64 = 0;
+            let max_batch = workers * 32;
+            // Conflicts concentrate on hub nodes; past this many parked
+            // ops, scanning further mostly grows the park, so cut the
+            // batch here.
+            const MAX_DEFERRED: usize = 64;
+            let resident_cap = config.resident_limit;
+            let mut batch_no: u64 = 0;
+            let no_wear = Obs::none();
 
-        // Bring every spilled replica home for final accounting, then
-        // drop the scratch files.
-        let parked: Vec<ReplicaId> = spilled.keys().copied().collect();
-        for id in parked {
-            ensure_resident(
-                id,
-                &mut nodes,
-                &mut spilled,
-                spill.as_mut(),
-                &buffers,
-                &config,
-                &obs,
-            );
+            std::thread::scope(|scope| {
+                let (result_tx, result_rx) = mpsc::channel::<Vec<ExecResult>>();
+                let mut job_txs: Vec<mpsc::Sender<Vec<Job>>> = Vec::with_capacity(threads);
+                for _ in 0..threads {
+                    let (tx, rx) = mpsc::channel::<Vec<Job>>();
+                    job_txs.push(tx);
+                    let worker_config = config.clone();
+                    let results = result_tx.clone();
+                    scope.spawn(move || {
+                        let buffer = Arc::new(EventBuffer::default());
+                        let mailbox = Obs::new(buffer.clone());
+                        for chunk in rx {
+                            let out: Vec<ExecResult> = chunk
+                                .into_iter()
+                                .map(|job| execute(job, &worker_config, &buffer, &mailbox))
+                                .collect();
+                            if results.send(out).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                let pool = WorkerPool {
+                    jobs: job_txs,
+                    results: result_rx,
+                };
+
+                loop {
+                    // Assemble one conflict-free batch: deferred ops
+                    // first (in order), then fresh scans. A
+                    // deferred/conflicting op blocks its nodes so
+                    // everything behind it on those nodes queues up
+                    // behind it — per-node order stays serial.
+                    let mut batch: Vec<Op> = Vec::new();
+                    let mut busy: FxSet<ReplicaId> = FxSet::default();
+                    let mut blocked: FxSet<ReplicaId> = FxSet::default();
+                    let mut parked: VecDeque<Op> = VecDeque::new();
+                    let place = |op: Op,
+                                 batch: &mut Vec<Op>,
+                                 busy: &mut FxSet<ReplicaId>,
+                                 blocked: &mut FxSet<ReplicaId>,
+                                 parked: &mut VecDeque<Op>| {
+                        let (a, b) = op.node_ids();
+                        let clear = |set: &FxSet<ReplicaId>, id: ReplicaId| !set.contains(&id);
+                        let free = |id: ReplicaId| clear(busy, id) && clear(blocked, id);
+                        let placeable = free(a)
+                            && match b {
+                                Some(b) => free(b),
+                                None => true,
+                            };
+                        if placeable {
+                            busy.insert(a);
+                            if let Some(b) = b {
+                                busy.insert(b);
+                            }
+                            batch.push(op);
+                        } else {
+                            blocked.insert(a);
+                            if let Some(b) = b {
+                                blocked.insert(b);
+                            }
+                            parked.push_back(op);
+                        }
+                    };
+                    for op in deferred.drain(..) {
+                        place(op, &mut batch, &mut busy, &mut blocked, &mut parked);
+                    }
+                    while batch.len() < max_batch && parked.len() < MAX_DEFERRED {
+                        // Under a residency cap, stop admitting fresh
+                        // ops once the batch's working set fills it — a
+                        // wider batch would only buy unspill-then-respill
+                        // churn.
+                        if let Some(limit) = resident_cap {
+                            if !batch.is_empty() && busy.len() + 2 > limit {
+                                break;
+                            }
+                        }
+                        let Some(op) = stream.next_op() else { break };
+                        place(op, &mut batch, &mut busy, &mut blocked, &mut parked);
+                    }
+                    deferred = parked;
+                    if batch.is_empty() {
+                        // The first deferred op is always placeable, so
+                        // an empty batch means the schedule is exhausted.
+                        debug_assert!(deferred.is_empty());
+                        break;
+                    }
+                    batch_no += 1;
+
+                    // Everything the batch touches comes home in one
+                    // batched read before dispatch.
+                    if let Some(res) = residency.as_mut() {
+                        let mut needed: Vec<ReplicaId> = Vec::new();
+                        for op in &batch {
+                            let (a, b) = op.node_ids();
+                            for id in [Some(a), b].into_iter().flatten() {
+                                if res.slots.contains_key(&id) {
+                                    needed.push(id);
+                                }
+                            }
+                        }
+                        res.unspill(&needed, &mut nodes, &config, &obs, &no_wear);
+                    }
+
+                    // Chunk the batch — each op executes on the pool
+                    // thread its first node's shard maps to, carrying
+                    // its owned nodes along — and dispatch one chunk per
+                    // thread.
+                    let mut in_flight = 0usize;
+                    let mut chunks: Vec<Vec<Job>> = (0..threads).map(|_| Vec::new()).collect();
+                    let track_recency = residency.is_some();
+                    for op in batch {
+                        let (a, b) = op.node_ids();
+                        let thread = shard_of(a, workers) % threads;
+                        let mut op_nodes = Vec::with_capacity(2);
+                        for id in [Some(a), b].into_iter().flatten() {
+                            if track_recency {
+                                last_used.insert(id, batch_no);
+                            }
+                            let node = nodes.remove(&id).expect("resident node");
+                            op_nodes.push((id, node));
+                            in_flight += 1;
+                        }
+                        chunks[thread].push(Job {
+                            op,
+                            nodes: op_nodes,
+                        });
+                    }
+                    let mut outstanding = 0;
+                    for (thread, chunk) in chunks.into_iter().enumerate() {
+                        if chunk.is_empty() {
+                            continue;
+                        }
+                        pool.jobs[thread].send(chunk).expect("worker thread alive");
+                        outstanding += 1;
+                    }
+
+                    // The pool is busy: overlap the next window's spill
+                    // reads with its compute.
+                    if let Some(res) = residency.as_mut() {
+                        prefetch_upcoming(
+                            res,
+                            &mut nodes,
+                            in_flight,
+                            &deferred,
+                            &stream.encounters,
+                            &config,
+                            &obs,
+                            &no_wear,
+                        );
+                    }
+                    for _ in 0..outstanding {
+                        let results = pool.results.recv().expect("worker results");
+                        for mut result in results {
+                            for (id, node) in result.nodes.drain(..) {
+                                nodes.insert(id, node);
+                            }
+                            pending.insert(result.op.seq, result);
+                        }
+                    }
+
+                    // Commit strictly in global sequence order. Ops
+                    // still deferred stall later commits until they
+                    // execute.
+                    while let Some(result) = pending.remove(&next_commit) {
+                        commit(result, &mut metrics, &obs, &config, &mut state, workers);
+                        next_commit += 1;
+                    }
+
+                    // Spill back down to the cap, farthest next
+                    // encounter first, never a node the deferred park
+                    // runs next batch.
+                    if let Some(res) = residency.as_mut() {
+                        let mut pinned: FxSet<ReplicaId> = FxSet::default();
+                        for op in &deferred {
+                            let (a, b) = op.node_ids();
+                            pinned.insert(a);
+                            if let Some(b) = b {
+                                pinned.insert(b);
+                            }
+                        }
+                        res.spill_down(
+                            &mut nodes,
+                            &pinned,
+                            |id| stream.encounters.next_need(id),
+                            &last_used,
+                            &obs,
+                        );
+                    }
+                }
+                drop(pool);
+            });
+            debug_assert!(pending.is_empty(), "all dispatched ops commit");
         }
-        if let Some(file) = &spill {
-            let _ = std::fs::remove_file(file.path());
-        }
-        if let Some(spooled) = &temp_spool {
-            let _ = std::fs::remove_file(spooled.path());
+
+        // Bring every spilled replica home for final accounting; the
+        // spill file and temp spool delete themselves on drop, panics
+        // included.
+        if let Some(res) = residency.as_mut() {
+            let parked: Vec<ReplicaId> = res.slots.keys().copied().collect();
+            res.unspill(&parked, &mut nodes, &config, &obs, &Obs::none());
         }
 
         // Final accounting, identical to the serial engine — except
         // evictions, which come from committed events because spilling
         // (like rebooting) discards `ReplicaStats`.
+        let nodes: BTreeMap<ReplicaId, DtnNode> =
+            nodes.into_iter().map(|(id, node)| (id, *node)).collect();
         let mut copies: BTreeMap<ItemId, usize> = BTreeMap::new();
         for node in nodes.values() {
             for item in node.replica().iter_items() {

@@ -65,9 +65,12 @@ fn tmp_dir() -> std::path::PathBuf {
     dir
 }
 
-/// Runs serial and sharded over the same inputs and asserts full
-/// equivalence: metrics equal, and every node ends with identical
-/// knowledge.
+/// Runs serial once and sharded under *both* execution modes — a worker
+/// pool sized to the shard count and the cooperative main-thread path
+/// (`exec_threads: Some(0)`) — and asserts full equivalence for each:
+/// metrics equal, and every node ends with identical knowledge. Pinning
+/// the mode matters because auto-detection picks per host, and the suite
+/// must cover both paths regardless of where it runs.
 fn assert_sharded_equals_serial(
     trace: &EncounterTrace,
     workload: &EmailWorkload,
@@ -83,16 +86,20 @@ fn assert_sharded_equals_serial(
         ..config.clone()
     };
     let (serial, serial_nodes) = Emulation::new(trace, workload, serial_config).run_into_parts();
-    let sharded_config = EmulationConfig {
-        shards: Some(shards),
-        ..config.clone()
-    };
-    let (sharded, sharded_nodes) = Emulation::new(trace, workload, sharded_config).run_into_parts();
-    assert_eq!(
-        serial, sharded,
-        "{label}: metrics diverged at {shards} shards"
-    );
-    assert_knowledge_equal(&serial_nodes, &sharded_nodes, label, shards);
+    for exec_threads in [shards, 0] {
+        let sharded_config = EmulationConfig {
+            shards: Some(shards),
+            exec_threads: Some(exec_threads),
+            ..config.clone()
+        };
+        let (sharded, sharded_nodes) =
+            Emulation::new(trace, workload, sharded_config).run_into_parts();
+        assert_eq!(
+            serial, sharded,
+            "{label}: metrics diverged at {shards} shards / {exec_threads} threads"
+        );
+        assert_knowledge_equal(&serial_nodes, &sharded_nodes, label, shards);
+    }
 }
 
 fn assert_knowledge_equal(
@@ -212,17 +219,20 @@ fn spooled_source_matches_in_memory_serial() {
     let config = EmulationConfig::for_policy(PolicyKind::Epidemic);
     let (serial, serial_nodes) = Emulation::new(&trace, &workload, config.clone()).run_into_parts();
     for shards in [1, 4] {
-        let spooled_config = EmulationConfig {
-            shards: Some(shards),
-            ..config.clone()
-        };
-        let (via_spool, spool_nodes) =
-            Emulation::from_spooled(&spooled, &workload, spooled_config).run_into_parts();
-        assert_eq!(
-            serial, via_spool,
-            "spooled source diverged at {shards} shards"
-        );
-        assert_knowledge_equal(&serial_nodes, &spool_nodes, "spooled source", shards);
+        for exec_threads in [shards, 0] {
+            let spooled_config = EmulationConfig {
+                shards: Some(shards),
+                exec_threads: Some(exec_threads),
+                ..config.clone()
+            };
+            let (via_spool, spool_nodes) =
+                Emulation::from_spooled(&spooled, &workload, spooled_config).run_into_parts();
+            assert_eq!(
+                serial, via_spool,
+                "spooled source diverged at {shards} shards / {exec_threads} threads"
+            );
+            assert_knowledge_equal(&serial_nodes, &spool_nodes, "spooled source", shards);
+        }
     }
 }
 
@@ -260,6 +270,50 @@ proptest! {
             SHARD_COUNTS[shard_idx],
             "random fleet",
         );
+    }
+
+    /// The residency machinery — Belady eviction over the lookahead
+    /// window, batched spill writes and reads, prefetch — is
+    /// performance-only: any `resident_limit`/`lookahead` combination
+    /// must yield the exact metrics and knowledge of an
+    /// unlimited-residency run of the same shard count.
+    #[test]
+    fn residency_is_invisible_to_metrics(
+        seed in 0u64..1_000_000,
+        fleet in 6usize..14,
+        days in 2u64..4,
+        messages in 20usize..60,
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+        limit in 2usize..10,
+        lookahead_raw in 0usize..6,
+        shard_idx in 0usize..SHARD_COUNTS.len(),
+        pooled in any::<bool>(),
+    ) {
+        let (trace, workload) = scenario(base_seed() ^ seed ^ 0xbe1a, fleet, days, messages);
+        let shards = SHARD_COUNTS[shard_idx];
+        let base = EmulationConfig {
+            policy: PolicyKind::ALL[policy_idx].into(),
+            sync_mode: SyncMode::Full,
+            shards: Some(shards),
+            // Pin the execution mode so the case covers both the pooled
+            // and the cooperative path wherever it runs.
+            exec_threads: Some(if pooled { shards } else { 0 }),
+            ..EmulationConfig::default()
+        };
+        let (unlimited, unlimited_nodes) =
+            Emulation::new(&trace, &workload, base.clone()).run_into_parts();
+        let capped_config = EmulationConfig {
+            spill_dir: Some(tmp_dir()),
+            resident_limit: Some(limit),
+            // 0 means "the default window"; tiny explicit windows stress
+            // the everything-outside-the-window eviction path.
+            lookahead: (lookahead_raw > 0).then_some(lookahead_raw * 8),
+            ..base
+        };
+        let (capped, capped_nodes) =
+            Emulation::new(&trace, &workload, capped_config).run_into_parts();
+        prop_assert_eq!(unlimited, capped, "residency changed metrics");
+        assert_knowledge_equal(&unlimited_nodes, &capped_nodes, "capped residency", shards);
     }
 
     /// Streamed (spooled) iteration yields exactly the in-memory

@@ -460,6 +460,12 @@ pub enum Event {
         /// `true` when the replica was *restored* from disk, `false`
         /// when it was parked.
         unspill: bool,
+        /// Wall time to read and rebuild the replica (microseconds,
+        /// amortized over its batch); 0 for spills.
+        latency_us: u64,
+        /// Spill-file size after this operation, bytes (the file's
+        /// high-water mark with slot reuse).
+        file_bytes: u64,
     },
 }
 
@@ -863,11 +869,15 @@ impl Event {
                 bytes,
                 resident,
                 unspill,
+                latency_us,
+                file_bytes,
             } => {
                 push_u64(&mut out, "replica", *replica);
                 push_u64(&mut out, "bytes", *bytes);
                 push_u64(&mut out, "resident", *resident);
                 push_bool(&mut out, "unspill", *unspill);
+                push_u64(&mut out, "latency_us", *latency_us);
+                push_u64(&mut out, "file_bytes", *file_bytes);
             }
         }
         out.push('}');

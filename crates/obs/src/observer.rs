@@ -46,6 +46,16 @@ impl Obs {
             observer.on_event(&f());
         }
     }
+
+    /// Forwards an already-constructed event by reference — for relays
+    /// (buffers, fan-in sinks) that hold a `&Event` and would otherwise
+    /// have to clone it just to satisfy [`Obs::emit`]'s closure.
+    #[inline]
+    pub fn forward(&self, event: &Event) {
+        if let Some(observer) = &self.0 {
+            observer.on_event(event);
+        }
+    }
 }
 
 impl fmt::Debug for Obs {

@@ -137,6 +137,7 @@ impl fmt::Debug for Histogram {
 struct Shard {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, u64>,
 }
 
 /// Aggregates the event stream into named counters and histograms.
@@ -198,10 +199,20 @@ impl Registry {
             .observe(value);
     }
 
+    /// Raises the named high-water gauge to at least `value`. Gauges
+    /// merge by maximum (commutative, like counters by sum), so peaks
+    /// recorded from any thread survive into the snapshot.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        let mut shard = self.shard().lock();
+        let slot = shard.gauges.entry(name.to_string()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
     /// Merges all shards into one consistent snapshot.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
         let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
         for shard in &self.shards {
             let shard = shard.lock();
             for (name, value) in &shard.counters {
@@ -210,10 +221,15 @@ impl Registry {
             for (name, hist) in &shard.histograms {
                 histograms.entry(name.clone()).or_default().merge(hist);
             }
+            for (name, value) in &shard.gauges {
+                let slot = gauges.entry(name.clone()).or_insert(0);
+                *slot = (*slot).max(*value);
+            }
         }
         RegistrySnapshot {
             counters,
             histograms,
+            gauges,
         }
     }
 }
@@ -431,15 +447,21 @@ impl Observer for Registry {
                 bytes,
                 resident,
                 unspill,
+                latency_us,
+                file_bytes,
                 ..
             } => {
                 if *unspill {
                     self.add("shard.unspills", 1);
+                    self.observe("emu.unspill_latency_us", *latency_us);
                 } else {
                     self.add("shard.spills", 1);
-                    self.add("shard.spilled_bytes", *bytes);
+                    self.add("shard.evictions", 1);
+                    self.add("shard.spill_bytes", *bytes);
                 }
                 self.observe("shard.resident", *resident);
+                self.gauge_max("shard.resident_peak", *resident);
+                self.gauge_max("shard.spill_file_bytes", *file_bytes);
             }
         }
     }
@@ -450,6 +472,7 @@ impl Observer for Registry {
 pub struct RegistrySnapshot {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, u64>,
 }
 
 impl RegistrySnapshot {
@@ -463,6 +486,11 @@ impl RegistrySnapshot {
         self.histograms.get(name)
     }
 
+    /// The named high-water gauge's value (0 when never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// All counters, name-sorted.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
@@ -473,14 +501,23 @@ impl RegistrySnapshot {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// All high-water gauges, name-sorted.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Renders the snapshot as CSV: one `counter,<name>,<value>` line per
-    /// counter, then one
+    /// counter, one `gauge,<name>,<value>` line per high-water gauge,
+    /// then one
     /// `histogram,<name>,<count>,<sum>,<min>,<mean>,<p50>,<p99>,<max>`
     /// line per histogram.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
             out.push_str(&format!("counter,{name},{value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("gauge,{name},{value}\n"));
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
@@ -644,19 +681,31 @@ mod tests {
             bytes: 256,
             resident: 10,
             unspill: false,
+            latency_us: 0,
+            file_bytes: 4096,
         });
         r.on_event(&Event::ReplicaSpill {
             replica: 3,
             bytes: 256,
             resident: 11,
             unspill: true,
+            latency_us: 85,
+            file_bytes: 4096,
         });
         let snap = r.snapshot();
         assert_eq!(snap.counter("shard.handoffs"), 1);
         assert_eq!(snap.counter("shard.spills"), 1);
-        assert_eq!(snap.counter("shard.spilled_bytes"), 256);
+        assert_eq!(snap.counter("shard.evictions"), 1);
+        assert_eq!(snap.counter("shard.spill_bytes"), 256);
         assert_eq!(snap.counter("shard.unspills"), 1);
         assert_eq!(snap.histogram("shard.resident").unwrap().count(), 2);
+        assert_eq!(snap.gauge("shard.resident_peak"), 11);
+        assert_eq!(snap.gauge("shard.spill_file_bytes"), 4096);
+        let latency = snap.histogram("emu.unspill_latency_us").unwrap();
+        assert_eq!(latency.count(), 1);
+        assert_eq!(latency.sum(), 85);
+        let csv = snap.to_csv();
+        assert!(csv.contains("gauge,shard.resident_peak,11"));
     }
 
     #[test]

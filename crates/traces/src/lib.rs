@@ -52,5 +52,5 @@ pub use email::{
     format_workload, parse_workload, user_name, EmailConfig, EmailWorkload, MessageEvent,
 };
 pub use mobility::{Encounter, EncounterTrace};
-pub use spool::{SpooledIter, SpooledTrace, TraceSpool};
+pub use spool::{Lookahead, SpooledIter, SpooledTrace, TraceSpool};
 pub use zipf::Zipf;

@@ -304,6 +304,130 @@ impl Iterator for SpooledIter {
     }
 }
 
+/// A peekable prefetch window over any time-ordered encounter stream,
+/// with a per-node *next-encounter* index.
+///
+/// Traces are fully known ahead of time (the property MaxProp exploits
+/// for transfer ordering), so a consumer that streams encounters can
+/// also see a bounded distance into the future for free: `Lookahead`
+/// buffers up to `capacity` upcoming encounters and answers
+/// [`next_need`](Lookahead::next_need) — "when is node X touched next?"
+/// — in O(1). The sharded emulation engine uses this for Belady-style
+/// eviction (spill the replica whose next encounter is farthest) and for
+/// batch-unspilling replicas just ahead of their encounters.
+///
+/// Positions are *ordinals*: the index of an encounter in the underlying
+/// stream, starting at 0. [`consumed`](Lookahead::consumed) is the
+/// ordinal of the next encounter [`next`](Iterator::next) will yield, so
+/// `next_need(id) - consumed()` is the distance (in encounters) until
+/// `id` is touched again, when that lies inside the window.
+#[derive(Debug)]
+pub struct Lookahead<I: Iterator<Item = Encounter>> {
+    inner: I,
+    window: std::collections::VecDeque<Encounter>,
+    /// `node -> ordinals of its windowed encounters`, each queue sorted
+    /// ascending (encounters enter and leave the window in order).
+    needs: std::collections::HashMap<ReplicaId, std::collections::VecDeque<u64>>,
+    /// Ordinal of the window front (== encounters already yielded).
+    head: u64,
+    /// Ordinal the next pull from `inner` will get.
+    filled: u64,
+    capacity: usize,
+}
+
+impl<I: Iterator<Item = Encounter>> Lookahead<I> {
+    /// Wraps `inner` with a prefetch window of `capacity` encounters
+    /// (at least 1).
+    pub fn new(inner: I, capacity: usize) -> Self {
+        Lookahead {
+            inner,
+            window: std::collections::VecDeque::new(),
+            needs: std::collections::HashMap::new(),
+            head: 0,
+            filled: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn fill(&mut self) {
+        while self.window.len() < self.capacity {
+            let Some(e) = self.inner.next() else { break };
+            let ord = self.filled;
+            self.filled += 1;
+            self.needs.entry(e.a).or_default().push_back(ord);
+            if e.b != e.a {
+                self.needs.entry(e.b).or_default().push_back(ord);
+            }
+            self.window.push_back(e);
+        }
+    }
+
+    /// The next encounter without consuming it.
+    pub fn peek(&mut self) -> Option<&Encounter> {
+        self.fill();
+        self.window.front()
+    }
+
+    /// Ordinal of the next encounter to be yielded (= encounters
+    /// consumed so far).
+    pub fn consumed(&self) -> u64 {
+        self.head
+    }
+
+    /// The ordinal of `id`'s next encounter, when it falls inside the
+    /// window; `None` means "not in the next [`window_len`] encounters"
+    /// (or never again).
+    ///
+    /// [`window_len`]: Lookahead::window_len
+    pub fn next_need(&self, id: ReplicaId) -> Option<u64> {
+        self.needs.get(&id).and_then(|q| q.front().copied())
+    }
+
+    /// Encounters currently buffered ahead.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Iterates the buffered upcoming encounters in order (for
+    /// prefetching state their endpoints will need). Call
+    /// [`peek`](Lookahead::peek) first to fill the window.
+    pub fn upcoming(&self) -> impl Iterator<Item = &Encounter> {
+        self.window.iter()
+    }
+}
+
+impl<I: Iterator<Item = Encounter>> Iterator for Lookahead<I> {
+    type Item = Encounter;
+
+    fn next(&mut self) -> Option<Encounter> {
+        self.fill();
+        let e = self.window.pop_front()?;
+        let ord = self.head;
+        self.head += 1;
+        for id in [e.a, e.b] {
+            let std::collections::hash_map::Entry::Occupied(mut slot) = self.needs.entry(id) else {
+                unreachable!("windowed encounter indexed on entry")
+            };
+            if slot.get().front() == Some(&ord) {
+                slot.get_mut().pop_front();
+            }
+            if slot.get().is_empty() {
+                slot.remove();
+            }
+            if e.b == e.a {
+                break;
+            }
+        }
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.inner.size_hint();
+        let buffered = self.window.len();
+        (lo.saturating_add(buffered), hi.map(|h| h + buffered))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,5 +515,60 @@ mod tests {
         assert!(spooled.is_empty());
         assert_eq!(spooled.days(), 0);
         assert_eq!(spooled.iter().expect("open").count(), 0);
+    }
+
+    #[test]
+    fn lookahead_yields_the_identical_sequence() {
+        let trace = DieselNetConfig::default().generate();
+        let direct: Vec<Encounter> = trace.iter().copied().collect();
+        for capacity in [1usize, 7, 64, 100_000] {
+            let windowed: Vec<Encounter> =
+                Lookahead::new(trace.iter().copied(), capacity).collect();
+            assert_eq!(windowed, direct, "capacity {capacity} perturbed the stream");
+        }
+    }
+
+    #[test]
+    fn lookahead_next_need_tracks_the_window() {
+        let trace = DieselNetConfig::default().generate();
+        let all: Vec<Encounter> = trace.iter().copied().collect();
+        let capacity = 32usize;
+        let mut la = Lookahead::new(trace.iter().copied(), capacity);
+        let mut consumed = 0u64;
+        // Exhaustive cross-checking is quadratic; a prefix covers every
+        // code path (fills, pops, index expiry) at test-friendly cost.
+        let checked_prefix = 300u64;
+        while la.peek().is_some() {
+            assert_eq!(la.consumed(), consumed);
+            // Every windowed node's next_need is the true ordinal of its
+            // next encounter in the full sequence.
+            for e in (consumed < checked_prefix)
+                .then(|| all.iter().skip(consumed as usize).take(capacity))
+                .into_iter()
+                .flatten()
+            {
+                for id in [e.a, e.b] {
+                    let need = la.next_need(id).expect("windowed node is indexed");
+                    let truth = all
+                        .iter()
+                        .enumerate()
+                        .skip(consumed as usize)
+                        .find(|(_, enc)| enc.a == id || enc.b == id)
+                        .map(|(i, _)| i as u64)
+                        .expect("node occurs in its own window");
+                    assert_eq!(need, truth);
+                }
+            }
+            let e = la.next().expect("peeked");
+            assert_eq!(e, all[consumed as usize]);
+            consumed += 1;
+            // A node past its last windowed encounter must drop out of
+            // the index rather than answer stale ordinals.
+            if let Some(ord) = la.next_need(e.a) {
+                assert!(ord >= consumed, "stale ordinal for a just-consumed node");
+            }
+        }
+        assert_eq!(consumed, all.len() as u64);
+        assert_eq!(la.window_len(), 0);
     }
 }

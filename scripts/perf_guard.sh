@@ -27,7 +27,15 @@
 # buses, cross-shard handoffs and spills actually happened, and the
 # spill mode's peak RSS did not exceed the everything-resident mode's
 # (the spill run is measured first, so the bound holds even on kernels
-# that refuse the VmHWM reset). No absolute RSS or throughput gates.
+# that refuse the VmHWM reset). Full-size artifacts (fleet >= 1,000 —
+# the committed scale-100 run qualifies; CI's shrunken smoke runs are
+# exempt) additionally carry the residency-health gates: the sharded
+# engine must beat the serial baseline on encounters/s (relative gates
+# between two runs of the same binary on the same machine are stable
+# where absolute wall-clock gates are not), the thrash ratio (unspills
+# per encounter) must stay at or below 0.3 — lookahead-driven eviction
+# and prefetch, not fault-on-touch — and the spill mode's peak RSS must
+# undercut the serial baseline's.
 #
 # The macro_net artifact (async reactor load generator) carries one
 # section per poll backend (sweep and epoll) over the same burst.
@@ -212,11 +220,16 @@ check(0 < doc.get("resident_limit", 0) < doc.get("fleet", 0),
       "resident limit does not actually bound the fleet")
 
 # The scale machinery must have engaged: cross-shard encounters handed
-# off, and the residency cap forced spill/unspill round trips.
+# off, and the residency cap forced spill/unspill round trips with the
+# health instrumentation collected.
 shard = doc.get("shard", {})
 check(shard.get("handoffs", 0) > 0, "shard.handoffs is zero")
 check(shard.get("spills", 0) > 0, "shard.spills is zero")
 check(shard.get("unspills", 0) > 0, "shard.unspills is zero")
+check(shard.get("evictions", 0) > 0, "shard.evictions is zero")
+check(shard.get("thrash_ratio", -1) >= 0, "shard.thrash_ratio missing")
+check(shard.get("resident_peak", 0) > 0, "shard.resident_peak is zero")
+check(shard.get("spill_file_bytes", 0) > 0, "shard.spill_file_bytes is zero")
 
 for mode in ("spill", "sharded"):
     m = doc.get(mode, {})
@@ -236,9 +249,29 @@ check(spill_rss <= sharded_rss,
 # When the serial baseline ran (it is skipped at very large scales), the
 # bench asserted metric equality before writing the artifact; require
 # its presence at smoke scales so the differential anchor is exercised.
-if doc.get("scale", 0) <= 12:
+if doc.get("scale", 0) <= 100:
     check(doc.get("serial") is not None,
           "serial baseline missing at a scale where it must run")
+
+# Residency-health gates, armed only on full-size artifacts (the
+# committed scale-100 run; CI smoke runs at tiny scales where fixed
+# overheads — not the engine — dominate the comparison).
+serial = doc.get("serial")
+if doc.get("fleet", 0) >= 1000:
+    check(serial is not None,
+          "full-size artifact must carry the serial baseline")
+    if serial is not None:
+        check(doc.get("sharded", {}).get("encounters_per_sec", 0)
+              >= serial.get("encounters_per_sec", 1e18),
+              f"sharded engine ({doc.get('sharded', {}).get('encounters_per_sec')} enc/s) "
+              f"does not beat the serial baseline "
+              f"({serial.get('encounters_per_sec')} enc/s)")
+        check(spill_rss < serial.get("peak_rss_kb", 0),
+              f"spill peak RSS ({spill_rss} KiB) not below the serial "
+              f"baseline's ({serial.get('peak_rss_kb')} KiB)")
+    check(shard.get("thrash_ratio", 1e18) <= 0.3,
+          f"thrash ratio {shard.get('thrash_ratio')} unspills/encounter "
+          "exceeds 0.3: residency is faulting on touch, not prefetching")
 
 if failures:
     for f in failures:
@@ -249,6 +282,7 @@ print(f"perf_guard: OK ({path}: scale={doc['scale']} fleet={doc['fleet']} "
       f"({doc.get('fleet_vs_paper')}x paper) days={doc['days']} "
       f"encounters={doc['encounters']} workers={doc['workers']} "
       f"handoffs={shard.get('handoffs')} spills={shard.get('spills')} "
+      f"thrash_ratio={shard.get('thrash_ratio')} "
       f"spill_rss_kb={spill_rss} sharded_rss_kb={sharded_rss})")
 EOF
 

@@ -8,8 +8,8 @@
 //!              [--trace FILE | --spool FILE] [--mail FILE]
 //!              [--bandwidth N] [--storage N]
 //!              [--strategy <random|selected>] [--k N]
-//!              [--shards N] [--stream-encounters]
-//!              [--spill-dir DIR] [--resident-limit N]
+//!              [--shards N] [--exec-threads N] [--stream-encounters]
+//!              [--spill-dir DIR] [--resident-limit N] [--lookahead N]
 //!              [--data-dir DIR] [--events FILE] [--stats]
 //! replidtn peer --id N --address ADDR --policy P --listen HOST:PORT
 //!               [--connect HOST:PORT] [--send DEST:TEXT] [--data-dir DIR]
@@ -92,8 +92,8 @@ USAGE:
                [--trace FILE | --spool FILE] [--mail FILE]
                [--bandwidth N] [--storage N]
                [--strategy <random|selected>] [--k N] [--seed S]
-               [--shards N] [--stream-encounters]
-               [--spill-dir DIR] [--resident-limit N]
+               [--shards N] [--exec-threads N] [--stream-encounters]
+               [--spill-dir DIR] [--resident-limit N] [--lookahead N]
                [--data-dir DIR] [--events FILE] [--stats]
       Replay a workload over a trace and print delivery statistics.
       Without --trace/--mail, the paper-scale synthetic scenario is used.
@@ -101,9 +101,14 @@ USAGE:
       DIR/node-<id> when the run completes.
 
       Scale knobs (all preserve serial metrics exactly): --shards N runs
-      the sharded engine with N workers; --stream-encounters iterates the
-      schedule from disk; --resident-limit N caps resident replicas,
-      spilling cold state under --spill-dir (or the system temp dir).
+      the sharded engine with N shards; --exec-threads N sizes its
+      thread pool (default: one per shard on multi-core hosts, 0 — the
+      cooperative main-thread path — on a single core);
+      --stream-encounters iterates the schedule from disk;
+      --resident-limit N caps resident replicas, spilling cold state
+      under --spill-dir (or the system temp dir); --lookahead N sizes
+      the encounter prefetch window driving eviction (default 8 x the
+      residency cap).
 
   replidtn peer --id N --address ADDR [--policy P] --listen HOST:PORT
                 [--connect HOST:PORT]... [--send DEST:TEXT]... [--serve-for SECS]
@@ -347,6 +352,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("--shards: cannot parse {v:?}"))?,
         ),
     };
+    let exec_threads = match flags.get("exec-threads") {
+        None => None,
+        Some("") => return Err("--exec-threads needs a thread count".to_string()),
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--exec-threads: cannot parse {v:?}"))?,
+        ),
+    };
     let resident_limit = match flags.get("resident-limit") {
         None => None,
         Some("") => return Err("--resident-limit needs a node count".to_string()),
@@ -363,6 +376,14 @@ fn run(args: &[String]) -> Result<(), String> {
             Some(std::path::PathBuf::from(dir))
         }
     };
+    let lookahead = match flags.get("lookahead") {
+        None => None,
+        Some("") => return Err("--lookahead needs an encounter count".to_string()),
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--lookahead: cannot parse {v:?}"))?,
+        ),
+    };
 
     let obs = ObsSetup::from_flags(&flags)?;
     let config = EmulationConfig {
@@ -373,9 +394,11 @@ fn run(args: &[String]) -> Result<(), String> {
         assignment_seed: flags.num("seed", EmulationConfig::default().assignment_seed)?,
         observer: obs.observer.clone(),
         shards,
+        exec_threads,
         stream_encounters: flags.has("stream-encounters"),
         spill_dir,
         resident_limit,
+        lookahead,
         ..EmulationConfig::default()
     };
 
